@@ -1,0 +1,92 @@
+//! Control-flow graph utilities: successor/predecessor maps and reverse
+//! postorder over reachable blocks.
+
+use gr_ir::{BlockId, Function};
+
+/// Precomputed CFG structure for one function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// Successors per block (indexed by block index).
+    pub succs: Vec<Vec<BlockId>>,
+    /// Predecessors per block.
+    pub preds: Vec<Vec<BlockId>>,
+    /// Reachable blocks in reverse postorder (entry first).
+    pub rpo: Vec<BlockId>,
+    /// Position of each block in `rpo`, `None` if unreachable.
+    pub rpo_pos: Vec<Option<usize>>,
+}
+
+impl Cfg {
+    /// Builds the CFG for `func`.
+    #[must_use]
+    pub fn new(func: &Function) -> Cfg {
+        let n = func.blocks.len();
+        let mut succs = Vec::with_capacity(n);
+        for b in func.block_ids() {
+            succs.push(func.successors(b));
+        }
+        let mut preds = vec![Vec::new(); n];
+        for (bi, ss) in succs.iter().enumerate() {
+            for s in ss {
+                preds[s.index()].push(BlockId(bi as u32));
+            }
+        }
+        let rpo = gr_ir::verify::reverse_postorder(func);
+        let mut rpo_pos = vec![None; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_pos[b.index()] = Some(i);
+        }
+        Cfg { succs, preds, rpo, rpo_pos }
+    }
+
+    /// Whether `b` is reachable from the entry.
+    #[must_use]
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_pos[b.index()].is_some()
+    }
+
+    /// Exit blocks: reachable blocks with no successors (`ret` terminators).
+    #[must_use]
+    pub fn exits(&self) -> Vec<BlockId> {
+        self.rpo
+            .iter()
+            .copied()
+            .filter(|b| self.succs[b.index()].is_empty())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gr_frontend::compile;
+
+    #[test]
+    fn diamond_cfg() {
+        let m = compile("int f(int a) { int x = 0; if (a > 0) x = 1; else x = 2; return x; }")
+            .unwrap();
+        let f = m.function("f").unwrap();
+        let cfg = Cfg::new(f);
+        // entry, then, else, merge
+        assert_eq!(cfg.rpo.len(), 4);
+        assert_eq!(cfg.rpo[0], f.entry());
+        assert_eq!(cfg.succs[f.entry().index()].len(), 2);
+        let merge = *cfg.rpo.last().unwrap();
+        assert_eq!(cfg.preds[merge.index()].len(), 2);
+        assert_eq!(cfg.exits(), vec![merge]);
+    }
+
+    #[test]
+    fn loop_cfg_reachability() {
+        let m = compile(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }",
+        )
+        .unwrap();
+        let f = m.function("f").unwrap();
+        let cfg = Cfg::new(f);
+        for b in f.block_ids() {
+            assert!(cfg.is_reachable(b), "{b} unreachable");
+        }
+        assert_eq!(cfg.exits().len(), 1);
+    }
+}

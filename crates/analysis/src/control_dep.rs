@@ -1,0 +1,147 @@
+//! Control dependences (Ferrante, Ottenstein & Warren construction from the
+//! post-dominator tree).
+//!
+//! Block `b` is control dependent on block `a` iff `a` has a successor `s`
+//! such that `b` post-dominates `s`, and `b` does not strictly post-dominate
+//! `a`. The paper's *generalized graph domination* walks these edges in
+//! addition to data-flow operands.
+
+use crate::cfg::Cfg;
+use crate::dom::PostDomTree;
+use gr_ir::{BlockId, Function, Opcode, ValueId};
+
+/// Control-dependence relation for one function.
+#[derive(Debug, Clone)]
+pub struct ControlDeps {
+    /// For each block, the blocks whose branch decides its execution.
+    pub deps: Vec<Vec<BlockId>>,
+}
+
+impl ControlDeps {
+    /// Computes control dependences.
+    #[must_use]
+    pub fn new(func: &Function, cfg: &Cfg, postdom: &PostDomTree) -> ControlDeps {
+        let n = func.blocks.len();
+        let mut deps = vec![Vec::new(); n];
+        for a in func.block_ids() {
+            if cfg.succs[a.index()].len() < 2 {
+                continue;
+            }
+            for &s in &cfg.succs[a.index()] {
+                // Walk up the post-dominator tree from s to (exclusive)
+                // ipdom(a); everything on the way is control dependent on a.
+                let stop = postdom.ipdom[a.index()];
+                let mut cur = s.index();
+                loop {
+                    if Some(cur) == stop || cur == postdom.virtual_exit() {
+                        break;
+                    }
+                    if !deps[cur].contains(&a) {
+                        deps[cur].push(a);
+                    }
+                    match postdom.ipdom[cur] {
+                        Some(next) if next != cur => cur = next,
+                        _ => break,
+                    }
+                }
+            }
+        }
+        ControlDeps { deps }
+    }
+
+    /// Blocks whose branches control `b`.
+    #[must_use]
+    pub fn deps_of(&self, b: BlockId) -> &[BlockId] {
+        &self.deps[b.index()]
+    }
+
+    /// The branch-condition values that control execution of `block`,
+    /// restricted (if given) to controlling blocks inside `within`.
+    #[must_use]
+    pub fn controlling_conditions(
+        &self,
+        func: &Function,
+        block: BlockId,
+        within: Option<&dyn Fn(BlockId) -> bool>,
+    ) -> Vec<ValueId> {
+        let mut out = Vec::new();
+        for &dep in self.deps_of(block) {
+            if let Some(filter) = within {
+                if !filter(dep) {
+                    continue;
+                }
+            }
+            if let Some(term) = func.terminator(dep) {
+                let data = func.value(term);
+                if data.kind.opcode() == Some(&Opcode::CondBr) {
+                    out.push(data.kind.operands()[0]);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::PostDomTree;
+    use gr_frontend::compile;
+
+    fn setup(src: &str) -> (gr_ir::Module, Cfg, PostDomTree) {
+        let m = compile(src).unwrap();
+        let f = &m.functions[0];
+        let cfg = Cfg::new(f);
+        let pd = PostDomTree::new(f, &cfg);
+        (m, cfg, pd)
+    }
+
+    #[test]
+    fn branch_arms_depend_on_entry() {
+        let (m, cfg, pd) =
+            setup("int f(int a) { int x = 0; if (a > 0) x = 1; else x = 2; return x; }");
+        let f = &m.functions[0];
+        let cd = ControlDeps::new(f, &cfg, &pd);
+        let entry = f.entry();
+        let then_b = cfg.succs[entry.index()][0];
+        let else_b = cfg.succs[entry.index()][1];
+        assert_eq!(cd.deps_of(then_b), &[entry]);
+        assert_eq!(cd.deps_of(else_b), &[entry]);
+        // The merge block is not control dependent on the branch.
+        let merge = *cfg.rpo.last().unwrap();
+        assert!(cd.deps_of(merge).is_empty());
+    }
+
+    #[test]
+    fn loop_body_depends_on_header() {
+        let (m, cfg, pd) = setup(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }",
+        );
+        let f = &m.functions[0];
+        let cd = ControlDeps::new(f, &cfg, &pd);
+        let header = f
+            .block_ids()
+            .find(|b| cfg.preds[b.index()].len() == 2)
+            .unwrap();
+        let body = cfg.succs[header.index()][0];
+        assert!(cd.deps_of(body).contains(&header));
+        // The header itself is control dependent on itself (loop-carried).
+        assert!(cd.deps_of(header).contains(&header));
+    }
+
+    #[test]
+    fn controlling_conditions_finds_branch_value() {
+        let (m, cfg, pd) =
+            setup("int f(int a) { int x = 0; if (a > 0) x = 1; return x; }");
+        let f = &m.functions[0];
+        let cd = ControlDeps::new(f, &cfg, &pd);
+        let entry = f.entry();
+        let then_b = cfg.succs[entry.index()][0];
+        let conds = cd.controlling_conditions(f, then_b, None);
+        assert_eq!(conds.len(), 1);
+        assert_eq!(
+            f.value(conds[0]).kind.opcode(),
+            Some(&gr_ir::Opcode::Cmp(gr_ir::CmpPred::Gt))
+        );
+    }
+}

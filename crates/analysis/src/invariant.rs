@@ -1,0 +1,204 @@
+//! Loop invariance of values.
+//!
+//! A value is invariant with respect to a loop if its result cannot change
+//! across iterations: constants, arguments, global references, values
+//! defined outside the loop, and pure computations over invariant operands.
+//! Loads are conservatively variant (memory may be written by the loop);
+//! the generalized-dominance walk in [`crate::dataflow`] refines this with
+//! per-object written-set reasoning.
+
+use crate::loops::{LoopForest, LoopId};
+use crate::purity::PurityInfo;
+use gr_ir::{BlockId, Function, Opcode, ValueId, ValueKind};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Memoized loop-invariance queries for one function.
+#[derive(Debug)]
+pub struct Invariance<'a> {
+    func: &'a Function,
+    forest: &'a LoopForest,
+    purity: &'a PurityInfo,
+    inst_blocks: HashMap<ValueId, BlockId>,
+    memo: RefCell<HashMap<(LoopId, ValueId), bool>>,
+}
+
+impl<'a> Invariance<'a> {
+    /// Creates the query context.
+    #[must_use]
+    pub fn new(func: &'a Function, forest: &'a LoopForest, purity: &'a PurityInfo) -> Invariance<'a> {
+        Invariance {
+            func,
+            forest,
+            purity,
+            inst_blocks: func.inst_blocks(),
+            memo: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Whether `v` is invariant with respect to loop `lid`.
+    #[must_use]
+    pub fn is_invariant(&self, lid: LoopId, v: ValueId) -> bool {
+        if let Some(&r) = self.memo.borrow().get(&(lid, v)) {
+            return r;
+        }
+        // Guard against phi cycles: mark as variant while computing.
+        self.memo.borrow_mut().insert((lid, v), false);
+        let result = self.compute(lid, v);
+        self.memo.borrow_mut().insert((lid, v), result);
+        result
+    }
+
+    fn compute(&self, lid: LoopId, v: ValueId) -> bool {
+        let l = self.forest.get(lid);
+        match &self.func.value(v).kind {
+            ValueKind::ConstInt(_)
+            | ValueKind::ConstFloat(_)
+            | ValueKind::ConstBool(_)
+            | ValueKind::Argument(_)
+            | ValueKind::GlobalRef(_) => true,
+            ValueKind::Block(_) => false,
+            ValueKind::Inst { opcode, operands } => {
+                let Some(&block) = self.inst_blocks.get(&v) else { return false };
+                if !l.contains(block) {
+                    return true;
+                }
+                match opcode {
+                    Opcode::Bin(_)
+                    | Opcode::Un(_)
+                    | Opcode::Cmp(_)
+                    | Opcode::Cast
+                    | Opcode::Select
+                    | Opcode::Gep => operands.iter().all(|&o| self.is_invariant(lid, o)),
+                    Opcode::Call(name) => {
+                        self.purity.is_pure(name)
+                            && operands.iter().all(|&o| self.is_invariant(lid, o))
+                    }
+                    Opcode::Phi
+                    | Opcode::Load
+                    | Opcode::Store
+                    | Opcode::Alloca
+                    | Opcode::Br
+                    | Opcode::CondBr
+                    | Opcode::Ret => false,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::dom::DomTree;
+    use gr_frontend::compile;
+    use gr_ir::BinOp;
+
+    struct Setup {
+        m: gr_ir::Module,
+    }
+
+    impl Setup {
+        fn new(src: &str) -> Setup {
+            Setup { m: compile(src).unwrap() }
+        }
+
+        fn with<R>(&self, f: impl FnOnce(&Function, &LoopForest, &PurityInfo) -> R) -> R {
+            let func = &self.m.functions[0];
+            let cfg = Cfg::new(func);
+            let dom = DomTree::new(func, &cfg);
+            let forest = LoopForest::new(func, &cfg, &dom);
+            let purity = PurityInfo::new(&self.m);
+            f(func, &forest, &purity)
+        }
+    }
+
+    #[test]
+    fn arguments_and_constants_are_invariant() {
+        let s = Setup::new(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }",
+        );
+        s.with(|func, forest, purity| {
+            let inv = Invariance::new(func, forest, purity);
+            assert!(inv.is_invariant(LoopId(0), func.arg_values[0]));
+            let c = func
+                .value_ids()
+                .find(|&v| func.value(v).kind == ValueKind::ConstInt(0))
+                .unwrap();
+            assert!(inv.is_invariant(LoopId(0), c));
+        });
+    }
+
+    #[test]
+    fn iterator_phi_is_variant() {
+        let s = Setup::new(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }",
+        );
+        s.with(|func, forest, purity| {
+            let inv = Invariance::new(func, forest, purity);
+            let phi = func
+                .value_ids()
+                .find(|&v| func.value(v).kind.opcode() == Some(&Opcode::Phi))
+                .unwrap();
+            assert!(!inv.is_invariant(LoopId(0), phi));
+        });
+    }
+
+    #[test]
+    fn pure_computation_over_invariants_is_invariant() {
+        let s = Setup::new(
+            "float f(float a, int n) {
+                 float s = 0.0;
+                 for (int i = 0; i < n; i++) s += sqrt(a) * 2.0;
+                 return s;
+             }",
+        );
+        s.with(|func, forest, purity| {
+            let inv = Invariance::new(func, forest, purity);
+            let call = func
+                .value_ids()
+                .find(|&v| matches!(func.value(v).kind.opcode(), Some(Opcode::Call(_))))
+                .unwrap();
+            assert!(inv.is_invariant(LoopId(0), call));
+        });
+    }
+
+    #[test]
+    fn loads_are_variant() {
+        let s = Setup::new(
+            "float f(float* a, int n) {
+                 float s = 0.0;
+                 for (int i = 0; i < n; i++) s += a[0];
+                 return s;
+             }",
+        );
+        s.with(|func, forest, purity| {
+            let inv = Invariance::new(func, forest, purity);
+            let load = func
+                .value_ids()
+                .find(|&v| func.value(v).kind.opcode() == Some(&Opcode::Load))
+                .unwrap();
+            assert!(!inv.is_invariant(LoopId(0), load));
+        });
+    }
+
+    #[test]
+    fn values_computed_from_iterator_are_variant() {
+        let s = Setup::new(
+            "int f(int n, int m) {
+                 int s = 0;
+                 for (int i = 0; i < n; i++) s += i * m;
+                 return s;
+             }",
+        );
+        s.with(|func, forest, purity| {
+            let inv = Invariance::new(func, forest, purity);
+            let mul = func
+                .value_ids()
+                .find(|&v| func.value(v).kind.opcode() == Some(&Opcode::Bin(BinOp::Mul)))
+                .unwrap();
+            assert!(!inv.is_invariant(LoopId(0), mul));
+        });
+    }
+}

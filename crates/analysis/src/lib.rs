@@ -1,0 +1,75 @@
+//! # gr-analysis — control-flow and data-flow analyses over `gr-ir`
+//!
+//! Provides everything the paper's atomic constraints consume:
+//!
+//! * [`cfg::Cfg`] — successor/predecessor maps and reverse postorder,
+//! * [`dom::DomTree`] / [`dom::PostDomTree`] — (post)dominator trees,
+//! * [`control_dep::ControlDeps`] — Ferrante-style control dependences,
+//! * [`loops::LoopForest`] — natural loops with headers, latches,
+//!   preheaders and nesting,
+//! * [`invariant`] — loop-invariance of values,
+//! * [`scev`] — affinity of integer expressions in loop iterators,
+//! * [`purity::PurityInfo`] — side-effect freedom of callees,
+//! * [`dataflow`] — use lists and the *generalized graph domination* walk
+//!   ("computed only from", §3.1.2 of the paper).
+//!
+//! [`Analyses`] bundles all of them for one function.
+//!
+//! # Example
+//!
+//! ```
+//! let m = gr_frontend::compile(
+//!     "float sum(float* a, int n) {
+//!          float s = 0.0;
+//!          for (int i = 0; i < n; i++) s += a[i];
+//!          return s;
+//!      }").unwrap();
+//! let f = m.function("sum").unwrap();
+//! let a = gr_analysis::Analyses::new(&m, f);
+//! assert_eq!(a.loops.loops().len(), 1);
+//! ```
+
+pub mod cfg;
+pub mod control_dep;
+pub mod dataflow;
+pub mod dom;
+pub mod invariant;
+pub mod loops;
+pub mod purity;
+pub mod scev;
+
+use gr_ir::{Function, Module};
+
+/// All per-function analyses, computed eagerly.
+#[derive(Debug)]
+pub struct Analyses {
+    /// Control-flow graph utilities.
+    pub cfg: cfg::Cfg,
+    /// Dominator tree.
+    pub dom: dom::DomTree,
+    /// Post-dominator tree (virtual single exit).
+    pub postdom: dom::PostDomTree,
+    /// Control dependences.
+    pub cdeps: control_dep::ControlDeps,
+    /// Natural-loop forest.
+    pub loops: loops::LoopForest,
+    /// Purity facts for every callee referenced by the module.
+    pub purity: purity::PurityInfo,
+    /// Def-use lists.
+    pub users: dataflow::UseLists,
+}
+
+impl Analyses {
+    /// Computes every analysis for `func` (purity is module-wide).
+    #[must_use]
+    pub fn new(module: &Module, func: &Function) -> Analyses {
+        let cfg = cfg::Cfg::new(func);
+        let dom = dom::DomTree::new(func, &cfg);
+        let postdom = dom::PostDomTree::new(func, &cfg);
+        let cdeps = control_dep::ControlDeps::new(func, &cfg, &postdom);
+        let loops = loops::LoopForest::new(func, &cfg, &dom);
+        let purity = purity::PurityInfo::new(module);
+        let users = dataflow::UseLists::new(func);
+        Analyses { cfg, dom, postdom, cdeps, loops, purity, users }
+    }
+}

@@ -1,0 +1,432 @@
+//! Natural-loop detection and the canonical `for`-loop shape.
+//!
+//! Loops are discovered from back edges (`latch → header` where the header
+//! dominates the latch); loops sharing a header are merged. Nesting is
+//! derived from block containment.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use gr_ir::{BlockId, CmpPred, Function, Opcode, ValueId, ValueKind};
+use std::collections::HashSet;
+
+/// Index of a loop in a [`LoopForest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LoopId(pub u32);
+
+impl LoopId {
+    /// The loop index as `usize`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A natural loop.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// Header block (target of back edges).
+    pub header: BlockId,
+    /// Latch blocks (sources of back edges).
+    pub latches: Vec<BlockId>,
+    /// All blocks in the loop, including the header.
+    pub blocks: HashSet<BlockId>,
+    /// Unique predecessor of the header outside the loop, if any.
+    pub preheader: Option<BlockId>,
+    /// Blocks outside the loop that are targets of edges leaving the loop.
+    pub exit_targets: Vec<BlockId>,
+    /// Enclosing loop.
+    pub parent: Option<LoopId>,
+    /// Nesting depth (outermost = 1).
+    pub depth: u32,
+}
+
+impl Loop {
+    /// Whether `b` belongs to the loop.
+    #[must_use]
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(&b)
+    }
+}
+
+/// All natural loops of a function.
+#[derive(Debug, Clone, Default)]
+pub struct LoopForest {
+    loops: Vec<Loop>,
+    /// Innermost loop of each block.
+    innermost: Vec<Option<LoopId>>,
+}
+
+impl LoopForest {
+    /// Detects all natural loops.
+    #[must_use]
+    pub fn new(func: &Function, cfg: &Cfg, dom: &DomTree) -> LoopForest {
+        // Collect back edges grouped by header.
+        let mut headers: Vec<(BlockId, Vec<BlockId>)> = Vec::new();
+        for b in func.block_ids() {
+            if !cfg.is_reachable(b) {
+                continue;
+            }
+            for &s in &cfg.succs[b.index()] {
+                if dom.dominates(s, b) {
+                    match headers.iter_mut().find(|(h, _)| *h == s) {
+                        Some((_, latches)) => latches.push(b),
+                        None => headers.push((s, vec![b])),
+                    }
+                }
+            }
+        }
+        // Natural loop body: header + blocks that reach a latch backwards
+        // without passing through the header.
+        let mut loops: Vec<Loop> = Vec::new();
+        for (header, latches) in headers {
+            let mut blocks: HashSet<BlockId> = HashSet::new();
+            blocks.insert(header);
+            let mut stack: Vec<BlockId> = latches.clone();
+            while let Some(b) = stack.pop() {
+                if blocks.insert(b) {
+                    for &p in &cfg.preds[b.index()] {
+                        if cfg.is_reachable(p) {
+                            stack.push(p);
+                        }
+                    }
+                }
+            }
+            let outside_preds: Vec<BlockId> = cfg.preds[header.index()]
+                .iter()
+                .copied()
+                .filter(|p| !blocks.contains(p))
+                .collect();
+            let preheader = match outside_preds.as_slice() {
+                [p] => Some(*p),
+                _ => None,
+            };
+            let mut exit_targets = Vec::new();
+            for &b in &blocks {
+                for &s in &cfg.succs[b.index()] {
+                    if !blocks.contains(&s) && !exit_targets.contains(&s) {
+                        exit_targets.push(s);
+                    }
+                }
+            }
+            loops.push(Loop {
+                header,
+                latches,
+                blocks,
+                preheader,
+                exit_targets,
+                parent: None,
+                depth: 1,
+            });
+        }
+        // Nesting: parent = smallest strictly-containing loop.
+        let order: Vec<usize> = {
+            let mut idx: Vec<usize> = (0..loops.len()).collect();
+            idx.sort_by_key(|&i| loops[i].blocks.len());
+            idx
+        };
+        for (pos, &i) in order.iter().enumerate() {
+            for &j in &order[pos + 1..] {
+                if i != j
+                    && loops[j].blocks.len() > loops[i].blocks.len()
+                    && loops[j].blocks.contains(&loops[i].header)
+                {
+                    loops[i].parent = Some(LoopId(j as u32));
+                    break;
+                }
+            }
+        }
+        // Depths.
+        for i in 0..loops.len() {
+            let mut d = 1;
+            let mut cur = loops[i].parent;
+            while let Some(p) = cur {
+                d += 1;
+                cur = loops[p.index()].parent;
+            }
+            loops[i].depth = d;
+        }
+        // Innermost loop per block = smallest containing loop.
+        let mut innermost: Vec<Option<LoopId>> = vec![None; func.blocks.len()];
+        for b in func.block_ids() {
+            let mut best: Option<usize> = None;
+            for (i, l) in loops.iter().enumerate() {
+                if l.contains(b) && best.is_none_or(|x| loops[x].blocks.len() > l.blocks.len()) {
+                    best = Some(i);
+                }
+            }
+            innermost[b.index()] = best.map(|i| LoopId(i as u32));
+        }
+        LoopForest { loops, innermost }
+    }
+
+    /// All loops.
+    #[must_use]
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// A loop by id.
+    #[must_use]
+    pub fn get(&self, id: LoopId) -> &Loop {
+        &self.loops[id.index()]
+    }
+
+    /// Innermost loop containing `b`.
+    #[must_use]
+    pub fn innermost_of(&self, b: BlockId) -> Option<LoopId> {
+        self.innermost[b.index()]
+    }
+
+    /// The loop with header `h`, if any.
+    #[must_use]
+    pub fn loop_with_header(&self, h: BlockId) -> Option<LoopId> {
+        self.loops
+            .iter()
+            .position(|l| l.header == h)
+            .map(|i| LoopId(i as u32))
+    }
+
+    /// Whether `id` has no nested loops.
+    #[must_use]
+    pub fn is_innermost(&self, id: LoopId) -> bool {
+        !self.loops.iter().any(|l| l.parent == Some(id))
+    }
+
+    /// Ids of loops directly nested in `id`.
+    #[must_use]
+    pub fn children_of(&self, id: LoopId) -> Vec<LoopId> {
+        self.loops
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.parent == Some(id))
+            .map(|(i, _)| LoopId(i as u32))
+            .collect()
+    }
+}
+
+/// The canonical counted-loop shape
+/// `for (i = init; i </<=/>/>= bound; i += step)`.
+///
+/// This is the *pattern-matched* equivalent of what the constraint solver
+/// derives from the Figure 5 specification; baselines and code generation
+/// use it directly, and tests cross-validate the two paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForShape {
+    /// The iterator phi in the header.
+    pub iterator: ValueId,
+    /// Initial value (incoming from the preheader).
+    pub init: ValueId,
+    /// The `i + step` instruction (incoming from the latch).
+    pub next: ValueId,
+    /// The step operand of `next`.
+    pub step: ValueId,
+    /// The comparison instruction controlling the loop.
+    pub test: ValueId,
+    /// Loop bound operand of the comparison.
+    pub bound: ValueId,
+    /// Comparison predicate with the iterator on the left.
+    pub pred: CmpPred,
+    /// The block the loop exits to.
+    pub exit: BlockId,
+    /// First body block (taken branch of the header).
+    pub body_entry: BlockId,
+}
+
+/// Tries to match `loop_` against the canonical counted-loop shape.
+///
+/// Requirements (mirroring Figure 5 of the paper):
+/// * a preheader exists and a single latch branches back to the header;
+/// * the header terminator is `condbr(cmp(iter, bound), body, exit)` with
+///   the exit outside the loop and the body inside;
+/// * `iter` is a header phi whose latch incoming is `add(iter, step)`;
+/// * `init`, `step` and `bound` are constants or defined outside the loop.
+#[must_use]
+pub fn match_for_shape(func: &Function, forest: &LoopForest, lid: LoopId) -> Option<ForShape> {
+    let l = forest.get(lid);
+    let preheader = l.preheader?;
+    let [latch] = l.latches.as_slice() else { return None };
+    let term = func.terminator(l.header)?;
+    let tdata = func.value(term);
+    if tdata.kind.opcode() != Some(&Opcode::CondBr) {
+        return None;
+    }
+    let cond = tdata.kind.operands()[0];
+    let t_target = func.block_of_label(tdata.kind.operands()[1]);
+    let f_target = func.block_of_label(tdata.kind.operands()[2]);
+    let (body_entry, exit, flipped) = if l.contains(t_target) && !l.contains(f_target) {
+        (t_target, f_target, false)
+    } else if l.contains(f_target) && !l.contains(t_target) {
+        (f_target, t_target, true)
+    } else {
+        return None;
+    };
+    let cdata = func.value(cond);
+    let Some(&Opcode::Cmp(pred)) = cdata.kind.opcode() else { return None };
+    let (a, b) = (cdata.kind.operands()[0], cdata.kind.operands()[1]);
+    // Identify which comparison operand is the iterator phi.
+    let is_header_phi = |v: ValueId| {
+        func.value(v).kind.opcode() == Some(&Opcode::Phi)
+            && func.block(l.header).insts.contains(&v)
+    };
+    let (iterator, bound, mut pred) = if is_header_phi(a) {
+        (a, b, pred)
+    } else if is_header_phi(b) {
+        (b, a, pred.swapped())
+    } else {
+        return None;
+    };
+    if flipped {
+        pred = pred.negated();
+    }
+    // Iterator phi: init from preheader, next from latch.
+    let incoming = func.phi_incoming(iterator);
+    if incoming.len() != 2 {
+        return None;
+    }
+    let mut init = None;
+    let mut next = None;
+    for (v, from) in incoming {
+        if from == preheader {
+            init = Some(v);
+        } else if from == *l.latches.first()? {
+            next = Some(v);
+        }
+    }
+    let (init, next) = (init?, next?);
+    let _ = latch;
+    // next = add(iterator, step)
+    let ndata = func.value(next);
+    if ndata.kind.opcode() != Some(&Opcode::Bin(gr_ir::BinOp::Add)) {
+        return None;
+    }
+    let (x, y) = (ndata.kind.operands()[0], ndata.kind.operands()[1]);
+    let step = if x == iterator {
+        y
+    } else if y == iterator {
+        x
+    } else {
+        return None;
+    };
+    // init/step/bound must be constants or defined outside the loop.
+    let outside = |v: ValueId| match &func.value(v).kind {
+        ValueKind::ConstInt(_) | ValueKind::ConstFloat(_) | ValueKind::ConstBool(_) => true,
+        ValueKind::Argument(_) | ValueKind::GlobalRef(_) => true,
+        ValueKind::Inst { .. } => func
+            .block_of_inst(v)
+            .map(|b| !l.contains(b))
+            .unwrap_or(false),
+        ValueKind::Block(_) => false,
+    };
+    if !outside(init) || !outside(step) || !outside(bound) {
+        return None;
+    }
+    Some(ForShape { iterator, init, next, step, test: cond, bound, pred, exit, body_entry })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::dom::DomTree;
+    use gr_frontend::compile;
+
+    fn forest(src: &str) -> (gr_ir::Module, LoopForest) {
+        let m = compile(src).unwrap();
+        let f = &m.functions[0];
+        let cfg = Cfg::new(f);
+        let dom = DomTree::new(f, &cfg);
+        let forest = LoopForest::new(f, &cfg, &dom);
+        (m, forest)
+    }
+
+    #[test]
+    fn single_for_loop() {
+        let (m, forest) = forest(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }",
+        );
+        assert_eq!(forest.loops().len(), 1);
+        let l = &forest.loops()[0];
+        assert!(l.preheader.is_some());
+        assert_eq!(l.latches.len(), 1);
+        assert_eq!(l.depth, 1);
+        assert_eq!(l.exit_targets.len(), 1);
+        let shape = match_for_shape(&m.functions[0], &forest, LoopId(0)).expect("for shape");
+        assert_eq!(shape.pred, CmpPred::Lt);
+        let f = &m.functions[0];
+        assert_eq!(f.value(shape.init).kind, ValueKind::ConstInt(0));
+        assert_eq!(f.value(shape.step).kind, ValueKind::ConstInt(1));
+    }
+
+    #[test]
+    fn nested_loops_have_depths() {
+        let (_, forest) = forest(
+            "float f(float* a, int n, int m) {
+                 float s = 0.0;
+                 for (int i = 0; i < n; i++)
+                     for (int j = 0; j < m; j++)
+                         s += a[i * m + j];
+                 return s;
+             }",
+        );
+        assert_eq!(forest.loops().len(), 2);
+        let depths: Vec<u32> = {
+            let mut d: Vec<u32> = forest.loops().iter().map(|l| l.depth).collect();
+            d.sort_unstable();
+            d
+        };
+        assert_eq!(depths, vec![1, 2]);
+        let inner = forest
+            .loops()
+            .iter()
+            .position(|l| l.depth == 2)
+            .map(|i| LoopId(i as u32))
+            .unwrap();
+        assert!(forest.is_innermost(inner));
+        let outer = forest.get(inner).parent.unwrap();
+        assert!(!forest.is_innermost(outer));
+        assert_eq!(forest.children_of(outer), vec![inner]);
+    }
+
+    #[test]
+    fn while_loop_is_detected_but_not_for_shaped() {
+        let (m, forest) = forest(
+            "int f(int n) { int i = 0; while (i * i < n) i++; return i; }",
+        );
+        assert_eq!(forest.loops().len(), 1);
+        // `i*i < n` is not a `cmp(iter, bound)` test.
+        assert!(match_for_shape(&m.functions[0], &forest, LoopId(0)).is_none());
+    }
+
+    #[test]
+    fn data_dependent_exit_is_not_for_shaped() {
+        // Loop bound read from memory inside the loop -> not a counted loop.
+        let (m, forest) = forest(
+            "int f(int* a) { int i = 0; while (a[i] > 0) i++; return i; }",
+        );
+        assert_eq!(forest.loops().len(), 1);
+        assert!(match_for_shape(&m.functions[0], &forest, LoopId(0)).is_none());
+    }
+
+    #[test]
+    fn downward_counting_loop_matches() {
+        let (m, forest) = forest(
+            "int f(int n) { int s = 0; for (int i = n; i > 0; i += -1) s += i; return s; }",
+        );
+        assert_eq!(forest.loops().len(), 1);
+        let shape = match_for_shape(&m.functions[0], &forest, LoopId(0)).expect("for shape");
+        assert_eq!(shape.pred, CmpPred::Gt);
+    }
+
+    #[test]
+    fn innermost_of_maps_blocks() {
+        let (m, forest) = forest(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }",
+        );
+        let f = &m.functions[0];
+        let l = &forest.loops()[0];
+        for &b in &l.blocks {
+            assert_eq!(forest.innermost_of(b), Some(LoopId(0)));
+        }
+        assert_eq!(forest.innermost_of(f.entry()), None);
+    }
+}

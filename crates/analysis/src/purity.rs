@@ -1,0 +1,135 @@
+//! Purity of callees.
+//!
+//! The paper relies on recognizing `sqrt`, `log`, `fabs`, `fmin`, `fmax`,
+//! … as pure so that loops calling them can still be classified as
+//! reductions (§2: "the code segment can only be classified as a reduction
+//! because all the function calls that are present are pure").
+//!
+//! Built-ins are pure by definition. A user-defined function is pure iff it
+//! contains no loads, stores or allocas and calls only pure functions
+//! (referential transparency on scalar arguments). The classification is a
+//! fixpoint over the call graph; recursion defaults to impure.
+
+use gr_ir::{Module, Opcode, ValueKind};
+use std::collections::HashMap;
+
+/// Module-wide purity facts.
+#[derive(Debug, Clone, Default)]
+pub struct PurityInfo {
+    pure: HashMap<String, bool>,
+}
+
+impl PurityInfo {
+    /// Classifies every function in `module` plus the built-ins.
+    #[must_use]
+    pub fn new(module: &Module) -> PurityInfo {
+        let mut pure: HashMap<String, bool> = HashMap::new();
+        for (name, _) in gr_ir::builtins::BUILTINS {
+            pure.insert(name.to_string(), true);
+        }
+        // Start optimistic for user functions without memory ops; iterate
+        // to a fixpoint downgrading functions that call impure ones.
+        let mut candidates: HashMap<String, Vec<String>> = HashMap::new();
+        for f in &module.functions {
+            let mut is_candidate = true;
+            let mut callees = Vec::new();
+            for v in f.value_ids() {
+                if let ValueKind::Inst { opcode, .. } = &f.value(v).kind {
+                    match opcode {
+                        Opcode::Load | Opcode::Store | Opcode::Alloca => is_candidate = false,
+                        Opcode::Call(name) => callees.push(name.clone()),
+                        _ => {}
+                    }
+                }
+            }
+            if is_candidate {
+                candidates.insert(f.name.clone(), callees);
+                pure.entry(f.name.clone()).or_insert(true);
+            } else {
+                pure.insert(f.name.clone(), false);
+            }
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (name, callees) in &candidates {
+                if pure.get(name) == Some(&true) {
+                    let ok = callees.iter().all(|c| pure.get(c) == Some(&true));
+                    if !ok {
+                        pure.insert(name.clone(), false);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        PurityInfo { pure }
+    }
+
+    /// Whether callee `name` is pure (unknown names are impure).
+    #[must_use]
+    pub fn is_pure(&self, name: &str) -> bool {
+        self.pure.get(name).copied().unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gr_frontend::compile;
+
+    #[test]
+    fn builtins_are_pure() {
+        let m = compile("float f(float x) { return sqrt(x); }").unwrap();
+        let p = PurityInfo::new(&m);
+        assert!(p.is_pure("sqrt"));
+        assert!(p.is_pure("fmin"));
+        assert!(p.is_pure("log"));
+    }
+
+    #[test]
+    fn scalar_helper_is_pure() {
+        let m = compile(
+            "float sq(float x) { return x * x; }
+             float f(float x) { return sq(x); }",
+        )
+        .unwrap();
+        let p = PurityInfo::new(&m);
+        assert!(p.is_pure("sq"));
+        assert!(p.is_pure("f"));
+    }
+
+    #[test]
+    fn function_with_store_is_impure() {
+        let m = compile("void f(float* a) { a[0] = 1.0; }").unwrap();
+        let p = PurityInfo::new(&m);
+        assert!(!p.is_pure("f"));
+    }
+
+    #[test]
+    fn function_with_load_is_impure() {
+        let m = compile("float f(float* a) { return a[0]; }").unwrap();
+        let p = PurityInfo::new(&m);
+        assert!(!p.is_pure("f"));
+    }
+
+    #[test]
+    fn impurity_propagates_through_calls() {
+        let m = compile(
+            "void sink(float* a, float v) { a[0] = v; }
+             float outer(float x) { return x + 1.0; }
+             float chain(float x) { return outer(x) * 2.0; }",
+        )
+        .unwrap();
+        let p = PurityInfo::new(&m);
+        assert!(!p.is_pure("sink"));
+        assert!(p.is_pure("outer"));
+        assert!(p.is_pure("chain"));
+    }
+
+    #[test]
+    fn unknown_callee_is_impure() {
+        let m = compile("float f(float x) { return x; }").unwrap();
+        let p = PurityInfo::new(&m);
+        assert!(!p.is_pure("mystery"));
+    }
+}

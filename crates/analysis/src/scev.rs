@@ -1,0 +1,184 @@
+//! Scalar-evolution-lite: affinity of integer expressions in loop
+//! iterators.
+//!
+//! The paper's reduction conditions require array indices that are *affine
+//! in the loop iterator* with loop-invariant coefficients (condition 3 of
+//! both idiom definitions). [`affine_degree`] computes the maximum total
+//! iterator degree of any term in the expression tree; degree ≤ 1 means
+//! affine. The multi-iterator form is what the Polly-like baseline uses for
+//! SCoP modelling (`a[i*m + j]` is affine, `a[i*j]` is not, `a[b[i]]` is
+//! not).
+
+use gr_ir::{Function, Opcode, UnOp, ValueId};
+use std::collections::HashMap;
+
+/// Maximum total degree in `iterators` of any term of `v`, or `None` when
+/// `v` involves a non-polynomial operation (loads, calls, phis other than
+/// the iterators, division, …) or a non-invariant leaf.
+///
+/// `is_invariant` decides whether a leaf value may appear in coefficients.
+#[must_use]
+pub fn affine_degree(
+    func: &Function,
+    iterators: &[ValueId],
+    is_invariant: &dyn Fn(ValueId) -> bool,
+    v: ValueId,
+) -> Option<u8> {
+    let mut memo = HashMap::new();
+    degree_rec(func, iterators, is_invariant, v, &mut memo)
+}
+
+/// Whether `v` is affine (degree ≤ 1) in the given iterators.
+#[must_use]
+pub fn is_affine(
+    func: &Function,
+    iterators: &[ValueId],
+    is_invariant: &dyn Fn(ValueId) -> bool,
+    v: ValueId,
+) -> bool {
+    affine_degree(func, iterators, is_invariant, v).is_some_and(|d| d <= 1)
+}
+
+fn degree_rec(
+    func: &Function,
+    iterators: &[ValueId],
+    is_invariant: &dyn Fn(ValueId) -> bool,
+    v: ValueId,
+    memo: &mut HashMap<ValueId, Option<u8>>,
+) -> Option<u8> {
+    if let Some(&d) = memo.get(&v) {
+        return d;
+    }
+    if iterators.contains(&v) {
+        memo.insert(v, Some(1));
+        return Some(1);
+    }
+    if is_invariant(v) {
+        memo.insert(v, Some(0));
+        return Some(0);
+    }
+    let result = match func.value(v).kind.opcode() {
+        Some(Opcode::Bin(op)) => {
+            let ops = func.value(v).kind.operands().to_vec();
+            let a = degree_rec(func, iterators, is_invariant, ops[0], memo);
+            let b = degree_rec(func, iterators, is_invariant, ops[1], memo);
+            match (op, a, b) {
+                (gr_ir::BinOp::Add | gr_ir::BinOp::Sub, Some(a), Some(b)) => Some(a.max(b)),
+                (gr_ir::BinOp::Mul, Some(a), Some(b)) => a.checked_add(b),
+                // Division/remainder by iterators is non-affine; by
+                // invariants it is non-linear in general (floor), so reject.
+                _ => None,
+            }
+        }
+        Some(Opcode::Un(UnOp::Neg)) => {
+            let op = func.value(v).kind.operands()[0];
+            degree_rec(func, iterators, is_invariant, op, memo)
+        }
+        _ => None,
+    };
+    memo.insert(v, result);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::dom::DomTree;
+    use crate::invariant::Invariance;
+    use crate::loops::{match_for_shape, LoopForest, LoopId};
+    use crate::purity::PurityInfo;
+    use gr_frontend::compile;
+
+    /// Compiles `src`, takes the innermost loop, and returns whether the
+    /// index operand of the first `gep` is affine in all loop iterators.
+    fn first_gep_affine(src: &str) -> bool {
+        let m = compile(src).unwrap();
+        let func = &m.functions[0];
+        let cfg = Cfg::new(func);
+        let dom = DomTree::new(func, &cfg);
+        let forest = LoopForest::new(func, &cfg, &dom);
+        let purity = PurityInfo::new(&m);
+        let inv = Invariance::new(func, &forest, &purity);
+        // All for-shaped iterators in the function.
+        let mut iterators = Vec::new();
+        for i in 0..forest.loops().len() {
+            if let Some(s) = match_for_shape(func, &forest, LoopId(i as u32)) {
+                iterators.push(s.iterator);
+            }
+        }
+        // Innermost loop: highest depth.
+        let innermost = (0..forest.loops().len())
+            .max_by_key(|&i| forest.loops()[i].depth)
+            .map(|i| LoopId(i as u32))
+            .unwrap();
+        let gep = func
+            .value_ids()
+            .find(|&v| func.value(v).kind.opcode() == Some(&Opcode::Gep))
+            .expect("gep");
+        let idx = func.value(gep).kind.operands()[1];
+        let is_inv = |v: ValueId| inv.is_invariant(innermost, v);
+        is_affine(func, &iterators, &is_inv, idx)
+    }
+
+    #[test]
+    fn plain_index_is_affine() {
+        assert!(first_gep_affine(
+            "float f(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[i]; return s; }"
+        ));
+    }
+
+    #[test]
+    fn strided_index_is_affine() {
+        assert!(first_gep_affine(
+            "float f(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[2 * i + 1]; return s; }"
+        ));
+    }
+
+    #[test]
+    fn linearized_2d_index_is_affine() {
+        assert!(first_gep_affine(
+            "float f(float* a, int n, int m) {
+                 float s = 0.0;
+                 for (int i = 0; i < n; i++)
+                     for (int j = 0; j < m; j++)
+                         s += a[i * m + j];
+                 return s;
+             }"
+        ));
+    }
+
+    #[test]
+    fn product_of_iterators_is_not_affine() {
+        assert!(!first_gep_affine(
+            "float f(float* a, int n) {
+                 float s = 0.0;
+                 for (int i = 0; i < n; i++)
+                     for (int j = 0; j < n; j++)
+                         s += a[i * j];
+                 return s;
+             }"
+        ));
+    }
+
+    #[test]
+    fn quadratic_index_is_not_affine() {
+        assert!(!first_gep_affine(
+            "float f(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[i * i]; return s; }"
+        ));
+    }
+
+    #[test]
+    fn modulo_index_is_not_affine() {
+        assert!(!first_gep_affine(
+            "float f(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[i % 8]; return s; }"
+        ));
+    }
+
+    #[test]
+    fn negated_index_is_affine() {
+        assert!(first_gep_affine(
+            "float f(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[n - i]; return s; }"
+        ));
+    }
+}

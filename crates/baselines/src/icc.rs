@@ -1,0 +1,251 @@
+//! The icc model (paper §5.2).
+//!
+//! Intel icc's auto-parallelizer "uses data dependences rather than the
+//! polyhedral model […] less powerful than polyhedral approaches but more
+//! robust". The paper's observed behaviours, reproduced here:
+//!
+//! * finds well-structured **scalar** reductions, including conditional
+//!   sums and min/max patterns, in **innermost counted loops** (it misses
+//!   the SP reduction whose iterator "is in the middle of the loop nest");
+//! * accepts the common libm calls it can vectorize (`sqrt`, `log`, `exp`,
+//!   …) but **not** `fmin`/`fmax` — "these reductions use the functions
+//!   fmin and fmax […] these function calls prevent icc from successful
+//!   parallelization" (cutcp);
+//! * never detects histograms ("it is clear that icc does not attempt to
+//!   detect histograms"): any store with a non-affine index defeats its
+//!   dependence analysis;
+//! * rejects loops with unknown carried state or unknown calls.
+
+use gr_analysis::invariant::Invariance;
+use gr_analysis::loops::{match_for_shape, LoopId};
+use gr_analysis::Analyses;
+use gr_core::postcheck::classify_update;
+use gr_ir::{BlockId, Function, Module, Opcode, ValueId};
+
+/// A scalar reduction icc would parallelize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IccReduction {
+    /// Containing function.
+    pub function: String,
+    /// Loop header.
+    pub header: BlockId,
+    /// Accumulator phi.
+    pub acc: ValueId,
+}
+
+/// Math calls icc's vectorizer handles.
+const ICC_WHITELIST: &[&str] = &[
+    "sqrt", "log", "exp", "sin", "cos", "pow", "fabs", "floor", "ceil",
+];
+
+/// Runs the icc model over a module.
+#[must_use]
+pub fn icc_detect(module: &Module) -> Vec<IccReduction> {
+    let mut out = Vec::new();
+    for func in &module.functions {
+        let analyses = Analyses::new(module, func);
+        let forest = &analyses.loops;
+        for i in 0..forest.loops().len() {
+            let lid = LoopId(i as u32);
+            if !forest.is_innermost(lid) {
+                continue; // innermost loops only
+            }
+            out.extend(detect_in_loop(func, &analyses, lid));
+        }
+    }
+    out
+}
+
+fn detect_in_loop(func: &Function, analyses: &Analyses, lid: LoopId) -> Vec<IccReduction> {
+    let forest = &analyses.loops;
+    let l = forest.get(lid);
+    let Some(shape) = match_for_shape(func, forest, lid) else { return Vec::new() };
+    if l.exit_targets.len() != 1 {
+        return Vec::new(); // early exits: trip count unknown
+    }
+    let inv = Invariance::new(func, forest, &analyses.purity);
+    // Scan the loop body.
+    for &b in &l.blocks {
+        for &inst in &func.block(b).insts {
+            let data = func.value(inst);
+            match data.kind.opcode() {
+                Some(Opcode::Call(name)) => {
+                    if !ICC_WHITELIST.contains(&name.as_str()) {
+                        return Vec::new(); // fmin/fmax/user calls block icc
+                    }
+                }
+                Some(Opcode::Store) => {
+                    // Writes must be affine in the iterator, otherwise the
+                    // dependence test fails (histograms land here).
+                    let gep = data.kind.operands()[1];
+                    let gd = func.value(gep);
+                    if gd.kind.opcode() != Some(&Opcode::Gep) {
+                        return Vec::new();
+                    }
+                    let idx = gd.kind.operands()[1];
+                    let is_inv = |v: ValueId| inv.is_invariant(lid, v);
+                    if !gr_analysis::scev::is_affine(func, &[shape.iterator], &is_inv, idx) {
+                        return Vec::new();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // Every header phi must be the iterator or a recognizable reduction.
+    let mut reductions = Vec::new();
+    for &inst in &func.block(l.header).insts {
+        if func.value(inst).kind.opcode() != Some(&Opcode::Phi) || inst == shape.iterator {
+            continue;
+        }
+        let next = func
+            .phi_incoming(inst)
+            .into_iter()
+            .find(|(_, from)| l.latches.contains(from))
+            .map(|(v, _)| v);
+        let Some(next) = next else { return Vec::new() };
+        match classify_update(func, analyses, lid, inst, next) {
+            Some(_) => reductions.push(IccReduction {
+                function: func.name.clone(),
+                header: l.header,
+                acc: inst,
+            }),
+            None => return Vec::new(), // unknown recurrence: loop rejected
+        }
+    }
+    reductions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gr_frontend::compile;
+
+    fn count(src: &str) -> usize {
+        icc_detect(&compile(src).unwrap()).len()
+    }
+
+    #[test]
+    fn finds_plain_sum() {
+        assert_eq!(
+            count(
+                "float sum(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[i]; return s; }"
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn finds_conditional_sum_and_whitelisted_calls() {
+        assert_eq!(
+            count(
+                "float f(float* a, int n) {
+                     float s = 0.0;
+                     for (int i = 0; i < n; i++) { if (a[i] > 0.0) s += sqrt(a[i]); }
+                     return s;
+                 }"
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn fmin_calls_block_icc() {
+        // The cutcp failure mode.
+        assert_eq!(
+            count(
+                "float f(float* a, int n) { float s = 1.0e30; for (int i = 0; i < n; i++) s = fmin(s, a[i]); return s; }"
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn if_based_min_is_found() {
+        assert_eq!(
+            count(
+                "float f(float* a, int n) { float s = 1.0e30; for (int i = 0; i < n; i++) { float v = a[i]; if (v < s) s = v; } return s; }"
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn histograms_are_not_detected() {
+        assert_eq!(
+            count(
+                "void rank(int* bins, int* keys, int n) { for (int i = 0; i < n; i++) bins[keys[i]]++; }"
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn mid_nest_reduction_is_missed() {
+        // The SP rms nest: the reduction spans the outer loops, the
+        // innermost m-loop carries the rms array, and icc reports nothing.
+        assert_eq!(
+            count(
+                "void rms_nest(float* rhs, float* rms, int nx) {
+                     for (int i = 0; i < nx; i++) {
+                         for (int m = 0; m < 5; m++) {
+                             float add = rhs[i * 5 + m];
+                             rms[m] = rms[m] + add * add;
+                         }
+                     }
+                 }"
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn indirect_reads_are_fine_without_stores() {
+        // spmv-style dot product: indirect loads, no stores.
+        assert_eq!(
+            count(
+                "float f(float* a, int* col, float* x, int n) {
+                     float s = 0.0;
+                     for (int i = 0; i < n; i++) s += a[i] * x[col[i]];
+                     return s;
+                 }"
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn user_calls_block_icc() {
+        assert_eq!(
+            count(
+                "float g(float x) { return x * 2.0; }
+                 float f(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += g(a[i]); return s; }"
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn two_reductions_in_one_loop() {
+        assert_eq!(
+            count(
+                "void f(float* a, float* out, int n) {
+                     float sx = 0.0; float sy = 0.0;
+                     for (int i = 0; i < n; i++) { sx += a[2*i]; sy += a[2*i+1]; }
+                     out[0] = sx; out[1] = sy;
+                 }"
+            ),
+            2
+        );
+    }
+
+    #[test]
+    fn while_loops_are_rejected() {
+        assert_eq!(
+            count(
+                "int f(int* a) { int i = 0; int s = 0; while (a[i] > 0) { s += a[i]; i++; } return s; }"
+            ),
+            0
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! # gr-baselines — the comparison detectors of the paper's evaluation
+//!
+//! Two models of the state-of-the-art systems the paper compares against
+//! (§5.2):
+//!
+//! * [`polly`] — "Polly-Reduction": a polyhedral-style detector that first
+//!   finds SCoPs (static control parts: counted loop nests with affine
+//!   bounds, accesses and conditions, and no calls) and then recognizes
+//!   reductions inside them, following Doerfert et al.'s reduction-enabled
+//!   Polly. Its documented failure modes — indirect accesses, data
+//!   dependent conditions, calls, flat arrays with parametric strides —
+//!   are modelled faithfully.
+//! * [`icc`] — a data-dependence-based auto-parallelizer in the style of
+//!   Intel icc: innermost counted loops only, a math-intrinsic whitelist
+//!   that does *not* include `fmin`/`fmax` (the reason icc misses the cutcp
+//!   reductions, §6.1), scalar reductions only, no indirect writes.
+//!
+//! These are *models* reconstructed from the failure modes the paper
+//! reports, not reimplementations of the actual products; see DESIGN.md.
+
+pub mod icc;
+pub mod polly;
+
+pub use icc::{icc_detect, IccReduction};
+pub use polly::{polly_detect, PollyReport, Scop};

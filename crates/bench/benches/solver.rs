@@ -1,0 +1,50 @@
+//! Solver ablation (paper §3.2 vs §3.3): the naive `values(F)^I`
+//! enumeration against the backtracking DETECT procedure with
+//! constraint-driven candidate generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gr_analysis::Analyses;
+use gr_core::atoms::{Atom, MatchCtx, OpClass};
+use gr_core::constraint::SpecBuilder;
+use gr_core::solver::{solve, solve_naive, SolveOptions};
+use gr_core::spec::scalar_reduction_spec;
+
+const SRC: &str = "float sum(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[i]; return s; }";
+
+/// Small 3-label spec for the naive comparison (the naive solver is
+/// exponential; the full reduction spec would never finish).
+fn small_spec() -> gr_core::constraint::Spec {
+    let mut b = SpecBuilder::new("load-of-gep");
+    let load = b.label("load");
+    let gep = b.label("gep");
+    let base = b.label("base");
+    b.atom(Atom::Opcode { l: load, class: OpClass::Load });
+    b.atom(Atom::OperandIs { inst: load, index: 0, value: gep });
+    b.atom(Atom::Opcode { l: gep, class: OpClass::Gep });
+    b.atom(Atom::OperandIs { inst: gep, index: 0, value: base });
+    b.finish()
+}
+
+fn bench_solver(c: &mut Criterion) {
+    let m = gr_frontend::compile(SRC).unwrap();
+    let func = &m.functions[0];
+    let analyses = Analyses::new(&m, func);
+    let ctx = MatchCtx::new(&m, func, &analyses);
+
+    let mut group = c.benchmark_group("solver");
+    let spec = small_spec();
+    group.bench_function("backtracking/3-label", |b| {
+        b.iter(|| solve(&spec, &ctx, SolveOptions::default()).0.len());
+    });
+    group.bench_function("naive/3-label", |b| {
+        b.iter(|| solve_naive(&spec, &ctx, SolveOptions::default()).0.len());
+    });
+    let (full, _) = scalar_reduction_spec();
+    group.bench_function("backtracking/scalar-reduction-15-label", |b| {
+        b.iter(|| solve(&full, &ctx, SolveOptions::default()).0.len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver);
+criterion_main!(benches);

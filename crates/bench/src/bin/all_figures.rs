@@ -1,0 +1,16 @@
+//! Runs every figure harness in sequence (EXPERIMENTS.md layout).
+
+fn main() {
+    let run = |name: &str| {
+        let status = std::process::Command::new(std::env::current_exe().unwrap().with_file_name(name))
+            .status();
+        if let Err(e) = status {
+            eprintln!("failed to run {name}: {e} (build with --release first)");
+        }
+    };
+    for bin in ["fig08_detection", "fig09_scops", "fig12_coverage", "fig15_speedup"] {
+        println!("=== {bin} ===");
+        run(bin);
+        println!();
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates Figures 8a–8c: reductions detected per program by the
+//! constraint system, the icc model and the Polly model, next to the
+//! paper-reported values.
+
+use gr_bench::{detection_table, mean_detect_ms};
+use gr_benchsuite::measure::measure_suite;
+use gr_benchsuite::{suite_programs, Suite};
+
+fn main() {
+    let mut all = Vec::new();
+    for suite in [Suite::Nas, Suite::Parboil, Suite::Rodinia] {
+        let rows = measure_suite(&suite_programs(suite));
+        print!("{}", detection_table(&format!("Figure 8 — {suite}"), &rows));
+        println!();
+        all.extend(rows);
+    }
+    let scalar: usize = all.iter().map(|r| r.scalar).sum();
+    let histo: usize = all.iter().map(|r| r.histogram).sum();
+    println!("TOTAL: {scalar} scalar + {histo} histogram reductions (paper: 84 + 6)");
+    println!(
+        "mean constraint-detection time: {:.2} ms/program (paper: 3770 ms on their LLVM pass)",
+        mean_detect_ms(&all)
+    );
+}

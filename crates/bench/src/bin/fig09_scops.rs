@@ -1,0 +1,36 @@
+//! Regenerates Figures 9–11: SCoPs found by the Polly model per program,
+//! split into reduction SCoPs and other SCoPs.
+
+use gr_baselines::polly_detect;
+use gr_benchsuite::{suite_programs, Suite};
+
+fn main() {
+    let mut total = 0usize;
+    let mut zero = 0usize;
+    let mut stencil_four = 0usize;
+    for suite in [Suite::Nas, Suite::Parboil, Suite::Rodinia] {
+        println!("## Figures 9-11 — SCoPs in {suite}");
+        println!("{:<16} | {:>9} | {:>11} || paper scops", "program", "red scops", "other scops");
+        println!("{}", "-".repeat(60));
+        for p in suite_programs(suite) {
+            let report = polly_detect(&p.compile());
+            let red = report.reduction_scop_count();
+            let other = report.scop_count() - red;
+            println!("{:<16} | {red:>9} | {other:>11} || {:>5}", p.name, p.paper.scops);
+            total += report.scop_count();
+            if report.scop_count() == 0 {
+                zero += 1;
+            }
+            if ["LU", "BT", "SP", "MG"].contains(&p.name) {
+                stencil_four += report.scop_count();
+            }
+        }
+        println!();
+    }
+    println!("TOTAL SCoPs: {total} (paper: 62)");
+    println!("programs with zero SCoPs: {zero}/40 (paper: 23/40)");
+    println!(
+        "LU+BT+SP+MG share: {stencil_four}/{total} = {:.1}% (paper: 59.6%)",
+        100.0 * stencil_four as f64 / total.max(1) as f64
+    );
+}

@@ -1,0 +1,36 @@
+//! Regenerates Figures 12–14: fraction of runtime (dynamic instructions)
+//! spent in scalar-reduction and histogram regions per program.
+
+use gr_benchsuite::measure::measure_coverage;
+use gr_benchsuite::{suite_programs, Suite};
+
+fn main() {
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let mut hist_cov = Vec::new();
+    for suite in [Suite::Nas, Suite::Parboil, Suite::Rodinia] {
+        println!("## Figures 12-14 — runtime coverage in {suite} (scale {scale})");
+        println!("{:<16} | {:>8} | {:>10}", "program", "scalar", "histogram");
+        println!("{}", "-".repeat(44));
+        for p in suite_programs(suite) {
+            let row = measure_coverage(&p, scale);
+            println!(
+                "{:<16} | {:>7.1}% | {:>9.1}%",
+                row.name,
+                100.0 * row.scalar_coverage,
+                100.0 * row.histogram_coverage
+            );
+            if row.histogram_coverage > 0.0 {
+                hist_cov.push(row.histogram_coverage);
+            }
+        }
+        println!();
+    }
+    let avg = hist_cov.iter().sum::<f64>() / hist_cov.len().max(1) as f64;
+    println!(
+        "average histogram coverage where present: {:.0}% (paper: 68%)",
+        100.0 * avg
+    );
+}

@@ -1,0 +1,84 @@
+//! # gr-bench — benchmark harnesses regenerating the paper's evaluation
+//!
+//! Binaries (run with `cargo run --release -p gr-bench --bin <name>`):
+//!
+//! | binary            | regenerates                                         |
+//! |-------------------|-----------------------------------------------------|
+//! | `fig08_detection` | Figures 8a–8c: reductions per program and detector  |
+//! | `fig09_scops`     | Figures 9–11: SCoP counts per suite                 |
+//! | `fig12_coverage`  | Figures 12–14: runtime coverage of reduction loops  |
+//! | `fig15_speedup`   | Figure 15: speedups on the histogram programs       |
+//! | `all_figures`     | everything above, in EXPERIMENTS.md layout          |
+//!
+//! Criterion benches (`cargo bench -p gr-bench`): detection throughput per
+//! suite (the paper's 3.77 s/benchmark compile-time cost), the
+//! backtracking-vs-naive solver ablation (§3.2/§3.3), interpreter
+//! throughput, and parallel reduction scaling.
+
+use gr_benchsuite::measure::DetectionRow;
+
+/// Renders detection rows as an aligned text table.
+#[must_use]
+pub fn detection_table(title: &str, rows: &[DetectionRow]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "## {title}");
+    let _ = writeln!(
+        out,
+        "{:<16} | {:>6} {:>6} | {:>5} | {:>9} | {:>7} || paper: ours(s+h) icc polly",
+        "program", "scalar", "histo", "icc", "polly-red", "scops"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(96));
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<16} | {:>6} {:>6} | {:>5} | {:>9} | {:>7} || {:>6} {:>4} {:>5}",
+            r.name,
+            r.scalar,
+            r.histogram,
+            r.icc,
+            r.polly_reductions,
+            r.scops,
+            r.paper.scalar + r.paper.histogram,
+            r.paper.icc,
+            r.paper.polly_reductions,
+        );
+    }
+    let scalar: usize = rows.iter().map(|r| r.scalar).sum();
+    let histo: usize = rows.iter().map(|r| r.histogram).sum();
+    let icc: usize = rows.iter().map(|r| r.icc).sum();
+    let pred: usize = rows.iter().map(|r| r.polly_reductions).sum();
+    let scops: usize = rows.iter().map(|r| r.scops).sum();
+    let _ = writeln!(out, "{}", "-".repeat(96));
+    let _ = writeln!(
+        out,
+        "{:<16} | {scalar:>6} {histo:>6} | {icc:>5} | {pred:>9} | {scops:>7}",
+        "total"
+    );
+    out
+}
+
+/// Mean detection time across rows, in milliseconds.
+#[must_use]
+pub fn mean_detect_ms(rows: &[DetectionRow]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().map(|r| r.detect_time.as_secs_f64() * 1e3).sum::<f64>() / rows.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gr_benchsuite::measure::measure_suite;
+    use gr_benchsuite::{suite_programs, Suite};
+
+    #[test]
+    fn table_renders_totals() {
+        let rows = measure_suite(&suite_programs(Suite::Parboil));
+        let t = detection_table("Parboil", &rows);
+        assert!(t.contains("total"));
+        assert!(t.contains("tpacf"));
+        assert!(mean_detect_ms(&rows) > 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! # gr-benchsuite — mini-C kernels of NAS, Parboil and Rodinia
+//!
+//! The paper evaluates on C versions of three suites (40 programs total).
+//! This crate carries structurally faithful mini-C miniatures of every
+//! program: the reduction patterns, loop nests, stencils, indirect accesses
+//! and control flow the paper discusses are present with the same shapes
+//! (EP is Figure 2 almost verbatim; IS is the `key_buff` histogram; tpacf
+//! computes its bin by binary search; SP contains the 4-deep `rms` nest the
+//! paper's system misses; cutcp reduces through `fmin`/`fmax` calls that
+//! block icc; …).
+//!
+//! Each [`program::ProgramDef`] bundles the source, a scalable workload and
+//! the paper-reported evaluation numbers so the figure harnesses in
+//! `gr-bench` can print measured-vs-paper tables.
+
+pub mod measure;
+pub mod parboil;
+pub mod program;
+pub mod rodinia;
+pub mod speedup;
+pub mod workload;
+
+pub use program::{Paper, ProgramDef, Suite};
+
+/// NAS Parallel Benchmarks programs.
+pub mod nas;
+
+/// All 40 programs, NAS then Parboil then Rodinia.
+#[must_use]
+pub fn all_programs() -> Vec<ProgramDef> {
+    let mut v = nas::programs();
+    v.extend(parboil::programs());
+    v.extend(rodinia::programs());
+    v
+}
+
+/// Programs of one suite.
+#[must_use]
+pub fn suite_programs(suite: Suite) -> Vec<ProgramDef> {
+    all_programs().into_iter().filter(|p| p.suite == suite).collect()
+}

@@ -1,0 +1,807 @@
+//! The NAS Parallel Benchmarks (SNU NPB C version, 10 programs).
+//!
+//! Each kernel is a structural miniature of the original program, keeping
+//! the properties the paper's evaluation depends on:
+//!
+//! * **EP** is Figure 2 of the paper almost verbatim (2 scalar reductions +
+//!   1 histogram; `sqrt`/`log` calls; data-dependent condition);
+//! * **IS** is the plain `key_buff[key_buff_ptr2[i]]++` histogram;
+//! * **SP** and **BT** contain the affine `rms` nest that Polly's
+//!   reduction extension catches while the paper's system (bin index = an
+//!   inner-loop iterator) and icc (reduction not innermost) miss it;
+//! * stencil sweeps in **LU**, **BT**, **SP**, **MG** provide the bulk of
+//!   Polly's SCoPs (59.6% of all SCoPs in the paper's Figure 9);
+//! * "not statically known iteration spaces" are modelled by loop bounds
+//!   loaded from a `meta` array — exactly the NAS style of keeping sizes in
+//!   runtime structures — which defeats the polyhedral model but not the
+//!   constraint-based detection.
+
+use crate::program::{Paper, ProgramDef, Suite};
+use crate::workload::dsl::{call, farr, iarr};
+use crate::workload::{Arg, Init, Workload};
+
+/// All ten NAS programs.
+#[must_use]
+pub fn programs() -> Vec<ProgramDef> {
+    vec![bt(), cg(), dc(), ep(), ft(), is(), lu(), mg(), sp(), ua()]
+}
+
+fn bt() -> ProgramDef {
+    ProgramDef {
+        name: "BT",
+        suite: Suite::Nas,
+        source: r#"
+// BT: block tridiagonal solver. Stencil sweeps (SCoPs) + error norms.
+void bt_xsolve(float* lhs, float* rhs, int nx) {
+    for (int i = 1; i < nx; i++)
+        rhs[i] = rhs[i] - lhs[i] * rhs[i - 1];
+}
+void bt_xbacksub(float* lhs, float* rhs, int nx) {
+    for (int i = 1; i < nx; i++)
+        rhs[nx - i] = rhs[nx - i] - lhs[nx - i] * rhs[nx - i + 1];
+}
+void bt_ysolve(float* lhs, float* rhs, int ny) {
+    for (int j = 1; j < ny; j++)
+        rhs[j] = rhs[j] - lhs[j] * rhs[j - 1];
+}
+void bt_zsolve(float* lhs, float* rhs, int nz) {
+    for (int k = 1; k < nz; k++)
+        rhs[k] = rhs[k] - lhs[k] * rhs[k - 1];
+}
+void bt_compute_rhs_x(float* u, float* rhs, int n) {
+    for (int i = 1; i < n; i++)
+        rhs[i] = u[i + 1] - 2.0 * u[i] + u[i - 1];
+}
+void bt_compute_rhs_y(float* u, float* rhs, int n) {
+    for (int j = 1; j < n; j++)
+        rhs[j] = u[j + 1] - 2.0 * u[j] + u[j - 1] + rhs[j];
+}
+void bt_compute_rhs_z(float* u, float* rhs, int n) {
+    for (int k = 1; k < n; k++)
+        rhs[k] = u[k + 1] - 2.0 * u[k] + u[k - 1] + rhs[k] * 0.5;
+}
+void bt_add(float* u, float* rhs, int n) {
+    for (int i = 1; i < n; i++)
+        u[i] = u[i] + rhs[i];
+}
+// The affine rms nest (paper section 6.1): Polly-Reduction catches this
+// one, the constraint system and icc do not (bin index is the inner
+// iterator; the reduction is not innermost for icc).
+void bt_rhs_norm(float* rhs, float* rms, int nx) {
+    for (int i = 0; i < nx; i++) {
+        for (int m = 0; m < 5; m++) {
+            float add = rhs[i * 5 + m];
+            rms[m] = rms[m] + add * add;
+        }
+    }
+}
+// Error norms over a flat parametric 5-wide layout: not a SCoP ("flat
+// array structures"), but clean scalar reductions for the constraint
+// system; icc takes the three fabs sums and rejects the fmax loop.
+void bt_error_norm(float* u, float* exact, float* out, int n, int stride) {
+    float e0 = 0.0;
+    float e1 = 0.0;
+    float e2 = 0.0;
+    for (int i = 0; i < n; i++) {
+        e0 = e0 + fabs(u[i * stride] - exact[i * stride]);
+        e1 = e1 + fabs(u[i * stride + 1] - exact[i * stride + 1]);
+        e2 = e2 + fabs(u[i * stride + 2] - exact[i * stride + 2]);
+    }
+    out[0] = e0;
+    out[1] = e1;
+    out[2] = e2;
+}
+void bt_max_residual(float* rhs, float* out, int n, int stride) {
+    float mx = 0.0;
+    for (int i = 0; i < n; i++)
+        mx = fmax(mx, fabs(rhs[i * stride]));
+    out[3] = mx;
+}
+"#,
+        paper: Paper { scalar: 4, histogram: 0, icc: 3, polly_reductions: 1, scops: 9 },
+        workload: |scale| {
+            let n = 4_000 * scale;
+            Workload {
+                arrays: vec![
+                    farr(5 * n + 8, Init::RandF(-1.0, 1.0)), // u / lhs
+                    farr(5 * n + 8, Init::RandF(-1.0, 1.0)), // rhs
+                    farr(8, Init::Zero),                     // rms / out
+                    farr(5 * n + 8, Init::RandF(-1.0, 1.0)), // exact
+                ],
+                calls: vec![
+                    call("bt_compute_rhs_x", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64 - 2)]),
+                    call("bt_compute_rhs_y", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64 - 2)]),
+                    call("bt_compute_rhs_z", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64 - 2)]),
+                    call("bt_xsolve", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64 - 2)]),
+                    call("bt_ysolve", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64 - 2)]),
+                    call("bt_zsolve", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64 - 2)]),
+                    call("bt_add", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64 - 2)]),
+                    call("bt_rhs_norm", vec![Arg::A(1), Arg::A(2), Arg::I(n as i64)]),
+                    call(
+                        "bt_error_norm",
+                        vec![Arg::A(0), Arg::A(3), Arg::A(2), Arg::I(n as i64), Arg::I(5)],
+                    ),
+                    call(
+                        "bt_max_residual",
+                        vec![Arg::A(1), Arg::A(2), Arg::I(n as i64), Arg::I(5)],
+                    ),
+                ],
+            }
+        },
+    }
+}
+
+fn cg() -> ProgramDef {
+    ProgramDef {
+        name: "CG",
+        suite: Suite::Nas,
+        source: r#"
+// CG: conjugate gradient with a CSR sparse matrix-vector product.
+// Iteration counts live in a runtime meta array (NAS style), which takes
+// the dot-product loops out of the polyhedral model's reach.
+float cg_rho(float* r, int* meta) {
+    int n = meta[0];
+    float rho = 0.0;
+    for (int i = 0; i < n; i++)
+        rho = rho + r[i] * r[i];
+    return rho;
+}
+float cg_dpq(float* p, float* q, int* meta) {
+    int n = meta[0];
+    float d = 0.0;
+    for (int i = 0; i < n; i++)
+        d = d + p[i] * q[i];
+    return d;
+}
+float cg_rnorm(float* x, float* z, int* meta) {
+    int n = meta[0];
+    float s = 0.0;
+    for (int i = 0; i < n; i++) {
+        float dv = x[i] - z[i];
+        s = s + dv * dv;
+    }
+    return sqrt(s);
+}
+float cg_norm_max(float* r, int* meta) {
+    int n = meta[0];
+    float mx = 0.0;
+    for (int i = 0; i < n; i++)
+        mx = fmax(mx, fabs(r[i]));
+    return mx;
+}
+// CSR sparse matvec: the inner dot product reads indirectly through col[].
+void cg_spmv(float* a, int* col, int* rowstr, float* p, float* q, int nrows) {
+    for (int i = 0; i < nrows; i++) {
+        int lo = rowstr[i];
+        int hi = rowstr[i + 1];
+        float sum = 0.0;
+        for (int j = lo; j < hi; j++)
+            sum = sum + a[j] * p[col[j]];
+        q[i] = sum;
+    }
+}
+// One dense, statically-shaped copy loop: CG's single SCoP.
+void cg_copy(float* x, float* z, int n) {
+    for (int i = 0; i < n; i++)
+        z[i] = x[i];
+}
+"#,
+        paper: Paper { scalar: 5, histogram: 0, icc: 4, polly_reductions: 0, scops: 1 },
+        workload: |scale| {
+            let n = 6_000 * scale;
+            let nnz_per_row = 8usize;
+            let nnz = n * nnz_per_row;
+            let mut calls = vec![
+                call("cg_spmv", vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::A(3), Arg::A(4), Arg::I(n as i64)]),
+                call("cg_rho", vec![Arg::A(3), Arg::A(5)]),
+                call("cg_dpq", vec![Arg::A(3), Arg::A(4), Arg::A(5)]),
+                call("cg_rnorm", vec![Arg::A(3), Arg::A(4), Arg::A(5)]),
+                call("cg_norm_max", vec![Arg::A(3), Arg::A(5)]),
+            ];
+            calls.push(call("cg_copy", vec![Arg::A(3), Arg::A(4), Arg::I(n as i64)]));
+            Workload {
+                arrays: vec![
+                    farr(nnz, Init::RandF(-1.0, 1.0)),           // a
+                    iarr(nnz, Init::RandI(0, n as i64)),         // col
+                    iarr(n + 1, Init::ModI(0)),                  // rowstr (fixed below)
+                    farr(n, Init::RandF(-1.0, 1.0)),             // p / r / x
+                    farr(n, Init::Zero),                         // q / z
+                    iarr(4, Init::ConstI(n as i64 / 3)),         // meta
+                ],
+                calls,
+            }
+        },
+    }
+}
+
+fn dc() -> ProgramDef {
+    ProgramDef {
+        name: "DC",
+        suite: Suite::Nas,
+        source: r#"
+// DC: data cube operator. View-count histogram over tuple keys plus
+// checksums computed through (pure) hash helpers.
+float dc_mix(float x) {
+    return x * 0.6180339887 + 0.381966;
+}
+float dc_weight(float x, float y) {
+    return dc_mix(x) * 0.5 + dc_mix(y) * 0.25;
+}
+void dc_view_count(int* viewcount, int* keys, int n) {
+    for (int i = 0; i < n; i++)
+        viewcount[keys[i]]++;
+}
+float dc_checksum(float* measures, int* meta) {
+    int n = meta[0];
+    float chk = 0.0;
+    for (int i = 0; i < n; i++)
+        chk = chk + dc_mix(measures[i]);
+    return chk;
+}
+float dc_weighted_total(float* measures, int* meta) {
+    int n = meta[0];
+    float tot = 0.0;
+    for (int i = 0; i < n; i++)
+        tot = tot + dc_weight(measures[2 * i], measures[2 * i + 1]);
+    return tot;
+}
+"#,
+        paper: Paper { scalar: 2, histogram: 1, icc: 0, polly_reductions: 0, scops: 0 },
+        workload: |scale| {
+            let n = 30_000 * scale;
+            Workload {
+                arrays: vec![
+                    iarr(64, Init::Zero),                  // viewcount
+                    iarr(2 * n, Init::RandI(0, 64)),       // keys
+                    farr(2 * n, Init::RandF(0.0, 1.0)),    // measures
+                    iarr(4, Init::ConstI(n as i64 / 3)),   // meta
+                ],
+                calls: vec![
+                    call("dc_view_count", vec![Arg::A(0), Arg::A(1), Arg::I(2 * n as i64)]),
+                    call("dc_checksum", vec![Arg::A(2), Arg::A(3)]),
+                    call("dc_weighted_total", vec![Arg::A(2), Arg::A(3)]),
+                ],
+            }
+        },
+    }
+}
+
+fn ep() -> ProgramDef {
+    ProgramDef {
+        name: "EP",
+        suite: Suite::Nas,
+        source: r#"
+// EP: embarrassingly parallel. Phase 1 generates pseudo-random deviates
+// with a sequential LCG (a genuine recurrence, not a reduction); phase 2
+// is Figure 2 of the paper: Gaussian pair acceptance with two scalar
+// reductions and the q[] histogram.
+void ep_fill(float* x, int n) {
+    int s = 271828183;
+    for (int i = 0; i < n; i++) {
+        s = (s * 1103515245 + 12345) % 2147483647;
+        if (s < 0) s = -s;
+        x[i] = s * 4.656612875e-10;
+    }
+}
+void ep_kernel(float* x, float* q, float* sums, int nk) {
+    float sx = 0.0;
+    float sy = 0.0;
+    for (int i = 0; i < nk; i++) {
+        float x1 = 2.0 * x[2 * i] - 1.0;
+        float x2 = 2.0 * x[2 * i + 1] - 1.0;
+        float t1 = x1 * x1 + x2 * x2;
+        if (t1 <= 1.0) {
+            float t2 = sqrt(-2.0 * log(t1) / t1);
+            float t3 = x1 * t2;
+            float t4 = x2 * t2;
+            int l = fmax(fabs(t3), fabs(t4));
+            q[l] = q[l] + 1.0;
+            sx = sx + t3;
+            sy = sy + t4;
+        }
+    }
+    sums[0] = sx;
+    sums[1] = sy;
+}
+"#,
+        paper: Paper { scalar: 2, histogram: 1, icc: 0, polly_reductions: 0, scops: 0 },
+        workload: |scale| {
+            let nk = 20_000 * scale;
+            Workload {
+                arrays: vec![
+                    farr(2 * nk, Init::Zero), // x
+                    farr(10, Init::Zero),     // q
+                    farr(2, Init::Zero),      // sums
+                ],
+                calls: vec![
+                    call("ep_fill", vec![Arg::A(0), Arg::I(2 * nk as i64)]),
+                    call("ep_kernel", vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::I(nk as i64)]),
+                ],
+            }
+        },
+    }
+}
+
+fn ft() -> ProgramDef {
+    ProgramDef {
+        name: "FT",
+        suite: Suite::Nas,
+        source: r#"
+// FT: 3-D FFT kernel fragments. evolve() loops are clean SCoPs; the
+// checksum walks a modulo-scrambled index (non-affine) and the square-sum
+// loop reads its bound from the runtime meta array.
+void ft_evolve_r(float* u0, float* twiddle, float* u1, int n) {
+    for (int i = 0; i < n; i++)
+        u1[i] = u0[i] * twiddle[i];
+}
+void ft_evolve_i(float* u0, float* twiddle, float* u1, int n) {
+    for (int i = 0; i < n; i++)
+        u1[i] = u0[i] * twiddle[i] * 0.5;
+}
+void ft_checksum(float* ur, float* ui, float* out, int n, int ntotal) {
+    float cr = 0.0;
+    float ci = 0.0;
+    for (int j = 1; j <= n; j++) {
+        int q = (j * j) % ntotal;
+        cr = cr + ur[q];
+        ci = ci + ui[q];
+    }
+    out[0] = cr;
+    out[1] = ci;
+}
+float ft_sumsq(float* ur, float* ui, int* meta) {
+    int n = meta[0];
+    float s = 0.0;
+    for (int i = 0; i < n; i++)
+        s = s + ur[i] * ur[i] + ui[i] * ui[i];
+    return s;
+}
+"#,
+        paper: Paper { scalar: 3, histogram: 0, icc: 3, polly_reductions: 0, scops: 2 },
+        workload: |scale| {
+            let n = 16_000 * scale;
+            Workload {
+                arrays: vec![
+                    farr(n, Init::RandF(-1.0, 1.0)), // ur / u0
+                    farr(n, Init::RandF(-1.0, 1.0)), // ui / twiddle
+                    farr(n, Init::Zero),             // u1
+                    farr(4, Init::Zero),             // out
+                    iarr(4, Init::ConstI(n as i64 / 2)), // meta
+                ],
+                calls: vec![
+                    call("ft_evolve_r", vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::I(n as i64)]),
+                    call("ft_evolve_i", vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::I(n as i64)]),
+                    call(
+                        "ft_checksum",
+                        vec![Arg::A(0), Arg::A(1), Arg::A(3), Arg::I(1024), Arg::I(n as i64)],
+                    ),
+                    call("ft_sumsq", vec![Arg::A(0), Arg::A(1), Arg::A(4)]),
+                ],
+            }
+        },
+    }
+}
+
+fn is() -> ProgramDef {
+    ProgramDef {
+        name: "IS",
+        suite: Suite::Nas,
+        source: r#"
+// IS: integer sort. The performance bottleneck is the plain key histogram
+// the paper quotes: key_buff_ptr[key_buff_ptr2[i]]++.
+void is_create_seq(int* keys, int n, int maxkey) {
+    int s = 314159265;
+    for (int i = 0; i < n; i++) {
+        s = (s * 1103515245 + 12345) % 2147483647;
+        if (s < 0) s = -s;
+        keys[i] = s % maxkey;
+    }
+}
+void is_rank(int* key_buff, int* keys, int n) {
+    for (int i = 0; i < n; i++)
+        key_buff[keys[i]]++;
+}
+"#,
+        paper: Paper { scalar: 0, histogram: 1, icc: 0, polly_reductions: 0, scops: 0 },
+        workload: |scale| {
+            let n = 60_000 * scale;
+            let maxkey = 2048;
+            Workload {
+                arrays: vec![
+                    iarr(n, Init::Zero),      // keys
+                    iarr(maxkey, Init::Zero), // key_buff
+                ],
+                calls: vec![
+                    call("is_create_seq", vec![Arg::A(0), Arg::I(n as i64), Arg::I(maxkey as i64)]),
+                    call("is_rank", vec![Arg::A(1), Arg::A(0), Arg::I(n as i64)]),
+                ],
+            }
+        },
+    }
+}
+
+fn lu() -> ProgramDef {
+    ProgramDef {
+        name: "LU",
+        suite: Suite::Nas,
+        source: r#"
+// LU: SSOR solver. Twelve statically-shaped sweeps (the SCoP mass the
+// paper reports for LU/BT/SP/MG) plus the l2norm reductions whose bound
+// comes from the runtime meta array.
+void lu_jacld(float* a, float* b, int n) {
+    for (int i = 1; i < n; i++)
+        b[i] = a[i] * 0.25 + a[i - 1] * 0.125;
+}
+void lu_blts(float* v, float* tv, int n) {
+    for (int i = 1; i < n; i++)
+        tv[i] = v[i] - tv[i - 1] * 0.5;
+}
+void lu_jacu(float* a, float* b, int n) {
+    for (int i = 1; i < n; i++)
+        b[n - i] = a[n - i] * 0.25 + a[n - i + 1] * 0.125;
+}
+void lu_buts(float* v, float* tv, int n) {
+    for (int i = 1; i < n; i++)
+        tv[n - i] = v[n - i] - tv[n - i + 1] * 0.5;
+}
+void lu_rhs_x(float* u, float* rhs, int n) {
+    for (int i = 1; i < n; i++)
+        rhs[i] = u[i + 1] - 2.0 * u[i] + u[i - 1];
+}
+void lu_rhs_y(float* u, float* rhs, int n) {
+    for (int j = 1; j < n; j++)
+        rhs[j] = rhs[j] + u[j + 1] - 2.0 * u[j] + u[j - 1];
+}
+void lu_rhs_z(float* u, float* rhs, int n) {
+    for (int k = 1; k < n; k++)
+        rhs[k] = rhs[k] * 0.5 + u[k + 1] - u[k - 1];
+}
+void lu_ssor1(float* u, float* rhs, int n) {
+    for (int i = 0; i < n; i++)
+        rhs[i] = rhs[i] * 1.2;
+}
+void lu_ssor2(float* u, float* rhs, int n) {
+    for (int i = 0; i < n; i++)
+        u[i] = u[i] + rhs[i] * 1.2;
+}
+void lu_setbv(float* u, int n) {
+    for (int i = 0; i < n; i++)
+        u[i] = 1.0;
+}
+void lu_setiv(float* u, int n) {
+    for (int i = 1; i < n; i++)
+        u[i] = u[i] * 0.9 + 0.05;
+}
+void lu_erhs(float* frct, float* rsd, int n) {
+    for (int i = 1; i < n; i++)
+        frct[i] = rsd[i + 1] - rsd[i - 1];
+}
+void lu_l2norm(float* v, float* out, int* meta) {
+    int n = meta[0];
+    float s0 = 0.0;
+    float s1 = 0.0;
+    float s2 = 0.0;
+    float s3 = 0.0;
+    for (int i = 0; i < n; i++) {
+        s0 = s0 + v[4 * i] * v[4 * i];
+        s1 = s1 + v[4 * i + 1] * v[4 * i + 1];
+        s2 = s2 + v[4 * i + 2] * v[4 * i + 2];
+        s3 = s3 + v[4 * i + 3] * v[4 * i + 3];
+    }
+    out[0] = sqrt(s0);
+    out[1] = sqrt(s1);
+    out[2] = sqrt(s2);
+    out[3] = sqrt(s3);
+}
+"#,
+        paper: Paper { scalar: 4, histogram: 0, icc: 4, polly_reductions: 0, scops: 12 },
+        workload: |scale| {
+            let n = 8_000 * scale;
+            Workload {
+                arrays: vec![
+                    farr(4 * n + 8, Init::RandF(-1.0, 1.0)), // u / a / v
+                    farr(4 * n + 8, Init::RandF(-1.0, 1.0)), // rhs / b / tv
+                    farr(8, Init::Zero),                     // out
+                    iarr(4, Init::ConstI(n as i64)),         // meta
+                ],
+                calls: vec![
+                    call("lu_setbv", vec![Arg::A(0), Arg::I(n as i64)]),
+                    call("lu_setiv", vec![Arg::A(0), Arg::I(n as i64 - 2)]),
+                    call("lu_erhs", vec![Arg::A(1), Arg::A(0), Arg::I(n as i64 - 2)]),
+                    call("lu_jacld", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64 - 2)]),
+                    call("lu_blts", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64 - 2)]),
+                    call("lu_jacu", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64 - 2)]),
+                    call("lu_buts", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64 - 2)]),
+                    call("lu_rhs_x", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64 - 2)]),
+                    call("lu_rhs_y", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64 - 2)]),
+                    call("lu_rhs_z", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64 - 2)]),
+                    call("lu_ssor1", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64)]),
+                    call("lu_ssor2", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64)]),
+                    call("lu_l2norm", vec![Arg::A(1), Arg::A(2), Arg::A(3)]),
+                ],
+            }
+        },
+    }
+}
+
+fn mg() -> ProgramDef {
+    ProgramDef {
+        name: "MG",
+        suite: Suite::Nas,
+        source: r#"
+// MG: multigrid. Seven statically-shaped smoother/restriction sweeps and
+// the norm2u3 reductions (sum of squares, max via conditional, sum of
+// absolute values).
+void mg_psinv(float* r, float* u, int n) {
+    for (int i = 1; i < n; i++)
+        u[i] = u[i] + 0.5 * r[i] + 0.25 * (r[i - 1] + r[i + 1]);
+}
+void mg_resid(float* u, float* v, float* r, int n) {
+    for (int i = 1; i < n; i++)
+        r[i] = v[i] - 2.0 * u[i] + u[i - 1] + u[i + 1];
+}
+void mg_rprj3(float* r, float* s, int n) {
+    for (int j = 1; j < n; j++)
+        s[j] = 0.5 * r[2 * j] + 0.25 * (r[2 * j - 1] + r[2 * j + 1]);
+}
+void mg_interp(float* z, float* u, int n) {
+    for (int i = 0; i < n; i++)
+        u[2 * i] = u[2 * i] + z[i];
+}
+void mg_interp2(float* z, float* u, int n) {
+    for (int i = 0; i < n; i++)
+        u[2 * i + 1] = u[2 * i + 1] + 0.5 * (z[i] + z[i + 1]);
+}
+void mg_comm3(float* u, int n) {
+    for (int i = 0; i < n; i++)
+        u[i] = u[i];
+}
+void mg_zero3(float* z, int n) {
+    for (int i = 0; i < n; i++)
+        z[i] = 0.0;
+}
+void mg_norm2u3(float* r, float* out, int* meta) {
+    int n = meta[0];
+    float s = 0.0;
+    float rnmu = 0.0;
+    float sabs = 0.0;
+    for (int i = 0; i < n; i++) {
+        s = s + r[i] * r[i];
+        float a = fabs(r[i]);
+        if (a > rnmu) rnmu = a;
+        sabs = sabs + a;
+    }
+    out[0] = sqrt(s);
+    out[1] = rnmu;
+    out[2] = sabs;
+}
+"#,
+        paper: Paper { scalar: 3, histogram: 0, icc: 3, polly_reductions: 0, scops: 7 },
+        workload: |scale| {
+            let n = 10_000 * scale;
+            Workload {
+                arrays: vec![
+                    farr(2 * n + 8, Init::RandF(-1.0, 1.0)), // u / r
+                    farr(2 * n + 8, Init::RandF(-1.0, 1.0)), // v / z / s
+                    farr(4, Init::Zero),                     // out
+                    iarr(4, Init::ConstI(n as i64)),         // meta
+                ],
+                calls: vec![
+                    call("mg_zero3", vec![Arg::A(1), Arg::I(n as i64)]),
+                    call("mg_resid", vec![Arg::A(0), Arg::A(1), Arg::A(0), Arg::I(n as i64 - 2)]),
+                    call("mg_psinv", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64 - 2)]),
+                    call("mg_rprj3", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64 / 2 - 2)]),
+                    call("mg_interp", vec![Arg::A(1), Arg::A(0), Arg::I(n as i64 / 2 - 2)]),
+                    call("mg_interp2", vec![Arg::A(1), Arg::A(0), Arg::I(n as i64 / 2 - 2)]),
+                    call("mg_comm3", vec![Arg::A(0), Arg::I(n as i64)]),
+                    call("mg_norm2u3", vec![Arg::A(0), Arg::A(2), Arg::A(3)]),
+                ],
+            }
+        },
+    }
+}
+
+fn sp() -> ProgramDef {
+    ProgramDef {
+        name: "SP",
+        suite: Suite::Nas,
+        source: r#"
+// SP: scalar pentadiagonal solver. Eight statically-shaped sweeps, the
+// 4-deep rms nest quoted verbatim in the paper (caught only by Polly),
+// and one fmax-based residual reduction (missed by icc).
+void sp_ninvr(float* rhs, int n) {
+    for (int i = 1; i < n; i++)
+        rhs[i] = rhs[i] - 0.5 * rhs[i - 1];
+}
+void sp_pinvr(float* rhs, int n) {
+    for (int i = 1; i < n; i++)
+        rhs[n - i] = rhs[n - i] - 0.5 * rhs[n - i + 1];
+}
+void sp_txinvr(float* u, float* rhs, int n) {
+    for (int i = 0; i < n; i++)
+        rhs[i] = rhs[i] * u[i];
+}
+void sp_tzetar(float* u, float* rhs, int n) {
+    for (int k = 1; k < n; k++)
+        rhs[k] = rhs[k] + 0.25 * (u[k - 1] + u[k + 1]);
+}
+void sp_x_solve(float* lhs, float* rhs, int n) {
+    for (int i = 1; i < n; i++)
+        rhs[i] = rhs[i] - lhs[i] * rhs[i - 1];
+}
+void sp_y_solve(float* lhs, float* rhs, int n) {
+    for (int j = 1; j < n; j++)
+        rhs[j] = rhs[j] - lhs[j] * rhs[j - 1];
+}
+void sp_z_solve(float* lhs, float* rhs, int n) {
+    for (int k = 1; k < n; k++)
+        rhs[k] = rhs[k] - lhs[k] * rhs[k - 1];
+}
+void sp_add(float* u, float* rhs, int n) {
+    for (int i = 0; i < n; i++)
+        u[i] = u[i] + rhs[i];
+}
+// The paper's section 6.1 example, almost verbatim: the reduction loop is
+// not the innermost one.
+void sp_rhs_norm(float* rhs, float* rms, int nz, int ny, int nx) {
+    for (int k = 1; k <= nz; k++) {
+        for (int j = 1; j <= ny; j++) {
+            for (int i = 1; i <= nx; i++) {
+                for (int m = 0; m < 5; m++) {
+                    float add = rhs[((k * 8 + j) * 8 + i) * 5 + m];
+                    rms[m] = rms[m] + add * add;
+                }
+            }
+        }
+    }
+}
+float sp_max_err(float* u, float* exact, int* meta) {
+    int n = meta[0];
+    float mx = 0.0;
+    for (int i = 0; i < n; i++)
+        mx = fmax(mx, fabs(u[i] - exact[i]));
+    return mx;
+}
+"#,
+        paper: Paper { scalar: 1, histogram: 0, icc: 0, polly_reductions: 1, scops: 9 },
+        workload: |scale| {
+            let n = 6_000 * scale;
+            Workload {
+                arrays: vec![
+                    farr(n.max(8 * 8 * 8 * 5 + 8) + 8, Init::RandF(-1.0, 1.0)), // u / lhs
+                    farr(n.max(8 * 8 * 8 * 5 + 8) + 8, Init::RandF(-1.0, 1.0)), // rhs
+                    farr(8, Init::Zero),                                        // rms
+                    farr(n + 8, Init::RandF(-1.0, 1.0)),                        // exact
+                    iarr(4, Init::ConstI(n as i64)),                            // meta
+                ],
+                calls: vec![
+                    call("sp_txinvr", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64)]),
+                    call("sp_ninvr", vec![Arg::A(1), Arg::I(n as i64 - 2)]),
+                    call("sp_pinvr", vec![Arg::A(1), Arg::I(n as i64 - 2)]),
+                    call("sp_tzetar", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64 - 2)]),
+                    call("sp_x_solve", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64 - 2)]),
+                    call("sp_y_solve", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64 - 2)]),
+                    call("sp_z_solve", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64 - 2)]),
+                    call("sp_add", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64)]),
+                    call("sp_rhs_norm", vec![Arg::A(1), Arg::A(2), Arg::I(6), Arg::I(6), Arg::I(6)]),
+                    call("sp_max_err", vec![Arg::A(0), Arg::A(3), Arg::A(4)]),
+                ],
+            }
+        },
+    }
+}
+
+fn ua() -> ProgramDef {
+    ProgramDef {
+        name: "UA",
+        suite: Suite::Nas,
+        source: r#"
+// UA: unstructured adaptive mesh. The most reduction-dense NAS program
+// (11 in the paper's Figure 8a). Element data is addressed with runtime
+// strides (no SCoPs anywhere); three reductions go through fmin/fmax or a
+// pure helper, which icc refuses.
+float ua_shape(float x) {
+    return x * (1.0 - x) * 4.0;
+}
+// Mesh coordinate transform: the dominant non-reduction phase.
+void ua_transform(float* e, float* coords, int* meta, int mult) {
+    int n = meta[0] * mult;
+    for (int i = 0; i < n; i++)
+        coords[i] = e[i] * 1.5 + coords[i] * 0.5 - 0.125;
+}
+void ua_diffusion_sums(float* e, float* out, int* meta, int stride) {
+    int n = meta[0];
+    float s0 = 0.0;
+    float s1 = 0.0;
+    float s2 = 0.0;
+    for (int i = 0; i < n; i++) {
+        s0 = s0 + e[i * stride];
+        s1 = s1 + e[i * stride + 1] * e[i * stride + 1];
+        s2 = s2 + e[i * stride] * e[i * stride + 2];
+    }
+    out[0] = s0;
+    out[1] = s1;
+    out[2] = s2;
+}
+void ua_adapt_sums(float* mortar, float* out, int* meta, int stride) {
+    int n = meta[0];
+    float a0 = 0.0;
+    float a1 = 0.0;
+    float a2 = 0.0;
+    for (int i = 0; i < n; i++) {
+        float m = mortar[i * stride];
+        if (m > 0.0) a0 = a0 + m;
+        a1 = a1 + m * m;
+        a2 = a2 + m * mortar[i * stride + 1];
+    }
+    out[3] = a0;
+    out[4] = a1;
+    out[5] = a2;
+}
+void ua_transfer_sums(float* tm, float* out, int* meta, int stride) {
+    int n = meta[0];
+    float t0 = 0.0;
+    float t1 = 0.0;
+    for (int i = 0; i < n; i++) {
+        t0 = t0 + tm[i * stride] * 0.5;
+        t1 = t1 + tm[i * stride + 3];
+    }
+    out[6] = t0;
+    out[7] = t1;
+}
+void ua_utility(float* e, float* out, int* meta, int stride) {
+    int n = meta[0];
+    float mn = 1.0e30;
+    float mx = -1.0e30;
+    float sh = 0.0;
+    for (int i = 0; i < n; i++) {
+        mn = fmin(mn, e[i * stride]);
+        mx = fmax(mx, e[i * stride]);
+        sh = sh + ua_shape(e[i * stride + 1]);
+    }
+    out[8] = mn;
+    out[9] = mx;
+    out[10] = sh;
+}
+"#,
+        paper: Paper { scalar: 11, histogram: 0, icc: 8, polly_reductions: 0, scops: 0 },
+        workload: |scale| {
+            let n = 7_000 * scale;
+            let stride = 4;
+            Workload {
+                arrays: vec![
+                    farr(stride * n + 8, Init::RandF(0.0, 1.0)), // e / mortar / tm
+                    farr(16, Init::Zero),                        // out
+                    iarr(4, Init::ConstI(n as i64 / 3)),         // meta
+                    farr(stride * n + 8, Init::Zero),            // coords
+                ],
+                calls: vec![
+                    call(
+                        "ua_transform",
+                        vec![Arg::A(0), Arg::A(3), Arg::A(2), Arg::I(3 * stride as i64)],
+                    ),
+                    call(
+                        "ua_transform",
+                        vec![Arg::A(0), Arg::A(3), Arg::A(2), Arg::I(3 * stride as i64)],
+                    ),
+                    call(
+                        "ua_diffusion_sums",
+                        vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::I(stride as i64)],
+                    ),
+                    call(
+                        "ua_adapt_sums",
+                        vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::I(stride as i64)],
+                    ),
+                    call(
+                        "ua_transfer_sums",
+                        vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::I(stride as i64)],
+                    ),
+                    call(
+                        "ua_utility",
+                        vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::I(stride as i64)],
+                    ),
+                ],
+            }
+        },
+    }
+}

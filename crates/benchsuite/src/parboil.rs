@@ -1,0 +1,495 @@
+//! The Parboil benchmarks (11 programs).
+//!
+//! Key paper behaviours kept: **cutcp**'s seven reductions go through
+//! `fmin`/`fmax` calls except one ("these function calls prevent icc from
+//! successful parallelization"); **histo** saturates its bins; **tpacf**
+//! computes the bin index by binary search in an input table ("the most
+//! interesting example"); **sgemm** is the one Parboil reduction Polly
+//! catches; **spmv** walks sentinel-terminated CSR rows (unknown iteration
+//! spaces).
+
+use crate::program::{Paper, ProgramDef, Suite};
+use crate::workload::dsl::{call, farr, iarr};
+use crate::workload::{Arg, Init, Workload};
+
+/// All eleven Parboil programs.
+#[must_use]
+pub fn programs() -> Vec<ProgramDef> {
+    vec![
+        bfs(),
+        cutcp(),
+        histo(),
+        lbm(),
+        mri_gridding(),
+        mri_q(),
+        sad(),
+        sgemm(),
+        spmv(),
+        stencil(),
+        tpacf(),
+    ]
+}
+
+fn bfs() -> ProgramDef {
+    ProgramDef {
+        name: "bfs",
+        suite: Suite::Parboil,
+        source: r#"
+// bfs: frontier queue traversal; no counted loops, no reductions.
+void bfs_run(int* edges, int* offsets, int* cost, int* queue, int nnodes, int src) {
+    int head = 0;
+    int tail = 1;
+    queue[0] = src;
+    cost[src] = 0;
+    while (head < tail) {
+        int u = queue[head];
+        head++;
+        int e = offsets[u];
+        int stop = offsets[u + 1];
+        while (e < stop) {
+            int v = edges[e];
+            if (cost[v] < 0) {
+                cost[v] = cost[u] + 1;
+                if (tail < nnodes) {
+                    queue[tail] = v;
+                    tail++;
+                }
+            }
+            e++;
+        }
+    }
+}
+"#,
+        paper: Paper { scalar: 0, histogram: 0, icc: 0, polly_reductions: 0, scops: 0 },
+        workload: |scale| {
+            let n = 4_000 * scale;
+            let deg = 4usize;
+            Workload {
+                arrays: vec![
+                    iarr(n * deg, Init::RandI(0, n as i64)), // edges
+                    iarr(n + 1, Init::RampI(deg as i64)),    // offsets
+                    iarr(n, Init::ConstI(-1)),               // cost
+                    iarr(n + 1, Init::Zero),                 // queue
+                ],
+                calls: vec![call(
+                    "bfs_run",
+                    vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::A(3), Arg::I(n as i64), Arg::I(0)],
+                )],
+            }
+        },
+    }
+}
+
+fn cutcp() -> ProgramDef {
+    ProgramDef {
+        name: "cutcp",
+        suite: Suite::Parboil,
+        source: r#"
+// cutcp: cutoff pair potentials. Seven reductions over the atom list; six
+// use fmin/fmax (icc refuses those calls), one is a plain energy sum. The
+// lattice construction dominates the runtime (store-only, no reduction).
+void cutcp_lattice(float* lattice, float* atoms, int* meta, int mult) {
+    int n = meta[0] * mult;
+    for (int i = 0; i < n; i++)
+        lattice[i] = atoms[i] * 0.5 + lattice[i] * 0.25 + 1.0;
+}
+void cutcp_bounds(float* atoms, float* out, int natoms) {
+    float minx = 1.0e30;
+    float maxx = -1.0e30;
+    float miny = 1.0e30;
+    for (int i = 0; i < natoms; i++) {
+        minx = fmin(minx, atoms[4 * i]);
+        maxx = fmax(maxx, atoms[4 * i]);
+        miny = fmin(miny, atoms[4 * i + 1]);
+    }
+    out[0] = minx;
+    out[1] = maxx;
+    out[2] = miny;
+}
+void cutcp_extent(float* atoms, float* out, int natoms) {
+    float maxy = -1.0e30;
+    float minz = 1.0e30;
+    float maxz = -1.0e30;
+    for (int i = 0; i < natoms; i++) {
+        maxy = fmax(maxy, atoms[4 * i + 1]);
+        minz = fmin(minz, atoms[4 * i + 2]);
+        maxz = fmax(maxz, atoms[4 * i + 2]);
+    }
+    out[3] = maxy;
+    out[4] = minz;
+    out[5] = maxz;
+}
+float cutcp_energy(float* atoms, int* meta) {
+    int natoms = meta[0];
+    float e = 0.0;
+    for (int i = 0; i < natoms; i++) {
+        float q = atoms[4 * i + 3];
+        e = e + q * q;
+    }
+    return e;
+}
+"#,
+        paper: Paper { scalar: 7, histogram: 0, icc: 1, polly_reductions: 0, scops: 0 },
+        workload: |scale| {
+            let n = 20_000 * scale;
+            Workload {
+                arrays: vec![
+                    farr(4 * n, Init::RandF(-8.0, 8.0)),     // atoms
+                    farr(8, Init::Zero),                     // out
+                    iarr(4, Init::ConstI(n as i64 / 4)),     // meta
+                    farr(4 * n, Init::Zero),                 // lattice
+                ],
+                calls: vec![
+                    call("cutcp_lattice", vec![Arg::A(3), Arg::A(0), Arg::A(2), Arg::I(16)]),
+                    call("cutcp_lattice", vec![Arg::A(3), Arg::A(0), Arg::A(2), Arg::I(16)]),
+                    call("cutcp_bounds", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64 / 4)]),
+                    call("cutcp_extent", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64 / 4)]),
+                    call("cutcp_energy", vec![Arg::A(0), Arg::A(2)]),
+                ],
+            }
+        },
+    }
+}
+
+fn histo() -> ProgramDef {
+    ProgramDef {
+        name: "histo",
+        suite: Suite::Parboil,
+        source: r#"
+// histo: saturating image histogram (bins clamp at 255).
+void histo_kernel(int* histo, int* img, int n) {
+    for (int i = 0; i < n; i++) {
+        int v = img[i];
+        int old = histo[v];
+        if (old < 255) histo[v] = old + 1;
+    }
+}
+"#,
+        paper: Paper { scalar: 0, histogram: 1, icc: 0, polly_reductions: 0, scops: 0 },
+        workload: |scale| {
+            let n = 80_000 * scale;
+            Workload {
+                arrays: vec![
+                    iarr(1024, Init::Zero),            // histo
+                    iarr(n, Init::RandI(0, 1024)),     // img
+                ],
+                calls: vec![call("histo_kernel", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64)])],
+            }
+        },
+    }
+}
+
+fn lbm() -> ProgramDef {
+    ProgramDef {
+        name: "lbm",
+        suite: Suite::Parboil,
+        source: r#"
+// lbm: lattice-Boltzmann streaming step; one statically-shaped sweep.
+void lbm_stream(float* src, float* dst, int n) {
+    for (int i = 1; i < n; i++)
+        dst[i] = src[i] * 0.9 + src[i - 1] * 0.1;
+}
+// Collision with data-dependent clamping (not a SCoP).
+void lbm_collide(float* cell, int n) {
+    for (int i = 0; i < n; i++) {
+        float rho = cell[i];
+        if (rho > 1.0) rho = 1.0;
+        cell[i] = rho * 0.95;
+    }
+}
+"#,
+        paper: Paper { scalar: 0, histogram: 0, icc: 0, polly_reductions: 0, scops: 1 },
+        workload: |scale| {
+            let n = 40_000 * scale;
+            Workload {
+                arrays: vec![
+                    farr(n + 2, Init::RandF(0.0, 2.0)), // src / cell
+                    farr(n + 2, Init::Zero),            // dst
+                ],
+                calls: vec![
+                    call("lbm_stream", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64)]),
+                    call("lbm_collide", vec![Arg::A(0), Arg::I(n as i64)]),
+                ],
+            }
+        },
+    }
+}
+
+fn mri_gridding() -> ProgramDef {
+    ProgramDef {
+        name: "mri-gridding",
+        suite: Suite::Parboil,
+        source: r#"
+// mri-gridding: scatter samples onto a grid; the support walk is a
+// data-dependent while loop, so no iteration space is known in advance.
+void gridding(float* grid, float* samples, int* bins, int nsamples) {
+    for (int s = 0; s < nsamples; s++) {
+        int cell = bins[s];
+        int j = cell;
+        while (samples[j] > 0.5) {
+            grid[j] = grid[j] + samples[j] * 0.25;
+            j = j + 1;
+        }
+    }
+}
+"#,
+        paper: Paper { scalar: 0, histogram: 0, icc: 0, polly_reductions: 0, scops: 0 },
+        workload: |scale| {
+            let n = 8_000 * scale;
+            let g = 4_096;
+            Workload {
+                arrays: vec![
+                    farr(g + 8, Init::Zero),                 // grid
+                    farr(g + 8, Init::RandF(0.0, 1.0)),      // samples
+                    iarr(n, Init::RandI(0, (g - 64) as i64)), // bins
+                ],
+                calls: vec![call(
+                    "gridding",
+                    vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::I(n as i64)],
+                )],
+            }
+        },
+    }
+}
+
+fn mri_q() -> ProgramDef {
+    ProgramDef {
+        name: "mri-q",
+        suite: Suite::Parboil,
+        source: r#"
+// mri-q: Fourier-domain reconstruction; the phase precomputation is the
+// bulk of the runtime, the Q accumulation is the one reduction.
+void mriq_phase(float* k, float* phi, int* meta, int mult) {
+    int n = meta[0] * mult;
+    for (int i = 0; i < n; i++)
+        phi[i] = k[i] * 6.2831853 + k[i] * k[i] * 0.5 - 0.25;
+}
+float mriq_computeq(float* kspace, float* x, int nk) {
+    float q = 0.0;
+    for (int k = 0; k < nk; k++)
+        q = q + kspace[k] * cos(x[k]) + kspace[k] * sin(x[k]) * 0.5;
+    return q;
+}
+"#,
+        paper: Paper { scalar: 1, histogram: 0, icc: 1, polly_reductions: 0, scops: 0 },
+        workload: |scale| {
+            let n = 12_000 * scale;
+            Workload {
+                arrays: vec![
+                    farr(n, Init::RandF(-1.0, 1.0)),     // kspace
+                    farr(n, Init::RandF(-3.0, 3.0)),     // x
+                    farr(n, Init::Zero),                 // phi
+                    iarr(4, Init::ConstI(n as i64 / 3)), // meta
+                ],
+                calls: vec![
+                    call("mriq_phase", vec![Arg::A(0), Arg::A(2), Arg::A(3), Arg::I(3)]),
+                    call("mriq_phase", vec![Arg::A(1), Arg::A(2), Arg::A(3), Arg::I(3)]),
+                    call("mriq_computeq", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64 / 3)]),
+                ],
+            }
+        },
+    }
+}
+
+fn sad() -> ProgramDef {
+    ProgramDef {
+        name: "sad",
+        suite: Suite::Parboil,
+        source: r#"
+// sad: sums of absolute differences written per block (no cross-iteration
+// accumulator), plus one statically-shaped squared-difference sweep.
+void sad_blocks(float* cur, float* ref, float* out, int nblocks) {
+    for (int b = 0; b < nblocks; b++) {
+        out[b] = fabs(cur[4 * b] - ref[4 * b])
+               + fabs(cur[4 * b + 1] - ref[4 * b + 1])
+               + fabs(cur[4 * b + 2] - ref[4 * b + 2])
+               + fabs(cur[4 * b + 3] - ref[4 * b + 3]);
+    }
+}
+void sad_sqdiff(float* x, float* y, float* d, int n) {
+    for (int i = 0; i < n; i++)
+        d[i] = (x[i] - y[i]) * (x[i] - y[i]);
+}
+"#,
+        paper: Paper { scalar: 0, histogram: 0, icc: 0, polly_reductions: 0, scops: 1 },
+        workload: |scale| {
+            let n = 20_000 * scale;
+            Workload {
+                arrays: vec![
+                    farr(4 * n, Init::RandF(0.0, 255.0)), // cur / x
+                    farr(4 * n, Init::RandF(0.0, 255.0)), // ref / y
+                    farr(4 * n, Init::Zero),              // out / d
+                ],
+                calls: vec![
+                    call("sad_blocks", vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::I(n as i64)]),
+                    call("sad_sqdiff", vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::I(n as i64)]),
+                ],
+            }
+        },
+    }
+}
+
+fn sgemm() -> ProgramDef {
+    ProgramDef {
+        name: "sgemm",
+        suite: Suite::Parboil,
+        source: r#"
+// sgemm: statically-shaped matrix multiply (64x64 tiles); the one Parboil
+// reduction inside a SCoP.
+void sgemm_init(float* c, int n) {
+    for (int i = 0; i < n; i++)
+        c[i] = 0.0;
+}
+void sgemm_kernel(float* a, float* b, float* c, int n) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < 64; j++) {
+            float s = 0.0;
+            for (int k = 0; k < 64; k++)
+                s = s + a[i * 64 + k] * b[k * 64 + j];
+            c[i * 64 + j] = s;
+        }
+    }
+}
+"#,
+        paper: Paper { scalar: 1, histogram: 0, icc: 1, polly_reductions: 1, scops: 2 },
+        workload: |scale| {
+            let n = (24 * scale).min(64);
+            Workload {
+                arrays: vec![
+                    farr(64 * 64, Init::RandF(-1.0, 1.0)), // a
+                    farr(64 * 64, Init::RandF(-1.0, 1.0)), // b
+                    farr(64 * 64, Init::Zero),             // c
+                ],
+                calls: vec![
+                    call("sgemm_init", vec![Arg::A(2), Arg::I(64 * 64)]),
+                    call("sgemm_kernel", vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::I(n as i64)]),
+                ],
+            }
+        },
+    }
+}
+
+fn spmv() -> ProgramDef {
+    ProgramDef {
+        name: "spmv",
+        suite: Suite::Parboil,
+        source: r#"
+// spmv: JDS-style sparse matvec over sentinel-terminated rows; iteration
+// spaces are data dependent throughout.
+void spmv_sentinels(int* col, int nrows, int rowlen) {
+    for (int i = 0; i < nrows; i++) {
+        for (int j = 0; j < rowlen - 1; j++)
+            col[i * rowlen + j] = (i * 7 + j * 13) % nrows;
+        col[i * rowlen + rowlen - 1] = 0 - 1;
+    }
+}
+void spmv_kernel(float* val, int* col, int* rowptr, float* x, float* y, int nrows) {
+    int i = 0;
+    while (i < nrows) {
+        int j = rowptr[i];
+        float sum = 0.0;
+        while (col[j] >= 0) {
+            sum = sum + val[j] * x[col[j]];
+            j = j + 1;
+        }
+        y[i] = sum;
+        i = i + 1;
+    }
+}
+"#,
+        paper: Paper { scalar: 0, histogram: 0, icc: 0, polly_reductions: 0, scops: 0 },
+        workload: |scale| {
+            let n = 4_000 * scale;
+            let per_row = 8usize;
+            // col: 7 valid entries then a -1 sentinel per row.
+            let row_len = per_row;
+            Workload {
+                arrays: vec![
+                    farr(n * row_len, Init::RandF(-1.0, 1.0)), // val
+                    iarr(n * row_len, Init::ModI(0)),          // col (patched by init kernel below)
+                    iarr(n + 1, Init::RampI(row_len as i64)),  // rowptr
+                    farr(n, Init::RandF(-1.0, 1.0)),           // x
+                    farr(n, Init::Zero),                       // y
+                ],
+                calls: vec![
+                    call("spmv_sentinels", vec![Arg::A(1), Arg::I(n as i64), Arg::I(row_len as i64)]),
+                    call(
+                        "spmv_kernel",
+                        vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::A(3), Arg::A(4), Arg::I(n as i64)],
+                    ),
+                ],
+            }
+        },
+    }
+}
+
+fn stencil() -> ProgramDef {
+    ProgramDef {
+        name: "stencil",
+        suite: Suite::Parboil,
+        source: r#"
+// stencil: 7-point-style sweeps, statically shaped: two clean SCoPs.
+void stencil_x(float* a, float* b, int n) {
+    for (int i = 1; i < n; i++)
+        b[i] = a[i - 1] * 0.25 + a[i] * 0.5 + a[i + 1] * 0.25;
+}
+void stencil_y(float* a, float* b, int n) {
+    for (int j = 1; j < n; j++)
+        b[j * 2] = a[j * 2 - 2] * 0.3 + a[j * 2] * 0.4 + a[j * 2 + 2] * 0.3;
+}
+"#,
+        paper: Paper { scalar: 0, histogram: 0, icc: 0, polly_reductions: 0, scops: 2 },
+        workload: |scale| {
+            let n = 30_000 * scale;
+            Workload {
+                arrays: vec![
+                    farr(2 * n + 8, Init::RandF(0.0, 1.0)), // a
+                    farr(2 * n + 8, Init::Zero),            // b
+                ],
+                calls: vec![
+                    call("stencil_x", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64)]),
+                    call("stencil_y", vec![Arg::A(0), Arg::A(1), Arg::I((n - 2) as i64)]),
+                ],
+            }
+        },
+    }
+}
+
+fn tpacf() -> ProgramDef {
+    ProgramDef {
+        name: "tpacf",
+        suite: Suite::Parboil,
+        source: r#"
+// tpacf: two-point angular correlation. "In this reduction, the index is
+// computed via a binary search in an additional array" (paper section 6.1).
+void tpacf_kernel(int* bins, float* binb, float* dots, int n, int nbins) {
+    for (int i = 0; i < n; i++) {
+        float d = dots[i];
+        int lo = 0;
+        int hi = nbins;
+        while (hi > lo + 1) {
+            int mid = (lo + hi) / 2;
+            if (d >= binb[mid]) { hi = mid; } else { lo = mid; }
+        }
+        bins[lo] = bins[lo] + 1;
+    }
+}
+"#,
+        paper: Paper { scalar: 0, histogram: 1, icc: 0, polly_reductions: 0, scops: 0 },
+        workload: |scale| {
+            let n = 40_000 * scale;
+            let nbins = 64;
+            Workload {
+                arrays: vec![
+                    iarr(nbins + 1, Init::Zero),        // bins
+                    farr(nbins + 1, Init::SortedUnit),  // binb
+                    farr(n, Init::RandF(0.0, 1.0)),     // dots
+                ],
+                calls: vec![call(
+                    "tpacf_kernel",
+                    vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::I(n as i64), Arg::I(nbins as i64)],
+                )],
+            }
+        },
+    }
+}

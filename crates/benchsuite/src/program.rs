@@ -1,0 +1,82 @@
+//! Program definitions: source, workload and paper-reported numbers.
+
+use crate::workload::Workload;
+use std::fmt;
+
+/// The three benchmark suites of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// NAS Parallel Benchmarks (SNU NPB C version), 10 programs.
+    Nas,
+    /// Parboil, 11 programs.
+    Parboil,
+    /// Rodinia, 19 programs.
+    Rodinia,
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Suite::Nas => "NAS",
+            Suite::Parboil => "Parboil",
+            Suite::Rodinia => "Rodinia",
+        })
+    }
+}
+
+/// Paper-reported numbers for one program.
+///
+/// Totals are exact from the paper's text; per-program values are
+/// approximations read off the bar charts of Figures 8–11 (see
+/// EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Paper {
+    /// Scalar reductions found by the paper's system.
+    pub scalar: usize,
+    /// Histogram reductions found by the paper's system.
+    pub histogram: usize,
+    /// Reductions found by icc.
+    pub icc: usize,
+    /// Reduction SCoPs found by Polly-Reduction.
+    pub polly_reductions: usize,
+    /// Total SCoPs found by Polly.
+    pub scops: usize,
+}
+
+/// One benchmark program.
+pub struct ProgramDef {
+    /// Program name as in the paper's figures.
+    pub name: &'static str,
+    /// Owning suite.
+    pub suite: Suite,
+    /// Mini-C source.
+    pub source: &'static str,
+    /// Paper-reported numbers.
+    pub paper: Paper,
+    /// Builds the standard workload at a scale factor (1 = default size
+    /// used for the coverage figures).
+    pub workload: fn(usize) -> Workload,
+}
+
+impl fmt::Debug for ProgramDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProgramDef")
+            .field("name", &self.name)
+            .field("suite", &self.suite)
+            .field("paper", &self.paper)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ProgramDef {
+    /// Compiles the program's source.
+    ///
+    /// # Panics
+    /// Panics if the bundled source fails to compile (a suite bug, caught
+    /// by tests).
+    #[must_use]
+    pub fn compile(&self) -> gr_ir::Module {
+        gr_frontend::compile(self.source)
+            .unwrap_or_else(|e| panic!("{}: bundled source failed to compile: {e}", self.name))
+    }
+}

@@ -1,0 +1,1085 @@
+//! The Rodinia benchmarks (19 programs).
+//!
+//! "Surprisingly, the more complex Rodinia benchmarks contained more
+//! identifiable reductions than Parboil" — 15 of 19 programs have
+//! reductions here, particlefilter the most (9). kmeans carries the one
+//! Rodinia histogram (cluster membership counts — the nested multi-update
+//! loop the paper's code generator could not transform, §6.3). leukocyte
+//! holds the single Rodinia reduction SCoP.
+
+use crate::program::{Paper, ProgramDef, Suite};
+use crate::workload::dsl::{call, farr, iarr};
+use crate::workload::{Arg, Init, Workload};
+
+/// All nineteen Rodinia programs.
+#[must_use]
+pub fn programs() -> Vec<ProgramDef> {
+    vec![
+        backprop(),
+        bfs(),
+        btree(),
+        cfd(),
+        heartwall(),
+        hotspot(),
+        hotspot3d(),
+        kmeans(),
+        lavamd(),
+        leukocyte(),
+        lud(),
+        mummergpu(),
+        myocyte(),
+        nn(),
+        nw(),
+        particlefilter(),
+        pathfinder(),
+        srad(),
+        streamcluster(),
+    ]
+}
+
+fn backprop() -> ProgramDef {
+    ProgramDef {
+        name: "backprop",
+        suite: Suite::Rodinia,
+        source: r#"
+// backprop: the forward pass dominates; error sums are the reductions.
+void bp_forward(float* w, float* x, float* y, int* meta, int mult) {
+    int n = meta[0] * mult;
+    for (int i = 0; i < n; i++)
+        y[i] = w[i] * x[i] * 0.5 + y[i] * 0.25 + 0.1;
+}
+float bp_output_error(float* target, float* output, float* delta, int n) {
+    float errsum = 0.0;
+    for (int j = 0; j < n; j++) {
+        float o = output[j];
+        float d = o * (1.0 - o) * (target[j] - o);
+        delta[j] = d;
+        errsum = errsum + fabs(d);
+    }
+    return errsum;
+}
+float bp_hidden_error(float* who, float* delta_o, float* hidden, float* delta_h, int n) {
+    float errsum = 0.0;
+    for (int j = 0; j < n; j++) {
+        float h = hidden[j];
+        float sum = who[j] * delta_o[j];
+        float d = h * (1.0 - h) * sum;
+        delta_h[j] = d;
+        errsum = errsum + fabs(d);
+    }
+    return errsum;
+}
+"#,
+        paper: Paper { scalar: 2, histogram: 0, icc: 2, polly_reductions: 0, scops: 0 },
+        workload: |scale| {
+            let n = 20_000 * scale;
+            Workload {
+                arrays: vec![
+                    farr(n, Init::RandF(0.0, 1.0)),      // target / who
+                    farr(n, Init::RandF(0.0, 1.0)),      // output / delta_o
+                    farr(n, Init::Zero),                 // delta
+                    farr(n, Init::RandF(0.0, 1.0)),      // hidden
+                    iarr(4, Init::ConstI(n as i64 / 3)), // meta
+                ],
+                calls: vec![
+                    call("bp_forward", vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::A(4), Arg::I(3)]),
+                    call("bp_forward", vec![Arg::A(1), Arg::A(3), Arg::A(2), Arg::A(4), Arg::I(3)]),
+                    call("bp_forward", vec![Arg::A(3), Arg::A(0), Arg::A(2), Arg::A(4), Arg::I(3)]),
+                    call(
+                        "bp_output_error",
+                        vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::I(n as i64 / 3)],
+                    ),
+                    call(
+                        "bp_hidden_error",
+                        vec![Arg::A(0), Arg::A(1), Arg::A(3), Arg::A(2), Arg::I(n as i64 / 3)],
+                    ),
+                ],
+            }
+        },
+    }
+}
+
+fn bfs() -> ProgramDef {
+    ProgramDef {
+        name: "bfs",
+        suite: Suite::Rodinia,
+        source: r#"
+// bfs: level-synchronous traversal with a data-dependent frontier.
+void bfs_levels(int* edges, int* offsets, int* level, int* frontier, int nnodes, int src) {
+    int head = 0;
+    int tail = 1;
+    frontier[0] = src;
+    level[src] = 0;
+    while (head < tail) {
+        int u = frontier[head];
+        head++;
+        int e = offsets[u];
+        int stop = offsets[u + 1];
+        while (e < stop) {
+            int v = edges[e];
+            if (level[v] < 0) {
+                level[v] = level[u] + 1;
+                if (tail < nnodes) {
+                    frontier[tail] = v;
+                    tail++;
+                }
+            }
+            e++;
+        }
+    }
+}
+"#,
+        paper: Paper { scalar: 0, histogram: 0, icc: 0, polly_reductions: 0, scops: 0 },
+        workload: |scale| {
+            let n = 4_000 * scale;
+            let deg = 4usize;
+            Workload {
+                arrays: vec![
+                    iarr(n * deg, Init::RandI(0, n as i64)),
+                    iarr(n + 1, Init::RampI(deg as i64)),
+                    iarr(n, Init::ConstI(-1)),
+                    iarr(n + 1, Init::Zero),
+                ],
+                calls: vec![call(
+                    "bfs_levels",
+                    vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::A(3), Arg::I(n as i64), Arg::I(0)],
+                )],
+            }
+        },
+    }
+}
+
+fn btree() -> ProgramDef {
+    ProgramDef {
+        name: "b+tree",
+        suite: Suite::Rodinia,
+        source: r#"
+// b+tree: bulk key normalization dominates; the range count is the
+// reduction (through a pure helper, which blocks icc).
+void bt_normalize(int* keys, int* norm, int* meta, int mult) {
+    int n = meta[0] * mult;
+    for (int i = 0; i < n; i++)
+        norm[i] = keys[i] * 2 + norm[i] % 97;
+}
+int bt_in_range(int k, int lo, int hi) {
+    if (k < lo) return 0;
+    if (k > hi) return 0;
+    return 1;
+}
+int bt_count_range(int* keys, int n, int lo, int hi) {
+    int count = 0;
+    for (int i = 0; i < n; i++)
+        count = count + bt_in_range(keys[i], lo, hi);
+    return count;
+}
+"#,
+        paper: Paper { scalar: 1, histogram: 0, icc: 0, polly_reductions: 0, scops: 0 },
+        workload: |scale| {
+            let n = 40_000 * scale;
+            Workload {
+                arrays: vec![
+                    iarr(n, Init::RandI(0, 1_000_000)),
+                    iarr(n, Init::Zero),
+                    iarr(4, Init::ConstI(n as i64 / 2)),
+                ],
+                calls: vec![
+                    call("bt_normalize", vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::I(2)]),
+                    call("bt_normalize", vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::I(2)]),
+                    call(
+                        "bt_count_range",
+                        vec![Arg::A(0), Arg::I(n as i64 / 2), Arg::I(250_000), Arg::I(750_000)],
+                    ),
+                ],
+            }
+        },
+    }
+}
+
+fn cfd() -> ProgramDef {
+    ProgramDef {
+        name: "cfd",
+        suite: Suite::Rodinia,
+        source: r#"
+// cfd: Euler solver fragments: density integral, minimum time step (fmin),
+// and a flux norm through a (pure) helper.
+float cfd_norm(float x, float y) {
+    return sqrt(x * x + y * y);
+}
+void cfd_update(float* v, float* vnew, int* meta, int mult) {
+    int n = meta[0] * mult;
+    for (int i = 0; i < n; i++)
+        vnew[i] = v[i] * 0.99 + vnew[i] * 0.005 + 0.001;
+}
+float cfd_density_sum(float* v, int* meta, int stride) {
+    int n = meta[0];
+    float s = 0.0;
+    for (int i = 0; i < n; i++)
+        s = s + v[i * stride];
+    return s;
+}
+float cfd_min_dt(float* v, int* meta, int stride) {
+    int n = meta[0];
+    float dt = 1.0e30;
+    for (int i = 0; i < n; i++)
+        dt = fmin(dt, v[i * stride + 1]);
+    return dt;
+}
+float cfd_flux_norm(float* v, int* meta, int stride) {
+    int n = meta[0];
+    float s = 0.0;
+    for (int i = 0; i < n; i++)
+        s = s + cfd_norm(v[i * stride + 2], v[i * stride + 3]);
+    return s;
+}
+"#,
+        paper: Paper { scalar: 3, histogram: 0, icc: 1, polly_reductions: 0, scops: 0 },
+        workload: |scale| {
+            let n = 12_000 * scale;
+            let stride = 4;
+            Workload {
+                arrays: vec![
+                    farr(stride * n + 8, Init::RandF(0.1, 2.0)),
+                    iarr(4, Init::ConstI(n as i64 / 3)),
+                    farr(stride * n + 8, Init::Zero),
+                ],
+                calls: vec![
+                    call("cfd_update", vec![Arg::A(0), Arg::A(2), Arg::A(1), Arg::I(3 * stride as i64)]),
+                    call("cfd_update", vec![Arg::A(0), Arg::A(2), Arg::A(1), Arg::I(3 * stride as i64)]),
+                    call("cfd_density_sum", vec![Arg::A(0), Arg::A(1), Arg::I(stride as i64)]),
+                    call("cfd_min_dt", vec![Arg::A(0), Arg::A(1), Arg::I(stride as i64)]),
+                    call("cfd_flux_norm", vec![Arg::A(0), Arg::A(1), Arg::I(stride as i64)]),
+                ],
+            }
+        },
+    }
+}
+
+fn heartwall() -> ProgramDef {
+    ProgramDef {
+        name: "heartwall",
+        suite: Suite::Rodinia,
+        source: r#"
+// heartwall: template matching — correlation sum plus extremal tracking
+// through fmin/fmax (blocked for icc).
+void hw_smooth(float* frame, float* smoothed, int* meta, int mult) {
+    int n = meta[0] * mult;
+    for (int i = 1; i < n; i++)
+        smoothed[i] = frame[i] * 0.5 + frame[i - 1] * 0.5;
+}
+float hw_correlation(float* frame, float* tmpl, int* meta, int stride) {
+    int n = meta[0];
+    float s = 0.0;
+    for (int i = 0; i < n; i++)
+        s = s + frame[i * stride] * tmpl[i];
+    return s;
+}
+void hw_extrema(float* frame, float* out, int* meta, int stride) {
+    int n = meta[0];
+    float mx = -1.0e30;
+    float mn = 1.0e30;
+    for (int i = 0; i < n; i++) {
+        mx = fmax(mx, frame[i * stride]);
+        mn = fmin(mn, frame[i * stride]);
+    }
+    out[0] = mx;
+    out[1] = mn;
+}
+"#,
+        paper: Paper { scalar: 3, histogram: 0, icc: 1, polly_reductions: 0, scops: 0 },
+        workload: |scale| {
+            let n = 15_000 * scale;
+            let stride = 2;
+            Workload {
+                arrays: vec![
+                    farr(stride * n + 8, Init::RandF(-1.0, 1.0)),
+                    farr(n, Init::RandF(-1.0, 1.0)),
+                    farr(4, Init::Zero),
+                    iarr(4, Init::ConstI(n as i64 / 3)),
+                    farr(stride * n + 8, Init::Zero),
+                ],
+                calls: vec![
+                    call("hw_smooth", vec![Arg::A(0), Arg::A(4), Arg::A(3), Arg::I(3 * stride as i64)]),
+                    call("hw_smooth", vec![Arg::A(0), Arg::A(4), Arg::A(3), Arg::I(3 * stride as i64)]),
+                    call("hw_correlation", vec![Arg::A(0), Arg::A(1), Arg::A(3), Arg::I(stride as i64)]),
+                    call("hw_extrema", vec![Arg::A(0), Arg::A(2), Arg::A(3), Arg::I(stride as i64)]),
+                ],
+            }
+        },
+    }
+}
+
+fn hotspot() -> ProgramDef {
+    ProgramDef {
+        name: "hotspot",
+        suite: Suite::Rodinia,
+        source: r#"
+// hotspot: thermal simulation sweeps (three SCoPs) plus the convergence
+// delta (max |change|), whose bound lives in the meta array.
+void hs_step_x(float* temp, float* power, float* dst, int n) {
+    for (int i = 1; i < n; i++)
+        dst[i] = temp[i] + 0.1 * (temp[i - 1] - 2.0 * temp[i] + temp[i + 1]) + power[i];
+}
+void hs_step_y(float* temp, float* dst, int n) {
+    for (int j = 1; j < n; j++)
+        dst[j * 2] = temp[j * 2] * 0.8 + temp[j * 2 - 2] * 0.1 + temp[j * 2 + 2] * 0.1;
+}
+void hs_copy(float* src, float* dst, int n) {
+    for (int i = 0; i < n; i++)
+        dst[i] = src[i];
+}
+float hs_max_delta(float* a, float* b, int* meta) {
+    int n = meta[0];
+    float mx = 0.0;
+    for (int i = 0; i < n; i++) {
+        float d = fabs(a[i] - b[i]);
+        if (d > mx) mx = d;
+    }
+    return mx;
+}
+"#,
+        paper: Paper { scalar: 1, histogram: 0, icc: 1, polly_reductions: 0, scops: 3 },
+        workload: |scale| {
+            let n = 20_000 * scale;
+            Workload {
+                arrays: vec![
+                    farr(2 * n + 8, Init::RandF(20.0, 90.0)),
+                    farr(2 * n + 8, Init::RandF(0.0, 1.0)),
+                    farr(2 * n + 8, Init::Zero),
+                    iarr(4, Init::ConstI(n as i64)),
+                ],
+                calls: vec![
+                    call("hs_step_x", vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::I(n as i64)]),
+                    call("hs_step_y", vec![Arg::A(0), Arg::A(2), Arg::I((n / 2 - 2) as i64)]),
+                    call("hs_copy", vec![Arg::A(2), Arg::A(0), Arg::I(n as i64)]),
+                    call("hs_max_delta", vec![Arg::A(0), Arg::A(2), Arg::A(3)]),
+                ],
+            }
+        },
+    }
+}
+
+fn hotspot3d() -> ProgramDef {
+    ProgramDef {
+        name: "hotspot3D",
+        suite: Suite::Rodinia,
+        source: r#"
+// hotspot3D: two statically-shaped sweeps plus an energy integral.
+void hs3_sweep_z(float* t, float* dst, int n) {
+    for (int k = 1; k < n; k++)
+        dst[k] = t[k] * 0.6 + t[k - 1] * 0.2 + t[k + 1] * 0.2;
+}
+void hs3_sweep_xy(float* t, float* dst, int n) {
+    for (int i = 1; i < n; i++)
+        dst[i * 4] = t[i * 4] * 0.5 + t[i * 4 - 4] * 0.25 + t[i * 4 + 4] * 0.25;
+}
+float hs3_energy(float* t, int* meta) {
+    int n = meta[0];
+    float e = 0.0;
+    for (int i = 0; i < n; i++)
+        e = e + t[i] * t[i];
+    return e;
+}
+"#,
+        paper: Paper { scalar: 1, histogram: 0, icc: 1, polly_reductions: 0, scops: 2 },
+        workload: |scale| {
+            let n = 20_000 * scale;
+            Workload {
+                arrays: vec![
+                    farr(4 * n + 8, Init::RandF(20.0, 90.0)),
+                    farr(4 * n + 8, Init::Zero),
+                    iarr(4, Init::ConstI(n as i64)),
+                ],
+                calls: vec![
+                    call("hs3_sweep_z", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64)]),
+                    call("hs3_sweep_xy", vec![Arg::A(0), Arg::A(1), Arg::I((n - 2) as i64)]),
+                    call("hs3_energy", vec![Arg::A(0), Arg::A(2)]),
+                ],
+            }
+        },
+    }
+}
+
+fn kmeans() -> ProgramDef {
+    ProgramDef {
+        name: "kmeans",
+        suite: Suite::Rodinia,
+        source: r#"
+// kmeans: the assignment loop carries the Rodinia histogram (cluster
+// membership counts) next to the delta counter and per-point nearest
+// centre search — "multiple histogram updates in a nested loop" (§6.3).
+float km_sq(float x) {
+    return x * x;
+}
+void km_assign(float* pts, float* centers, int* counts, int* member_old, int* member_new, float* out, int n, int k, int d) {
+    int delta = 0;
+    for (int i = 0; i < n; i++) {
+        int best = 0;
+        float bestd = 1.0e30;
+        for (int c = 0; c < k; c++) {
+            float dist = 0.0;
+            for (int j = 0; j < d; j++) {
+                float t = pts[i * d + j] - centers[c * d + j];
+                dist = dist + t * t;
+            }
+            if (dist < bestd) { bestd = dist; best = c; }
+        }
+        if (member_old[i] != best) delta++;
+        member_new[i] = best;
+        counts[best] = counts[best] + 1;
+    }
+    out[0] = delta;
+}
+float km_rmse(float* pts, float* centers, int* member, int* meta, int d) {
+    int n = meta[0];
+    float s = 0.0;
+    for (int i = 0; i < n; i++) {
+        int c = member[i];
+        for (int j = 0; j < d; j++)
+            s = s + km_sq(pts[i * d + j] - centers[c * d + j]);
+    }
+    return s;
+}
+"#,
+        paper: Paper { scalar: 3, histogram: 1, icc: 1, polly_reductions: 0, scops: 0 },
+        workload: |scale| {
+            let n = 3_000 * scale;
+            let k = 8;
+            let d = 4;
+            Workload {
+                arrays: vec![
+                    farr(n * d, Init::RandF(0.0, 1.0)),   // pts
+                    farr(k * d, Init::RandF(0.0, 1.0)),   // centers
+                    iarr(k, Init::Zero),                  // counts
+                    iarr(n, Init::Zero),                  // member_old
+                    farr(2, Init::Zero),                  // out
+                    iarr(4, Init::ConstI(n as i64 / 4)),  // meta
+                    iarr(n, Init::Zero),                  // member_new
+                ],
+                calls: vec![
+                    call(
+                        "km_assign",
+                        vec![
+                            Arg::A(0),
+                            Arg::A(1),
+                            Arg::A(2),
+                            Arg::A(3),
+                            Arg::A(6),
+                            Arg::A(4),
+                            Arg::I(n as i64),
+                            Arg::I(k as i64),
+                            Arg::I(d as i64),
+                        ],
+                    ),
+                    call(
+                        "km_rmse",
+                        vec![Arg::A(0), Arg::A(1), Arg::A(6), Arg::A(5), Arg::I(d as i64)],
+                    ),
+                ],
+            }
+        },
+    }
+}
+
+fn lavamd() -> ProgramDef {
+    ProgramDef {
+        name: "lavaMD",
+        suite: Suite::Rodinia,
+        source: r#"
+// lavaMD: particle potential/force accumulation; exp() is vectorizable
+// (icc keeps it), the helper-based virial sum is not.
+float lava_pair(float r2) {
+    return exp(-0.5 * r2) * r2;
+}
+void lava_advance(float* rv, float* rvnew, int* meta, int mult) {
+    int n = meta[0] * mult;
+    for (int i = 0; i < n; i++)
+        rvnew[i] = rv[i] * 0.998 + rvnew[i] * 0.001 + 0.0005;
+}
+float lava_potential(float* rv, int* meta, int stride) {
+    int n = meta[0];
+    float pot = 0.0;
+    for (int i = 0; i < n; i++) {
+        float r2 = rv[i * stride] * rv[i * stride] + rv[i * stride + 1] * rv[i * stride + 1];
+        pot = pot + exp(-0.5 * r2);
+    }
+    return pot;
+}
+float lava_virial(float* rv, int* meta, int stride) {
+    int n = meta[0];
+    float vir = 0.0;
+    for (int i = 0; i < n; i++) {
+        float r2 = rv[i * stride + 2] * rv[i * stride + 2];
+        vir = vir + lava_pair(r2);
+    }
+    return vir;
+}
+"#,
+        paper: Paper { scalar: 2, histogram: 0, icc: 1, polly_reductions: 0, scops: 0 },
+        workload: |scale| {
+            let n = 10_000 * scale;
+            let stride = 4;
+            Workload {
+                arrays: vec![
+                    farr(stride * n + 8, Init::RandF(-1.0, 1.0)),
+                    iarr(4, Init::ConstI(n as i64 / 3)),
+                    farr(stride * n + 8, Init::Zero),
+                ],
+                calls: vec![
+                    call("lava_advance", vec![Arg::A(0), Arg::A(2), Arg::A(1), Arg::I(3 * stride as i64)]),
+                    call("lava_advance", vec![Arg::A(0), Arg::A(2), Arg::A(1), Arg::I(3 * stride as i64)]),
+                    call("lava_potential", vec![Arg::A(0), Arg::A(1), Arg::I(stride as i64)]),
+                    call("lava_virial", vec![Arg::A(0), Arg::A(1), Arg::I(stride as i64)]),
+                ],
+            }
+        },
+    }
+}
+
+fn leukocyte() -> ProgramDef {
+    ProgramDef {
+        name: "leukocyte",
+        suite: Suite::Rodinia,
+        source: r#"
+// leukocyte: cell tracking. The GICOV sum is the one Rodinia reduction
+// Polly catches (statically shaped, call-free); the dilation sweep is its
+// companion SCoP. The MGVF loops use runtime strides.
+float leuk_gicov_sum(float* grad, int n) {
+    float s = 0.0;
+    for (int i = 0; i < n; i++)
+        s = s + grad[i] * grad[i];
+    return s;
+}
+void leuk_dilate(float* img, float* out, int n) {
+    for (int i = 1; i < n; i++)
+        out[i] = img[i - 1] * 0.25 + img[i] * 0.5 + img[i + 1] * 0.25;
+}
+float leuk_mgvf_sum(float* mgvf, int* meta, int stride) {
+    int n = meta[0];
+    float s = 0.0;
+    for (int i = 0; i < n; i++)
+        s = s + mgvf[i * stride];
+    return s;
+}
+float leuk_heaviside_sum(float* mgvf, int* meta, int stride) {
+    int n = meta[0];
+    float s = 0.0;
+    for (int i = 0; i < n; i++) {
+        float v = mgvf[i * stride + 1];
+        if (v > 0.0) s = s + v;
+    }
+    return s;
+}
+float leuk_max_response(float* mgvf, int* meta, int stride) {
+    int n = meta[0];
+    float mx = -1.0e30;
+    for (int i = 0; i < n; i++)
+        mx = fmax(mx, mgvf[i * stride]);
+    return mx;
+}
+"#,
+        paper: Paper { scalar: 4, histogram: 0, icc: 3, polly_reductions: 1, scops: 2 },
+        workload: |scale| {
+            let n = 12_000 * scale;
+            let stride = 2;
+            Workload {
+                arrays: vec![
+                    farr(stride * n + 8, Init::RandF(-1.0, 1.0)),
+                    farr(stride * n + 8, Init::Zero),
+                    iarr(4, Init::ConstI(n as i64)),
+                ],
+                calls: vec![
+                    call("leuk_gicov_sum", vec![Arg::A(0), Arg::I(n as i64)]),
+                    call("leuk_dilate", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64)]),
+                    call("leuk_mgvf_sum", vec![Arg::A(0), Arg::A(2), Arg::I(stride as i64)]),
+                    call("leuk_heaviside_sum", vec![Arg::A(0), Arg::A(2), Arg::I(stride as i64)]),
+                    call("leuk_max_response", vec![Arg::A(0), Arg::A(2), Arg::I(stride as i64)]),
+                ],
+            }
+        },
+    }
+}
+
+fn lud() -> ProgramDef {
+    ProgramDef {
+        name: "lud",
+        suite: Suite::Rodinia,
+        source: r#"
+// lud: dense LU decomposition on a 64x64 tile; three statically-shaped
+// nests, no reductions (the inner update subtracts, touching each cell
+// once per (i, j)).
+void lud_diagonal(float* a, int k) {
+    for (int i = k + 1; i < 64; i++)
+        a[i * 64 + k] = a[i * 64 + k] / a[k * 64 + k];
+}
+void lud_perimeter(float* a, int k) {
+    for (int j = k + 1; j < 64; j++)
+        a[k * 64 + j] = a[k * 64 + j] * 2.0;
+}
+void lud_internal(float* a, int k) {
+    for (int i = k + 1; i < 64; i++)
+        for (int j = k + 1; j < 64; j++)
+            a[i * 64 + j] = a[i * 64 + j] - a[i * 64 + k] * a[k * 64 + j];
+}
+"#,
+        paper: Paper { scalar: 0, histogram: 0, icc: 0, polly_reductions: 0, scops: 3 },
+        workload: |scale| {
+            let _ = scale;
+            Workload {
+                arrays: vec![farr(64 * 64, Init::RandF(1.0, 2.0))],
+                calls: vec![
+                    call("lud_diagonal", vec![Arg::A(0), Arg::I(0)]),
+                    call("lud_perimeter", vec![Arg::A(0), Arg::I(0)]),
+                    call("lud_internal", vec![Arg::A(0), Arg::I(0)]),
+                ],
+            }
+        },
+    }
+}
+
+fn mummergpu() -> ProgramDef {
+    ProgramDef {
+        name: "mummergpu",
+        suite: Suite::Rodinia,
+        source: r#"
+// mummergpu: suffix matching; the inner walk is data dependent, but the
+// per-query match-length sum is a reduction over the outer loop.
+void mummer_pack(int* ref, int* packed, int* meta, int mult) {
+    int n = meta[0] * mult;
+    for (int i = 0; i < n; i++)
+        packed[i] = ref[i] * 4 + packed[i] % 3;
+}
+int mummer_total_matches(int* ref, int* queries, int* starts, int nq, int reflen) {
+    int total = 0;
+    for (int q = 0; q < nq; q++) {
+        int pos = starts[q];
+        int depth = 0;
+        while (pos + depth < reflen) {
+            if (ref[pos + depth] != queries[q * 8 + depth % 8]) break;
+            depth++;
+            if (depth >= 8) break;
+        }
+        total = total + depth;
+    }
+    return total;
+}
+"#,
+        paper: Paper { scalar: 1, histogram: 0, icc: 0, polly_reductions: 0, scops: 0 },
+        workload: |scale| {
+            let nq = 8_000 * scale;
+            let reflen = 1 << 14;
+            Workload {
+                arrays: vec![
+                    iarr(reflen, Init::RandI(0, 4)),
+                    iarr(nq * 8, Init::RandI(0, 4)),
+                    iarr(nq, Init::RandI(0, (reflen - 16) as i64)),
+                    iarr(nq * 8, Init::Zero),
+                    iarr(4, Init::ConstI(nq as i64 / 2)),
+                ],
+                calls: vec![
+                    call("mummer_pack", vec![Arg::A(1), Arg::A(3), Arg::A(4), Arg::I(16)]),
+                    call("mummer_pack", vec![Arg::A(1), Arg::A(3), Arg::A(4), Arg::I(16)]),
+                    call(
+                        "mummer_total_matches",
+                        vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::I(nq as i64 / 2), Arg::I(reflen as i64)],
+                    ),
+                ],
+            }
+        },
+    }
+}
+
+fn myocyte() -> ProgramDef {
+    ProgramDef {
+        name: "myocyte",
+        suite: Suite::Rodinia,
+        source: r#"
+// myocyte: cardiac ODE evaluation; exp/pow are vectorizable so icc keeps
+// both sums.
+void myo_advance(float* y, float* ynew, int* meta, int mult) {
+    int n = meta[0] * mult;
+    for (int i = 0; i < n; i++)
+        ynew[i] = y[i] * 0.97 + ynew[i] * 0.01 + 0.002;
+}
+float myo_gate_sum(float* y, int* meta, int stride) {
+    int n = meta[0];
+    float s = 0.0;
+    for (int i = 0; i < n; i++)
+        s = s + exp(-0.1 * y[i * stride]);
+    return s;
+}
+float myo_current_sum(float* y, int* meta, int stride) {
+    int n = meta[0];
+    float s = 0.0;
+    for (int i = 0; i < n; i++)
+        s = s + pow(y[i * stride + 1], 2.0);
+    return s;
+}
+"#,
+        paper: Paper { scalar: 2, histogram: 0, icc: 2, polly_reductions: 0, scops: 0 },
+        workload: |scale| {
+            let n = 10_000 * scale;
+            let stride = 2;
+            Workload {
+                arrays: vec![
+                    farr(stride * n + 8, Init::RandF(0.0, 1.0)),
+                    iarr(4, Init::ConstI(n as i64 / 3)),
+                    farr(stride * n + 8, Init::Zero),
+                ],
+                calls: vec![
+                    call("myo_advance", vec![Arg::A(0), Arg::A(2), Arg::A(1), Arg::I(3 * stride as i64)]),
+                    call("myo_advance", vec![Arg::A(0), Arg::A(2), Arg::A(1), Arg::I(3 * stride as i64)]),
+                    call("myo_gate_sum", vec![Arg::A(0), Arg::A(1), Arg::I(stride as i64)]),
+                    call("myo_current_sum", vec![Arg::A(0), Arg::A(1), Arg::I(stride as i64)]),
+                ],
+            }
+        },
+    }
+}
+
+fn nn() -> ProgramDef {
+    ProgramDef {
+        name: "nn",
+        suite: Suite::Rodinia,
+        source: r#"
+// nn: record parsing/projection dominates; the nearest-neighbour min is
+// the reduction.
+void nn_project(float* lat, float* lng, float* proj, int* meta, int mult) {
+    int n = meta[0] * mult;
+    for (int i = 0; i < n; i++)
+        proj[i] = lat[i] * 0.01745 + lng[i] * 0.01745 + proj[i] * 0.1;
+}
+float nn_nearest(float* lat, float* lng, int n, float tlat, float tlng) {
+    float best = 1.0e30;
+    for (int i = 0; i < n; i++) {
+        float dx = lat[i] - tlat;
+        float dy = lng[i] - tlng;
+        float d = sqrt(dx * dx + dy * dy);
+        if (d < best) best = d;
+    }
+    return best;
+}
+"#,
+        paper: Paper { scalar: 1, histogram: 0, icc: 1, polly_reductions: 0, scops: 0 },
+        workload: |scale| {
+            let n = 30_000 * scale;
+            Workload {
+                arrays: vec![
+                    farr(n, Init::RandF(-90.0, 90.0)),
+                    farr(n, Init::RandF(-180.0, 180.0)),
+                    farr(n, Init::Zero),
+                    iarr(4, Init::ConstI(n as i64 / 2)),
+                ],
+                calls: vec![
+                    call("nn_project", vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::A(3), Arg::I(2)]),
+                    call("nn_project", vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::A(3), Arg::I(2)]),
+                    call(
+                        "nn_nearest",
+                        vec![Arg::A(0), Arg::A(1), Arg::I(n as i64 / 2), Arg::F(12.5), Arg::F(-42.0)],
+                    ),
+                ],
+            }
+        },
+    }
+}
+
+fn nw() -> ProgramDef {
+    ProgramDef {
+        name: "nw",
+        suite: Suite::Rodinia,
+        source: r#"
+// nw: Needleman-Wunsch wavefronts on a 64-wide board; two statically
+// shaped nests, no reductions.
+void nw_fill_upper(float* score, float* ref, int n) {
+    for (int i = 1; i < n; i++)
+        for (int j = 1; j < 64; j++)
+            score[i * 64 + j] = ref[i * 64 + j] + score[(i - 1) * 64 + j - 1];
+}
+void nw_scale(float* score, int n) {
+    for (int i = 0; i < n; i++)
+        score[i] = score[i] * 0.5;
+}
+"#,
+        paper: Paper { scalar: 0, histogram: 0, icc: 0, polly_reductions: 0, scops: 2 },
+        workload: |scale| {
+            let n = (48 * scale).min(64);
+            Workload {
+                arrays: vec![
+                    farr(64 * 64, Init::Zero),
+                    farr(64 * 64, Init::RandF(-2.0, 2.0)),
+                ],
+                calls: vec![
+                    call("nw_fill_upper", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64)]),
+                    call("nw_scale", vec![Arg::A(0), Arg::I((64 * 64) as i64)]),
+                ],
+            }
+        },
+    }
+}
+
+fn particlefilter() -> ProgramDef {
+    ProgramDef {
+        name: "particlefilter",
+        suite: Suite::Rodinia,
+        source: r#"
+// particlefilter: the most reduction-dense Rodinia program (9 in the
+// paper's Figure 8c): likelihoods, weight normalization, position
+// estimates, extremal weights and helper-based diagnostics.
+float pf_sq(float x) {
+    return x * x;
+}
+void pf_motion(float* x, float* y, int* meta, int mult) {
+    int n = meta[0] * mult;
+    for (int i = 0; i < n; i++) {
+        x[i] = x[i] + 1.0 + y[i] * 0.05;
+        y[i] = y[i] - 2.0 + x[i] * 0.01;
+    }
+}
+void pf_likelihood(float* obs, float* lik, float* out, int* meta) {
+    int n = meta[0];
+    float s = 0.0;
+    for (int i = 0; i < n; i++) {
+        float l = (obs[2 * i] - obs[2 * i + 1]) * 0.5;
+        lik[i] = l;
+        s = s + l;
+    }
+    out[0] = s;
+}
+void pf_weights(float* w, float* wnew, float* lik, float* out, int* meta) {
+    int n = meta[0];
+    float wsum = 0.0;
+    for (int i = 0; i < n; i++) {
+        float nw = w[i] * exp(lik[i] * 0.01);
+        wnew[i] = nw;
+        wsum = wsum + nw;
+    }
+    out[1] = wsum;
+}
+void pf_estimate(float* x, float* y, float* w, float* out, int* meta) {
+    int n = meta[0];
+    float xe = 0.0;
+    float ye = 0.0;
+    for (int i = 0; i < n; i++) {
+        xe = xe + x[i] * w[i];
+        ye = ye + y[i] * w[i];
+    }
+    out[2] = xe;
+    out[3] = ye;
+}
+void pf_normalize(float* w, float* out, int* meta) {
+    int n = meta[0];
+    float s = 0.0;
+    for (int i = 0; i < n; i++)
+        s = s + w[i];
+    out[4] = s;
+}
+void pf_extrema(float* w, float* out, int* meta) {
+    int n = meta[0];
+    float mx = -1.0e30;
+    float mn = 1.0e30;
+    for (int i = 0; i < n; i++) {
+        mx = fmax(mx, w[i]);
+        mn = fmin(mn, w[i]);
+    }
+    out[5] = mx;
+    out[6] = mn;
+}
+void pf_diagnostics(float* w, float* out, int* meta) {
+    int n = meta[0];
+    float neff = 0.0;
+    float spread = 0.0;
+    for (int i = 0; i < n; i++) {
+        neff = neff + pf_sq(w[i]);
+        spread = spread + pf_sq(w[i] - 0.5);
+    }
+    out[7] = neff;
+    out[8] = spread;
+}
+"#,
+        paper: Paper { scalar: 9, histogram: 0, icc: 5, polly_reductions: 0, scops: 0 },
+        workload: |scale| {
+            let n = 10_000 * scale;
+            Workload {
+                arrays: vec![
+                    farr(2 * n, Init::RandF(0.0, 1.0)), // obs
+                    farr(n, Init::Zero),                // lik
+                    farr(n, Init::ConstF(1.0)),         // w
+                    farr(n, Init::RandF(-5.0, 5.0)),    // x
+                    farr(n, Init::RandF(-5.0, 5.0)),    // y
+                    farr(16, Init::Zero),               // out
+                    iarr(4, Init::ConstI(n as i64 / 4)), // meta
+                    farr(n, Init::Zero),                // spare
+                    farr(n, Init::Zero),                // spare2
+                    farr(n, Init::Zero),                // wnew
+                ],
+                calls: vec![
+                    call("pf_motion", vec![Arg::A(3), Arg::A(4), Arg::A(6), Arg::I(4)]),
+                    call("pf_motion", vec![Arg::A(3), Arg::A(4), Arg::A(6), Arg::I(4)]),
+                    call("pf_likelihood", vec![Arg::A(0), Arg::A(1), Arg::A(5), Arg::A(6)]),
+                    call("pf_weights", vec![Arg::A(2), Arg::A(9), Arg::A(1), Arg::A(5), Arg::A(6)]),
+                    call("pf_estimate", vec![Arg::A(3), Arg::A(4), Arg::A(2), Arg::A(5), Arg::A(6)]),
+                    call("pf_normalize", vec![Arg::A(2), Arg::A(5), Arg::A(6)]),
+                    call("pf_extrema", vec![Arg::A(2), Arg::A(5), Arg::A(6)]),
+                    call("pf_diagnostics", vec![Arg::A(2), Arg::A(5), Arg::A(6)]),
+                ],
+            }
+        },
+    }
+}
+
+fn pathfinder() -> ProgramDef {
+    ProgramDef {
+        name: "pathfinder",
+        suite: Suite::Rodinia,
+        source: r#"
+// pathfinder: dynamic programming over rows; two statically-shaped
+// sweeps, no reductions.
+void path_row(float* src, float* wall, float* dst, int n) {
+    for (int i = 1; i < n; i++)
+        dst[i] = wall[i] + src[i - 1];
+}
+void path_relax(float* dst, int n) {
+    for (int i = 0; i < n; i++)
+        dst[i] = dst[i] * 0.99;
+}
+"#,
+        paper: Paper { scalar: 0, histogram: 0, icc: 0, polly_reductions: 0, scops: 2 },
+        workload: |scale| {
+            let n = 40_000 * scale;
+            Workload {
+                arrays: vec![
+                    farr(n + 2, Init::RandF(0.0, 10.0)),
+                    farr(n + 2, Init::RandF(0.0, 10.0)),
+                    farr(n + 2, Init::Zero),
+                ],
+                calls: vec![
+                    call("path_row", vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::I(n as i64)]),
+                    call("path_relax", vec![Arg::A(2), Arg::I(n as i64)]),
+                ],
+            }
+        },
+    }
+}
+
+fn srad() -> ProgramDef {
+    ProgramDef {
+        name: "srad",
+        suite: Suite::Rodinia,
+        source: r#"
+// srad: speckle-reducing anisotropic diffusion. Statistics sums feed the
+// diffusion coefficient; extremal coefficients go through fmin/fmax.
+void srad_stats(float* img, float* out, int* meta) {
+    int n = meta[0];
+    float sum = 0.0;
+    float sum2 = 0.0;
+    for (int i = 0; i < n; i++) {
+        float v = img[i];
+        sum = sum + v;
+        sum2 = sum2 + v * v;
+    }
+    out[0] = sum;
+    out[1] = sum2;
+}
+void srad_coeff_range(float* c, float* out, int* meta) {
+    int n = meta[0];
+    float cmin = 1.0e30;
+    float cmax = -1.0e30;
+    for (int i = 0; i < n; i++) {
+        cmin = fmin(cmin, c[i]);
+        cmax = fmax(cmax, c[i]);
+    }
+    out[2] = cmin;
+    out[3] = cmax;
+}
+void srad_deriv_n(float* img, float* dn, int n) {
+    for (int i = 1; i < n; i++)
+        dn[i] = img[i - 1] - img[i];
+}
+void srad_deriv_s(float* img, float* ds, int n) {
+    for (int i = 1; i < n; i++)
+        ds[i - 1] = img[i] - img[i - 1];
+}
+"#,
+        paper: Paper { scalar: 4, histogram: 0, icc: 2, polly_reductions: 0, scops: 2 },
+        workload: |scale| {
+            let n = 25_000 * scale;
+            Workload {
+                arrays: vec![
+                    farr(n + 2, Init::RandF(0.0, 1.0)),
+                    farr(n + 2, Init::Zero),
+                    farr(4, Init::Zero),
+                    iarr(4, Init::ConstI(n as i64)),
+                ],
+                calls: vec![
+                    call("srad_stats", vec![Arg::A(0), Arg::A(2), Arg::A(3)]),
+                    call("srad_coeff_range", vec![Arg::A(0), Arg::A(2), Arg::A(3)]),
+                    call("srad_deriv_n", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64)]),
+                    call("srad_deriv_s", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64)]),
+                ],
+            }
+        },
+    }
+}
+
+fn streamcluster() -> ProgramDef {
+    ProgramDef {
+        name: "streamcluster",
+        suite: Suite::Rodinia,
+        source: r#"
+// streamcluster: clustering cost evaluation; the assignment cost and
+// total weight are plain sums, the closest-centre distance uses fmin.
+void sc_shift(float* pts, float* shifted, int* meta, int mult) {
+    int n = meta[0] * mult;
+    for (int i = 0; i < n; i++)
+        shifted[i] = pts[i] * 0.9 + shifted[i] * 0.05 + 0.025;
+}
+float sc_cost(float* pts, float* center, float* weight, int* meta, int d) {
+    int n = meta[0];
+    float cost = 0.0;
+    for (int i = 0; i < n; i++) {
+        float acc = 0.0;
+        for (int j = 0; j < d; j++) {
+            float t = pts[i * d + j] - center[j];
+            acc = acc + t * t;
+        }
+        cost = cost + acc * weight[i];
+    }
+    return cost;
+}
+float sc_total_weight(float* weight, int* meta) {
+    int n = meta[0];
+    float s = 0.0;
+    for (int i = 0; i < n; i++)
+        s = s + weight[i];
+    return s;
+}
+float sc_closest(float* dist, int* meta) {
+    int n = meta[0];
+    float best = 1.0e30;
+    for (int i = 0; i < n; i++)
+        best = fmin(best, dist[i]);
+    return best;
+}
+"#,
+        paper: Paper { scalar: 3, histogram: 0, icc: 2, polly_reductions: 0, scops: 0 },
+        workload: |scale| {
+            let n = 8_000 * scale;
+            let d = 4;
+            Workload {
+                arrays: vec![
+                    farr(n * d, Init::RandF(0.0, 1.0)),
+                    farr(d, Init::RandF(0.0, 1.0)),
+                    farr(n, Init::RandF(0.5, 1.5)),
+                    iarr(4, Init::ConstI(n as i64 / 4)),
+                    farr(n * d, Init::Zero),
+                ],
+                calls: vec![
+                    call("sc_shift", vec![Arg::A(0), Arg::A(4), Arg::A(3), Arg::I(4 * d as i64)]),
+                    call("sc_shift", vec![Arg::A(0), Arg::A(4), Arg::A(3), Arg::I(4 * d as i64)]),
+                    call("sc_cost", vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::A(3), Arg::I(d as i64)]),
+                    call("sc_total_weight", vec![Arg::A(2), Arg::A(3)]),
+                    call("sc_closest", vec![Arg::A(0), Arg::A(3)]),
+                ],
+            }
+        },
+    }
+}

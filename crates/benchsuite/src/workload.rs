@@ -1,0 +1,224 @@
+//! Declarative workloads: input arrays and kernel call sequences.
+
+use gr_interp::memory::{Memory, ObjId};
+use gr_interp::RtVal;
+use gr_ir::Module;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Element type of a workload array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Elem {
+    /// 64-bit integers.
+    I,
+    /// 64-bit floats.
+    F,
+}
+
+/// How an input array is filled (deterministic; seeded per array).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// All zeros.
+    Zero,
+    /// `i * c` ramp.
+    RampF(f64),
+    /// Uniform floats in `[lo, hi)`.
+    RandF(f64, f64),
+    /// Uniform integers in `[lo, hi)`.
+    RandI(i64, i64),
+    /// `i % m` (integer).
+    ModI(i64),
+    /// `i * c` integer ramp (CSR row offsets, …).
+    RampI(i64),
+    /// Constant float.
+    ConstF(f64),
+    /// Constant integer.
+    ConstI(i64),
+    /// Sorted ascending floats in `(0, 1)` (binary-search tables).
+    SortedUnit,
+}
+
+/// One workload array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArraySpec {
+    /// Element type.
+    pub elem: Elem,
+    /// Element count.
+    pub len: usize,
+    /// Fill pattern.
+    pub init: Init,
+}
+
+/// An argument in a kernel call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arg {
+    /// Pointer to workload array by index.
+    A(usize),
+    /// Integer literal.
+    I(i64),
+    /// Float literal.
+    F(f64),
+}
+
+/// One kernel invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Call {
+    /// Function name.
+    pub func: &'static str,
+    /// Arguments.
+    pub args: Vec<Arg>,
+}
+
+/// A complete program workload.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Workload {
+    /// Arrays, allocated in order.
+    pub arrays: Vec<ArraySpec>,
+    /// Kernel calls, executed in order (the program's phases).
+    pub calls: Vec<Call>,
+}
+
+impl Workload {
+    /// Allocates the arrays into `mem`, returning their object ids.
+    pub fn materialize(&self, mem: &mut Memory) -> Vec<ObjId> {
+        let mut objs = Vec::with_capacity(self.arrays.len());
+        for (i, a) in self.arrays.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(0x5EED_0000 + i as u64);
+            let obj = match a.elem {
+                Elem::I => {
+                    let data: Vec<i64> = (0..a.len)
+                        .map(|j| match a.init {
+                            Init::Zero => 0,
+                            Init::ConstI(c) => c,
+                            Init::ModI(m) => (j as i64) % m.max(1),
+                            Init::RampI(c) => j as i64 * c,
+                            Init::RandI(lo, hi) => rng.gen_range(lo..hi.max(lo + 1)),
+                            other => panic!("init {other:?} on int array"),
+                        })
+                        .collect();
+                    mem.alloc_int(&data)
+                }
+                Elem::F => {
+                    let data: Vec<f64> = match a.init {
+                        Init::SortedUnit => {
+                            let mut v: Vec<f64> =
+                                (0..a.len).map(|_| rng.gen_range(0.001..0.999)).collect();
+                            v.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+                            v
+                        }
+                        _ => (0..a.len)
+                            .map(|j| match a.init {
+                                Init::Zero => 0.0,
+                                Init::ConstF(c) => c,
+                                Init::RampF(c) => j as f64 * c,
+                                Init::RandF(lo, hi) => rng.gen_range(lo..hi),
+                                other => panic!("init {other:?} on float array"),
+                            })
+                            .collect(),
+                    };
+                    mem.alloc_float(&data)
+                }
+            };
+            objs.push(obj);
+        }
+        objs
+    }
+
+    /// Resolves one call's arguments against materialized arrays.
+    #[must_use]
+    pub fn resolve_args(&self, call: &Call, objs: &[ObjId]) -> Vec<RtVal> {
+        call.args
+            .iter()
+            .map(|a| match a {
+                Arg::A(i) => RtVal::ptr(objs[*i]),
+                Arg::I(v) => RtVal::I(*v),
+                Arg::F(v) => RtVal::F(*v),
+            })
+            .collect()
+    }
+
+    /// Runs the whole workload on a fresh machine over `module`,
+    /// returning the machine for inspection.
+    ///
+    /// # Panics
+    /// Panics if any kernel traps (suite bug, caught by tests).
+    pub fn run<'m>(&self, module: &'m Module) -> gr_interp::Machine<'m, Memory> {
+        let mut mem = Memory::new(module);
+        let objs = self.materialize(&mut mem);
+        let mut machine = gr_interp::Machine::new(module, mem);
+        for c in &self.calls {
+            let args = self.resolve_args(c, &objs);
+            machine
+                .call(c.func, &args)
+                .unwrap_or_else(|e| panic!("workload call {} trapped: {e}", c.func));
+        }
+        machine
+    }
+}
+
+/// Shorthand constructors used by the suite definitions.
+pub mod dsl {
+    use super::*;
+
+    /// Float array.
+    #[must_use]
+    pub fn farr(len: usize, init: Init) -> ArraySpec {
+        ArraySpec { elem: Elem::F, len, init }
+    }
+
+    /// Integer array.
+    #[must_use]
+    pub fn iarr(len: usize, init: Init) -> ArraySpec {
+        ArraySpec { elem: Elem::I, len, init }
+    }
+
+    /// Kernel call.
+    #[must_use]
+    pub fn call(func: &'static str, args: Vec<Arg>) -> Call {
+        Call { func, args }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::dsl::*;
+
+    #[test]
+    fn materialization_is_deterministic() {
+        let w = Workload {
+            arrays: vec![farr(16, Init::RandF(0.0, 1.0)), iarr(8, Init::RandI(0, 100))],
+            calls: vec![],
+        };
+        let mut m1 = Memory::default();
+        let o1 = w.materialize(&mut m1);
+        let mut m2 = Memory::default();
+        let o2 = w.materialize(&mut m2);
+        assert_eq!(m1.floats(o1[0]), m2.floats(o2[0]));
+        assert_eq!(m1.ints(o1[1]), m2.ints(o2[1]));
+    }
+
+    #[test]
+    fn sorted_unit_is_sorted() {
+        let w = Workload { arrays: vec![farr(64, Init::SortedUnit)], calls: vec![] };
+        let mut m = Memory::default();
+        let o = w.materialize(&mut m);
+        let data = m.floats(o[0]);
+        assert!(data.windows(2).all(|w| w[0] <= w[1]));
+        assert!(data.iter().all(|&x| x > 0.0 && x < 1.0));
+    }
+
+    #[test]
+    fn run_executes_calls() {
+        let module = gr_frontend::compile(
+            "void fill(float* a, int n) { for (int i = 0; i < n; i++) a[i] = i * 2.0; }",
+        )
+        .unwrap();
+        let w = Workload {
+            arrays: vec![farr(4, Init::Zero)],
+            calls: vec![call("fill", vec![Arg::A(0), Arg::I(4)])],
+        };
+        let machine = w.run(&module);
+        assert_eq!(machine.mem.floats(gr_interp::ObjId(0)), &[0.0, 2.0, 4.0, 6.0]);
+    }
+}

@@ -1,0 +1,159 @@
+//! `greduce` — command-line driver for the general-reductions toolchain.
+//!
+//! ```text
+//! greduce detect <file.c>        detect reductions (constraint system)
+//! greduce compare <file.c>       ours vs icc-model vs Polly-model
+//! greduce ir <file.c>            dump the SSA IR
+//! greduce run <file.c> <fn> [args...]   interpret a function (int args)
+//! greduce par <file.c> <fn>      detect, outline and describe
+//! greduce suite                  detection table over all 40 benchmarks
+//! ```
+
+use gr_baselines::{icc_detect, polly_detect};
+use gr_core::detect_reductions;
+use gr_interp::{Machine, Memory, RtVal};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = || {
+        eprintln!(
+            "usage: greduce <detect|compare|ir|run|par|suite|help> [file.c] [args...]"
+        );
+        ExitCode::FAILURE
+    };
+    let Some(cmd) = args.first().map(String::as_str) else { return usage() };
+    match cmd {
+        "help" => {
+            println!("greduce — constraint-based reduction discovery (CGO 2017 reproduction)");
+            println!("  detect <file.c>              list detected reductions");
+            println!("  compare <file.c>             compare against icc/Polly models");
+            println!("  ir <file.c>                  print the SSA IR");
+            println!("  run <file.c> <fn> [ints...]  interpret a function");
+            println!("  par <file.c> <fn>            outline the reduction loop and show the plan");
+            println!("  suite                        detection table over the 40 benchmarks");
+            ExitCode::SUCCESS
+        }
+        "suite" => {
+            for suite in [
+                gr_benchsuite::Suite::Nas,
+                gr_benchsuite::Suite::Parboil,
+                gr_benchsuite::Suite::Rodinia,
+            ] {
+                println!("== {suite} ==");
+                for p in gr_benchsuite::suite_programs(suite) {
+                    let row = gr_benchsuite::measure::measure_detection(&p);
+                    println!(
+                        "{:<16} scalar={:<2} histogram={:<2} icc={:<2} polly-red={:<2} scops={}",
+                        row.name, row.scalar, row.histogram, row.icc, row.polly_reductions,
+                        row.scops
+                    );
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "detect" | "compare" | "ir" | "run" | "par" => {
+            let Some(path) = args.get(1) else { return usage() };
+            let source = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let module = match gr_frontend::compile(&source) {
+                Ok(m) => m,
+                Err(e) => {
+                    eprintln!("{path}:{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match cmd {
+                "ir" => {
+                    print!("{}", gr_ir::printer::print_module(&module));
+                    ExitCode::SUCCESS
+                }
+                "detect" => {
+                    let rs = detect_reductions(&module);
+                    if rs.is_empty() {
+                        println!("no reductions detected");
+                    }
+                    for r in &rs {
+                        println!("{r}");
+                    }
+                    ExitCode::SUCCESS
+                }
+                "compare" => {
+                    let rs = detect_reductions(&module);
+                    let scalar = rs.iter().filter(|r| r.kind.is_scalar()).count();
+                    let histo = rs.iter().filter(|r| r.kind.is_histogram()).count();
+                    let icc = icc_detect(&module);
+                    let polly = polly_detect(&module);
+                    println!("constraint system : {scalar} scalar + {histo} histogram");
+                    println!("icc model         : {} reductions", icc.len());
+                    println!(
+                        "Polly model       : {} reduction SCoPs of {} SCoPs",
+                        polly.reduction_scop_count(),
+                        polly.scop_count()
+                    );
+                    ExitCode::SUCCESS
+                }
+                "run" => {
+                    let Some(func) = args.get(2) else { return usage() };
+                    let call_args: Vec<RtVal> = args[3..]
+                        .iter()
+                        .filter_map(|a| a.parse::<i64>().ok().map(RtVal::I))
+                        .collect();
+                    let mem = Memory::new(&module);
+                    let mut machine = Machine::new(&module, mem);
+                    match machine.call(func, &call_args) {
+                        Ok(Some(v)) => {
+                            println!("{v:?}");
+                            ExitCode::SUCCESS
+                        }
+                        Ok(None) => ExitCode::SUCCESS,
+                        Err(e) => {
+                            eprintln!("trap: {e}");
+                            ExitCode::FAILURE
+                        }
+                    }
+                }
+                "par" => {
+                    let Some(func) = args.get(2) else { return usage() };
+                    let rs = detect_reductions(&module);
+                    match gr_parallel::parallelize(&module, func, &rs) {
+                        Ok((pm, plan)) => {
+                            println!(
+                                "outlined `{}` -> chunk `{}`, intrinsic `{}`",
+                                func, plan.chunk_fn, plan.intrinsic
+                            );
+                            println!(
+                                "  {} scalar accumulator(s), {} histogram(s), {} other written object(s)",
+                                plan.accs.len(),
+                                plan.hists.len(),
+                                plan.written.len()
+                            );
+                            print!(
+                                "{}",
+                                gr_ir::printer::print_function(
+                                    &pm,
+                                    pm.function(&plan.chunk_fn).expect("chunk exists")
+                                )
+                            );
+                            ExitCode::SUCCESS
+                        }
+                        Err(e) => {
+                            eprintln!("cannot outline: {e}");
+                            ExitCode::FAILURE
+                        }
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage()
+        }
+    }
+}

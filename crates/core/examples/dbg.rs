@@ -1,0 +1,39 @@
+use gr_core::atoms::MatchCtx;
+use gr_core::solver::{solve, SolveOptions};
+use gr_core::spec::scalar_reduction_spec;
+use gr_analysis::Analyses;
+
+const SRC: &str = "void km_assign(float* pts, float* centers, int* counts, int* member, float* out, int n, int k, int d) {
+    int delta = 0;
+    for (int i = 0; i < n; i++) {
+        int best = 0;
+        float bestd = 1.0e30;
+        for (int c = 0; c < k; c++) {
+            float dist = 0.0;
+            for (int j = 0; j < d; j++) {
+                float t = pts[i * d + j] - centers[c * d + j];
+                dist = dist + t * t;
+            }
+            if (dist < bestd) { bestd = dist; best = c; }
+        }
+        if (member[i] != best) delta++;
+        member[i] = best;
+        counts[best] = counts[best] + 1;
+    }
+    out[0] = delta;
+}";
+
+fn main() {
+    let m = gr_frontend::compile(SRC).unwrap();
+    let func = &m.functions[0];
+    let analyses = Analyses::new(&m, func);
+    let ctx = MatchCtx::new(&m, func, &analyses);
+    let (spec, labels) = scalar_reduction_spec();
+    let (sols, _) = solve(&spec, &ctx, SolveOptions::default());
+    println!("spec solutions: {}", sols.len());
+    for s in &sols {
+        println!("  header={} acc={}", s[labels.for_loop.header.index()], s[labels.acc.index()]);
+    }
+    let rs = gr_core::detect_reductions(&m);
+    for r in &rs { println!("detected: {r} anchor={}", r.anchor); }
+}

@@ -1,0 +1,190 @@
+//! The constraint description language: labels, the boolean constraint
+//! tree, and the specification container.
+//!
+//! A specification consists of a set of labels *I* and a predicate *c* over
+//! `values(F)^I` (paper §3.2). The predicate is a tree of conjunctions,
+//! disjunctions and [`Atom`]s. The embedded-DSL style of the paper's
+//! Figure 7 maps to [`SpecBuilder`]: composed constraints like `SESE` are
+//! plain Rust functions that add atoms over shared labels.
+
+use crate::atoms::Atom;
+
+/// A label: an index into the assignment tuple the solver searches for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Label(pub usize);
+
+impl Label {
+    /// The tuple index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A boolean combination of atomic constraints.
+#[derive(Debug, Clone)]
+pub enum Constraint {
+    /// An atomic constraint.
+    Atom(Atom),
+    /// Conjunction.
+    And(Vec<Constraint>),
+    /// Disjunction.
+    Or(Vec<Constraint>),
+}
+
+impl Constraint {
+    /// The largest label index mentioned, or `None` for empty trees.
+    #[must_use]
+    pub fn max_label(&self) -> Option<usize> {
+        match self {
+            Constraint::Atom(a) => a.labels().iter().map(|l| l.index()).max(),
+            Constraint::And(cs) | Constraint::Or(cs) => {
+                cs.iter().filter_map(Constraint::max_label).max()
+            }
+        }
+    }
+
+    /// All atoms in the tree (used for statistics and the naive solver).
+    pub fn atoms(&self) -> Vec<&Atom> {
+        match self {
+            Constraint::Atom(a) => vec![a],
+            Constraint::And(cs) | Constraint::Or(cs) => {
+                cs.iter().flat_map(Constraint::atoms).collect()
+            }
+        }
+    }
+}
+
+/// A named idiom specification: labels plus the constraint predicate.
+#[derive(Debug, Clone)]
+pub struct Spec {
+    /// Idiom name (for reports).
+    pub name: String,
+    /// Label names, in solver assignment order.
+    pub label_names: Vec<String>,
+    /// The predicate.
+    pub root: Constraint,
+}
+
+impl Spec {
+    /// Number of labels.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.label_names.len()
+    }
+
+    /// The label with the given name.
+    ///
+    /// # Panics
+    /// Panics if no label has that name (a specification bug).
+    #[must_use]
+    pub fn label(&self, name: &str) -> Label {
+        Label(
+            self.label_names
+                .iter()
+                .position(|n| n == name)
+                .unwrap_or_else(|| panic!("spec `{}` has no label `{name}`", self.name)),
+        )
+    }
+}
+
+/// Incrementally builds a [`Spec`]. The order in which labels are created
+/// is the order the solver assigns them — put well-generating labels first
+/// (the paper: "first looking for the loop header […] then looking for the
+/// end of the loop body", §3.3).
+#[derive(Debug, Default)]
+pub struct SpecBuilder {
+    name: String,
+    label_names: Vec<String>,
+    conjuncts: Vec<Constraint>,
+}
+
+impl SpecBuilder {
+    /// Starts a specification.
+    #[must_use]
+    pub fn new(name: &str) -> SpecBuilder {
+        SpecBuilder { name: name.to_string(), label_names: Vec::new(), conjuncts: Vec::new() }
+    }
+
+    /// Creates a fresh label.
+    ///
+    /// # Panics
+    /// Panics if the name is already taken.
+    pub fn label(&mut self, name: &str) -> Label {
+        assert!(
+            !self.label_names.iter().any(|n| n == name),
+            "duplicate label `{name}` in spec `{}`",
+            self.name
+        );
+        self.label_names.push(name.to_string());
+        Label(self.label_names.len() - 1)
+    }
+
+    /// Adds a top-level atomic conjunct.
+    pub fn atom(&mut self, atom: Atom) -> &mut SpecBuilder {
+        self.conjuncts.push(Constraint::Atom(atom));
+        self
+    }
+
+    /// Adds an arbitrary constraint conjunct (e.g. an `Or`).
+    pub fn constraint(&mut self, c: Constraint) -> &mut SpecBuilder {
+        self.conjuncts.push(c);
+        self
+    }
+
+    /// Adds a disjunction of the given constraints.
+    pub fn any(&mut self, cs: Vec<Constraint>) -> &mut SpecBuilder {
+        self.conjuncts.push(Constraint::Or(cs));
+        self
+    }
+
+    /// Finalizes the specification.
+    #[must_use]
+    pub fn finish(self) -> Spec {
+        Spec {
+            name: self.name,
+            label_names: self.label_names,
+            root: Constraint::And(self.conjuncts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_sequential_labels() {
+        let mut b = SpecBuilder::new("t");
+        let a = b.label("a");
+        let c = b.label("c");
+        assert_eq!(a, Label(0));
+        assert_eq!(c, Label(1));
+        let s = b.finish();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.label("c"), Label(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_labels_rejected() {
+        let mut b = SpecBuilder::new("t");
+        b.label("x");
+        b.label("x");
+    }
+
+    #[test]
+    fn max_label_spans_tree() {
+        let mut b = SpecBuilder::new("t");
+        let a = b.label("a");
+        let c = b.label("c");
+        b.atom(Atom::NotEqual { a, b: c });
+        b.any(vec![
+            Constraint::Atom(Atom::IsBlock(a)),
+            Constraint::Atom(Atom::IsBlock(c)),
+        ]);
+        let s = b.finish();
+        assert_eq!(s.root.max_label(), Some(1));
+        assert_eq!(s.root.atoms().len(), 3);
+    }
+}

@@ -1,0 +1,427 @@
+//! The detection driver: runs the idiom specifications over a module,
+//! applies the associativity post-check, filters degenerate matches and
+//! deduplicates nested solutions into one report per source-level
+//! reduction.
+
+use crate::atoms::MatchCtx;
+use crate::postcheck::classify_update;
+use crate::report::{Reduction, ReductionKind};
+use crate::solver::{solve, SolveOptions, SolveStats};
+use crate::spec::{histogram_spec, scalar_reduction_spec};
+use gr_analysis::dataflow::{computed_only_from, forward_closure_in_loop, root_object, DominanceQuery};
+use gr_analysis::loops::LoopId;
+use gr_analysis::Analyses;
+use gr_ir::{Function, Module, Opcode, ValueId};
+use std::collections::HashSet;
+
+/// Detects all scalar and histogram reductions in a module.
+#[must_use]
+pub fn detect_reductions(module: &Module) -> Vec<Reduction> {
+    let mut out = Vec::new();
+    for func in &module.functions {
+        let analyses = Analyses::new(module, func);
+        out.extend(detect_in_function(module, func, &analyses));
+    }
+    out
+}
+
+/// Detects reductions in one function (analyses supplied by the caller).
+#[must_use]
+pub fn detect_in_function(module: &Module, func: &Function, analyses: &Analyses) -> Vec<Reduction> {
+    let ctx = MatchCtx::new(module, func, analyses);
+    let mut reductions = Vec::new();
+    reductions.extend(detect_histograms(&ctx));
+    reductions.extend(detect_scalars(&ctx, &reductions));
+    reductions
+}
+
+/// Cumulative solver statistics for a module (used by benchmarks).
+#[must_use]
+pub fn detection_stats(module: &Module) -> Vec<(String, SolveStats)> {
+    let mut out = Vec::new();
+    for func in &module.functions {
+        let analyses = Analyses::new(module, func);
+        let ctx = MatchCtx::new(module, func, &analyses);
+        let (spec, _) = scalar_reduction_spec();
+        let (_, s1) = solve(&spec, &ctx, SolveOptions::default());
+        let (spec, _) = histogram_spec();
+        let (_, s2) = solve(&spec, &ctx, SolveOptions::default());
+        out.push((
+            func.name.clone(),
+            SolveStats {
+                steps: s1.steps + s2.steps,
+                solutions: s1.solutions + s2.solutions,
+                truncated: s1.truncated || s2.truncated,
+            },
+        ));
+    }
+    out
+}
+
+fn loop_of_header_block(ctx: &MatchCtx<'_>, header_label: ValueId) -> LoopId {
+    ctx.loop_of_header(header_label).expect("spec guarantees a loop header")
+}
+
+fn detect_scalars(ctx: &MatchCtx<'_>, histograms: &[Reduction]) -> Vec<Reduction> {
+    let (spec, labels) = scalar_reduction_spec();
+    let (sols, _) = solve(&spec, ctx, SolveOptions::default());
+    let func = ctx.func;
+    let mut seen: HashSet<(ValueId, ValueId)> = HashSet::new();
+    let mut found: Vec<Reduction> = Vec::new();
+    for s in sols {
+        let header_label = s[labels.for_loop.header.index()];
+        let acc = s[labels.acc.index()];
+        if !seen.insert((header_label, acc)) {
+            continue;
+        }
+        let lid = loop_of_header_block(ctx, header_label);
+        let acc_next = s[labels.acc_next.index()];
+        // Associativity post-check.
+        let Some(op) = classify_update(func, ctx.analyses, lid, acc, acc_next) else {
+            continue;
+        };
+        // Degenerate-accumulation filter: the update must consume at least
+        // one memory read (otherwise it is a closed-form accumulation over
+        // invariants — e.g. a secondary induction variable — which is
+        // strength-reducible, not a reduction worth privatizing).
+        let iterator = s[labels.for_loop.iterator.index()];
+        let q = DominanceQuery {
+            func,
+            forest: &ctx.analyses.loops,
+            cdeps: &ctx.analyses.cdeps,
+            invariance: &ctx.invariance,
+            purity: &ctx.analyses.purity,
+            lid,
+            inst_blocks: &ctx.inst_blocks,
+        };
+        let walk = computed_only_from(&q, acc_next, &|v, in_addr| {
+            v == acc || (in_addr && v == iterator)
+        });
+        if walk.loads.is_empty() {
+            continue;
+        }
+        let affine = loads_affine(ctx, lid, iterator, &walk.loads);
+        let l = ctx.analyses.loops.get(lid);
+        found.push(Reduction {
+            function: func.name.clone(),
+            kind: ReductionKind::Scalar,
+            op,
+            header: l.header,
+            depth: l.depth,
+            anchor: acc,
+            object: None,
+            affine,
+            bindings: bindings(&spec.label_names, &s),
+        });
+    }
+    let _ = histograms;
+    dedup_nested_scalars(ctx, found)
+}
+
+/// Drops inner-loop reports of multi-loop accumulations: if reduction `A`'s
+/// loop is strictly inside reduction `B`'s and the two accumulators are
+/// data-connected inside `B`'s loop — `A` continues `B`'s chain (nested
+/// sum), or `A`'s result feeds `B`'s update term (`cost += dot(...)`) —
+/// then the source-level reduction is `B`.
+fn dedup_nested_scalars(ctx: &MatchCtx<'_>, mut found: Vec<Reduction>) -> Vec<Reduction> {
+    let func = ctx.func;
+    let forest = &ctx.analyses.loops;
+    let mut drop = vec![false; found.len()];
+    for (bi, b) in found.iter().enumerate() {
+        let Some(b_lid) = forest.loop_with_header(b.header) else { continue };
+        let closure = forward_closure_in_loop(
+            func,
+            &ctx.analyses.users,
+            forest,
+            b_lid,
+            &ctx.inst_blocks,
+            b.anchor,
+        );
+        for (ai, a) in found.iter().enumerate() {
+            if ai == bi || drop[bi] {
+                continue;
+            }
+            let outer = forest.get(b_lid);
+            if !outer.contains(a.header) || a.header == b.header {
+                continue;
+            }
+            if closure.contains(&a.anchor) {
+                drop[ai] = true;
+                continue;
+            }
+            let a_reach = forward_closure_in_loop(
+                func,
+                &ctx.analyses.users,
+                forest,
+                b_lid,
+                &ctx.inst_blocks,
+                a.anchor,
+            );
+            if a_reach.contains(&b.anchor) {
+                drop[ai] = true;
+            }
+        }
+    }
+    let mut i = 0;
+    found.retain(|_| {
+        let keep = !drop[i];
+        i += 1;
+        keep
+    });
+    found
+}
+
+fn detect_histograms(ctx: &MatchCtx<'_>) -> Vec<Reduction> {
+    let (spec, labels) = histogram_spec();
+    let (sols, _) = solve(&spec, ctx, SolveOptions::default());
+    let func = ctx.func;
+    let mut seen: HashSet<ValueId> = HashSet::new();
+    let mut found = Vec::new();
+    for s in sols {
+        let store = s[labels.store.index()];
+        if !seen.insert(store) {
+            continue;
+        }
+        let header_label = s[labels.for_loop.header.index()];
+        let lid = loop_of_header_block(ctx, header_label);
+        let old = s[labels.old.index()];
+        let newv = s[labels.newv.index()];
+        let Some(op) = classify_update(func, ctx.analyses, lid, old, newv) else {
+            continue;
+        };
+        let iterator = s[labels.for_loop.iterator.index()];
+        let base = s[labels.base.index()];
+        let object = root_object(func, base);
+        // Affinity of the inputs feeding idx and newv.
+        let q = DominanceQuery {
+            func,
+            forest: &ctx.analyses.loops,
+            cdeps: &ctx.analyses.cdeps,
+            invariance: &ctx.invariance,
+            purity: &ctx.analyses.purity,
+            lid,
+            inst_blocks: &ctx.inst_blocks,
+        };
+        let idx_walk = computed_only_from(&q, s[labels.idx.index()], &|v, in_addr| {
+            in_addr && v == iterator
+        });
+        let new_walk = computed_only_from(&q, newv, &|v, in_addr| {
+            v == old || (in_addr && v == iterator)
+        });
+        let mut loads = idx_walk.loads.clone();
+        loads.extend(new_walk.loads.iter().copied());
+        let affine = loads_affine(ctx, lid, iterator, &loads);
+        let l = ctx.analyses.loops.get(lid);
+        found.push(Reduction {
+            function: func.name.clone(),
+            kind: ReductionKind::Histogram,
+            op,
+            header: l.header,
+            depth: l.depth,
+            anchor: store,
+            object,
+            affine,
+            bindings: bindings(&spec.label_names, &s),
+        });
+    }
+    found
+}
+
+/// Whether every load's index is affine in the loop's iterator — the
+/// paper's strict "indices affine in the loop iterator" condition, recorded
+/// per reduction. For reductions spanning a loop nest, affinity is judged
+/// in all counted-loop iterators inside the reduction loop (e.g.
+/// `a[i*m + j]`).
+fn loads_affine(ctx: &MatchCtx<'_>, lid: LoopId, iterator: ValueId, loads: &[ValueId]) -> bool {
+    let func = ctx.func;
+    let forest = &ctx.analyses.loops;
+    let outer = forest.get(lid);
+    let mut iterators = vec![iterator];
+    for (i, l) in forest.loops().iter().enumerate() {
+        if l.header != outer.header && outer.contains(l.header) {
+            if let Some(shape) = gr_analysis::loops::match_for_shape(func, forest, LoopId(i as u32))
+            {
+                iterators.push(shape.iterator);
+            }
+        }
+    }
+    let is_inv = |v: ValueId| ctx.invariance.is_invariant(lid, v);
+    loads.iter().all(|&ld| {
+        let ptr = func.value(ld).kind.operands()[0];
+        match func.value(ptr).kind.opcode() {
+            Some(Opcode::Gep) => {
+                let idx = func.value(ptr).kind.operands()[1];
+                gr_analysis::scev::is_affine(func, &iterators, &is_inv, idx)
+            }
+            _ => false,
+        }
+    })
+}
+
+fn bindings(names: &[String], asg: &[ValueId]) -> Vec<(String, ValueId)> {
+    names.iter().cloned().zip(asg.iter().copied()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ReductionOp;
+    use gr_frontend::compile;
+
+    fn detect(src: &str) -> Vec<Reduction> {
+        detect_reductions(&compile(src).unwrap())
+    }
+
+    #[test]
+    fn ep_kernel_yields_two_scalars_and_one_histogram() {
+        // The paper's Figure 2 in full.
+        let rs = detect(
+            "void ep(float* x, float* q, float* sums, int nk) {
+                 float sx = 0.0;
+                 float sy = 0.0;
+                 for (int i = 0; i < nk; i++) {
+                     float x1 = 2.0 * x[2 * i] - 1.0;
+                     float x2 = 2.0 * x[2 * i + 1] - 1.0;
+                     float t1 = x1 * x1 + x2 * x2;
+                     if (t1 <= 1.0) {
+                         float t2 = sqrt(-2.0 * log(t1) / t1);
+                         float t3 = x1 * t2;
+                         float t4 = x2 * t2;
+                         int l = fmax(fabs(t3), fabs(t4));
+                         q[l] = q[l] + 1.0;
+                         sx = sx + t3;
+                         sy = sy + t4;
+                     }
+                 }
+                 sums[0] = sx;
+                 sums[1] = sy;
+             }",
+        );
+        let scalars = rs.iter().filter(|r| r.kind.is_scalar()).count();
+        let histos = rs.iter().filter(|r| r.kind.is_histogram()).count();
+        assert_eq!(scalars, 2, "{rs:?}");
+        assert_eq!(histos, 1, "{rs:?}");
+        assert!(rs.iter().all(|r| r.op == ReductionOp::Add));
+    }
+
+    #[test]
+    fn counterexample_kills_everything() {
+        // Paper §2: with `t1 <= sx` the loop has no legal reductions at
+        // all (control dependence on an intermediate result).
+        let rs = detect(
+            "void ep(float* x, float* q, float* sums, int nk) {
+                 float sx = 0.0;
+                 float sy = 0.0;
+                 for (int i = 0; i < nk; i++) {
+                     float x1 = 2.0 * x[2 * i] - 1.0;
+                     float x2 = 2.0 * x[2 * i + 1] - 1.0;
+                     float t1 = x1 * x1 + x2 * x2;
+                     if (t1 <= sx) {
+                         float t2 = sqrt(-2.0 * log(t1) / t1);
+                         float t3 = x1 * t2;
+                         float t4 = x2 * t2;
+                         int l = fmax(fabs(t3), fabs(t4));
+                         q[l] = q[l] + 1.0;
+                         sx = sx + t3;
+                         sy = sy + t4;
+                     }
+                 }
+                 sums[0] = sx;
+                 sums[1] = sy;
+             }",
+        );
+        assert!(rs.is_empty(), "{rs:?}");
+    }
+
+    #[test]
+    fn nested_sum_reported_once_at_outer_loop() {
+        let rs = detect(
+            "float f(float* a, int n, int m) {
+                 float s = 0.0;
+                 for (int i = 0; i < n; i++)
+                     for (int j = 0; j < m; j++)
+                         s += a[i * m + j];
+                 return s;
+             }",
+        );
+        assert_eq!(rs.len(), 1, "{rs:?}");
+        assert_eq!(rs[0].depth, 1, "must report the outermost loop");
+        assert!(rs[0].affine);
+    }
+
+    #[test]
+    fn tpacf_histogram_is_non_affine() {
+        let rs = detect(
+            "void tpacf(int* bins, float* binb, float* dots, int n, int nbins) {
+                 for (int i = 0; i < n; i++) {
+                     float d = dots[i];
+                     int lo = 0;
+                     int hi = nbins;
+                     while (hi > lo + 1) {
+                         int mid = (lo + hi) / 2;
+                         if (d >= binb[mid]) { hi = mid; } else { lo = mid; }
+                     }
+                     bins[lo] = bins[lo] + 1;
+                 }
+             }",
+        );
+        assert_eq!(rs.len(), 1, "{rs:?}");
+        assert!(rs[0].kind.is_histogram());
+        assert!(!rs[0].affine, "binary-search index is not affine");
+    }
+
+    #[test]
+    fn multiple_functions_all_scanned() {
+        let rs = detect(
+            "float f(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[i]; return s; }
+             float g(float* a, int n) { float p = 1.0; for (int i = 0; i < n; i++) p *= a[i]; return p; }",
+        );
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs[0].op, ReductionOp::Add);
+        assert_eq!(rs[1].op, ReductionOp::Mul);
+    }
+
+    #[test]
+    fn secondary_induction_variable_not_reported() {
+        let rs = detect(
+            "int f(int n) {
+                 int j = 0;
+                 for (int i = 0; i < n; i++) j += 3;
+                 return j;
+             }",
+        );
+        assert!(rs.is_empty(), "{rs:?}");
+    }
+
+    #[test]
+    fn kmeans_style_loop_detects_counts_and_sums() {
+        // Histogram on the membership counts; scalar reductions on delta
+        // (outer loop) and on the distance accumulator (innermost loop).
+        // The argmin pair (best, bestd) is correctly rejected: privatizing
+        // bestd alone would corrupt best.
+        let rs = detect(
+            "void assign(float* pts, float* centers, int* counts, float* sums, int* member, int n, int k, int d) {
+                 int delta = 0;
+                 for (int i = 0; i < n; i++) {
+                     int best = 0;
+                     float bestd = 1.0e30;
+                     for (int c = 0; c < k; c++) {
+                         float dist = 0.0;
+                         for (int j = 0; j < d; j++) {
+                             float t = pts[i * d + j] - centers[c * d + j];
+                             dist += t * t;
+                         }
+                         if (dist < bestd) { bestd = dist; best = c; }
+                     }
+                     if (member[i] != best) delta++;
+                     counts[best] = counts[best] + 1;
+                 }
+                 sums[0] = delta;
+             }",
+        );
+        let histos = rs.iter().filter(|r| r.kind.is_histogram()).count();
+        let scalars = rs.iter().filter(|r| r.kind.is_scalar()).count();
+        assert_eq!(histos, 1, "{rs:?}");
+        assert_eq!(scalars, 2, "{rs:?}");
+    }
+}

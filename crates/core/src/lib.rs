@@ -1,0 +1,44 @@
+//! # gr-core — constraint-based discovery of general reductions
+//!
+//! This crate is the primary contribution of the reproduced paper
+//! (Ginsbach & O'Boyle, *"Discovery and Exploitation of General Reductions:
+//! A Constraint Based Approach"*, CGO 2017):
+//!
+//! 1. a **constraint description language** for computational idioms over
+//!    SSA IR — boolean combinations ([`constraint::Constraint`]) of atomic
+//!    constraints ([`atoms::Atom`]) over labelled tuples of IR values,
+//! 2. a **generic backtracking solver** ([`solver`]) implementing the
+//!    paper's `DETECT` procedure (Figure 6): labels are assigned one at a
+//!    time, candidates are generated from the constraints themselves, and
+//!    partial assignments that violate any decided constraint are pruned,
+//! 3. **idiom specifications** for for-loops (Figure 5), scalar reductions
+//!    (§3.1.1) and histogram reductions (§3.1.2) in [`spec`],
+//! 4. the **post-checks** the paper performs outside the constraint
+//!    language (associativity of the update operator) in [`postcheck`], and
+//! 5. a [`detect`] driver that runs the specifications over a module and
+//!    produces deduplicated [`report::Reduction`] records.
+//!
+//! # Example
+//!
+//! ```
+//! let module = gr_frontend::compile(
+//!     "float sum(float* a, int n) {
+//!          float s = 0.0;
+//!          for (int i = 0; i < n; i++) s += a[i];
+//!          return s;
+//!      }").unwrap();
+//! let reductions = gr_core::detect::detect_reductions(&module);
+//! assert_eq!(reductions.len(), 1);
+//! assert!(reductions[0].kind.is_scalar());
+//! ```
+
+pub mod atoms;
+pub mod constraint;
+pub mod detect;
+pub mod postcheck;
+pub mod report;
+pub mod solver;
+pub mod spec;
+
+pub use detect::detect_reductions;
+pub use report::{Reduction, ReductionKind, ReductionOp};

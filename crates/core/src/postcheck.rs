@@ -1,0 +1,514 @@
+//! Post-processing checks outside the constraint language.
+//!
+//! The paper (§3.1.2): *"There are some additional necessary conditions
+//! that we can not currently express in our constraint language. These
+//! include the associativity of the update operation […]. Associativity is
+//! established in a post processing step."*
+//!
+//! [`classify_update`] walks the accumulator's update chain from the
+//! per-iteration result back to the carried value and decides which
+//! associative-commutative operator it implements:
+//!
+//! * `x' = x ⊕ t` / `x' = x - t` (folded to `Add`) / `x' = x * t`,
+//! * `x' = fmin/fmax/imin/imax(x, t)`,
+//! * `x' = select(cmp(t, x), t, x)` and the branch-and-phi equivalent,
+//! * conditional no-ops through merge phis (`x' = φ(x, x ⊕ t)`),
+//!
+//! where `t` must not depend on `x`. Mixed operators, `t - x`, casts of the
+//! carried value, and self-referential conditions that are not min/max
+//! patterns all yield `None`.
+
+use crate::report::ReductionOp;
+use gr_analysis::control_dep::ControlDeps;
+use gr_analysis::dataflow::forward_closure_in_loop;
+use gr_analysis::loops::{LoopForest, LoopId};
+use gr_analysis::Analyses;
+use gr_ir::{BinOp, CmpPred, Function, Opcode, ValueId, ValueKind};
+use std::collections::{HashMap, HashSet};
+
+/// Chain classification lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Chain {
+    /// The carried value flows through unchanged on this path.
+    Identity,
+    /// The carried value is combined with an independent term.
+    Op(ReductionOp),
+}
+
+fn combine(a: Chain, b: Chain) -> Option<Chain> {
+    match (a, b) {
+        (Chain::Identity, x) | (x, Chain::Identity) => Some(x),
+        (Chain::Op(x), Chain::Op(y)) if x == y => Some(Chain::Op(x)),
+        _ => None,
+    }
+}
+
+/// Classifies the update chain from `result` (the per-iteration value:
+/// `acc_next` for scalars, the stored value for histograms) back to
+/// `source` (the accumulator phi, or the loaded old value). Returns the
+/// reduction operator, or `None` when the update is not a recognizable
+/// associative-commutative pattern.
+#[must_use]
+pub fn classify_update(
+    func: &Function,
+    analyses: &Analyses,
+    lid: LoopId,
+    source: ValueId,
+    result: ValueId,
+) -> Option<ReductionOp> {
+    let inst_blocks = func.inst_blocks();
+    let mut chain_set: HashSet<ValueId> = forward_closure_in_loop(
+        func,
+        &analyses.users,
+        &analyses.loops,
+        lid,
+        &inst_blocks,
+        source,
+    )
+    .into_iter()
+    .collect();
+    chain_set.insert(source);
+    let _ = inst_blocks;
+    let mut ctx = Classifier {
+        func,
+        forest: &analyses.loops,
+        cdeps: &analyses.cdeps,
+        lid,
+        source,
+        chain_set,
+        memo: HashMap::new(),
+    };
+    match ctx.classify(result)? {
+        Chain::Identity => None, // never actually updated
+        Chain::Op(op) => Some(op),
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Memo {
+    /// Classification in progress further up the stack (cycle).
+    InProgress,
+    /// Finished.
+    Done(Option<Chain>),
+}
+
+struct Classifier<'a> {
+    func: &'a Function,
+    forest: &'a LoopForest,
+    cdeps: &'a ControlDeps,
+    lid: LoopId,
+    source: ValueId,
+    chain_set: HashSet<ValueId>,
+    memo: HashMap<ValueId, Memo>,
+}
+
+impl<'a> Classifier<'a> {
+    fn is_chain(&self, v: ValueId) -> bool {
+        v == self.source || self.chain_set.contains(&v)
+    }
+
+    fn classify(&mut self, v: ValueId) -> Option<Chain> {
+        if v == self.source {
+            return Some(Chain::Identity);
+        }
+        if !self.is_chain(v) {
+            return None; // a free term is not part of the chain
+        }
+        match self.memo.get(&v) {
+            // A back-reference into a value currently being classified is a
+            // loop-carried recurrence (inner-loop accumulation cycle): the
+            // chain closes here, contributing identity, and the operators
+            // applied along the cycle are collected by the enclosing calls.
+            Some(Memo::InProgress) => return Some(Chain::Identity),
+            Some(&Memo::Done(c)) => return c,
+            None => {}
+        }
+        self.memo.insert(v, Memo::InProgress);
+        let c = self.classify_inner(v);
+        self.memo.insert(v, Memo::Done(c));
+        c
+    }
+
+    fn classify_inner(&mut self, v: ValueId) -> Option<Chain> {
+        let data = self.func.value(v);
+        let ValueKind::Inst { opcode, operands } = &data.kind else { return None };
+        match opcode {
+            Opcode::Bin(BinOp::Add) => self.classify_binary(operands, ReductionOp::Add, true),
+            Opcode::Bin(BinOp::Sub) => {
+                // x - t folds into the additive class; t - x does not.
+                let (a, b) = (operands[0], operands[1]);
+                if self.is_chain(a) && !self.is_chain(b) {
+                    let inner = self.classify(a)?;
+                    combine(inner, Chain::Op(ReductionOp::Add))
+                } else {
+                    None
+                }
+            }
+            Opcode::Bin(BinOp::Mul) => self.classify_binary(operands, ReductionOp::Mul, true),
+            Opcode::Call(name) => {
+                let op = match name.as_str() {
+                    "fmin" | "imin" => ReductionOp::Min,
+                    "fmax" | "imax" => ReductionOp::Max,
+                    _ => return None,
+                };
+                self.classify_binary(operands, op, true)
+            }
+            Opcode::Select => {
+                let (c, t, f) = (operands[0], operands[1], operands[2]);
+                if self.is_chain(c) {
+                    // select(cmp(t, x)…) min/max pattern.
+                    self.classify_minmax_select(c, t, f)
+                } else {
+                    let ct = self.classify(t)?;
+                    let cf = self.classify(f)?;
+                    combine(ct, cf)
+                }
+            }
+            Opcode::Phi => {
+                let mut acc: Option<Chain> = None;
+                for pair in operands.chunks(2) {
+                    let (val, from_label) = (pair[0], pair[1]);
+                    let from = self.func.block_of_label(from_label);
+                    let c = if self.is_chain(val) {
+                        let c = self.classify(val)?;
+                        // An actual update gated by a condition that itself
+                        // depends on the carried value is not associative
+                        // (the paper's `t1 <= sx` counterexample); only
+                        // identity arms may be chain-gated, and free arms
+                        // only via the min/max exchange below.
+                        if c != Chain::Identity && self.arm_gated_by_chain(from) {
+                            return None;
+                        }
+                        c
+                    } else {
+                        // A foreign incoming value is legal only as the
+                        // taken arm of a branch-based min/max on the
+                        // carried value.
+                        self.classify_minmax_phi_arm(val, from)?
+                    };
+                    acc = Some(match acc {
+                        None => c,
+                        Some(prev) => combine(prev, c)?,
+                    });
+                }
+                acc
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the incoming block `from` is controlled (within the loop,
+    /// excluding the loop's own test) by a condition computed from the
+    /// carried value.
+    fn arm_gated_by_chain(&self, from: gr_ir::BlockId) -> bool {
+        let l = self.forest.get(self.lid);
+        let header = l.header;
+        let within = |b: gr_ir::BlockId| l.contains(b) && b != header;
+        self.cdeps
+            .controlling_conditions(self.func, from, Some(&within))
+            .iter()
+            .any(|&c| self.is_chain(c))
+    }
+
+    /// `op(chain, t)` or `op(t, chain)` with `t` independent of the chain.
+    fn classify_binary(
+        &mut self,
+        operands: &[ValueId],
+        op: ReductionOp,
+        commutes: bool,
+    ) -> Option<Chain> {
+        let (a, b) = (operands[0], operands[1]);
+        let (chain, free) = if self.is_chain(a) && !self.is_chain(b) {
+            (a, b)
+        } else if commutes && self.is_chain(b) && !self.is_chain(a) {
+            (b, a)
+        } else {
+            return None;
+        };
+        let _ = free;
+        let inner = self.classify(chain)?;
+        combine(inner, Chain::Op(op))
+    }
+
+    /// `select(cmp(p, q), t, f)` where `{t, f} = {p, q}`, one side the
+    /// chain: the canonical conditional min/max.
+    fn classify_minmax_select(&mut self, cond: ValueId, t: ValueId, f: ValueId) -> Option<Chain> {
+        let cdata = self.func.value(cond);
+        let Some(&Opcode::Cmp(pred)) = cdata.kind.opcode() else { return None };
+        let (p, q) = (cdata.kind.operands()[0], cdata.kind.operands()[1]);
+        // Normalize to `taken = t when p PRED q`.
+        let op = if t == p && f == q {
+            // (p PRED q) ? p : q — take p when it wins the comparison.
+            minmax_of(pred)
+        } else if t == q && f == p {
+            // (p PRED q) ? q : p — the opposite selection.
+            minmax_of(pred).map(flip)
+        } else {
+            return None;
+        }?;
+        // One of the two selected values must be the chain (Identity arm).
+        let (chain, free) = if self.is_chain(t) && !self.is_chain(f) {
+            (t, f)
+        } else if self.is_chain(f) && !self.is_chain(t) {
+            (f, t)
+        } else {
+            return None;
+        };
+        let _ = free;
+        let inner = self.classify(chain)?;
+        combine(inner, Chain::Op(op))
+    }
+
+    /// Branch-based min/max: a phi arm `val` arriving from block `from`
+    /// that is control-dependent on `cmp(val, chain)` (or swapped).
+    fn classify_minmax_phi_arm(&mut self, val: ValueId, from: gr_ir::BlockId) -> Option<Chain> {
+        // Find the branch controlling `from` within the loop; require its
+        // condition to compare `val` against a chain value.
+        let l = self.forest.get(self.lid);
+        let _ = l;
+        let func = self.func;
+        // Walk the predecessors of `from` (and `from` itself) for a condbr
+        // whose taken/untaken arm decides this phi input.
+        let mut candidates: Vec<ValueId> = Vec::new();
+        for b in func.block_ids() {
+            if let Some(term) = func.terminator(b) {
+                if func.value(term).kind.opcode() == Some(&Opcode::CondBr) {
+                    let ops = func.value(term).kind.operands();
+                    let then_b = func.block_of_label(ops[1]);
+                    let else_b = func.block_of_label(ops[2]);
+                    if then_b == from || else_b == from {
+                        candidates.push(term);
+                    }
+                }
+            }
+        }
+        for term in candidates {
+            let ops = func.value(term).kind.operands().to_vec();
+            let cond = ops[0];
+            let cdata = func.value(cond);
+            let Some(&Opcode::Cmp(pred)) = cdata.kind.opcode() else { continue };
+            let (p, q) = (cdata.kind.operands()[0], cdata.kind.operands()[1]);
+            let then_b = func.block_of_label(ops[1]);
+            let taken_when_true = then_b == from;
+            // Normalize: val PRED chain when arriving on the true edge.
+            let normalized = if p == val && self.is_chain(q) {
+                Some(pred)
+            } else if q == val && self.is_chain(p) {
+                Some(pred.swapped())
+            } else {
+                None
+            };
+            let Some(mut pred) = normalized else { continue };
+            if !taken_when_true {
+                pred = pred.negated();
+            }
+            // `val` replaces the accumulator when `val PRED acc` holds.
+            if let Some(op) = minmax_of(pred) {
+                return Some(Chain::Op(op));
+            }
+        }
+        None
+    }
+}
+
+fn minmax_of(pred: CmpPred) -> Option<ReductionOp> {
+    match pred {
+        CmpPred::Lt | CmpPred::Le => Some(ReductionOp::Min),
+        CmpPred::Gt | CmpPred::Ge => Some(ReductionOp::Max),
+        CmpPred::Eq | CmpPred::Ne => None,
+    }
+}
+
+fn flip(op: ReductionOp) -> ReductionOp {
+    match op {
+        ReductionOp::Min => ReductionOp::Max,
+        ReductionOp::Max => ReductionOp::Min,
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gr_frontend::compile;
+    use gr_ir::Type;
+
+    /// Runs classify_update on the single float accumulator of `src`.
+    fn classify_acc(src: &str) -> Option<ReductionOp> {
+        let m = compile(src).unwrap();
+        let func = m.functions.iter().find(|f| {
+            f.value_ids().any(|v| {
+                f.value(v).kind.opcode() == Some(&Opcode::Phi) && f.value(v).ty != Type::Int
+            })
+        })?;
+        let analyses = Analyses::new(&m, func);
+        let acc = func.value_ids().find(|&v| {
+            f_is_header_phi(func, &analyses, v) && func.value(v).ty == Type::Float
+        })?;
+        let lid = analyses
+            .loops
+            .loops()
+            .iter()
+            .position(|l| func.block(l.header).insts.contains(&acc))
+            .map(|i| LoopId(i as u32))?;
+        let latch = analyses.loops.get(lid).latches[0];
+        let acc_next = func
+            .phi_incoming(acc)
+            .into_iter()
+            .find(|(_, b)| *b == latch)
+            .map(|(v, _)| v)?;
+        classify_update(func, &analyses, lid, acc, acc_next)
+    }
+
+    fn f_is_header_phi(func: &Function, analyses: &Analyses, v: ValueId) -> bool {
+        func.value(v).kind.opcode() == Some(&Opcode::Phi)
+            && analyses
+                .loops
+                .loops()
+                .iter()
+                .any(|l| func.block(l.header).insts.contains(&v))
+    }
+
+    #[test]
+    fn plain_sum_is_add() {
+        assert_eq!(
+            classify_acc(
+                "float f(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[i]; return s; }"
+            ),
+            Some(ReductionOp::Add)
+        );
+    }
+
+    #[test]
+    fn subtraction_folds_to_add() {
+        assert_eq!(
+            classify_acc(
+                "float f(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s -= a[i]; return s; }"
+            ),
+            Some(ReductionOp::Add)
+        );
+    }
+
+    #[test]
+    fn product_is_mul() {
+        assert_eq!(
+            classify_acc(
+                "float f(float* a, int n) { float s = 1.0; for (int i = 0; i < n; i++) s *= a[i]; return s; }"
+            ),
+            Some(ReductionOp::Mul)
+        );
+    }
+
+    #[test]
+    fn fmin_call_is_min() {
+        assert_eq!(
+            classify_acc(
+                "float f(float* a, int n) { float s = 1.0e30; for (int i = 0; i < n; i++) s = fmin(s, a[i]); return s; }"
+            ),
+            Some(ReductionOp::Min)
+        );
+    }
+
+    #[test]
+    fn conditional_if_min_is_min() {
+        assert_eq!(
+            classify_acc(
+                "float f(float* a, int n) { float s = 1.0e30; for (int i = 0; i < n; i++) { float v = a[i]; if (v < s) s = v; } return s; }"
+            ),
+            Some(ReductionOp::Min)
+        );
+    }
+
+    #[test]
+    fn conditional_if_max_is_max() {
+        assert_eq!(
+            classify_acc(
+                "float f(float* a, int n) { float s = -1.0e30; for (int i = 0; i < n; i++) { float v = a[i]; if (v > s) s = v; } return s; }"
+            ),
+            Some(ReductionOp::Max)
+        );
+    }
+
+    #[test]
+    fn ternary_max_is_max() {
+        assert_eq!(
+            classify_acc(
+                "float f(float* a, int n) { float s = -1.0e30; for (int i = 0; i < n; i++) { float v = a[i]; s = v > s ? v : s; } return s; }"
+            ),
+            Some(ReductionOp::Max)
+        );
+    }
+
+    #[test]
+    fn conditional_sum_is_add() {
+        assert_eq!(
+            classify_acc(
+                "float f(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) { if (a[i] > 0.0) s += a[i]; } return s; }"
+            ),
+            Some(ReductionOp::Add)
+        );
+    }
+
+    #[test]
+    fn multiple_updates_same_op_ok() {
+        assert_eq!(
+            classify_acc(
+                "float f(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) { s += a[2*i]; s += a[2*i+1]; } return s; }"
+            ),
+            Some(ReductionOp::Add)
+        );
+    }
+
+    #[test]
+    fn mixed_operators_rejected() {
+        assert_eq!(
+            classify_acc(
+                "float f(float* a, int n) { float s = 1.0; for (int i = 0; i < n; i++) { s += a[2*i]; s *= a[2*i+1]; } return s; }"
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn reversed_subtraction_rejected() {
+        assert_eq!(
+            classify_acc(
+                "float f(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s = a[i] - s; return s; }"
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn division_rejected() {
+        assert_eq!(
+            classify_acc(
+                "float f(float* a, int n) { float s = 1.0; for (int i = 0; i < n; i++) s /= a[i]; return s; }"
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn guarded_sum_on_accumulator_rejected() {
+        // `if (a[i] <= s) s += a[i]` — self-referential condition that is
+        // not a min/max exchange.
+        assert_eq!(
+            classify_acc(
+                "float f(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) { if (a[i] <= s) s += a[i]; } return s; }"
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn linear_recurrence_rejected() {
+        // s appears in both operands: s = s + s*a[i].
+        assert_eq!(
+            classify_acc(
+                "float f(float* a, int n) { float s = 1.0; for (int i = 0; i < n; i++) s = s + s * a[i]; return s; }"
+            ),
+            None
+        );
+    }
+}

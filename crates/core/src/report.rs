@@ -1,0 +1,187 @@
+//! Reduction reports: what the detector hands to code generation.
+
+use gr_ir::{BlockId, ValueId};
+use std::fmt;
+
+/// The (associative, commutative) update operator of a reduction. This is
+/// what the privatizing runtime uses to initialize and merge partial
+/// results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReductionOp {
+    /// Sum (also covers `x - t`, folded as adding negated terms).
+    Add,
+    /// Product.
+    Mul,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl ReductionOp {
+    /// Identity element for floats.
+    #[must_use]
+    pub fn identity_float(self) -> f64 {
+        match self {
+            ReductionOp::Add => 0.0,
+            ReductionOp::Mul => 1.0,
+            ReductionOp::Min => f64::INFINITY,
+            ReductionOp::Max => f64::NEG_INFINITY,
+        }
+    }
+
+    /// Identity element for integers.
+    #[must_use]
+    pub fn identity_int(self) -> i64 {
+        match self {
+            ReductionOp::Add => 0,
+            ReductionOp::Mul => 1,
+            ReductionOp::Min => i64::MAX,
+            ReductionOp::Max => i64::MIN,
+        }
+    }
+
+    /// Merges two float partials.
+    #[must_use]
+    pub fn merge_float(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReductionOp::Add => a + b,
+            ReductionOp::Mul => a * b,
+            ReductionOp::Min => a.min(b),
+            ReductionOp::Max => a.max(b),
+        }
+    }
+
+    /// Merges two integer partials.
+    #[must_use]
+    pub fn merge_int(self, a: i64, b: i64) -> i64 {
+        match self {
+            ReductionOp::Add => a.wrapping_add(b),
+            ReductionOp::Mul => a.wrapping_mul(b),
+            ReductionOp::Min => a.min(b),
+            ReductionOp::Max => a.max(b),
+        }
+    }
+}
+
+impl fmt::Display for ReductionOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReductionOp::Add => "+",
+            ReductionOp::Mul => "*",
+            ReductionOp::Min => "min",
+            ReductionOp::Max => "max",
+        })
+    }
+}
+
+/// Kind of a detected reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReductionKind {
+    /// Accumulation into a scalar SSA value.
+    Scalar,
+    /// Load-modify-store of an array cell at a data-dependent index.
+    Histogram,
+}
+
+impl ReductionKind {
+    /// Whether this is a scalar reduction.
+    #[must_use]
+    pub fn is_scalar(self) -> bool {
+        self == ReductionKind::Scalar
+    }
+
+    /// Whether this is a histogram reduction.
+    #[must_use]
+    pub fn is_histogram(self) -> bool {
+        self == ReductionKind::Histogram
+    }
+}
+
+impl fmt::Display for ReductionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReductionKind::Scalar => "scalar",
+            ReductionKind::Histogram => "histogram",
+        })
+    }
+}
+
+/// One detected reduction.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// Function containing the reduction.
+    pub function: String,
+    /// Scalar or histogram.
+    pub kind: ReductionKind,
+    /// Update operator (from the associativity post-check).
+    pub op: ReductionOp,
+    /// Header block of the reduction loop.
+    pub header: BlockId,
+    /// Nesting depth of the loop (outermost = 1).
+    pub depth: u32,
+    /// The anchor value: the accumulator phi (scalar) or the store
+    /// instruction (histogram).
+    pub anchor: ValueId,
+    /// For histograms, the root pointer of the histogram object.
+    pub object: Option<ValueId>,
+    /// Whether every input array access involved is affine in the loop
+    /// iterator (the paper's strict conditions; histograms like tpacf have
+    /// non-affine index computations and report `false`).
+    pub affine: bool,
+    /// Full solver assignment as `(label, value)` pairs, for codegen and
+    /// diagnostics.
+    pub bindings: Vec<(String, ValueId)>,
+}
+
+impl Reduction {
+    /// Looks up a label binding by name.
+    ///
+    /// # Panics
+    /// Panics if the label is absent (a detector bug).
+    #[must_use]
+    pub fn binding(&self, label: &str) -> ValueId {
+        self.bindings
+            .iter()
+            .find(|(n, _)| n == label)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("reduction has no binding `{label}`"))
+    }
+}
+
+impl fmt::Display for Reduction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} reduction ({}) in @{} at {} (depth {}{})",
+            self.kind,
+            self.op,
+            self.function,
+            self.header,
+            self.depth,
+            if self.affine { ", affine" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities_and_merges() {
+        assert_eq!(ReductionOp::Add.identity_float(), 0.0);
+        assert_eq!(ReductionOp::Mul.identity_int(), 1);
+        assert_eq!(ReductionOp::Min.merge_float(3.0, -1.0), -1.0);
+        assert_eq!(ReductionOp::Max.merge_int(3, -1), 3);
+        assert_eq!(ReductionOp::Add.merge_int(i64::MAX, 1), i64::MIN); // wrapping
+        assert!(ReductionOp::Min.identity_float() > 1e300);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(ReductionKind::Scalar.is_scalar());
+        assert!(!ReductionKind::Scalar.is_histogram());
+        assert!(ReductionKind::Histogram.is_histogram());
+    }
+}

@@ -1,0 +1,49 @@
+//! Idiom specifications written in the constraint language.
+//!
+//! * [`forloop`] — the for-loop structure of the paper's Figure 5,
+//! * [`scalar`] — scalar reductions (§3.1.1),
+//! * [`histogram`] — generalized/histogram reductions (§3.1.2),
+//! * [`sese`] — the single-entry single-exit composite of Figure 7,
+//!   reusable by downstream idioms.
+//!
+//! Composition works exactly like the paper's embedded C++ DSL: a composite
+//! is a plain function that adds atoms over shared labels to a
+//! [`SpecBuilder`].
+
+pub mod forloop;
+pub mod histogram;
+pub mod scalar;
+
+pub use forloop::{add_for_loop, for_loop_spec, ForLoopLabels};
+pub use histogram::{histogram_spec, HistogramLabels};
+pub use scalar::{scalar_reduction_spec, ScalarLabels};
+
+use crate::atoms::Atom;
+use crate::constraint::{Label, SpecBuilder};
+
+/// Adds the SESE (single-entry single-exit) region constraints of the
+/// paper's Figure 7 over four block labels: `precursor → [begin … end] →
+/// successor`.
+///
+/// The region property: control enters only through `begin` (from
+/// `precursor`), leaves only through `end` (to `successor`), `begin`
+/// dominates `end`, `end` post-dominates `begin`, and the region cannot be
+/// re-entered without passing its boundary blocks.
+pub fn sese(
+    b: &mut SpecBuilder,
+    precursor: Label,
+    begin: Label,
+    end: Label,
+    successor: Label,
+) {
+    b.atom(Atom::CfgEdge { from: precursor, to: begin });
+    b.atom(Atom::CfgEdge { from: end, to: successor });
+    b.atom(Atom::Dominates { a: begin, b: end });
+    b.atom(Atom::Postdominates { a: end, b: begin });
+    b.atom(Atom::StrictlyDominates { a: precursor, b: begin });
+    b.atom(Atom::StrictlyPostdominates { a: successor, b: end });
+    // Re-entry protection: paths back into `begin` must pass the precursor,
+    // and paths from the successor back into the region must pass `end`.
+    b.atom(Atom::NoPathAvoiding { from: end, to: begin, avoiding: precursor });
+    b.atom(Atom::NoPathAvoiding { from: successor, to: begin, avoiding: end });
+}

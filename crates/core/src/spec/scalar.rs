@@ -1,0 +1,261 @@
+//! The scalar-reduction idiom (paper §3.1.1).
+//!
+//! On top of the for-loop structure, a scalar reduction binds:
+//!
+//! * `acc` — a header phi distinct from the induction variable (condition
+//!   2: "a scalar value x that is updated in every iteration"; conditional
+//!   source-level updates still update the phi every iteration through the
+//!   merge, exactly as the paper notes about PHI nodes in SSA),
+//! * `acc_init` — its preheader incoming,
+//! * `acc_next` — its latch incoming, constrained by *generalized graph
+//!   domination* to be computed only from `acc`, array reads, and
+//!   loop-invariant values (conditions 3 and 4),
+//! * a forward-confinement constraint: inside the loop, `acc` feeds nothing
+//!   but pure scalar computation — no stores, no branches, no addresses —
+//!   so privatizing it cannot change any other observable behaviour (this
+//!   is what rejects the paper's `t1 <= sx` counterexample).
+
+use crate::atoms::{Atom, OpClass};
+use crate::constraint::{Label, Spec, SpecBuilder};
+use crate::spec::forloop::{add_for_loop, ForLoopLabels};
+
+/// Labels of the scalar-reduction idiom.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalarLabels {
+    /// The for-loop sub-idiom.
+    pub for_loop: ForLoopLabels,
+    /// Accumulator phi in the header.
+    pub acc: Label,
+    /// Accumulator value entering the loop.
+    pub acc_init: Label,
+    /// Accumulator value produced by each iteration.
+    pub acc_next: Label,
+}
+
+/// Builds the scalar-reduction specification.
+#[must_use]
+pub fn scalar_reduction_spec() -> (Spec, ScalarLabels) {
+    let mut b = SpecBuilder::new("scalar-reduction");
+    let fl = add_for_loop(&mut b);
+
+    let acc = b.label("acc");
+    let acc_next = b.label("acc_next");
+    let acc_init = b.label("acc_init");
+
+    b.atom(Atom::BlockOf { inst: acc, block: fl.header });
+    b.atom(Atom::Opcode { l: acc, class: OpClass::Phi });
+    b.atom(Atom::PhiArity { phi: acc, n: 2 });
+    b.atom(Atom::TypeScalar(acc));
+    b.atom(Atom::NotEqual { a: acc, b: fl.iterator });
+
+    b.atom(Atom::PhiIncoming { phi: acc, value: acc_next, block: fl.latch });
+    b.atom(Atom::NotEqual { a: acc_next, b: acc });
+    b.atom(Atom::InLoopInst { inst: acc_next, header: fl.header });
+    b.atom(Atom::PhiIncoming { phi: acc, value: acc_init, block: fl.preheader });
+    b.atom(Atom::InvariantIn { value: acc_init, header: fl.header });
+
+    // Condition 4: x' is a term of x, array values and loop constants only
+    // (the induction variable is admitted inside array index computations).
+    b.atom(Atom::ComputedOnlyFrom {
+        output: acc_next,
+        header: fl.header,
+        iterator: fl.iterator,
+        allowed: vec![acc],
+    });
+    // Privatization safety: x influences nothing but its own update chain.
+    b.atom(Atom::UsesConfinedTo { source: acc, header: fl.header, terminals: vec![] });
+
+    (b.finish(), ScalarLabels { for_loop: fl, acc, acc_init, acc_next })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atoms::MatchCtx;
+    use crate::solver::{solve, SolveOptions};
+    use gr_analysis::Analyses;
+    use gr_frontend::compile;
+    use std::collections::HashSet;
+
+    /// Distinct (function, header, acc) triples matched by the spec.
+    fn accs_found(src: &str) -> usize {
+        let m = compile(src).unwrap();
+        let mut found = HashSet::new();
+        for func in &m.functions {
+            let analyses = Analyses::new(&m, func);
+            let ctx = MatchCtx::new(&m, func, &analyses);
+            let (spec, labels) = scalar_reduction_spec();
+            let (sols, stats) = solve(&spec, &ctx, SolveOptions::default());
+            assert!(!stats.truncated, "solver truncated on {}", func.name);
+            for s in sols {
+                found.insert((
+                    func.name.clone(),
+                    s[labels.for_loop.header.index()],
+                    s[labels.acc.index()],
+                ));
+            }
+        }
+        found.len()
+    }
+
+    #[test]
+    fn finds_simple_sum() {
+        assert_eq!(
+            accs_found(
+                "float f(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[i]; return s; }"
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn finds_two_accumulators_in_one_loop() {
+        assert_eq!(
+            accs_found(
+                "void f(float* a, float* out, int n) {
+                     float sx = 0.0; float sy = 0.0;
+                     for (int i = 0; i < n; i++) { sx += a[2*i]; sy += a[2*i+1]; }
+                     out[0] = sx; out[1] = sy;
+                 }"
+            ),
+            2
+        );
+    }
+
+    #[test]
+    fn finds_conditionally_updated_accumulator() {
+        assert_eq!(
+            accs_found(
+                "float f(float* a, int n) {
+                     float s = 0.0;
+                     for (int i = 0; i < n; i++) { if (a[i] > 0.0) s += a[i]; }
+                     return s;
+                 }"
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn self_gated_sum_passes_spec_but_fails_postcheck() {
+        // The accumulator legally appears in its own guarding condition at
+        // the *specification* level (min/max exchanges need this); the
+        // associativity post-check is what rejects the non-exchange `if
+        // (a[i] <= s) s += a[i]` pattern — verified in `detect` tests.
+        assert_eq!(
+            accs_found(
+                "float f(float* a, int n) {
+                     float s = 0.0;
+                     for (int i = 0; i < n; i++) { if (a[i] <= s) s += a[i]; }
+                     return s;
+                 }"
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn rejects_accumulator_stored_to_memory_each_iteration() {
+        assert_eq!(
+            accs_found(
+                "void f(float* a, float* trace, int n) {
+                     float s = 0.0;
+                     for (int i = 0; i < n; i++) { s += a[i]; trace[i] = s; }
+                 }"
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn rejects_accumulator_used_as_index() {
+        assert_eq!(
+            accs_found(
+                "int f(int* a, int* b, int n) {
+                     int s = 0;
+                     for (int i = 0; i < n; i++) { s += b[s]; }
+                     return s;
+                 }"
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn finds_reduction_with_pure_calls() {
+        // EP-style: sqrt/log are pure, so this is still a reduction.
+        assert_eq!(
+            accs_found(
+                "float f(float* x, int nk) {
+                     float sx = 0.0;
+                     for (int i = 0; i < nk; i++) {
+                         float x1 = 2.0 * x[2*i] - 1.0;
+                         float x2 = 2.0 * x[2*i+1] - 1.0;
+                         float t1 = x1*x1 + x2*x2;
+                         if (t1 <= 1.0) {
+                             float t2 = sqrt(-2.0 * log(t1) / t1);
+                             sx = sx + x1 * t2;
+                         }
+                     }
+                     return sx;
+                 }"
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn rejects_coupled_accumulators() {
+        // sy's update reads sx, so neither privatizes independently:
+        // sx fails forward confinement, sy fails generalized dominance.
+        assert_eq!(
+            accs_found(
+                "void f(float* a, float* out, int n) {
+                     float sx = 0.0; float sy = 0.0;
+                     for (int i = 0; i < n; i++) { sx += a[i]; sy += sx; }
+                     out[0] = sx; out[1] = sy;
+                 }"
+            ),
+            0
+        );
+    }
+
+    #[test]
+    fn finds_min_reduction_via_call() {
+        assert_eq!(
+            accs_found(
+                "float f(float* a, int n) {
+                     float lo = 1.0e30;
+                     for (int i = 0; i < n; i++) lo = fmin(lo, a[i]);
+                     return lo;
+                 }"
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn finds_min_reduction_via_conditional() {
+        assert_eq!(
+            accs_found(
+                "float f(float* a, int n) {
+                     float lo = 1.0e30;
+                     for (int i = 0; i < n; i++) { float v = a[i]; if (v < lo) lo = v; }
+                     return lo;
+                 }"
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn rejects_histogram_as_scalar() {
+        // The histogram update has no scalar header phi.
+        assert_eq!(
+            accs_found(
+                "void h(int* bins, int* k, int n) { for (int i = 0; i < n; i++) bins[k[i]]++; }"
+            ),
+            0
+        );
+    }
+}

@@ -1,0 +1,329 @@
+//! Abstract syntax tree for the mini-C subset.
+
+/// A source position (1-based line/column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Line number.
+    pub line: u32,
+    /// Column number.
+    pub col: u32,
+}
+
+/// Scalar/pointer surface types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CType {
+    /// `int`.
+    Int,
+    /// `float` / `double`.
+    Float,
+    /// `int*`.
+    PtrInt,
+    /// `float*`.
+    PtrFloat,
+    /// `void` (function returns only).
+    Void,
+}
+
+impl CType {
+    /// The pointer type to this scalar, if meaningful.
+    #[must_use]
+    pub fn ptr_to(self) -> Option<CType> {
+        match self {
+            CType::Int => Some(CType::PtrInt),
+            CType::Float => Some(CType::PtrFloat),
+            _ => None,
+        }
+    }
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Global array declarations.
+    pub globals: Vec<GlobalDecl>,
+    /// Function definitions.
+    pub functions: Vec<FuncDecl>,
+}
+
+/// `float q[256];` at top level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Array name.
+    pub name: String,
+    /// Element type (`Int` or `Float`).
+    pub elem: CType,
+    /// Element count (constant).
+    pub size: usize,
+    /// Source position.
+    pub span: Span,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDecl {
+    /// Function name.
+    pub name: String,
+    /// Parameters `(name, type)`.
+    pub params: Vec<(String, CType)>,
+    /// Return type.
+    pub ret: CType,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source position.
+    pub span: Span,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `int x = e;` / `float y;` — scalar declaration with optional init.
+    DeclScalar {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: CType,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Position.
+        span: Span,
+    },
+    /// `float tmp[16];` — local array declaration (constant size).
+    DeclArray {
+        /// Array name.
+        name: String,
+        /// Element type.
+        elem: CType,
+        /// Element count.
+        size: usize,
+        /// Position.
+        span: Span,
+    },
+    /// `x = e;` / `x += e;` etc. on a scalar variable.
+    AssignScalar {
+        /// Target variable.
+        name: String,
+        /// Compound operator (`None` = plain `=`).
+        op: Option<BinOpKind>,
+        /// Right-hand side.
+        value: Expr,
+        /// Position.
+        span: Span,
+    },
+    /// `a[i] = e;` / `a[i] += e;` etc.
+    AssignIndex {
+        /// Array expression target (identifier).
+        array: String,
+        /// Index expression.
+        index: Expr,
+        /// Compound operator (`None` = plain `=`).
+        op: Option<BinOpKind>,
+        /// Right-hand side.
+        value: Expr,
+        /// Position.
+        span: Span,
+    },
+    /// `x++;` / `x--;` on a scalar.
+    IncDecScalar {
+        /// Target variable.
+        name: String,
+        /// `+1` or `-1`.
+        delta: i64,
+        /// Position.
+        span: Span,
+    },
+    /// `a[i]++;` / `a[i]--;`.
+    IncDecIndex {
+        /// Array name.
+        array: String,
+        /// Index expression.
+        index: Expr,
+        /// `+1` or `-1`.
+        delta: i64,
+        /// Position.
+        span: Span,
+    },
+    /// `if (c) s [else s]`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_branch: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        else_branch: Vec<Stmt>,
+        /// Position.
+        span: Span,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Loop-scoped init statement (decl or assignment), if any.
+        init: Option<Box<Stmt>>,
+        /// Condition (absent = infinite).
+        cond: Option<Expr>,
+        /// Step statement, if any.
+        step: Option<Box<Stmt>>,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Position.
+        span: Span,
+    },
+    /// `while (c) body`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Position.
+        span: Span,
+    },
+    /// `do body while (c);`
+    DoWhile {
+        /// Body.
+        body: Vec<Stmt>,
+        /// Condition.
+        cond: Expr,
+        /// Position.
+        span: Span,
+    },
+    /// `return [e];`
+    Return {
+        /// Optional value.
+        value: Option<Expr>,
+        /// Position.
+        span: Span,
+    },
+    /// `break;`
+    Break(Span),
+    /// `continue;`
+    Continue(Span),
+    /// Expression statement (e.g. a call).
+    Expr(Expr),
+    /// `{ ... }` nested block.
+    Block(Vec<Stmt>),
+}
+
+/// Binary operator kinds at AST level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOpKind {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    LAnd,
+    /// `||`
+    LOr,
+}
+
+/// Unary operator kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOpKind {
+    /// `-`
+    Neg,
+    /// `!`
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64, Span),
+    /// Float literal.
+    FloatLit(f64, Span),
+    /// Variable reference.
+    Var(String, Span),
+    /// `a[i]` read.
+    Index {
+        /// Array name.
+        array: String,
+        /// Index expression.
+        index: Box<Expr>,
+        /// Position.
+        span: Span,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOpKind,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Position.
+        span: Span,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOpKind,
+        /// Operand.
+        operand: Box<Expr>,
+        /// Position.
+        span: Span,
+    },
+    /// Function call.
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Position.
+        span: Span,
+    },
+    /// `(int)e` / `(float)e` explicit cast.
+    Cast {
+        /// Target type.
+        ty: CType,
+        /// Operand.
+        operand: Box<Expr>,
+        /// Position.
+        span: Span,
+    },
+    /// `c ? a : b` (lowered to `select`, both sides evaluated).
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Then value.
+        then_val: Box<Expr>,
+        /// Else value.
+        else_val: Box<Expr>,
+        /// Position.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// Source position of an expression.
+    #[must_use]
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::IntLit(_, s)
+            | Expr::FloatLit(_, s)
+            | Expr::Var(_, s)
+            | Expr::Index { span: s, .. }
+            | Expr::Binary { span: s, .. }
+            | Expr::Unary { span: s, .. }
+            | Expr::Call { span: s, .. }
+            | Expr::Cast { span: s, .. }
+            | Expr::Ternary { span: s, .. } => *s,
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Compilation errors with source positions.
+
+use std::fmt;
+
+/// An error produced by any frontend stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based source line (0 when unknown).
+    pub line: u32,
+    /// 1-based source column (0 when unknown).
+    pub col: u32,
+}
+
+impl CompileError {
+    /// Creates an error at a position.
+    #[must_use]
+    pub fn at(message: impl Into<String>, line: u32, col: u32) -> CompileError {
+        CompileError { message: message.into(), line, col }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{}:{}: {}", self.line, self.col, self.message)
+        } else {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = CompileError::at("unexpected token", 3, 7);
+        assert_eq!(e.to_string(), "3:7: unexpected token");
+        let e0 = CompileError::at("general failure", 0, 0);
+        assert_eq!(e0.to_string(), "general failure");
+    }
+}

@@ -1,0 +1,265 @@
+//! Hand-written lexer for the mini-C subset.
+
+use crate::error::CompileError;
+use crate::token::{Token, TokenKind};
+
+/// Tokenizes `source`.
+///
+/// Supports `//` line comments, `/* */` block comments, decimal integer and
+/// float literals (with optional exponent), identifiers, keywords, and the
+/// operator set listed in [`TokenKind`].
+///
+/// # Errors
+/// Returns a [`CompileError`] on unknown characters or malformed literals.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($kind:expr, $line:expr, $col:expr) => {
+            tokens.push(Token { kind: $kind, line: $line, col: $col })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let (tline, tcol) = (line, col);
+        match c {
+            '\n' => {
+                line += 1;
+                col = 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => {
+                col += 1;
+                i += 1;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                i += 2;
+                col += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(CompileError::at("unterminated block comment", tline, tcol));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        col += 2;
+                        break;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len() && bytes[i] == b'.' {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    is_float = true;
+                    i += 1;
+                    if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                        i += 1;
+                    }
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &source[start..i];
+                col += (i - start) as u32;
+                if is_float {
+                    let v: f64 = text.parse().map_err(|_| {
+                        CompileError::at(format!("malformed float literal `{text}`"), tline, tcol)
+                    })?;
+                    push!(TokenKind::FloatLit(v), tline, tcol);
+                } else {
+                    let v: i64 = text.parse().map_err(|_| {
+                        CompileError::at(format!("malformed integer literal `{text}`"), tline, tcol)
+                    })?;
+                    push!(TokenKind::IntLit(v), tline, tcol);
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                col += (i - start) as u32;
+                let kind = match text {
+                    "int" | "long" => TokenKind::KwInt,
+                    "float" | "double" => TokenKind::KwFloat,
+                    "void" => TokenKind::KwVoid,
+                    "if" => TokenKind::KwIf,
+                    "else" => TokenKind::KwElse,
+                    "for" => TokenKind::KwFor,
+                    "while" => TokenKind::KwWhile,
+                    "do" => TokenKind::KwDo,
+                    "return" => TokenKind::KwReturn,
+                    "break" => TokenKind::KwBreak,
+                    "continue" => TokenKind::KwContinue,
+                    _ => TokenKind::Ident(text.to_string()),
+                };
+                push!(kind, tline, tcol);
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() { &source[i..i + 2] } else { "" };
+                let (kind, len) = match two {
+                    "+=" => (TokenKind::PlusAssign, 2),
+                    "-=" => (TokenKind::MinusAssign, 2),
+                    "*=" => (TokenKind::StarAssign, 2),
+                    "/=" => (TokenKind::SlashAssign, 2),
+                    "++" => (TokenKind::PlusPlus, 2),
+                    "--" => (TokenKind::MinusMinus, 2),
+                    "==" => (TokenKind::EqEq, 2),
+                    "!=" => (TokenKind::NotEq, 2),
+                    "<=" => (TokenKind::Le, 2),
+                    ">=" => (TokenKind::Ge, 2),
+                    "&&" => (TokenKind::AndAnd, 2),
+                    "||" => (TokenKind::OrOr, 2),
+                    _ => match c {
+                        '(' => (TokenKind::LParen, 1),
+                        ')' => (TokenKind::RParen, 1),
+                        '{' => (TokenKind::LBrace, 1),
+                        '}' => (TokenKind::RBrace, 1),
+                        '[' => (TokenKind::LBracket, 1),
+                        ']' => (TokenKind::RBracket, 1),
+                        ';' => (TokenKind::Semi, 1),
+                        ',' => (TokenKind::Comma, 1),
+                        '+' => (TokenKind::Plus, 1),
+                        '-' => (TokenKind::Minus, 1),
+                        '*' => (TokenKind::Star, 1),
+                        '/' => (TokenKind::Slash, 1),
+                        '%' => (TokenKind::Percent, 1),
+                        '=' => (TokenKind::Assign, 1),
+                        '<' => (TokenKind::Lt, 1),
+                        '>' => (TokenKind::Gt, 1),
+                        '!' => (TokenKind::Bang, 1),
+                        '?' => (TokenKind::Question, 1),
+                        ':' => (TokenKind::Colon, 1),
+                        _ => {
+                            return Err(CompileError::at(
+                                format!("unexpected character `{c}`"),
+                                tline,
+                                tcol,
+                            ))
+                        }
+                    },
+                };
+                push!(kind, tline, tcol);
+                i += len;
+                col += len as u32;
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, line, col });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("42 3.5 1e3 2.5e-3 0.0"),
+            vec![
+                TokenKind::IntLit(42),
+                TokenKind::FloatLit(3.5),
+                TokenKind::FloatLit(1e3),
+                TokenKind::FloatLit(2.5e-3),
+                TokenKind::FloatLit(0.0),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("int x; double y;"),
+            vec![
+                TokenKind::KwInt,
+                TokenKind::Ident("x".into()),
+                TokenKind::Semi,
+                TokenKind::KwFloat,
+                TokenKind::Ident("y".into()),
+                TokenKind::Semi,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_compound_operators() {
+        assert_eq!(
+            kinds("a += b++ <= c && d"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::PlusAssign,
+                TokenKind::Ident("b".into()),
+                TokenKind::PlusPlus,
+                TokenKind::Le,
+                TokenKind::Ident("c".into()),
+                TokenKind::AndAnd,
+                TokenKind::Ident("d".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("a // comment\n/* multi\nline */ b"),
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = lex("a # b").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.col, 3);
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(lex("/* oops").is_err());
+    }
+}

@@ -1,0 +1,668 @@
+//! Recursive-descent parser for the mini-C subset.
+
+use crate::ast::{
+    BinOpKind, CType, Expr, FuncDecl, GlobalDecl, Program, Span, Stmt, UnOpKind,
+};
+use crate::error::CompileError;
+use crate::token::{Token, TokenKind};
+
+/// Parses a token stream into a [`Program`].
+///
+/// # Errors
+/// Returns a [`CompileError`] at the first syntax error.
+pub fn parse(tokens: &[Token]) -> Result<Program, CompileError> {
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)]
+    }
+
+    fn span(&self) -> Span {
+        let t = self.peek();
+        Span { line: t.line, col: t.col }
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        self.pos += 1;
+        t
+    }
+
+    fn check(&self, kind: &TokenKind) -> bool {
+        &self.peek().kind == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.check(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, CompileError> {
+        if self.check(kind) {
+            Ok(self.advance())
+        } else {
+            let t = self.peek();
+            Err(CompileError::at(
+                format!("expected {kind}, found {}", t.kind),
+                t.line,
+                t.col,
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), CompileError> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::Ident(name) => {
+                self.pos += 1;
+                Ok((name, Span { line: t.line, col: t.col }))
+            }
+            other => Err(CompileError::at(
+                format!("expected identifier, found {other}"),
+                t.line,
+                t.col,
+            )),
+        }
+    }
+
+    fn base_type(&mut self) -> Result<CType, CompileError> {
+        let t = self.advance();
+        match t.kind {
+            TokenKind::KwInt => Ok(CType::Int),
+            TokenKind::KwFloat => Ok(CType::Float),
+            TokenKind::KwVoid => Ok(CType::Void),
+            other => Err(CompileError::at(
+                format!("expected type, found {other}"),
+                t.line,
+                t.col,
+            )),
+        }
+    }
+
+    fn maybe_pointer(&mut self, base: CType, span: Span) -> Result<CType, CompileError> {
+        if self.eat(&TokenKind::Star) {
+            base.ptr_to().ok_or_else(|| {
+                CompileError::at("pointer to this type is not supported", span.line, span.col)
+            })
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        let mut globals = Vec::new();
+        let mut functions = Vec::new();
+        while !self.check(&TokenKind::Eof) {
+            let span = self.span();
+            let base = self.base_type()?;
+            let ty = self.maybe_pointer(base, span)?;
+            let (name, nspan) = self.expect_ident()?;
+            if self.check(&TokenKind::LParen) {
+                functions.push(self.function(name, ty, nspan)?);
+            } else if self.check(&TokenKind::LBracket) {
+                if ty != CType::Int && ty != CType::Float {
+                    return Err(CompileError::at(
+                        "global arrays must have int or float elements",
+                        nspan.line,
+                        nspan.col,
+                    ));
+                }
+                self.expect(&TokenKind::LBracket)?;
+                let t = self.advance();
+                let TokenKind::IntLit(size) = t.kind else {
+                    return Err(CompileError::at(
+                        "global array size must be an integer literal",
+                        t.line,
+                        t.col,
+                    ));
+                };
+                self.expect(&TokenKind::RBracket)?;
+                self.expect(&TokenKind::Semi)?;
+                globals.push(GlobalDecl {
+                    name,
+                    elem: ty,
+                    size: usize::try_from(size).map_err(|_| {
+                        CompileError::at("negative array size", nspan.line, nspan.col)
+                    })?,
+                    span: nspan,
+                });
+            } else {
+                let t = self.peek();
+                return Err(CompileError::at(
+                    format!("expected `(` or `[` after top-level name, found {}", t.kind),
+                    t.line,
+                    t.col,
+                ));
+            }
+        }
+        Ok(Program { globals, functions })
+    }
+
+    fn function(&mut self, name: String, ret: CType, span: Span) -> Result<FuncDecl, CompileError> {
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.check(&TokenKind::RParen) {
+            loop {
+                let pspan = self.span();
+                let base = self.base_type()?;
+                let ty = self.maybe_pointer(base, pspan)?;
+                if ty == CType::Void {
+                    return Err(CompileError::at("void parameter", pspan.line, pspan.col));
+                }
+                let (pname, _) = self.expect_ident()?;
+                params.push((pname, ty));
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        self.expect(&TokenKind::LBrace)?;
+        let body = self.block_contents()?;
+        Ok(FuncDecl { name, params, ret, body, span })
+    }
+
+    fn block_contents(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        let mut stmts = Vec::new();
+        while !self.check(&TokenKind::RBrace) {
+            if self.check(&TokenKind::Eof) {
+                let t = self.peek();
+                return Err(CompileError::at("unexpected end of input in block", t.line, t.col));
+            }
+            stmts.push(self.statement()?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(stmts)
+    }
+
+    fn statement(&mut self) -> Result<Stmt, CompileError> {
+        let span = self.span();
+        match self.peek().kind.clone() {
+            TokenKind::KwInt | TokenKind::KwFloat => self.declaration(),
+            TokenKind::KwIf => {
+                self.advance();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expression()?;
+                self.expect(&TokenKind::RParen)?;
+                let then_branch = self.stmt_as_block()?;
+                let else_branch = if self.eat(&TokenKind::KwElse) {
+                    self.stmt_as_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then_branch, else_branch, span })
+            }
+            TokenKind::KwFor => {
+                self.advance();
+                self.expect(&TokenKind::LParen)?;
+                let init = if self.eat(&TokenKind::Semi) {
+                    None
+                } else {
+                    let s = if matches!(self.peek().kind, TokenKind::KwInt | TokenKind::KwFloat) {
+                        self.declaration()?
+                    } else {
+                        let s = self.simple_statement()?;
+                        self.expect(&TokenKind::Semi)?;
+                        s
+                    };
+                    Some(Box::new(s))
+                };
+                let cond = if self.check(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
+                self.expect(&TokenKind::Semi)?;
+                let step = if self.check(&TokenKind::RParen) {
+                    None
+                } else {
+                    Some(Box::new(self.simple_statement()?))
+                };
+                self.expect(&TokenKind::RParen)?;
+                let body = self.stmt_as_block()?;
+                Ok(Stmt::For { init, cond, step, body, span })
+            }
+            TokenKind::KwWhile => {
+                self.advance();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expression()?;
+                self.expect(&TokenKind::RParen)?;
+                let body = self.stmt_as_block()?;
+                Ok(Stmt::While { cond, body, span })
+            }
+            TokenKind::KwDo => {
+                self.advance();
+                let body = self.stmt_as_block()?;
+                self.expect(&TokenKind::KwWhile)?;
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expression()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::DoWhile { body, cond, span })
+            }
+            TokenKind::KwReturn => {
+                self.advance();
+                let value = if self.check(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expression()?)
+                };
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Return { value, span })
+            }
+            TokenKind::KwBreak => {
+                self.advance();
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Break(span))
+            }
+            TokenKind::KwContinue => {
+                self.advance();
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Continue(span))
+            }
+            TokenKind::LBrace => {
+                self.advance();
+                Ok(Stmt::Block(self.block_contents()?))
+            }
+            _ => {
+                let s = self.simple_statement()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    fn stmt_as_block(&mut self) -> Result<Vec<Stmt>, CompileError> {
+        if self.eat(&TokenKind::LBrace) {
+            self.block_contents()
+        } else {
+            Ok(vec![self.statement()?])
+        }
+    }
+
+    fn declaration(&mut self) -> Result<Stmt, CompileError> {
+        let span = self.span();
+        let base = self.base_type()?;
+        let (name, nspan) = self.expect_ident()?;
+        if self.eat(&TokenKind::LBracket) {
+            let t = self.advance();
+            let TokenKind::IntLit(size) = t.kind else {
+                return Err(CompileError::at(
+                    "local array size must be an integer literal",
+                    t.line,
+                    t.col,
+                ));
+            };
+            self.expect(&TokenKind::RBracket)?;
+            self.expect(&TokenKind::Semi)?;
+            return Ok(Stmt::DeclArray {
+                name,
+                elem: base,
+                size: usize::try_from(size)
+                    .map_err(|_| CompileError::at("negative array size", nspan.line, nspan.col))?,
+                span,
+            });
+        }
+        let init = if self.eat(&TokenKind::Assign) {
+            Some(self.expression()?)
+        } else {
+            None
+        };
+        self.expect(&TokenKind::Semi)?;
+        Ok(Stmt::DeclScalar { name, ty: base, init, span })
+    }
+
+    /// An assignment / increment / call statement *without* the trailing
+    /// semicolon (shared by statement position and `for` init/step).
+    fn simple_statement(&mut self) -> Result<Stmt, CompileError> {
+        let span = self.span();
+        if let TokenKind::Ident(name) = self.peek().kind.clone() {
+            match self.peek2().kind {
+                TokenKind::Assign
+                | TokenKind::PlusAssign
+                | TokenKind::MinusAssign
+                | TokenKind::StarAssign
+                | TokenKind::SlashAssign => {
+                    self.advance();
+                    let op = self.assign_op()?;
+                    let value = self.expression()?;
+                    return Ok(Stmt::AssignScalar { name, op, value, span });
+                }
+                TokenKind::PlusPlus => {
+                    self.advance();
+                    self.advance();
+                    return Ok(Stmt::IncDecScalar { name, delta: 1, span });
+                }
+                TokenKind::MinusMinus => {
+                    self.advance();
+                    self.advance();
+                    return Ok(Stmt::IncDecScalar { name, delta: -1, span });
+                }
+                TokenKind::LBracket => {
+                    // Could be `a[i] = ...`, `a[i] += ...`, `a[i]++` or an
+                    // expression statement; disambiguate after the index.
+                    let save = self.pos;
+                    self.advance();
+                    self.advance();
+                    let index = self.expression()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    match self.peek().kind {
+                        TokenKind::Assign
+                        | TokenKind::PlusAssign
+                        | TokenKind::MinusAssign
+                        | TokenKind::StarAssign
+                        | TokenKind::SlashAssign => {
+                            let op = self.assign_op()?;
+                            let value = self.expression()?;
+                            return Ok(Stmt::AssignIndex { array: name, index, op, value, span });
+                        }
+                        TokenKind::PlusPlus => {
+                            self.advance();
+                            return Ok(Stmt::IncDecIndex { array: name, index, delta: 1, span });
+                        }
+                        TokenKind::MinusMinus => {
+                            self.advance();
+                            return Ok(Stmt::IncDecIndex { array: name, index, delta: -1, span });
+                        }
+                        _ => self.pos = save,
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(Stmt::Expr(self.expression()?))
+    }
+
+    fn assign_op(&mut self) -> Result<Option<BinOpKind>, CompileError> {
+        let t = self.advance();
+        Ok(match t.kind {
+            TokenKind::Assign => None,
+            TokenKind::PlusAssign => Some(BinOpKind::Add),
+            TokenKind::MinusAssign => Some(BinOpKind::Sub),
+            TokenKind::StarAssign => Some(BinOpKind::Mul),
+            TokenKind::SlashAssign => Some(BinOpKind::Div),
+            other => {
+                return Err(CompileError::at(
+                    format!("expected assignment operator, found {other}"),
+                    t.line,
+                    t.col,
+                ))
+            }
+        })
+    }
+
+    fn expression(&mut self) -> Result<Expr, CompileError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, CompileError> {
+        let cond = self.logical_or()?;
+        if self.eat(&TokenKind::Question) {
+            let span = cond.span();
+            let then_val = self.expression()?;
+            self.expect(&TokenKind::Colon)?;
+            let else_val = self.expression()?;
+            Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then_val: Box::new(then_val),
+                else_val: Box::new(else_val),
+                span,
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn logical_or(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.logical_and()?;
+        while self.check(&TokenKind::OrOr) {
+            let span = self.span();
+            self.advance();
+            let rhs = self.logical_and()?;
+            lhs = Expr::Binary { op: BinOpKind::LOr, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn logical_and(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.equality()?;
+        while self.check(&TokenKind::AndAnd) {
+            let span = self.span();
+            self.advance();
+            let rhs = self.equality()?;
+            lhs = Expr::Binary { op: BinOpKind::LAnd, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.relational()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::EqEq => BinOpKind::Eq,
+                TokenKind::NotEq => BinOpKind::Ne,
+                _ => break,
+            };
+            let span = self.span();
+            self.advance();
+            let rhs = self.relational()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn relational(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Lt => BinOpKind::Lt,
+                TokenKind::Le => BinOpKind::Le,
+                TokenKind::Gt => BinOpKind::Gt,
+                TokenKind::Ge => BinOpKind::Ge,
+                _ => break,
+            };
+            let span = self.span();
+            self.advance();
+            let rhs = self.additive()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOpKind::Add,
+                TokenKind::Minus => BinOpKind::Sub,
+                _ => break,
+            };
+            let span = self.span();
+            self.advance();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinOpKind::Mul,
+                TokenKind::Slash => BinOpKind::Div,
+                TokenKind::Percent => BinOpKind::Rem,
+                _ => break,
+            };
+            let span = self.span();
+            self.advance();
+            let rhs = self.unary()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let span = self.span();
+        if self.eat(&TokenKind::Minus) {
+            let operand = self.unary()?;
+            return Ok(Expr::Unary { op: UnOpKind::Neg, operand: Box::new(operand), span });
+        }
+        if self.eat(&TokenKind::Bang) {
+            let operand = self.unary()?;
+            return Ok(Expr::Unary { op: UnOpKind::Not, operand: Box::new(operand), span });
+        }
+        // `(int)e` / `(float)e` cast.
+        if self.check(&TokenKind::LParen)
+            && matches!(self.peek2().kind, TokenKind::KwInt | TokenKind::KwFloat)
+        {
+            self.advance();
+            let ty = self.base_type()?;
+            self.expect(&TokenKind::RParen)?;
+            let operand = self.unary()?;
+            return Ok(Expr::Cast { ty, operand: Box::new(operand), span });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let span = self.span();
+        match self.advance().kind {
+            TokenKind::IntLit(v) => Ok(Expr::IntLit(v, span)),
+            TokenKind::FloatLit(v) => Ok(Expr::FloatLit(v, span)),
+            TokenKind::LParen => {
+                let e = self.expression()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.check(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expression()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::Call { callee: name, args, span })
+                } else if self.eat(&TokenKind::LBracket) {
+                    let index = self.expression()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    Ok(Expr::Index { array: name, index: Box::new(index), span })
+                } else {
+                    Ok(Expr::Var(name, span))
+                }
+            }
+            other => Err(CompileError::at(
+                format!("expected expression, found {other}"),
+                span.line,
+                span.col,
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Program {
+        parse(&lex(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_function_with_loop() {
+        let p = parse_src(
+            "float sum(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[i]; return s; }",
+        );
+        assert_eq!(p.functions.len(), 1);
+        let f = &p.functions[0];
+        assert_eq!(f.name, "sum");
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.body.len(), 3);
+        assert!(matches!(f.body[1], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn parses_globals() {
+        let p = parse_src("float q[10]; int keys[256]; void f() { return; }");
+        assert_eq!(p.globals.len(), 2);
+        assert_eq!(p.globals[0].size, 10);
+        assert_eq!(p.globals[1].elem, CType::Int);
+    }
+
+    #[test]
+    fn parses_histogram_update() {
+        let p = parse_src("void h(int* b, int* k, int n) { for (int i = 0; i < n; i++) b[k[i]]++; }");
+        let Stmt::For { body, .. } = &p.functions[0].body[0] else { panic!() };
+        assert!(matches!(body[0], Stmt::IncDecIndex { delta: 1, .. }));
+    }
+
+    #[test]
+    fn parses_precedence() {
+        let p = parse_src("int f(int a, int b) { return a + b * 2 < 10 && b > 0; }");
+        let Stmt::Return { value: Some(Expr::Binary { op, .. }), .. } = &p.functions[0].body[0]
+        else {
+            panic!()
+        };
+        assert_eq!(*op, BinOpKind::LAnd);
+    }
+
+    #[test]
+    fn parses_ternary_and_cast() {
+        let p = parse_src("int f(float x) { return (int)(x > 0.0 ? x : -x); }");
+        let Stmt::Return { value: Some(Expr::Cast { ty, .. }), .. } = &p.functions[0].body[0]
+        else {
+            panic!()
+        };
+        assert_eq!(*ty, CType::Int);
+    }
+
+    #[test]
+    fn parses_while_break_continue() {
+        let p = parse_src(
+            "void f(int n) { int i = 0; while (1 < 2) { i++; if (i > n) break; else continue; } }",
+        );
+        let Stmt::While { body, .. } = &p.functions[0].body[1] else { panic!() };
+        assert_eq!(body.len(), 2);
+    }
+
+    #[test]
+    fn parses_do_while() {
+        let p = parse_src("void f(int n) { int i = 0; do { i++; } while (i < n); }");
+        assert!(matches!(p.functions[0].body[1], Stmt::DoWhile { .. }));
+    }
+
+    #[test]
+    fn error_on_missing_semicolon() {
+        let toks = lex("void f() { int x = 1 }").unwrap();
+        let err = parse(&toks).unwrap_err();
+        assert!(err.message.contains("expected `;`"), "{err}");
+    }
+
+    #[test]
+    fn error_on_bad_toplevel() {
+        let toks = lex("int x;").unwrap();
+        assert!(parse(&toks).is_err());
+    }
+}

@@ -1,0 +1,164 @@
+//! Token definitions for the mini-C lexer.
+
+use std::fmt;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f64),
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// `int` keyword.
+    KwInt,
+    /// `float` keyword (also accepts `double` in the lexer).
+    KwFloat,
+    /// `void` keyword.
+    KwVoid,
+    /// `if`.
+    KwIf,
+    /// `else`.
+    KwElse,
+    /// `for`.
+    KwFor,
+    /// `while`.
+    KwWhile,
+    /// `do`.
+    KwDo,
+    /// `return`.
+    KwReturn,
+    /// `break`.
+    KwBreak,
+    /// `continue`.
+    KwContinue,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `[`.
+    LBracket,
+    /// `]`.
+    RBracket,
+    /// `;`.
+    Semi,
+    /// `,`.
+    Comma,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `*`.
+    Star,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `=`.
+    Assign,
+    /// `+=`.
+    PlusAssign,
+    /// `-=`.
+    MinusAssign,
+    /// `*=`.
+    StarAssign,
+    /// `/=`.
+    SlashAssign,
+    /// `++`.
+    PlusPlus,
+    /// `--`.
+    MinusMinus,
+    /// `==`.
+    EqEq,
+    /// `!=`.
+    NotEq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `&&`.
+    AndAnd,
+    /// `||`.
+    OrOr,
+    /// `!`.
+    Bang,
+    /// `?`.
+    Question,
+    /// `:`.
+    Colon,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::IntLit(v) => write!(f, "integer literal {v}"),
+            TokenKind::FloatLit(v) => write!(f, "float literal {v}"),
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::KwInt => f.write_str("`int`"),
+            TokenKind::KwFloat => f.write_str("`float`"),
+            TokenKind::KwVoid => f.write_str("`void`"),
+            TokenKind::KwIf => f.write_str("`if`"),
+            TokenKind::KwElse => f.write_str("`else`"),
+            TokenKind::KwFor => f.write_str("`for`"),
+            TokenKind::KwWhile => f.write_str("`while`"),
+            TokenKind::KwDo => f.write_str("`do`"),
+            TokenKind::KwReturn => f.write_str("`return`"),
+            TokenKind::KwBreak => f.write_str("`break`"),
+            TokenKind::KwContinue => f.write_str("`continue`"),
+            TokenKind::LParen => f.write_str("`(`"),
+            TokenKind::RParen => f.write_str("`)`"),
+            TokenKind::LBrace => f.write_str("`{`"),
+            TokenKind::RBrace => f.write_str("`}`"),
+            TokenKind::LBracket => f.write_str("`[`"),
+            TokenKind::RBracket => f.write_str("`]`"),
+            TokenKind::Semi => f.write_str("`;`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::Plus => f.write_str("`+`"),
+            TokenKind::Minus => f.write_str("`-`"),
+            TokenKind::Star => f.write_str("`*`"),
+            TokenKind::Slash => f.write_str("`/`"),
+            TokenKind::Percent => f.write_str("`%`"),
+            TokenKind::Assign => f.write_str("`=`"),
+            TokenKind::PlusAssign => f.write_str("`+=`"),
+            TokenKind::MinusAssign => f.write_str("`-=`"),
+            TokenKind::StarAssign => f.write_str("`*=`"),
+            TokenKind::SlashAssign => f.write_str("`/=`"),
+            TokenKind::PlusPlus => f.write_str("`++`"),
+            TokenKind::MinusMinus => f.write_str("`--`"),
+            TokenKind::EqEq => f.write_str("`==`"),
+            TokenKind::NotEq => f.write_str("`!=`"),
+            TokenKind::Lt => f.write_str("`<`"),
+            TokenKind::Le => f.write_str("`<=`"),
+            TokenKind::Gt => f.write_str("`>`"),
+            TokenKind::Ge => f.write_str("`>=`"),
+            TokenKind::AndAnd => f.write_str("`&&`"),
+            TokenKind::OrOr => f.write_str("`||`"),
+            TokenKind::Bang => f.write_str("`!`"),
+            TokenKind::Question => f.write_str("`?`"),
+            TokenKind::Colon => f.write_str("`:`"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Kind and payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}

@@ -1,0 +1,56 @@
+//! Evaluation of the built-in math functions.
+
+use crate::value::RtVal;
+
+/// Evaluates builtin `name` on `args`, or `None` for unknown names.
+///
+/// # Panics
+/// Panics when argument types do not match the builtin's signature (the
+/// frontend inserts coercions, so this indicates a toolchain bug).
+#[must_use]
+pub fn eval_builtin(name: &str, args: &[RtVal]) -> Option<RtVal> {
+    let f1 = |f: fn(f64) -> f64| RtVal::F(f(args[0].as_f()));
+    let f2 = |f: fn(f64, f64) -> f64| RtVal::F(f(args[0].as_f(), args[1].as_f()));
+    Some(match name {
+        "sqrt" => f1(f64::sqrt),
+        "log" => f1(f64::ln),
+        "exp" => f1(f64::exp),
+        "fabs" => f1(f64::abs),
+        "sin" => f1(f64::sin),
+        "cos" => f1(f64::cos),
+        "floor" => f1(f64::floor),
+        "ceil" => f1(f64::ceil),
+        "pow" => f2(f64::powf),
+        "fmin" => f2(f64::min),
+        "fmax" => f2(f64::max),
+        "iabs" => RtVal::I(args[0].as_i().wrapping_abs()),
+        "imin" => RtVal::I(args[0].as_i().min(args[1].as_i())),
+        "imax" => RtVal::I(args[0].as_i().max(args[1].as_i())),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_builtins() {
+        assert_eq!(eval_builtin("sqrt", &[RtVal::F(9.0)]), Some(RtVal::F(3.0)));
+        assert_eq!(eval_builtin("fmax", &[RtVal::F(1.0), RtVal::F(2.0)]), Some(RtVal::F(2.0)));
+        assert_eq!(eval_builtin("fabs", &[RtVal::F(-2.5)]), Some(RtVal::F(2.5)));
+        assert_eq!(eval_builtin("log", &[RtVal::F(1.0)]), Some(RtVal::F(0.0)));
+    }
+
+    #[test]
+    fn int_builtins() {
+        assert_eq!(eval_builtin("iabs", &[RtVal::I(-7)]), Some(RtVal::I(7)));
+        assert_eq!(eval_builtin("imin", &[RtVal::I(3), RtVal::I(-1)]), Some(RtVal::I(-1)));
+        assert_eq!(eval_builtin("imax", &[RtVal::I(3), RtVal::I(-1)]), Some(RtVal::I(3)));
+    }
+
+    #[test]
+    fn unknown_builtin_is_none() {
+        assert_eq!(eval_builtin("nope", &[]), None);
+    }
+}

@@ -1,0 +1,44 @@
+//! # gr-interp — an interpreter for `gr-ir` with profiling and pluggable
+//! memory
+//!
+//! The paper evaluates detected reductions by generating parallel native
+//! code; in this reproduction the "machine" is an IR interpreter, so the
+//! sequential baseline, the privatized parallel execution and the
+//! simulated "original parallel versions" all run on identical substrate
+//! and their wall-clock ratios are meaningful.
+//!
+//! * [`machine::Machine`] — the evaluator, generic over a
+//!   [`memory::MemBackend`] so threads can run over shared read-only
+//!   memory with private overlays (see `gr-parallel`),
+//! * [`memory::Memory`] — the owned backend used for sequential runs,
+//! * [`profile`] — per-block execution counts, giving exact instruction
+//!   counts per loop (the runtime-coverage figures of the paper),
+//! * [`builtins`] — the libm-style intrinsics.
+//!
+//! # Example
+//!
+//! ```
+//! use gr_interp::{machine::Machine, memory::Memory, RtVal};
+//!
+//! let m = gr_frontend::compile(
+//!     "float sum(float* a, int n) {
+//!          float s = 0.0;
+//!          for (int i = 0; i < n; i++) s += a[i];
+//!          return s;
+//!      }").unwrap();
+//! let mut mem = Memory::new(&m);
+//! let a = mem.alloc_float(&[1.0, 2.0, 3.5]);
+//! let mut machine = Machine::new(&m, mem);
+//! let r = machine.call("sum", &[RtVal::ptr(a), RtVal::I(3)]).unwrap();
+//! assert_eq!(r, Some(RtVal::F(6.5)));
+//! ```
+
+pub mod builtins;
+pub mod machine;
+pub mod memory;
+pub mod profile;
+pub mod value;
+
+pub use machine::{Machine, Trap};
+pub use memory::{MemBackend, Memory, ObjId};
+pub use value::RtVal;

@@ -1,0 +1,284 @@
+//! A convenience builder for constructing functions instruction by
+//! instruction, used by the frontend, the outliner and tests.
+
+use crate::function::{BlockId, Function};
+use crate::inst::{BinOp, CmpPred, Opcode, UnOp};
+use crate::types::Type;
+use crate::value::{ValueId, ValueKind};
+
+/// Incrementally builds a [`Function`].
+///
+/// The builder tracks a *current block*; instruction-creating methods append
+/// there. Phi nodes can be created with partial incoming lists and completed
+/// later with [`FunctionBuilder::add_phi_incoming`], which is what the
+/// frontend's SSA construction needs.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    current: BlockId,
+}
+
+impl FunctionBuilder {
+    /// Starts a function with an `entry` block selected as current.
+    #[must_use]
+    pub fn new(name: &str, params: &[(&str, Type)], ret: Type) -> FunctionBuilder {
+        let mut func = Function::new(name, params, ret);
+        let entry = func.add_block("entry");
+        FunctionBuilder { func, current: entry }
+    }
+
+    /// The argument value for parameter `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn arg(&self, index: usize) -> ValueId {
+        self.func.arg_values[index]
+    }
+
+    /// The block currently being appended to.
+    #[must_use]
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Creates a new block (does not switch to it).
+    pub fn new_block(&mut self, name: &str) -> BlockId {
+        self.func.add_block(name)
+    }
+
+    /// Makes `block` the current insertion point.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.current = block;
+    }
+
+    /// Whether the current block already ends in a terminator.
+    #[must_use]
+    pub fn current_terminated(&self) -> bool {
+        self.func.terminator(self.current).is_some()
+    }
+
+    /// Interned integer constant.
+    pub fn const_int(&mut self, v: i64) -> ValueId {
+        self.func.const_int(v)
+    }
+
+    /// Interned float constant.
+    pub fn const_float(&mut self, v: f64) -> ValueId {
+        self.func.const_float(v)
+    }
+
+    /// Interned boolean constant.
+    pub fn const_bool(&mut self, v: bool) -> ValueId {
+        self.func.const_bool(v)
+    }
+
+    /// Reference to a module global (each global gets one arena slot per
+    /// function).
+    pub fn global_ref(&mut self, gid: crate::module::GlobalId, elem: Type) -> ValueId {
+        // Reuse an existing reference to the same global if present.
+        for id in self.func.value_ids() {
+            if self.func.value(id).kind == ValueKind::GlobalRef(gid) {
+                return id;
+            }
+        }
+        let ty = elem.ptr_to().expect("global element type must be scalar int/float");
+        self.func.add_value(ValueKind::GlobalRef(gid), ty, None)
+    }
+
+    fn inst(&mut self, opcode: Opcode, operands: Vec<ValueId>, ty: Type) -> ValueId {
+        self.func.append_inst(self.current, opcode, operands, ty)
+    }
+
+    /// Binary operation; the result type follows the left operand.
+    pub fn binop(&mut self, op: BinOp, lhs: ValueId, rhs: ValueId) -> ValueId {
+        let ty = self.func.value(lhs).ty;
+        self.inst(Opcode::Bin(op), vec![lhs, rhs], ty)
+    }
+
+    /// Unary operation.
+    pub fn unop(&mut self, op: UnOp, v: ValueId) -> ValueId {
+        let ty = self.func.value(v).ty;
+        self.inst(Opcode::Un(op), vec![v], ty)
+    }
+
+    /// Integer/float comparison producing a `Bool`.
+    pub fn icmp(&mut self, pred: CmpPred, lhs: ValueId, rhs: ValueId) -> ValueId {
+        self.inst(Opcode::Cmp(pred), vec![lhs, rhs], Type::Bool)
+    }
+
+    /// Phi node with initial incoming `(value, block)` pairs.
+    pub fn phi(&mut self, ty: Type, incoming: &[(ValueId, BlockId)]) -> ValueId {
+        let mut operands = Vec::with_capacity(incoming.len() * 2);
+        for &(v, b) in incoming {
+            operands.push(v);
+            operands.push(self.func.block(b).label);
+        }
+        // Phis must precede non-phi instructions in their block: insert after
+        // the existing leading phi group.
+        let id = self.func.add_value(
+            ValueKind::Inst { opcode: Opcode::Phi, operands },
+            ty,
+            None,
+        );
+        let insts = &mut self.func.blocks[self.current.index()].insts;
+        let pos = insts
+            .iter()
+            .position(|&i| self.func.values[i.index()].kind.opcode() != Some(&Opcode::Phi))
+            .unwrap_or(insts.len());
+        self.func.blocks[self.current.index()].insts.insert(pos, id);
+        id
+    }
+
+    /// Adds an incoming `(value, block)` pair to an existing phi.
+    ///
+    /// # Panics
+    /// Panics if `phi` is not a phi instruction.
+    pub fn add_phi_incoming(&mut self, phi: ValueId, value: ValueId, block: BlockId) {
+        let label = self.func.block(block).label;
+        match &mut self.func.value_mut(phi).kind {
+            ValueKind::Inst { opcode: Opcode::Phi, operands } => {
+                operands.push(value);
+                operands.push(label);
+            }
+            k => panic!("add_phi_incoming on non-phi {phi}: {k:?}"),
+        }
+    }
+
+    /// Unconditional branch.
+    pub fn br(&mut self, target: BlockId) -> ValueId {
+        let label = self.func.block(target).label;
+        self.inst(Opcode::Br, vec![label], Type::Void)
+    }
+
+    /// Conditional branch.
+    pub fn cond_br(&mut self, cond: ValueId, then_b: BlockId, else_b: BlockId) -> ValueId {
+        let tl = self.func.block(then_b).label;
+        let el = self.func.block(else_b).label;
+        self.inst(Opcode::CondBr, vec![cond, tl, el], Type::Void)
+    }
+
+    /// Return, with optional value.
+    pub fn ret(&mut self, v: Option<ValueId>) -> ValueId {
+        let operands = v.map(|v| vec![v]).unwrap_or_default();
+        self.inst(Opcode::Ret, operands, Type::Void)
+    }
+
+    /// Load through a pointer.
+    ///
+    /// # Panics
+    /// Panics if `ptr` is not pointer-typed.
+    pub fn load(&mut self, ptr: ValueId) -> ValueId {
+        let elem = self
+            .func
+            .value(ptr)
+            .ty
+            .elem()
+            .expect("load requires a pointer operand");
+        self.inst(Opcode::Load, vec![ptr], elem)
+    }
+
+    /// Store `value` through `ptr`.
+    pub fn store(&mut self, value: ValueId, ptr: ValueId) -> ValueId {
+        self.inst(Opcode::Store, vec![value, ptr], Type::Void)
+    }
+
+    /// Pointer arithmetic: `ptr + index` elements.
+    pub fn gep(&mut self, ptr: ValueId, index: ValueId) -> ValueId {
+        let ty = self.func.value(ptr).ty;
+        self.inst(Opcode::Gep, vec![ptr, index], ty)
+    }
+
+    /// Call a named function.
+    pub fn call(&mut self, callee: &str, args: &[ValueId], ret: Type) -> ValueId {
+        self.inst(Opcode::Call(callee.to_string()), args.to_vec(), ret)
+    }
+
+    /// Numeric cast to `ty`.
+    pub fn cast(&mut self, v: ValueId, ty: Type) -> ValueId {
+        self.inst(Opcode::Cast, vec![v], ty)
+    }
+
+    /// Ternary select.
+    pub fn select(&mut self, cond: ValueId, then_v: ValueId, else_v: ValueId) -> ValueId {
+        let ty = self.func.value(then_v).ty;
+        self.inst(Opcode::Select, vec![cond, then_v, else_v], ty)
+    }
+
+    /// Local array allocation of `size` elements of `elem` type.
+    ///
+    /// # Panics
+    /// Panics if `elem` is not `Int` or `Float`.
+    pub fn alloca(&mut self, elem: Type, size: ValueId) -> ValueId {
+        let ty = elem.ptr_to().expect("alloca element type must be scalar int/float");
+        self.inst(Opcode::Alloca, vec![size], ty)
+    }
+
+    /// Read access to the function under construction.
+    #[must_use]
+    pub fn func(&self) -> &Function {
+        &self.func
+    }
+
+    /// Finalizes and returns the function.
+    #[must_use]
+    pub fn finish(self) -> Function {
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phis_stay_grouped_at_block_start() {
+        let mut b = FunctionBuilder::new("f", &[("x", Type::Int)], Type::Int);
+        let entry = b.current_block();
+        let head = b.new_block("head");
+        b.br(head);
+        b.switch_to(head);
+        let x = b.arg(0);
+        let p1 = b.phi(Type::Int, &[(x, entry)]);
+        let s = b.binop(BinOp::Add, p1, x);
+        // Creating a second phi after a non-phi instruction must insert it
+        // before `s`, keeping the phi group contiguous.
+        let p2 = b.phi(Type::Int, &[(x, entry)]);
+        b.ret(Some(s));
+        let f = b.finish();
+        let insts = &f.block(BlockId(1)).insts;
+        assert_eq!(insts[0], p1);
+        assert_eq!(insts[1], p2);
+    }
+
+    #[test]
+    fn load_infers_element_type() {
+        let mut b = FunctionBuilder::new("f", &[("a", Type::PtrFloat)], Type::Float);
+        let a = b.arg(0);
+        let i = b.const_int(0);
+        let p = b.gep(a, i);
+        let v = b.load(p);
+        b.ret(Some(v));
+        let f = b.finish();
+        assert_eq!(f.value(v).ty, Type::Float);
+        assert_eq!(f.value(p).ty, Type::PtrFloat);
+    }
+
+    #[test]
+    #[should_panic(expected = "load requires a pointer")]
+    fn load_from_scalar_panics() {
+        let mut b = FunctionBuilder::new("f", &[("x", Type::Int)], Type::Int);
+        let x = b.arg(0);
+        b.load(x);
+    }
+
+    #[test]
+    fn global_refs_are_shared() {
+        let mut m = crate::module::Module::new();
+        let g = m.push_global("q", Type::Float, 8);
+        let mut b = FunctionBuilder::new("f", &[], Type::Void);
+        let r1 = b.global_ref(g, Type::Float);
+        let r2 = b.global_ref(g, Type::Float);
+        assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,43 @@
+//! The built-in math functions known to the toolchain.
+//!
+//! These model the libm calls (`sqrt`, `log`, `fmin`, …) that appear in the
+//! paper's benchmark kernels. All are pure. They live in `gr-ir` so the
+//! frontend (which generates calls), the analyses (which reason about
+//! purity) and the interpreter (which executes them) agree on one list.
+
+/// `(name, arity)` of every builtin. Names starting with `i` operate on
+/// integers; all others on floats.
+pub const BUILTINS: &[(&str, usize)] = &[
+    ("sqrt", 1),
+    ("log", 1),
+    ("exp", 1),
+    ("fabs", 1),
+    ("sin", 1),
+    ("cos", 1),
+    ("floor", 1),
+    ("ceil", 1),
+    ("pow", 2),
+    ("fmin", 2),
+    ("fmax", 2),
+    ("iabs", 1),
+    ("imin", 2),
+    ("imax", 2),
+];
+
+/// Whether `name` is a built-in math function.
+#[must_use]
+pub fn is_builtin(name: &str) -> bool {
+    BUILTINS.iter().any(|(n, _)| *n == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(is_builtin("sqrt"));
+        assert!(is_builtin("fmax"));
+        assert!(!is_builtin("printf"));
+    }
+}

@@ -1,0 +1,353 @@
+//! Functions: value arenas plus an ordered list of basic blocks.
+
+use crate::inst::Opcode;
+use crate::types::Type;
+use crate::value::{ConstKey, ValueId, ValueKind};
+use std::collections::HashMap;
+
+/// Index of a basic block within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The block index as `usize`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for BlockId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Source-level name (for diagnostics and printing).
+    pub name: String,
+    /// Parameter type.
+    pub ty: Type,
+}
+
+/// A basic block: a label value plus an ordered instruction list, the last
+/// of which must be a terminator once the function is complete.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockData {
+    /// Human-readable label.
+    pub name: String,
+    /// The block's label value in the arena.
+    pub label: ValueId,
+    /// Instructions in execution order.
+    pub insts: Vec<ValueId>,
+}
+
+/// A value arena slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueData {
+    /// What the value is.
+    pub kind: ValueKind,
+    /// Its type.
+    pub ty: Type,
+    /// Optional source-level name (for diagnostics and printing).
+    pub name: Option<String>,
+}
+
+/// A function in SSA form.
+///
+/// The arena [`Function::values`] contains every value mentioned anywhere in
+/// the function — instructions, constants, arguments, block labels, global
+/// references. This is exactly `values(F)` from the paper, the domain the
+/// constraint solver enumerates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Parameters in order.
+    pub params: Vec<Param>,
+    /// Return type.
+    pub ret: Type,
+    /// Value arena.
+    pub values: Vec<ValueData>,
+    /// Basic blocks in layout order; index 0 is the entry block.
+    pub blocks: Vec<BlockData>,
+    consts: HashMap<ConstKey, ValueId>,
+    /// Arena ids of the argument values, in parameter order.
+    pub arg_values: Vec<ValueId>,
+}
+
+impl Function {
+    /// Creates an empty function with the given signature. Argument values
+    /// are created eagerly; blocks must be added via [`Function::add_block`].
+    #[must_use]
+    pub fn new(name: &str, params: &[(&str, Type)], ret: Type) -> Function {
+        let mut f = Function {
+            name: name.to_string(),
+            params: params
+                .iter()
+                .map(|(n, t)| Param { name: (*n).to_string(), ty: *t })
+                .collect(),
+            ret,
+            values: Vec::new(),
+            blocks: Vec::new(),
+            consts: HashMap::new(),
+            arg_values: Vec::new(),
+        };
+        for (i, (n, t)) in params.iter().enumerate() {
+            let v = f.add_value(ValueKind::Argument(i), *t, Some((*n).to_string()));
+            f.arg_values.push(v);
+        }
+        f
+    }
+
+    /// Adds a raw value to the arena and returns its id.
+    pub fn add_value(&mut self, kind: ValueKind, ty: Type, name: Option<String>) -> ValueId {
+        let id = ValueId(u32::try_from(self.values.len()).expect("value arena overflow"));
+        self.values.push(ValueData { kind, ty, name });
+        id
+    }
+
+    /// Adds a new empty basic block and returns its id. The block's label
+    /// value is added to the arena.
+    pub fn add_block(&mut self, name: &str) -> BlockId {
+        let bid = BlockId(u32::try_from(self.blocks.len()).expect("block arena overflow"));
+        let label = self.add_value(ValueKind::Block(bid), Type::Void, Some(name.to_string()));
+        self.blocks.push(BlockData { name: name.to_string(), label, insts: Vec::new() });
+        bid
+    }
+
+    /// Returns the interned integer constant value.
+    pub fn const_int(&mut self, v: i64) -> ValueId {
+        if let Some(&id) = self.consts.get(&ConstKey::Int(v)) {
+            return id;
+        }
+        let id = self.add_value(ValueKind::ConstInt(v), Type::Int, None);
+        self.consts.insert(ConstKey::Int(v), id);
+        id
+    }
+
+    /// Returns the interned float constant value.
+    pub fn const_float(&mut self, v: f64) -> ValueId {
+        let key = ConstKey::FloatBits(v.to_bits());
+        if let Some(&id) = self.consts.get(&key) {
+            return id;
+        }
+        let id = self.add_value(ValueKind::ConstFloat(v), Type::Float, None);
+        self.consts.insert(key, id);
+        id
+    }
+
+    /// Returns the interned boolean constant value.
+    pub fn const_bool(&mut self, v: bool) -> ValueId {
+        if let Some(&id) = self.consts.get(&ConstKey::Bool(v)) {
+            return id;
+        }
+        let id = self.add_value(ValueKind::ConstBool(v), Type::Bool, None);
+        self.consts.insert(ConstKey::Bool(v), id);
+        id
+    }
+
+    /// Appends an instruction to a block and returns its value id.
+    pub fn append_inst(
+        &mut self,
+        block: BlockId,
+        opcode: Opcode,
+        operands: Vec<ValueId>,
+        ty: Type,
+    ) -> ValueId {
+        let id = self.add_value(ValueKind::Inst { opcode, operands }, ty, None);
+        self.blocks[block.index()].insts.push(id);
+        id
+    }
+
+    /// The entry block (`bb0`).
+    ///
+    /// # Panics
+    /// Panics if the function has no blocks.
+    #[must_use]
+    pub fn entry(&self) -> BlockId {
+        assert!(!self.blocks.is_empty(), "function has no blocks");
+        BlockId(0)
+    }
+
+    /// Data for a value.
+    #[must_use]
+    pub fn value(&self, id: ValueId) -> &ValueData {
+        &self.values[id.index()]
+    }
+
+    /// Mutable data for a value.
+    pub fn value_mut(&mut self, id: ValueId) -> &mut ValueData {
+        &mut self.values[id.index()]
+    }
+
+    /// Data for a block.
+    #[must_use]
+    pub fn block(&self, id: BlockId) -> &BlockData {
+        &self.blocks[id.index()]
+    }
+
+    /// Iterator over every value id in the arena — the paper's `values(F)`.
+    pub fn value_ids(&self) -> impl Iterator<Item = ValueId> + '_ {
+        (0..self.values.len()).map(|i| ValueId(i as u32))
+    }
+
+    /// Iterator over block ids in layout order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> + '_ {
+        (0..self.blocks.len()).map(|i| BlockId(i as u32))
+    }
+
+    /// The terminator instruction of a block, if present.
+    #[must_use]
+    pub fn terminator(&self, block: BlockId) -> Option<ValueId> {
+        let last = *self.block(block).insts.last()?;
+        self.value(last).kind.opcode()?.is_terminator().then_some(last)
+    }
+
+    /// Successor blocks of a block, from its terminator.
+    #[must_use]
+    pub fn successors(&self, block: BlockId) -> Vec<BlockId> {
+        let Some(term) = self.terminator(block) else { return Vec::new() };
+        let data = self.value(term);
+        match data.kind.opcode() {
+            Some(Opcode::Br) => vec![self.block_of_label(data.kind.operands()[0])],
+            Some(Opcode::CondBr) => {
+                let ops = data.kind.operands();
+                vec![self.block_of_label(ops[1]), self.block_of_label(ops[2])]
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Predecessor map: for each block, the blocks branching to it.
+    #[must_use]
+    pub fn predecessors(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for b in self.block_ids() {
+            for s in self.successors(b) {
+                preds[s.index()].push(b);
+            }
+        }
+        preds
+    }
+
+    /// Resolves a block-label value to its [`BlockId`].
+    ///
+    /// # Panics
+    /// Panics if the value is not a block label.
+    #[must_use]
+    pub fn block_of_label(&self, label: ValueId) -> BlockId {
+        match self.value(label).kind {
+            ValueKind::Block(b) => b,
+            ref k => panic!("value {label} is not a block label: {k:?}"),
+        }
+    }
+
+    /// The block containing an instruction, or `None` for non-instructions.
+    #[must_use]
+    pub fn block_of_inst(&self, inst: ValueId) -> Option<BlockId> {
+        if !self.value(inst).kind.is_inst() {
+            return None;
+        }
+        self.block_ids().find(|b| self.block(*b).insts.contains(&inst))
+    }
+
+    /// Builds a dense map from instruction value id to containing block.
+    /// Cheaper than repeated [`Function::block_of_inst`] calls.
+    #[must_use]
+    pub fn inst_blocks(&self) -> HashMap<ValueId, BlockId> {
+        let mut map = HashMap::new();
+        for b in self.block_ids() {
+            for &i in &self.block(b).insts {
+                map.insert(i, b);
+            }
+        }
+        map
+    }
+
+    /// All `(value, block)` incoming pairs of a phi instruction.
+    ///
+    /// # Panics
+    /// Panics if `phi` is not a phi instruction.
+    #[must_use]
+    pub fn phi_incoming(&self, phi: ValueId) -> Vec<(ValueId, BlockId)> {
+        let data = self.value(phi);
+        assert_eq!(data.kind.opcode(), Some(&Opcode::Phi), "not a phi: {phi}");
+        data.kind
+            .operands()
+            .chunks(2)
+            .map(|c| (c[0], self.block_of_label(c[1])))
+            .collect()
+    }
+
+    /// Number of instructions across all blocks.
+    #[must_use]
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BinOp, CmpPred};
+
+    fn tiny() -> Function {
+        let mut f = Function::new("t", &[("n", Type::Int)], Type::Int);
+        let e = f.add_block("entry");
+        let x = f.add_block("exit");
+        let n = f.arg_values[0];
+        let one = f.const_int(1);
+        let c = f.append_inst(e, Opcode::Cmp(CmpPred::Lt), vec![n, one], Type::Bool);
+        let xl = f.block(x).label;
+        let el = f.block(e).label;
+        // conditional self-loop for successor testing
+        f.append_inst(e, Opcode::CondBr, vec![c, xl, el], Type::Void);
+        let s = f.append_inst(x, Opcode::Bin(BinOp::Add), vec![n, one], Type::Int);
+        f.append_inst(x, Opcode::Ret, vec![s], Type::Void);
+        f
+    }
+
+    #[test]
+    fn constants_are_interned() {
+        let mut f = Function::new("c", &[], Type::Void);
+        assert_eq!(f.const_int(5), f.const_int(5));
+        assert_ne!(f.const_int(5), f.const_int(6));
+        assert_eq!(f.const_float(0.5), f.const_float(0.5));
+        assert_eq!(f.const_bool(true), f.const_bool(true));
+        // 0.0 and -0.0 have distinct bit patterns and must stay distinct.
+        assert_ne!(f.const_float(0.0), f.const_float(-0.0));
+    }
+
+    #[test]
+    fn successors_and_predecessors() {
+        let f = tiny();
+        let e = BlockId(0);
+        let x = BlockId(1);
+        assert_eq!(f.successors(e), vec![x, e]);
+        assert!(f.successors(x).is_empty());
+        let preds = f.predecessors();
+        assert_eq!(preds[e.index()], vec![e]);
+        assert_eq!(preds[x.index()], vec![e]);
+    }
+
+    #[test]
+    fn terminator_and_blocks() {
+        let f = tiny();
+        assert!(f.terminator(BlockId(0)).is_some());
+        let term = f.terminator(BlockId(1)).unwrap();
+        assert_eq!(f.value(term).kind.opcode(), Some(&Opcode::Ret));
+        assert_eq!(f.block_of_inst(term), Some(BlockId(1)));
+        assert_eq!(f.block_of_inst(f.arg_values[0]), None);
+    }
+
+    #[test]
+    fn inst_count_and_value_ids() {
+        let f = tiny();
+        assert_eq!(f.inst_count(), 4);
+        // arena contains: 1 arg + 2 labels + 1 const + 4 insts = 8
+        assert_eq!(f.value_ids().count(), 8);
+    }
+}

@@ -1,0 +1,273 @@
+//! Instruction opcodes.
+//!
+//! Operand layout conventions (operands are stored in
+//! [`ValueKind::Inst`](crate::value::ValueKind)):
+//!
+//! | opcode        | operands                               |
+//! |---------------|----------------------------------------|
+//! | `Bin(op)`     | `[lhs, rhs]`                           |
+//! | `Un(op)`      | `[val]`                                |
+//! | `Cmp(pred)`   | `[lhs, rhs]`                           |
+//! | `Phi`         | `[v1, block1, v2, block2, ...]`        |
+//! | `Br`          | `[target_block]`                       |
+//! | `CondBr`      | `[cond, then_block, else_block]`       |
+//! | `Ret`         | `[]` or `[val]`                        |
+//! | `Load`        | `[ptr]`                                |
+//! | `Store`       | `[val, ptr]`                           |
+//! | `Gep`         | `[ptr, index]`                         |
+//! | `Call`        | `[arg...]` (callee name in opcode)     |
+//! | `Cast`        | `[val]` (target type = result type)    |
+//! | `Select`      | `[cond, then_val, else_val]`           |
+//! | `Alloca`      | `[size]` (element type via result ptr) |
+
+use std::fmt;
+
+/// Binary arithmetic/logic operators. Semantics are chosen by operand type
+/// (integer or float), like a type-directed subset of LLVM's `add`/`fadd`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (truncating for integers).
+    Div,
+    /// Remainder (integers only).
+    Rem,
+    /// Logical/bitwise and.
+    And,
+    /// Logical/bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift.
+    Shl,
+    /// Arithmetic right shift.
+    Shr,
+}
+
+impl BinOp {
+    /// Whether the operation is commutative and associative, i.e. a legal
+    /// merge operator for reduction privatization (the paper's
+    /// associativity post-check).
+    #[must_use]
+    pub fn is_assoc_commutative(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor)
+    }
+
+    /// Mnemonic used by the printer.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean negation.
+    Not,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            UnOp::Neg => "neg",
+            UnOp::Not => "not",
+        })
+    }
+}
+
+/// Comparison predicates; applied to two operands of identical scalar type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpPred {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+impl CmpPred {
+    /// The predicate with swapped operand order (`a < b` ⇔ `b > a`).
+    #[must_use]
+    pub fn swapped(self) -> CmpPred {
+        match self {
+            CmpPred::Eq => CmpPred::Eq,
+            CmpPred::Ne => CmpPred::Ne,
+            CmpPred::Lt => CmpPred::Gt,
+            CmpPred::Le => CmpPred::Ge,
+            CmpPred::Gt => CmpPred::Lt,
+            CmpPred::Ge => CmpPred::Le,
+        }
+    }
+
+    /// The logically negated predicate (`!(a < b)` ⇔ `a >= b`).
+    #[must_use]
+    pub fn negated(self) -> CmpPred {
+        match self {
+            CmpPred::Eq => CmpPred::Ne,
+            CmpPred::Ne => CmpPred::Eq,
+            CmpPred::Lt => CmpPred::Ge,
+            CmpPred::Le => CmpPred::Gt,
+            CmpPred::Gt => CmpPred::Le,
+            CmpPred::Ge => CmpPred::Lt,
+        }
+    }
+
+    /// Mnemonic used by the printer.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpPred::Eq => "eq",
+            CmpPred::Ne => "ne",
+            CmpPred::Lt => "lt",
+            CmpPred::Le => "le",
+            CmpPred::Gt => "gt",
+            CmpPred::Ge => "ge",
+        }
+    }
+}
+
+impl fmt::Display for CmpPred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Instruction opcode. See the module docs for operand layouts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Opcode {
+    /// Binary arithmetic / logic.
+    Bin(BinOp),
+    /// Unary arithmetic / logic.
+    Un(UnOp),
+    /// Comparison producing a `Bool`.
+    Cmp(CmpPred),
+    /// SSA phi node; operands are interleaved `[value, pred-block]` pairs.
+    Phi,
+    /// Unconditional branch.
+    Br,
+    /// Conditional branch `[cond, then, else]`.
+    CondBr,
+    /// Function return, with optional value operand.
+    Ret,
+    /// Memory read through a pointer.
+    Load,
+    /// Memory write `[value, pointer]`.
+    Store,
+    /// Pointer arithmetic `[pointer, index]`, LLVM `getelementptr`.
+    Gep,
+    /// Call to a named function (builtin or user-defined).
+    Call(String),
+    /// Numeric conversion; the target type is the instruction result type.
+    Cast,
+    /// Ternary select `[cond, then_val, else_val]`.
+    Select,
+    /// Stack allocation of a local array, `[size]` elements.
+    Alloca,
+}
+
+impl Opcode {
+    /// Whether this opcode terminates a basic block.
+    #[must_use]
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Opcode::Br | Opcode::CondBr | Opcode::Ret)
+    }
+
+    /// Whether the instruction may access memory (loads, stores, calls,
+    /// allocas).
+    #[must_use]
+    pub fn touches_memory(&self) -> bool {
+        matches!(self, Opcode::Load | Opcode::Store | Opcode::Call(_) | Opcode::Alloca)
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Opcode::Bin(op) => write!(f, "{op}"),
+            Opcode::Un(op) => write!(f, "{op}"),
+            Opcode::Cmp(p) => write!(f, "cmp {p}"),
+            Opcode::Phi => f.write_str("phi"),
+            Opcode::Br => f.write_str("br"),
+            Opcode::CondBr => f.write_str("condbr"),
+            Opcode::Ret => f.write_str("ret"),
+            Opcode::Load => f.write_str("load"),
+            Opcode::Store => f.write_str("store"),
+            Opcode::Gep => f.write_str("gep"),
+            Opcode::Call(name) => write!(f, "call @{name}"),
+            Opcode::Cast => f.write_str("cast"),
+            Opcode::Select => f.write_str("select"),
+            Opcode::Alloca => f.write_str("alloca"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicates_negate_and_swap() {
+        for p in [CmpPred::Eq, CmpPred::Ne, CmpPred::Lt, CmpPred::Le, CmpPred::Gt, CmpPred::Ge] {
+            assert_eq!(p.negated().negated(), p);
+            assert_eq!(p.swapped().swapped(), p);
+        }
+        assert_eq!(CmpPred::Lt.negated(), CmpPred::Ge);
+        assert_eq!(CmpPred::Le.swapped(), CmpPred::Ge);
+    }
+
+    #[test]
+    fn associativity_classification() {
+        assert!(BinOp::Add.is_assoc_commutative());
+        assert!(BinOp::Mul.is_assoc_commutative());
+        assert!(!BinOp::Sub.is_assoc_commutative());
+        assert!(!BinOp::Div.is_assoc_commutative());
+    }
+
+    #[test]
+    fn terminator_classification() {
+        assert!(Opcode::Br.is_terminator());
+        assert!(Opcode::CondBr.is_terminator());
+        assert!(Opcode::Ret.is_terminator());
+        assert!(!Opcode::Phi.is_terminator());
+        assert!(!Opcode::Call("f".into()).is_terminator());
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(Opcode::Load.touches_memory());
+        assert!(Opcode::Store.touches_memory());
+        assert!(Opcode::Call("sqrt".into()).touches_memory());
+        assert!(!Opcode::Bin(BinOp::Add).touches_memory());
+    }
+}

@@ -1,0 +1,69 @@
+//! # gr-ir — an LLVM-like typed SSA intermediate representation
+//!
+//! This crate provides the compiler IR substrate for the CGO 2017
+//! reproduction *"Discovery and Exploitation of General Reductions: A
+//! Constraint Based Approach"*. The paper's detection operates on LLVM IR
+//! after lowering to SSA form; this crate mirrors the properties the paper
+//! relies on:
+//!
+//! * **Everything is a value.** Instructions, constants, function arguments,
+//!   basic-block labels and globals all live in one per-function value arena
+//!   (`values(F)` in the paper), so a constraint solver can enumerate
+//!   uniformly over them.
+//! * **SSA with explicit PHI nodes**, `load`/`store`/`gep` memory access,
+//!   and calls with known callee names (purity is a separate analysis).
+//! * **Structured well-formedness** enforced by [`verify::verify_function`].
+//!
+//! # Example
+//!
+//! ```
+//! use gr_ir::{builder::FunctionBuilder, BinOp, CmpPred, Type, Module};
+//!
+//! // Build `fn sum(a: *float, n: int) -> float { s=0; for(i=0;i<n;i++) s+=a[i]; }`
+//! let mut b = FunctionBuilder::new("sum", &[("a", Type::PtrFloat), ("n", Type::Int)], Type::Float);
+//! let (a, n) = (b.arg(0), b.arg(1));
+//! let entry = b.current_block();
+//! let header = b.new_block("header");
+//! let body = b.new_block("body");
+//! let exit = b.new_block("exit");
+//! let zero = b.const_int(0);
+//! let fzero = b.const_float(0.0);
+//! b.br(header);
+//! b.switch_to(header);
+//! let i = b.phi(Type::Int, &[(zero, entry)]);
+//! let s = b.phi(Type::Float, &[(fzero, entry)]);
+//! let cond = b.icmp(CmpPred::Lt, i, n);
+//! b.cond_br(cond, body, exit);
+//! b.switch_to(body);
+//! let p = b.gep(a, i);
+//! let v = b.load(p);
+//! let s2 = b.binop(BinOp::Add, s, v);
+//! let one = b.const_int(1);
+//! let i2 = b.binop(BinOp::Add, i, one);
+//! b.add_phi_incoming(i, i2, body);
+//! b.add_phi_incoming(s, s2, body);
+//! b.br(header);
+//! b.switch_to(exit);
+//! b.ret(Some(s));
+//! let f = b.finish();
+//! let mut m = Module::new();
+//! m.push_function(f);
+//! assert!(gr_ir::verify::verify_module(&m).is_ok());
+//! ```
+
+pub mod builder;
+pub mod builtins;
+pub mod function;
+pub mod inst;
+pub mod module;
+pub mod printer;
+pub mod types;
+pub mod value;
+pub mod verify;
+
+pub use builder::FunctionBuilder;
+pub use function::{BlockData, BlockId, Function, Param, ValueData};
+pub use inst::{BinOp, CmpPred, Opcode, UnOp};
+pub use module::{Global, GlobalId, Module};
+pub use types::Type;
+pub use value::{ValueId, ValueKind};

@@ -1,0 +1,98 @@
+//! Modules: a set of functions plus module-level globals.
+
+use crate::function::Function;
+use crate::types::Type;
+
+/// Index of a global in a module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalId(pub u32);
+
+impl GlobalId {
+    /// The global index as `usize`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for GlobalId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "@g{}", self.0)
+    }
+}
+
+/// A module-level global array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Global {
+    /// Source-level name.
+    pub name: String,
+    /// Element type (`Int` or `Float`).
+    pub elem: Type,
+    /// Declared element count.
+    pub size: usize,
+}
+
+/// A compilation unit: functions and globals.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    /// Functions in declaration order.
+    pub functions: Vec<Function>,
+    /// Global arrays.
+    pub globals: Vec<Global>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    #[must_use]
+    pub fn new() -> Module {
+        Module::default()
+    }
+
+    /// Adds a function, returning its index.
+    pub fn push_function(&mut self, f: Function) -> usize {
+        self.functions.push(f);
+        self.functions.len() - 1
+    }
+
+    /// Declares a global array, returning its id.
+    pub fn push_global(&mut self, name: &str, elem: Type, size: usize) -> GlobalId {
+        let id = GlobalId(u32::try_from(self.globals.len()).expect("global arena overflow"));
+        self.globals.push(Global { name: name.to_string(), elem, size });
+        id
+    }
+
+    /// Finds a function by name.
+    #[must_use]
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Finds a global by name.
+    #[must_use]
+    pub fn global(&self, name: &str) -> Option<(GlobalId, &Global)> {
+        self.globals
+            .iter()
+            .enumerate()
+            .find(|(_, g)| g.name == name)
+            .map(|(i, g)| (GlobalId(i as u32), g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        let mut m = Module::new();
+        m.push_function(Function::new("f", &[], Type::Void));
+        m.push_function(Function::new("g", &[], Type::Int));
+        let gid = m.push_global("q", Type::Float, 16);
+        assert!(m.function("f").is_some());
+        assert!(m.function("h").is_none());
+        let (found, g) = m.global("q").unwrap();
+        assert_eq!(found, gid);
+        assert_eq!(g.size, 16);
+        assert!(m.global("r").is_none());
+    }
+}

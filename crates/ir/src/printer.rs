@@ -1,0 +1,104 @@
+//! Textual IR printer, LLVM-flavoured, for debugging and golden tests.
+
+use crate::function::Function;
+use crate::module::Module;
+use crate::value::{ValueId, ValueKind};
+use std::fmt::Write as _;
+
+/// Renders a module as text.
+#[must_use]
+pub fn print_module(m: &Module) -> String {
+    let mut out = String::new();
+    for g in &m.globals {
+        let _ = writeln!(out, "global @{} : {} x {}", g.name, g.size, g.elem);
+    }
+    if !m.globals.is_empty() {
+        out.push('\n');
+    }
+    for f in &m.functions {
+        out.push_str(&print_function(m, f));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a single function as text.
+#[must_use]
+pub fn print_function(m: &Module, f: &Function) -> String {
+    let mut out = String::new();
+    let params = f
+        .params
+        .iter()
+        .map(|p| format!("{}: {}", p.name, p.ty))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let _ = writeln!(out, "fn @{}({}) -> {} {{", f.name, params, f.ret);
+    for b in f.block_ids() {
+        let _ = writeln!(out, "{} ({}):", b, f.block(b).name);
+        for &i in &f.block(b).insts {
+            let _ = writeln!(out, "  {}", render_inst(m, f, i));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn render_operand(m: &Module, f: &Function, v: ValueId) -> String {
+    match &f.value(v).kind {
+        ValueKind::ConstInt(c) => format!("{c}"),
+        ValueKind::ConstFloat(c) => format!("{c:?}"),
+        ValueKind::ConstBool(c) => format!("{c}"),
+        ValueKind::Argument(i) => format!("%{}", f.params[*i].name),
+        ValueKind::GlobalRef(g) => {
+            format!("@{}", m.globals.get(g.index()).map_or("?", |g| g.name.as_str()))
+        }
+        ValueKind::Block(b) => format!("{b}"),
+        ValueKind::Inst { .. } => format!("{v}"),
+    }
+}
+
+fn render_inst(m: &Module, f: &Function, id: ValueId) -> String {
+    let data = f.value(id);
+    let ValueKind::Inst { opcode, operands } = &data.kind else {
+        return format!("{id} = <non-inst>");
+    };
+    let ops = operands
+        .iter()
+        .map(|&o| render_operand(m, f, o))
+        .collect::<Vec<_>>()
+        .join(", ");
+    if data.ty == crate::types::Type::Void {
+        format!("{opcode} {ops}")
+    } else {
+        format!("{id}: {} = {opcode} {ops}", data.ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::BinOp;
+    use crate::types::Type;
+
+    #[test]
+    fn print_roundtrips_key_syntax() {
+        let mut m = Module::new();
+        m.push_global("q", Type::Float, 10);
+        let mut b = FunctionBuilder::new("f", &[("a", Type::PtrFloat), ("n", Type::Int)], Type::Void);
+        let a = b.arg(0);
+        let zero = b.const_int(0);
+        let p = b.gep(a, zero);
+        let v = b.load(p);
+        let v2 = b.binop(BinOp::Add, v, v);
+        b.store(v2, p);
+        b.ret(None);
+        m.push_function(b.finish());
+        let text = print_module(&m);
+        assert!(text.contains("global @q : 10 x float"));
+        assert!(text.contains("fn @f(a: float*, n: int) -> void {"));
+        assert!(text.contains("= load"));
+        assert!(text.contains("store"));
+        assert!(text.contains("ret"));
+    }
+}

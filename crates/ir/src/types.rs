@@ -1,0 +1,110 @@
+//! Value types. The IR is deliberately small: 64-bit integers, 64-bit
+//! floats, booleans (comparison results), and pointers into flat arrays of
+//! integers or floats.
+
+use std::fmt;
+
+/// The type of an IR value.
+///
+/// Pointers are typed by their element (`PtrInt` / `PtrFloat`) and address
+/// flat one-dimensional memory objects; multi-dimensional arrays are
+/// linearized by the frontend, mirroring how clang lowers C arrays for the
+/// benchmark kernels in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum Type {
+    /// No value (functions returning nothing, terminators, stores).
+    #[default]
+    Void,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float.
+    Float,
+    /// Boolean, produced by comparisons (`i1` in LLVM terms).
+    Bool,
+    /// Pointer to an integer array.
+    PtrInt,
+    /// Pointer to a float array.
+    PtrFloat,
+}
+
+impl Type {
+    /// Whether this is a pointer type.
+    #[must_use]
+    pub fn is_ptr(self) -> bool {
+        matches!(self, Type::PtrInt | Type::PtrFloat)
+    }
+
+    /// Whether this is a scalar (non-pointer, non-void) type.
+    #[must_use]
+    pub fn is_scalar(self) -> bool {
+        matches!(self, Type::Int | Type::Float | Type::Bool)
+    }
+
+    /// Element type addressed by a pointer type.
+    ///
+    /// Returns `None` for non-pointer types.
+    #[must_use]
+    pub fn elem(self) -> Option<Type> {
+        match self {
+            Type::PtrInt => Some(Type::Int),
+            Type::PtrFloat => Some(Type::Float),
+            _ => None,
+        }
+    }
+
+    /// Pointer type addressing elements of this scalar type.
+    ///
+    /// Returns `None` unless the type is `Int` or `Float`.
+    #[must_use]
+    pub fn ptr_to(self) -> Option<Type> {
+        match self {
+            Type::Int => Some(Type::PtrInt),
+            Type::Float => Some(Type::PtrFloat),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Type::Void => "void",
+            Type::Int => "int",
+            Type::Float => "float",
+            Type::Bool => "bool",
+            Type::PtrInt => "int*",
+            Type::PtrFloat => "float*",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elem_and_ptr_roundtrip() {
+        assert_eq!(Type::PtrInt.elem(), Some(Type::Int));
+        assert_eq!(Type::PtrFloat.elem(), Some(Type::Float));
+        assert_eq!(Type::Int.ptr_to(), Some(Type::PtrInt));
+        assert_eq!(Type::Float.ptr_to(), Some(Type::PtrFloat));
+        assert_eq!(Type::Bool.ptr_to(), None);
+        assert_eq!(Type::Int.elem(), None);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Type::PtrInt.is_ptr());
+        assert!(!Type::Int.is_ptr());
+        assert!(Type::Bool.is_scalar());
+        assert!(!Type::Void.is_scalar());
+        assert!(!Type::PtrFloat.is_scalar());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Type::PtrFloat.to_string(), "float*");
+        assert_eq!(Type::Void.to_string(), "void");
+    }
+}

@@ -1,0 +1,114 @@
+//! Values: the unified index space the constraint solver enumerates.
+//!
+//! Following LLVM (and the paper's definition of `values(F)`), a value is
+//! an instruction, a constant, a function argument, a basic-block label or
+//! a reference to a global. All live in a single per-function arena and are
+//! addressed by [`ValueId`].
+
+use crate::function::BlockId;
+use crate::inst::Opcode;
+use crate::module::GlobalId;
+use std::fmt;
+
+/// Index of a value in a function's value arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+impl ValueId {
+    /// The arena index as `usize`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// The payload of a value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueKind {
+    /// Integer constant.
+    ConstInt(i64),
+    /// Float constant.
+    ConstFloat(f64),
+    /// Boolean constant.
+    ConstBool(bool),
+    /// Function argument by position.
+    Argument(usize),
+    /// Reference to a module-level global array.
+    GlobalRef(GlobalId),
+    /// Basic-block label (blocks are values, as in LLVM).
+    Block(BlockId),
+    /// Instruction with opcode and operand list.
+    Inst { opcode: Opcode, operands: Vec<ValueId> },
+}
+
+impl ValueKind {
+    /// Whether this is a compile-time constant.
+    #[must_use]
+    pub fn is_const(&self) -> bool {
+        matches!(self, ValueKind::ConstInt(_) | ValueKind::ConstFloat(_) | ValueKind::ConstBool(_))
+    }
+
+    /// Whether this is an instruction.
+    #[must_use]
+    pub fn is_inst(&self) -> bool {
+        matches!(self, ValueKind::Inst { .. })
+    }
+
+    /// The opcode, if this is an instruction.
+    #[must_use]
+    pub fn opcode(&self) -> Option<&Opcode> {
+        match self {
+            ValueKind::Inst { opcode, .. } => Some(opcode),
+            _ => None,
+        }
+    }
+
+    /// Instruction operands (empty slice for non-instructions).
+    #[must_use]
+    pub fn operands(&self) -> &[ValueId] {
+        match self {
+            ValueKind::Inst { operands, .. } => operands,
+            _ => &[],
+        }
+    }
+}
+
+/// Key used to intern constants so each (type, bits) pair appears once per
+/// function. Floats are compared by bit pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConstKey {
+    /// Integer constant key.
+    Int(i64),
+    /// Float constant key (IEEE bits).
+    FloatBits(u64),
+    /// Boolean constant key.
+    Bool(bool),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_classify() {
+        assert!(ValueKind::ConstInt(3).is_const());
+        assert!(ValueKind::ConstFloat(1.5).is_const());
+        assert!(!ValueKind::Argument(0).is_const());
+        let inst = ValueKind::Inst { opcode: Opcode::Phi, operands: vec![] };
+        assert!(inst.is_inst());
+        assert_eq!(inst.opcode(), Some(&Opcode::Phi));
+        assert!(ValueKind::Argument(1).operands().is_empty());
+    }
+
+    #[test]
+    fn value_id_display() {
+        assert_eq!(ValueId(7).to_string(), "%7");
+        assert_eq!(ValueId(7).index(), 7);
+    }
+}

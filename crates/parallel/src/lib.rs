@@ -1,0 +1,54 @@
+//! # gr-parallel — exploitation: privatizing parallel reduction runtime
+//!
+//! The paper's §4 code generation, reproduced over the `gr-interp`
+//! substrate:
+//!
+//! > "For each reduction that is found, all input arrays and closure
+//! > variables are identified and packed into a structure […] Depending on
+//! > the amount of processors in the system and the recursion depth, the
+//! > function decides whether to bisect its workload recursively. […] it
+//! > copies its parameter array but replaces the histogram array with a
+//! > newly allocated copy. After both threads finished their work, the copy
+//! > is merged with the original histogram element wise."
+//!
+//! * [`outline`] — rewrites a detected reduction loop into a `chunk(lo, hi,
+//!   step, closure…)` function plus an intrinsic call in the original
+//!   function (the "generated code"),
+//! * [`overlay`] — thread memory views: privatized copies, raw shared
+//!   objects for provably disjoint writes, and lock-protected shared
+//!   objects (used to simulate the benchmarks' "original parallel
+//!   versions"),
+//! * [`runtime`] — the recursive-bisection executor with identity-seeded
+//!   privatized accumulators, element-wise merging and dynamic histogram
+//!   growth.
+//!
+//! # Example
+//!
+//! ```
+//! use gr_interp::{machine::Machine, memory::Memory, RtVal};
+//!
+//! let module = gr_frontend::compile(
+//!     "float sum(float* a, int n) {
+//!          float s = 0.0;
+//!          for (int i = 0; i < n; i++) s += a[i];
+//!          return s;
+//!      }").unwrap();
+//! let reductions = gr_core::detect_reductions(&module);
+//! let (par_module, plan) =
+//!     gr_parallel::outline::parallelize(&module, "sum", &reductions).unwrap();
+//! let mut mem = Memory::new(&par_module);
+//! let data: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+//! let a = mem.alloc_float(&data);
+//! let mut machine = Machine::new(&par_module, mem);
+//! machine.set_handler(gr_parallel::runtime::handler(&par_module, plan, 4));
+//! let r = machine.call("sum", &[RtVal::ptr(a), RtVal::I(1000)]).unwrap();
+//! assert_eq!(r, Some(RtVal::F(499_500.0)));
+//! ```
+
+pub mod outline;
+pub mod overlay;
+pub mod plan;
+pub mod runtime;
+
+pub use outline::parallelize;
+pub use plan::{AccSlot, HistSlot, ReductionPlan, WrittenPolicy};

@@ -1,0 +1,750 @@
+//! Outlining: rewriting a detected reduction loop into a `chunk` function
+//! plus a runtime intrinsic call — the IR-level equivalent of the paper's
+//! pthread code generation (§4).
+//!
+//! Given a function `f` with detected reductions that all live in one
+//! counted loop, [`parallelize`] produces a new module in which:
+//!
+//! * a function `__chunk_f_<k>(lo, hi, step, closure…, acc_out…)` contains
+//!   a clone of the loop body iterating `lo → hi`, with every accumulator
+//!   phi seeded with its operator's identity and stored to an out-pointer
+//!   at the end (partial results);
+//! * `f`'s loop is replaced by: allocate one cell per scalar accumulator,
+//!   store the original initial value, call the intrinsic
+//!   `__parrun_<k>(iter_begin, iter_end, iter_step, closure…, cells…)`,
+//!   reload the cells, and jump to the loop exit;
+//! * all uses of the accumulators after the loop are rewired to the
+//!   reloaded values.
+//!
+//! The runtime (see [`crate::runtime`]) intercepts the intrinsic, bisects
+//! the iteration space over threads, runs the chunk on privatized memory
+//! overlays and merges the partials.
+
+use crate::plan::{AccSlot, HistSlot, ReductionPlan, WrittenPolicy, WrittenSlot};
+use gr_analysis::dataflow::root_object;
+use gr_analysis::Analyses;
+use gr_core::{Reduction, ReductionKind};
+use gr_ir::{
+    BlockId, Function, Module, Opcode, Type, ValueId, ValueKind,
+};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Outlining failures: the reduction is real, but this code generator
+/// cannot exploit it (the paper: "manual corrections are still needed for
+/// some complex reductions").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OutlineError {
+    /// No reductions were supplied for the function.
+    NoReductions,
+    /// The reductions span different loops.
+    MixedLoops,
+    /// The function is not in the module.
+    NoSuchFunction(String),
+    /// A loop-header phi is neither the induction variable nor a detected
+    /// accumulator: unknown loop-carried state.
+    UnknownCarriedState,
+    /// The induction variable is used after the loop.
+    IteratorLiveOut,
+    /// The loop header has unexpected extra instructions.
+    UnsupportedHeaderShape,
+    /// The loop exit block starts with phis (unsupported shape).
+    ExitHasPhis,
+    /// A pointer argument of the intrinsic was not object-aligned.
+    MisalignedPointer,
+}
+
+impl fmt::Display for OutlineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OutlineError::NoReductions => f.write_str("no reductions to outline"),
+            OutlineError::MixedLoops => f.write_str("reductions span different loops"),
+            OutlineError::NoSuchFunction(n) => write!(f, "no function named `{n}`"),
+            OutlineError::UnknownCarriedState => {
+                f.write_str("loop carries state that is not a detected reduction")
+            }
+            OutlineError::IteratorLiveOut => {
+                f.write_str("induction variable is used after the loop")
+            }
+            OutlineError::UnsupportedHeaderShape => {
+                f.write_str("loop header has an unsupported shape")
+            }
+            OutlineError::ExitHasPhis => f.write_str("loop exit block has phis"),
+            OutlineError::MisalignedPointer => {
+                f.write_str("histogram pointer is not object-aligned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OutlineError {}
+
+static CHUNK_COUNTER: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Rewrites `func_name` in (a clone of) `module` to execute its detected
+/// reduction loop through the parallel runtime.
+///
+/// `reductions` is the full detection result; the relevant entries are
+/// selected by function name. All of them must target the same loop.
+///
+/// # Errors
+/// Returns an [`OutlineError`] when the loop shape is outside what this
+/// code generator supports.
+pub fn parallelize(
+    module: &Module,
+    func_name: &str,
+    reductions: &[Reduction],
+) -> Result<(Module, ReductionPlan), OutlineError> {
+    let rs: Vec<&Reduction> = reductions
+        .iter()
+        .filter(|r| r.function == func_name)
+        .collect();
+    if rs.is_empty() {
+        return Err(OutlineError::NoReductions);
+    }
+    let header = rs[0].header;
+    if rs.iter().any(|r| r.header != header) {
+        return Err(OutlineError::MixedLoops);
+    }
+    let fi = module
+        .functions
+        .iter()
+        .position(|f| f.name == func_name)
+        .ok_or_else(|| OutlineError::NoSuchFunction(func_name.to_string()))?;
+
+    let func = &module.functions[fi];
+    let analyses = Analyses::new(module, func);
+    let lid = analyses
+        .loops
+        .loop_with_header(header)
+        .expect("detected reduction loop must exist");
+    let l = analyses.loops.get(lid).clone();
+
+    // --- gather loop anatomy from the solver bindings -------------------
+    let b0 = &rs[0].bindings;
+    let get = |name: &str| -> ValueId {
+        b0.iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .expect("for-loop binding present")
+    };
+    let iterator = get("iterator");
+    let iter_begin = get("iter_begin");
+    let iter_end = get("iter_end");
+    let iter_step = get("iter_step");
+    let test = get("test");
+    let jump = get("jump");
+    let exit_block = func.block_of_label(get("exit"));
+    let preheader = func.block_of_label(get("preheader"));
+
+    // Canonical continue-predicate with the iterator on the left.
+    let Some(&Opcode::Cmp(raw_pred)) = func.value(test).kind.opcode() else {
+        return Err(OutlineError::UnsupportedHeaderShape);
+    };
+    let test_ops = func.value(test).kind.operands().to_vec();
+    let mut pred = if test_ops[0] == iterator { raw_pred } else { raw_pred.swapped() };
+    let jump_ops = func.value(jump).kind.operands().to_vec();
+    if func.block_of_label(jump_ops[1]) == exit_block {
+        pred = pred.negated();
+    }
+
+    // Header shape: phis, then exactly test + jump.
+    let header_insts = func.block(header).insts.clone();
+    let phis: Vec<ValueId> = header_insts
+        .iter()
+        .copied()
+        .take_while(|&v| func.value(v).kind.opcode() == Some(&Opcode::Phi))
+        .collect();
+    let rest: Vec<ValueId> = header_insts[phis.len()..].to_vec();
+    if rest != vec![test, jump] {
+        return Err(OutlineError::UnsupportedHeaderShape);
+    }
+
+    // Every carried phi must be the iterator or a detected scalar acc.
+    let scalar_rs: Vec<&Reduction> = rs
+        .iter()
+        .copied()
+        .filter(|r| r.kind == ReductionKind::Scalar)
+        .collect();
+    let hist_rs: Vec<&Reduction> = rs
+        .iter()
+        .copied()
+        .filter(|r| r.kind == ReductionKind::Histogram)
+        .collect();
+    let acc_phis: Vec<ValueId> = scalar_rs.iter().map(|r| r.anchor).collect();
+    for &p in &phis {
+        if p != iterator && !acc_phis.contains(&p) {
+            return Err(OutlineError::UnknownCarriedState);
+        }
+    }
+    // The iterator must not be live past the loop.
+    for b in func.block_ids() {
+        if l.contains(b) {
+            continue;
+        }
+        for &inst in &func.block(b).insts {
+            if func.value(inst).kind.operands().contains(&iterator) {
+                return Err(OutlineError::IteratorLiveOut);
+            }
+        }
+    }
+    if func.block(exit_block).insts.iter().any(|&v| {
+        func.value(v).kind.opcode() == Some(&Opcode::Phi)
+    }) {
+        return Err(OutlineError::ExitHasPhis);
+    }
+
+    // --- closure discovery ----------------------------------------------
+    let body_blocks: Vec<BlockId> = func
+        .block_ids()
+        .filter(|&b| l.contains(b) && b != header)
+        .collect();
+    let inside: HashSet<ValueId> = body_blocks
+        .iter()
+        .flat_map(|&b| func.block(b).insts.iter().copied())
+        .chain(phis.iter().copied())
+        .collect();
+    let mut closure: Vec<ValueId> = Vec::new();
+    let is_closure = |v: ValueId, func: &Function, closure: &mut Vec<ValueId>| {
+        match &func.value(v).kind {
+            ValueKind::Argument(_) | ValueKind::GlobalRef(_) => {
+                if !closure.contains(&v) {
+                    closure.push(v);
+                }
+            }
+            ValueKind::Inst { .. } => {
+                if !inside.contains(&v) && !closure.contains(&v) {
+                    closure.push(v);
+                }
+            }
+            _ => {}
+        }
+    };
+    for &b in &body_blocks {
+        for &inst in &func.block(b).insts {
+            let data = func.value(inst);
+            let ops: Vec<ValueId> = match data.kind.opcode() {
+                Some(Opcode::Phi) => data.kind.operands().chunks(2).map(|c| c[0]).collect(),
+                _ => data.kind.operands().to_vec(),
+            };
+            for op in ops {
+                if op == iterator || acc_phis.contains(&op) {
+                    continue;
+                }
+                // Note: iter_begin/iter_end/iter_step are NOT special here;
+                // if the body uses them as ordinary values they travel as
+                // closure values (or are re-interned as constants).
+                is_closure(op, func, &mut closure);
+            }
+        }
+    }
+
+    // --- classify written objects ----------------------------------------
+    let hist_bases: Vec<ValueId> = hist_rs
+        .iter()
+        .map(|r| {
+            r.bindings
+                .iter()
+                .find(|(n, _)| n == "base")
+                .map(|(_, v)| *v)
+                .expect("histogram base binding")
+        })
+        .collect();
+    let hist_roots: Vec<ValueId> = hist_bases
+        .iter()
+        .map(|&b| root_object(func, b).expect("histogram root"))
+        .collect();
+    let mut written_roots: Vec<(ValueId, WrittenPolicy)> = Vec::new();
+    for &b in &body_blocks {
+        for &inst in &func.block(b).insts {
+            let data = func.value(inst);
+            if data.kind.opcode() != Some(&Opcode::Store) {
+                continue;
+            }
+            let ptr = data.kind.operands()[1];
+            let Some(root) = root_object(func, ptr) else { continue };
+            if hist_roots.contains(&root) {
+                continue;
+            }
+            // Allocas inside the loop are thread-local by construction.
+            if let ValueKind::Inst { .. } = &func.value(root).kind {
+                if let Some(rb) = func.block_of_inst(root) {
+                    if l.contains(rb) {
+                        continue;
+                    }
+                }
+            }
+            let disjoint = store_index_disjoint(func, iterator, ptr);
+            let policy = if disjoint {
+                WrittenPolicy::DisjointShared
+            } else {
+                WrittenPolicy::PrivateCopyback
+            };
+            match written_roots.iter_mut().find(|(r, _)| *r == root) {
+                Some((_, p)) => {
+                    if policy == WrittenPolicy::PrivateCopyback {
+                        *p = WrittenPolicy::PrivateCopyback;
+                    }
+                }
+                None => written_roots.push((root, policy)),
+            }
+        }
+    }
+    // Written roots must be reachable through the closure (they are used
+    // by geps inside the loop, so they were discovered above).
+    for (root, _) in &written_roots {
+        if !closure.contains(root) {
+            closure.push(*root);
+        }
+    }
+
+    // --- build the chunk function -----------------------------------------
+    let k = CHUNK_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let chunk_name = format!("__chunk_{func_name}_{k}");
+    let intrinsic = format!("__parrun_{func_name}_{k}");
+
+    let mut params: Vec<(String, Type)> = vec![
+        ("lo".to_string(), Type::Int),
+        ("hi".to_string(), Type::Int),
+        ("step".to_string(), Type::Int),
+    ];
+    for (i, &cv) in closure.iter().enumerate() {
+        params.push((format!("c{i}"), func.value(cv).ty));
+    }
+    let acc_out_base = params.len();
+    for (i, r) in scalar_rs.iter().enumerate() {
+        let ty = func.value(r.anchor).ty;
+        let pty = match ty {
+            Type::Int | Type::Bool => Type::PtrInt,
+            _ => Type::PtrFloat,
+        };
+        params.push((format!("out{i}"), pty));
+    }
+    let param_refs: Vec<(&str, Type)> =
+        params.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    let mut chunk = Function::new(&chunk_name, &param_refs, Type::Void);
+
+    let c_entry = chunk.add_block("entry");
+    let c_header = chunk.add_block("header");
+    let mut block_map: HashMap<BlockId, BlockId> = HashMap::new();
+    block_map.insert(header, c_header);
+    for &b in &body_blocks {
+        let nb = chunk.add_block(&func.block(b).name);
+        block_map.insert(b, nb);
+    }
+    let c_exit = chunk.add_block("exit");
+    block_map.insert(exit_block, c_exit);
+
+    // Value map seeded with params. `iter_begin`/`iter_end`/`iter_step`
+    // must NOT be mapped globally: they are often interned constants (0,
+    // 1, n) that the loop body reuses with entirely different meaning
+    // (e.g. tpacf's binary-search `lo = 0`). Their structural uses — the
+    // induction phi, the loop test, the increment — are rebuilt or patched
+    // explicitly below.
+    let mut val_map: HashMap<ValueId, ValueId> = HashMap::new();
+    for (i, &cv) in closure.iter().enumerate() {
+        val_map.insert(cv, chunk.arg_values[3 + i]);
+    }
+
+    // Header: iterator phi, acc phis, test, jump.
+    let c_entry_label = chunk.block(c_entry).label;
+    let c_header_label = chunk.block(c_header).label;
+    let c_latch = block_map[&func.block_of_label(get("latch"))];
+    let c_latch_label = chunk.block(c_latch).label;
+    let c_iter = chunk.add_value(
+        ValueKind::Inst { opcode: Opcode::Phi, operands: vec![] },
+        Type::Int,
+        Some("i".to_string()),
+    );
+    chunk.blocks[c_header.index()].insts.push(c_iter);
+    val_map.insert(iterator, c_iter);
+    let mut c_acc_phis = Vec::new();
+    for r in &scalar_rs {
+        let ty = func.value(r.anchor).ty;
+        let c_acc = chunk.add_value(
+            ValueKind::Inst { opcode: Opcode::Phi, operands: vec![] },
+            ty,
+            Some("acc".to_string()),
+        );
+        chunk.blocks[c_header.index()].insts.push(c_acc);
+        val_map.insert(r.anchor, c_acc);
+        c_acc_phis.push((c_acc, r.op, ty));
+    }
+    let c_test = chunk.append_inst(
+        c_header,
+        Opcode::Cmp(pred),
+        vec![c_iter, chunk.arg_values[1]],
+        Type::Bool,
+    );
+    let body_entry = func.block_of_label(get("body"));
+    let c_body_label = chunk.block(block_map[&body_entry]).label;
+    let c_exit_label = chunk.block(c_exit).label;
+    chunk.append_inst(
+        c_header,
+        Opcode::CondBr,
+        vec![c_test, c_body_label, c_exit_label],
+        Type::Void,
+    );
+
+    // entry: br header
+    chunk.append_inst(c_entry, Opcode::Br, vec![c_header_label], Type::Void);
+
+    // Clone body instructions: phase 1 shells, phase 2 operands.
+    let mut cloned: Vec<(ValueId, ValueId)> = Vec::new(); // (orig, clone)
+    for &b in &body_blocks {
+        for &inst in &func.block(b).insts.clone() {
+            let data = func.value(inst).clone();
+            let ValueKind::Inst { opcode, .. } = data.kind else { unreachable!() };
+            let c = chunk.add_value(
+                ValueKind::Inst { opcode, operands: vec![] },
+                data.ty,
+                data.name,
+            );
+            chunk.blocks[block_map[&b].index()].insts.push(c);
+            val_map.insert(inst, c);
+            cloned.push((inst, c));
+        }
+    }
+    // Phase 2: map operands.
+    for (orig, clone) in &cloned {
+        let ops = func.value(*orig).kind.operands().to_vec();
+        let mapped: Vec<ValueId> = ops
+            .iter()
+            .map(|&op| map_operand(func, &mut chunk, &val_map, &block_map, op))
+            .collect();
+        if let ValueKind::Inst { operands, .. } = &mut chunk.value_mut(*clone).kind {
+            *operands = mapped;
+        }
+    }
+    // Complete the header phis.
+    let next_iter_clone = val_map[&get("next_iter")];
+    let lo_arg = chunk.arg_values[0];
+    if let ValueKind::Inst { operands, .. } = &mut chunk.value_mut(c_iter).kind {
+        operands.extend([lo_arg, c_entry_label, next_iter_clone, c_latch_label]);
+    }
+    for (ri, r) in scalar_rs.iter().enumerate() {
+        let (c_acc, op, ty) = c_acc_phis[ri];
+        let identity = match ty {
+            Type::Int | Type::Bool => chunk.const_int(op.identity_int()),
+            _ => chunk.const_float(op.identity_float()),
+        };
+        let acc_next = r
+            .bindings
+            .iter()
+            .find(|(n, _)| n == "acc_next")
+            .map(|(_, v)| *v)
+            .expect("acc_next binding");
+        let next_clone = val_map[&acc_next];
+        if let ValueKind::Inst { operands, .. } = &mut chunk.value_mut(c_acc).kind {
+            operands.extend([identity, c_entry_label, next_clone, c_latch_label]);
+        }
+    }
+    // exit: store partials, ret.
+    for (ri, _) in scalar_rs.iter().enumerate() {
+        let (c_acc, _, _) = c_acc_phis[ri];
+        let out = chunk.arg_values[acc_out_base + ri];
+        chunk.append_inst(c_exit, Opcode::Store, vec![c_acc, out], Type::Void);
+    }
+    chunk.append_inst(c_exit, Opcode::Ret, vec![], Type::Void);
+
+    // --- rewrite the original function ------------------------------------
+    let mut out = module.clone();
+    let f = &mut out.functions[fi];
+
+    // Remove the preheader's terminator.
+    let term = f.blocks[preheader.index()]
+        .insts
+        .pop()
+        .expect("preheader has a terminator");
+    debug_assert_eq!(f.value(term).kind.opcode(), Some(&Opcode::Br));
+
+    // Cells for scalar accumulators.
+    let mut cells = Vec::new();
+    for r in &scalar_rs {
+        let ty = f.value(r.anchor).ty;
+        let one = f.const_int(1);
+        let pty = match ty {
+            Type::Int | Type::Bool => Type::PtrInt,
+            _ => Type::PtrFloat,
+        };
+        let cell = f.append_inst(preheader, Opcode::Alloca, vec![one], pty);
+        let init = r
+            .bindings
+            .iter()
+            .find(|(n, _)| n == "acc_init")
+            .map(|(_, v)| *v)
+            .expect("acc_init binding");
+        f.append_inst(preheader, Opcode::Store, vec![init, cell], Type::Void);
+        cells.push(cell);
+    }
+    // Intrinsic call: [lo, hi, step, closure…, cells…].
+    let mut call_args = vec![iter_begin, iter_end, iter_step];
+    call_args.extend(closure.iter().copied());
+    call_args.extend(cells.iter().copied());
+    let arg_count = call_args.len();
+    f.append_inst(preheader, Opcode::Call(intrinsic.clone()), call_args, Type::Void);
+    // Reload finals and rewire post-loop uses.
+    let mut finals = Vec::new();
+    for (ri, r) in scalar_rs.iter().enumerate() {
+        let ty = f.value(r.anchor).ty;
+        let final_v = f.append_inst(preheader, Opcode::Load, vec![cells[ri]], ty);
+        finals.push((r.anchor, final_v));
+    }
+    let exit_label = f.block(exit_block).label;
+    f.append_inst(preheader, Opcode::Br, vec![exit_label], Type::Void);
+    // Stub out the loop blocks.
+    for b in f.block_ids().collect::<Vec<_>>() {
+        if l.contains(b) {
+            f.blocks[b.index()].insts.clear();
+            let stub = f.add_value(
+                ValueKind::Inst { opcode: Opcode::Br, operands: vec![exit_label] },
+                Type::Void,
+                None,
+            );
+            f.blocks[b.index()].insts.push(stub);
+        }
+    }
+    // Rewire accumulator uses outside the loop.
+    for b in f.block_ids().collect::<Vec<_>>() {
+        if l.contains(b) {
+            continue;
+        }
+        for inst in f.blocks[b.index()].insts.clone() {
+            let kind = &mut f.values[inst.index()].kind;
+            if let ValueKind::Inst { operands, .. } = kind {
+                for op in operands.iter_mut() {
+                    if let Some((_, nv)) = finals.iter().find(|(acc, _)| acc == op) {
+                        *op = *nv;
+                    }
+                }
+            }
+        }
+    }
+
+    // --- assemble the plan --------------------------------------------------
+    let accs: Vec<AccSlot> = scalar_rs
+        .iter()
+        .enumerate()
+        .map(|(ri, r)| AccSlot {
+            arg_index: 3 + closure.len() + ri,
+            ty: func.value(r.anchor).ty,
+            op: r.op,
+        })
+        .collect();
+    let hists: Vec<HistSlot> = hist_rs
+        .iter()
+        .zip(&hist_roots)
+        .map(|(r, root)| {
+            let pos = closure
+                .iter()
+                .position(|c| c == root)
+                .expect("histogram root is a closure value");
+            HistSlot {
+                arg_index: 3 + pos,
+                elem: func.value(*root).ty.elem().unwrap_or(Type::Float),
+                op: r.op,
+                growable: false,
+            }
+        })
+        .collect();
+    let written: Vec<WrittenSlot> = written_roots
+        .iter()
+        .map(|(root, policy)| WrittenSlot {
+            arg_index: 3 + closure.iter().position(|c| c == root).expect("written root in closure"),
+            policy: *policy,
+        })
+        .collect();
+
+    out.push_function(chunk);
+    gr_ir::verify::verify_module(&out).expect("outlined module must verify");
+
+    let plan = ReductionPlan {
+        function: func_name.to_string(),
+        chunk_fn: chunk_name,
+        intrinsic,
+        pred,
+        accs,
+        hists,
+        written,
+        arg_count,
+    };
+    Ok((out, plan))
+}
+
+fn map_operand(
+    func: &Function,
+    chunk: &mut Function,
+    val_map: &HashMap<ValueId, ValueId>,
+    block_map: &HashMap<BlockId, BlockId>,
+    op: ValueId,
+) -> ValueId {
+    if let Some(&m) = val_map.get(&op) {
+        return m;
+    }
+    match &func.value(op).kind {
+        ValueKind::Block(b) => {
+            let nb = block_map
+                .get(b)
+                .unwrap_or_else(|| panic!("branch target {b} not in loop clone"));
+            chunk.block(*nb).label
+        }
+        ValueKind::ConstInt(c) => chunk.const_int(*c),
+        ValueKind::ConstFloat(c) => chunk.const_float(*c),
+        ValueKind::ConstBool(c) => chunk.const_bool(*c),
+        other => panic!("unmapped operand {op}: {other:?}"),
+    }
+}
+
+/// Whether the store address is provably a distinct element for every
+/// iteration: the index is `i`, `i ± inv`, `i * c` or `i * c ± inv` with
+/// `c` a nonzero integer constant.
+fn store_index_disjoint(func: &Function, iterator: ValueId, ptr: ValueId) -> bool {
+    let data = func.value(ptr);
+    if data.kind.opcode() != Some(&Opcode::Gep) {
+        return false;
+    }
+    let idx = data.kind.operands()[1];
+    strided_in_iterator(func, iterator, idx)
+}
+
+fn strided_in_iterator(func: &Function, iterator: ValueId, v: ValueId) -> bool {
+    if v == iterator {
+        return true;
+    }
+    let data = func.value(v);
+    let Some(op) = data.kind.opcode() else { return false };
+    let ops = data.kind.operands();
+    match op {
+        Opcode::Bin(gr_ir::BinOp::Add | gr_ir::BinOp::Sub) => {
+            let a_strided = strided_in_iterator(func, iterator, ops[0]);
+            let b_strided = strided_in_iterator(func, iterator, ops[1]);
+            // exactly one side strided; the other must not mention the
+            // iterator at all (checked conservatively by requiring it to be
+            // a non-strided value that is not the iterator).
+            a_strided != b_strided
+        }
+        Opcode::Bin(gr_ir::BinOp::Mul) => {
+            let const_nz = |x: ValueId| matches!(func.value(x).kind, ValueKind::ConstInt(c) if c != 0);
+            (ops[0] == iterator && const_nz(ops[1])) || (ops[1] == iterator && const_nz(ops[0]))
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gr_core::detect_reductions;
+    use gr_frontend::compile;
+
+    fn outline(src: &str, f: &str) -> Result<(Module, ReductionPlan), OutlineError> {
+        let m = compile(src).unwrap();
+        let rs = detect_reductions(&m);
+        parallelize(&m, f, &rs)
+    }
+
+    #[test]
+    fn outlines_simple_sum() {
+        let (m, plan) = outline(
+            "float sum(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[i]; return s; }",
+            "sum",
+        )
+        .unwrap();
+        assert_eq!(plan.accs.len(), 1);
+        assert!(plan.hists.is_empty());
+        assert!(m.function(&plan.chunk_fn).is_some());
+        assert_eq!(plan.pred, gr_ir::CmpPred::Lt);
+        // lo, hi, step, a, n?, cell — closure contains at least `a`.
+        assert!(plan.arg_count >= 5);
+    }
+
+    #[test]
+    fn outlines_histogram() {
+        let (m, plan) = outline(
+            "void rank(int* bins, int* keys, int n) { for (int i = 0; i < n; i++) bins[keys[i]]++; }",
+            "rank",
+        )
+        .unwrap();
+        assert_eq!(plan.hists.len(), 1);
+        assert!(plan.accs.is_empty());
+        assert!(m.function(&plan.chunk_fn).is_some());
+        assert!(plan.written.is_empty());
+    }
+
+    #[test]
+    fn outlines_mixed_ep_loop() {
+        let (m, plan) = outline(
+            "void ep(float* x, float* q, float* sums, int nk) {
+                 float sx = 0.0;
+                 float sy = 0.0;
+                 for (int i = 0; i < nk; i++) {
+                     float x1 = 2.0 * x[2 * i] - 1.0;
+                     float x2 = 2.0 * x[2 * i + 1] - 1.0;
+                     float t1 = x1 * x1 + x2 * x2;
+                     if (t1 <= 1.0) {
+                         float t2 = sqrt(-2.0 * log(t1) / t1);
+                         float t3 = x1 * t2;
+                         float t4 = x2 * t2;
+                         int l = fmax(fabs(t3), fabs(t4));
+                         q[l] = q[l] + 1.0;
+                         sx = sx + t3;
+                         sy = sy + t4;
+                     }
+                 }
+                 sums[0] = sx;
+                 sums[1] = sy;
+             }",
+            "ep",
+        )
+        .unwrap();
+        assert_eq!(plan.accs.len(), 2);
+        assert_eq!(plan.hists.len(), 1);
+        assert!(m.function(&plan.chunk_fn).is_some());
+    }
+
+    #[test]
+    fn detects_disjoint_stores() {
+        let (_, plan) = outline(
+            "void f(int* member, int* k, int* counts, int n) {
+                 for (int i = 0; i < n; i++) {
+                     int c = k[i];
+                     counts[c] = counts[c] + 1;
+                     member[i] = c;
+                 }
+             }",
+            "f",
+        )
+        .unwrap();
+        assert_eq!(plan.hists.len(), 1);
+        assert_eq!(plan.written.len(), 1);
+        assert_eq!(plan.written[0].policy, WrittenPolicy::DisjointShared);
+    }
+
+    #[test]
+    fn no_reductions_is_an_error() {
+        let m = compile("void f(int n) { }").unwrap();
+        let rs = detect_reductions(&m);
+        assert_eq!(parallelize(&m, "f", &rs).err(), Some(OutlineError::NoReductions));
+    }
+
+    #[test]
+    fn strided_index_classification() {
+        let m = compile(
+            "void f(float* a, int n, int m) {
+                 for (int i = 0; i < n; i++) a[i * 4 + m] = 1.0;
+             }",
+        )
+        .unwrap();
+        let func = &m.functions[0];
+        let store = func
+            .value_ids()
+            .find(|&v| func.value(v).kind.opcode() == Some(&Opcode::Store))
+            .unwrap();
+        let ptr = func.value(store).kind.operands()[1];
+        let phi = func
+            .value_ids()
+            .find(|&v| func.value(v).kind.opcode() == Some(&Opcode::Phi))
+            .unwrap();
+        assert!(store_index_disjoint(func, phi, ptr));
+    }
+}

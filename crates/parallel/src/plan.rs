@@ -1,0 +1,163 @@
+//! The execution plan produced by outlining and consumed by the runtime.
+
+use gr_core::ReductionOp;
+use gr_ir::{CmpPred, Type};
+
+/// A scalar accumulator slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccSlot {
+    /// Position of the accumulator cell pointer in the intrinsic argument
+    /// list.
+    pub arg_index: usize,
+    /// Element type of the accumulator.
+    pub ty: Type,
+    /// Merge operator.
+    pub op: ReductionOp,
+}
+
+/// A histogram array slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSlot {
+    /// Position of the histogram pointer in the intrinsic argument list.
+    pub arg_index: usize,
+    /// Element type of the bins.
+    pub elem: Type,
+    /// Merge operator.
+    pub op: ReductionOp,
+    /// Whether threads may grow their private copy when a bin index
+    /// exceeds the current size (paper §4: dynamic boundary checking).
+    pub growable: bool,
+}
+
+/// How the runtime treats a memory object the loop writes that is *not* a
+/// reduction target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WrittenPolicy {
+    /// Stores hit provably disjoint elements per iteration (index affine in
+    /// the iterator with nonzero constant slope): threads share the object
+    /// without synchronization.
+    DisjointShared,
+    /// Unknown pattern: each thread works on a private copy and the copy of
+    /// the thread executing the final iterations is written back (the
+    /// paper's "manual corrections" analog; detection guarantees no
+    /// reduction reads these objects).
+    PrivateCopyback,
+}
+
+/// One additional written object (by intrinsic argument position).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WrittenSlot {
+    /// Position of the object pointer in the intrinsic argument list.
+    pub arg_index: usize,
+    /// Sharing policy.
+    pub policy: WrittenPolicy,
+}
+
+/// Everything the runtime needs to execute one parallelized loop.
+#[derive(Debug, Clone)]
+pub struct ReductionPlan {
+    /// Name of the rewritten original function.
+    pub function: String,
+    /// Name of the generated chunk function.
+    pub chunk_fn: String,
+    /// Name of the intrinsic call placed in the original function.
+    pub intrinsic: String,
+    /// Loop comparison predicate (iterator on the left).
+    pub pred: CmpPred,
+    /// Scalar accumulator slots.
+    pub accs: Vec<AccSlot>,
+    /// Histogram slots.
+    pub hists: Vec<HistSlot>,
+    /// Non-reduction written objects.
+    pub written: Vec<WrittenSlot>,
+    /// Total number of intrinsic arguments (`lo, hi, step, closure…,
+    /// cells…`).
+    pub arg_count: usize,
+}
+
+impl ReductionPlan {
+    /// Number of iterations for bounds `(lo, hi, step)` under `pred`.
+    #[must_use]
+    pub fn iteration_count(&self, lo: i64, hi: i64, step: i64) -> i64 {
+        if step == 0 {
+            return 0;
+        }
+        let span = match self.pred {
+            CmpPred::Lt => hi - lo,
+            CmpPred::Le => hi - lo + step.signum(),
+            CmpPred::Gt => hi - lo,
+            CmpPred::Ge => hi - lo + step.signum(),
+            CmpPred::Ne => hi - lo,
+            CmpPred::Eq => return 0,
+        };
+        if step > 0 {
+            if span <= 0 {
+                0
+            } else {
+                (span + step - 1) / step
+            }
+        } else if span >= 0 {
+            0
+        } else {
+            (span + step + 1) / step
+        }
+    }
+
+    /// The iterator value reached after `k` iterations.
+    #[must_use]
+    pub fn nth_iter_value(&self, lo: i64, step: i64, k: i64) -> i64 {
+        lo + k * step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(pred: CmpPred) -> ReductionPlan {
+        ReductionPlan {
+            function: "f".into(),
+            chunk_fn: "c".into(),
+            intrinsic: "__parrun_0".into(),
+            pred,
+            accs: vec![],
+            hists: vec![],
+            written: vec![],
+            arg_count: 3,
+        }
+    }
+
+    #[test]
+    fn upward_counts() {
+        let p = plan(CmpPred::Lt);
+        assert_eq!(p.iteration_count(0, 10, 1), 10);
+        assert_eq!(p.iteration_count(0, 10, 3), 4); // 0,3,6,9
+        assert_eq!(p.iteration_count(5, 5, 1), 0);
+        assert_eq!(p.iteration_count(10, 0, 1), 0);
+        let p = plan(CmpPred::Le);
+        assert_eq!(p.iteration_count(0, 10, 1), 11);
+        assert_eq!(p.iteration_count(1, 10, 2), 5); // 1,3,5,7,9
+    }
+
+    #[test]
+    fn downward_counts() {
+        let p = plan(CmpPred::Gt);
+        assert_eq!(p.iteration_count(10, 0, -1), 10);
+        assert_eq!(p.iteration_count(10, 0, -3), 4); // 10,7,4,1
+        let p = plan(CmpPred::Ge);
+        assert_eq!(p.iteration_count(10, 0, -1), 11);
+    }
+
+    #[test]
+    fn zero_step_is_empty() {
+        let p = plan(CmpPred::Lt);
+        assert_eq!(p.iteration_count(0, 10, 0), 0);
+    }
+
+    #[test]
+    fn nth_value() {
+        let p = plan(CmpPred::Lt);
+        assert_eq!(p.nth_iter_value(3, 2, 4), 11);
+        assert_eq!(p.nth_iter_value(10, -3, 2), 4);
+    }
+}

@@ -1,0 +1,502 @@
+//! The parallel reduction executor.
+//!
+//! Intercepts the `__parrun_*` intrinsic, splits the iteration space by
+//! recursive bisection (paper §4: "depending on the amount of processors in
+//! the system and the recursion depth, the function decides whether to
+//! bisect its workload recursively"), runs the chunk function on
+//! thread-private memory overlays, and merges partial results:
+//!
+//! * scalar accumulators: cells seeded with the operator identity, merged
+//!   with the original initial value after the join;
+//! * histograms: private copies (optionally grown dynamically on
+//!   out-of-bounds bin indices), merged element-wise;
+//! * disjoint-written arrays: shared without synchronization;
+//! * other written arrays: private copies, with the copy of the thread
+//!   executing the last iterations written back.
+
+use crate::overlay::{OverlayMemory, SharedRaw};
+use crate::plan::{ReductionPlan, WrittenPolicy};
+use gr_core::ReductionOp;
+use gr_interp::machine::{IntrinsicHandler, Machine, Trap};
+use gr_interp::memory::{MemBackend, Memory, Obj, ObjId};
+use gr_interp::RtVal;
+use gr_ir::{Module, Type};
+use std::sync::Arc;
+
+/// Builds the intrinsic handler for `plan`, executing on up to `threads`
+/// OS threads.
+#[must_use]
+pub fn handler<'m>(
+    module: &'m Module,
+    plan: ReductionPlan,
+    threads: usize,
+) -> Arc<IntrinsicHandler<'m, Memory>> {
+    let threads = threads.max(1);
+    Arc::new(move |name: &str, args: &[RtVal], mem: &mut Memory| {
+        if name != plan.intrinsic {
+            return None;
+        }
+        Some(execute(module, &plan, threads, args, mem))
+    })
+}
+
+/// Splits `count` iterations by recursive bisection into at most
+/// `pieces` contiguous ranges `(start, len)`.
+#[must_use]
+pub fn bisect(count: i64, pieces: usize) -> Vec<(i64, i64)> {
+    fn rec(start: i64, len: i64, pieces: usize, out: &mut Vec<(i64, i64)>) {
+        if pieces <= 1 || len <= 1 {
+            if len > 0 {
+                out.push((start, len));
+            }
+            return;
+        }
+        let left_pieces = pieces / 2;
+        let right_pieces = pieces - left_pieces;
+        // Split proportionally so each piece gets a similar share.
+        let left_len = len * left_pieces as i64 / pieces as i64;
+        rec(start, left_len, left_pieces, out);
+        rec(start + left_len, len - left_len, right_pieces, out);
+    }
+    let mut out = Vec::new();
+    rec(0, count, pieces, &mut out);
+    out
+}
+
+fn object_of(arg: RtVal) -> Result<ObjId, Trap> {
+    match arg {
+        RtVal::P { obj, off: 0 } => Ok(obj),
+        _ => Err(Trap::UnknownFunction("misaligned runtime pointer".to_string())),
+    }
+}
+
+fn execute(
+    module: &Module,
+    plan: &ReductionPlan,
+    threads: usize,
+    args: &[RtVal],
+    mem: &mut Memory,
+) -> Result<Option<RtVal>, Trap> {
+    let lo = args[0].as_i();
+    let hi = args[1].as_i();
+    let step = args[2].as_i();
+    let count = plan.iteration_count(lo, hi, step);
+    if count == 0 {
+        return Ok(None);
+    }
+    let pieces = bisect(count, threads.min(count.max(1) as usize));
+
+    // Resolve runtime objects.
+    let cell_objs: Vec<ObjId> = plan
+        .accs
+        .iter()
+        .map(|a| object_of(args[a.arg_index]))
+        .collect::<Result<_, _>>()?;
+    let hist_objs: Vec<ObjId> = plan
+        .hists
+        .iter()
+        .map(|h| object_of(args[h.arg_index]))
+        .collect::<Result<_, _>>()?;
+    let written_objs: Vec<ObjId> = plan
+        .written
+        .iter()
+        .map(|w| object_of(args[w.arg_index]))
+        .collect::<Result<_, _>>()?;
+
+    // Shared storage for disjoint-written objects.
+    let mut raw_shared: Vec<Option<Arc<SharedRaw>>> = Vec::new();
+    for (w, &obj) in plan.written.iter().zip(&written_objs) {
+        raw_shared.push(match w.policy {
+            WrittenPolicy::DisjointShared => {
+                Some(Arc::new(SharedRaw::new(mem.object(obj).clone())))
+            }
+            WrittenPolicy::PrivateCopyback => None,
+        });
+    }
+
+    type PieceResult = (usize, Vec<Obj>, Vec<Obj>, Vec<Obj>); // (piece, cells, hists, copybacks)
+    let results: Result<Vec<PieceResult>, Trap> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (pi, &(start, len)) in pieces.iter().enumerate() {
+            let base: &Memory = &*mem;
+            let raw_shared = raw_shared.clone();
+            let hist_objs = hist_objs.clone();
+            let cell_objs = cell_objs.clone();
+            let written_objs = written_objs.clone();
+            let mut piece_args = args.to_vec();
+            handles.push(scope.spawn(move || -> Result<PieceResult, Trap> {
+                let p_lo = plan.nth_iter_value(lo, step, start);
+                let p_hi = plan.nth_iter_value(lo, step, start + len);
+                piece_args[0] = RtVal::I(p_lo);
+                piece_args[1] = RtVal::I(clamp_hi(plan, p_hi, hi, step, start + len == count));
+                let mut overlay = OverlayMemory::new(base);
+                for (ai, (&cell, acc)) in cell_objs.iter().zip(&plan.accs).enumerate() {
+                    let _ = ai;
+                    let seed = match acc.ty {
+                        Type::Int | Type::Bool => Obj::I(vec![acc.op.identity_int()]),
+                        _ => Obj::F(vec![acc.op.identity_float()]),
+                    };
+                    overlay.redirect_private(cell, seed, false, 0, 0.0);
+                }
+                for (&hobj, h) in hist_objs.iter().zip(&plan.hists) {
+                    let len = if h.growable { 1 } else { base.object(hobj).len() };
+                    let (fill_i, fill_f) = (h.op.identity_int(), h.op.identity_float());
+                    let seed = match h.elem {
+                        Type::Int => Obj::I(vec![fill_i; len]),
+                        _ => Obj::F(vec![fill_f; len]),
+                    };
+                    overlay.redirect_private(hobj, seed, h.growable, fill_i, fill_f);
+                }
+                for ((&wobj, w), raw) in written_objs.iter().zip(&plan.written).zip(&raw_shared) {
+                    match w.policy {
+                        WrittenPolicy::DisjointShared => {
+                            overlay.redirect_raw(wobj, Arc::clone(raw.as_ref().expect("raw")));
+                        }
+                        WrittenPolicy::PrivateCopyback => {
+                            overlay.redirect_private(wobj, base.object(wobj).clone(), false, 0, 0.0);
+                        }
+                    }
+                }
+                let mut machine = Machine::new(module, overlay);
+                machine.call(&plan.chunk_fn, &piece_args)?;
+                let mut overlay = machine.mem;
+                let cells: Vec<Obj> = cell_objs.iter().map(|&c| overlay.take_private(c)).collect();
+                let hists: Vec<Obj> = hist_objs.iter().map(|&h| overlay.take_private(h)).collect();
+                let copyback: Vec<Obj> = written_objs
+                    .iter()
+                    .zip(&plan.written)
+                    .filter(|(_, w)| w.policy == WrittenPolicy::PrivateCopyback)
+                    .map(|(&o, _)| overlay.take_private(o))
+                    .collect();
+                Ok((pi, cells, hists, copyback))
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reduction worker panicked"))
+            .collect()
+    });
+    let mut results = results?;
+    results.sort_by_key(|r| r.0);
+
+    // Merge scalars: final = merge(init, partial_0, …, partial_{p-1}).
+    for (ai, (&cell, acc)) in cell_objs.iter().zip(&plan.accs).enumerate() {
+        match acc.ty {
+            Type::Int | Type::Bool => {
+                let mut v = mem.load_i(cell, 0).map_err(Trap::Mem)?;
+                for (_, cells, _, _) in &results {
+                    let Obj::I(p) = &cells[ai] else { panic!("cell type mismatch") };
+                    v = acc.op.merge_int(v, p[0]);
+                }
+                mem.store_i(cell, 0, v).map_err(Trap::Mem)?;
+            }
+            _ => {
+                let mut v = mem.load_f(cell, 0).map_err(Trap::Mem)?;
+                for (_, cells, _, _) in &results {
+                    let Obj::F(p) = &cells[ai] else { panic!("cell type mismatch") };
+                    v = acc.op.merge_float(v, p[0]);
+                }
+                mem.store_f(cell, 0, v).map_err(Trap::Mem)?;
+            }
+        }
+    }
+    // Merge histograms element-wise (growing the original if needed).
+    for (hi_idx, (&hobj, h)) in hist_objs.iter().zip(&plan.hists).enumerate() {
+        let max_len = results
+            .iter()
+            .map(|(_, _, hs, _)| hs[hi_idx].len())
+            .max()
+            .unwrap_or(0)
+            .max(mem.object(hobj).len());
+        mem.object_mut(hobj)
+            .grow_to(max_len, h.op.identity_int(), h.op.identity_float());
+        for (_, _, hs, _) in &results {
+            merge_obj(mem.object_mut(hobj), &hs[hi_idx], h.op);
+        }
+    }
+    // Disjoint-shared writebacks.
+    for ((raw, &wobj), _) in raw_shared.into_iter().zip(&written_objs).zip(&plan.written) {
+        if let Some(raw) = raw {
+            let obj = Arc::try_unwrap(raw).expect("raw shared uniquely owned").into_obj();
+            *mem.object_mut(wobj) = obj;
+        }
+    }
+    // Copyback objects: the piece executing the final iterations wins.
+    let copyback_objs: Vec<ObjId> = written_objs
+        .iter()
+        .zip(&plan.written)
+        .filter(|(_, w)| w.policy == WrittenPolicy::PrivateCopyback)
+        .map(|(&o, _)| o)
+        .collect();
+    if !copyback_objs.is_empty() {
+        if let Some((_, _, _, copyback)) = results.last() {
+            for (&obj, data) in copyback_objs.iter().zip(copyback) {
+                *mem.object_mut(obj) = data.clone();
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// The per-piece upper bound: interior pieces stop exactly at the next
+/// piece's start; the final piece uses the true loop bound (so `Le`/`Ge`
+/// predicates include their endpoint).
+fn clamp_hi(plan: &ReductionPlan, piece_hi: i64, true_hi: i64, step: i64, is_last: bool) -> i64 {
+    if is_last {
+        return true_hi;
+    }
+    match plan.pred {
+        gr_ir::CmpPred::Lt | gr_ir::CmpPred::Gt | gr_ir::CmpPred::Ne => piece_hi,
+        // For inclusive predicates the piece must stop one step before
+        // its neighbour's first iteration.
+        gr_ir::CmpPred::Le | gr_ir::CmpPred::Ge => piece_hi - step,
+        gr_ir::CmpPred::Eq => piece_hi,
+    }
+}
+
+fn merge_obj(into: &mut Obj, from: &Obj, op: ReductionOp) {
+    match (into, from) {
+        (Obj::I(a), Obj::I(b)) => {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x = op.merge_int(*x, *y);
+            }
+        }
+        (Obj::F(a), Obj::F(b)) => {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x = op.merge_float(*x, *y);
+            }
+        }
+        _ => panic!("histogram element type mismatch"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outline::parallelize;
+    use gr_core::detect_reductions;
+    use gr_frontend::compile;
+
+    #[test]
+    fn bisect_covers_range_exactly() {
+        for count in [1i64, 2, 7, 100, 1023] {
+            for pieces in [1usize, 2, 3, 8, 24] {
+                let ps = bisect(count, pieces);
+                assert!(ps.len() <= pieces);
+                let total: i64 = ps.iter().map(|p| p.1).sum();
+                assert_eq!(total, count, "count={count} pieces={pieces}");
+                let mut next = 0;
+                for (start, len) in ps {
+                    assert_eq!(start, next);
+                    assert!(len > 0);
+                    next = start + len;
+                }
+            }
+        }
+    }
+
+    fn run_parallel(
+        src: &str,
+        fname: &str,
+        threads: usize,
+        setup: impl FnOnce(&mut Memory) -> Vec<RtVal>,
+    ) -> (Module, ReductionPlan, Memory, Option<RtVal>) {
+        let m = compile(src).unwrap();
+        let rs = detect_reductions(&m);
+        let (pm, plan) = parallelize(&m, fname, &rs).unwrap();
+        let mut mem = Memory::new(&pm);
+        let args = setup(&mut mem);
+        let mut machine = Machine::new(&pm, mem);
+        machine.set_handler(handler(&pm, plan.clone(), threads));
+        let r = machine.call(fname, &args).unwrap();
+        (pm.clone(), plan, machine.mem, r)
+    }
+
+    #[test]
+    fn parallel_sum_matches_sequential() {
+        let data: Vec<f64> = (0..10_000).map(|i| (i % 97) as f64 * 0.25).collect();
+        let expect: f64 = data.iter().sum();
+        let (_, _, _, r) = run_parallel(
+            "float sum(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[i]; return s; }",
+            "sum",
+            8,
+            |mem| vec![RtVal::ptr(mem.alloc_float(&data)), RtVal::I(10_000)],
+        );
+        // Addition reassociation: compare with tolerance.
+        let got = r.unwrap().as_f();
+        assert!((got - expect).abs() < 1e-6, "got {got}, want {expect}");
+    }
+
+    #[test]
+    fn parallel_min_uses_identity_correctly() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 37 % 101) as f64) - 50.0).collect();
+        let expect = data.iter().cloned().fold(f64::INFINITY, f64::min).min(3.0);
+        let (_, _, _, r) = run_parallel(
+            "float lo(float* a, int n) { float s = 3.0; for (int i = 0; i < n; i++) s = fmin(s, a[i]); return s; }",
+            "lo",
+            6,
+            |mem| vec![RtVal::ptr(mem.alloc_float(&data)), RtVal::I(1000)],
+        );
+        assert_eq!(r.unwrap().as_f(), expect);
+    }
+
+    #[test]
+    fn parallel_histogram_matches_sequential() {
+        let keys: Vec<i64> = (0..20_000).map(|i| (i * 7919 + 13) % 256).collect();
+        let mut expect = vec![0i64; 256];
+        for &k in &keys {
+            expect[k as usize] += 1;
+        }
+        let m = compile(
+            "void rank(int* bins, int* keys, int n) { for (int i = 0; i < n; i++) bins[keys[i]]++; }",
+        )
+        .unwrap();
+        let rs = detect_reductions(&m);
+        let (pm, plan) = parallelize(&m, "rank", &rs).unwrap();
+        let mut mem = Memory::new(&pm);
+        let bins = mem.alloc_int(&vec![0; 256]);
+        let k = mem.alloc_int(&keys);
+        let mut machine = Machine::new(&pm, mem);
+        machine.set_handler(handler(&pm, plan, 8));
+        machine
+            .call("rank", &[RtVal::ptr(bins), RtVal::ptr(k), RtVal::I(keys.len() as i64)])
+            .unwrap();
+        assert_eq!(machine.mem.ints(bins), expect.as_slice());
+    }
+
+    #[test]
+    fn growable_histogram_expands() {
+        let keys: Vec<i64> = vec![1, 5, 9, 9, 9, 2];
+        let m = compile(
+            "void rank(int* bins, int* keys, int n) { for (int i = 0; i < n; i++) bins[keys[i]]++; }",
+        )
+        .unwrap();
+        let rs = detect_reductions(&m);
+        let (pm, mut plan) = parallelize(&m, "rank", &rs).unwrap();
+        plan.hists[0].growable = true;
+        let mut mem = Memory::new(&pm);
+        // Original histogram is big enough; private copies start at 1 and
+        // grow dynamically (the paper's reallocation scheme).
+        let bins = mem.alloc_int(&vec![0; 10]);
+        let k = mem.alloc_int(&keys);
+        let mut machine = Machine::new(&pm, mem);
+        machine.set_handler(handler(&pm, plan, 3));
+        machine
+            .call("rank", &[RtVal::ptr(bins), RtVal::ptr(k), RtVal::I(keys.len() as i64)])
+            .unwrap();
+        assert_eq!(machine.mem.ints(bins), &[0, 1, 1, 0, 0, 1, 0, 0, 0, 3]);
+    }
+
+    #[test]
+    fn mixed_ep_loop_runs_in_parallel() {
+        let n = 4096usize;
+        // Pseudo-random input in [0, 1).
+        let xs: Vec<f64> = (0..2 * n).map(|i| ((i * 1103515245 + 12345) % 1000) as f64 / 1000.0).collect();
+        let src = "void ep(float* x, float* q, float* sums, int nk) {
+                 float sx = 0.0;
+                 float sy = 0.0;
+                 for (int i = 0; i < nk; i++) {
+                     float x1 = 2.0 * x[2 * i] - 1.0;
+                     float x2 = 2.0 * x[2 * i + 1] - 1.0;
+                     float t1 = x1 * x1 + x2 * x2;
+                     if (t1 <= 1.0) {
+                         float t2 = sqrt(-2.0 * log(t1) / t1);
+                         float t3 = x1 * t2;
+                         float t4 = x2 * t2;
+                         int l = fmax(fabs(t3), fabs(t4));
+                         q[l] = q[l] + 1.0;
+                         sx = sx + t3;
+                         sy = sy + t4;
+                     }
+                 }
+                 sums[0] = sx;
+                 sums[1] = sy;
+             }";
+        // Sequential reference.
+        let m = compile(src).unwrap();
+        let mut mem = Memory::new(&m);
+        let x = mem.alloc_float(&xs);
+        let q = mem.alloc_float(&[0.0; 16]);
+        let sums = mem.alloc_float(&[0.0; 2]);
+        let mut seq = Machine::new(&m, mem);
+        seq.call("ep", &[RtVal::ptr(x), RtVal::ptr(q), RtVal::ptr(sums), RtVal::I(n as i64)])
+            .unwrap();
+        let q_ref = seq.mem.floats(q).to_vec();
+        let sums_ref = seq.mem.floats(sums).to_vec();
+        // Parallel.
+        let rs = detect_reductions(&m);
+        let (pm, plan) = parallelize(&m, "ep", &rs).unwrap();
+        let mut mem = Memory::new(&pm);
+        let x = mem.alloc_float(&xs);
+        let q = mem.alloc_float(&[0.0; 16]);
+        let sums = mem.alloc_float(&[0.0; 2]);
+        let mut par = Machine::new(&pm, mem);
+        par.set_handler(handler(&pm, plan, 8));
+        par.call("ep", &[RtVal::ptr(x), RtVal::ptr(q), RtVal::ptr(sums), RtVal::I(n as i64)])
+            .unwrap();
+        assert_eq!(par.mem.floats(q), q_ref.as_slice());
+        for (a, b) in par.mem.floats(sums).iter().zip(&sums_ref) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn disjoint_written_array_is_correct() {
+        let n = 5000usize;
+        let keys: Vec<i64> = (0..n as i64).map(|i| (i * 31 + 7) % 64).collect();
+        let src = "void f(int* member, int* keys, int* counts, int n) {
+                 for (int i = 0; i < n; i++) {
+                     int c = keys[i];
+                     counts[c] = counts[c] + 1;
+                     member[i] = c * 2;
+                 }
+             }";
+        let m = compile(src).unwrap();
+        let rs = detect_reductions(&m);
+        let (pm, plan) = parallelize(&m, "f", &rs).unwrap();
+        assert_eq!(plan.written.len(), 1);
+        let mut mem = Memory::new(&pm);
+        let member = mem.alloc_int(&vec![0; n]);
+        let k = mem.alloc_int(&keys);
+        let counts = mem.alloc_int(&vec![0; 64]);
+        let mut machine = Machine::new(&pm, mem);
+        machine.set_handler(handler(&pm, plan, 8));
+        machine
+            .call(
+                "f",
+                &[RtVal::ptr(member), RtVal::ptr(k), RtVal::ptr(counts), RtVal::I(n as i64)],
+            )
+            .unwrap();
+        for (i, &kv) in keys.iter().enumerate() {
+            assert_eq!(machine.mem.ints(member)[i], kv * 2);
+        }
+        let mut expect = vec![0i64; 64];
+        for &kv in &keys {
+            expect[kv as usize] += 1;
+        }
+        assert_eq!(machine.mem.ints(counts), expect.as_slice());
+    }
+
+    #[test]
+    fn single_thread_execution_works() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let (_, _, _, r) = run_parallel(
+            "float sum(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[i]; return s; }",
+            "sum",
+            1,
+            |mem| vec![RtVal::ptr(mem.alloc_float(&data)), RtVal::I(100)],
+        );
+        assert_eq!(r.unwrap().as_f(), 4950.0);
+    }
+
+    #[test]
+    fn empty_iteration_space_is_fine() {
+        let (_, _, _, r) = run_parallel(
+            "float sum(float* a, int n) { float s = 1.5; for (int i = 0; i < n; i++) s += a[i]; return s; }",
+            "sum",
+            4,
+            |mem| vec![RtVal::ptr(mem.alloc_float(&[])), RtVal::I(0)],
+        );
+        assert_eq!(r.unwrap().as_f(), 1.5);
+    }
+}

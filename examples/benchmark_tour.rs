@@ -1,0 +1,24 @@
+//! Tour of the evaluation: run all three detectors over the 40 NAS,
+//! Parboil and Rodinia miniatures and print the Figure 8 comparison.
+//!
+//! Run with: `cargo run --release --example benchmark_tour`
+
+use general_reductions::benchsuite::measure::measure_suite;
+use general_reductions::benchsuite::{suite_programs, Suite};
+
+fn main() {
+    let mut scalar = 0;
+    let mut histo = 0;
+    for suite in [Suite::Nas, Suite::Parboil, Suite::Rodinia] {
+        println!("== {suite} ==");
+        for row in measure_suite(&suite_programs(suite)) {
+            println!(
+                "{:<16} ours={}+{}  icc={}  polly={}/{} scops",
+                row.name, row.scalar, row.histogram, row.icc, row.polly_reductions, row.scops
+            );
+            scalar += row.scalar;
+            histo += row.histogram;
+        }
+    }
+    println!("\ntotal: {scalar} scalar + {histo} histogram (paper: 84 + 6)");
+}

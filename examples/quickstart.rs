@@ -1,0 +1,45 @@
+//! Quickstart: detect reductions in a small program and print a report.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use general_reductions::prelude::*;
+
+fn main() {
+    // The paper's Figure 2 (NAS EP) — two scalar reductions and a
+    // histogram, hidden behind control flow and pure math calls.
+    let source = "
+        void ep(float* x, float* q, float* sums, int nk) {
+            float sx = 0.0;
+            float sy = 0.0;
+            for (int i = 0; i < nk; i++) {
+                float x1 = 2.0 * x[2 * i] - 1.0;
+                float x2 = 2.0 * x[2 * i + 1] - 1.0;
+                float t1 = x1 * x1 + x2 * x2;
+                if (t1 <= 1.0) {
+                    float t2 = sqrt(-2.0 * log(t1) / t1);
+                    float t3 = x1 * t2;
+                    float t4 = x2 * t2;
+                    int l = fmax(fabs(t3), fabs(t4));
+                    q[l] = q[l] + 1.0;
+                    sx = sx + t3;
+                    sy = sy + t4;
+                }
+            }
+            sums[0] = sx;
+            sums[1] = sy;
+        }";
+    let module = compile(source).expect("compiles");
+    let reductions = detect_reductions(&module);
+    println!("found {} reductions:", reductions.len());
+    for r in &reductions {
+        println!("  {r}");
+    }
+
+    // The paper's counterexample: change the condition to `t1 <= sx` and
+    // every reduction disappears (control dependence on an intermediate
+    // result).
+    let broken = source.replace("t1 <= 1.0", "t1 <= sx");
+    let module = compile(&broken).expect("compiles");
+    let reductions = detect_reductions(&module);
+    println!("with `t1 <= sx`: {} reductions (expected 0)", reductions.len());
+}

@@ -1,0 +1,61 @@
+//! # general-reductions
+//!
+//! A from-scratch Rust reproduction of **"Discovery and Exploitation of
+//! General Reductions: A Constraint Based Approach"** (Philip Ginsbach and
+//! Michael F. P. O'Boyle, CGO 2017): a constraint-based idiom description
+//! language and backtracking solver that discover scalar *and histogram*
+//! reductions in SSA compiler IR, plus a privatizing parallel runtime that
+//! exploits them.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`ir`] — LLVM-like typed SSA IR,
+//! * [`frontend`] — a mini-C compiler producing that IR,
+//! * [`analysis`] — dominance, control dependence, loops, affinity, purity,
+//! * [`core`] — **the paper's contribution**: constraint language, solver,
+//!   reduction specifications, post-checks,
+//! * [`baselines`] — Polly-like and icc-like comparison detectors,
+//! * [`interp`] — profiling interpreter (the evaluation substrate),
+//! * [`parallel`] — outlining + privatizing parallel runtime,
+//! * [`benchsuite`] — the 40 NAS/Parboil/Rodinia miniatures.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use general_reductions::prelude::*;
+//!
+//! let module = compile(
+//!     "float sum(float* a, int n) {
+//!          float s = 0.0;
+//!          for (int i = 0; i < n; i++) s += a[i];
+//!          return s;
+//!      }").unwrap();
+//! let reductions = detect_reductions(&module);
+//! assert_eq!(reductions.len(), 1);
+//!
+//! // Exploit it on 4 threads.
+//! let (pm, plan) = parallelize(&module, "sum", &reductions).unwrap();
+//! let mut mem = Memory::new(&pm);
+//! let a = mem.alloc_float(&[1.0; 1000]);
+//! let mut machine = Machine::new(&pm, mem);
+//! machine.set_handler(gr_parallel::runtime::handler(&pm, plan, 4));
+//! let r = machine.call("sum", &[RtVal::ptr(a), RtVal::I(1000)]).unwrap();
+//! assert_eq!(r, Some(RtVal::F(1000.0)));
+//! ```
+
+pub use gr_analysis as analysis;
+pub use gr_baselines as baselines;
+pub use gr_benchsuite as benchsuite;
+pub use gr_core as core;
+pub use gr_frontend as frontend;
+pub use gr_interp as interp;
+pub use gr_ir as ir;
+pub use gr_parallel as parallel;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use gr_core::{detect_reductions, Reduction, ReductionKind, ReductionOp};
+    pub use gr_frontend::compile;
+    pub use gr_interp::{Machine, Memory, RtVal};
+    pub use gr_parallel::parallelize;
+}

@@ -1,0 +1,218 @@
+//! End-to-end integration: compile → detect → outline → parallel execution
+//! must be semantically equivalent to sequential execution.
+
+use general_reductions::prelude::*;
+
+/// Runs `func` sequentially and in parallel on the same float inputs and
+/// compares the scalar result.
+fn check_scalar_equiv(source: &str, func: &str, data: &[f64], extra: &[RtVal], tol: f64) {
+    let module = compile(source).expect("compiles");
+    let mut mem = Memory::new(&module);
+    let a = mem.alloc_float(data);
+    let mut args = vec![RtVal::ptr(a)];
+    args.extend_from_slice(extra);
+    let mut seq = Machine::new(&module, mem);
+    let expect = seq.call(func, &args).expect("sequential").expect("returns value");
+
+    let rs = detect_reductions(&module);
+    assert!(!rs.is_empty(), "{func}: nothing detected");
+    let (pm, plan) = parallelize(&module, func, &rs).expect("outlines");
+    let mut mem = Memory::new(&pm);
+    let a = mem.alloc_float(data);
+    let mut args = vec![RtVal::ptr(a)];
+    args.extend_from_slice(extra);
+    let mut par = Machine::new(&pm, mem);
+    par.set_handler(gr_parallel::runtime::handler(&pm, plan, 8));
+    let got = par.call(func, &args).expect("parallel").expect("returns value");
+    match (expect, got) {
+        (RtVal::F(e), RtVal::F(g)) => {
+            assert!((e - g).abs() <= tol * e.abs().max(1.0), "{func}: {e} vs {g}")
+        }
+        (e, g) => assert_eq!(e, g, "{func}"),
+    }
+}
+
+#[test]
+fn sum_reduction_parallel_equivalence() {
+    let data: Vec<f64> = (0..50_000).map(|i| ((i * 31) % 101) as f64 * 0.125).collect();
+    check_scalar_equiv(
+        "float sum(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[i]; return s; }",
+        "sum",
+        &data,
+        &[RtVal::I(50_000)],
+        1e-9,
+    );
+}
+
+#[test]
+fn product_reduction_parallel_equivalence() {
+    // Values near 1 so the product stays finite.
+    let data: Vec<f64> = (0..20_000).map(|i| 1.0 + ((i % 7) as f64 - 3.0) * 1e-6).collect();
+    check_scalar_equiv(
+        "float prod(float* a, int n) { float p = 1.0; for (int i = 0; i < n; i++) p *= a[i]; return p; }",
+        "prod",
+        &data,
+        &[RtVal::I(20_000)],
+        1e-9,
+    );
+}
+
+#[test]
+fn min_max_reductions_parallel_equivalence() {
+    let data: Vec<f64> = (0..30_000).map(|i| ((i * 8117) % 9973) as f64 - 5000.0).collect();
+    check_scalar_equiv(
+        "float lo(float* a, int n) { float m = 1.0e30; for (int i = 0; i < n; i++) m = fmin(m, a[i]); return m; }",
+        "lo",
+        &data,
+        &[RtVal::I(30_000)],
+        0.0,
+    );
+    check_scalar_equiv(
+        "float hi(float* a, int n) { float m = -1.0e30; for (int i = 0; i < n; i++) { float v = a[i]; if (v > m) m = v; } return m; }",
+        "hi",
+        &data,
+        &[RtVal::I(30_000)],
+        0.0,
+    );
+}
+
+#[test]
+fn conditional_sum_parallel_equivalence() {
+    let data: Vec<f64> = (0..40_000).map(|i| ((i * 13) % 29) as f64 - 14.0).collect();
+    check_scalar_equiv(
+        "float pos(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) { if (a[i] > 0.0) s += a[i]; } return s; }",
+        "pos",
+        &data,
+        &[RtVal::I(40_000)],
+        1e-9,
+    );
+}
+
+#[test]
+fn tpacf_binary_search_histogram_parallel_equivalence() {
+    let source = "
+        void tpacf(int* bins, float* binb, float* dots, int n, int nbins) {
+            for (int i = 0; i < n; i++) {
+                float d = dots[i];
+                int lo = 0;
+                int hi = nbins;
+                while (hi > lo + 1) {
+                    int mid = (lo + hi) / 2;
+                    if (d >= binb[mid]) { hi = mid; } else { lo = mid; }
+                }
+                bins[lo] = bins[lo] + 1;
+            }
+        }";
+    let module = compile(source).expect("compiles");
+    let nbins = 32usize;
+    let binb: Vec<f64> = (0..=nbins).map(|i| 1.0 - i as f64 / nbins as f64).collect();
+    let dots: Vec<f64> = (0..100_000).map(|i| ((i * 37) % 997) as f64 / 997.0).collect();
+
+    let mut mem = Memory::new(&module);
+    let bins = mem.alloc_int(&vec![0; nbins + 1]);
+    let bb = mem.alloc_float(&binb);
+    let dd = mem.alloc_float(&dots);
+    let args = [
+        RtVal::ptr(bins),
+        RtVal::ptr(bb),
+        RtVal::ptr(dd),
+        RtVal::I(dots.len() as i64),
+        RtVal::I(nbins as i64),
+    ];
+    let mut seq = Machine::new(&module, mem);
+    seq.call("tpacf", &args).expect("sequential");
+    let expect = seq.mem.ints(bins).to_vec();
+
+    let rs = detect_reductions(&module);
+    assert_eq!(rs.len(), 1);
+    assert!(rs[0].kind.is_histogram());
+    let (pm, plan) = parallelize(&module, "tpacf", &rs).expect("outlines");
+    let mut mem = Memory::new(&pm);
+    let bins = mem.alloc_int(&vec![0; nbins + 1]);
+    let bb = mem.alloc_float(&binb);
+    let dd = mem.alloc_float(&dots);
+    let args = [
+        RtVal::ptr(bins),
+        RtVal::ptr(bb),
+        RtVal::ptr(dd),
+        RtVal::I(dots.len() as i64),
+        RtVal::I(nbins as i64),
+    ];
+    let mut par = Machine::new(&pm, mem);
+    par.set_handler(gr_parallel::runtime::handler(&pm, plan, 12));
+    par.call("tpacf", &args).expect("parallel");
+    assert_eq!(par.mem.ints(bins), expect.as_slice());
+}
+
+#[test]
+fn ep_full_pipeline_matches_sequential() {
+    // Figure 2 of the paper: 2 scalars + 1 histogram in one loop, with
+    // conditional updates and pure calls; parallel must match exactly on
+    // the histogram and within reassociation tolerance on the sums.
+    let source = "
+        void ep(float* x, float* q, float* sums, int nk) {
+            float sx = 0.0;
+            float sy = 0.0;
+            for (int i = 0; i < nk; i++) {
+                float x1 = 2.0 * x[2 * i] - 1.0;
+                float x2 = 2.0 * x[2 * i + 1] - 1.0;
+                float t1 = x1 * x1 + x2 * x2;
+                if (t1 <= 1.0) {
+                    float t2 = sqrt(-2.0 * log(t1) / t1);
+                    float t3 = x1 * t2;
+                    float t4 = x2 * t2;
+                    int l = fmax(fabs(t3), fabs(t4));
+                    q[l] = q[l] + 1.0;
+                    sx = sx + t3;
+                    sy = sy + t4;
+                }
+            }
+            sums[0] = sx;
+            sums[1] = sy;
+        }";
+    let module = compile(source).expect("compiles");
+    let nk = 30_000usize;
+    let xs: Vec<f64> = (0..2 * nk).map(|i| ((i * 2654435761) % 1000003) as f64 / 1000003.0).collect();
+
+    let run = |parallel: bool| -> (Vec<f64>, Vec<f64>) {
+        let rs = detect_reductions(&module);
+        let (m, plan) = if parallel {
+            let (pm, plan) = parallelize(&module, "ep", &rs).expect("outlines");
+            (pm, Some(plan))
+        } else {
+            (module.clone(), None)
+        };
+        let mut mem = Memory::new(&m);
+        let x = mem.alloc_float(&xs);
+        let q = mem.alloc_float(&[0.0; 10]);
+        let sums = mem.alloc_float(&[0.0; 2]);
+        let mut machine = Machine::new(&m, mem);
+        if let Some(plan) = plan {
+            machine.set_handler(gr_parallel::runtime::handler(&m, plan, 8));
+        }
+        machine
+            .call("ep", &[RtVal::ptr(x), RtVal::ptr(q), RtVal::ptr(sums), RtVal::I(nk as i64)])
+            .expect("run");
+        (machine.mem.floats(q).to_vec(), machine.mem.floats(sums).to_vec())
+    };
+    let (q_seq, s_seq) = run(false);
+    let (q_par, s_par) = run(true);
+    assert_eq!(q_seq, q_par, "histogram must match exactly");
+    for (a, b) in s_seq.iter().zip(&s_par) {
+        assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn detection_to_cli_report_roundtrip() {
+    // The Reduction Display output names function, kind and operator.
+    let module = compile(
+        "float m(float* a, int n) { float s = -1.0e30; for (int i = 0; i < n; i++) s = fmax(s, a[i]); return s; }",
+    )
+    .unwrap();
+    let rs = detect_reductions(&module);
+    let text = rs[0].to_string();
+    assert!(text.contains("scalar"), "{text}");
+    assert!(text.contains("max"), "{text}");
+    assert!(text.contains("@m"), "{text}");
+}

@@ -1,0 +1,177 @@
+//! Property-based tests: parallel reduction execution is equivalent to
+//! sequential execution across randomized data, operators, sizes and
+//! thread counts; the solver agrees with brute-force enumeration on random
+//! small programs.
+
+use general_reductions::prelude::*;
+use proptest::prelude::*;
+
+fn parallel_scalar(source: &str, func: &str, data: &[f64], n: i64, threads: usize) -> f64 {
+    let module = compile(source).expect("compiles");
+    let rs = detect_reductions(&module);
+    let (pm, plan) = parallelize(&module, func, &rs).expect("outlines");
+    let mut mem = Memory::new(&pm);
+    let a = mem.alloc_float(data);
+    let mut machine = Machine::new(&pm, mem);
+    machine.set_handler(gr_parallel::runtime::handler(&pm, plan, threads));
+    machine
+        .call(func, &[RtVal::ptr(a), RtVal::I(n)])
+        .expect("parallel run")
+        .expect("returns value")
+        .as_f()
+}
+
+fn sequential_scalar(source: &str, func: &str, data: &[f64], n: i64) -> f64 {
+    let module = compile(source).expect("compiles");
+    let mut mem = Memory::new(&module);
+    let a = mem.alloc_float(data);
+    let mut machine = Machine::new(&module, mem);
+    machine
+        .call(func, &[RtVal::ptr(a), RtVal::I(n)])
+        .expect("sequential run")
+        .expect("returns value")
+        .as_f()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prop_parallel_sum_equals_sequential(
+        data in prop::collection::vec(-100.0f64..100.0, 1..2000),
+        threads in 1usize..9,
+    ) {
+        const SRC: &str =
+            "float f(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[i]; return s; }";
+        let n = data.len() as i64;
+        let seq = sequential_scalar(SRC, "f", &data, n);
+        let par = parallel_scalar(SRC, "f", &data, n, threads);
+        prop_assert!((seq - par).abs() < 1e-6 * seq.abs().max(1.0), "{seq} vs {par}");
+    }
+
+    #[test]
+    fn prop_parallel_min_equals_sequential(
+        data in prop::collection::vec(-1e6f64..1e6, 1..2000),
+        threads in 1usize..9,
+    ) {
+        const SRC: &str =
+            "float f(float* a, int n) { float m = 1.0e30; for (int i = 0; i < n; i++) m = fmin(m, a[i]); return m; }";
+        let n = data.len() as i64;
+        // min is exact: no reassociation error allowed.
+        prop_assert_eq!(
+            sequential_scalar(SRC, "f", &data, n),
+            parallel_scalar(SRC, "f", &data, n, threads)
+        );
+    }
+
+    #[test]
+    fn prop_parallel_conditional_max_equals_sequential(
+        data in prop::collection::vec(-1e3f64..1e3, 1..1500),
+        threads in 1usize..9,
+    ) {
+        const SRC: &str =
+            "float f(float* a, int n) { float m = -1.0e30; for (int i = 0; i < n; i++) { float v = a[i]; if (v > m) m = v; } return m; }";
+        let n = data.len() as i64;
+        prop_assert_eq!(
+            sequential_scalar(SRC, "f", &data, n),
+            parallel_scalar(SRC, "f", &data, n, threads)
+        );
+    }
+
+    #[test]
+    fn prop_parallel_histogram_equals_sequential(
+        keys in prop::collection::vec(0i64..64, 1..4000),
+        threads in 1usize..9,
+    ) {
+        const SRC: &str =
+            "void h(int* bins, int* k, int n) { for (int i = 0; i < n; i++) bins[k[i]]++; }";
+        let module = compile(SRC).unwrap();
+        let mut expect = vec![0i64; 64];
+        for &k in &keys {
+            expect[k as usize] += 1;
+        }
+        let rs = detect_reductions(&module);
+        let (pm, plan) = parallelize(&module, "h", &rs).unwrap();
+        let mut mem = Memory::new(&pm);
+        let bins = mem.alloc_int(&vec![0; 64]);
+        let k = mem.alloc_int(&keys);
+        let mut machine = Machine::new(&pm, mem);
+        machine.set_handler(gr_parallel::runtime::handler(&pm, plan, threads));
+        machine
+            .call("h", &[RtVal::ptr(bins), RtVal::ptr(k), RtVal::I(keys.len() as i64)])
+            .unwrap();
+        prop_assert_eq!(machine.mem.ints(bins), expect.as_slice());
+    }
+
+    #[test]
+    fn prop_strided_loops_detect_and_run(
+        start in 0i64..4,
+        step in 1i64..5,
+        len in 1usize..600,
+        threads in 1usize..7,
+    ) {
+        // for (i = start; i < len; i += step) s += a[i];
+        let src = format!(
+            "float f(float* a, int n) {{ float s = 0.0; for (int i = {start}; i < n; i = i + {step}) s += a[i]; return s; }}"
+        );
+        let data: Vec<f64> = (0..len).map(|i| i as f64).collect();
+        let expect: f64 = (start..len as i64).step_by(step as usize).map(|i| i as f64).sum();
+        let par = parallel_scalar(&src, "f", &data, len as i64, threads);
+        prop_assert!((par - expect).abs() < 1e-9, "{par} vs {expect}");
+    }
+
+    #[test]
+    fn prop_interpreter_is_deterministic(
+        data in prop::collection::vec(-10.0f64..10.0, 1..200),
+    ) {
+        const SRC: &str =
+            "float f(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) { if (a[i] > 0.0) s += sqrt(a[i]); } return s; }";
+        let n = data.len() as i64;
+        let a = sequential_scalar(SRC, "f", &data, n);
+        let b = sequential_scalar(SRC, "f", &data, n);
+        prop_assert_eq!(a, b);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The backtracking solver and the naive enumeration agree on a small
+    /// spec over randomly shaped straight-line+loop programs.
+    #[test]
+    fn prop_solver_matches_naive(
+        body_adds in 1usize..4,
+        use_mul in any::<bool>(),
+    ) {
+        use general_reductions::core::atoms::{Atom, MatchCtx, OpClass};
+        use general_reductions::core::constraint::SpecBuilder;
+        use general_reductions::core::solver::{solve, solve_naive, SolveOptions};
+        use gr_analysis::Analyses;
+
+        let op = if use_mul { "*" } else { "+" };
+        let mut body = String::new();
+        for k in 0..body_adds {
+            body.push_str(&format!("s = s {op} a[i + {k}];"));
+        }
+        let src = format!(
+            "float f(float* a, int n) {{ float s = 0.0; for (int i = 0; i < n; i++) {{ {body} }} return s; }}"
+        );
+        let module = compile(&src).unwrap();
+        let func = &module.functions[0];
+        let analyses = Analyses::new(&module, func);
+        let ctx = MatchCtx::new(&module, func, &analyses);
+        let mut b = SpecBuilder::new("load-gep");
+        let load = b.label("load");
+        let gep = b.label("gep");
+        b.atom(Atom::Opcode { l: load, class: OpClass::Load });
+        b.atom(Atom::OperandIs { inst: load, index: 0, value: gep });
+        b.atom(Atom::Opcode { l: gep, class: OpClass::Gep });
+        let spec = b.finish();
+        let (mut fast, _) = solve(&spec, &ctx, SolveOptions::default());
+        let (mut naive, _) = solve_naive(&spec, &ctx, SolveOptions::default());
+        fast.sort();
+        naive.sort();
+        prop_assert_eq!(fast.len(), body_adds);
+        prop_assert_eq!(fast, naive);
+    }
+}
