@@ -48,11 +48,7 @@ impl Cfg {
     /// Exit blocks: reachable blocks with no successors (`ret` terminators).
     #[must_use]
     pub fn exits(&self) -> Vec<BlockId> {
-        self.rpo
-            .iter()
-            .copied()
-            .filter(|b| self.succs[b.index()].is_empty())
-            .collect()
+        self.rpo.iter().copied().filter(|b| self.succs[b.index()].is_empty()).collect()
     }
 }
 
@@ -63,8 +59,8 @@ mod tests {
 
     #[test]
     fn diamond_cfg() {
-        let m = compile("int f(int a) { int x = 0; if (a > 0) x = 1; else x = 2; return x; }")
-            .unwrap();
+        let m =
+            compile("int f(int a) { int x = 0; if (a > 0) x = 1; else x = 2; return x; }").unwrap();
         let f = m.function("f").unwrap();
         let cfg = Cfg::new(f);
         // entry, then, else, merge
@@ -78,10 +74,9 @@ mod tests {
 
     #[test]
     fn loop_cfg_reachability() {
-        let m = compile(
-            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }",
-        )
-        .unwrap();
+        let m =
+            compile("int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }")
+                .unwrap();
         let f = m.function("f").unwrap();
         let cfg = Cfg::new(f);
         for b in f.block_ids() {

@@ -114,15 +114,11 @@ mod tests {
 
     #[test]
     fn loop_body_depends_on_header() {
-        let (m, cfg, pd) = setup(
-            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }",
-        );
+        let (m, cfg, pd) =
+            setup("int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }");
         let f = &m.functions[0];
         let cd = ControlDeps::new(f, &cfg, &pd);
-        let header = f
-            .block_ids()
-            .find(|b| cfg.preds[b.index()].len() == 2)
-            .unwrap();
+        let header = f.block_ids().find(|b| cfg.preds[b.index()].len() == 2).unwrap();
         let body = cfg.succs[header.index()][0];
         assert!(cd.deps_of(body).contains(&header));
         // The header itself is control dependent on itself (loop-carried).
@@ -131,17 +127,13 @@ mod tests {
 
     #[test]
     fn controlling_conditions_finds_branch_value() {
-        let (m, cfg, pd) =
-            setup("int f(int a) { int x = 0; if (a > 0) x = 1; return x; }");
+        let (m, cfg, pd) = setup("int f(int a) { int x = 0; if (a > 0) x = 1; return x; }");
         let f = &m.functions[0];
         let cd = ControlDeps::new(f, &cfg, &pd);
         let entry = f.entry();
         let then_b = cfg.succs[entry.index()][0];
         let conds = cd.controlling_conditions(f, then_b, None);
         assert_eq!(conds.len(), 1);
-        assert_eq!(
-            f.value(conds[0]).kind.opcode(),
-            Some(&gr_ir::Opcode::Cmp(gr_ir::CmpPred::Gt))
-        );
+        assert_eq!(f.value(conds[0]).kind.opcode(), Some(&gr_ir::Opcode::Cmp(gr_ir::CmpPred::Gt)));
     }
 }

@@ -214,9 +214,8 @@ pub fn computed_only_from(
                 // A load is acceptable only if explicitly allowed (handled
                 // above) or reading memory the loop never writes.
                 let root = root_object(q.func, operands[0]);
-                let reads_written = unknown_writes
-                    || root.is_none()
-                    || root.is_some_and(|r| written.contains(&r));
+                let reads_written =
+                    unknown_writes || root.is_none() || root.is_some_and(|r| written.contains(&r));
                 if reads_written {
                     return DominanceResult { ok: false, loads, blocker: Some(v) };
                 }
@@ -256,7 +255,11 @@ pub fn computed_only_from(
             Opcode::Store | Opcode::Br | Opcode::CondBr | Opcode::Ret | Opcode::Alloca => {
                 return DominanceResult { ok: false, loads, blocker: Some(v) };
             }
-            Opcode::Bin(_) | Opcode::Un(_) | Opcode::Cmp(_) | Opcode::Cast | Opcode::Select
+            Opcode::Bin(_)
+            | Opcode::Un(_)
+            | Opcode::Cmp(_)
+            | Opcode::Cast
+            | Opcode::Select
             | Opcode::Gep => {
                 work.extend(operands.iter().map(|&o| (o, in_addr)));
                 push_conditions(block, in_addr, &mut work);
@@ -334,9 +337,8 @@ mod tests {
             let inst_blocks = func.inst_blocks();
             // use the outermost loop
             let lid = LoopId(
-                (0..a.loops.loops().len())
-                    .min_by_key(|&i| a.loops.loops()[i].depth)
-                    .unwrap() as u32,
+                (0..a.loops.loops().len()).min_by_key(|&i| a.loops.loops()[i].depth).unwrap()
+                    as u32,
             );
             let q = DominanceQuery {
                 func,
@@ -354,9 +356,7 @@ mod tests {
 
     fn find_phi_of_ty(func: &Function, ty: gr_ir::Type) -> ValueId {
         func.value_ids()
-            .find(|&v| {
-                func.value(v).kind.opcode() == Some(&Opcode::Phi) && func.value(v).ty == ty
-            })
+            .find(|&v| func.value(v).kind.opcode() == Some(&Opcode::Phi) && func.value(v).ty == ty)
             .expect("phi")
     }
 
@@ -437,10 +437,7 @@ mod tests {
             |f| {
                 // the branch condition (cmp le)
                 f.value_ids()
-                    .find(|&v| {
-                        f.value(v).kind.opcode()
-                            == Some(&Opcode::Cmp(gr_ir::CmpPred::Le))
-                    })
+                    .find(|&v| f.value(v).kind.opcode() == Some(&Opcode::Cmp(gr_ir::CmpPred::Le)))
                     .unwrap()
             },
             |f, v, in_addr| in_addr && iterator_phi(f, v),
@@ -528,22 +525,15 @@ mod tests {
         let closure =
             forward_closure_in_loop(func, &a.users, &a.loops, LoopId(0), &inst_blocks, phi);
         // s feeds its own add, which feeds back into the phi: nothing else.
-        let kinds: Vec<_> = closure
-            .iter()
-            .map(|&v| func.value(v).kind.opcode().cloned().unwrap())
-            .collect();
+        let kinds: Vec<_> =
+            closure.iter().map(|&v| func.value(v).kind.opcode().cloned().unwrap()).collect();
         assert!(kinds.contains(&Opcode::Bin(gr_ir::BinOp::Add)));
-        assert!(kinds
-            .iter()
-            .all(|k| matches!(k, Opcode::Bin(_) | Opcode::Phi)));
+        assert!(kinds.iter().all(|k| matches!(k, Opcode::Bin(_) | Opcode::Phi)));
     }
 
     #[test]
     fn root_object_follows_gep_chains() {
-        let m = compile(
-            "void f(float* a, int i) { a[i + 1] = 0.0; }",
-        )
-        .unwrap();
+        let m = compile("void f(float* a, int i) { a[i + 1] = 0.0; }").unwrap();
         let func = &m.functions[0];
         let store = func
             .value_ids()

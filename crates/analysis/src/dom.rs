@@ -181,8 +181,7 @@ impl PostDomTree {
                 let mut new_ipdom: Option<usize> = None;
                 // Predecessors in reverse graph = successors in real graph
                 // (or virtual exit for exit blocks).
-                let mut rev_preds: Vec<usize> =
-                    cfg.succs[b].iter().map(|s| s.index()).collect();
+                let mut rev_preds: Vec<usize> = cfg.succs[b].iter().map(|s| s.index()).collect();
                 if exits.contains(&b) {
                     rev_preds.push(virtual_exit);
                 }
@@ -290,10 +289,7 @@ mod tests {
         let cfg = Cfg::new(f);
         let dom = DomTree::new(f, &cfg);
         // header is the only block with 2 preds
-        let header = f
-            .block_ids()
-            .find(|b| cfg.preds[b.index()].len() == 2)
-            .expect("loop header");
+        let header = f.block_ids().find(|b| cfg.preds[b.index()].len() == 2).expect("loop header");
         for b in f.block_ids() {
             if b != f.entry() {
                 assert!(dom.dominates(header, b) || b == header, "header should dominate {b}");
@@ -303,10 +299,7 @@ mod tests {
 
     #[test]
     fn multiple_returns_postdominated_by_virtual_exit_only() {
-        let (m, i) = analyses(
-            "int f(int a) { if (a > 0) { return 1; } return 2; }",
-            "f",
-        );
+        let (m, i) = analyses("int f(int a) { if (a > 0) { return 1; } return 2; }", "f");
         let f = &m.functions[i];
         let cfg = Cfg::new(f);
         let pd = PostDomTree::new(f, &cfg);

@@ -26,7 +26,11 @@ pub struct Invariance<'a> {
 impl<'a> Invariance<'a> {
     /// Creates the query context.
     #[must_use]
-    pub fn new(func: &'a Function, forest: &'a LoopForest, purity: &'a PurityInfo) -> Invariance<'a> {
+    pub fn new(
+        func: &'a Function,
+        forest: &'a LoopForest,
+        purity: &'a PurityInfo,
+    ) -> Invariance<'a> {
         Invariance {
             func,
             forest,
@@ -116,9 +120,8 @@ mod tests {
 
     #[test]
     fn arguments_and_constants_are_invariant() {
-        let s = Setup::new(
-            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }",
-        );
+        let s =
+            Setup::new("int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }");
         s.with(|func, forest, purity| {
             let inv = Invariance::new(func, forest, purity);
             assert!(inv.is_invariant(LoopId(0), func.arg_values[0]));
@@ -132,9 +135,8 @@ mod tests {
 
     #[test]
     fn iterator_phi_is_variant() {
-        let s = Setup::new(
-            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }",
-        );
+        let s =
+            Setup::new("int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }");
         s.with(|func, forest, purity| {
             let inv = Invariance::new(func, forest, purity);
             let phi = func

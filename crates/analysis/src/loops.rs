@@ -180,10 +180,7 @@ impl LoopForest {
     /// The loop with header `h`, if any.
     #[must_use]
     pub fn loop_with_header(&self, h: BlockId) -> Option<LoopId> {
-        self.loops
-            .iter()
-            .position(|l| l.header == h)
-            .map(|i| LoopId(i as u32))
+        self.loops.iter().position(|l| l.header == h).map(|i| LoopId(i as u32))
     }
 
     /// Whether `id` has no nested loops.
@@ -265,8 +262,7 @@ pub fn match_for_shape(func: &Function, forest: &LoopForest, lid: LoopId) -> Opt
     let (a, b) = (cdata.kind.operands()[0], cdata.kind.operands()[1]);
     // Identify which comparison operand is the iterator phi.
     let is_header_phi = |v: ValueId| {
-        func.value(v).kind.opcode() == Some(&Opcode::Phi)
-            && func.block(l.header).insts.contains(&v)
+        func.value(v).kind.opcode() == Some(&Opcode::Phi) && func.block(l.header).insts.contains(&v)
     };
     let (iterator, bound, mut pred) = if is_header_phi(a) {
         (a, b, pred)
@@ -311,10 +307,7 @@ pub fn match_for_shape(func: &Function, forest: &LoopForest, lid: LoopId) -> Opt
     let outside = |v: ValueId| match &func.value(v).kind {
         ValueKind::ConstInt(_) | ValueKind::ConstFloat(_) | ValueKind::ConstBool(_) => true,
         ValueKind::Argument(_) | ValueKind::GlobalRef(_) => true,
-        ValueKind::Inst { .. } => func
-            .block_of_inst(v)
-            .map(|b| !l.contains(b))
-            .unwrap_or(false),
+        ValueKind::Inst { .. } => func.block_of_inst(v).map(|b| !l.contains(b)).unwrap_or(false),
         ValueKind::Block(_) => false,
     };
     if !outside(init) || !outside(step) || !outside(bound) {
@@ -341,9 +334,8 @@ mod tests {
 
     #[test]
     fn single_for_loop() {
-        let (m, forest) = forest(
-            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }",
-        );
+        let (m, forest) =
+            forest("int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }");
         assert_eq!(forest.loops().len(), 1);
         let l = &forest.loops()[0];
         assert!(l.preheader.is_some());
@@ -389,9 +381,7 @@ mod tests {
 
     #[test]
     fn while_loop_is_detected_but_not_for_shaped() {
-        let (m, forest) = forest(
-            "int f(int n) { int i = 0; while (i * i < n) i++; return i; }",
-        );
+        let (m, forest) = forest("int f(int n) { int i = 0; while (i * i < n) i++; return i; }");
         assert_eq!(forest.loops().len(), 1);
         // `i*i < n` is not a `cmp(iter, bound)` test.
         assert!(match_for_shape(&m.functions[0], &forest, LoopId(0)).is_none());
@@ -400,18 +390,15 @@ mod tests {
     #[test]
     fn data_dependent_exit_is_not_for_shaped() {
         // Loop bound read from memory inside the loop -> not a counted loop.
-        let (m, forest) = forest(
-            "int f(int* a) { int i = 0; while (a[i] > 0) i++; return i; }",
-        );
+        let (m, forest) = forest("int f(int* a) { int i = 0; while (a[i] > 0) i++; return i; }");
         assert_eq!(forest.loops().len(), 1);
         assert!(match_for_shape(&m.functions[0], &forest, LoopId(0)).is_none());
     }
 
     #[test]
     fn downward_counting_loop_matches() {
-        let (m, forest) = forest(
-            "int f(int n) { int s = 0; for (int i = n; i > 0; i += -1) s += i; return s; }",
-        );
+        let (m, forest) =
+            forest("int f(int n) { int s = 0; for (int i = n; i > 0; i += -1) s += i; return s; }");
         assert_eq!(forest.loops().len(), 1);
         let shape = match_for_shape(&m.functions[0], &forest, LoopId(0)).expect("for shape");
         assert_eq!(shape.pred, CmpPred::Gt);
@@ -419,9 +406,8 @@ mod tests {
 
     #[test]
     fn innermost_of_maps_blocks() {
-        let (m, forest) = forest(
-            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }",
-        );
+        let (m, forest) =
+            forest("int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i; return s; }");
         let f = &m.functions[0];
         let l = &forest.loops()[0];
         for &b in &l.blocks {

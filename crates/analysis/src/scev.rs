@@ -39,6 +39,44 @@ pub fn is_affine(
     affine_degree(func, iterators, is_invariant, v).is_some_and(|d| d <= 1)
 }
 
+/// Whether `v` is *strided* in `iterator`: `i`, `i ± t`, `i * c` or
+/// `i * c ± t` with `c` a nonzero integer constant and `t` an offset that
+/// is affine degree-0 under `is_invariant` (so it is the same value in
+/// every iteration). Distinct iterations then provably address distinct
+/// elements — the condition under which per-iteration stores (scan
+/// outputs, per-element writes) are disjoint across threads and can share
+/// unsynchronized storage. A per-iteration offset like `i + a[i]` is
+/// rejected: it can collide across iterations.
+#[must_use]
+pub fn is_strided_in(
+    func: &Function,
+    iterator: ValueId,
+    is_invariant: &dyn Fn(ValueId) -> bool,
+    v: ValueId,
+) -> bool {
+    if v == iterator {
+        return true;
+    }
+    let data = func.value(v);
+    let Some(op) = data.kind.opcode() else { return false };
+    let ops = data.kind.operands();
+    let offset_ok = |x: ValueId| affine_degree(func, &[iterator], is_invariant, x) == Some(0);
+    match op {
+        Opcode::Bin(gr_ir::BinOp::Add | gr_ir::BinOp::Sub) => {
+            // Exactly one side strided; the other is an iteration-constant
+            // offset.
+            (is_strided_in(func, iterator, is_invariant, ops[0]) && offset_ok(ops[1]))
+                || (offset_ok(ops[0]) && is_strided_in(func, iterator, is_invariant, ops[1]))
+        }
+        Opcode::Bin(gr_ir::BinOp::Mul) => {
+            let const_nz =
+                |x: ValueId| matches!(func.value(x).kind, gr_ir::ValueKind::ConstInt(c) if c != 0);
+            (ops[0] == iterator && const_nz(ops[1])) || (ops[1] == iterator && const_nz(ops[0]))
+        }
+        _ => false,
+    }
+}
+
 fn degree_rec(
     func: &Function,
     iterators: &[ValueId],
@@ -119,6 +157,50 @@ mod tests {
         let idx = func.value(gep).kind.operands()[1];
         let is_inv = |v: ValueId| inv.is_invariant(innermost, v);
         is_affine(func, &iterators, &is_inv, idx)
+    }
+
+    /// Whether the first store's gep index is strided in the single loop's
+    /// iterator.
+    fn first_store_strided(src: &str) -> bool {
+        let m = compile(src).unwrap();
+        let func = &m.functions[0];
+        let cfg = Cfg::new(func);
+        let dom = DomTree::new(func, &cfg);
+        let forest = LoopForest::new(func, &cfg, &dom);
+        let purity = PurityInfo::new(&m);
+        let inv = Invariance::new(func, &forest, &purity);
+        let shape = match_for_shape(func, &forest, LoopId(0)).expect("for loop");
+        let store = func
+            .value_ids()
+            .find(|&v| func.value(v).kind.opcode() == Some(&Opcode::Store))
+            .expect("store");
+        let gep = func.value(store).kind.operands()[1];
+        let idx = func.value(gep).kind.operands()[1];
+        let is_inv = |v: ValueId| inv.is_invariant(LoopId(0), v);
+        is_strided_in(func, shape.iterator, &is_inv, idx)
+    }
+
+    #[test]
+    fn strided_with_invariant_offset() {
+        assert!(first_store_strided(
+            "void f(float* o, int n, int m) { for (int i = 0; i < n; i++) o[i * 4 + m] = 1.0; }"
+        ));
+    }
+
+    #[test]
+    fn per_iteration_offset_is_not_strided() {
+        // `i + a[i]` can collide across iterations: the offset is not the
+        // same value every iteration, so disjointness is not provable.
+        assert!(!first_store_strided(
+            "void f(float* o, int* a, int n) { for (int i = 0; i < n; i++) o[i + a[i]] = 1.0; }"
+        ));
+    }
+
+    #[test]
+    fn constant_index_is_not_strided() {
+        assert!(!first_store_strided(
+            "void f(float* o, int n) { for (int i = 0; i < n; i++) o[0] = 1.0; }"
+        ));
     }
 
     #[test]

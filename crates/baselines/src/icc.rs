@@ -34,9 +34,8 @@ pub struct IccReduction {
 }
 
 /// Math calls icc's vectorizer handles.
-const ICC_WHITELIST: &[&str] = &[
-    "sqrt", "log", "exp", "sin", "cos", "pow", "fabs", "floor", "ceil",
-];
+const ICC_WHITELIST: &[&str] =
+    &["sqrt", "log", "exp", "sin", "cos", "pow", "fabs", "floor", "ceil"];
 
 /// Runs the icc model over a module.
 #[must_use]
@@ -69,10 +68,8 @@ fn detect_in_loop(func: &Function, analyses: &Analyses, lid: LoopId) -> Vec<IccR
         for &inst in &func.block(b).insts {
             let data = func.value(inst);
             match data.kind.opcode() {
-                Some(Opcode::Call(name)) => {
-                    if !ICC_WHITELIST.contains(&name.as_str()) {
-                        return Vec::new(); // fmin/fmax/user calls block icc
-                    }
+                Some(Opcode::Call(name)) if !ICC_WHITELIST.contains(&name.as_str()) => {
+                    return Vec::new(); // fmin/fmax/user calls block icc
                 }
                 Some(Opcode::Store) => {
                     // Writes must be affine in the iterator, otherwise the

@@ -180,6 +180,7 @@ fn validate_nest(
 /// Affinity in the Polly sense: iterator coefficients must be integer
 /// constants; additive terms may be nest-invariant parameters. Returns the
 /// degree (0 or 1) or `None`.
+#[allow(clippy::only_used_in_recursion)] // `outermost` documents the query scope
 fn polly_affine(
     func: &Function,
     iterators: &[ValueId],
@@ -236,11 +237,11 @@ fn polly_param(func: &Function, v: ValueId) -> bool {
     match &func.value(v).kind {
         ValueKind::ConstInt(_) => true,
         ValueKind::Argument(_) => func.value(v).ty == Type::Int,
-        ValueKind::Inst { opcode, operands } => match opcode {
-            Opcode::Bin(BinOp::Add | BinOp::Sub | BinOp::Mul)
-            | Opcode::Un(gr_ir::UnOp::Neg) => operands.iter().all(|&o| polly_param(func, o)),
-            _ => false,
-        },
+        ValueKind::Inst {
+            opcode: Opcode::Bin(BinOp::Add | BinOp::Sub | BinOp::Mul) | Opcode::Un(gr_ir::UnOp::Neg),
+            operands,
+        } => operands.iter().all(|&o| polly_param(func, o)),
+        ValueKind::Inst { .. } => false,
         _ => false,
     }
 }
@@ -516,9 +517,7 @@ mod tests {
 
     #[test]
     fn while_loop_rejects_the_scop() {
-        let r = report(
-            "int f(int* a) { int i = 0; while (a[i] > 0) i++; return i; }",
-        );
+        let r = report("int f(int* a) { int i = 0; while (a[i] > 0) i++; return i; }");
         assert_eq!(r.scop_count(), 0);
     }
 

@@ -1,27 +1,19 @@
 //! Detection throughput per suite — the analogue of the paper's reported
 //! compile-time cost (3.77 s per benchmark program for their LLVM pass).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gr_bench::timing::bench;
 use gr_benchsuite::{suite_programs, Suite};
 use gr_core::detect_reductions;
 
-fn bench_detection(c: &mut Criterion) {
-    let mut group = c.benchmark_group("detection");
-    group.sample_size(10);
+fn main() {
     for suite in [Suite::Nas, Suite::Parboil, Suite::Rodinia] {
         let modules: Vec<_> = suite_programs(suite).iter().map(|p| p.compile()).collect();
-        group.bench_function(format!("{suite}"), |b| {
-            b.iter(|| {
-                let mut total = 0;
-                for m in &modules {
-                    total += detect_reductions(std::hint::black_box(m)).len();
-                }
-                total
-            });
+        bench(&format!("detection/{suite}"), || {
+            let mut total = 0;
+            for m in &modules {
+                total += detect_reductions(std::hint::black_box(m)).len();
+            }
+            total
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_detection);
-criterion_main!(benches);

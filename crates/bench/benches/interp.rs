@@ -1,25 +1,18 @@
 //! Interpreter throughput on a representative kernel (the substrate all
 //! speedup measurements share).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gr_bench::timing::bench;
 use gr_interp::{Machine, Memory, RtVal};
 
 const SRC: &str = "float sum(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[i]; return s; }";
 
-fn bench_interp(c: &mut Criterion) {
+fn main() {
     let m = gr_frontend::compile(SRC).unwrap();
     let data: Vec<f64> = (0..100_000).map(|i| i as f64).collect();
-    c.bench_function("interp/sum-100k", |b| {
-        b.iter(|| {
-            let mut mem = Memory::new(&m);
-            let a = mem.alloc_float(&data);
-            let mut machine = Machine::new(&m, mem);
-            machine
-                .call("sum", &[RtVal::ptr(a), RtVal::I(data.len() as i64)])
-                .unwrap()
-        });
+    bench("interp/sum-100k", || {
+        let mut mem = Memory::new(&m);
+        let a = mem.alloc_float(&data);
+        let mut machine = Machine::new(&m, mem);
+        machine.call("sum", &[RtVal::ptr(a), RtVal::I(data.len() as i64)]).unwrap()
     });
 }
-
-criterion_group!(benches, bench_interp);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Parallel reduction scaling: the privatizing runtime on an IS-style
 //! histogram, across thread counts.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use gr_bench::timing::bench;
 use gr_core::detect_reductions;
 use gr_interp::{Machine, Memory, RtVal};
 use gr_parallel::runtime::handler;
@@ -9,29 +9,21 @@ use gr_parallel::runtime::handler;
 const SRC: &str =
     "void rank(int* bins, int* keys, int n) { for (int i = 0; i < n; i++) bins[keys[i]]++; }";
 
-fn bench_parallel(c: &mut Criterion) {
+fn main() {
     let m = gr_frontend::compile(SRC).unwrap();
     let rs = detect_reductions(&m);
     let (pm, plan) = gr_parallel::parallelize(&m, "rank", &rs).unwrap();
     let keys: Vec<i64> = (0..400_000).map(|i| (i * 7919 + 13) % 1024).collect();
-    let mut group = c.benchmark_group("parallel-histogram-400k");
-    group.sample_size(10);
     for threads in [1usize, 2, 4, 8, 16] {
-        group.bench_function(format!("threads/{threads}"), |b| {
-            b.iter(|| {
-                let mut mem = Memory::new(&pm);
-                let bins = mem.alloc_int(&vec![0; 1024]);
-                let k = mem.alloc_int(&keys);
-                let mut machine = Machine::new(&pm, mem);
-                machine.set_handler(handler(&pm, plan.clone(), threads));
-                machine
-                    .call("rank", &[RtVal::ptr(bins), RtVal::ptr(k), RtVal::I(keys.len() as i64)])
-                    .unwrap();
-            });
+        bench(&format!("parallel-histogram-400k/threads/{threads}"), || {
+            let mut mem = Memory::new(&pm);
+            let bins = mem.alloc_int(&vec![0; 1024]);
+            let k = mem.alloc_int(&keys);
+            let mut machine = Machine::new(&pm, mem);
+            machine.set_handler(handler(&pm, plan.clone(), threads));
+            machine
+                .call("rank", &[RtVal::ptr(bins), RtVal::ptr(k), RtVal::I(keys.len() as i64)])
+                .unwrap();
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_parallel);
-criterion_main!(benches);

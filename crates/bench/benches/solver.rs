@@ -2,8 +2,8 @@
 //! enumeration against the backtracking DETECT procedure with
 //! constraint-driven candidate generation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gr_analysis::Analyses;
+use gr_bench::timing::bench;
 use gr_core::atoms::{Atom, MatchCtx, OpClass};
 use gr_core::constraint::SpecBuilder;
 use gr_core::solver::{solve, solve_naive, SolveOptions};
@@ -25,26 +25,17 @@ fn small_spec() -> gr_core::constraint::Spec {
     b.finish()
 }
 
-fn bench_solver(c: &mut Criterion) {
+fn main() {
     let m = gr_frontend::compile(SRC).unwrap();
     let func = &m.functions[0];
     let analyses = Analyses::new(&m, func);
     let ctx = MatchCtx::new(&m, func, &analyses);
 
-    let mut group = c.benchmark_group("solver");
     let spec = small_spec();
-    group.bench_function("backtracking/3-label", |b| {
-        b.iter(|| solve(&spec, &ctx, SolveOptions::default()).0.len());
-    });
-    group.bench_function("naive/3-label", |b| {
-        b.iter(|| solve_naive(&spec, &ctx, SolveOptions::default()).0.len());
-    });
+    bench("solver/backtracking/3-label", || solve(&spec, &ctx, SolveOptions::default()).0.len());
+    bench("solver/naive/3-label", || solve_naive(&spec, &ctx, SolveOptions::default()).0.len());
     let (full, _) = scalar_reduction_spec();
-    group.bench_function("backtracking/scalar-reduction-15-label", |b| {
-        b.iter(|| solve(&full, &ctx, SolveOptions::default()).0.len());
+    bench("solver/backtracking/scalar-reduction-15-label", || {
+        solve(&full, &ctx, SolveOptions::default()).0.len()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_solver);
-criterion_main!(benches);

@@ -2,8 +2,9 @@
 
 fn main() {
     let run = |name: &str| {
-        let status = std::process::Command::new(std::env::current_exe().unwrap().with_file_name(name))
-            .status();
+        let status =
+            std::process::Command::new(std::env::current_exe().unwrap().with_file_name(name))
+                .status();
         if let Err(e) = status {
             eprintln!("failed to run {name}: {e} (build with --release first)");
         }

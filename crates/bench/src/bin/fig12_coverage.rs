@@ -5,10 +5,7 @@ use gr_benchsuite::measure::measure_coverage;
 use gr_benchsuite::{suite_programs, Suite};
 
 fn main() {
-    let scale: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let scale: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1);
     let mut hist_cov = Vec::new();
     for suite in [Suite::Nas, Suite::Parboil, Suite::Rodinia] {
         println!("## Figures 12-14 — runtime coverage in {suite} (scale {scale})");
@@ -29,8 +26,5 @@ fn main() {
         println!();
     }
     let avg = hist_cov.iter().sum::<f64>() / hist_cov.len().max(1) as f64;
-    println!(
-        "average histogram coverage where present: {:.0}% (paper: 68%)",
-        100.0 * avg
-    );
+    println!("average histogram coverage where present: {:.0}% (paper: 68%)", 100.0 * avg);
 }

@@ -8,13 +8,8 @@ fn main() {
     let threads: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
-        });
-    let scale: usize = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+    let scale: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1);
     println!("## Figure 15 — speedup vs sequential ({threads} threads, scale {scale})");
     println!(
         "{:<8} | {:>10} | {:>10} | {:>10} || paper(ours) paper(orig, 64 cores)",

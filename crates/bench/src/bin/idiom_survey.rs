@@ -1,0 +1,38 @@
+//! Surveys the registry's newer idioms (scan, argmin/argmax): where they
+//! fire across the 40 paper miniatures, and the parallel speedup of their
+//! exploitation templates on the micro-suite workloads.
+//!
+//! Run with: `cargo run --release -p gr-bench --bin idiom_survey [threads] [scale]`
+
+fn main() {
+    let threads: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4));
+    let scale: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+
+    println!("## Scan / argmin-argmax detections across the 40 paper miniatures");
+    let mut any = false;
+    for p in gr_benchsuite::all_programs() {
+        let rs = gr_core::detect_reductions(&p.compile());
+        let hits: Vec<_> = rs.iter().filter(|r| r.kind.is_scan() || r.kind.is_arg()).collect();
+        if !hits.is_empty() {
+            any = true;
+            for r in hits {
+                println!("{:<12} {r}", p.name);
+            }
+        }
+    }
+    if !any {
+        println!("(none)");
+    }
+
+    println!("\n## Micro-suite exploitation ({threads} threads, scale {scale})");
+    for p in gr_benchsuite::micro::programs() {
+        let m = gr_benchsuite::micro::micro_speedup(&p, threads, scale);
+        println!(
+            "{:<18} seq {:>10.2?}  par {:>10.2?}  speedup {:.2}x",
+            p.name, m.seq, m.par, m.speedup
+        );
+    }
+}

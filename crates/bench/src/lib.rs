@@ -10,12 +10,42 @@
 //! | `fig15_speedup`   | Figure 15: speedups on the histogram programs       |
 //! | `all_figures`     | everything above, in EXPERIMENTS.md layout          |
 //!
-//! Criterion benches (`cargo bench -p gr-bench`): detection throughput per
-//! suite (the paper's 3.77 s/benchmark compile-time cost), the
-//! backtracking-vs-naive solver ablation (§3.2/§3.3), interpreter
+//! Benches (`cargo bench -p gr-bench`, plain [`timing`] harness — no
+//! external benchmarking crate so the workspace builds offline): detection
+//! throughput per suite (the paper's 3.77 s/benchmark compile-time cost),
+//! the backtracking-vs-naive solver ablation (§3.2/§3.3), interpreter
 //! throughput, and parallel reduction scaling.
 
 use gr_benchsuite::measure::DetectionRow;
+
+/// A dependency-free micro-benchmark harness: warm up, run timed batches,
+/// report the best-of-batches mean (the conventional noise-robust
+/// statistic for wall-clock micro-benchmarks).
+pub mod timing {
+    use std::time::{Duration, Instant};
+
+    /// Runs `f` repeatedly and prints `name: <best mean>/iter`.
+    ///
+    /// Batches are sized so each takes roughly 100 ms, 5 batches are
+    /// timed, and the fastest batch's per-iteration mean is reported.
+    pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+        // Calibrate the batch size on a warm cache.
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let per_batch =
+            (Duration::from_millis(100).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+        let mut best = Duration::MAX;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            for _ in 0..per_batch {
+                std::hint::black_box(f());
+            }
+            best = best.min(t0.elapsed() / per_batch as u32);
+        }
+        println!("{name:<44} {best:>12.2?}/iter  ({per_batch} iters/batch)");
+    }
+}
 
 /// Renders detection rows as an aligned text table.
 #[must_use]

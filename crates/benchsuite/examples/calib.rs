@@ -4,15 +4,33 @@
 //! Run with: `cargo run --release -p gr-benchsuite --example calib`
 
 fn main() {
-    println!("{:<16} {:>4} {:>4} {:>4} {:>5} {:>5}   (scalar histo icc pollyred scops) vs paper", "name", "sc", "hi", "icc", "pred", "scop");
+    println!(
+        "{:<16} {:>4} {:>4} {:>4} {:>5} {:>5}   (scalar histo icc pollyred scops) vs paper",
+        "name", "sc", "hi", "icc", "pred", "scop"
+    );
     for p in gr_benchsuite::all_programs() {
         let r = gr_benchsuite::measure::measure_detection(&p);
         let ok = (r.scalar, r.histogram, r.icc, r.polly_reductions, r.scops)
-            == (p.paper.scalar, p.paper.histogram, p.paper.icc, p.paper.polly_reductions, p.paper.scops);
+            == (
+                p.paper.scalar,
+                p.paper.histogram,
+                p.paper.icc,
+                p.paper.polly_reductions,
+                p.paper.scops,
+            );
         println!(
             "{:<16} {:>4} {:>4} {:>4} {:>5} {:>5}   paper ({} {} {} {} {}) {}",
-            r.name, r.scalar, r.histogram, r.icc, r.polly_reductions, r.scops,
-            p.paper.scalar, p.paper.histogram, p.paper.icc, p.paper.polly_reductions, p.paper.scops,
+            r.name,
+            r.scalar,
+            r.histogram,
+            r.icc,
+            r.polly_reductions,
+            r.scops,
+            p.paper.scalar,
+            p.paper.histogram,
+            p.paper.icc,
+            p.paper.polly_reductions,
+            p.paper.scops,
             if ok { "OK" } else { "<-- MISMATCH" }
         );
     }

@@ -17,6 +17,10 @@ pub struct DetectionRow {
     pub scalar: usize,
     /// Histogram reductions found by the constraint system.
     pub histogram: usize,
+    /// Prefix scans found by the constraint system.
+    pub scan: usize,
+    /// Argmin/argmax reductions found by the constraint system.
+    pub arg: usize,
     /// Reductions found by the icc model.
     pub icc: usize,
     /// Reduction SCoPs found by the Polly model.
@@ -39,12 +43,16 @@ pub fn measure_detection(p: &ProgramDef) -> DetectionRow {
     let detect_time = t0.elapsed();
     let scalar = ours.iter().filter(|r| r.kind == ReductionKind::Scalar).count();
     let histogram = ours.iter().filter(|r| r.kind == ReductionKind::Histogram).count();
+    let scan = ours.iter().filter(|r| r.kind.is_scan()).count();
+    let arg = ours.iter().filter(|r| r.kind.is_arg()).count();
     let icc = icc_detect(&module).len();
     let polly = polly_detect(&module);
     DetectionRow {
         name: p.name,
         scalar,
         histogram,
+        scan,
+        arg,
         icc,
         polly_reductions: polly.reduction_scop_count(),
         scops: polly.scop_count(),
@@ -96,10 +104,7 @@ pub fn measure_coverage(p: &ProgramDef, scale: usize) -> CoverageRow {
     let mut regions: Vec<(&str, gr_ir::BlockId, bool)> = Vec::new();
     for r in &reductions {
         let is_hist = r.kind == ReductionKind::Histogram;
-        match regions
-            .iter_mut()
-            .find(|(f, h, _)| *f == r.function.as_str() && *h == r.header)
-        {
+        match regions.iter_mut().find(|(f, h, _)| *f == r.function.as_str() && *h == r.header) {
             Some((_, _, hist)) => *hist = *hist || is_hist,
             None => regions.push((r.function.as_str(), r.header, is_hist)),
         }
@@ -112,8 +117,7 @@ pub fn measure_coverage(p: &ProgramDef, scale: usize) -> CoverageRow {
         let Some(func) = module.function(fname) else { continue };
         let analyses = Analyses::new(&module, func);
         let Some(lid) = analyses.loops.loop_with_header(header) else { continue };
-        let blocks: Vec<gr_ir::BlockId> =
-            analyses.loops.get(lid).blocks.iter().copied().collect();
+        let blocks: Vec<gr_ir::BlockId> = analyses.loops.get(lid).blocks.iter().copied().collect();
         resolved.push((fname, blocks, is_hist));
     }
     let nested = |i: usize| {
@@ -158,11 +162,7 @@ mod tests {
     fn all_sources_compile_and_verify() {
         for p in crate::all_programs() {
             let m = p.compile();
-            assert!(
-                gr_ir::verify::verify_module(&m).is_ok(),
-                "{} failed verification",
-                p.name
-            );
+            assert!(gr_ir::verify::verify_module(&m).is_ok(), "{} failed verification", p.name);
         }
     }
 
@@ -178,10 +178,7 @@ mod tests {
     #[test]
     fn coverage_is_sane_for_histogram_programs() {
         for name in ["EP", "IS", "histo", "tpacf"] {
-            let p = crate::all_programs()
-                .into_iter()
-                .find(|p| p.name == name)
-                .unwrap();
+            let p = crate::all_programs().into_iter().find(|p| p.name == name).unwrap();
             let row = measure_coverage(&p, 1);
             assert!(
                 row.histogram_coverage > 0.3,

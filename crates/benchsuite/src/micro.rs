@@ -1,0 +1,220 @@
+//! Idiom micro-workloads: small kernels exercising the registry idioms
+//! that the 40 paper miniatures do not isolate — prefix scans and
+//! argmin/argmax — so detection coverage and parallel speedup of the new
+//! exploitation templates are directly measurable.
+//!
+//! The programs live in their own [`Suite::Micro`] so the paper-calibrated
+//! totals over the 40 NAS/Parboil/Rodinia programs stay untouched.
+
+use crate::program::{Paper, ProgramDef, Suite};
+use crate::workload::dsl::{call, farr, iarr};
+use crate::workload::{Arg, Init, Workload};
+use gr_interp::memory::Memory;
+use gr_interp::Machine;
+use std::time::{Duration, Instant};
+
+/// The micro suite: one integer scan, one float scan, one argmin.
+#[must_use]
+pub fn programs() -> Vec<ProgramDef> {
+    vec![
+        ProgramDef {
+            name: "scan-offsets",
+            suite: Suite::Micro,
+            // CSR-style row offsets: the inclusive integer prefix sum over
+            // per-row element counts.
+            source: "void offsets(int* counts, int* offs, int n) {
+                         int c = 0;
+                         for (int i = 0; i < n; i++) { c += counts[i]; offs[i] = c; }
+                     }",
+            paper: Paper::default(),
+            workload: |scale| {
+                let n = 40_000 * scale;
+                Workload {
+                    arrays: vec![iarr(n, Init::RandI(0, 32)), iarr(n, Init::Zero)],
+                    calls: vec![call("offsets", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64)])],
+                }
+            },
+        },
+        ProgramDef {
+            name: "scan-running-sum",
+            suite: Suite::Micro,
+            // A float running sum with the total consumed after the loop.
+            source: "void cumsum(float* a, float* out, float* total, int n) {
+                         float s = 0.0;
+                         for (int i = 0; i < n; i++) { s += a[i]; out[i] = s; }
+                         total[0] = s;
+                     }",
+            paper: Paper::default(),
+            workload: |scale| {
+                let n = 40_000 * scale;
+                Workload {
+                    arrays: vec![
+                        farr(n, Init::RandF(-1.0, 1.0)),
+                        farr(n, Init::Zero),
+                        farr(1, Init::Zero),
+                    ],
+                    calls: vec![call(
+                        "cumsum",
+                        vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::I(n as i64)],
+                    )],
+                }
+            },
+        },
+        ProgramDef {
+            name: "argmin-nearest",
+            suite: Suite::Micro,
+            // Nearest-point search: the canonical conditional argmin.
+            source: "void nearest(float* pts, float x, float* bestd, int* besti, int n) {
+                         float best = 1.0e30;
+                         int bi = 0;
+                         for (int i = 0; i < n; i++) {
+                             float d = fabs(pts[i] - x);
+                             if (d < best) { best = d; bi = i; }
+                         }
+                         bestd[0] = best;
+                         besti[0] = bi;
+                     }",
+            paper: Paper::default(),
+            workload: |scale| {
+                let n = 60_000 * scale;
+                Workload {
+                    arrays: vec![
+                        farr(n, Init::RandF(-100.0, 100.0)),
+                        farr(1, Init::Zero),
+                        iarr(1, Init::Zero),
+                    ],
+                    calls: vec![call(
+                        "nearest",
+                        vec![Arg::A(0), Arg::F(1.25), Arg::A(1), Arg::A(2), Arg::I(n as i64)],
+                    )],
+                }
+            },
+        },
+    ]
+}
+
+/// The kernel function each micro program parallelizes.
+#[must_use]
+pub fn kernel_of(name: &str) -> &'static str {
+    match name {
+        "scan-offsets" => "offsets",
+        "scan-running-sum" => "cumsum",
+        "argmin-nearest" => "nearest",
+        other => panic!("unknown micro program `{other}`"),
+    }
+}
+
+/// One micro speedup measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct MicroSpeedup {
+    /// Sequential wall time.
+    pub seq: Duration,
+    /// Parallel wall time.
+    pub par: Duration,
+    /// `seq / par`.
+    pub speedup: f64,
+}
+
+/// Runs a micro program's workload sequentially and through the parallel
+/// runtime, asserts the memories agree (bit-equal integers, tolerance
+/// floats), and returns the timings.
+///
+/// # Panics
+/// Panics when the program traps, fails to outline, or parallel results
+/// deviate from sequential ones — a detection or exploitation bug.
+#[must_use]
+pub fn micro_speedup(p: &ProgramDef, threads: usize, scale: usize) -> MicroSpeedup {
+    let module = p.compile();
+    let workload = (p.workload)(scale);
+
+    // Sequential reference.
+    let mut mem = Memory::new(&module);
+    let objs = workload.materialize(&mut mem);
+    let mut seq = Machine::new(&module, mem);
+    let t0 = Instant::now();
+    for c in &workload.calls {
+        let args = workload.resolve_args(c, &objs);
+        seq.call(c.func, &args).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+    }
+    let seq_time = t0.elapsed();
+
+    // Parallel.
+    let rs = gr_core::detect_reductions(&module);
+    let kernel = kernel_of(p.name);
+    let (pm, plan) = gr_parallel::parallelize(&module, kernel, &rs)
+        .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+    let mut mem = Memory::new(&pm);
+    let pobjs = workload.materialize(&mut mem);
+    let mut par = Machine::new(&pm, mem);
+    par.set_handler(gr_parallel::runtime::handler(&pm, plan, threads));
+    let t0 = Instant::now();
+    for c in &workload.calls {
+        let args = workload.resolve_args(c, &pobjs);
+        par.call(c.func, &args).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+    }
+    let par_time = t0.elapsed();
+
+    // Results must agree array-by-array.
+    for (&so, &po) in objs.iter().zip(&pobjs) {
+        match (seq.mem.object(so), par.mem.object(po)) {
+            (gr_interp::memory::Obj::I(a), gr_interp::memory::Obj::I(b)) => {
+                assert_eq!(a, b, "{}: integer results deviate", p.name);
+            }
+            (gr_interp::memory::Obj::F(a), gr_interp::memory::Obj::F(b)) => {
+                for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                    assert!(
+                        (x - y).abs() <= 1e-6 * x.abs().max(1.0),
+                        "{}: float results deviate at {i}: {x} vs {y}",
+                        p.name
+                    );
+                }
+            }
+            _ => panic!("{}: object type mismatch", p.name),
+        }
+    }
+
+    MicroSpeedup {
+        seq: seq_time,
+        par: par_time,
+        speedup: seq_time.as_secs_f64() / par_time.as_secs_f64().max(1e-12),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gr_core::ReductionKind;
+
+    #[test]
+    fn micro_sources_compile_and_workloads_run() {
+        for p in programs() {
+            let m = p.compile();
+            assert!(gr_ir::verify::verify_module(&m).is_ok(), "{}", p.name);
+            let w = (p.workload)(1);
+            let _machine = w.run(&m); // panics on any trap
+        }
+    }
+
+    #[test]
+    fn registry_reports_scan_and_argmin_on_micro_workloads() {
+        let kinds: Vec<(String, Vec<ReductionKind>)> = programs()
+            .iter()
+            .map(|p| {
+                let rs = gr_core::detect_reductions(&p.compile());
+                (p.name.to_string(), rs.iter().map(|r| r.kind).collect())
+            })
+            .collect();
+        assert_eq!(kinds[0].1, vec![ReductionKind::Scan], "{kinds:?}");
+        assert_eq!(kinds[1].1, vec![ReductionKind::Scan], "{kinds:?}");
+        assert_eq!(kinds[2].1, vec![ReductionKind::ArgMin], "{kinds:?}");
+    }
+
+    #[test]
+    fn micro_parallel_execution_matches_serial_on_4_threads() {
+        // The acceptance bar: bit-equal integers, tolerance-checked floats
+        // (asserted inside `micro_speedup`).
+        for p in programs() {
+            let _ = micro_speedup(&p, 4, 1);
+        }
+    }
+}

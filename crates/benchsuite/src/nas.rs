@@ -192,7 +192,10 @@ void cg_copy(float* x, float* z, int n) {
             let nnz_per_row = 8usize;
             let nnz = n * nnz_per_row;
             let mut calls = vec![
-                call("cg_spmv", vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::A(3), Arg::A(4), Arg::I(n as i64)]),
+                call(
+                    "cg_spmv",
+                    vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::A(3), Arg::A(4), Arg::I(n as i64)],
+                ),
                 call("cg_rho", vec![Arg::A(3), Arg::A(5)]),
                 call("cg_dpq", vec![Arg::A(3), Arg::A(4), Arg::A(5)]),
                 call("cg_rnorm", vec![Arg::A(3), Arg::A(4), Arg::A(5)]),
@@ -201,12 +204,12 @@ void cg_copy(float* x, float* z, int n) {
             calls.push(call("cg_copy", vec![Arg::A(3), Arg::A(4), Arg::I(n as i64)]));
             Workload {
                 arrays: vec![
-                    farr(nnz, Init::RandF(-1.0, 1.0)),           // a
-                    iarr(nnz, Init::RandI(0, n as i64)),         // col
-                    iarr(n + 1, Init::ModI(0)),                  // rowstr (fixed below)
-                    farr(n, Init::RandF(-1.0, 1.0)),             // p / r / x
-                    farr(n, Init::Zero),                         // q / z
-                    iarr(4, Init::ConstI(n as i64 / 3)),         // meta
+                    farr(nnz, Init::RandF(-1.0, 1.0)),   // a
+                    iarr(nnz, Init::RandI(0, n as i64)), // col
+                    iarr(n + 1, Init::ModI(0)),          // rowstr (fixed below)
+                    farr(n, Init::RandF(-1.0, 1.0)),     // p / r / x
+                    farr(n, Init::Zero),                 // q / z
+                    iarr(4, Init::ConstI(n as i64 / 3)), // meta
                 ],
                 calls,
             }
@@ -251,10 +254,10 @@ float dc_weighted_total(float* measures, int* meta) {
             let n = 30_000 * scale;
             Workload {
                 arrays: vec![
-                    iarr(64, Init::Zero),                  // viewcount
-                    iarr(2 * n, Init::RandI(0, 64)),       // keys
-                    farr(2 * n, Init::RandF(0.0, 1.0)),    // measures
-                    iarr(4, Init::ConstI(n as i64 / 3)),   // meta
+                    iarr(64, Init::Zero),                // viewcount
+                    iarr(2 * n, Init::RandI(0, 64)),     // keys
+                    farr(2 * n, Init::RandF(0.0, 1.0)),  // measures
+                    iarr(4, Init::ConstI(n as i64 / 3)), // meta
                 ],
                 calls: vec![
                     call("dc_view_count", vec![Arg::A(0), Arg::A(1), Arg::I(2 * n as i64)]),
@@ -362,10 +365,10 @@ float ft_sumsq(float* ur, float* ui, int* meta) {
             let n = 16_000 * scale;
             Workload {
                 arrays: vec![
-                    farr(n, Init::RandF(-1.0, 1.0)), // ur / u0
-                    farr(n, Init::RandF(-1.0, 1.0)), // ui / twiddle
-                    farr(n, Init::Zero),             // u1
-                    farr(4, Init::Zero),             // out
+                    farr(n, Init::RandF(-1.0, 1.0)),     // ur / u0
+                    farr(n, Init::RandF(-1.0, 1.0)),     // ui / twiddle
+                    farr(n, Init::Zero),                 // u1
+                    farr(4, Init::Zero),                 // out
                     iarr(4, Init::ConstI(n as i64 / 2)), // meta
                 ],
                 calls: vec![
@@ -683,7 +686,10 @@ float sp_max_err(float* u, float* exact, int* meta) {
                     call("sp_y_solve", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64 - 2)]),
                     call("sp_z_solve", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64 - 2)]),
                     call("sp_add", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64)]),
-                    call("sp_rhs_norm", vec![Arg::A(1), Arg::A(2), Arg::I(6), Arg::I(6), Arg::I(6)]),
+                    call(
+                        "sp_rhs_norm",
+                        vec![Arg::A(1), Arg::A(2), Arg::I(6), Arg::I(6), Arg::I(6)],
+                    ),
                     call("sp_max_err", vec![Arg::A(0), Arg::A(3), Arg::A(4)]),
                 ],
             }

@@ -134,10 +134,10 @@ float cutcp_energy(float* atoms, int* meta) {
             let n = 20_000 * scale;
             Workload {
                 arrays: vec![
-                    farr(4 * n, Init::RandF(-8.0, 8.0)),     // atoms
-                    farr(8, Init::Zero),                     // out
-                    iarr(4, Init::ConstI(n as i64 / 4)),     // meta
-                    farr(4 * n, Init::Zero),                 // lattice
+                    farr(4 * n, Init::RandF(-8.0, 8.0)), // atoms
+                    farr(8, Init::Zero),                 // out
+                    iarr(4, Init::ConstI(n as i64 / 4)), // meta
+                    farr(4 * n, Init::Zero),             // lattice
                 ],
                 calls: vec![
                     call("cutcp_lattice", vec![Arg::A(3), Arg::A(0), Arg::A(2), Arg::I(16)]),
@@ -170,8 +170,8 @@ void histo_kernel(int* histo, int* img, int n) {
             let n = 80_000 * scale;
             Workload {
                 arrays: vec![
-                    iarr(1024, Init::Zero),            // histo
-                    iarr(n, Init::RandI(0, 1024)),     // img
+                    iarr(1024, Init::Zero),        // histo
+                    iarr(n, Init::RandI(0, 1024)), // img
                 ],
                 calls: vec![call("histo_kernel", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64)])],
             }
@@ -239,8 +239,8 @@ void gridding(float* grid, float* samples, int* bins, int nsamples) {
             let g = 4_096;
             Workload {
                 arrays: vec![
-                    farr(g + 8, Init::Zero),                 // grid
-                    farr(g + 8, Init::RandF(0.0, 1.0)),      // samples
+                    farr(g + 8, Init::Zero),                  // grid
+                    farr(g + 8, Init::RandF(0.0, 1.0)),       // samples
                     iarr(n, Init::RandI(0, (g - 64) as i64)), // bins
                 ],
                 calls: vec![call(
@@ -412,10 +412,20 @@ void spmv_kernel(float* val, int* col, int* rowptr, float* x, float* y, int nrow
                     farr(n, Init::Zero),                       // y
                 ],
                 calls: vec![
-                    call("spmv_sentinels", vec![Arg::A(1), Arg::I(n as i64), Arg::I(row_len as i64)]),
+                    call(
+                        "spmv_sentinels",
+                        vec![Arg::A(1), Arg::I(n as i64), Arg::I(row_len as i64)],
+                    ),
                     call(
                         "spmv_kernel",
-                        vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::A(3), Arg::A(4), Arg::I(n as i64)],
+                        vec![
+                            Arg::A(0),
+                            Arg::A(1),
+                            Arg::A(2),
+                            Arg::A(3),
+                            Arg::A(4),
+                            Arg::I(n as i64),
+                        ],
                     ),
                 ],
             }
@@ -481,9 +491,9 @@ void tpacf_kernel(int* bins, float* binb, float* dots, int n, int nbins) {
             let nbins = 64;
             Workload {
                 arrays: vec![
-                    iarr(nbins + 1, Init::Zero),        // bins
-                    farr(nbins + 1, Init::SortedUnit),  // binb
-                    farr(n, Init::RandF(0.0, 1.0)),     // dots
+                    iarr(nbins + 1, Init::Zero),       // bins
+                    farr(nbins + 1, Init::SortedUnit), // binb
+                    farr(n, Init::RandF(0.0, 1.0)),    // dots
                 ],
                 calls: vec![call(
                     "tpacf_kernel",

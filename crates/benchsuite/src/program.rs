@@ -3,7 +3,8 @@
 use crate::workload::Workload;
 use std::fmt;
 
-/// The three benchmark suites of the paper's evaluation.
+/// The three benchmark suites of the paper's evaluation, plus this
+/// repository's idiom micro-suite.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
     /// NAS Parallel Benchmarks (SNU NPB C version), 10 programs.
@@ -12,6 +13,8 @@ pub enum Suite {
     Parboil,
     /// Rodinia, 19 programs.
     Rodinia,
+    /// Idiom micro-workloads (scan, argmin) — not part of the paper's 40.
+    Micro,
 }
 
 impl fmt::Display for Suite {
@@ -20,6 +23,7 @@ impl fmt::Display for Suite {
             Suite::Nas => "NAS",
             Suite::Parboil => "Parboil",
             Suite::Rodinia => "Rodinia",
+            Suite::Micro => "Micro",
         })
     }
 }

@@ -243,8 +243,14 @@ float cfd_flux_norm(float* v, int* meta, int stride) {
                     farr(stride * n + 8, Init::Zero),
                 ],
                 calls: vec![
-                    call("cfd_update", vec![Arg::A(0), Arg::A(2), Arg::A(1), Arg::I(3 * stride as i64)]),
-                    call("cfd_update", vec![Arg::A(0), Arg::A(2), Arg::A(1), Arg::I(3 * stride as i64)]),
+                    call(
+                        "cfd_update",
+                        vec![Arg::A(0), Arg::A(2), Arg::A(1), Arg::I(3 * stride as i64)],
+                    ),
+                    call(
+                        "cfd_update",
+                        vec![Arg::A(0), Arg::A(2), Arg::A(1), Arg::I(3 * stride as i64)],
+                    ),
                     call("cfd_density_sum", vec![Arg::A(0), Arg::A(1), Arg::I(stride as i64)]),
                     call("cfd_min_dt", vec![Arg::A(0), Arg::A(1), Arg::I(stride as i64)]),
                     call("cfd_flux_norm", vec![Arg::A(0), Arg::A(1), Arg::I(stride as i64)]),
@@ -298,10 +304,22 @@ void hw_extrema(float* frame, float* out, int* meta, int stride) {
                     farr(stride * n + 8, Init::Zero),
                 ],
                 calls: vec![
-                    call("hw_smooth", vec![Arg::A(0), Arg::A(4), Arg::A(3), Arg::I(3 * stride as i64)]),
-                    call("hw_smooth", vec![Arg::A(0), Arg::A(4), Arg::A(3), Arg::I(3 * stride as i64)]),
-                    call("hw_correlation", vec![Arg::A(0), Arg::A(1), Arg::A(3), Arg::I(stride as i64)]),
-                    call("hw_extrema", vec![Arg::A(0), Arg::A(2), Arg::A(3), Arg::I(stride as i64)]),
+                    call(
+                        "hw_smooth",
+                        vec![Arg::A(0), Arg::A(4), Arg::A(3), Arg::I(3 * stride as i64)],
+                    ),
+                    call(
+                        "hw_smooth",
+                        vec![Arg::A(0), Arg::A(4), Arg::A(3), Arg::I(3 * stride as i64)],
+                    ),
+                    call(
+                        "hw_correlation",
+                        vec![Arg::A(0), Arg::A(1), Arg::A(3), Arg::I(stride as i64)],
+                    ),
+                    call(
+                        "hw_extrema",
+                        vec![Arg::A(0), Arg::A(2), Arg::A(3), Arg::I(stride as i64)],
+                    ),
                 ],
             }
         },
@@ -447,13 +465,13 @@ float km_rmse(float* pts, float* centers, int* member, int* meta, int d) {
             let d = 4;
             Workload {
                 arrays: vec![
-                    farr(n * d, Init::RandF(0.0, 1.0)),   // pts
-                    farr(k * d, Init::RandF(0.0, 1.0)),   // centers
-                    iarr(k, Init::Zero),                  // counts
-                    iarr(n, Init::Zero),                  // member_old
-                    farr(2, Init::Zero),                  // out
-                    iarr(4, Init::ConstI(n as i64 / 4)),  // meta
-                    iarr(n, Init::Zero),                  // member_new
+                    farr(n * d, Init::RandF(0.0, 1.0)),  // pts
+                    farr(k * d, Init::RandF(0.0, 1.0)),  // centers
+                    iarr(k, Init::Zero),                 // counts
+                    iarr(n, Init::Zero),                 // member_old
+                    farr(2, Init::Zero),                 // out
+                    iarr(4, Init::ConstI(n as i64 / 4)), // meta
+                    iarr(n, Init::Zero),                 // member_new
                 ],
                 calls: vec![
                     call(
@@ -525,8 +543,14 @@ float lava_virial(float* rv, int* meta, int stride) {
                     farr(stride * n + 8, Init::Zero),
                 ],
                 calls: vec![
-                    call("lava_advance", vec![Arg::A(0), Arg::A(2), Arg::A(1), Arg::I(3 * stride as i64)]),
-                    call("lava_advance", vec![Arg::A(0), Arg::A(2), Arg::A(1), Arg::I(3 * stride as i64)]),
+                    call(
+                        "lava_advance",
+                        vec![Arg::A(0), Arg::A(2), Arg::A(1), Arg::I(3 * stride as i64)],
+                    ),
+                    call(
+                        "lava_advance",
+                        vec![Arg::A(0), Arg::A(2), Arg::A(1), Arg::I(3 * stride as i64)],
+                    ),
                     call("lava_potential", vec![Arg::A(0), Arg::A(1), Arg::I(stride as i64)]),
                     call("lava_virial", vec![Arg::A(0), Arg::A(1), Arg::I(stride as i64)]),
                 ],
@@ -680,7 +704,13 @@ int mummer_total_matches(int* ref, int* queries, int* starts, int nq, int reflen
                     call("mummer_pack", vec![Arg::A(1), Arg::A(3), Arg::A(4), Arg::I(16)]),
                     call(
                         "mummer_total_matches",
-                        vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::I(nq as i64 / 2), Arg::I(reflen as i64)],
+                        vec![
+                            Arg::A(0),
+                            Arg::A(1),
+                            Arg::A(2),
+                            Arg::I(nq as i64 / 2),
+                            Arg::I(reflen as i64),
+                        ],
                     ),
                 ],
             }
@@ -726,8 +756,14 @@ float myo_current_sum(float* y, int* meta, int stride) {
                     farr(stride * n + 8, Init::Zero),
                 ],
                 calls: vec![
-                    call("myo_advance", vec![Arg::A(0), Arg::A(2), Arg::A(1), Arg::I(3 * stride as i64)]),
-                    call("myo_advance", vec![Arg::A(0), Arg::A(2), Arg::A(1), Arg::I(3 * stride as i64)]),
+                    call(
+                        "myo_advance",
+                        vec![Arg::A(0), Arg::A(2), Arg::A(1), Arg::I(3 * stride as i64)],
+                    ),
+                    call(
+                        "myo_advance",
+                        vec![Arg::A(0), Arg::A(2), Arg::A(1), Arg::I(3 * stride as i64)],
+                    ),
                     call("myo_gate_sum", vec![Arg::A(0), Arg::A(1), Arg::I(stride as i64)]),
                     call("myo_current_sum", vec![Arg::A(0), Arg::A(1), Arg::I(stride as i64)]),
                 ],
@@ -774,7 +810,13 @@ float nn_nearest(float* lat, float* lng, int n, float tlat, float tlng) {
                     call("nn_project", vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::A(3), Arg::I(2)]),
                     call(
                         "nn_nearest",
-                        vec![Arg::A(0), Arg::A(1), Arg::I(n as i64 / 2), Arg::F(12.5), Arg::F(-42.0)],
+                        vec![
+                            Arg::A(0),
+                            Arg::A(1),
+                            Arg::I(n as i64 / 2),
+                            Arg::F(12.5),
+                            Arg::F(-42.0),
+                        ],
                     ),
                 ],
             }
@@ -803,10 +845,7 @@ void nw_scale(float* score, int n) {
         workload: |scale| {
             let n = (48 * scale).min(64);
             Workload {
-                arrays: vec![
-                    farr(64 * 64, Init::Zero),
-                    farr(64 * 64, Init::RandF(-2.0, 2.0)),
-                ],
+                arrays: vec![farr(64 * 64, Init::Zero), farr(64 * 64, Init::RandF(-2.0, 2.0))],
                 calls: vec![
                     call("nw_fill_upper", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64)]),
                     call("nw_scale", vec![Arg::A(0), Arg::I((64 * 64) as i64)]),
@@ -900,23 +939,26 @@ void pf_diagnostics(float* w, float* out, int* meta) {
             let n = 10_000 * scale;
             Workload {
                 arrays: vec![
-                    farr(2 * n, Init::RandF(0.0, 1.0)), // obs
-                    farr(n, Init::Zero),                // lik
-                    farr(n, Init::ConstF(1.0)),         // w
-                    farr(n, Init::RandF(-5.0, 5.0)),    // x
-                    farr(n, Init::RandF(-5.0, 5.0)),    // y
-                    farr(16, Init::Zero),               // out
+                    farr(2 * n, Init::RandF(0.0, 1.0)),  // obs
+                    farr(n, Init::Zero),                 // lik
+                    farr(n, Init::ConstF(1.0)),          // w
+                    farr(n, Init::RandF(-5.0, 5.0)),     // x
+                    farr(n, Init::RandF(-5.0, 5.0)),     // y
+                    farr(16, Init::Zero),                // out
                     iarr(4, Init::ConstI(n as i64 / 4)), // meta
-                    farr(n, Init::Zero),                // spare
-                    farr(n, Init::Zero),                // spare2
-                    farr(n, Init::Zero),                // wnew
+                    farr(n, Init::Zero),                 // spare
+                    farr(n, Init::Zero),                 // spare2
+                    farr(n, Init::Zero),                 // wnew
                 ],
                 calls: vec![
                     call("pf_motion", vec![Arg::A(3), Arg::A(4), Arg::A(6), Arg::I(4)]),
                     call("pf_motion", vec![Arg::A(3), Arg::A(4), Arg::A(6), Arg::I(4)]),
                     call("pf_likelihood", vec![Arg::A(0), Arg::A(1), Arg::A(5), Arg::A(6)]),
                     call("pf_weights", vec![Arg::A(2), Arg::A(9), Arg::A(1), Arg::A(5), Arg::A(6)]),
-                    call("pf_estimate", vec![Arg::A(3), Arg::A(4), Arg::A(2), Arg::A(5), Arg::A(6)]),
+                    call(
+                        "pf_estimate",
+                        vec![Arg::A(3), Arg::A(4), Arg::A(2), Arg::A(5), Arg::A(6)],
+                    ),
                     call("pf_normalize", vec![Arg::A(2), Arg::A(5), Arg::A(6)]),
                     call("pf_extrema", vec![Arg::A(2), Arg::A(5), Arg::A(6)]),
                     call("pf_diagnostics", vec![Arg::A(2), Arg::A(5), Arg::A(6)]),
@@ -1075,7 +1117,10 @@ float sc_closest(float* dist, int* meta) {
                 calls: vec![
                     call("sc_shift", vec![Arg::A(0), Arg::A(4), Arg::A(3), Arg::I(4 * d as i64)]),
                     call("sc_shift", vec![Arg::A(0), Arg::A(4), Arg::A(3), Arg::I(4 * d as i64)]),
-                    call("sc_cost", vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::A(3), Arg::I(d as i64)]),
+                    call(
+                        "sc_cost",
+                        vec![Arg::A(0), Arg::A(1), Arg::A(2), Arg::A(3), Arg::I(d as i64)],
+                    ),
                     call("sc_total_weight", vec![Arg::A(2), Arg::A(3)]),
                     call("sc_closest", vec![Arg::A(0), Arg::A(3)]),
                 ],

@@ -18,10 +18,10 @@ use gr_core::detect_reductions;
 use gr_interp::machine::Machine;
 use gr_interp::memory::{Memory, ObjId};
 use gr_interp::RtVal;
+use gr_ir::Module;
 use gr_parallel::overlay::OverlayMemory;
 use gr_parallel::runtime::{bisect, handler};
-use gr_ir::Module;
-use parking_lot::Mutex;
+use gr_parallel::sync::Mutex;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -221,10 +221,9 @@ fn ep(threads: usize, scale: usize) -> SpeedupRow {
     // Original: parallel chunk-seeded fill + the same reduction kernel.
     let original = {
         let rs = detect_reductions(&module);
-        let kernel_rs: Vec<_> =
-            rs.iter().filter(|r| r.function == "ep_kernel").cloned().collect();
-        let (pm, plan) = gr_parallel::parallelize(&module, "ep_kernel", &kernel_rs)
-            .expect("ep kernel outlines");
+        let kernel_rs: Vec<_> = rs.iter().filter(|r| r.function == "ep_kernel").cloned().collect();
+        let (pm, plan) =
+            gr_parallel::parallelize(&module, "ep_kernel", &kernel_rs).expect("ep kernel outlines");
         let t0 = Instant::now();
         let mut mem = Memory::new(&pm);
         let objs = w.materialize(&mut mem);
@@ -243,7 +242,12 @@ fn ep(threads: usize, scale: usize) -> SpeedupRow {
         machine
             .call(
                 "ep_kernel",
-                &[RtVal::ptr(objs[0]), RtVal::ptr(objs[1]), RtVal::ptr(objs[2]), RtVal::I(nk as i64)],
+                &[
+                    RtVal::ptr(objs[0]),
+                    RtVal::ptr(objs[1]),
+                    RtVal::ptr(objs[2]),
+                    RtVal::I(nk as i64),
+                ],
             )
             .expect("ep original run");
         t0.elapsed()
@@ -586,7 +590,8 @@ mod tests {
         let keys = mem.alloc_int(&vec![0; n as usize]);
         let buff = mem.alloc_int(&vec![0; maxkey as usize]);
         let mut seq = Machine::new(&module, mem);
-        seq.call("is_create_seq", &[RtVal::ptr(keys), RtVal::I(n), RtVal::I(maxkey)]).unwrap();
+        seq.call("is_create_seq", &[RtVal::ptr(keys), RtVal::I(n), RtVal::I(maxkey)])
+            .unwrap();
         seq.call("is_rank", &[RtVal::ptr(buff), RtVal::ptr(keys), RtVal::I(n)]).unwrap();
         let expect = seq.mem.ints(buff).to_vec();
         // Parallel.
@@ -598,7 +603,8 @@ mod tests {
         let buff = mem.alloc_int(&vec![0; maxkey as usize]);
         let mut par = Machine::new(&pm, mem);
         par.set_handler(handler(&pm, plan, 8));
-        par.call("is_create_seq", &[RtVal::ptr(keys), RtVal::I(n), RtVal::I(maxkey)]).unwrap();
+        par.call("is_create_seq", &[RtVal::ptr(keys), RtVal::I(n), RtVal::I(maxkey)])
+            .unwrap();
         par.call("is_rank", &[RtVal::ptr(buff), RtVal::ptr(keys), RtVal::I(n)]).unwrap();
         assert_eq!(par.mem.ints(buff), expect.as_slice());
     }

@@ -1,10 +1,9 @@
 //! Declarative workloads: input arrays and kernel call sequences.
 
+use crate::rng::StdRng;
 use gr_interp::memory::{Memory, ObjId};
 use gr_interp::RtVal;
 use gr_ir::Module;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Element type of a workload array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -17,9 +17,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
-        eprintln!(
-            "usage: greduce <detect|compare|ir|run|par|suite|help> [file.c] [args...]"
-        );
+        eprintln!("usage: greduce <detect|compare|ir|run|par|suite|help> [file.c] [args...]");
         ExitCode::FAILURE
     };
     let Some(cmd) = args.first().map(String::as_str) else { return usage() };
@@ -39,14 +37,15 @@ fn main() -> ExitCode {
                 gr_benchsuite::Suite::Nas,
                 gr_benchsuite::Suite::Parboil,
                 gr_benchsuite::Suite::Rodinia,
+                gr_benchsuite::Suite::Micro,
             ] {
                 println!("== {suite} ==");
                 for p in gr_benchsuite::suite_programs(suite) {
                     let row = gr_benchsuite::measure::measure_detection(&p);
                     println!(
-                        "{:<16} scalar={:<2} histogram={:<2} icc={:<2} polly-red={:<2} scops={}",
-                        row.name, row.scalar, row.histogram, row.icc, row.polly_reductions,
-                        row.scops
+                        "{:<16} scalar={:<2} histogram={:<2} scan={:<2} arg={:<2} icc={:<2} polly-red={:<2} scops={}",
+                        row.name, row.scalar, row.histogram, row.scan, row.arg, row.icc,
+                        row.polly_reductions, row.scops
                     );
                 }
             }
@@ -87,9 +86,13 @@ fn main() -> ExitCode {
                     let rs = detect_reductions(&module);
                     let scalar = rs.iter().filter(|r| r.kind.is_scalar()).count();
                     let histo = rs.iter().filter(|r| r.kind.is_histogram()).count();
+                    let scan = rs.iter().filter(|r| r.kind.is_scan()).count();
+                    let arg = rs.iter().filter(|r| r.kind.is_arg()).count();
                     let icc = icc_detect(&module);
                     let polly = polly_detect(&module);
-                    println!("constraint system : {scalar} scalar + {histo} histogram");
+                    println!(
+                        "constraint system : {scalar} scalar + {histo} histogram + {scan} scan + {arg} argmin/argmax"
+                    );
                     println!("icc model         : {} reductions", icc.len());
                     println!(
                         "Polly model       : {} reduction SCoPs of {} SCoPs",
@@ -128,9 +131,11 @@ fn main() -> ExitCode {
                                 func, plan.chunk_fn, plan.intrinsic
                             );
                             println!(
-                                "  {} scalar accumulator(s), {} histogram(s), {} other written object(s)",
+                                "  {} scalar accumulator(s), {} histogram(s), {} scan(s), {} argmin/argmax pair(s), {} other written object(s)",
                                 plan.accs.len(),
                                 plan.hists.len(),
+                                plan.scans.len(),
+                                plan.args.len(),
                                 plan.written.len()
                             );
                             print!(

@@ -1,7 +1,7 @@
+use gr_analysis::Analyses;
 use gr_core::atoms::MatchCtx;
 use gr_core::solver::{solve, SolveOptions};
 use gr_core::spec::scalar_reduction_spec;
-use gr_analysis::Analyses;
 
 const SRC: &str = "void km_assign(float* pts, float* centers, int* counts, int* member, float* out, int n, int k, int d) {
     int delta = 0;
@@ -35,5 +35,7 @@ fn main() {
         println!("  header={} acc={}", s[labels.for_loop.header.index()], s[labels.acc.index()]);
     }
     let rs = gr_core::detect_reductions(&m);
-    for r in &rs { println!("detected: {r} anchor={}", r.anchor); }
+    for r in &rs {
+        println!("detected: {r} anchor={}", r.anchor);
+    }
 }

@@ -10,7 +10,9 @@
 //!   cannot generate return `None` and act as filters only.
 
 use crate::constraint::Label;
-use gr_analysis::dataflow::{computed_only_from, forward_closure_in_loop, root_object, DominanceQuery};
+use gr_analysis::dataflow::{
+    computed_only_from, forward_closure_in_loop, root_object, DominanceQuery,
+};
 use gr_analysis::invariant::Invariance;
 use gr_analysis::loops::LoopId;
 use gr_analysis::Analyses;
@@ -428,8 +430,7 @@ impl Atom {
             Atom::TypeInt(l) => ctx.func.value(get(*l)).ty == gr_ir::Type::Int,
             Atom::PhiArity { phi, n } => {
                 let data = ctx.func.value(get(*phi));
-                data.kind.opcode() == Some(&Opcode::Phi)
-                    && data.kind.operands().len() == 2 * n
+                data.kind.opcode() == Some(&Opcode::Phi) && data.kind.operands().len() == 2 * n
             }
             Atom::OperandOf { inst, value } => {
                 ctx.func.value(get(*inst)).kind.operands().contains(&get(*value))
@@ -454,8 +455,7 @@ impl Atom {
                 ctx.inst_blocks.get(&get(*inst)) == Some(&b)
             }
             Atom::CfgEdge { from, to } => {
-                let (Some(f), Some(t)) = (ctx.as_block(get(*from)), ctx.as_block(get(*to)))
-                else {
+                let (Some(f), Some(t)) = (ctx.as_block(get(*from)), ctx.as_block(get(*to))) else {
                     return false;
                 };
                 ctx.analyses.cfg.succs[f.index()].contains(&t)
@@ -478,12 +478,12 @@ impl Atom {
                 };
                 no_path_avoiding(ctx.func, &ctx.analyses.cfg, f, t, x)
             }
-            Atom::InLoopBlock { block, header } => ctx
-                .as_block(get(*block))
-                .is_some_and(|b| ctx.block_in_loop(b, get(*header))),
-            Atom::NotInLoopBlock { block, header } => ctx
-                .as_block(get(*block))
-                .is_some_and(|b| !ctx.block_in_loop(b, get(*header))),
+            Atom::InLoopBlock { block, header } => {
+                ctx.as_block(get(*block)).is_some_and(|b| ctx.block_in_loop(b, get(*header)))
+            }
+            Atom::NotInLoopBlock { block, header } => {
+                ctx.as_block(get(*block)).is_some_and(|b| !ctx.block_in_loop(b, get(*header)))
+            }
             Atom::InLoopInst { inst, header } => ctx
                 .inst_blocks
                 .get(&get(*inst))
@@ -578,7 +578,11 @@ impl Atom {
                                 }
                             }
                             // Escape check: phis merging values out of the
-                            // controlled region must be closure members.
+                            // controlled region must be closure members, or
+                            // explicitly sanctioned terminals (the
+                            // argmin/argmax index phi is selected by the
+                            // value comparison by design; the idiom's own
+                            // post-check guarantees the exchange is legal).
                             for &b in &l.blocks {
                                 for &inst in &ctx.func.block(b).insts {
                                     if ctx.func.value(inst).kind.opcode() != Some(&Opcode::Phi) {
@@ -589,7 +593,10 @@ impl Atom {
                                         .phi_incoming(inst)
                                         .iter()
                                         .any(|(_, from)| controlled.contains(from));
-                                    if selected_by_branch && !in_closure(inst) {
+                                    if selected_by_branch
+                                        && !in_closure(inst)
+                                        && !terminal_vals.contains(&inst)
+                                    {
                                         return false;
                                     }
                                 }
@@ -682,8 +689,7 @@ impl Atom {
                             .iter()
                             .copied()
                             .filter(|&u| {
-                                ctx.func.value(u).kind.operands().get(*index)
-                                    == Some(&get(*value))
+                                ctx.func.value(u).kind.operands().get(*index) == Some(&get(*value))
                             })
                             .collect(),
                     )
@@ -922,35 +928,20 @@ mod tests {
             let lid = ctx.loop_of_header(header_label).unwrap();
             let l = ctx.analyses.loops.get(lid);
             let latch = l.latches[0];
-            let body = ctx
-                .analyses
-                .cfg
-                .succs[l.header.index()]
+            let body = ctx.analyses.cfg.succs[l.header.index()]
                 .iter()
                 .copied()
                 .find(|b| l.contains(*b))
                 .unwrap();
             let atom = Atom::NoPathAvoiding { from: Label(0), to: Label(1), avoiding: Label(2) };
-            let asg = [
-                ctx.func.block(latch).label,
-                ctx.func.block(body).label,
-                header_label,
-            ];
+            let asg = [ctx.func.block(latch).label, ctx.func.block(body).label, header_label];
             assert!(atom.check(ctx, &asg));
             // But body reaches the latch directly, without the header.
-            let asg2 = [
-                ctx.func.block(body).label,
-                ctx.func.block(latch).label,
-                header_label,
-            ];
+            let asg2 = [ctx.func.block(body).label, ctx.func.block(latch).label, header_label];
             assert!(!atom.check(ctx, &asg2));
             // Negative case: header reaches the body directly, so the latch
             // is not a mandatory waypoint on header->body paths.
-            let asg3 = [
-                header_label,
-                ctx.func.block(body).label,
-                ctx.func.block(latch).label,
-            ];
+            let asg3 = [header_label, ctx.func.block(body).label, ctx.func.block(latch).label];
             assert!(!atom.check(ctx, &asg3));
         });
     }

@@ -179,10 +179,7 @@ mod tests {
         let a = b.label("a");
         let c = b.label("c");
         b.atom(Atom::NotEqual { a, b: c });
-        b.any(vec![
-            Constraint::Atom(Atom::IsBlock(a)),
-            Constraint::Atom(Atom::IsBlock(c)),
-        ]);
+        b.any(vec![Constraint::Atom(Atom::IsBlock(a)), Constraint::Atom(Atom::IsBlock(c))]);
         let s = b.finish();
         assert_eq!(s.root.max_label(), Some(1));
         assert_eq!(s.root.atoms().len(), 3);

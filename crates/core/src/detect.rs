@@ -1,121 +1,135 @@
-//! The detection driver: runs the idiom specifications over a module,
-//! applies the associativity post-check, filters degenerate matches and
-//! deduplicates nested solutions into one report per source-level
-//! reduction.
+//! The detection driver: a generic loop over the idiom registry.
+//!
+//! The driver knows nothing about individual idioms. For every function it
+//! builds a [`MatchCtx`] and hands it to the registry, which solves each
+//! registered specification, deduplicates solutions, applies the idiom's
+//! post-check hook and report classifier, and runs its finalize pass (see
+//! [`crate::spec::registry`]). [`detect_reductions`] uses the default
+//! registry (scalar, histogram, scan, argmin/argmax); [`detect_with`]
+//! accepts any registry, which is how downstream users plug in new idioms
+//! without touching this crate.
+//!
+//! This module also hosts the dataflow helpers shared by the built-in
+//! classifiers: the update-chain walk used by the degenerate-accumulation
+//! filter, the affinity judgement, and the nested-scalar deduplication.
 
 use crate::atoms::MatchCtx;
-use crate::postcheck::classify_update;
-use crate::report::{Reduction, ReductionKind};
-use crate::solver::{solve, SolveOptions, SolveStats};
-use crate::spec::{histogram_spec, scalar_reduction_spec};
-use gr_analysis::dataflow::{computed_only_from, forward_closure_in_loop, root_object, DominanceQuery};
+use crate::report::Reduction;
+use crate::solver::SolveStats;
+use crate::spec::registry::IdiomRegistry;
+use gr_analysis::dataflow::{
+    computed_only_from, forward_closure_in_loop, DominanceQuery, DominanceResult,
+};
 use gr_analysis::loops::LoopId;
 use gr_analysis::Analyses;
-use gr_ir::{Function, Module, Opcode, ValueId};
-use std::collections::HashSet;
+use gr_ir::{Module, Opcode, ValueId};
 
-/// Detects all scalar and histogram reductions in a module.
+/// Detects all reductions of the default idioms in a module.
 #[must_use]
 pub fn detect_reductions(module: &Module) -> Vec<Reduction> {
-    let mut out = Vec::new();
-    for func in &module.functions {
-        let analyses = Analyses::new(module, func);
-        out.extend(detect_in_function(module, func, &analyses));
-    }
-    out
+    detect_with(&IdiomRegistry::with_default_idioms(), module)
 }
 
-/// Detects reductions in one function (analyses supplied by the caller).
+/// Detects reductions with a caller-supplied idiom registry.
 #[must_use]
-pub fn detect_in_function(module: &Module, func: &Function, analyses: &Analyses) -> Vec<Reduction> {
-    let ctx = MatchCtx::new(module, func, analyses);
-    let mut reductions = Vec::new();
-    reductions.extend(detect_histograms(&ctx));
-    reductions.extend(detect_scalars(&ctx, &reductions));
-    reductions
-}
-
-/// Cumulative solver statistics for a module (used by benchmarks).
-#[must_use]
-pub fn detection_stats(module: &Module) -> Vec<(String, SolveStats)> {
+pub fn detect_with(registry: &IdiomRegistry, module: &Module) -> Vec<Reduction> {
     let mut out = Vec::new();
     for func in &module.functions {
         let analyses = Analyses::new(module, func);
         let ctx = MatchCtx::new(module, func, &analyses);
-        let (spec, _) = scalar_reduction_spec();
-        let (_, s1) = solve(&spec, &ctx, SolveOptions::default());
-        let (spec, _) = histogram_spec();
-        let (_, s2) = solve(&spec, &ctx, SolveOptions::default());
-        out.push((
-            func.name.clone(),
-            SolveStats {
-                steps: s1.steps + s2.steps,
-                solutions: s1.solutions + s2.solutions,
-                truncated: s1.truncated || s2.truncated,
-            },
-        ));
+        out.extend(registry.detect_in_function(&ctx));
     }
     out
 }
 
-fn loop_of_header_block(ctx: &MatchCtx<'_>, header_label: ValueId) -> LoopId {
-    ctx.loop_of_header(header_label).expect("spec guarantees a loop header")
+/// Detects reductions in one function (analyses supplied by the caller),
+/// using the default registry.
+#[must_use]
+pub fn detect_in_function(
+    module: &Module,
+    func: &gr_ir::Function,
+    analyses: &Analyses,
+) -> Vec<Reduction> {
+    let ctx = MatchCtx::new(module, func, analyses);
+    IdiomRegistry::with_default_idioms().detect_in_function(&ctx)
 }
 
-fn detect_scalars(ctx: &MatchCtx<'_>, histograms: &[Reduction]) -> Vec<Reduction> {
-    let (spec, labels) = scalar_reduction_spec();
-    let (sols, _) = solve(&spec, ctx, SolveOptions::default());
-    let func = ctx.func;
-    let mut seen: HashSet<(ValueId, ValueId)> = HashSet::new();
-    let mut found: Vec<Reduction> = Vec::new();
-    for s in sols {
-        let header_label = s[labels.for_loop.header.index()];
-        let acc = s[labels.acc.index()];
-        if !seen.insert((header_label, acc)) {
-            continue;
-        }
-        let lid = loop_of_header_block(ctx, header_label);
-        let acc_next = s[labels.acc_next.index()];
-        // Associativity post-check.
-        let Some(op) = classify_update(func, ctx.analyses, lid, acc, acc_next) else {
-            continue;
-        };
-        // Degenerate-accumulation filter: the update must consume at least
-        // one memory read (otherwise it is a closed-form accumulation over
-        // invariants — e.g. a secondary induction variable — which is
-        // strength-reducible, not a reduction worth privatizing).
-        let iterator = s[labels.for_loop.iterator.index()];
-        let q = DominanceQuery {
-            func,
-            forest: &ctx.analyses.loops,
-            cdeps: &ctx.analyses.cdeps,
-            invariance: &ctx.invariance,
-            purity: &ctx.analyses.purity,
-            lid,
-            inst_blocks: &ctx.inst_blocks,
-        };
-        let walk = computed_only_from(&q, acc_next, &|v, in_addr| {
-            v == acc || (in_addr && v == iterator)
-        });
-        if walk.loads.is_empty() {
-            continue;
-        }
-        let affine = loads_affine(ctx, lid, iterator, &walk.loads);
-        let l = ctx.analyses.loops.get(lid);
-        found.push(Reduction {
-            function: func.name.clone(),
-            kind: ReductionKind::Scalar,
-            op,
-            header: l.header,
-            depth: l.depth,
-            anchor: acc,
-            object: None,
-            affine,
-            bindings: bindings(&spec.label_names, &s),
-        });
+/// Cumulative solver statistics per function across all registered idioms
+/// (used by benchmarks).
+#[must_use]
+pub fn detection_stats(module: &Module) -> Vec<(String, SolveStats)> {
+    let registry = IdiomRegistry::with_default_idioms();
+    let mut out = Vec::new();
+    for func in &module.functions {
+        let analyses = Analyses::new(module, func);
+        let ctx = MatchCtx::new(module, func, &analyses);
+        out.push((func.name.clone(), registry.solve_stats(&ctx)));
     }
-    let _ = histograms;
-    dedup_nested_scalars(ctx, found)
+    out
+}
+
+/// Walks the generalized-dominance dataflow of `result` within the loop,
+/// admitting `allowed` values and the iterator in address context, and
+/// returns the walk (its `loads` feed the degenerate-accumulation filter
+/// and the affinity judgement).
+pub(crate) fn update_walk(
+    ctx: &MatchCtx<'_>,
+    lid: LoopId,
+    iterator: ValueId,
+    allowed: &[ValueId],
+    result: ValueId,
+) -> DominanceResult {
+    let q = DominanceQuery {
+        func: ctx.func,
+        forest: &ctx.analyses.loops,
+        cdeps: &ctx.analyses.cdeps,
+        invariance: &ctx.invariance,
+        purity: &ctx.analyses.purity,
+        lid,
+        inst_blocks: &ctx.inst_blocks,
+    };
+    computed_only_from(&q, result, &|v, in_addr| allowed.contains(&v) || (in_addr && v == iterator))
+}
+
+/// Whether every load's index is affine in the loop's iterator — the
+/// paper's strict "indices affine in the loop iterator" condition, recorded
+/// per reduction. For reductions spanning a loop nest, affinity is judged
+/// in all counted-loop iterators inside the reduction loop (e.g.
+/// `a[i*m + j]`).
+pub(crate) fn loads_affine(
+    ctx: &MatchCtx<'_>,
+    lid: LoopId,
+    iterator: ValueId,
+    loads: &[ValueId],
+) -> bool {
+    let func = ctx.func;
+    let forest = &ctx.analyses.loops;
+    let outer = forest.get(lid);
+    let mut iterators = vec![iterator];
+    for (i, l) in forest.loops().iter().enumerate() {
+        if l.header != outer.header && outer.contains(l.header) {
+            if let Some(shape) = gr_analysis::loops::match_for_shape(func, forest, LoopId(i as u32))
+            {
+                iterators.push(shape.iterator);
+            }
+        }
+    }
+    let is_inv = |v: ValueId| ctx.invariance.is_invariant(lid, v);
+    loads.iter().all(|&ld| {
+        let ptr = func.value(ld).kind.operands()[0];
+        match func.value(ptr).kind.opcode() {
+            Some(Opcode::Gep) => {
+                let idx = func.value(ptr).kind.operands()[1];
+                gr_analysis::scev::is_affine(func, &iterators, &is_inv, idx)
+            }
+            _ => false,
+        }
+    })
+}
+
+/// Pairs the spec's label names with a solver assignment.
+pub(crate) fn bindings(names: &[String], asg: &[ValueId]) -> Vec<(String, ValueId)> {
+    names.iter().cloned().zip(asg.iter().copied()).collect()
 }
 
 /// Drops inner-loop reports of multi-loop accumulations: if reduction `A`'s
@@ -123,7 +137,10 @@ fn detect_scalars(ctx: &MatchCtx<'_>, histograms: &[Reduction]) -> Vec<Reduction
 /// data-connected inside `B`'s loop — `A` continues `B`'s chain (nested
 /// sum), or `A`'s result feeds `B`'s update term (`cost += dot(...)`) —
 /// then the source-level reduction is `B`.
-fn dedup_nested_scalars(ctx: &MatchCtx<'_>, mut found: Vec<Reduction>) -> Vec<Reduction> {
+pub(crate) fn dedup_nested_scalars(
+    ctx: &MatchCtx<'_>,
+    mut found: Vec<Reduction>,
+) -> Vec<Reduction> {
     let func = ctx.func;
     let forest = &ctx.analyses.loops;
     let mut drop = vec![false; found.len()];
@@ -171,101 +188,10 @@ fn dedup_nested_scalars(ctx: &MatchCtx<'_>, mut found: Vec<Reduction>) -> Vec<Re
     found
 }
 
-fn detect_histograms(ctx: &MatchCtx<'_>) -> Vec<Reduction> {
-    let (spec, labels) = histogram_spec();
-    let (sols, _) = solve(&spec, ctx, SolveOptions::default());
-    let func = ctx.func;
-    let mut seen: HashSet<ValueId> = HashSet::new();
-    let mut found = Vec::new();
-    for s in sols {
-        let store = s[labels.store.index()];
-        if !seen.insert(store) {
-            continue;
-        }
-        let header_label = s[labels.for_loop.header.index()];
-        let lid = loop_of_header_block(ctx, header_label);
-        let old = s[labels.old.index()];
-        let newv = s[labels.newv.index()];
-        let Some(op) = classify_update(func, ctx.analyses, lid, old, newv) else {
-            continue;
-        };
-        let iterator = s[labels.for_loop.iterator.index()];
-        let base = s[labels.base.index()];
-        let object = root_object(func, base);
-        // Affinity of the inputs feeding idx and newv.
-        let q = DominanceQuery {
-            func,
-            forest: &ctx.analyses.loops,
-            cdeps: &ctx.analyses.cdeps,
-            invariance: &ctx.invariance,
-            purity: &ctx.analyses.purity,
-            lid,
-            inst_blocks: &ctx.inst_blocks,
-        };
-        let idx_walk = computed_only_from(&q, s[labels.idx.index()], &|v, in_addr| {
-            in_addr && v == iterator
-        });
-        let new_walk = computed_only_from(&q, newv, &|v, in_addr| {
-            v == old || (in_addr && v == iterator)
-        });
-        let mut loads = idx_walk.loads.clone();
-        loads.extend(new_walk.loads.iter().copied());
-        let affine = loads_affine(ctx, lid, iterator, &loads);
-        let l = ctx.analyses.loops.get(lid);
-        found.push(Reduction {
-            function: func.name.clone(),
-            kind: ReductionKind::Histogram,
-            op,
-            header: l.header,
-            depth: l.depth,
-            anchor: store,
-            object,
-            affine,
-            bindings: bindings(&spec.label_names, &s),
-        });
-    }
-    found
-}
-
-/// Whether every load's index is affine in the loop's iterator — the
-/// paper's strict "indices affine in the loop iterator" condition, recorded
-/// per reduction. For reductions spanning a loop nest, affinity is judged
-/// in all counted-loop iterators inside the reduction loop (e.g.
-/// `a[i*m + j]`).
-fn loads_affine(ctx: &MatchCtx<'_>, lid: LoopId, iterator: ValueId, loads: &[ValueId]) -> bool {
-    let func = ctx.func;
-    let forest = &ctx.analyses.loops;
-    let outer = forest.get(lid);
-    let mut iterators = vec![iterator];
-    for (i, l) in forest.loops().iter().enumerate() {
-        if l.header != outer.header && outer.contains(l.header) {
-            if let Some(shape) = gr_analysis::loops::match_for_shape(func, forest, LoopId(i as u32))
-            {
-                iterators.push(shape.iterator);
-            }
-        }
-    }
-    let is_inv = |v: ValueId| ctx.invariance.is_invariant(lid, v);
-    loads.iter().all(|&ld| {
-        let ptr = func.value(ld).kind.operands()[0];
-        match func.value(ptr).kind.opcode() {
-            Some(Opcode::Gep) => {
-                let idx = func.value(ptr).kind.operands()[1];
-                gr_analysis::scev::is_affine(func, &iterators, &is_inv, idx)
-            }
-            _ => false,
-        }
-    })
-}
-
-fn bindings(names: &[String], asg: &[ValueId]) -> Vec<(String, ValueId)> {
-    names.iter().cloned().zip(asg.iter().copied()).collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::report::ReductionOp;
+    use crate::report::{ReductionKind, ReductionOp};
     use gr_frontend::compile;
 
     fn detect(src: &str) -> Vec<Reduction> {
@@ -394,11 +320,12 @@ mod tests {
     }
 
     #[test]
-    fn kmeans_style_loop_detects_counts_and_sums() {
+    fn kmeans_style_loop_detects_counts_sums_and_argmin() {
         // Histogram on the membership counts; scalar reductions on delta
         // (outer loop) and on the distance accumulator (innermost loop).
-        // The argmin pair (best, bestd) is correctly rejected: privatizing
-        // bestd alone would corrupt best.
+        // The (best, bestd) pair is no longer rejected wholesale: neither
+        // value privatizes *alone* (the scalar idiom still refuses both),
+        // but the argmin idiom exploits them as a pair.
         let rs = detect(
             "void assign(float* pts, float* centers, int* counts, float* sums, int* member, int n, int k, int d) {
                  int delta = 0;
@@ -421,7 +348,102 @@ mod tests {
         );
         let histos = rs.iter().filter(|r| r.kind.is_histogram()).count();
         let scalars = rs.iter().filter(|r| r.kind.is_scalar()).count();
+        let argmins = rs.iter().filter(|r| r.kind == ReductionKind::ArgMin).count();
         assert_eq!(histos, 1, "{rs:?}");
         assert_eq!(scalars, 2, "{rs:?}");
+        assert_eq!(argmins, 1, "{rs:?}");
+    }
+
+    #[test]
+    fn prefix_sum_detected_as_scan_not_scalar() {
+        let rs = detect(
+            "void psum(float* a, float* out, int n) {
+                 float s = 0.0;
+                 for (int i = 0; i < n; i++) { s += a[i]; out[i] = s; }
+             }",
+        );
+        assert_eq!(rs.len(), 1, "{rs:?}");
+        assert_eq!(rs[0].kind, ReductionKind::Scan);
+        assert_eq!(rs[0].op, ReductionOp::Add);
+        assert!(rs[0].affine);
+    }
+
+    #[test]
+    fn constant_output_index_is_not_a_scan() {
+        // `out[0] = s` — affine but not strided: the post-check kills it,
+        // and the scalar idiom still refuses the store, so nothing at all.
+        let rs = detect(
+            "void f(float* a, float* out, int n) {
+                 float s = 0.0;
+                 for (int i = 0; i < n; i++) { s += a[i]; out[0] = s; }
+             }",
+        );
+        assert!(rs.is_empty(), "{rs:?}");
+    }
+
+    #[test]
+    fn argmin_detected_with_normalized_predicate() {
+        let rs = detect(
+            "int amin(float* a, int n) {
+                 float best = 1.0e30;
+                 int bi = 0;
+                 for (int i = 0; i < n; i++) {
+                     float v = a[i];
+                     if (v < best) { best = v; bi = i; }
+                 }
+                 return bi;
+             }",
+        );
+        assert_eq!(rs.len(), 1, "{rs:?}");
+        assert_eq!(rs[0].kind, ReductionKind::ArgMin);
+        assert_eq!(rs[0].op, ReductionOp::Min);
+        assert_eq!(rs[0].arg_pred, Some(gr_ir::CmpPred::Lt), "strict keeps the first extremum");
+    }
+
+    #[test]
+    fn non_strict_argmax_records_le_tie_break() {
+        let rs = detect(
+            "int amax(float* a, int n) {
+                 float best = -1.0e30;
+                 int bi = 0;
+                 for (int i = 0; i < n; i++) {
+                     float v = a[i];
+                     if (v >= best) { best = v; bi = i; }
+                 }
+                 return bi;
+             }",
+        );
+        assert_eq!(rs.len(), 1, "{rs:?}");
+        assert_eq!(rs[0].kind, ReductionKind::ArgMax);
+        assert_eq!(rs[0].arg_pred, Some(gr_ir::CmpPred::Ge), "non-strict keeps the last");
+    }
+
+    #[test]
+    fn custom_registry_detects_only_registered_idioms() {
+        let src = "void both(float* a, float* out, int n) {
+                 float s = 0.0;
+                 float total = 0.0;
+                 for (int i = 0; i < n; i++) { s += a[i]; out[i] = s; }
+                 for (int i = 0; i < n; i++) total += a[i];
+                 out[0] = total;
+             }";
+        let m = compile(src).unwrap();
+        let mut scans_only = IdiomRegistry::empty();
+        scans_only.register(crate::spec::scan::idiom()).unwrap();
+        let rs = detect_with(&scans_only, &m);
+        assert_eq!(rs.len(), 1, "{rs:?}");
+        assert_eq!(rs[0].kind, ReductionKind::Scan);
+    }
+
+    #[test]
+    fn detection_stats_cover_all_registered_idioms() {
+        let m = compile(
+            "float f(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[i]; return s; }",
+        )
+        .unwrap();
+        let stats = detection_stats(&m);
+        assert_eq!(stats.len(), 1);
+        assert!(stats[0].1.steps > 0);
+        assert!(!stats[0].1.truncated);
     }
 }

@@ -11,11 +11,19 @@
 //!    paper's `DETECT` procedure (Figure 6): labels are assigned one at a
 //!    time, candidates are generated from the constraints themselves, and
 //!    partial assignments that violate any decided constraint are pruned,
-//! 3. **idiom specifications** for for-loops (Figure 5), scalar reductions
-//!    (§3.1.1) and histogram reductions (§3.1.2) in [`spec`],
-//! 4. the **post-checks** the paper performs outside the constraint
+//! 3. a pluggable **idiom registry** ([`spec::registry`]) whose entries
+//!    pair a specification with the hooks the driver needs (post-check,
+//!    report classifier) — a new idiom is a new specification, not a new
+//!    detector,
+//! 4. **idiom specifications** in [`spec`] for for-loops (Figure 5) and
+//!    the four registered idioms:
+//!    * `scalar-reduction` — scalar accumulations (§3.1.1),
+//!    * `histogram-reduction` — generalized/histogram reductions (§3.1.2),
+//!    * `prefix-scan` — prefix sums / scans (`s += a[i]; out[i] = s`),
+//!    * `argmin-argmax` — conditional min/max with a carried index,
+//! 5. the **post-checks** the paper performs outside the constraint
 //!    language (associativity of the update operator) in [`postcheck`], and
-//! 5. a [`detect`] driver that runs the specifications over a module and
+//! 6. a generic [`detect`] driver that runs a registry over a module and
 //!    produces deduplicated [`report::Reduction`] records.
 //!
 //! # Example
@@ -31,6 +39,29 @@
 //! assert_eq!(reductions.len(), 1);
 //! assert!(reductions[0].kind.is_scalar());
 //! ```
+//!
+//! # Plugging in an idiom
+//!
+//! ```
+//! use gr_core::spec::{IdiomRegistry, IdiomEntry};
+//!
+//! let mut registry = IdiomRegistry::with_default_idioms();
+//! assert_eq!(
+//!     registry.names(),
+//!     ["histogram-reduction", "scalar-reduction", "prefix-scan", "argmin-argmax"],
+//! );
+//! // A custom entry: any `Spec` built with `SpecBuilder` plus hooks.
+//! let scan = gr_core::spec::scan::idiom();
+//! let mut custom = IdiomRegistry::empty();
+//! custom.register(scan).unwrap();
+//! let module = gr_frontend::compile(
+//!     "void psum(float* a, float* out, int n) {
+//!          float s = 0.0;
+//!          for (int i = 0; i < n; i++) { s += a[i]; out[i] = s; }
+//!      }").unwrap();
+//! let rs = gr_core::detect::detect_with(&custom, &module);
+//! assert!(rs[0].kind.is_scan());
+//! ```
 
 pub mod atoms;
 pub mod constraint;
@@ -40,5 +71,9 @@ pub mod report;
 pub mod solver;
 pub mod spec;
 
-pub use detect::detect_reductions;
+pub use detect::{detect_reductions, detect_with};
 pub use report::{Reduction, ReductionKind, ReductionOp};
+// `sese` is a free function in `spec`'s module root (not a submodule);
+// re-exported here so composites can reach it without the `spec::` path.
+pub use spec::registry::{IdiomEntry, IdiomRegistry, RegistryError};
+pub use spec::sese;

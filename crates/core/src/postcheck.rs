@@ -57,16 +57,10 @@ pub fn classify_update(
     result: ValueId,
 ) -> Option<ReductionOp> {
     let inst_blocks = func.inst_blocks();
-    let mut chain_set: HashSet<ValueId> = forward_closure_in_loop(
-        func,
-        &analyses.users,
-        &analyses.loops,
-        lid,
-        &inst_blocks,
-        source,
-    )
-    .into_iter()
-    .collect();
+    let mut chain_set: HashSet<ValueId> =
+        forward_closure_in_loop(func, &analyses.users, &analyses.loops, lid, &inst_blocks, source)
+            .into_iter()
+            .collect();
     chain_set.insert(source);
     let _ = inst_blocks;
     let mut ctx = Classifier {
@@ -319,6 +313,47 @@ fn minmax_of(pred: CmpPred) -> Option<ReductionOp> {
     }
 }
 
+/// The min/max operator implemented by a normalized exchange predicate
+/// ("the candidate replaces the carried value when `cand PRED value`"):
+/// `<`/`<=` keep a minimum, `>`/`>=` a maximum, equality tests neither.
+#[must_use]
+pub fn exchange_op(pred: CmpPred) -> Option<ReductionOp> {
+    minmax_of(pred)
+}
+
+/// Normalizes a conditional exchange: given the comparison `cmp` over
+/// `{cand, val}`, the branch `branch` steered by it, and the CFG block
+/// `taken` that performs the exchange, returns `PRED` such that the
+/// exchange happens exactly when `cand PRED val` holds. Strictness is
+/// preserved — it decides the sequential tie-break (`<` keeps the first
+/// extremum, `<=` the last), which the parallel merge must reproduce.
+#[must_use]
+pub fn normalized_exchange_pred(
+    func: &Function,
+    cmp: ValueId,
+    cand: ValueId,
+    val: ValueId,
+    branch: ValueId,
+    taken: gr_ir::BlockId,
+) -> Option<CmpPred> {
+    let cdata = func.value(cmp);
+    let Some(&Opcode::Cmp(raw)) = cdata.kind.opcode() else { return None };
+    let ops = cdata.kind.operands();
+    let pred = if ops[0] == cand && ops[1] == val {
+        raw
+    } else if ops[0] == val && ops[1] == cand {
+        raw.swapped()
+    } else {
+        return None;
+    };
+    let bops = func.value(branch).kind.operands();
+    if func.value(branch).kind.opcode() != Some(&Opcode::CondBr) || bops[0] != cmp {
+        return None;
+    }
+    let then_b = func.block_of_label(bops[1]);
+    Some(if then_b == taken { pred } else { pred.negated() })
+}
+
 fn flip(op: ReductionOp) -> ReductionOp {
     match op {
         ReductionOp::Min => ReductionOp::Max,
@@ -342,9 +377,9 @@ mod tests {
             })
         })?;
         let analyses = Analyses::new(&m, func);
-        let acc = func.value_ids().find(|&v| {
-            f_is_header_phi(func, &analyses, v) && func.value(v).ty == Type::Float
-        })?;
+        let acc = func
+            .value_ids()
+            .find(|&v| f_is_header_phi(func, &analyses, v) && func.value(v).ty == Type::Float)?;
         let lid = analyses
             .loops
             .loops()
@@ -352,21 +387,14 @@ mod tests {
             .position(|l| func.block(l.header).insts.contains(&acc))
             .map(|i| LoopId(i as u32))?;
         let latch = analyses.loops.get(lid).latches[0];
-        let acc_next = func
-            .phi_incoming(acc)
-            .into_iter()
-            .find(|(_, b)| *b == latch)
-            .map(|(v, _)| v)?;
+        let acc_next =
+            func.phi_incoming(acc).into_iter().find(|(_, b)| *b == latch).map(|(v, _)| v)?;
         classify_update(func, &analyses, lid, acc, acc_next)
     }
 
     fn f_is_header_phi(func: &Function, analyses: &Analyses, v: ValueId) -> bool {
         func.value(v).kind.opcode() == Some(&Opcode::Phi)
-            && analyses
-                .loops
-                .loops()
-                .iter()
-                .any(|l| func.block(l.header).insts.contains(&v))
+            && analyses.loops.loops().iter().any(|l| func.block(l.header).insts.contains(&v))
     }
 
     #[test]

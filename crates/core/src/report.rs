@@ -1,6 +1,6 @@
 //! Reduction reports: what the detector hands to code generation.
 
-use gr_ir::{BlockId, ValueId};
+use gr_ir::{BlockId, CmpPred, ValueId};
 use std::fmt;
 
 /// The (associative, commutative) update operator of a reduction. This is
@@ -82,6 +82,13 @@ pub enum ReductionKind {
     Scalar,
     /// Load-modify-store of an array cell at a data-dependent index.
     Histogram,
+    /// Prefix sum / scan: a scalar accumulation whose running value is
+    /// stored to a distinct output cell every iteration.
+    Scan,
+    /// Conditional minimum with a carried argument index.
+    ArgMin,
+    /// Conditional maximum with a carried argument index.
+    ArgMax,
 }
 
 impl ReductionKind {
@@ -96,6 +103,18 @@ impl ReductionKind {
     pub fn is_histogram(self) -> bool {
         self == ReductionKind::Histogram
     }
+
+    /// Whether this is a prefix-sum/scan.
+    #[must_use]
+    pub fn is_scan(self) -> bool {
+        self == ReductionKind::Scan
+    }
+
+    /// Whether this is an argmin or argmax reduction.
+    #[must_use]
+    pub fn is_arg(self) -> bool {
+        matches!(self, ReductionKind::ArgMin | ReductionKind::ArgMax)
+    }
 }
 
 impl fmt::Display for ReductionKind {
@@ -103,6 +122,9 @@ impl fmt::Display for ReductionKind {
         f.write_str(match self {
             ReductionKind::Scalar => "scalar",
             ReductionKind::Histogram => "histogram",
+            ReductionKind::Scan => "scan",
+            ReductionKind::ArgMin => "argmin",
+            ReductionKind::ArgMax => "argmax",
         })
     }
 }
@@ -129,6 +151,12 @@ pub struct Reduction {
     /// iterator (the paper's strict conditions; histograms like tpacf have
     /// non-affine index computations and report `false`).
     pub affine: bool,
+    /// For argmin/argmax only: the normalized exchange predicate — the
+    /// candidate replaces the carried value (and its index) exactly when
+    /// `candidate PRED value` holds. Strict predicates keep the first
+    /// extremum, non-strict ones the last; the parallel merge uses the
+    /// same predicate to reproduce the sequential tie-break.
+    pub arg_pred: Option<CmpPred>,
     /// Full solver assignment as `(label, value)` pairs, for codegen and
     /// diagnostics.
     pub bindings: Vec<(String, ValueId)>,
@@ -183,5 +211,17 @@ mod tests {
         assert!(ReductionKind::Scalar.is_scalar());
         assert!(!ReductionKind::Scalar.is_histogram());
         assert!(ReductionKind::Histogram.is_histogram());
+        assert!(ReductionKind::Scan.is_scan());
+        assert!(!ReductionKind::Scan.is_scalar());
+        assert!(ReductionKind::ArgMin.is_arg());
+        assert!(ReductionKind::ArgMax.is_arg());
+        assert!(!ReductionKind::ArgMax.is_scan());
+    }
+
+    #[test]
+    fn kind_display_names() {
+        assert_eq!(ReductionKind::Scan.to_string(), "scan");
+        assert_eq!(ReductionKind::ArgMin.to_string(), "argmin");
+        assert_eq!(ReductionKind::ArgMax.to_string(), "argmax");
     }
 }

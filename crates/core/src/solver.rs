@@ -75,16 +75,7 @@ pub fn solve(spec: &Spec, ctx: &MatchCtx<'_>, opts: SolveOptions) -> (Vec<Assign
     });
 
     let mut asg: Assignment = Vec::with_capacity(n);
-    search(
-        spec,
-        ctx,
-        &checkers,
-        &generators,
-        &mut asg,
-        &mut solutions,
-        &mut stats,
-        opts,
-    );
+    search(spec, ctx, &checkers, &generators, &mut asg, &mut solutions, &mut stats, opts);
     (solutions, stats)
 }
 
@@ -147,7 +138,8 @@ fn search(
         asg.push(v);
         // c_k: all conjunct atoms decided at this step must hold, and the
         // optimistic evaluation of the whole tree must not be false.
-        let ok = checkers[k].iter().all(|a| a.check(ctx, asg)) && eval_partial(&spec.root, ctx, asg);
+        let ok =
+            checkers[k].iter().all(|a| a.check(ctx, asg)) && eval_partial(&spec.root, ctx, asg);
         if ok {
             search(spec, ctx, checkers, generators, asg, solutions, stats, opts);
         }
@@ -188,7 +180,11 @@ fn eval_partial(c: &Constraint, ctx: &MatchCtx<'_>, asg: &[ValueId]) -> bool {
 /// all values in `values(F)^I` and filter"): kept as the ablation baseline.
 /// Only use with tiny specs and functions.
 #[must_use]
-pub fn solve_naive(spec: &Spec, ctx: &MatchCtx<'_>, opts: SolveOptions) -> (Vec<Assignment>, SolveStats) {
+pub fn solve_naive(
+    spec: &Spec,
+    ctx: &MatchCtx<'_>,
+    opts: SolveOptions,
+) -> (Vec<Assignment>, SolveStats) {
     let n = spec.arity();
     let values: Vec<ValueId> = ctx.func.value_ids().collect();
     let mut solutions = Vec::new();
@@ -288,12 +284,7 @@ mod tests {
             let spec = load_spec();
             let (_, fast) = solve(&spec, ctx, SolveOptions::default());
             let (_, naive) = solve_naive(&spec, ctx, SolveOptions::default());
-            assert!(
-                fast.steps * 10 < naive.steps,
-                "fast {} vs naive {}",
-                fast.steps,
-                naive.steps
-            );
+            assert!(fast.steps * 10 < naive.steps, "fast {} vs naive {}", fast.steps, naive.steps);
         });
     }
 

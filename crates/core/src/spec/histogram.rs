@@ -15,9 +15,14 @@
 //!   reads, e.g. `key2[i]` in IS or the binary search of tpacf),
 //! * `newv` — computed only from `old` plus input reads and invariants.
 
-use crate::atoms::{Atom, OpClass};
+use crate::atoms::{Atom, MatchCtx, OpClass};
 use crate::constraint::{Label, Spec, SpecBuilder};
+use crate::postcheck::classify_update;
+use crate::report::{Reduction, ReductionKind, ReductionOp};
 use crate::spec::forloop::{add_for_loop, ForLoopLabels};
+use crate::spec::registry::IdiomEntry;
+use gr_analysis::dataflow::root_object;
+use gr_ir::ValueId;
 
 /// Labels of the histogram idiom.
 #[derive(Debug, Clone, Copy)]
@@ -96,10 +101,56 @@ pub fn histogram_spec() -> (Spec, HistogramLabels) {
     // Privatization safety: the old value leaks only into the new value.
     b.atom(Atom::UsesConfinedTo { source: old, header: fl.header, terminals: vec![store] });
 
-    (
-        b.finish(),
-        HistogramLabels { for_loop: fl, store, addr, addr_load, base, idx, old, newv },
-    )
+    (b.finish(), HistogramLabels { for_loop: fl, store, addr, addr_load, base, idx, old, newv })
+}
+
+/// The histogram idiom's registry entry.
+#[must_use]
+pub fn idiom() -> IdiomEntry {
+    let (spec, _) = histogram_spec();
+    IdiomEntry::new("histogram-reduction", spec, anchor, post_check, classify)
+}
+
+fn anchor(spec: &Spec, s: &[ValueId]) -> (ValueId, ValueId) {
+    let store = s[spec.label("store").index()];
+    (store, store)
+}
+
+/// Post-check: associativity of the bin update.
+fn post_check(ctx: &MatchCtx<'_>, spec: &Spec, s: &[ValueId]) -> Option<ReductionOp> {
+    let lid = ctx.loop_of_header(s[spec.label("header").index()])?;
+    let old = s[spec.label("old").index()];
+    let newv = s[spec.label("newv").index()];
+    classify_update(ctx.func, ctx.analyses, lid, old, newv)
+}
+
+fn classify(ctx: &MatchCtx<'_>, spec: &Spec, s: &[ValueId], op: ReductionOp) -> Option<Reduction> {
+    let func = ctx.func;
+    let lid = ctx.loop_of_header(s[spec.label("header").index()])?;
+    let iterator = s[spec.label("iterator").index()];
+    let old = s[spec.label("old").index()];
+    let newv = s[spec.label("newv").index()];
+    let object = root_object(func, s[spec.label("base").index()]);
+    // Affinity of the inputs feeding idx and newv.
+    let idx_walk =
+        crate::detect::update_walk(ctx, lid, iterator, &[], s[spec.label("idx").index()]);
+    let new_walk = crate::detect::update_walk(ctx, lid, iterator, &[old], newv);
+    let mut loads = idx_walk.loads.clone();
+    loads.extend(new_walk.loads.iter().copied());
+    let affine = crate::detect::loads_affine(ctx, lid, iterator, &loads);
+    let l = ctx.analyses.loops.get(lid);
+    Some(Reduction {
+        function: func.name.clone(),
+        kind: ReductionKind::Histogram,
+        op,
+        header: l.header,
+        depth: l.depth,
+        anchor: s[spec.label("store").index()],
+        object,
+        affine,
+        arg_pred: None,
+        bindings: crate::detect::bindings(&spec.label_names, s),
+    })
 }
 
 #[cfg(test)]

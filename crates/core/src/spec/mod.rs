@@ -1,22 +1,36 @@
 //! Idiom specifications written in the constraint language.
 //!
+//! Modules:
+//!
 //! * [`forloop`] — the for-loop structure of the paper's Figure 5,
 //! * [`scalar`] — scalar reductions (§3.1.1),
 //! * [`histogram`] — generalized/histogram reductions (§3.1.2),
-//! * [`sese`] — the single-entry single-exit composite of Figure 7,
-//!   reusable by downstream idioms.
+//! * [`scan`] — prefix sums / scans (running value stored per iteration),
+//! * [`argminmax`] — conditional min/max with a carried argument index,
+//! * [`registry`] — the pluggable [`registry::IdiomRegistry`] the generic
+//!   detection driver iterates.
+//!
+//! The [`sese`] *function* (not a module — it is defined right here) adds
+//! the single-entry single-exit composite of the paper's Figure 7 to a
+//! builder, reusable by downstream idioms.
 //!
 //! Composition works exactly like the paper's embedded C++ DSL: a composite
 //! is a plain function that adds atoms over shared labels to a
 //! [`SpecBuilder`].
 
+pub mod argminmax;
 pub mod forloop;
 pub mod histogram;
+pub mod registry;
 pub mod scalar;
+pub mod scan;
 
+pub use argminmax::{argminmax_spec, ArgMinMaxLabels};
 pub use forloop::{add_for_loop, for_loop_spec, ForLoopLabels};
 pub use histogram::{histogram_spec, HistogramLabels};
+pub use registry::{IdiomEntry, IdiomRegistry, RegistryError};
 pub use scalar::{scalar_reduction_spec, ScalarLabels};
+pub use scan::{scan_spec, ScanLabels};
 
 use crate::atoms::Atom;
 use crate::constraint::{Label, SpecBuilder};
@@ -29,13 +43,7 @@ use crate::constraint::{Label, SpecBuilder};
 /// `precursor`), leaves only through `end` (to `successor`), `begin`
 /// dominates `end`, `end` post-dominates `begin`, and the region cannot be
 /// re-entered without passing its boundary blocks.
-pub fn sese(
-    b: &mut SpecBuilder,
-    precursor: Label,
-    begin: Label,
-    end: Label,
-    successor: Label,
-) {
+pub fn sese(b: &mut SpecBuilder, precursor: Label, begin: Label, end: Label, successor: Label) {
     b.atom(Atom::CfgEdge { from: precursor, to: begin });
     b.atom(Atom::CfgEdge { from: end, to: successor });
     b.atom(Atom::Dominates { a: begin, b: end });

@@ -1,0 +1,332 @@
+//! The pluggable idiom registry.
+//!
+//! The paper's central claim is that a constraint *language* makes idiom
+//! detection extensible: a new idiom should be a new specification, not a
+//! new detector. This module is that seam. Each [`IdiomEntry`] is a
+//! self-describing unit:
+//!
+//! * a **name** (unique within a registry),
+//! * a **constraint specification** built with
+//!   [`SpecBuilder`](crate::constraint::SpecBuilder),
+//! * an **anchor** function deduplicating solver solutions into
+//!   source-level matches,
+//! * a **post-check hook** for the conditions the constraint language
+//!   cannot express (the paper §3.1.2 names associativity explicitly),
+//! * a **report classifier** turning a surviving assignment into a
+//!   [`Reduction`] record,
+//! * an optional **finalize** pass over all of the idiom's reports in one
+//!   function (e.g. dropping nested duplicates).
+//!
+//! [`IdiomRegistry::with_default_idioms`] registers the four built-in
+//! idioms (scalar, histogram, scan, argmin/argmax); [`IdiomRegistry::empty`]
+//! plus [`IdiomRegistry::register`] assemble custom detector sets. The
+//! generic driver in [`crate::detect`] iterates whatever is registered —
+//! it has no knowledge of any individual idiom.
+
+use crate::atoms::MatchCtx;
+use crate::constraint::Spec;
+use crate::report::{Reduction, ReductionOp};
+use crate::solver::{solve, SolveOptions, SolveStats};
+use gr_ir::ValueId;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Deduplication key for one solver solution (two values suffice for all
+/// known idioms; pair them freely).
+pub type AnchorFn = fn(&Spec, &[ValueId]) -> (ValueId, ValueId);
+
+/// Post-check hook: validates conditions outside the constraint language
+/// and classifies the update operator. Returning `None` rejects the match.
+pub type PostCheckFn = fn(&MatchCtx<'_>, &Spec, &[ValueId]) -> Option<ReductionOp>;
+
+/// Report classifier: builds the reduction record for a surviving match.
+/// Returning `None` drops the match (e.g. degenerate accumulations).
+pub type ClassifyFn = fn(&MatchCtx<'_>, &Spec, &[ValueId], ReductionOp) -> Option<Reduction>;
+
+/// Whole-function cleanup over one idiom's reports (nested-match dedup).
+pub type FinalizeFn = fn(&MatchCtx<'_>, Vec<Reduction>) -> Vec<Reduction>;
+
+fn finalize_identity(_: &MatchCtx<'_>, rs: Vec<Reduction>) -> Vec<Reduction> {
+    rs
+}
+
+/// One registered idiom.
+pub struct IdiomEntry {
+    /// Unique idiom name (doubles as the registry lookup key).
+    pub name: &'static str,
+    /// The constraint specification.
+    pub spec: Spec,
+    /// Solution deduplication key.
+    pub anchor: AnchorFn,
+    /// Post-check hook (associativity and friends).
+    pub post_check: PostCheckFn,
+    /// Report classifier.
+    pub classify: ClassifyFn,
+    /// Per-function cleanup pass.
+    pub finalize: FinalizeFn,
+}
+
+impl IdiomEntry {
+    /// Creates an entry with no finalize pass.
+    #[must_use]
+    pub fn new(
+        name: &'static str,
+        spec: Spec,
+        anchor: AnchorFn,
+        post_check: PostCheckFn,
+        classify: ClassifyFn,
+    ) -> IdiomEntry {
+        IdiomEntry { name, spec, anchor, post_check, classify, finalize: finalize_identity }
+    }
+
+    /// Replaces the finalize pass.
+    #[must_use]
+    pub fn with_finalize(mut self, finalize: FinalizeFn) -> IdiomEntry {
+        self.finalize = finalize;
+        self
+    }
+}
+
+impl fmt::Debug for IdiomEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IdiomEntry")
+            .field("name", &self.name)
+            .field("labels", &self.spec.arity())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Registration errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// An idiom with that name is already registered.
+    DuplicateName(&'static str),
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::DuplicateName(n) => write!(f, "idiom `{n}` is already registered"),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// An ordered collection of idiom entries. Order is detection/report order.
+#[derive(Debug, Default)]
+pub struct IdiomRegistry {
+    entries: Vec<IdiomEntry>,
+}
+
+impl IdiomRegistry {
+    /// An empty registry (build custom detector sets on top).
+    #[must_use]
+    pub fn empty() -> IdiomRegistry {
+        IdiomRegistry { entries: Vec::new() }
+    }
+
+    /// The default registry: histogram, scalar, scan, argmin/argmax.
+    #[must_use]
+    pub fn with_default_idioms() -> IdiomRegistry {
+        let mut r = IdiomRegistry::empty();
+        for e in [
+            crate::spec::histogram::idiom(),
+            crate::spec::scalar::idiom(),
+            crate::spec::scan::idiom(),
+            crate::spec::argminmax::idiom(),
+        ] {
+            r.register(e).expect("default idiom names are unique");
+        }
+        r
+    }
+
+    /// Registers an idiom.
+    ///
+    /// # Errors
+    /// [`RegistryError::DuplicateName`] when the name is taken.
+    pub fn register(&mut self, entry: IdiomEntry) -> Result<(), RegistryError> {
+        if self.entries.iter().any(|e| e.name == entry.name) {
+            return Err(RegistryError::DuplicateName(entry.name));
+        }
+        self.entries.push(entry);
+        Ok(())
+    }
+
+    /// Looks an idiom up by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&IdiomEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Registered idiom names, in detection order.
+    #[must_use]
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|e| e.name).collect()
+    }
+
+    /// Number of registered idioms.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The registered entries, in detection order.
+    pub fn entries(&self) -> impl Iterator<Item = &IdiomEntry> {
+        self.entries.iter()
+    }
+
+    /// Runs every registered idiom over one function: the generic `DETECT`
+    /// driver. For each entry it solves the specification, deduplicates
+    /// solutions by anchor, applies the post-check hook and the report
+    /// classifier, then the finalize pass.
+    #[must_use]
+    pub fn detect_in_function(&self, ctx: &MatchCtx<'_>) -> Vec<Reduction> {
+        let mut out = Vec::new();
+        for entry in &self.entries {
+            let (sols, _) = solve(&entry.spec, ctx, SolveOptions::default());
+            let mut seen: HashSet<(ValueId, ValueId)> = HashSet::new();
+            let mut found = Vec::new();
+            for s in sols {
+                if !seen.insert((entry.anchor)(&entry.spec, &s)) {
+                    continue;
+                }
+                let Some(op) = (entry.post_check)(ctx, &entry.spec, &s) else {
+                    continue;
+                };
+                if let Some(r) = (entry.classify)(ctx, &entry.spec, &s, op) {
+                    found.push(r);
+                }
+            }
+            out.extend((entry.finalize)(ctx, found));
+        }
+        out
+    }
+
+    /// Cumulative solver statistics over all registered idioms for one
+    /// function (used by benchmarks and the figure harnesses).
+    #[must_use]
+    pub fn solve_stats(&self, ctx: &MatchCtx<'_>) -> SolveStats {
+        let mut acc = SolveStats::default();
+        for entry in &self.entries {
+            let (_, s) = solve(&entry.spec, ctx, SolveOptions::default());
+            acc.steps += s.steps;
+            acc.solutions += s.solutions;
+            acc.truncated = acc.truncated || s.truncated;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::SpecBuilder;
+    use gr_analysis::Analyses;
+    use gr_frontend::compile;
+
+    fn dummy_entry(name: &'static str) -> IdiomEntry {
+        let mut b = SpecBuilder::new(name);
+        let x = b.label("x");
+        b.atom(crate::atoms::Atom::IsBlock(x));
+        IdiomEntry::new(
+            name,
+            b.finish(),
+            |_, s| (s[0], s[0]),
+            |_, _, _| None, // rejects everything: registration-only entry
+            |_, _, _, _| None,
+        )
+    }
+
+    #[test]
+    fn default_registry_has_four_idioms() {
+        let r = IdiomRegistry::with_default_idioms();
+        assert_eq!(
+            r.names(),
+            vec!["histogram-reduction", "scalar-reduction", "prefix-scan", "argmin-argmax"]
+        );
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+        assert!(r.get("prefix-scan").is_some());
+        assert!(r.get("no-such-idiom").is_none());
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let mut r = IdiomRegistry::empty();
+        assert!(r.register(dummy_entry("custom")).is_ok());
+        let err = r.register(dummy_entry("custom")).unwrap_err();
+        assert_eq!(err, RegistryError::DuplicateName("custom"));
+        assert_eq!(err.to_string(), "idiom `custom` is already registered");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn lookup_returns_registered_entry() {
+        let mut r = IdiomRegistry::empty();
+        r.register(dummy_entry("a")).unwrap();
+        r.register(dummy_entry("b")).unwrap();
+        assert_eq!(r.get("b").unwrap().name, "b");
+        assert_eq!(r.names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn empty_registry_detects_nothing() {
+        let m = compile(
+            "float f(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[i]; return s; }",
+        )
+        .unwrap();
+        let func = &m.functions[0];
+        let analyses = Analyses::new(&m, func);
+        let ctx = MatchCtx::new(&m, func, &analyses);
+        assert!(IdiomRegistry::empty().detect_in_function(&ctx).is_empty());
+    }
+
+    #[test]
+    fn custom_entry_participates_in_detection() {
+        // A trivial custom idiom: report every loop header as an `Add`
+        // scalar — exercises the full driver path with a non-default entry.
+        let mut b = SpecBuilder::new("loop-header");
+        let h = b.label("header");
+        b.atom(crate::atoms::Atom::IsLoopHeader(h));
+        let entry = IdiomEntry::new(
+            "loop-header",
+            b.finish(),
+            |_, s| (s[0], s[0]),
+            |_, _, _| Some(ReductionOp::Add),
+            |ctx, _, s, op| {
+                let lid = ctx.loop_of_header(s[0])?;
+                let l = ctx.analyses.loops.get(lid);
+                Some(Reduction {
+                    function: ctx.func.name.clone(),
+                    kind: crate::report::ReductionKind::Scalar,
+                    op,
+                    header: l.header,
+                    depth: l.depth,
+                    anchor: s[0],
+                    object: None,
+                    affine: true,
+                    arg_pred: None,
+                    bindings: vec![],
+                })
+            },
+        );
+        let mut r = IdiomRegistry::empty();
+        r.register(entry).unwrap();
+        let m = compile(
+            "void f(float* a, int n) { for (int i = 0; i < n; i++) a[i] = 1.0; for (int j = 0; j < n; j++) a[j] = 2.0; }",
+        )
+        .unwrap();
+        let func = &m.functions[0];
+        let analyses = Analyses::new(&m, func);
+        let ctx = MatchCtx::new(&m, func, &analyses);
+        let rs = r.detect_in_function(&ctx);
+        assert_eq!(rs.len(), 2, "one report per loop header");
+    }
+}

@@ -15,9 +15,13 @@
 //!   so privatizing it cannot change any other observable behaviour (this
 //!   is what rejects the paper's `t1 <= sx` counterexample).
 
-use crate::atoms::{Atom, OpClass};
+use crate::atoms::{Atom, MatchCtx, OpClass};
 use crate::constraint::{Label, Spec, SpecBuilder};
+use crate::postcheck::classify_update;
+use crate::report::{Reduction, ReductionKind, ReductionOp};
 use crate::spec::forloop::{add_for_loop, ForLoopLabels};
+use crate::spec::registry::IdiomEntry;
+use gr_ir::ValueId;
 
 /// Labels of the scalar-reduction idiom.
 #[derive(Debug, Clone, Copy)]
@@ -66,6 +70,56 @@ pub fn scalar_reduction_spec() -> (Spec, ScalarLabels) {
     b.atom(Atom::UsesConfinedTo { source: acc, header: fl.header, terminals: vec![] });
 
     (b.finish(), ScalarLabels { for_loop: fl, acc, acc_init, acc_next })
+}
+
+/// The scalar-reduction idiom's registry entry.
+#[must_use]
+pub fn idiom() -> IdiomEntry {
+    let (spec, _) = scalar_reduction_spec();
+    IdiomEntry::new("scalar-reduction", spec, anchor, post_check, classify)
+        .with_finalize(crate::detect::dedup_nested_scalars)
+}
+
+fn anchor(spec: &Spec, s: &[ValueId]) -> (ValueId, ValueId) {
+    (s[spec.label("header").index()], s[spec.label("acc").index()])
+}
+
+/// Post-check: associativity of the update chain (the paper performs this
+/// outside the constraint language).
+fn post_check(ctx: &MatchCtx<'_>, spec: &Spec, s: &[ValueId]) -> Option<ReductionOp> {
+    let lid = ctx.loop_of_header(s[spec.label("header").index()])?;
+    let acc = s[spec.label("acc").index()];
+    let acc_next = s[spec.label("acc_next").index()];
+    classify_update(ctx.func, ctx.analyses, lid, acc, acc_next)
+}
+
+fn classify(ctx: &MatchCtx<'_>, spec: &Spec, s: &[ValueId], op: ReductionOp) -> Option<Reduction> {
+    let lid = ctx.loop_of_header(s[spec.label("header").index()])?;
+    let acc = s[spec.label("acc").index()];
+    let acc_next = s[spec.label("acc_next").index()];
+    let iterator = s[spec.label("iterator").index()];
+    // Degenerate-accumulation filter: the update must consume at least
+    // one memory read (otherwise it is a closed-form accumulation over
+    // invariants — e.g. a secondary induction variable — which is
+    // strength-reducible, not a reduction worth privatizing).
+    let walk = crate::detect::update_walk(ctx, lid, iterator, &[acc], acc_next);
+    if walk.loads.is_empty() {
+        return None;
+    }
+    let affine = crate::detect::loads_affine(ctx, lid, iterator, &walk.loads);
+    let l = ctx.analyses.loops.get(lid);
+    Some(Reduction {
+        function: ctx.func.name.clone(),
+        kind: ReductionKind::Scalar,
+        op,
+        header: l.header,
+        depth: l.depth,
+        anchor: acc,
+        object: None,
+        affine,
+        arg_pred: None,
+        bindings: crate::detect::bindings(&spec.label_names, s),
+    })
 }
 
 #[cfg(test)]

@@ -15,7 +15,9 @@
 
 use crate::ast::{BinOpKind, CType, Expr, FuncDecl, Program, Span, Stmt, UnOpKind};
 use crate::error::CompileError;
-use gr_ir::{BinOp, BlockId, CmpPred, FunctionBuilder, Module, Opcode, Type, UnOp, ValueId, ValueKind};
+use gr_ir::{
+    BinOp, BlockId, CmpPred, FunctionBuilder, Module, Opcode, Type, UnOp, ValueId, ValueKind,
+};
 use std::collections::HashMap;
 
 /// Lowers a parsed program to an SSA [`Module`].
@@ -90,11 +92,8 @@ impl<'a> FunctionLowerer<'a> {
         globals: &'a HashMap<String, (gr_ir::GlobalId, Type)>,
         signatures: &'a HashMap<String, (Vec<Type>, Type)>,
     ) -> Result<gr_ir::Function, CompileError> {
-        let params: Vec<(&str, Type)> = decl
-            .params
-            .iter()
-            .map(|(n, t)| (n.as_str(), ctype_to_ir(*t)))
-            .collect();
+        let params: Vec<(&str, Type)> =
+            decl.params.iter().map(|(n, t)| (n.as_str(), ctype_to_ir(*t))).collect();
         let ret_ty = ctype_to_ir(decl.ret);
         let b = FunctionBuilder::new(&decl.name, &params, ret_ty);
         let mut me = FunctionLowerer {
@@ -335,13 +334,10 @@ impl<'a> FunctionLowerer<'a> {
             }
             Stmt::AssignIndex { array, index, op, value, span } => {
                 let ptr = self.array_ptr(array, *span)?;
-                let elem = self
-                    .b
-                    .func()
-                    .value(ptr)
-                    .ty
-                    .elem()
-                    .ok_or_else(|| CompileError::at("indexing non-pointer", span.line, span.col))?;
+                let elem =
+                    self.b.func().value(ptr).ty.elem().ok_or_else(|| {
+                        CompileError::at("indexing non-pointer", span.line, span.col)
+                    })?;
                 let idx = self.lower_expr(index)?;
                 let idx = self.coerce(idx, Type::Int, *span)?;
                 let addr = self.b.gep(ptr, idx);
@@ -375,13 +371,10 @@ impl<'a> FunctionLowerer<'a> {
             }
             Stmt::IncDecIndex { array, index, delta, span } => {
                 let ptr = self.array_ptr(array, *span)?;
-                let elem = self
-                    .b
-                    .func()
-                    .value(ptr)
-                    .ty
-                    .elem()
-                    .ok_or_else(|| CompileError::at("indexing non-pointer", span.line, span.col))?;
+                let elem =
+                    self.b.func().value(ptr).ty.elem().ok_or_else(|| {
+                        CompileError::at("indexing non-pointer", span.line, span.col)
+                    })?;
                 let idx = self.lower_expr(index)?;
                 let idx = self.coerce(idx, Type::Int, *span)?;
                 let addr = self.b.gep(ptr, idx);
@@ -588,6 +581,9 @@ impl<'a> FunctionLowerer<'a> {
         }
     }
 
+    /// Coerces a value to a branch condition (named for the C semantics
+    /// it implements, not a conversion of `self`).
+    #[allow(clippy::wrong_self_convention)]
     fn to_bool(&mut self, v: ValueId) -> ValueId {
         match self.b.func().value(v).ty {
             Type::Bool => v,
@@ -880,8 +876,7 @@ mod tests {
         let f = module.function(func).unwrap();
         f.value_ids()
             .filter(|&v| {
-                f.value(v).kind.opcode() == Some(&Opcode::Phi)
-                    && f.block_of_inst(v).is_some()
+                f.value(v).kind.opcode() == Some(&Opcode::Phi) && f.block_of_inst(v).is_some()
             })
             .count()
     }
@@ -902,28 +897,19 @@ mod tests {
 
     #[test]
     fn straightline_code_has_no_phis() {
-        let m = compile(
-            "int f(int a, int b) { int c = a + b; c = c * 2; return c - a; }",
-        )
-        .unwrap();
+        let m = compile("int f(int a, int b) { int c = a + b; c = c * 2; return c - a; }").unwrap();
         assert_eq!(phis_in(&m, "f"), 0);
     }
 
     #[test]
     fn conditional_update_creates_merge_phi() {
-        let m = compile(
-            "int f(int a) { int x = 0; if (a > 0) x = 1; return x; }",
-        )
-        .unwrap();
+        let m = compile("int f(int a) { int x = 0; if (a > 0) x = 1; return x; }").unwrap();
         assert_eq!(phis_in(&m, "f"), 1);
     }
 
     #[test]
     fn if_without_update_creates_no_phi() {
-        let m = compile(
-            "int f(int* a, int x) { if (x > 0) a[0] = 1; return x; }",
-        )
-        .unwrap();
+        let m = compile("int f(int* a, int x) { if (x > 0) a[0] = 1; return x; }").unwrap();
         assert_eq!(phis_in(&m, "f"), 0);
     }
 
@@ -955,10 +941,8 @@ mod tests {
 
     #[test]
     fn short_circuit_produces_control_flow() {
-        let m = compile(
-            "int f(int a, int b) { int x = 0; if (a > 0 && b > 0) x = 1; return x; }",
-        )
-        .unwrap();
+        let m = compile("int f(int a, int b) { int x = 0; if (a > 0 && b > 0) x = 1; return x; }")
+            .unwrap();
         let f = m.function("f").unwrap();
         assert!(f.blocks.len() >= 5, "expected and.rhs block, got {}", f.blocks.len());
     }
@@ -983,10 +967,8 @@ mod tests {
 
     #[test]
     fn do_while_lowered() {
-        let m = compile(
-            "int f(int n) { int i = 0; do { i++; } while (i < n); return i; }",
-        )
-        .unwrap();
+        let m =
+            compile("int f(int n) { int i = 0; do { i++; } while (i < n); return i; }").unwrap();
         assert!(m.function("f").is_some());
     }
 
@@ -999,9 +981,8 @@ mod tests {
         .unwrap();
         assert_eq!(m.globals.len(), 1);
         let f = m.function("f").unwrap();
-        let has_global_ref = f
-            .value_ids()
-            .any(|v| matches!(f.value(v).kind, gr_ir::ValueKind::GlobalRef(_)));
+        let has_global_ref =
+            f.value_ids().any(|v| matches!(f.value(v).kind, gr_ir::ValueKind::GlobalRef(_)));
         assert!(has_global_ref);
     }
 
@@ -1009,9 +990,7 @@ mod tests {
     fn mixed_arithmetic_promotes_to_float() {
         let m = compile("float f(int a, float b) { return a * b; }").unwrap();
         let f = m.function("f").unwrap();
-        let has_cast = f
-            .value_ids()
-            .any(|v| f.value(v).kind.opcode() == Some(&Opcode::Cast));
+        let has_cast = f.value_ids().any(|v| f.value(v).kind.opcode() == Some(&Opcode::Cast));
         assert!(has_cast);
     }
 
@@ -1114,9 +1093,7 @@ mod tests {
     fn ternary_lowered_to_select() {
         let m = compile("float f(float a, float b) { return a > b ? a : b; }").unwrap();
         let f = m.function("f").unwrap();
-        let has_select = f
-            .value_ids()
-            .any(|v| f.value(v).kind.opcode() == Some(&Opcode::Select));
+        let has_select = f.value_ids().any(|v| f.value(v).kind.opcode() == Some(&Opcode::Select));
         assert!(has_select);
     }
 

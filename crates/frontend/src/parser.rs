@@ -1,8 +1,6 @@
 //! Recursive-descent parser for the mini-C subset.
 
-use crate::ast::{
-    BinOpKind, CType, Expr, FuncDecl, GlobalDecl, Program, Span, Stmt, UnOpKind,
-};
+use crate::ast::{BinOpKind, CType, Expr, FuncDecl, GlobalDecl, Program, Span, Stmt, UnOpKind};
 use crate::error::CompileError;
 use crate::token::{Token, TokenKind};
 
@@ -58,11 +56,7 @@ impl<'a> Parser<'a> {
             Ok(self.advance())
         } else {
             let t = self.peek();
-            Err(CompileError::at(
-                format!("expected {kind}, found {}", t.kind),
-                t.line,
-                t.col,
-            ))
+            Err(CompileError::at(format!("expected {kind}, found {}", t.kind), t.line, t.col))
         }
     }
 
@@ -73,11 +67,9 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
                 Ok((name, Span { line: t.line, col: t.col }))
             }
-            other => Err(CompileError::at(
-                format!("expected identifier, found {other}"),
-                t.line,
-                t.col,
-            )),
+            other => {
+                Err(CompileError::at(format!("expected identifier, found {other}"), t.line, t.col))
+            }
         }
     }
 
@@ -87,11 +79,7 @@ impl<'a> Parser<'a> {
             TokenKind::KwInt => Ok(CType::Int),
             TokenKind::KwFloat => Ok(CType::Float),
             TokenKind::KwVoid => Ok(CType::Void),
-            other => Err(CompileError::at(
-                format!("expected type, found {other}"),
-                t.line,
-                t.col,
-            )),
+            other => Err(CompileError::at(format!("expected type, found {other}"), t.line, t.col)),
         }
     }
 
@@ -201,11 +189,8 @@ impl<'a> Parser<'a> {
                 let cond = self.expression()?;
                 self.expect(&TokenKind::RParen)?;
                 let then_branch = self.stmt_as_block()?;
-                let else_branch = if self.eat(&TokenKind::KwElse) {
-                    self.stmt_as_block()?
-                } else {
-                    Vec::new()
-                };
+                let else_branch =
+                    if self.eat(&TokenKind::KwElse) { self.stmt_as_block()? } else { Vec::new() };
                 Ok(Stmt::If { cond, then_branch, else_branch, span })
             }
             TokenKind::KwFor => {
@@ -223,11 +208,8 @@ impl<'a> Parser<'a> {
                     };
                     Some(Box::new(s))
                 };
-                let cond = if self.check(&TokenKind::Semi) {
-                    None
-                } else {
-                    Some(self.expression()?)
-                };
+                let cond =
+                    if self.check(&TokenKind::Semi) { None } else { Some(self.expression()?) };
                 self.expect(&TokenKind::Semi)?;
                 let step = if self.check(&TokenKind::RParen) {
                     None
@@ -258,11 +240,8 @@ impl<'a> Parser<'a> {
             }
             TokenKind::KwReturn => {
                 self.advance();
-                let value = if self.check(&TokenKind::Semi) {
-                    None
-                } else {
-                    Some(self.expression()?)
-                };
+                let value =
+                    if self.check(&TokenKind::Semi) { None } else { Some(self.expression()?) };
                 self.expect(&TokenKind::Semi)?;
                 Ok(Stmt::Return { value, span })
             }
@@ -319,11 +298,7 @@ impl<'a> Parser<'a> {
                 span,
             });
         }
-        let init = if self.eat(&TokenKind::Assign) {
-            Some(self.expression()?)
-        } else {
-            None
-        };
+        let init = if self.eat(&TokenKind::Assign) { Some(self.expression()?) } else { None };
         self.expect(&TokenKind::Semi)?;
         Ok(Stmt::DeclScalar { name, ty: base, init, span })
     }
@@ -446,7 +421,8 @@ impl<'a> Parser<'a> {
             let span = self.span();
             self.advance();
             let rhs = self.equality()?;
-            lhs = Expr::Binary { op: BinOpKind::LAnd, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+            lhs =
+                Expr::Binary { op: BinOpKind::LAnd, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
         }
         Ok(lhs)
     }
@@ -613,7 +589,8 @@ mod tests {
 
     #[test]
     fn parses_histogram_update() {
-        let p = parse_src("void h(int* b, int* k, int n) { for (int i = 0; i < n; i++) b[k[i]]++; }");
+        let p =
+            parse_src("void h(int* b, int* k, int n) { for (int i = 0; i < n; i++) b[k[i]]++; }");
         let Stmt::For { body, .. } = &p.functions[0].body[0] else { panic!() };
         assert!(matches!(body[0], Stmt::IncDecIndex { delta: 1, .. }));
     }

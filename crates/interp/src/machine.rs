@@ -69,12 +69,8 @@ impl<'m, M: MemBackend> Machine<'m, M> {
     /// Creates a machine over `module` with the given memory.
     #[must_use]
     pub fn new(module: &'m Module, mem: M) -> Machine<'m, M> {
-        let fn_index = module
-            .functions
-            .iter()
-            .enumerate()
-            .map(|(i, f)| (f.name.as_str(), i))
-            .collect();
+        let fn_index =
+            module.functions.iter().enumerate().map(|(i, f)| (f.name.as_str(), i)).collect();
         Machine { module, mem, fn_index, profile: None, fuel: u64::MAX, handler: None }
     }
 
@@ -99,10 +95,7 @@ impl<'m, M: MemBackend> Machine<'m, M> {
     /// Returns a [`Trap`] on runtime errors; `Trap::NoSuchFunction` if the
     /// name is not defined.
     pub fn call(&mut self, name: &str, args: &[RtVal]) -> Result<Option<RtVal>, Trap> {
-        let idx = *self
-            .fn_index
-            .get(name)
-            .ok_or_else(|| Trap::NoSuchFunction(name.to_string()))?;
+        let idx = *self.fn_index.get(name).ok_or_else(|| Trap::NoSuchFunction(name.to_string()))?;
         self.exec_function(idx, args)
     }
 
@@ -224,10 +217,7 @@ impl<'m, M: MemBackend> Machine<'m, M> {
                         let vals: Vec<RtVal> = operands.iter().map(|&v| get(v)).collect();
                         let result = self.dispatch_call(name, &vals)?;
                         if data.ty != Type::Void {
-                            frame[inst.index()] = coerce(
-                                result.unwrap_or(RtVal::Undef),
-                                data.ty,
-                            );
+                            frame[inst.index()] = coerce(result.unwrap_or(RtVal::Undef), data.ty);
                         }
                     }
                     Opcode::Cast => {
@@ -355,7 +345,11 @@ mod tests {
     use super::*;
     use crate::memory::Memory;
 
-    fn run(src: &str, name: &str, build: impl FnOnce(&mut Memory) -> Vec<RtVal>) -> Result<Option<RtVal>, Trap> {
+    fn run(
+        src: &str,
+        name: &str,
+        build: impl FnOnce(&mut Memory) -> Vec<RtVal>,
+    ) -> Result<Option<RtVal>, Trap> {
         let m = gr_frontend::compile(src).unwrap();
         let mut mem = Memory::new(&m);
         let args = build(&mut mem);
@@ -399,9 +393,7 @@ mod tests {
         let bins = mem.alloc_int(&[0; 4]);
         let k = mem.alloc_int(&keys);
         let mut machine = Machine::new(&m, mem);
-        machine
-            .call("rank", &[RtVal::ptr(bins), RtVal::ptr(k), RtVal::I(10)])
-            .unwrap();
+        machine.call("rank", &[RtVal::ptr(bins), RtVal::ptr(k), RtVal::I(10)]).unwrap();
         assert_eq!(machine.mem.ints(bins), &[1, 2, 3, 4]);
     }
 
@@ -437,11 +429,9 @@ mod tests {
 
     #[test]
     fn out_of_bounds_traps() {
-        let err = run(
-            "int f(int* a) { return a[5]; }",
-            "f",
-            |mem| vec![RtVal::ptr(mem.alloc_int(&[1, 2]))],
-        )
+        let err = run("int f(int* a) { return a[5]; }", "f", |mem| {
+            vec![RtVal::ptr(mem.alloc_int(&[1, 2]))]
+        })
         .unwrap_err();
         assert!(matches!(err, Trap::Mem(MemError::OutOfBounds { .. })));
     }
@@ -498,14 +488,8 @@ mod tests {
         let p = machine.profile.as_ref().unwrap();
         // body executes 7 times, header 8, entry and exit once.
         let func = &m.functions[0];
-        let body = func
-            .block_ids()
-            .find(|b| func.block(*b).name == "for.body")
-            .unwrap();
-        let header = func
-            .block_ids()
-            .find(|b| func.block(*b).name == "for.header")
-            .unwrap();
+        let body = func.block_ids().find(|b| func.block(*b).name == "for.body").unwrap();
+        let header = func.block_ids().find(|b| func.block(*b).name == "for.header").unwrap();
         assert_eq!(p.block_count(0, body), 7);
         assert_eq!(p.block_count(0, header), 8);
         assert_eq!(p.block_count(0, func.entry()), 1);

@@ -23,10 +23,7 @@ impl Profile {
 
     /// Records one execution of a block.
     pub fn record(&mut self, func_index: usize, block: BlockId, blocks_in_func: usize) {
-        let v = self
-            .counts
-            .entry(func_index)
-            .or_insert_with(|| vec![0; blocks_in_func]);
+        let v = self.counts.entry(func_index).or_insert_with(|| vec![0; blocks_in_func]);
         if v.len() < blocks_in_func {
             v.resize(blocks_in_func, 0);
         }
@@ -74,10 +71,7 @@ impl Profile {
     /// Merges another profile into this one.
     pub fn merge(&mut self, other: &Profile) {
         for (fi, blocks) in &other.counts {
-            let v = self
-                .counts
-                .entry(*fi)
-                .or_insert_with(|| vec![0; blocks.len()]);
+            let v = self.counts.entry(*fi).or_insert_with(|| vec![0; blocks.len()]);
             if v.len() < blocks.len() {
                 v.resize(blocks.len(), 0);
             }

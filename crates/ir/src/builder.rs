@@ -116,11 +116,7 @@ impl FunctionBuilder {
         }
         // Phis must precede non-phi instructions in their block: insert after
         // the existing leading phi group.
-        let id = self.func.add_value(
-            ValueKind::Inst { opcode: Opcode::Phi, operands },
-            ty,
-            None,
-        );
+        let id = self.func.add_value(ValueKind::Inst { opcode: Opcode::Phi, operands }, ty, None);
         let insts = &mut self.func.blocks[self.current.index()].insts;
         let pos = insts
             .iter()
@@ -169,12 +165,7 @@ impl FunctionBuilder {
     /// # Panics
     /// Panics if `ptr` is not pointer-typed.
     pub fn load(&mut self, ptr: ValueId) -> ValueId {
-        let elem = self
-            .func
-            .value(ptr)
-            .ty
-            .elem()
-            .expect("load requires a pointer operand");
+        let elem = self.func.value(ptr).ty.elem().expect("load requires a pointer operand");
         self.inst(Opcode::Load, vec![ptr], elem)
     }
 

@@ -85,10 +85,7 @@ impl Function {
     pub fn new(name: &str, params: &[(&str, Type)], ret: Type) -> Function {
         let mut f = Function {
             name: name.to_string(),
-            params: params
-                .iter()
-                .map(|(n, t)| Param { name: (*n).to_string(), ty: *t })
-                .collect(),
+            params: params.iter().map(|(n, t)| Param { name: (*n).to_string(), ty: *t }).collect(),
             ret,
             values: Vec::new(),
             blocks: Vec::new(),

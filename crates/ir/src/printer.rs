@@ -62,11 +62,7 @@ fn render_inst(m: &Module, f: &Function, id: ValueId) -> String {
     let ValueKind::Inst { opcode, operands } = &data.kind else {
         return format!("{id} = <non-inst>");
     };
-    let ops = operands
-        .iter()
-        .map(|&o| render_operand(m, f, o))
-        .collect::<Vec<_>>()
-        .join(", ");
+    let ops = operands.iter().map(|&o| render_operand(m, f, o)).collect::<Vec<_>>().join(", ");
     if data.ty == crate::types::Type::Void {
         format!("{opcode} {ops}")
     } else {
@@ -85,7 +81,8 @@ mod tests {
     fn print_roundtrips_key_syntax() {
         let mut m = Module::new();
         m.push_global("q", Type::Float, 10);
-        let mut b = FunctionBuilder::new("f", &[("a", Type::PtrFloat), ("n", Type::Int)], Type::Void);
+        let mut b =
+            FunctionBuilder::new("f", &[("a", Type::PtrFloat), ("n", Type::Int)], Type::Void);
         let a = b.arg(0);
         let zero = b.const_int(0);
         let p = b.gep(a, zero);

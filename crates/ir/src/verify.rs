@@ -135,8 +135,10 @@ fn check_inst_types(f: &Function, inst: ValueId) -> Result<(), String> {
             if a != b {
                 return Err(format!("{inst}: binop operand types differ: {a} vs {b}"));
             }
-            if matches!(op, BinOp::Rem | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr)
-                && a == Type::Float
+            if matches!(
+                op,
+                BinOp::Rem | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr
+            ) && a == Type::Float
             {
                 return Err(format!("{inst}: {op} not defined on float"));
             }
@@ -156,7 +158,9 @@ fn check_inst_types(f: &Function, inst: ValueId) -> Result<(), String> {
         }
         Opcode::Phi => {
             if operands.is_empty() || operands.len() % 2 != 0 {
-                return Err(format!("{inst}: phi operand list must be non-empty value/block pairs"));
+                return Err(format!(
+                    "{inst}: phi operand list must be non-empty value/block pairs"
+                ));
             }
             for pair in operands.chunks(2) {
                 if ty_of(pair[0]) != data.ty {
@@ -266,10 +270,8 @@ fn check_def_before_use(f: &Function) -> Result<(), String> {
     // Multi-pass to tolerate legal forward refs across loop back edges for
     // non-phi values would be unsound; instead only flag uses of values never
     // defined anywhere, plus same-block use-before-def.
-    let all_insts: HashSet<ValueId> = f
-        .block_ids()
-        .flat_map(|b| f.block(b).insts.clone())
-        .collect();
+    let all_insts: HashSet<ValueId> =
+        f.block_ids().flat_map(|b| f.block(b).insts.clone()).collect();
     for b in &order {
         let mut local: HashSet<ValueId> = HashSet::new();
         for &inst in &f.block(*b).insts {

@@ -49,6 +49,7 @@ pub mod outline;
 pub mod overlay;
 pub mod plan;
 pub mod runtime;
+pub mod sync;
 
 pub use outline::parallelize;
 pub use plan::{AccSlot, HistSlot, ReductionPlan, WrittenPolicy};

@@ -5,28 +5,32 @@
 //! Given a function `f` with detected reductions that all live in one
 //! counted loop, [`parallelize`] produces a new module in which:
 //!
-//! * a function `__chunk_f_<k>(lo, hi, step, closure…, acc_out…)` contains
-//!   a clone of the loop body iterating `lo → hi`, with every accumulator
-//!   phi seeded with its operator's identity and stored to an out-pointer
-//!   at the end (partial results);
-//! * `f`'s loop is replaced by: allocate one cell per scalar accumulator,
+//! * a function `__chunk_f_<k>(lo, hi, step, closure…, cells…)` contains
+//!   a clone of the loop body iterating `lo → hi`, with every carried
+//!   value stored to its out-cell at the end (partial results). Scalar
+//!   accumulators are seeded with their operator's identity; argmin/argmax
+//!   pairs with `(identity, sentinel)`; **scan** accumulators are seeded
+//!   from their cell — the runtime writes the identity for the partials
+//!   pass and the block offset for the replay pass, so one chunk serves
+//!   both passes of the two-pass block scan;
+//! * `f`'s loop is replaced by: allocate one cell per carried value,
 //!   store the original initial value, call the intrinsic
 //!   `__parrun_<k>(iter_begin, iter_end, iter_step, closure…, cells…)`,
 //!   reload the cells, and jump to the loop exit;
-//! * all uses of the accumulators after the loop are rewired to the
+//! * all uses of the carried values after the loop are rewired to the
 //!   reloaded values.
 //!
 //! The runtime (see [`crate::runtime`]) intercepts the intrinsic, bisects
 //! the iteration space over threads, runs the chunk on privatized memory
 //! overlays and merges the partials.
 
-use crate::plan::{AccSlot, HistSlot, ReductionPlan, WrittenPolicy, WrittenSlot};
+use crate::plan::{
+    AccSlot, ArgSlot, HistSlot, ReductionPlan, ScanSlot, WrittenPolicy, WrittenSlot,
+};
 use gr_analysis::dataflow::root_object;
 use gr_analysis::Analyses;
 use gr_core::{Reduction, ReductionKind};
-use gr_ir::{
-    BlockId, Function, Module, Opcode, Type, ValueId, ValueKind,
-};
+use gr_ir::{BlockId, Function, Module, Opcode, Type, ValueId, ValueKind};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 
@@ -95,10 +99,7 @@ pub fn parallelize(
     func_name: &str,
     reductions: &[Reduction],
 ) -> Result<(Module, ReductionPlan), OutlineError> {
-    let rs: Vec<&Reduction> = reductions
-        .iter()
-        .filter(|r| r.function == func_name)
-        .collect();
+    let rs: Vec<&Reduction> = reductions.iter().filter(|r| r.function == func_name).collect();
     if rs.is_empty() {
         return Err(OutlineError::NoReductions);
     }
@@ -160,18 +161,21 @@ pub fn parallelize(
         return Err(OutlineError::UnsupportedHeaderShape);
     }
 
-    // Every carried phi must be the iterator or a detected scalar acc.
-    let scalar_rs: Vec<&Reduction> = rs
-        .iter()
-        .copied()
-        .filter(|r| r.kind == ReductionKind::Scalar)
-        .collect();
-    let hist_rs: Vec<&Reduction> = rs
-        .iter()
-        .copied()
-        .filter(|r| r.kind == ReductionKind::Histogram)
-        .collect();
-    let acc_phis: Vec<ValueId> = scalar_rs.iter().map(|r| r.anchor).collect();
+    // Every carried phi must be the iterator or a detected carried value:
+    // a scalar accumulator, a scan accumulator, or an argmin/argmax
+    // value/index pair.
+    let scalar_rs: Vec<&Reduction> =
+        rs.iter().copied().filter(|r| r.kind == ReductionKind::Scalar).collect();
+    let hist_rs: Vec<&Reduction> =
+        rs.iter().copied().filter(|r| r.kind == ReductionKind::Histogram).collect();
+    let scan_rs: Vec<&Reduction> =
+        rs.iter().copied().filter(|r| r.kind == ReductionKind::Scan).collect();
+    let arg_rs: Vec<&Reduction> = rs.iter().copied().filter(|r| r.kind.is_arg()).collect();
+    let arg_idx_phis: Vec<ValueId> = arg_rs.iter().map(|r| r.binding("idx")).collect();
+    let mut acc_phis: Vec<ValueId> = scalar_rs.iter().map(|r| r.anchor).collect();
+    acc_phis.extend(scan_rs.iter().map(|r| r.anchor));
+    acc_phis.extend(arg_rs.iter().map(|r| r.anchor));
+    acc_phis.extend(arg_idx_phis.iter().copied());
     for &p in &phis {
         if p != iterator && !acc_phis.contains(&p) {
             return Err(OutlineError::UnknownCarriedState);
@@ -188,38 +192,34 @@ pub fn parallelize(
             }
         }
     }
-    if func.block(exit_block).insts.iter().any(|&v| {
-        func.value(v).kind.opcode() == Some(&Opcode::Phi)
-    }) {
+    if func
+        .block(exit_block)
+        .insts
+        .iter()
+        .any(|&v| func.value(v).kind.opcode() == Some(&Opcode::Phi))
+    {
         return Err(OutlineError::ExitHasPhis);
     }
 
     // --- closure discovery ----------------------------------------------
-    let body_blocks: Vec<BlockId> = func
-        .block_ids()
-        .filter(|&b| l.contains(b) && b != header)
-        .collect();
+    let body_blocks: Vec<BlockId> =
+        func.block_ids().filter(|&b| l.contains(b) && b != header).collect();
     let inside: HashSet<ValueId> = body_blocks
         .iter()
         .flat_map(|&b| func.block(b).insts.iter().copied())
         .chain(phis.iter().copied())
         .collect();
     let mut closure: Vec<ValueId> = Vec::new();
-    let is_closure = |v: ValueId, func: &Function, closure: &mut Vec<ValueId>| {
-        match &func.value(v).kind {
-            ValueKind::Argument(_) | ValueKind::GlobalRef(_) => {
-                if !closure.contains(&v) {
-                    closure.push(v);
-                }
+    let is_closure =
+        |v: ValueId, func: &Function, closure: &mut Vec<ValueId>| match &func.value(v).kind {
+            ValueKind::Argument(_) | ValueKind::GlobalRef(_) if !closure.contains(&v) => {
+                closure.push(v);
             }
-            ValueKind::Inst { .. } => {
-                if !inside.contains(&v) && !closure.contains(&v) {
-                    closure.push(v);
-                }
+            ValueKind::Inst { .. } if !inside.contains(&v) && !closure.contains(&v) => {
+                closure.push(v);
             }
             _ => {}
-        }
-    };
+        };
     for &b in &body_blocks {
         for &inst in &func.block(b).insts {
             let data = func.value(inst);
@@ -254,6 +254,16 @@ pub fn parallelize(
         .iter()
         .map(|&b| root_object(func, b).expect("histogram root"))
         .collect();
+    // Scan outputs are reduction targets with their own slot: the runtime
+    // privatizes them in the partials pass and shares them (disjoint
+    // strided writes) in the replay pass.
+    let scan_out_roots: Vec<ValueId> = scan_rs
+        .iter()
+        .map(|r| root_object(func, r.binding("out_base")).expect("scan output root"))
+        .collect();
+    let invariance =
+        gr_analysis::invariant::Invariance::new(func, &analyses.loops, &analyses.purity);
+    let is_inv = |v: ValueId| invariance.is_invariant(lid, v);
     let mut written_roots: Vec<(ValueId, WrittenPolicy)> = Vec::new();
     for &b in &body_blocks {
         for &inst in &func.block(b).insts {
@@ -263,7 +273,7 @@ pub fn parallelize(
             }
             let ptr = data.kind.operands()[1];
             let Some(root) = root_object(func, ptr) else { continue };
-            if hist_roots.contains(&root) {
+            if hist_roots.contains(&root) || scan_out_roots.contains(&root) {
                 continue;
             }
             // Allocas inside the loop are thread-local by construction.
@@ -274,7 +284,7 @@ pub fn parallelize(
                     }
                 }
             }
-            let disjoint = store_index_disjoint(func, iterator, ptr);
+            let disjoint = store_index_disjoint(func, iterator, &is_inv, ptr);
             let policy = if disjoint {
                 WrittenPolicy::DisjointShared
             } else {
@@ -290,9 +300,15 @@ pub fn parallelize(
             }
         }
     }
-    // Written roots must be reachable through the closure (they are used
-    // by geps inside the loop, so they were discovered above).
+    // Written and scan-output roots must be reachable through the closure
+    // (they are used by geps inside the loop, so they were discovered
+    // above).
     for (root, _) in &written_roots {
+        if !closure.contains(root) {
+            closure.push(*root);
+        }
+    }
+    for root in &scan_out_roots {
         if !closure.contains(root) {
             closure.push(*root);
         }
@@ -311,17 +327,26 @@ pub fn parallelize(
     for (i, &cv) in closure.iter().enumerate() {
         params.push((format!("c{i}"), func.value(cv).ty));
     }
+    // Out-cell layout (mirrored by the intrinsic argument list): scalar
+    // cells, scan cells, then one (value, index) cell pair per arg slot.
+    let ptr_ty = |ty: Type| match ty {
+        Type::Int | Type::Bool => Type::PtrInt,
+        _ => Type::PtrFloat,
+    };
     let acc_out_base = params.len();
     for (i, r) in scalar_rs.iter().enumerate() {
-        let ty = func.value(r.anchor).ty;
-        let pty = match ty {
-            Type::Int | Type::Bool => Type::PtrInt,
-            _ => Type::PtrFloat,
-        };
-        params.push((format!("out{i}"), pty));
+        params.push((format!("out{i}"), ptr_ty(func.value(r.anchor).ty)));
     }
-    let param_refs: Vec<(&str, Type)> =
-        params.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    let scan_out_base = params.len();
+    for (i, r) in scan_rs.iter().enumerate() {
+        params.push((format!("scan{i}"), ptr_ty(func.value(r.anchor).ty)));
+    }
+    let arg_out_base = params.len();
+    for (i, r) in arg_rs.iter().enumerate() {
+        params.push((format!("argv{i}"), ptr_ty(func.value(r.anchor).ty)));
+        params.push((format!("argi{i}"), Type::PtrInt));
+    }
+    let param_refs: Vec<(&str, Type)> = params.iter().map(|(n, t)| (n.as_str(), *t)).collect();
     let mut chunk = Function::new(&chunk_name, &param_refs, Type::Void);
 
     let c_entry = chunk.add_block("entry");
@@ -358,17 +383,32 @@ pub fn parallelize(
     );
     chunk.blocks[c_header.index()].insts.push(c_iter);
     val_map.insert(iterator, c_iter);
-    let mut c_acc_phis = Vec::new();
-    for r in &scalar_rs {
-        let ty = func.value(r.anchor).ty;
-        let c_acc = chunk.add_value(
+    let mut header_phi = |chunk: &mut Function, anchor: ValueId, name: &str| {
+        let ty = func.value(anchor).ty;
+        let phi = chunk.add_value(
             ValueKind::Inst { opcode: Opcode::Phi, operands: vec![] },
             ty,
-            Some("acc".to_string()),
+            Some(name.to_string()),
         );
-        chunk.blocks[c_header.index()].insts.push(c_acc);
-        val_map.insert(r.anchor, c_acc);
+        chunk.blocks[c_header.index()].insts.push(phi);
+        val_map.insert(anchor, phi);
+        (phi, ty)
+    };
+    let mut c_acc_phis = Vec::new();
+    for r in &scalar_rs {
+        let (c_acc, ty) = header_phi(&mut chunk, r.anchor, "acc");
         c_acc_phis.push((c_acc, r.op, ty));
+    }
+    let mut c_scan_phis = Vec::new();
+    for r in &scan_rs {
+        let (c_acc, ty) = header_phi(&mut chunk, r.anchor, "scan_acc");
+        c_scan_phis.push((c_acc, ty));
+    }
+    let mut c_arg_phis = Vec::new();
+    for r in &arg_rs {
+        let (c_val, ty) = header_phi(&mut chunk, r.anchor, "arg_val");
+        let (c_idx, _) = header_phi(&mut chunk, r.binding("idx"), "arg_idx");
+        c_arg_phis.push((c_val, c_idx, r.op, ty));
     }
     let c_test = chunk.append_inst(
         c_header,
@@ -386,7 +426,16 @@ pub fn parallelize(
         Type::Void,
     );
 
-    // entry: br header
+    // entry: load each scan seed from its cell (the runtime stores the
+    // identity or the block offset there before invoking the chunk), then
+    // branch to the header.
+    let mut c_scan_seeds = Vec::new();
+    for (si, _) in scan_rs.iter().enumerate() {
+        let (_, ty) = c_scan_phis[si];
+        let cell = chunk.arg_values[scan_out_base + si];
+        let seed = chunk.append_inst(c_entry, Opcode::Load, vec![cell], ty);
+        c_scan_seeds.push(seed);
+    }
     chunk.append_inst(c_entry, Opcode::Br, vec![c_header_label], Type::Void);
 
     // Clone body instructions: phase 1 shells, phase 2 operands.
@@ -395,11 +444,8 @@ pub fn parallelize(
         for &inst in &func.block(b).insts.clone() {
             let data = func.value(inst).clone();
             let ValueKind::Inst { opcode, .. } = data.kind else { unreachable!() };
-            let c = chunk.add_value(
-                ValueKind::Inst { opcode, operands: vec![] },
-                data.ty,
-                data.name,
-            );
+            let c =
+                chunk.add_value(ValueKind::Inst { opcode, operands: vec![] }, data.ty, data.name);
             chunk.blocks[block_map[&b].index()].insts.push(c);
             val_map.insert(inst, c);
             cloned.push((inst, c));
@@ -422,21 +468,39 @@ pub fn parallelize(
     if let ValueKind::Inst { operands, .. } = &mut chunk.value_mut(c_iter).kind {
         operands.extend([lo_arg, c_entry_label, next_iter_clone, c_latch_label]);
     }
+    let identity_of = |chunk: &mut Function, op: gr_core::ReductionOp, ty: Type| match ty {
+        Type::Int | Type::Bool => chunk.const_int(op.identity_int()),
+        _ => chunk.const_float(op.identity_float()),
+    };
     for (ri, r) in scalar_rs.iter().enumerate() {
         let (c_acc, op, ty) = c_acc_phis[ri];
-        let identity = match ty {
-            Type::Int | Type::Bool => chunk.const_int(op.identity_int()),
-            _ => chunk.const_float(op.identity_float()),
-        };
-        let acc_next = r
-            .bindings
-            .iter()
-            .find(|(n, _)| n == "acc_next")
-            .map(|(_, v)| *v)
-            .expect("acc_next binding");
-        let next_clone = val_map[&acc_next];
+        let identity = identity_of(&mut chunk, op, ty);
+        let next_clone = val_map[&r.binding("acc_next")];
         if let ValueKind::Inst { operands, .. } = &mut chunk.value_mut(c_acc).kind {
             operands.extend([identity, c_entry_label, next_clone, c_latch_label]);
+        }
+    }
+    // Scan accumulators are seeded from their cell, not a constant.
+    for (si, r) in scan_rs.iter().enumerate() {
+        let (c_acc, _) = c_scan_phis[si];
+        let seed = c_scan_seeds[si];
+        let next_clone = val_map[&r.binding("acc_next")];
+        if let ValueKind::Inst { operands, .. } = &mut chunk.value_mut(c_acc).kind {
+            operands.extend([seed, c_entry_label, next_clone, c_latch_label]);
+        }
+    }
+    // Argmin/argmax pairs start from (identity, sentinel).
+    for (ai, r) in arg_rs.iter().enumerate() {
+        let (c_val, c_idx, op, ty) = c_arg_phis[ai];
+        let identity = identity_of(&mut chunk, op, ty);
+        let sentinel = chunk.const_int(crate::plan::ARG_IDX_SENTINEL);
+        let val_next_clone = val_map[&r.binding("val_next")];
+        let idx_next_clone = val_map[&r.binding("idx_next")];
+        if let ValueKind::Inst { operands, .. } = &mut chunk.value_mut(c_val).kind {
+            operands.extend([identity, c_entry_label, val_next_clone, c_latch_label]);
+        }
+        if let ValueKind::Inst { operands, .. } = &mut chunk.value_mut(c_idx).kind {
+            operands.extend([sentinel, c_entry_label, idx_next_clone, c_latch_label]);
         }
     }
     // exit: store partials, ret.
@@ -445,6 +509,18 @@ pub fn parallelize(
         let out = chunk.arg_values[acc_out_base + ri];
         chunk.append_inst(c_exit, Opcode::Store, vec![c_acc, out], Type::Void);
     }
+    for (si, _) in scan_rs.iter().enumerate() {
+        let (c_acc, _) = c_scan_phis[si];
+        let out = chunk.arg_values[scan_out_base + si];
+        chunk.append_inst(c_exit, Opcode::Store, vec![c_acc, out], Type::Void);
+    }
+    for (ai, _) in arg_rs.iter().enumerate() {
+        let (c_val, c_idx, _, _) = c_arg_phis[ai];
+        let val_out = chunk.arg_values[arg_out_base + 2 * ai];
+        let idx_out = chunk.arg_values[arg_out_base + 2 * ai + 1];
+        chunk.append_inst(c_exit, Opcode::Store, vec![c_val, val_out], Type::Void);
+        chunk.append_inst(c_exit, Opcode::Store, vec![c_idx, idx_out], Type::Void);
+    }
     chunk.append_inst(c_exit, Opcode::Ret, vec![], Type::Void);
 
     // --- rewrite the original function ------------------------------------
@@ -452,28 +528,32 @@ pub fn parallelize(
     let f = &mut out.functions[fi];
 
     // Remove the preheader's terminator.
-    let term = f.blocks[preheader.index()]
-        .insts
-        .pop()
-        .expect("preheader has a terminator");
+    let term = f.blocks[preheader.index()].insts.pop().expect("preheader has a terminator");
     debug_assert_eq!(f.value(term).kind.opcode(), Some(&Opcode::Br));
 
-    // Cells for scalar accumulators.
+    // Cells for the carried values, mirroring the chunk's out-cell layout:
+    // scalar cells, scan cells, then (value, index) pairs per arg slot.
+    // Each cell is seeded with the loop's original initial value.
     let mut cells = Vec::new();
+    let mut carried: Vec<(ValueId, ValueId)> = Vec::new(); // (phi, init)
     for r in &scalar_rs {
-        let ty = f.value(r.anchor).ty;
+        carried.push((r.anchor, r.binding("acc_init")));
+    }
+    for r in &scan_rs {
+        carried.push((r.anchor, r.binding("acc_init")));
+    }
+    for r in &arg_rs {
+        carried.push((r.anchor, r.binding("val_init")));
+        carried.push((r.binding("idx"), r.binding("idx_init")));
+    }
+    for &(phi, init) in &carried {
+        let ty = f.value(phi).ty;
         let one = f.const_int(1);
         let pty = match ty {
             Type::Int | Type::Bool => Type::PtrInt,
             _ => Type::PtrFloat,
         };
         let cell = f.append_inst(preheader, Opcode::Alloca, vec![one], pty);
-        let init = r
-            .bindings
-            .iter()
-            .find(|(n, _)| n == "acc_init")
-            .map(|(_, v)| *v)
-            .expect("acc_init binding");
         f.append_inst(preheader, Opcode::Store, vec![init, cell], Type::Void);
         cells.push(cell);
     }
@@ -485,10 +565,10 @@ pub fn parallelize(
     f.append_inst(preheader, Opcode::Call(intrinsic.clone()), call_args, Type::Void);
     // Reload finals and rewire post-loop uses.
     let mut finals = Vec::new();
-    for (ri, r) in scalar_rs.iter().enumerate() {
-        let ty = f.value(r.anchor).ty;
-        let final_v = f.append_inst(preheader, Opcode::Load, vec![cells[ri]], ty);
-        finals.push((r.anchor, final_v));
+    for (ci, &(phi, _)) in carried.iter().enumerate() {
+        let ty = f.value(phi).ty;
+        let final_v = f.append_inst(preheader, Opcode::Load, vec![cells[ci]], ty);
+        finals.push((phi, final_v));
     }
     let exit_label = f.block(exit_block).label;
     f.append_inst(preheader, Opcode::Br, vec![exit_label], Type::Void);
@@ -554,6 +634,31 @@ pub fn parallelize(
             policy: *policy,
         })
         .collect();
+    let scans: Vec<ScanSlot> = scan_rs
+        .iter()
+        .zip(&scan_out_roots)
+        .enumerate()
+        .map(|(si, (r, root))| ScanSlot {
+            cell_arg_index: scan_out_base + si,
+            out_arg_index: 3 + closure
+                .iter()
+                .position(|c| c == root)
+                .expect("scan output root in closure"),
+            ty: func.value(r.anchor).ty,
+            op: r.op,
+        })
+        .collect();
+    let args: Vec<ArgSlot> = arg_rs
+        .iter()
+        .enumerate()
+        .map(|(ai, r)| ArgSlot {
+            val_arg_index: arg_out_base + 2 * ai,
+            idx_arg_index: arg_out_base + 2 * ai + 1,
+            ty: func.value(r.anchor).ty,
+            op: r.op,
+            pred: r.arg_pred.expect("argmin/argmax report carries its predicate"),
+        })
+        .collect();
 
     out.push_function(chunk);
     gr_ir::verify::verify_module(&out).expect("outlined module must verify");
@@ -565,6 +670,8 @@ pub fn parallelize(
         pred,
         accs,
         hists,
+        scans,
+        args,
         written,
         arg_count,
     };
@@ -597,38 +704,20 @@ fn map_operand(
 
 /// Whether the store address is provably a distinct element for every
 /// iteration: the index is `i`, `i ± inv`, `i * c` or `i * c ± inv` with
-/// `c` a nonzero integer constant.
-fn store_index_disjoint(func: &Function, iterator: ValueId, ptr: ValueId) -> bool {
+/// `c` a nonzero integer constant — [`gr_analysis::scev::is_strided_in`],
+/// the same predicate the scan post-check applies to its output index.
+fn store_index_disjoint(
+    func: &Function,
+    iterator: ValueId,
+    is_invariant: &dyn Fn(ValueId) -> bool,
+    ptr: ValueId,
+) -> bool {
     let data = func.value(ptr);
     if data.kind.opcode() != Some(&Opcode::Gep) {
         return false;
     }
     let idx = data.kind.operands()[1];
-    strided_in_iterator(func, iterator, idx)
-}
-
-fn strided_in_iterator(func: &Function, iterator: ValueId, v: ValueId) -> bool {
-    if v == iterator {
-        return true;
-    }
-    let data = func.value(v);
-    let Some(op) = data.kind.opcode() else { return false };
-    let ops = data.kind.operands();
-    match op {
-        Opcode::Bin(gr_ir::BinOp::Add | gr_ir::BinOp::Sub) => {
-            let a_strided = strided_in_iterator(func, iterator, ops[0]);
-            let b_strided = strided_in_iterator(func, iterator, ops[1]);
-            // exactly one side strided; the other must not mention the
-            // iterator at all (checked conservatively by requiring it to be
-            // a non-strided value that is not the iterator).
-            a_strided != b_strided
-        }
-        Opcode::Bin(gr_ir::BinOp::Mul) => {
-            let const_nz = |x: ValueId| matches!(func.value(x).kind, ValueKind::ConstInt(c) if c != 0);
-            (ops[0] == iterator && const_nz(ops[1])) || (ops[1] == iterator && const_nz(ops[0]))
-        }
-        _ => false,
-    }
+    gr_analysis::scev::is_strided_in(func, iterator, is_invariant, idx)
 }
 
 #[cfg(test)]
@@ -745,6 +834,10 @@ mod tests {
             .value_ids()
             .find(|&v| func.value(v).kind.opcode() == Some(&Opcode::Phi))
             .unwrap();
-        assert!(store_index_disjoint(func, phi, ptr));
+        let analyses = Analyses::new(&m, func);
+        let inv = gr_analysis::invariant::Invariance::new(func, &analyses.loops, &analyses.purity);
+        let lid = gr_analysis::loops::LoopId(0);
+        let is_inv = |v: ValueId| inv.is_invariant(lid, v);
+        assert!(store_index_disjoint(func, phi, &is_inv, ptr));
     }
 }

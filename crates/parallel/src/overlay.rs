@@ -11,11 +11,10 @@
 //!   the critical-section style "original parallel versions" of tpacf and
 //!   histo (paper §6.3).
 
+use crate::sync::Mutex;
 use gr_interp::memory::{MemBackend, MemError, Memory, Obj, ObjId};
 use gr_ir::Type;
-use parking_lot::Mutex;
 use std::cell::UnsafeCell;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Shared storage written without synchronization.
@@ -115,13 +114,18 @@ pub enum Redirect {
     Raw(Arc<SharedRaw>),
     /// Mutex-protected shared storage (one lock round-trip per access).
     Locked(Arc<Mutex<Obj>>),
+    /// Write-only sink: stores vanish, loads are a planner bug (used for
+    /// outputs a pass recomputes later, e.g. the scan partials pass).
+    Sink,
 }
 
 /// A thread's view: base memory (read-only) plus redirects plus private
 /// allocations made by `alloca` during chunk execution.
 pub struct OverlayMemory<'b> {
     base: &'b Memory,
-    redirects: HashMap<ObjId, Redirect>,
+    /// Dense per-base-object redirect table — every load/store consults
+    /// it, so it must be an index, not a hash lookup.
+    redirects: Vec<Option<Redirect>>,
     private: Vec<Obj>,
     /// Objects allocated by this thread (ids above the base range).
     fresh: Vec<Obj>,
@@ -134,29 +138,53 @@ impl<'b> OverlayMemory<'b> {
     pub fn new(base: &'b Memory) -> OverlayMemory<'b> {
         OverlayMemory {
             base,
-            redirects: HashMap::new(),
+            redirects: (0..base.object_count()).map(|_| None).collect(),
             private: Vec::new(),
             fresh: Vec::new(),
             fresh_base: base.object_count(),
         }
     }
 
+    fn set_redirect(&mut self, obj: ObjId, r: Redirect) {
+        assert!(obj.index() < self.fresh_base, "only base objects can be redirected");
+        self.redirects[obj.index()] = Some(r);
+    }
+
+    #[inline]
+    fn redirect_of(&self, obj: ObjId) -> Option<&Redirect> {
+        self.redirects.get(obj.index()).and_then(Option::as_ref)
+    }
+
     /// Redirects `obj` to a private copy seeded with `seed`.
-    pub fn redirect_private(&mut self, obj: ObjId, seed: Obj, growable: bool, fill_i: i64, fill_f: f64) {
+    pub fn redirect_private(
+        &mut self,
+        obj: ObjId,
+        seed: Obj,
+        growable: bool,
+        fill_i: i64,
+        fill_f: f64,
+    ) {
         let slot = self.private.len();
         self.private.push(seed);
-        self.redirects
-            .insert(obj, Redirect::Private { slot, growable, fill_i, fill_f });
+        self.set_redirect(obj, Redirect::Private { slot, growable, fill_i, fill_f });
     }
 
     /// Redirects `obj` to raw shared storage.
     pub fn redirect_raw(&mut self, obj: ObjId, shared: Arc<SharedRaw>) {
-        self.redirects.insert(obj, Redirect::Raw(shared));
+        self.set_redirect(obj, Redirect::Raw(shared));
     }
 
     /// Redirects `obj` to lock-protected shared storage.
     pub fn redirect_locked(&mut self, obj: ObjId, shared: Arc<Mutex<Obj>>) {
-        self.redirects.insert(obj, Redirect::Locked(shared));
+        self.set_redirect(obj, Redirect::Locked(shared));
+    }
+
+    /// Redirects `obj` to a write-only sink (stores vanish; loads trap).
+    /// Sound only when the plan proves the loop never reads the object —
+    /// the scan specification's `OnlyObjectAccesses` guarantees exactly
+    /// that for scan outputs.
+    pub fn redirect_sink(&mut self, obj: ObjId) {
+        self.set_redirect(obj, Redirect::Sink);
     }
 
     /// Extracts the private copy that was installed for `obj`.
@@ -165,9 +193,10 @@ impl<'b> OverlayMemory<'b> {
     /// Panics if `obj` has no private redirect.
     #[must_use]
     pub fn take_private(&mut self, obj: ObjId) -> Obj {
-        match self.redirects.get(&obj) {
+        match self.redirect_of(obj) {
             Some(Redirect::Private { slot, .. }) => {
-                std::mem::replace(&mut self.private[*slot], Obj::I(Vec::new()))
+                let slot = *slot;
+                std::mem::replace(&mut self.private[slot], Obj::I(Vec::new()))
             }
             _ => panic!("object {obj:?} has no private redirect"),
         }
@@ -183,7 +212,7 @@ impl<'b> OverlayMemory<'b> {
 
 impl MemBackend for OverlayMemory<'_> {
     fn load_i(&self, obj: ObjId, index: i64) -> Result<i64, MemError> {
-        match self.redirects.get(&obj) {
+        match self.redirect_of(obj) {
             None => {
                 if obj.index() >= self.fresh_base {
                     let o = self
@@ -209,11 +238,12 @@ impl MemBackend for OverlayMemory<'_> {
                 let g = m.lock();
                 read_obj_i(&g, obj, index)
             }
+            Some(Redirect::Sink) => Err(MemError::BadObject(obj)),
         }
     }
 
     fn load_f(&self, obj: ObjId, index: i64) -> Result<f64, MemError> {
-        match self.redirects.get(&obj) {
+        match self.redirect_of(obj) {
             None => {
                 if obj.index() >= self.fresh_base {
                     let o = self
@@ -239,18 +269,17 @@ impl MemBackend for OverlayMemory<'_> {
                 let g = m.lock();
                 read_obj_f(&g, obj, index)
             }
+            Some(Redirect::Sink) => Err(MemError::BadObject(obj)),
         }
     }
 
     fn store_i(&mut self, obj: ObjId, index: i64, v: i64) -> Result<(), MemError> {
-        match self.redirects.get_mut(&obj) {
+        match self.redirects.get_mut(obj.index()).and_then(Option::as_mut) {
             None => {
                 if obj.index() >= self.fresh_base {
                     let base = self.fresh_base;
-                    let o = self
-                        .fresh
-                        .get_mut(obj.index() - base)
-                        .ok_or(MemError::BadObject(obj))?;
+                    let o =
+                        self.fresh.get_mut(obj.index() - base).ok_or(MemError::BadObject(obj))?;
                     return write_obj_i(o, obj, index, v);
                 }
                 // Writing a shared base object from a thread is a planner
@@ -274,18 +303,17 @@ impl MemBackend for OverlayMemory<'_> {
                 let mut g = m.lock();
                 write_obj_i(&mut g, obj, index, v)
             }
+            Some(Redirect::Sink) => Ok(()),
         }
     }
 
     fn store_f(&mut self, obj: ObjId, index: i64, v: f64) -> Result<(), MemError> {
-        match self.redirects.get_mut(&obj) {
+        match self.redirects.get_mut(obj.index()).and_then(Option::as_mut) {
             None => {
                 if obj.index() >= self.fresh_base {
                     let base = self.fresh_base;
-                    let o = self
-                        .fresh
-                        .get_mut(obj.index() - base)
-                        .ok_or(MemError::BadObject(obj))?;
+                    let o =
+                        self.fresh.get_mut(obj.index() - base).ok_or(MemError::BadObject(obj))?;
                     return write_obj_f(o, obj, index, v);
                 }
                 Err(MemError::BadObject(obj))
@@ -307,6 +335,7 @@ impl MemBackend for OverlayMemory<'_> {
                 let mut g = m.lock();
                 write_obj_f(&mut g, obj, index, v)
             }
+            Some(Redirect::Sink) => Ok(()),
         }
     }
 

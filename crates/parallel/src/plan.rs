@@ -29,6 +29,47 @@ pub struct HistSlot {
     pub growable: bool,
 }
 
+/// A prefix-scan slot: the carried running value plus the output array the
+/// loop materializes it into. Executed by the two-pass block-scan template:
+/// pass one computes per-block partials from identity seeds, the runtime
+/// turns them into block offsets, pass two re-runs each block from its
+/// offset and writes the final output (disjoint per block, since the
+/// output index is strided in the iterator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanSlot {
+    /// Position of the accumulator cell pointer in the intrinsic argument
+    /// list (doubles as the chunk's seed input and partial output).
+    pub cell_arg_index: usize,
+    /// Position of the output array pointer in the intrinsic argument list.
+    pub out_arg_index: usize,
+    /// Element type of the accumulator.
+    pub ty: Type,
+    /// Merge operator (any associative operator scans).
+    pub op: ReductionOp,
+}
+
+/// An argmin/argmax slot: a privatized `(value, index)` pair. Each thread
+/// runs its block from the identity value and a sentinel index; the merge
+/// replays the normalized exchange predicate over block partials in
+/// iteration order, which reproduces the sequential tie-break exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArgSlot {
+    /// Position of the value cell pointer in the intrinsic argument list.
+    pub val_arg_index: usize,
+    /// Position of the index cell pointer in the intrinsic argument list.
+    pub idx_arg_index: usize,
+    /// Element type of the extremum value.
+    pub ty: Type,
+    /// `Min` or `Max` (diagnostic; the merge itself replays `pred`).
+    pub op: ReductionOp,
+    /// Normalized exchange predicate: a block partial replaces the running
+    /// best exactly when `partial.value PRED best.value`.
+    pub pred: CmpPred,
+}
+
+/// The sentinel index meaning "this block never exchanged".
+pub const ARG_IDX_SENTINEL: i64 = i64::MIN;
+
 /// How the runtime treats a memory object the loop writes that is *not* a
 /// reduction target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +109,10 @@ pub struct ReductionPlan {
     pub accs: Vec<AccSlot>,
     /// Histogram slots.
     pub hists: Vec<HistSlot>,
+    /// Prefix-scan slots.
+    pub scans: Vec<ScanSlot>,
+    /// Argmin/argmax slots.
+    pub args: Vec<ArgSlot>,
     /// Non-reduction written objects.
     pub written: Vec<WrittenSlot>,
     /// Total number of intrinsic arguments (`lo, hi, step, closure…,
@@ -122,6 +167,8 @@ mod tests {
             pred,
             accs: vec![],
             hists: vec![],
+            scans: vec![],
+            args: vec![],
             written: vec![],
             arg_count: 3,
         }

@@ -10,17 +10,27 @@
 //!   with the original initial value after the join;
 //! * histograms: private copies (optionally grown dynamically on
 //!   out-of-bounds bin indices), merged element-wise;
+//! * prefix scans: the **two-pass block scan** — a partials pass runs
+//!   every block from the identity with the output array privatized and
+//!   discarded, the runtime folds the block partials into per-block
+//!   offsets, and a replay pass re-runs each block seeded with its offset,
+//!   writing the output through unsynchronized shared storage (the
+//!   detector guarantees strided, therefore block-disjoint, indices);
+//! * argmin/argmax pairs: per-thread `(value, index)` cells seeded with
+//!   `(identity, sentinel)`, folded in iteration order by replaying the
+//!   normalized exchange predicate — bit-equal with sequential execution,
+//!   including ties;
 //! * disjoint-written arrays: shared without synchronization;
 //! * other written arrays: private copies, with the copy of the thread
 //!   executing the last iterations written back.
 
 use crate::overlay::{OverlayMemory, SharedRaw};
-use crate::plan::{ReductionPlan, WrittenPolicy};
+use crate::plan::{ReductionPlan, WrittenPolicy, ARG_IDX_SENTINEL};
 use gr_core::ReductionOp;
 use gr_interp::machine::{IntrinsicHandler, Machine, Trap};
 use gr_interp::memory::{MemBackend, Memory, Obj, ObjId};
 use gr_interp::RtVal;
-use gr_ir::{Module, Type};
+use gr_ir::{CmpPred, Module, Type};
 use std::sync::Arc;
 
 /// Builds the intrinsic handler for `plan`, executing on up to `threads`
@@ -70,6 +80,209 @@ fn object_of(arg: RtVal) -> Result<ObjId, Trap> {
     }
 }
 
+/// A per-scan seed value handed to one piece (identity in the partials
+/// pass, the block offset in the replay pass).
+#[derive(Debug, Clone, Copy)]
+enum SeedVal {
+    /// Integer accumulator seed.
+    I(i64),
+    /// Float accumulator seed.
+    F(f64),
+}
+
+impl SeedVal {
+    fn identity(op: ReductionOp, ty: Type) -> SeedVal {
+        match ty {
+            Type::Int | Type::Bool => SeedVal::I(op.identity_int()),
+            _ => SeedVal::F(op.identity_float()),
+        }
+    }
+
+    fn into_obj(self) -> Obj {
+        match self {
+            SeedVal::I(v) => Obj::I(vec![v]),
+            SeedVal::F(v) => Obj::F(vec![v]),
+        }
+    }
+
+    fn merge(self, op: ReductionOp, partial: &Obj) -> SeedVal {
+        match self {
+            SeedVal::I(v) => {
+                let Obj::I(p) = partial else { panic!("scan cell type mismatch") };
+                SeedVal::I(op.merge_int(v, p[0]))
+            }
+            SeedVal::F(v) => {
+                let Obj::F(p) = partial else { panic!("scan cell type mismatch") };
+                SeedVal::F(op.merge_float(v, p[0]))
+            }
+        }
+    }
+}
+
+/// Everything one piece hands back to the merge step.
+struct PieceOut {
+    piece: usize,
+    cells: Vec<Obj>,
+    scan_cells: Vec<Obj>,
+    hists: Vec<Obj>,
+    arg_vals: Vec<Obj>,
+    arg_idxs: Vec<Obj>,
+    copyback: Vec<Obj>,
+}
+
+/// All resolved runtime objects of one plan.
+struct PlanObjects {
+    cells: Vec<ObjId>,
+    hists: Vec<ObjId>,
+    scan_cells: Vec<ObjId>,
+    scan_outs: Vec<ObjId>,
+    arg_vals: Vec<ObjId>,
+    arg_idxs: Vec<ObjId>,
+    written: Vec<ObjId>,
+}
+
+impl PlanObjects {
+    fn resolve(plan: &ReductionPlan, args: &[RtVal]) -> Result<PlanObjects, Trap> {
+        let get = |ix: &[usize]| -> Result<Vec<ObjId>, Trap> {
+            ix.iter().map(|&i| object_of(args[i])).collect()
+        };
+        Ok(PlanObjects {
+            cells: get(&plan.accs.iter().map(|a| a.arg_index).collect::<Vec<_>>())?,
+            hists: get(&plan.hists.iter().map(|h| h.arg_index).collect::<Vec<_>>())?,
+            scan_cells: get(&plan.scans.iter().map(|s| s.cell_arg_index).collect::<Vec<_>>())?,
+            scan_outs: get(&plan.scans.iter().map(|s| s.out_arg_index).collect::<Vec<_>>())?,
+            arg_vals: get(&plan.args.iter().map(|a| a.val_arg_index).collect::<Vec<_>>())?,
+            arg_idxs: get(&plan.args.iter().map(|a| a.idx_arg_index).collect::<Vec<_>>())?,
+            written: get(&plan.written.iter().map(|w| w.arg_index).collect::<Vec<_>>())?,
+        })
+    }
+}
+
+/// Runs one pass of the chunk over all pieces.
+///
+/// `scan_seeds[piece][scan]` seeds the scan cells; `scan_shared` switches
+/// the scan outputs between privatized-and-discarded (partials pass) and
+/// unsynchronized shared storage (replay pass); `written_raw` carries the
+/// shared storage for disjoint-written objects (`None` entries privatize,
+/// which the partials pass uses to keep every side effect off the base).
+#[allow(clippy::too_many_arguments)]
+fn run_pass(
+    module: &Module,
+    plan: &ReductionPlan,
+    args: &[RtVal],
+    mem: &Memory,
+    pieces: &[(i64, i64)],
+    bounds: (i64, i64, i64, i64),
+    objs: &PlanObjects,
+    written_raw: &[Option<Arc<SharedRaw>>],
+    scan_seeds: &[Vec<SeedVal>],
+    scan_shared: Option<&[Arc<SharedRaw>]>,
+) -> Result<Vec<PieceOut>, Trap> {
+    let (lo, hi, step, count) = bounds;
+    let results: Result<Vec<PieceOut>, Trap> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (pi, &(start, len)) in pieces.iter().enumerate() {
+            let base: &Memory = mem;
+            let mut piece_args = args.to_vec();
+            let seeds = scan_seeds[pi].clone();
+            handles.push(scope.spawn(move || -> Result<PieceOut, Trap> {
+                let p_lo = plan.nth_iter_value(lo, step, start);
+                let p_hi = plan.nth_iter_value(lo, step, start + len);
+                piece_args[0] = RtVal::I(p_lo);
+                piece_args[1] = RtVal::I(clamp_hi(plan, p_hi, hi, step, start + len == count));
+                let mut overlay = OverlayMemory::new(base);
+                for (&cell, acc) in objs.cells.iter().zip(&plan.accs) {
+                    overlay.redirect_private(
+                        cell,
+                        SeedVal::identity(acc.op, acc.ty).into_obj(),
+                        false,
+                        0,
+                        0.0,
+                    );
+                }
+                for (&cell, seed) in objs.scan_cells.iter().zip(&seeds) {
+                    overlay.redirect_private(cell, seed.into_obj(), false, 0, 0.0);
+                }
+                for (si, &out) in objs.scan_outs.iter().enumerate() {
+                    match scan_shared {
+                        Some(raws) => overlay.redirect_raw(out, Arc::clone(&raws[si])),
+                        // Partials pass: output writes are recomputed by
+                        // the replay pass; sink them (the spec proves the
+                        // loop never reads the output).
+                        None => overlay.redirect_sink(out),
+                    }
+                }
+                for (&vobj, slot) in objs.arg_vals.iter().zip(&plan.args) {
+                    overlay.redirect_private(
+                        vobj,
+                        SeedVal::identity(slot.op, slot.ty).into_obj(),
+                        false,
+                        0,
+                        0.0,
+                    );
+                }
+                for &iobj in &objs.arg_idxs {
+                    overlay.redirect_private(iobj, Obj::I(vec![ARG_IDX_SENTINEL]), false, 0, 0.0);
+                }
+                for (&hobj, h) in objs.hists.iter().zip(&plan.hists) {
+                    let len = if h.growable { 1 } else { base.object(hobj).len() };
+                    let (fill_i, fill_f) = (h.op.identity_int(), h.op.identity_float());
+                    let seed = match h.elem {
+                        Type::Int => Obj::I(vec![fill_i; len]),
+                        _ => Obj::F(vec![fill_f; len]),
+                    };
+                    overlay.redirect_private(hobj, seed, h.growable, fill_i, fill_f);
+                }
+                for ((&wobj, w), raw) in objs.written.iter().zip(&plan.written).zip(written_raw) {
+                    match (w.policy, raw) {
+                        (WrittenPolicy::DisjointShared, Some(raw)) => {
+                            overlay.redirect_raw(wobj, Arc::clone(raw));
+                        }
+                        _ => {
+                            overlay.redirect_private(
+                                wobj,
+                                base.object(wobj).clone(),
+                                false,
+                                0,
+                                0.0,
+                            );
+                        }
+                    }
+                }
+                let mut machine = Machine::new(module, overlay);
+                machine.call(&plan.chunk_fn, &piece_args)?;
+                let mut overlay = machine.mem;
+                let take = |ov: &mut OverlayMemory<'_>, objs: &[ObjId]| -> Vec<Obj> {
+                    objs.iter().map(|&o| ov.take_private(o)).collect()
+                };
+                let cells = take(&mut overlay, &objs.cells);
+                let scan_cells = take(&mut overlay, &objs.scan_cells);
+                let hists = take(&mut overlay, &objs.hists);
+                let arg_vals = take(&mut overlay, &objs.arg_vals);
+                let arg_idxs = take(&mut overlay, &objs.arg_idxs);
+                let copyback: Vec<Obj> = objs
+                    .written
+                    .iter()
+                    .zip(&plan.written)
+                    .zip(written_raw)
+                    .filter(|((_, w), raw)| {
+                        w.policy == WrittenPolicy::PrivateCopyback || raw.is_none()
+                    })
+                    .map(|((&o, _), _)| overlay.take_private(o))
+                    .collect();
+                Ok(PieceOut { piece: pi, cells, scan_cells, hists, arg_vals, arg_idxs, copyback })
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("reduction worker panicked"))
+            .collect()
+    });
+    let mut results = results?;
+    results.sort_by_key(|r| r.piece);
+    Ok(results)
+}
+
 fn execute(
     module: &Module,
     plan: &ReductionPlan,
@@ -85,27 +298,12 @@ fn execute(
         return Ok(None);
     }
     let pieces = bisect(count, threads.min(count.max(1) as usize));
+    let bounds = (lo, hi, step, count);
+    let objs = PlanObjects::resolve(plan, args)?;
 
-    // Resolve runtime objects.
-    let cell_objs: Vec<ObjId> = plan
-        .accs
-        .iter()
-        .map(|a| object_of(args[a.arg_index]))
-        .collect::<Result<_, _>>()?;
-    let hist_objs: Vec<ObjId> = plan
-        .hists
-        .iter()
-        .map(|h| object_of(args[h.arg_index]))
-        .collect::<Result<_, _>>()?;
-    let written_objs: Vec<ObjId> = plan
-        .written
-        .iter()
-        .map(|w| object_of(args[w.arg_index]))
-        .collect::<Result<_, _>>()?;
-
-    // Shared storage for disjoint-written objects.
+    // Shared storage for disjoint-written objects (final pass only).
     let mut raw_shared: Vec<Option<Arc<SharedRaw>>> = Vec::new();
-    for (w, &obj) in plan.written.iter().zip(&written_objs) {
+    for (w, &obj) in plan.written.iter().zip(&objs.written) {
         raw_shared.push(match w.policy {
             WrittenPolicy::DisjointShared => {
                 Some(Arc::new(SharedRaw::new(mem.object(obj).clone())))
@@ -114,128 +312,204 @@ fn execute(
         });
     }
 
-    type PieceResult = (usize, Vec<Obj>, Vec<Obj>, Vec<Obj>); // (piece, cells, hists, copybacks)
-    let results: Result<Vec<PieceResult>, Trap> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (pi, &(start, len)) in pieces.iter().enumerate() {
-            let base: &Memory = &*mem;
-            let raw_shared = raw_shared.clone();
-            let hist_objs = hist_objs.clone();
-            let cell_objs = cell_objs.clone();
-            let written_objs = written_objs.clone();
-            let mut piece_args = args.to_vec();
-            handles.push(scope.spawn(move || -> Result<PieceResult, Trap> {
-                let p_lo = plan.nth_iter_value(lo, step, start);
-                let p_hi = plan.nth_iter_value(lo, step, start + len);
-                piece_args[0] = RtVal::I(p_lo);
-                piece_args[1] = RtVal::I(clamp_hi(plan, p_hi, hi, step, start + len == count));
-                let mut overlay = OverlayMemory::new(base);
-                for (ai, (&cell, acc)) in cell_objs.iter().zip(&plan.accs).enumerate() {
-                    let _ = ai;
-                    let seed = match acc.ty {
-                        Type::Int | Type::Bool => Obj::I(vec![acc.op.identity_int()]),
-                        _ => Obj::F(vec![acc.op.identity_float()]),
-                    };
-                    overlay.redirect_private(cell, seed, false, 0, 0.0);
-                }
-                for (&hobj, h) in hist_objs.iter().zip(&plan.hists) {
-                    let len = if h.growable { 1 } else { base.object(hobj).len() };
-                    let (fill_i, fill_f) = (h.op.identity_int(), h.op.identity_float());
-                    let seed = match h.elem {
-                        Type::Int => Obj::I(vec![fill_i; len]),
-                        _ => Obj::F(vec![fill_f; len]),
-                    };
-                    overlay.redirect_private(hobj, seed, h.growable, fill_i, fill_f);
-                }
-                for ((&wobj, w), raw) in written_objs.iter().zip(&plan.written).zip(&raw_shared) {
-                    match w.policy {
-                        WrittenPolicy::DisjointShared => {
-                            overlay.redirect_raw(wobj, Arc::clone(raw.as_ref().expect("raw")));
-                        }
-                        WrittenPolicy::PrivateCopyback => {
-                            overlay.redirect_private(wobj, base.object(wobj).clone(), false, 0, 0.0);
-                        }
-                    }
-                }
-                let mut machine = Machine::new(module, overlay);
-                machine.call(&plan.chunk_fn, &piece_args)?;
-                let mut overlay = machine.mem;
-                let cells: Vec<Obj> = cell_objs.iter().map(|&c| overlay.take_private(c)).collect();
-                let hists: Vec<Obj> = hist_objs.iter().map(|&h| overlay.take_private(h)).collect();
-                let copyback: Vec<Obj> = written_objs
-                    .iter()
-                    .zip(&plan.written)
-                    .filter(|(_, w)| w.policy == WrittenPolicy::PrivateCopyback)
-                    .map(|(&o, _)| overlay.take_private(o))
-                    .collect();
-                Ok((pi, cells, hists, copyback))
-            }));
+    // Initial scan seeds: the merge identity for the partials pass.
+    let identity_seeds: Vec<SeedVal> =
+        plan.scans.iter().map(|s| SeedVal::identity(s.op, s.ty)).collect();
+
+    let results = if plan.scans.is_empty() {
+        run_pass(
+            module,
+            plan,
+            args,
+            mem,
+            &pieces,
+            bounds,
+            &objs,
+            &raw_shared,
+            &vec![identity_seeds; pieces.len()],
+            None,
+        )?
+    } else {
+        // Two-pass block scan. Pass one computes per-block partials with
+        // all side effects privatized and discarded.
+        let no_raw = vec![None; plan.written.len()];
+        let partials = run_pass(
+            module,
+            plan,
+            args,
+            mem,
+            &pieces,
+            bounds,
+            &objs,
+            &no_raw,
+            &vec![identity_seeds; pieces.len()],
+            None,
+        )?;
+        // Fold block partials into per-block offsets: block 0 starts from
+        // the original initial value, block t from offset(t-1) ⊕
+        // partial(t-1).
+        let mut offsets: Vec<Vec<SeedVal>> = Vec::with_capacity(pieces.len());
+        let mut running: Vec<SeedVal> = plan
+            .scans
+            .iter()
+            .zip(&objs.scan_cells)
+            .map(|(s, &cell)| match s.ty {
+                Type::Int | Type::Bool => Ok(SeedVal::I(mem.load_i(cell, 0).map_err(Trap::Mem)?)),
+                _ => Ok(SeedVal::F(mem.load_f(cell, 0).map_err(Trap::Mem)?)),
+            })
+            .collect::<Result<_, Trap>>()?;
+        for p in &partials {
+            offsets.push(running.clone());
+            running = running
+                .iter()
+                .zip(&plan.scans)
+                .zip(&p.scan_cells)
+                .map(|((seed, s), partial)| seed.merge(s.op, partial))
+                .collect();
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("reduction worker panicked"))
-            .collect()
-    });
-    let mut results = results?;
-    results.sort_by_key(|r| r.0);
+        // The replay pass re-runs every block from its offset and writes
+        // the output through unsynchronized shared storage (strided
+        // indices make block writes disjoint).
+        let scan_raws: Vec<Arc<SharedRaw>> = objs
+            .scan_outs
+            .iter()
+            .map(|&o| Arc::new(SharedRaw::new(mem.object(o).clone())))
+            .collect();
+        let replay = run_pass(
+            module,
+            plan,
+            args,
+            mem,
+            &pieces,
+            bounds,
+            &objs,
+            &raw_shared,
+            &offsets,
+            Some(&scan_raws),
+        )?;
+        // Output writeback and the final accumulator values (the running
+        // fold now covers every block).
+        for (raw, &out) in scan_raws.into_iter().zip(&objs.scan_outs) {
+            let obj = Arc::try_unwrap(raw).expect("scan output uniquely owned").into_obj();
+            *mem.object_mut(out) = obj;
+        }
+        for ((seed, s), &cell) in running.iter().zip(&plan.scans).zip(&objs.scan_cells) {
+            match (seed, s.ty) {
+                (SeedVal::I(v), _) => mem.store_i(cell, 0, *v).map_err(Trap::Mem)?,
+                (SeedVal::F(v), _) => mem.store_f(cell, 0, *v).map_err(Trap::Mem)?,
+            }
+        }
+        replay
+    };
 
     // Merge scalars: final = merge(init, partial_0, …, partial_{p-1}).
-    for (ai, (&cell, acc)) in cell_objs.iter().zip(&plan.accs).enumerate() {
+    for (ai, (&cell, acc)) in objs.cells.iter().zip(&plan.accs).enumerate() {
         match acc.ty {
             Type::Int | Type::Bool => {
                 let mut v = mem.load_i(cell, 0).map_err(Trap::Mem)?;
-                for (_, cells, _, _) in &results {
-                    let Obj::I(p) = &cells[ai] else { panic!("cell type mismatch") };
+                for r in &results {
+                    let Obj::I(p) = &r.cells[ai] else { panic!("cell type mismatch") };
                     v = acc.op.merge_int(v, p[0]);
                 }
                 mem.store_i(cell, 0, v).map_err(Trap::Mem)?;
             }
             _ => {
                 let mut v = mem.load_f(cell, 0).map_err(Trap::Mem)?;
-                for (_, cells, _, _) in &results {
-                    let Obj::F(p) = &cells[ai] else { panic!("cell type mismatch") };
+                for r in &results {
+                    let Obj::F(p) = &r.cells[ai] else { panic!("cell type mismatch") };
                     v = acc.op.merge_float(v, p[0]);
                 }
                 mem.store_f(cell, 0, v).map_err(Trap::Mem)?;
             }
         }
     }
+    // Fold argmin/argmax pairs in iteration order: a block partial with a
+    // real index replaces the running best exactly when the normalized
+    // exchange predicate holds — the same rule the loop body applies, so
+    // the result (including the tie-break) is bit-equal with sequential
+    // execution. Blocks that never exchanged report the sentinel and are
+    // skipped.
+    for (ai, (slot, (&vcell, &icell))) in
+        plan.args.iter().zip(objs.arg_vals.iter().zip(&objs.arg_idxs)).enumerate()
+    {
+        let mut best_i = mem.load_i(icell, 0).map_err(Trap::Mem)?;
+        match slot.ty {
+            Type::Int | Type::Bool => {
+                let mut best_v = mem.load_i(vcell, 0).map_err(Trap::Mem)?;
+                for r in &results {
+                    let Obj::I(pv) = &r.arg_vals[ai] else { panic!("arg cell type mismatch") };
+                    let Obj::I(pi_) = &r.arg_idxs[ai] else { panic!("arg cell type mismatch") };
+                    if pi_[0] != ARG_IDX_SENTINEL && ord_pred(slot.pred, pv[0], best_v) {
+                        best_v = pv[0];
+                        best_i = pi_[0];
+                    }
+                }
+                mem.store_i(vcell, 0, best_v).map_err(Trap::Mem)?;
+            }
+            _ => {
+                let mut best_v = mem.load_f(vcell, 0).map_err(Trap::Mem)?;
+                for r in &results {
+                    let Obj::F(pv) = &r.arg_vals[ai] else { panic!("arg cell type mismatch") };
+                    let Obj::I(pi_) = &r.arg_idxs[ai] else { panic!("arg cell type mismatch") };
+                    if pi_[0] != ARG_IDX_SENTINEL && ord_pred(slot.pred, pv[0], best_v) {
+                        best_v = pv[0];
+                        best_i = pi_[0];
+                    }
+                }
+                mem.store_f(vcell, 0, best_v).map_err(Trap::Mem)?;
+            }
+        }
+        mem.store_i(icell, 0, best_i).map_err(Trap::Mem)?;
+    }
     // Merge histograms element-wise (growing the original if needed).
-    for (hi_idx, (&hobj, h)) in hist_objs.iter().zip(&plan.hists).enumerate() {
+    for (hi_idx, (&hobj, h)) in objs.hists.iter().zip(&plan.hists).enumerate() {
         let max_len = results
             .iter()
-            .map(|(_, _, hs, _)| hs[hi_idx].len())
+            .map(|r| r.hists[hi_idx].len())
             .max()
             .unwrap_or(0)
             .max(mem.object(hobj).len());
         mem.object_mut(hobj)
             .grow_to(max_len, h.op.identity_int(), h.op.identity_float());
-        for (_, _, hs, _) in &results {
-            merge_obj(mem.object_mut(hobj), &hs[hi_idx], h.op);
+        for r in &results {
+            merge_obj(mem.object_mut(hobj), &r.hists[hi_idx], h.op);
         }
     }
     // Disjoint-shared writebacks.
-    for ((raw, &wobj), _) in raw_shared.into_iter().zip(&written_objs).zip(&plan.written) {
+    for ((raw, &wobj), _) in raw_shared.into_iter().zip(&objs.written).zip(&plan.written) {
         if let Some(raw) = raw {
             let obj = Arc::try_unwrap(raw).expect("raw shared uniquely owned").into_obj();
             *mem.object_mut(wobj) = obj;
         }
     }
     // Copyback objects: the piece executing the final iterations wins.
-    let copyback_objs: Vec<ObjId> = written_objs
+    let copyback_objs: Vec<ObjId> = objs
+        .written
         .iter()
         .zip(&plan.written)
         .filter(|(_, w)| w.policy == WrittenPolicy::PrivateCopyback)
         .map(|(&o, _)| o)
         .collect();
     if !copyback_objs.is_empty() {
-        if let Some((_, _, _, copyback)) = results.last() {
-            for (&obj, data) in copyback_objs.iter().zip(copyback) {
+        if let Some(last) = results.last() {
+            for (&obj, data) in copyback_objs.iter().zip(&last.copyback) {
                 *mem.object_mut(obj) = data.clone();
             }
         }
     }
     Ok(None)
+}
+
+/// Applies a normalized exchange predicate (ordering tests only — an
+/// equality exchange is never classified as argmin/argmax).
+fn ord_pred<T: PartialOrd>(pred: CmpPred, a: T, b: T) -> bool {
+    match pred {
+        CmpPred::Lt => a < b,
+        CmpPred::Le => a <= b,
+        CmpPred::Gt => a > b,
+        CmpPred::Ge => a >= b,
+        CmpPred::Eq | CmpPred::Ne => false,
+    }
 }
 
 /// The per-piece upper bound: interior pieces stop exactly at the next
@@ -377,7 +651,7 @@ mod tests {
         let mut mem = Memory::new(&pm);
         // Original histogram is big enough; private copies start at 1 and
         // grow dynamically (the paper's reallocation scheme).
-        let bins = mem.alloc_int(&vec![0; 10]);
+        let bins = mem.alloc_int(&[0; 10]);
         let k = mem.alloc_int(&keys);
         let mut machine = Machine::new(&pm, mem);
         machine.set_handler(handler(&pm, plan, 3));
@@ -391,7 +665,8 @@ mod tests {
     fn mixed_ep_loop_runs_in_parallel() {
         let n = 4096usize;
         // Pseudo-random input in [0, 1).
-        let xs: Vec<f64> = (0..2 * n).map(|i| ((i * 1103515245 + 12345) % 1000) as f64 / 1000.0).collect();
+        let xs: Vec<f64> =
+            (0..2 * n).map(|i| ((i * 1103515245 + 12345) % 1000) as f64 / 1000.0).collect();
         let src = "void ep(float* x, float* q, float* sums, int nk) {
                  float sx = 0.0;
                  float sy = 0.0;
@@ -462,10 +737,7 @@ mod tests {
         let mut machine = Machine::new(&pm, mem);
         machine.set_handler(handler(&pm, plan, 8));
         machine
-            .call(
-                "f",
-                &[RtVal::ptr(member), RtVal::ptr(k), RtVal::ptr(counts), RtVal::I(n as i64)],
-            )
+            .call("f", &[RtVal::ptr(member), RtVal::ptr(k), RtVal::ptr(counts), RtVal::I(n as i64)])
             .unwrap();
         for (i, &kv) in keys.iter().enumerate() {
             assert_eq!(machine.mem.ints(member)[i], kv * 2);
@@ -475,6 +747,271 @@ mod tests {
             expect[kv as usize] += 1;
         }
         assert_eq!(machine.mem.ints(counts), expect.as_slice());
+    }
+
+    #[test]
+    fn parallel_prefix_sum_matches_sequential_int_exact() {
+        let src = "void psum(int* a, int* out, int n) {
+                 int s = 0;
+                 for (int i = 0; i < n; i++) { s += a[i]; out[i] = s; }
+             }";
+        let m = compile(src).unwrap();
+        let rs = detect_reductions(&m);
+        assert_eq!(rs.len(), 1);
+        assert!(rs[0].kind.is_scan());
+        let (pm, plan) = parallelize(&m, "psum", &rs).unwrap();
+        assert_eq!(plan.scans.len(), 1);
+        let data: Vec<i64> = (0..10_000).map(|i| (i * 37 % 101) - 50).collect();
+        let mut expect = Vec::with_capacity(data.len());
+        let mut s = 0i64;
+        for &v in &data {
+            s += v;
+            expect.push(s);
+        }
+        for threads in [1usize, 2, 4, 8] {
+            let mut mem = Memory::new(&pm);
+            let a = mem.alloc_int(&data);
+            let out = mem.alloc_int(&vec![0; data.len()]);
+            let mut machine = Machine::new(&pm, mem);
+            machine.set_handler(handler(&pm, plan.clone(), threads));
+            machine
+                .call("psum", &[RtVal::ptr(a), RtVal::ptr(out), RtVal::I(data.len() as i64)])
+                .unwrap();
+            assert_eq!(machine.mem.ints(out), expect.as_slice(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_exclusive_scan_matches_sequential() {
+        let src = "void epsum(int* a, int* out, int n) {
+                 int s = 5;
+                 for (int i = 0; i < n; i++) { out[i] = s; s += a[i]; }
+             }";
+        let m = compile(src).unwrap();
+        let rs = detect_reductions(&m);
+        assert_eq!(rs.len(), 1, "{rs:?}");
+        let (pm, plan) = parallelize(&m, "epsum", &rs).unwrap();
+        let data: Vec<i64> = (0..5000).map(|i| i % 13).collect();
+        let mut expect = Vec::with_capacity(data.len());
+        let mut s = 5i64;
+        for &v in &data {
+            expect.push(s);
+            s += v;
+        }
+        let mut mem = Memory::new(&pm);
+        let a = mem.alloc_int(&data);
+        let out = mem.alloc_int(&vec![0; data.len()]);
+        let mut machine = Machine::new(&pm, mem);
+        machine.set_handler(handler(&pm, plan, 4));
+        machine
+            .call("epsum", &[RtVal::ptr(a), RtVal::ptr(out), RtVal::I(data.len() as i64)])
+            .unwrap();
+        assert_eq!(machine.mem.ints(out), expect.as_slice());
+    }
+
+    #[test]
+    fn parallel_float_scan_within_tolerance_and_final_value_exposed() {
+        // The accumulator's final value is used after the loop: the
+        // rewiring must expose the replay pass's total.
+        let src = "float psum(float* a, float* out, int n) {
+                 float s = 0.0;
+                 for (int i = 0; i < n; i++) { s += a[i]; out[i] = s; }
+                 return s;
+             }";
+        let m = compile(src).unwrap();
+        let rs = detect_reductions(&m);
+        let (pm, plan) = parallelize(&m, "psum", &rs).unwrap();
+        let data: Vec<f64> = (0..8192).map(|i| ((i * 31) % 97) as f64 * 0.125).collect();
+        let mut expect = Vec::with_capacity(data.len());
+        let mut s = 0.0f64;
+        for &v in &data {
+            s += v;
+            expect.push(s);
+        }
+        let mut mem = Memory::new(&pm);
+        let a = mem.alloc_float(&data);
+        let out = mem.alloc_float(&vec![0.0; data.len()]);
+        let mut machine = Machine::new(&pm, mem);
+        machine.set_handler(handler(&pm, plan, 8));
+        let r = machine
+            .call("psum", &[RtVal::ptr(a), RtVal::ptr(out), RtVal::I(data.len() as i64)])
+            .unwrap();
+        let got = machine.mem.floats(out);
+        for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+            assert!((g - e).abs() < 1e-6 * e.abs().max(1.0), "out[{i}]: {g} vs {e}");
+        }
+        let total = r.unwrap().as_f();
+        assert!((total - s).abs() < 1e-6 * s.abs().max(1.0), "{total} vs {s}");
+    }
+
+    #[test]
+    fn parallel_running_min_scan() {
+        let src = "void runmin(float* a, float* out, int n) {
+                 float m = 1.0e30;
+                 for (int i = 0; i < n; i++) { m = fmin(m, a[i]); out[i] = m; }
+             }";
+        let m = compile(src).unwrap();
+        let rs = detect_reductions(&m);
+        assert!(rs[0].kind.is_scan());
+        let (pm, plan) = parallelize(&m, "runmin", &rs).unwrap();
+        let data: Vec<f64> = (0..4000).map(|i| ((i * 7919) % 4001) as f64 - 2000.0).collect();
+        let mut expect = Vec::with_capacity(data.len());
+        let mut best = f64::INFINITY.min(1.0e30);
+        for &v in &data {
+            best = best.min(v);
+            expect.push(best);
+        }
+        let mut mem = Memory::new(&pm);
+        let a = mem.alloc_float(&data);
+        let out = mem.alloc_float(&vec![0.0; data.len()]);
+        let mut machine = Machine::new(&pm, mem);
+        machine.set_handler(handler(&pm, plan, 6));
+        machine
+            .call("runmin", &[RtVal::ptr(a), RtVal::ptr(out), RtVal::I(data.len() as i64)])
+            .unwrap();
+        // min is exact: no reassociation error allowed.
+        assert_eq!(machine.mem.floats(out), expect.as_slice());
+    }
+
+    fn run_arg(src: &str, fname: &str, data: &[f64], threads: usize) -> i64 {
+        let m = compile(src).unwrap();
+        let rs = detect_reductions(&m);
+        assert!(rs.iter().any(|r| r.kind.is_arg()), "{rs:?}");
+        let (pm, plan) = parallelize(&m, fname, &rs).unwrap();
+        assert_eq!(plan.args.len(), 1);
+        let mut mem = Memory::new(&pm);
+        let a = mem.alloc_float(data);
+        let mut machine = Machine::new(&pm, mem);
+        machine.set_handler(handler(&pm, plan, threads));
+        machine
+            .call(fname, &[RtVal::ptr(a), RtVal::I(data.len() as i64)])
+            .unwrap()
+            .unwrap()
+            .as_i()
+    }
+
+    const ARGMIN_STRICT: &str = "int amin(float* a, int n) {
+             float best = 1.0e30;
+             int bi = 0;
+             for (int i = 0; i < n; i++) {
+                 float v = a[i];
+                 if (v < best) { best = v; bi = i; }
+             }
+             return bi;
+         }";
+
+    const ARGMAX_NONSTRICT: &str = "int amax(float* a, int n) {
+             float best = -1.0e30;
+             int bi = 0;
+             for (int i = 0; i < n; i++) {
+                 float v = a[i];
+                 if (v >= best) { best = v; bi = i; }
+             }
+             return bi;
+         }";
+
+    #[test]
+    fn parallel_argmin_matches_sequential() {
+        let data: Vec<f64> = (0..9000).map(|i| ((i * 7919) % 10007) as f64).collect();
+        let expect = data
+            .iter()
+            .enumerate()
+            .min_by(|(_, x), (_, y)| x.partial_cmp(y).unwrap())
+            .unwrap()
+            .0 as i64;
+        for threads in [1usize, 2, 4, 8] {
+            assert_eq!(run_arg(ARGMIN_STRICT, "amin", &data, threads), expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn strict_argmin_tie_break_keeps_first() {
+        // The minimum appears several times, straddling block boundaries:
+        // strict `<` keeps the first occurrence.
+        let mut data = vec![5.0; 6000];
+        for &i in &[123usize, 1500, 3000, 4500, 5999] {
+            data[i] = -7.0;
+        }
+        for threads in [1usize, 2, 4, 8] {
+            assert_eq!(run_arg(ARGMIN_STRICT, "amin", &data, threads), 123, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn non_strict_argmax_tie_break_keeps_last() {
+        let mut data = vec![1.0; 6000];
+        for &i in &[77usize, 2000, 4000, 5500] {
+            data[i] = 9.0;
+        }
+        for threads in [1usize, 2, 4, 8] {
+            assert_eq!(
+                run_arg(ARGMAX_NONSTRICT, "amax", &data, threads),
+                5500,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn argmin_with_no_winner_keeps_initial_pair() {
+        // Every element exceeds the initial best: the initial (value,
+        // index) pair must survive the merge untouched.
+        let data = vec![1.0e31; 100];
+        let src = "int amin(float* a, int n) {
+                 float best = 0.5;
+                 int bi = -42;
+                 for (int i = 0; i < n; i++) {
+                     float v = a[i];
+                     if (v < best) { best = v; bi = i; }
+                 }
+                 return bi;
+             }";
+        for threads in [1usize, 3, 8] {
+            assert_eq!(run_arg(src, "amin", &data, threads), -42, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scan_and_scalar_in_same_loop() {
+        // A scan plus an independent scalar accumulation: the replay pass
+        // is the authoritative pass for the scalar partials.
+        let src = "float both(float* a, float* out, int n) {
+                 float s = 0.0;
+                 float t = 0.0;
+                 for (int i = 0; i < n; i++) {
+                     s += a[i];
+                     out[i] = s;
+                     t += a[i] * a[i];
+                 }
+                 return t;
+             }";
+        let m = compile(src).unwrap();
+        let rs = detect_reductions(&m);
+        assert_eq!(rs.len(), 2, "{rs:?}");
+        let (pm, plan) = parallelize(&m, "both", &rs).unwrap();
+        assert_eq!(plan.scans.len(), 1);
+        assert_eq!(plan.accs.len(), 1);
+        let data: Vec<f64> = (0..5000).map(|i| (i % 17) as f64).collect();
+        let expect_t: f64 = data.iter().map(|v| v * v).sum();
+        let mut expect_out = Vec::new();
+        let mut s = 0.0;
+        for &v in &data {
+            s += v;
+            expect_out.push(s);
+        }
+        let mut mem = Memory::new(&pm);
+        let a = mem.alloc_float(&data);
+        let out = mem.alloc_float(&vec![0.0; data.len()]);
+        let mut machine = Machine::new(&pm, mem);
+        machine.set_handler(handler(&pm, plan, 8));
+        let r = machine
+            .call("both", &[RtVal::ptr(a), RtVal::ptr(out), RtVal::I(data.len() as i64)])
+            .unwrap();
+        let t = r.unwrap().as_f();
+        assert!((t - expect_t).abs() < 1e-6 * expect_t.max(1.0), "{t} vs {expect_t}");
+        for (i, (g, e)) in machine.mem.floats(out).iter().zip(&expect_out).enumerate() {
+            assert!((g - e).abs() < 1e-6 * e.abs().max(1.0), "out[{i}]: {g} vs {e}");
+        }
     }
 
     #[test]

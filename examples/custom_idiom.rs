@@ -2,14 +2,18 @@
 //! easy extensions to cover other idioms". This example specifies a *new*
 //! idiom — a dot-product loop (two same-index loads feeding one multiply
 //! that updates an accumulator) — entirely with the public constraint DSL,
-//! and runs the generic backtracking solver on unseen code.
+//! runs the generic backtracking solver on unseen code, and then plugs
+//! the idiom into the [`IdiomRegistry`] so the standard detection driver
+//! reports it next to the built-in idioms.
 //!
 //! Run with: `cargo run --release --example custom_idiom`
 
 use general_reductions::core::atoms::{Atom, MatchCtx, OpClass};
 use general_reductions::core::constraint::{Spec, SpecBuilder};
+use general_reductions::core::report::{Reduction, ReductionKind};
 use general_reductions::core::solver::{solve, SolveOptions};
 use general_reductions::core::spec::add_for_loop;
+use general_reductions::core::{detect_with, IdiomEntry, IdiomRegistry};
 use general_reductions::prelude::*;
 use gr_analysis::Analyses;
 
@@ -76,4 +80,48 @@ fn main() {
         );
     }
     // @dot matches; @not_dot does not (both operands from the same array).
+
+    // Plug the idiom into the registry: the generic driver now reports
+    // dot products alongside the default idioms, with no detector code.
+    let entry = IdiomEntry::new(
+        "dot-product",
+        dot_product_spec(),
+        |spec, s| (s[spec.label("acc").index()], s[spec.label("acc").index()]),
+        |ctx, spec, s| {
+            // Reuse the stock associativity post-check.
+            let header = s[spec.label("header").index()];
+            let lid = ctx.loop_of_header(header)?;
+            let acc = s[spec.label("acc").index()];
+            let acc_next = s[spec.label("acc_next").index()];
+            general_reductions::core::postcheck::classify_update(
+                ctx.func,
+                ctx.analyses,
+                lid,
+                acc,
+                acc_next,
+            )
+        },
+        |ctx, spec, s, op| {
+            let lid = ctx.loop_of_header(s[spec.label("header").index()])?;
+            let l = ctx.analyses.loops.get(lid);
+            Some(Reduction {
+                function: ctx.func.name.clone(),
+                kind: ReductionKind::Scalar,
+                op,
+                header: l.header,
+                depth: l.depth,
+                anchor: s[spec.label("acc").index()],
+                object: None,
+                affine: true,
+                arg_pred: None,
+                bindings: vec![],
+            })
+        },
+    );
+    let mut registry = IdiomRegistry::empty();
+    registry.register(entry).expect("fresh name");
+    println!("\nthrough the registry driver:");
+    for r in detect_with(&registry, &module) {
+        println!("  {r}");
+    }
 }

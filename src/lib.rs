@@ -13,11 +13,21 @@
 //! * [`frontend`] — a mini-C compiler producing that IR,
 //! * [`analysis`] — dominance, control dependence, loops, affinity, purity,
 //! * [`core`] — **the paper's contribution**: constraint language, solver,
-//!   reduction specifications, post-checks,
+//!   the pluggable idiom registry with its four registered idioms
+//!   (`scalar-reduction`, `histogram-reduction`, `prefix-scan`,
+//!   `argmin-argmax`), post-checks,
 //! * [`baselines`] — Polly-like and icc-like comparison detectors,
 //! * [`interp`] — profiling interpreter (the evaluation substrate),
-//! * [`parallel`] — outlining + privatizing parallel runtime,
-//! * [`benchsuite`] — the 40 NAS/Parboil/Rodinia miniatures.
+//! * [`parallel`] — outlining + privatizing parallel runtime (privatized
+//!   partials, element-wise histogram merge, two-pass block scans,
+//!   tie-break-exact argmin/argmax merges),
+//! * [`benchsuite`] — the 40 NAS/Parboil/Rodinia miniatures plus the
+//!   idiom micro-workloads.
+//!
+//! New idioms plug in through [`core::spec::registry`]: build a `Spec`
+//! with `SpecBuilder`, wrap it in an `IdiomEntry` (name, post-check hook,
+//! report classifier), register it, and run `detect_with` — the driver is
+//! generic over the registry.
 //!
 //! # Quickstart
 //!

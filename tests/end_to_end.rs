@@ -172,7 +172,8 @@ fn ep_full_pipeline_matches_sequential() {
         }";
     let module = compile(source).expect("compiles");
     let nk = 30_000usize;
-    let xs: Vec<f64> = (0..2 * nk).map(|i| ((i * 2654435761) % 1000003) as f64 / 1000003.0).collect();
+    let xs: Vec<f64> =
+        (0..2 * nk).map(|i| ((i * 2654435761) % 1000003) as f64 / 1000003.0).collect();
 
     let run = |parallel: bool| -> (Vec<f64>, Vec<f64>) {
         let rs = detect_reductions(&module);
@@ -215,4 +216,108 @@ fn detection_to_cli_report_roundtrip() {
     assert!(text.contains("scalar"), "{text}");
     assert!(text.contains("max"), "{text}");
     assert!(text.contains("@m"), "{text}");
+}
+
+#[test]
+fn scan_and_argmin_reports_name_their_kinds() {
+    // The CLI prints reductions through Display: the registry's new
+    // idioms must surface there.
+    let module = compile(
+        "void psum(float* a, float* out, int n) {
+             float s = 0.0;
+             for (int i = 0; i < n; i++) { s += a[i]; out[i] = s; }
+         }
+         int amax(float* a, int n) {
+             float best = -1.0e30;
+             int bi = 0;
+             for (int i = 0; i < n; i++) {
+                 float v = a[i];
+                 if (v > best) { best = v; bi = i; }
+             }
+             return bi;
+         }",
+    )
+    .unwrap();
+    let rs = detect_reductions(&module);
+    assert_eq!(rs.len(), 2, "{rs:?}");
+    let texts: Vec<String> = rs.iter().map(ToString::to_string).collect();
+    assert!(texts.iter().any(|t| t.contains("scan") && t.contains("@psum")), "{texts:?}");
+    assert!(texts.iter().any(|t| t.contains("argmax") && t.contains("@amax")), "{texts:?}");
+}
+
+#[test]
+fn scan_full_pipeline_matches_sequential() {
+    let source = "
+        float cumsum(float* a, float* out, int n) {
+            float s = 0.0;
+            for (int i = 0; i < n; i++) { s += a[i]; out[i] = s; }
+            return s;
+        }";
+    let module = compile(source).expect("compiles");
+    let n = 30_000usize;
+    let data: Vec<f64> = (0..n).map(|i| ((i * 2654435761) % 1000) as f64 / 250.0 - 2.0).collect();
+
+    let mut mem = Memory::new(&module);
+    let a = mem.alloc_float(&data);
+    let out = mem.alloc_float(&vec![0.0; n]);
+    let mut seq = Machine::new(&module, mem);
+    let total_seq = seq
+        .call("cumsum", &[RtVal::ptr(a), RtVal::ptr(out), RtVal::I(n as i64)])
+        .unwrap()
+        .unwrap()
+        .as_f();
+    let out_seq = seq.mem.floats(out).to_vec();
+
+    let rs = detect_reductions(&module);
+    assert_eq!(rs.len(), 1);
+    assert!(rs[0].kind.is_scan());
+    let (pm, plan) = parallelize(&module, "cumsum", &rs).expect("outlines");
+    let mut mem = Memory::new(&pm);
+    let a = mem.alloc_float(&data);
+    let out = mem.alloc_float(&vec![0.0; n]);
+    let mut par = Machine::new(&pm, mem);
+    par.set_handler(gr_parallel::runtime::handler(&pm, plan, 8));
+    let total_par = par
+        .call("cumsum", &[RtVal::ptr(a), RtVal::ptr(out), RtVal::I(n as i64)])
+        .unwrap()
+        .unwrap()
+        .as_f();
+    assert!((total_seq - total_par).abs() < 1e-8 * total_seq.abs().max(1.0));
+    for (i, (s, p)) in out_seq.iter().zip(par.mem.floats(out)).enumerate() {
+        assert!((s - p).abs() < 1e-8 * s.abs().max(1.0), "out[{i}]: {s} vs {p}");
+    }
+}
+
+#[test]
+fn argmin_full_pipeline_matches_sequential() {
+    let source = "
+        int amin(float* a, int n) {
+            float best = 1.0e30;
+            int bi = 0;
+            for (int i = 0; i < n; i++) {
+                float v = a[i];
+                if (v < best) { best = v; bi = i; }
+            }
+            return bi;
+        }";
+    let module = compile(source).expect("compiles");
+    let n = 40_000usize;
+    // Quantized values so the minimum repeats across thread blocks.
+    let data: Vec<f64> = (0..n).map(|i| ((i * 7919) % 251) as f64).collect();
+
+    let mut mem = Memory::new(&module);
+    let a = mem.alloc_float(&data);
+    let mut seq = Machine::new(&module, mem);
+    let expect = seq.call("amin", &[RtVal::ptr(a), RtVal::I(n as i64)]).unwrap().unwrap();
+
+    let rs = detect_reductions(&module);
+    assert_eq!(rs.len(), 1);
+    assert!(rs[0].kind.is_arg());
+    let (pm, plan) = parallelize(&module, "amin", &rs).expect("outlines");
+    let mut mem = Memory::new(&pm);
+    let a = mem.alloc_float(&data);
+    let mut par = Machine::new(&pm, mem);
+    par.set_handler(gr_parallel::runtime::handler(&pm, plan, 8));
+    let got = par.call("amin", &[RtVal::ptr(a), RtVal::I(n as i64)]).unwrap().unwrap();
+    assert_eq!(expect, got, "argmin index must match exactly, ties included");
 }

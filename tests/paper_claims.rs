@@ -16,9 +16,8 @@ fn claim_84_scalar_and_6_histogram_reductions() {
 #[test]
 fn claim_histograms_per_suite() {
     // "3 in NAS, 2 in Parboil and 1 in Rodinia" (§6.1).
-    let count = |s: Suite| -> usize {
-        measure_suite(&suite_programs(s)).iter().map(|r| r.histogram).sum()
-    };
+    let count =
+        |s: Suite| -> usize { measure_suite(&suite_programs(s)).iter().map(|r| r.histogram).sum() };
     assert_eq!(count(Suite::Nas), 3);
     assert_eq!(count(Suite::Parboil), 2);
     assert_eq!(count(Suite::Rodinia), 1);
@@ -47,11 +46,7 @@ fn claim_only_ours_finds_histograms() {
             .map(|r| (r.function.as_str(), r.header))
             .collect();
         for red in icc_detect(&m) {
-            assert!(
-                !hist_loops.contains(&(red.function.as_str(), red.header)),
-                "{}",
-                p.name
-            );
+            assert!(!hist_loops.contains(&(red.function.as_str(), red.header)), "{}", p.name);
         }
     }
 }
@@ -90,9 +85,8 @@ fn claim_scop_statistics() {
 #[test]
 fn claim_icc_per_suite() {
     // icc: 25 of 38 in NAS, 3 of 11 in Parboil, 23 in Rodinia.
-    let count = |s: Suite| -> usize {
-        measure_suite(&suite_programs(s)).iter().map(|r| r.icc).sum()
-    };
+    let count =
+        |s: Suite| -> usize { measure_suite(&suite_programs(s)).iter().map(|r| r.icc).sum() };
     assert_eq!(count(Suite::Nas), 25);
     assert_eq!(count(Suite::Parboil), 3);
     assert_eq!(count(Suite::Rodinia), 23);
@@ -108,10 +102,7 @@ fn claim_sp_rms_nest_found_only_by_polly() {
     assert!(ours.iter().all(|r| r.function != "sp_rhs_norm"));
     assert!(icc_detect(&m).iter().all(|r| r.function != "sp_rhs_norm"));
     let polly = polly_detect(&m);
-    assert!(polly
-        .scops
-        .iter()
-        .any(|s| s.function == "sp_rhs_norm" && s.is_reduction()));
+    assert!(polly.scops.iter().any(|s| s.function == "sp_rhs_norm" && s.is_reduction()));
 }
 
 #[test]

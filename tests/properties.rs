@@ -2,9 +2,19 @@
 //! sequential execution across randomized data, operators, sizes and
 //! thread counts; the solver agrees with brute-force enumeration on random
 //! small programs.
+//!
+//! The properties are exercised over deterministic pseudo-random cases
+//! (seeded per test) rather than a shrinking framework, so the suite
+//! builds without network access; every failure message carries the case
+//! index, which reproduces the inputs exactly.
+
+use gr_benchsuite::rng::StdRng;
 
 use general_reductions::prelude::*;
-use proptest::prelude::*;
+
+fn floats(rng: &mut StdRng, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+}
 
 fn parallel_scalar(source: &str, func: &str, data: &[f64], n: i64, threads: usize) -> f64 {
     let module = compile(source).expect("compiles");
@@ -33,83 +43,92 @@ fn sequential_scalar(source: &str, func: &str, data: &[f64], n: i64) -> f64 {
         .as_f()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn prop_parallel_sum_equals_sequential(
-        data in prop::collection::vec(-100.0f64..100.0, 1..2000),
-        threads in 1usize..9,
-    ) {
-        const SRC: &str =
-            "float f(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[i]; return s; }";
-        let n = data.len() as i64;
-        let seq = sequential_scalar(SRC, "f", &data, n);
-        let par = parallel_scalar(SRC, "f", &data, n, threads);
-        prop_assert!((seq - par).abs() < 1e-6 * seq.abs().max(1.0), "{seq} vs {par}");
+#[test]
+fn prop_parallel_sum_equals_sequential() {
+    const SRC: &str =
+        "float f(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[i]; return s; }";
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for case in 0..24 {
+        let len = rng.gen_range(1..2000) as usize;
+        let threads = rng.gen_range(1..9) as usize;
+        let data = floats(&mut rng, len, -100.0, 100.0);
+        let seq = sequential_scalar(SRC, "f", &data, len as i64);
+        let par = parallel_scalar(SRC, "f", &data, len as i64, threads);
+        assert!((seq - par).abs() < 1e-6 * seq.abs().max(1.0), "case {case}: {seq} vs {par}");
     }
+}
 
-    #[test]
-    fn prop_parallel_min_equals_sequential(
-        data in prop::collection::vec(-1e6f64..1e6, 1..2000),
-        threads in 1usize..9,
-    ) {
-        const SRC: &str =
-            "float f(float* a, int n) { float m = 1.0e30; for (int i = 0; i < n; i++) m = fmin(m, a[i]); return m; }";
-        let n = data.len() as i64;
+#[test]
+fn prop_parallel_min_equals_sequential() {
+    const SRC: &str =
+        "float f(float* a, int n) { float m = 1.0e30; for (int i = 0; i < n; i++) m = fmin(m, a[i]); return m; }";
+    let mut rng = StdRng::seed_from_u64(0xB0B);
+    for case in 0..24 {
+        let len = rng.gen_range(1..2000) as usize;
+        let threads = rng.gen_range(1..9) as usize;
+        let data = floats(&mut rng, len, -1e6, 1e6);
         // min is exact: no reassociation error allowed.
-        prop_assert_eq!(
-            sequential_scalar(SRC, "f", &data, n),
-            parallel_scalar(SRC, "f", &data, n, threads)
+        assert_eq!(
+            sequential_scalar(SRC, "f", &data, len as i64),
+            parallel_scalar(SRC, "f", &data, len as i64, threads),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn prop_parallel_conditional_max_equals_sequential(
-        data in prop::collection::vec(-1e3f64..1e3, 1..1500),
-        threads in 1usize..9,
-    ) {
-        const SRC: &str =
-            "float f(float* a, int n) { float m = -1.0e30; for (int i = 0; i < n; i++) { float v = a[i]; if (v > m) m = v; } return m; }";
-        let n = data.len() as i64;
-        prop_assert_eq!(
-            sequential_scalar(SRC, "f", &data, n),
-            parallel_scalar(SRC, "f", &data, n, threads)
+#[test]
+fn prop_parallel_conditional_max_equals_sequential() {
+    const SRC: &str =
+        "float f(float* a, int n) { float m = -1.0e30; for (int i = 0; i < n; i++) { float v = a[i]; if (v > m) m = v; } return m; }";
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for case in 0..24 {
+        let len = rng.gen_range(1..1500) as usize;
+        let threads = rng.gen_range(1..9) as usize;
+        let data = floats(&mut rng, len, -1e3, 1e3);
+        assert_eq!(
+            sequential_scalar(SRC, "f", &data, len as i64),
+            parallel_scalar(SRC, "f", &data, len as i64, threads),
+            "case {case}"
         );
     }
+}
 
-    #[test]
-    fn prop_parallel_histogram_equals_sequential(
-        keys in prop::collection::vec(0i64..64, 1..4000),
-        threads in 1usize..9,
-    ) {
-        const SRC: &str =
-            "void h(int* bins, int* k, int n) { for (int i = 0; i < n; i++) bins[k[i]]++; }";
-        let module = compile(SRC).unwrap();
+#[test]
+fn prop_parallel_histogram_equals_sequential() {
+    const SRC: &str =
+        "void h(int* bins, int* k, int n) { for (int i = 0; i < n; i++) bins[k[i]]++; }";
+    let module = compile(SRC).unwrap();
+    let rs = detect_reductions(&module);
+    let (pm, plan) = parallelize(&module, "h", &rs).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xD00D);
+    for case in 0..24 {
+        let len = rng.gen_range(1..4000) as usize;
+        let threads = rng.gen_range(1..9) as usize;
+        let keys: Vec<i64> = (0..len).map(|_| rng.gen_range(0..64)).collect();
         let mut expect = vec![0i64; 64];
         for &k in &keys {
             expect[k as usize] += 1;
         }
-        let rs = detect_reductions(&module);
-        let (pm, plan) = parallelize(&module, "h", &rs).unwrap();
         let mut mem = Memory::new(&pm);
         let bins = mem.alloc_int(&vec![0; 64]);
         let k = mem.alloc_int(&keys);
         let mut machine = Machine::new(&pm, mem);
-        machine.set_handler(gr_parallel::runtime::handler(&pm, plan, threads));
+        machine.set_handler(gr_parallel::runtime::handler(&pm, plan.clone(), threads));
         machine
             .call("h", &[RtVal::ptr(bins), RtVal::ptr(k), RtVal::I(keys.len() as i64)])
             .unwrap();
-        prop_assert_eq!(machine.mem.ints(bins), expect.as_slice());
+        assert_eq!(machine.mem.ints(bins), expect.as_slice(), "case {case}");
     }
+}
 
-    #[test]
-    fn prop_strided_loops_detect_and_run(
-        start in 0i64..4,
-        step in 1i64..5,
-        len in 1usize..600,
-        threads in 1usize..7,
-    ) {
+#[test]
+fn prop_strided_loops_detect_and_run() {
+    let mut rng = StdRng::seed_from_u64(0x57EED);
+    for case in 0..24 {
+        let start = rng.gen_range(0..4);
+        let step = rng.gen_range(1..5);
+        let len = rng.gen_range(1..600) as usize;
+        let threads = rng.gen_range(1..7) as usize;
         // for (i = start; i < len; i += step) s += a[i];
         let src = format!(
             "float f(float* a, int n) {{ float s = 0.0; for (int i = {start}; i < n; i = i + {step}) s += a[i]; return s; }}"
@@ -117,38 +136,158 @@ proptest! {
         let data: Vec<f64> = (0..len).map(|i| i as f64).collect();
         let expect: f64 = (start..len as i64).step_by(step as usize).map(|i| i as f64).sum();
         let par = parallel_scalar(&src, "f", &data, len as i64, threads);
-        prop_assert!((par - expect).abs() < 1e-9, "{par} vs {expect}");
-    }
-
-    #[test]
-    fn prop_interpreter_is_deterministic(
-        data in prop::collection::vec(-10.0f64..10.0, 1..200),
-    ) {
-        const SRC: &str =
-            "float f(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) { if (a[i] > 0.0) s += sqrt(a[i]); } return s; }";
-        let n = data.len() as i64;
-        let a = sequential_scalar(SRC, "f", &data, n);
-        let b = sequential_scalar(SRC, "f", &data, n);
-        prop_assert_eq!(a, b);
+        assert!((par - expect).abs() < 1e-9, "case {case}: {par} vs {expect}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+#[test]
+fn prop_interpreter_is_deterministic() {
+    const SRC: &str =
+        "float f(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) { if (a[i] > 0.0) s += sqrt(a[i]); } return s; }";
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    for case in 0..24 {
+        let len = rng.gen_range(1..200) as usize;
+        let data = floats(&mut rng, len, -10.0, 10.0);
+        let a = sequential_scalar(SRC, "f", &data, len as i64);
+        let b = sequential_scalar(SRC, "f", &data, len as i64);
+        assert_eq!(a, b, "case {case}");
+    }
+}
 
-    /// The backtracking solver and the naive enumeration agree on a small
-    /// spec over randomly shaped straight-line+loop programs.
-    #[test]
-    fn prop_solver_matches_naive(
-        body_adds in 1usize..4,
-        use_mul in any::<bool>(),
-    ) {
-        use general_reductions::core::atoms::{Atom, MatchCtx, OpClass};
-        use general_reductions::core::constraint::SpecBuilder;
-        use general_reductions::core::solver::{solve, solve_naive, SolveOptions};
-        use gr_analysis::Analyses;
+#[test]
+fn prop_parallel_scan_equals_sequential_across_thread_counts() {
+    // Parallel prefix sums must agree with the serial interpreter on
+    // {1, 2, 4, 8} threads: bit-equal for integers, tolerance for floats.
+    const INT_SRC: &str = "void psum(int* a, int* out, int n) {
+             int s = 0;
+             for (int i = 0; i < n; i++) { s += a[i]; out[i] = s; }
+         }";
+    const FLOAT_SRC: &str = "void psum(float* a, float* out, int n) {
+             float s = 0.0;
+             for (int i = 0; i < n; i++) { s += a[i]; out[i] = s; }
+         }";
+    let int_module = compile(INT_SRC).unwrap();
+    let float_module = compile(FLOAT_SRC).unwrap();
+    let int_rs = detect_reductions(&int_module);
+    let float_rs = detect_reductions(&float_module);
+    assert!(int_rs[0].kind.is_scan() && float_rs[0].kind.is_scan());
+    let (int_pm, int_plan) = parallelize(&int_module, "psum", &int_rs).unwrap();
+    let (float_pm, float_plan) = parallelize(&float_module, "psum", &float_rs).unwrap();
+    let mut rng = StdRng::seed_from_u64(0x5CA9);
+    for case in 0..12 {
+        let len = rng.gen_range(1..3000) as usize;
+        let ints: Vec<i64> = (0..len).map(|_| rng.gen_range(-50..50)).collect();
+        let float_data = floats(&mut rng, len, -10.0, 10.0);
+        let mut int_expect = Vec::new();
+        let mut s = 0i64;
+        for &v in &ints {
+            s += v;
+            int_expect.push(s);
+        }
+        let mut float_expect = Vec::new();
+        let mut sf = 0.0f64;
+        for &v in &float_data {
+            sf += v;
+            float_expect.push(sf);
+        }
+        for threads in [1usize, 2, 4, 8] {
+            let mut mem = Memory::new(&int_pm);
+            let a = mem.alloc_int(&ints);
+            let out = mem.alloc_int(&vec![0; len]);
+            let mut machine = Machine::new(&int_pm, mem);
+            machine.set_handler(gr_parallel::runtime::handler(&int_pm, int_plan.clone(), threads));
+            machine
+                .call("psum", &[RtVal::ptr(a), RtVal::ptr(out), RtVal::I(len as i64)])
+                .unwrap();
+            assert_eq!(
+                machine.mem.ints(out),
+                int_expect.as_slice(),
+                "case {case}, threads {threads}: integer scan must be bit-equal"
+            );
 
-        let op = if use_mul { "*" } else { "+" };
+            let mut mem = Memory::new(&float_pm);
+            let a = mem.alloc_float(&float_data);
+            let out = mem.alloc_float(&vec![0.0; len]);
+            let mut machine = Machine::new(&float_pm, mem);
+            machine.set_handler(gr_parallel::runtime::handler(
+                &float_pm,
+                float_plan.clone(),
+                threads,
+            ));
+            machine
+                .call("psum", &[RtVal::ptr(a), RtVal::ptr(out), RtVal::I(len as i64)])
+                .unwrap();
+            for (i, (g, e)) in machine.mem.floats(out).iter().zip(&float_expect).enumerate() {
+                assert!(
+                    (g - e).abs() < 1e-6 * e.abs().max(1.0),
+                    "case {case}, threads {threads}, out[{i}]: {g} vs {e}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn prop_parallel_argmin_equals_sequential_across_thread_counts() {
+    // The argmin pair — including tie-breaks on duplicated minima — must
+    // be bit-equal with the serial interpreter on {1, 2, 4, 8} threads.
+    const SRC: &str = "int amin(float* a, int n) {
+             float best = 1.0e30;
+             int bi = -1;
+             for (int i = 0; i < n; i++) {
+                 float v = a[i];
+                 if (v < best) { best = v; bi = i; }
+             }
+             return bi;
+         }";
+    let module = compile(SRC).unwrap();
+    let rs = detect_reductions(&module);
+    assert!(rs[0].kind.is_arg());
+    let (pm, plan) = parallelize(&module, "amin", &rs).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xA59311);
+    for case in 0..12 {
+        let len = rng.gen_range(1..4000) as usize;
+        // Coarse quantization forces duplicated minima across blocks.
+        let data: Vec<f64> = (0..len).map(|_| rng.gen_range(-20..20) as f64).collect();
+        let expect = {
+            let mut best = 1.0e30;
+            let mut bi = -1i64;
+            for (i, &v) in data.iter().enumerate() {
+                if v < best {
+                    best = v;
+                    bi = i as i64;
+                }
+            }
+            bi
+        };
+        for threads in [1usize, 2, 4, 8] {
+            let mut mem = Memory::new(&pm);
+            let a = mem.alloc_float(&data);
+            let mut machine = Machine::new(&pm, mem);
+            machine.set_handler(gr_parallel::runtime::handler(&pm, plan.clone(), threads));
+            let got = machine
+                .call("amin", &[RtVal::ptr(a), RtVal::I(len as i64)])
+                .unwrap()
+                .unwrap()
+                .as_i();
+            assert_eq!(got, expect, "case {case}, threads {threads}");
+        }
+    }
+}
+
+/// The backtracking solver and the naive enumeration agree on a small
+/// spec over randomly shaped straight-line+loop programs.
+#[test]
+fn prop_solver_matches_naive() {
+    use general_reductions::core::atoms::{Atom, MatchCtx, OpClass};
+    use general_reductions::core::constraint::SpecBuilder;
+    use general_reductions::core::solver::{solve, solve_naive, SolveOptions};
+    use gr_analysis::Analyses;
+
+    let mut rng = StdRng::seed_from_u64(0x5017E);
+    for case in 0..12 {
+        let body_adds = rng.gen_range(1..4) as usize;
+        let op = if rng.gen_range(0i64..2) == 0 { "+" } else { "*" };
         let mut body = String::new();
         for k in 0..body_adds {
             body.push_str(&format!("s = s {op} a[i + {k}];"));
@@ -171,7 +310,7 @@ proptest! {
         let (mut naive, _) = solve_naive(&spec, &ctx, SolveOptions::default());
         fast.sort();
         naive.sort();
-        prop_assert_eq!(fast.len(), body_adds);
-        prop_assert_eq!(fast, naive);
+        assert_eq!(fast.len(), body_adds, "case {case}");
+        assert_eq!(fast, naive, "case {case}");
     }
 }
