@@ -1,13 +1,16 @@
 //! Solver ablation (paper §3.2 vs §3.3): the naive `values(F)^I`
 //! enumeration against the backtracking DETECT procedure with
-//! constraint-driven candidate generation.
+//! constraint-driven candidate generation — and, per idiom, the cost of a
+//! full solve against a `solve_extend` resume from the shared for-loop
+//! prefix (steps before/after prefix sharing).
 
 use gr_analysis::Analyses;
 use gr_bench::timing::bench;
 use gr_core::atoms::{Atom, MatchCtx, OpClass};
 use gr_core::constraint::SpecBuilder;
+use gr_core::detect::PrefixCache;
 use gr_core::solver::{solve, solve_naive, SolveOptions};
-use gr_core::spec::scalar_reduction_spec;
+use gr_core::spec::{scalar_reduction_spec, IdiomRegistry};
 
 const SRC: &str = "float sum(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[i]; return s; }";
 
@@ -31,11 +34,48 @@ fn main() {
     let analyses = Analyses::new(&m, func);
     let ctx = MatchCtx::new(&m, func, &analyses);
 
+    // Steps per idiom, before (full solve) and after (prefix shared).
+    let registry = IdiomRegistry::with_default_idioms();
+    let shared = registry.stats_report(&ctx, true);
+    let unshared = registry.stats_report(&ctx, false);
+    println!("steps per idiom on `{}` (full solve -> prefix extension):", func.name);
+    println!("  for-loop prefix: {} steps, solved once", shared.prefix.steps);
+    for ((name, ext), (_, full)) in shared.per_idiom.iter().zip(&unshared.per_idiom) {
+        println!("  {name:<22} {:>5} -> {:>4}", full.steps, ext.steps);
+    }
+    println!(
+        "  total {} -> {} ({:.2}x fewer)",
+        unshared.total().steps,
+        shared.total().steps,
+        unshared.total().steps as f64 / shared.total().steps.max(1) as f64,
+    );
+
     let spec = small_spec();
     bench("solver/backtracking/3-label", || solve(&spec, &ctx, SolveOptions::default()).0.len());
     bench("solver/naive/3-label", || solve_naive(&spec, &ctx, SolveOptions::default()).0.len());
     let (full, _) = scalar_reduction_spec();
     bench("solver/backtracking/scalar-reduction-15-label", || {
         solve(&full, &ctx, SolveOptions::default()).0.len()
+    });
+    bench("solver/shared-prefix/default-registry", || {
+        let mut cache = PrefixCache::new();
+        let mut n = 0;
+        for entry in registry.entries() {
+            let (sols, _, _) = gr_core::detect::solve_with_cache(
+                &entry.spec,
+                &ctx,
+                Some(&mut cache),
+                SolveOptions::default(),
+            );
+            n += sols.len();
+        }
+        n
+    });
+    bench("solver/unshared/default-registry", || {
+        let mut n = 0;
+        for entry in registry.entries() {
+            n += solve(&entry.spec, &ctx, SolveOptions::default()).0.len();
+        }
+        n
     });
 }

@@ -1,17 +1,43 @@
-//! Runs every figure harness in sequence (EXPERIMENTS.md layout).
+//! Runs every figure harness in sequence (EXPERIMENTS.md layout) and
+//! writes `BENCH_detection.json` — the machine-readable solver/detection
+//! ledger (solver steps shared vs unshared, solutions, reductions, wall
+//! time per suite) that tracks the perf trajectory across PRs.
+//!
+//! `--quick` skips the figure harnesses and only emits the JSON (the CI
+//! bench-smoke mode). `--out <path>` overrides the JSON location.
+
+use gr_bench::stats::{corpus, measure_suite_stats, render_json};
 
 fn main() {
-    let run = |name: &str| {
-        let status =
-            std::process::Command::new(std::env::current_exe().unwrap().with_file_name(name))
-                .status();
-        if let Err(e) = status {
-            eprintln!("failed to run {name}: {e} (build with --release first)");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_detection.json", String::as_str);
+
+    if !quick {
+        let run = |name: &str| {
+            let status =
+                std::process::Command::new(std::env::current_exe().unwrap().with_file_name(name))
+                    .status();
+            if let Err(e) = status {
+                eprintln!("failed to run {name}: {e} (build with --release first)");
+            }
+        };
+        for bin in ["fig08_detection", "fig09_scops", "fig12_coverage", "fig15_speedup"] {
+            println!("=== {bin} ===");
+            run(bin);
+            println!();
         }
-    };
-    for bin in ["fig08_detection", "fig09_scops", "fig12_coverage", "fig15_speedup"] {
-        println!("=== {bin} ===");
-        run(bin);
-        println!();
     }
+
+    let rows: Vec<_> = corpus().into_iter().map(measure_suite_stats).collect();
+    let json = render_json(&rows, quick);
+    match std::fs::write(out_path, &json) {
+        Ok(()) => println!("wrote {out_path}"),
+        Err(e) => eprintln!("cannot write {out_path}: {e}"),
+    }
+    print!("{json}");
 }

@@ -18,6 +18,120 @@
 
 use gr_benchsuite::measure::DetectionRow;
 
+/// Solver-step accounting across the detection corpus: the data behind
+/// `BENCH_detection.json` and the steps-regression tests. "Shared" runs
+/// the registry with prefix sharing (the for-loop skeleton solved once per
+/// function, idioms resumed via `solve_extend`); "unshared" solves every
+/// idiom spec from scratch — the pre-sharing cost model.
+pub mod stats {
+    use gr_benchsuite::{suite_programs, Suite};
+    use gr_core::atoms::MatchCtx;
+    use gr_core::spec::IdiomRegistry;
+    use std::time::Instant;
+
+    /// Aggregated solver statistics for one suite.
+    #[derive(Debug, Clone)]
+    pub struct SuiteStats {
+        /// Suite name.
+        pub suite: String,
+        /// Programs in the suite.
+        pub programs: usize,
+        /// Total solver steps with prefix sharing (prefix counted once per
+        /// function).
+        pub steps_shared: usize,
+        /// Steps of the shared prefix solves alone.
+        pub steps_prefix: usize,
+        /// Total solver steps with every idiom solved from scratch.
+        pub steps_unshared: usize,
+        /// Solver solutions across the default registry.
+        pub solutions: usize,
+        /// Reductions reported by detection.
+        pub reductions: usize,
+        /// Wall time of one full `detect_reductions` sweep, milliseconds.
+        pub wall_ms: f64,
+    }
+
+    /// All suites of the detection bench corpus (the 40 paper programs
+    /// plus the idiom micro-suite).
+    #[must_use]
+    pub fn corpus() -> [Suite; 4] {
+        [Suite::Nas, Suite::Parboil, Suite::Rodinia, Suite::Micro]
+    }
+
+    /// Measures one suite with the default registry.
+    #[must_use]
+    pub fn measure_suite_stats(suite: Suite) -> SuiteStats {
+        let registry = IdiomRegistry::with_default_idioms();
+        let programs = suite_programs(suite);
+        let modules: Vec<_> = programs.iter().map(|p| p.compile()).collect();
+        let mut out = SuiteStats {
+            suite: suite.to_string(),
+            programs: programs.len(),
+            steps_shared: 0,
+            steps_prefix: 0,
+            steps_unshared: 0,
+            solutions: 0,
+            reductions: 0,
+            wall_ms: 0.0,
+        };
+        for m in &modules {
+            for func in &m.functions {
+                let analyses = gr_analysis::Analyses::new(m, func);
+                let ctx = MatchCtx::new(m, func, &analyses);
+                let shared = registry.stats_report(&ctx, true);
+                let total = shared.total();
+                out.steps_shared += total.steps;
+                out.steps_prefix += shared.prefix.steps;
+                out.solutions += total.solutions;
+                out.steps_unshared += registry.stats_report(&ctx, false).total().steps;
+            }
+        }
+        let t0 = Instant::now();
+        for m in &modules {
+            out.reductions += gr_core::detect_reductions(std::hint::black_box(m)).len();
+        }
+        out.wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        out
+    }
+
+    /// Renders the per-suite stats as the `BENCH_detection.json` document
+    /// (hand-rolled writer — the workspace builds without serde).
+    #[must_use]
+    pub fn render_json(rows: &[SuiteStats], quick: bool) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"schema\": \"gr-bench/detection-stats/v1\",");
+        let _ = writeln!(s, "  \"quick\": {quick},");
+        let _ = writeln!(s, "  \"suites\": [");
+        for (i, r) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{\"suite\": \"{}\", \"programs\": {}, \"solver_steps\": {}, \"solver_steps_prefix\": {}, \"solver_steps_unshared\": {}, \"solutions\": {}, \"reductions\": {}, \"wall_ms\": {:.3}}}{comma}",
+                r.suite,
+                r.programs,
+                r.steps_shared,
+                r.steps_prefix,
+                r.steps_unshared,
+                r.solutions,
+                r.reductions,
+                r.wall_ms,
+            );
+        }
+        let _ = writeln!(s, "  ],");
+        let shared: usize = rows.iter().map(|r| r.steps_shared).sum();
+        let unshared: usize = rows.iter().map(|r| r.steps_unshared).sum();
+        let wall: f64 = rows.iter().map(|r| r.wall_ms).sum();
+        let _ = writeln!(
+            s,
+            "  \"total\": {{\"solver_steps\": {shared}, \"solver_steps_unshared\": {unshared}, \"sharing_speedup\": {:.3}, \"wall_ms\": {wall:.3}}}",
+            unshared as f64 / shared.max(1) as f64,
+        );
+        s.push_str("}\n");
+        s
+    }
+}
+
 /// A dependency-free micro-benchmark harness: warm up, run timed batches,
 /// report the best-of-batches mean (the conventional noise-robust
 /// statistic for wall-clock micro-benchmarks).
@@ -44,6 +158,15 @@ pub mod timing {
             best = best.min(t0.elapsed() / per_batch as u32);
         }
         println!("{name:<44} {best:>12.2?}/iter  ({per_batch} iters/batch)");
+    }
+
+    /// Smoke-mode variant: one warm-up plus one timed run, for CI jobs
+    /// that only need to prove the bench executes (`--quick`).
+    pub fn bench_quick<R>(name: &str, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f());
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        println!("{name:<44} {:>12.2?}/iter  (quick)", t0.elapsed());
     }
 }
 

@@ -1,0 +1,119 @@
+//! Tier-1 guards on solver cost and on the equivalence of the
+//! prefix-shared and unshared detection paths.
+//!
+//! The step counts are fully deterministic: candidate lists are sorted
+//! before use and the search is depth-first, so the totals only move when
+//! candidate generation or the specs change. The bounds leave a little
+//! headroom over the measured values (micro 81, corpus 3021 at the time
+//! this was pinned) so spec growth does not trip them spuriously, while a
+//! genuine candidate-generation regression does.
+
+use gr_bench::stats::{corpus, measure_suite_stats};
+use gr_benchsuite::{suite_programs, Suite};
+use gr_core::atoms::MatchCtx;
+use gr_core::detect::PrefixCache;
+use gr_core::spec::IdiomRegistry;
+
+/// Total solver steps of the default registry on `main` before prefix
+/// sharing landed, over the same corpus (NAS + Parboil + Rodinia + Micro),
+/// measured at commit `6996b9c` with `IdiomRegistry::solve_stats` per
+/// function. The acceptance bar for this change is a ≥3× reduction
+/// against it.
+const MAIN_BASELINE_STEPS: usize = 12_185;
+
+fn shared_steps(suite: Suite) -> usize {
+    let registry = IdiomRegistry::with_default_idioms();
+    let mut total = 0;
+    for p in suite_programs(suite) {
+        let m = p.compile();
+        for func in &m.functions {
+            let analyses = gr_analysis::Analyses::new(&m, func);
+            let ctx = MatchCtx::new(&m, func, &analyses);
+            total += registry.solve_stats(&ctx).steps;
+        }
+    }
+    total
+}
+
+#[test]
+fn micro_corpus_steps_are_pinned() {
+    let steps = shared_steps(Suite::Micro);
+    assert!(steps > 0);
+    assert!(
+        steps <= 100,
+        "micro-corpus solver steps regressed: {steps} > 100 — candidate \
+         generation got weaker (or a new micro program needs a new pin)"
+    );
+}
+
+#[test]
+fn corpus_steps_drop_3x_vs_pre_sharing_main() {
+    let total: usize = corpus().into_iter().map(shared_steps).sum();
+    assert!(
+        total * 3 <= MAIN_BASELINE_STEPS,
+        "prefix-shared corpus steps {total} must stay ≤ {} (3x under the \
+         pre-sharing baseline of {MAIN_BASELINE_STEPS})",
+        MAIN_BASELINE_STEPS / 3
+    );
+    // Tighter trend guard over the measured 3021.
+    assert!(total <= 3_400, "corpus steps regressed: {total} > 3400");
+}
+
+#[test]
+fn sharing_beats_unshared_solves_on_every_suite() {
+    for suite in corpus() {
+        let s = measure_suite_stats(suite);
+        assert!(
+            s.steps_shared < s.steps_unshared,
+            "{}: shared {} !< unshared {}",
+            s.suite,
+            s.steps_shared,
+            s.steps_unshared
+        );
+        // The prefix dominates each unshared solve, so sharing it across
+        // the four idioms must at least halve the total.
+        assert!(
+            s.steps_shared * 2 <= s.steps_unshared,
+            "{}: sharing gained less than 2x ({} vs {})",
+            s.suite,
+            s.steps_shared,
+            s.steps_unshared
+        );
+    }
+}
+
+#[test]
+fn shared_and_unshared_detection_reports_are_byte_identical() {
+    let registry = IdiomRegistry::with_default_idioms();
+    for suite in corpus() {
+        for p in suite_programs(suite) {
+            let m = p.compile();
+            for func in &m.functions {
+                let analyses = gr_analysis::Analyses::new(&m, func);
+                let ctx = MatchCtx::new(&m, func, &analyses);
+                let shared = registry.detect_in_function_with(&ctx, Some(&mut PrefixCache::new()));
+                let unshared = registry.detect_in_function_with(&ctx, None);
+                assert_eq!(
+                    format!("{shared:?}"),
+                    format!("{unshared:?}"),
+                    "reports diverge on {}::{}",
+                    p.name,
+                    func.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bench_json_renders_all_suites() {
+    let rows: Vec<_> = corpus().into_iter().map(measure_suite_stats).collect();
+    let json = gr_bench::stats::render_json(&rows, true);
+    for suite in ["nas", "parboil", "rodinia", "micro"] {
+        assert!(
+            json.to_lowercase().contains(&format!("\"suite\": \"{suite}\"")),
+            "missing {suite} in {json}"
+        );
+    }
+    assert!(json.contains("\"sharing_speedup\""));
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! greduce detect <file.c>        detect reductions (constraint system)
+//! greduce stats <file.c>         solver-step ledger (shared prefix vs unshared)
 //! greduce compare <file.c>       ours vs icc-model vs Polly-model
 //! greduce ir <file.c>            dump the SSA IR
 //! greduce run <file.c> <fn> [args...]   interpret a function (int args)
@@ -17,7 +18,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
-        eprintln!("usage: greduce <detect|compare|ir|run|par|suite|help> [file.c] [args...]");
+        eprintln!("usage: greduce <detect|stats|compare|ir|run|par|suite|help> [file.c] [args...]");
         ExitCode::FAILURE
     };
     let Some(cmd) = args.first().map(String::as_str) else { return usage() };
@@ -25,6 +26,9 @@ fn main() -> ExitCode {
         "help" => {
             println!("greduce — constraint-based reduction discovery (CGO 2017 reproduction)");
             println!("  detect <file.c>              list detected reductions");
+            println!(
+                "  stats <file.c>               per-function solver steps, shared vs unshared"
+            );
             println!("  compare <file.c>             compare against icc/Polly models");
             println!("  ir <file.c>                  print the SSA IR");
             println!("  run <file.c> <fn> [ints...]  interpret a function");
@@ -51,7 +55,7 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        "detect" | "compare" | "ir" | "run" | "par" => {
+        "detect" | "stats" | "compare" | "ir" | "run" | "par" => {
             let Some(path) = args.get(1) else { return usage() };
             let source = match std::fs::read_to_string(path) {
                 Ok(s) => s,
@@ -79,6 +83,52 @@ fn main() -> ExitCode {
                     }
                     for r in &rs {
                         println!("{r}");
+                    }
+                    ExitCode::SUCCESS
+                }
+                "stats" => {
+                    // Per-function solver cost: the shared for-loop prefix
+                    // is solved once and every idiom resumes from it;
+                    // `unshared` is what solving each spec from scratch
+                    // would have cost.
+                    let registry = gr_core::IdiomRegistry::with_default_idioms();
+                    let mut total_shared = 0usize;
+                    let mut total_unshared = 0usize;
+                    for func in &module.functions {
+                        let analyses = gr_analysis::Analyses::new(&module, func);
+                        let ctx = gr_core::atoms::MatchCtx::new(&module, func, &analyses);
+                        let shared = registry.stats_report(&ctx, true);
+                        let unshared = registry.stats_report(&ctx, false);
+                        println!("{}:", func.name);
+                        println!(
+                            "  for-loop prefix     {:>6} steps (solved once)",
+                            shared.prefix.steps
+                        );
+                        for ((name, ext), (_, full)) in
+                            shared.per_idiom.iter().zip(&unshared.per_idiom)
+                        {
+                            println!(
+                                "  {name:<20}{:>6} steps (unshared: {})",
+                                ext.steps, full.steps
+                            );
+                        }
+                        let s = shared.total();
+                        let u = unshared.total();
+                        println!(
+                            "  total               {:>6} steps, {} solutions (unshared: {}, {:.2}x)",
+                            s.steps,
+                            s.solutions,
+                            u.steps,
+                            u.steps as f64 / s.steps.max(1) as f64
+                        );
+                        total_shared += s.steps;
+                        total_unshared += u.steps;
+                    }
+                    if module.functions.len() > 1 {
+                        println!(
+                            "module total: {total_shared} steps (unshared: {total_unshared}, {:.2}x)",
+                            total_unshared as f64 / total_shared.max(1) as f64
+                        );
                     }
                     ExitCode::SUCCESS
                 }

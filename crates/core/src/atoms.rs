@@ -221,6 +221,16 @@ pub enum Atom {
         /// Second label.
         b: Label,
     },
+    /// The two labels bind the same value. Mainly useful inside `Or`
+    /// branches to pin labels a branch does not otherwise constrain (e.g.
+    /// the select form of argmin/argmax pins the diamond's block labels),
+    /// keeping every disjunctive shape generator-friendly.
+    Equal {
+        /// First label.
+        a: Label,
+        /// Second label.
+        b: Label,
+    },
     /// Instruction `inst` resides in block `block`.
     BlockOf {
         /// Instruction label.
@@ -381,6 +391,7 @@ impl Atom {
             Atom::OperandIs { inst, value, .. } => vec![*inst, *value],
             Atom::PhiIncoming { phi, value, block } => vec![*phi, *value, *block],
             Atom::NotEqual { a, b }
+            | Atom::Equal { a, b }
             | Atom::BlockOf { inst: a, block: b }
             | Atom::CfgEdge { from: a, to: b }
             | Atom::Dominates { a, b }
@@ -450,6 +461,7 @@ impl Atom {
                     .any(|c| c[0] == get(*value) && c[1] == get(*block))
             }
             Atom::NotEqual { a, b } => get(*a) != get(*b),
+            Atom::Equal { a, b } => get(*a) == get(*b),
             Atom::BlockOf { inst, block } => {
                 let Some(b) = ctx.as_block(get(*block)) else { return false };
                 ctx.inst_blocks.get(&get(*inst)) == Some(&b)
@@ -677,6 +689,15 @@ impl Atom {
                 Some(ctx.header_loops.keys().copied().collect())
             }
             Atom::Opcode { l, class } if *l == target => Some(ctx.bucket(*class).to_vec()),
+            Atom::Equal { a, b } if *a != *b => {
+                if *a == target {
+                    Some(vec![get(*b)])
+                } else if *b == target {
+                    Some(vec![get(*a)])
+                } else {
+                    None
+                }
+            }
             Atom::OperandIs { inst, index, value } => {
                 if *value == target {
                     let ops = ctx.func.value(get(*inst)).kind.operands();
@@ -812,6 +833,137 @@ impl Atom {
                 Some(out)
             }
             _ => None,
+        }
+    }
+
+    /// The cardinality of the candidate set [`Atom::enumerate`] would
+    /// produce for `target`, computed from the precomputed indexes on
+    /// [`MatchCtx`] *without materializing the set* (hash lookups and
+    /// length reads only). Returns `Some` exactly when `enumerate` would;
+    /// the solver uses it to pick the most selective generator first and
+    /// to demote the rest to membership filters.
+    #[must_use]
+    pub fn estimate(&self, ctx: &MatchCtx<'_>, asg: &[ValueId], target: Label) -> Option<usize> {
+        let get = |l: Label| asg[l.index()];
+        match self {
+            Atom::IsBlock(l) if *l == target => Some(ctx.block_labels.len()),
+            Atom::IsLoopHeader(l) if *l == target => Some(ctx.header_loops.len()),
+            Atom::Opcode { l, class } if *l == target => Some(ctx.bucket(*class).len()),
+            Atom::Equal { a, b } if *a != *b => (*a == target || *b == target).then_some(1),
+            Atom::OperandIs { inst, index, value } => {
+                if *value == target {
+                    let ops = ctx.func.value(get(*inst)).kind.operands();
+                    ops.get(*index).map(|_| 1)
+                } else if *inst == target {
+                    Some(ctx.analyses.users.users_of(get(*value)).len())
+                } else {
+                    None
+                }
+            }
+            Atom::PhiIncoming { phi, value, block } => {
+                if *phi == target {
+                    Some(ctx.analyses.users.users_of(get(*value)).len())
+                } else if *value == target || *block == target {
+                    let data = ctx.func.value(get(*phi));
+                    if data.kind.opcode() != Some(&Opcode::Phi) {
+                        return Some(0);
+                    }
+                    Some(data.kind.operands().len() / 2)
+                } else {
+                    None
+                }
+            }
+            Atom::OperandOf { inst, value } => {
+                if *value == target {
+                    Some(ctx.func.value(get(*inst)).kind.operands().len())
+                } else {
+                    Some(ctx.analyses.users.users_of(get(*value)).len())
+                }
+            }
+            Atom::BlockOf { inst, block } => {
+                if *inst == target {
+                    let b = ctx.as_block(get(*block))?;
+                    Some(ctx.func.block(b).insts.len())
+                } else {
+                    ctx.inst_blocks.get(&get(*inst)).map(|_| 1)
+                }
+            }
+            Atom::CfgEdge { from, to } => {
+                if *to == target {
+                    let f = ctx.as_block(get(*from))?;
+                    Some(ctx.analyses.cfg.succs[f.index()].len())
+                } else {
+                    let t = ctx.as_block(get(*to))?;
+                    Some(ctx.analyses.cfg.preds[t.index()].len())
+                }
+            }
+            Atom::InLoopBlock { block, header } if *block == target => {
+                let lid = ctx.loop_of_header(get(*header))?;
+                Some(ctx.analyses.loops.get(lid).blocks.len())
+            }
+            Atom::InLoopInst { inst, header } if *inst == target => {
+                let lid = ctx.loop_of_header(get(*header))?;
+                Some(
+                    ctx.analyses
+                        .loops
+                        .get(lid)
+                        .blocks
+                        .iter()
+                        .map(|&b| ctx.func.block(b).insts.len())
+                        .sum(),
+                )
+            }
+            Atom::AnchoredTo { inst, header } if *inst == target => {
+                let lid = ctx.loop_of_header(get(*header))?;
+                Some(
+                    ctx.analyses
+                        .loops
+                        .get(lid)
+                        .blocks
+                        .iter()
+                        .filter(|&&b| ctx.analyses.loops.innermost_of(b) == Some(lid))
+                        .map(|&b| ctx.func.block(b).insts.len())
+                        .sum(),
+                )
+            }
+            _ => None,
+        }
+    }
+
+    /// Static evaluation-cost rank for checker ordering: cheap equality and
+    /// index lookups first, whole-loop dataflow walks last. Reordering
+    /// checkers is sound (all must hold) and puts the most selective cheap
+    /// filters in front of the expensive analyses.
+    #[must_use]
+    pub fn cost_rank(&self) -> u8 {
+        match self {
+            Atom::NotEqual { .. }
+            | Atom::Equal { .. }
+            | Atom::TypeScalar(_)
+            | Atom::TypeInt(_)
+            | Atom::IsBlock(_)
+            | Atom::IsLoopHeader(_)
+            | Atom::Opcode { .. }
+            | Atom::PhiArity { .. } => 0,
+            Atom::OperandIs { .. }
+            | Atom::OperandOf { .. }
+            | Atom::PhiIncoming { .. }
+            | Atom::BlockOf { .. }
+            | Atom::CfgEdge { .. } => 1,
+            Atom::Dominates { .. }
+            | Atom::StrictlyDominates { .. }
+            | Atom::Postdominates { .. }
+            | Atom::StrictlyPostdominates { .. }
+            | Atom::InLoopBlock { .. }
+            | Atom::NotInLoopBlock { .. }
+            | Atom::InLoopInst { .. }
+            | Atom::AnchoredTo { .. }
+            | Atom::InvariantIn { .. }
+            | Atom::Precedes { .. } => 2,
+            Atom::NoPathAvoiding { .. } | Atom::AffineIn { .. } => 3,
+            Atom::ComputedOnlyFrom { .. }
+            | Atom::UsesConfinedTo { .. }
+            | Atom::OnlyObjectAccesses { .. } => 4,
         }
     }
 }

@@ -55,6 +55,26 @@ impl Constraint {
     }
 }
 
+/// A shared sub-specification prefix (see [`SpecBuilder::mark_prefix`]).
+///
+/// Specifications composed as `prefix ⨯ extension` — e.g. every built-in
+/// idiom is `for-loop ⨯ idiom-specific conditions` — record how many
+/// leading labels and top-level conjuncts belong to the prefix, plus a
+/// structural fingerprint. Two specs with equal fingerprints share the
+/// exact same prefix sub-problem, so a solver run over one prefix can be
+/// reused by every extension
+/// ([`solve_extend`](crate::solver::solve_extend)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrefixInfo {
+    /// Number of leading labels owned by the prefix.
+    pub labels: usize,
+    /// Number of leading top-level conjuncts owned by the prefix.
+    pub conjuncts: usize,
+    /// Structural fingerprint of the prefix (labels + constraint tree):
+    /// equal fingerprints ⇒ identical prefix sub-problems.
+    pub fingerprint: u64,
+}
+
 /// A named idiom specification: labels plus the constraint predicate.
 #[derive(Debug, Clone)]
 pub struct Spec {
@@ -64,6 +84,8 @@ pub struct Spec {
     pub label_names: Vec<String>,
     /// The predicate.
     pub root: Constraint,
+    /// The shared sub-specification prefix, when one was marked.
+    pub prefix: Option<PrefixInfo>,
 }
 
 impl Spec {
@@ -71,6 +93,30 @@ impl Spec {
     #[must_use]
     pub fn arity(&self) -> usize {
         self.label_names.len()
+    }
+
+    /// The top-level conjuncts of the predicate.
+    #[must_use]
+    pub fn conjuncts(&self) -> &[Constraint] {
+        match &self.root {
+            Constraint::And(cs) => cs,
+            _ => std::slice::from_ref(&self.root),
+        }
+    }
+
+    /// The standalone specification of the marked prefix, or `None` when
+    /// the spec has no prefix. Solving it yields exactly the partial
+    /// assignments [`solve_extend`](crate::solver::solve_extend) resumes
+    /// from.
+    #[must_use]
+    pub fn prefix_spec(&self) -> Option<Spec> {
+        let p = self.prefix?;
+        Some(Spec {
+            name: format!("{}::prefix", self.name),
+            label_names: self.label_names[..p.labels].to_vec(),
+            root: Constraint::And(self.conjuncts()[..p.conjuncts].to_vec()),
+            prefix: None,
+        })
     }
 
     /// The label with the given name.
@@ -97,13 +143,42 @@ pub struct SpecBuilder {
     name: String,
     label_names: Vec<String>,
     conjuncts: Vec<Constraint>,
+    prefix: Option<(usize, usize)>,
 }
 
 impl SpecBuilder {
     /// Starts a specification.
     #[must_use]
     pub fn new(name: &str) -> SpecBuilder {
-        SpecBuilder { name: name.to_string(), label_names: Vec::new(), conjuncts: Vec::new() }
+        SpecBuilder {
+            name: name.to_string(),
+            label_names: Vec::new(),
+            conjuncts: Vec::new(),
+            prefix: None,
+        }
+    }
+
+    /// Marks everything added so far as the spec's shared prefix (CAnDL/IDL
+    /// style composition by inclusion): the labels and conjuncts of a
+    /// reusable sub-specification whose solutions can be cached and shared
+    /// across every spec built on the same prefix. Composite helpers call
+    /// this after adding their atoms — [`add_for_loop`] does, so every
+    /// idiom built on the for-loop skeleton shares its sub-solution
+    /// automatically.
+    ///
+    /// The prefix must be self-contained and come **first**: call the
+    /// prefix composite on a fresh builder, before declaring any of your
+    /// own labels or atoms. Labels created earlier would be swept into
+    /// the marked prefix without their constraints, degrading the cached
+    /// prefix solve to full `values(F)` enumeration for them (correct,
+    /// but it multiplies prefix solutions instead of sharing a small
+    /// skeleton).
+    ///
+    /// [`add_for_loop`]: crate::spec::forloop::add_for_loop
+    pub fn mark_prefix(&mut self) -> &mut SpecBuilder {
+        assert!(self.prefix.is_none(), "spec `{}` marked a prefix twice", self.name);
+        self.prefix = Some((self.label_names.len(), self.conjuncts.len()));
+        self
     }
 
     /// Creates a fresh label.
@@ -141,12 +216,29 @@ impl SpecBuilder {
     /// Finalizes the specification.
     #[must_use]
     pub fn finish(self) -> Spec {
+        let prefix = self.prefix.map(|(labels, conjuncts)| PrefixInfo {
+            labels,
+            conjuncts,
+            fingerprint: fingerprint(&self.label_names[..labels], &self.conjuncts[..conjuncts]),
+        });
         Spec {
             name: self.name,
             label_names: self.label_names,
             root: Constraint::And(self.conjuncts),
+            prefix,
         }
     }
+}
+
+/// Structural fingerprint of a prefix: a hash of its label names and the
+/// debug rendering of its constraint tree. Atoms carry no dynamic state, so
+/// equal renderings mean identical sub-problems.
+fn fingerprint(labels: &[String], conjuncts: &[Constraint]) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    labels.hash(&mut h);
+    format!("{conjuncts:?}").hash(&mut h);
+    h.finish()
 }
 
 #[cfg(test)]

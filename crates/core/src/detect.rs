@@ -14,8 +14,9 @@
 //! filter, the affinity judgement, and the nested-scalar deduplication.
 
 use crate::atoms::MatchCtx;
+use crate::constraint::Spec;
 use crate::report::Reduction;
-use crate::solver::SolveStats;
+use crate::solver::{solve, solve_extend, Assignment, SolveOptions, SolveStats};
 use crate::spec::registry::IdiomRegistry;
 use gr_analysis::dataflow::{
     computed_only_from, forward_closure_in_loop, DominanceQuery, DominanceResult,
@@ -23,6 +24,82 @@ use gr_analysis::dataflow::{
 use gr_analysis::loops::LoopId;
 use gr_analysis::Analyses;
 use gr_ir::{Module, Opcode, ValueId};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Memoized prefix solutions for one function ([`MatchCtx`]): the shared
+/// for-loop sub-problem is solved once and every idiom entry resumes from
+/// it ([`solve_extend`]). Keyed by the prefix's structural fingerprint, so
+/// any family of specs built on the same marked prefix shares — not just
+/// the built-in for-loop.
+///
+/// A cache is only meaningful for a single `MatchCtx`: build one per
+/// function and drop it afterwards (the driver does).
+#[derive(Default)]
+pub struct PrefixCache {
+    entries: HashMap<u64, Arc<SolvedPrefix>>,
+}
+
+/// One solved prefix sub-problem.
+pub struct SolvedPrefix {
+    /// Every assignment of the prefix labels satisfying the prefix spec.
+    pub solutions: Vec<Assignment>,
+    /// Cost of the one prefix solve.
+    pub stats: SolveStats,
+}
+
+impl PrefixCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> PrefixCache {
+        PrefixCache::default()
+    }
+
+    /// The solved prefix of `spec`, computing and memoizing it on first
+    /// use. Returns `None` for specs without a marked prefix; the `bool`
+    /// is `true` when this call performed the solve (so callers can
+    /// attribute the prefix cost exactly once).
+    pub fn lookup(
+        &mut self,
+        spec: &Spec,
+        ctx: &MatchCtx<'_>,
+        opts: SolveOptions,
+    ) -> Option<(Arc<SolvedPrefix>, bool)> {
+        let p = spec.prefix?;
+        if let Some(e) = self.entries.get(&p.fingerprint) {
+            return Some((Arc::clone(e), false));
+        }
+        let pspec = spec.prefix_spec()?;
+        let (solutions, stats) = solve(&pspec, ctx, opts);
+        let e = Arc::new(SolvedPrefix { solutions, stats });
+        self.entries.insert(p.fingerprint, Arc::clone(&e));
+        Some((e, true))
+    }
+}
+
+/// Solves `spec`, going through the prefix cache when both a cache and a
+/// marked prefix exist. Returns the solutions, the (extension) solve
+/// statistics, and the prefix statistics when this call triggered the
+/// prefix solve — `None` on a cache hit or an uncached/unprefixed solve.
+pub fn solve_with_cache(
+    spec: &Spec,
+    ctx: &MatchCtx<'_>,
+    cache: Option<&mut PrefixCache>,
+    opts: SolveOptions,
+) -> (Vec<Assignment>, SolveStats, Option<SolveStats>) {
+    if let Some(cache) = cache {
+        if let Some((prefix, fresh)) = cache.lookup(spec, ctx, opts) {
+            let (sols, mut stats) = solve_extend(spec, ctx, &prefix.solutions, opts);
+            // A truncated prefix solve means the cached solution list is
+            // incomplete: surface that on every resume, not just the
+            // fresh one.
+            stats.truncated = stats.truncated || prefix.stats.truncated;
+            return (sols, stats, fresh.then_some(prefix.stats));
+        }
+    }
+    let (sols, stats) = solve(spec, ctx, opts);
+    (sols, stats, None)
+}
 
 /// Detects all reductions of the default idioms in a module.
 #[must_use]

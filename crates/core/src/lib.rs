@@ -9,8 +9,13 @@
 //!    constraints ([`atoms::Atom`]) over labelled tuples of IR values,
 //! 2. a **generic backtracking solver** ([`solver`]) implementing the
 //!    paper's `DETECT` procedure (Figure 6): labels are assigned one at a
-//!    time, candidates are generated from the constraints themselves, and
-//!    partial assignments that violate any decided constraint are pruned,
+//!    time, candidates are generated from the constraints themselves
+//!    (indexed, most-selective-first, with `Or`-branch unions), and
+//!    partial assignments that violate any decided constraint are pruned;
+//!    specs composed as `prefix ⨯ extension` share the prefix
+//!    sub-solution across idioms ([`solver::solve_extend`] +
+//!    [`detect::PrefixCache`] — the for-loop skeleton is solved once per
+//!    function, not once per idiom),
 //! 3. a pluggable **idiom registry** ([`spec::registry`]) whose entries
 //!    pair a specification with the hooks the driver needs (post-check,
 //!    report classifier) — a new idiom is a new specification, not a new

@@ -354,6 +354,47 @@ pub fn normalized_exchange_pred(
     Some(if then_b == taken { pred } else { pred.negated() })
 }
 
+/// Normalizes a select-based exchange: given `sel = select(cond, t, f)`
+/// whose condition compares `cand` against `val`, and the pair of values
+/// the select chooses between (`taken_arm` on exchange, `kept_arm`
+/// otherwise — `(cand, val)` for the value select, `(iterator, idx)` for
+/// the companion index select), returns `PRED` such that the exchange
+/// happens exactly when `cand PRED val` holds. Strictness is preserved,
+/// exactly as in [`normalized_exchange_pred`].
+#[must_use]
+pub fn normalized_select_pred(
+    func: &Function,
+    sel: ValueId,
+    cand: ValueId,
+    val: ValueId,
+    taken_arm: ValueId,
+    kept_arm: ValueId,
+) -> Option<CmpPred> {
+    let sdata = func.value(sel);
+    if sdata.kind.opcode() != Some(&Opcode::Select) {
+        return None;
+    }
+    let ops = sdata.kind.operands();
+    let (cond, t, f) = (ops[0], ops[1], ops[2]);
+    let cdata = func.value(cond);
+    let Some(&Opcode::Cmp(raw)) = cdata.kind.opcode() else { return None };
+    let cops = cdata.kind.operands();
+    let pred = if cops[0] == cand && cops[1] == val {
+        raw
+    } else if cops[0] == val && cops[1] == cand {
+        raw.swapped()
+    } else {
+        return None;
+    };
+    if t == taken_arm && f == kept_arm {
+        Some(pred)
+    } else if t == kept_arm && f == taken_arm {
+        Some(pred.negated())
+    } else {
+        None
+    }
+}
+
 fn flip(op: ReductionOp) -> ReductionOp {
     match op {
         ReductionOp::Min => ReductionOp::Max,

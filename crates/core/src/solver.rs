@@ -5,11 +5,33 @@
 //! solver assigns labels in order. At step `k` it evaluates `c_k`: the
 //! predicate with every atom that mentions a not-yet-assigned label
 //! replaced by `true` (paper §3.3, step 2). Candidates for the next label
-//! are produced by the atoms themselves ([`Atom::enumerate`]) — the
-//! intersection of all generating conjunct atoms — falling back to the full
-//! `values(F)` enumeration only when no atom can generate. This is the
-//! "smarter approach that utilizes knowledge about the composition of the
-//! predicate" of §3.2.
+//! are produced by the atoms themselves ([`Atom::enumerate`]) — falling
+//! back to the full `values(F)` enumeration only when no atom can
+//! generate. This is the "smarter approach that utilizes knowledge about
+//! the composition of the predicate" of §3.2, sharpened in three ways:
+//!
+//! * **indexed candidate generation** — every generating atom reports the
+//!   cardinality of its candidate set from the precomputed indexes on
+//!   [`MatchCtx`] ([`Atom::estimate`]); only the most selective generator
+//!   is materialized, the rest act as membership filters, so the candidate
+//!   set equals the full intersection without building every list;
+//! * **disjunction generators** — an `Or` conjunct generates candidates as
+//!   the union of its branches' candidate sets whenever every branch can
+//!   generate, which keeps specs with alternative shapes (e.g. the
+//!   diamond/select argmin forms) tractable;
+//! * **selectivity-ordered checkers** — each label's checker atoms run
+//!   cheapest-and-most-selective first ([`Atom::cost_rank`]), so equality
+//!   and index lookups prune before whole-loop dataflow walks execute.
+//!
+//! **Prefix sharing.** Specifications composed as `prefix ⨯ extension`
+//! (see [`SpecBuilder::mark_prefix`](crate::constraint::SpecBuilder::mark_prefix))
+//! can skip re-solving the shared prefix: [`solve_extend`] resumes the
+//! backtracking search from previously computed prefix assignments,
+//! visiting exactly the nodes a full [`solve`] would visit *below* the
+//! prefix — same solutions, same order, a fraction of the steps. The
+//! detection driver caches for-loop solutions per function in a
+//! [`PrefixCache`](crate::detect::PrefixCache) so the loop skeleton is
+//! solved once per function, not once per idiom.
 //!
 //! [`solve_naive`] is the exponential baseline (filter the full cartesian
 //! enumeration), kept for the ablation benchmark and for cross-validation
@@ -48,57 +70,223 @@ pub struct SolveStats {
     pub truncated: bool,
 }
 
+impl SolveStats {
+    /// Accumulates another run's statistics into this one.
+    pub fn absorb(&mut self, other: SolveStats) {
+        self.steps += other.steps;
+        self.solutions += other.solutions;
+        self.truncated = self.truncated || other.truncated;
+    }
+}
+
+/// One branch of an `Or` conjunct, prepared for candidate generation at a
+/// fixed level: the branch's atoms decidable at that level, and the subset
+/// able to enumerate the level's label.
+struct OrBranchGen<'s> {
+    /// Branch atoms whose labels are all `<= level` (membership filters).
+    decidable: Vec<&'s Atom>,
+    /// Decidable atoms mentioning the level's label exactly once with all
+    /// other labels earlier (candidate enumerators).
+    enumerators: Vec<&'s Atom>,
+}
+
+/// A candidate-generation source for one label.
+enum Gen<'s> {
+    /// A top-level conjunct atom.
+    Atom(&'s Atom),
+    /// An `Or` conjunct: candidates are the union over branches of each
+    /// branch's (filtered) enumerator sets. Sound because any solution
+    /// satisfies at least one branch in full.
+    Or(Vec<OrBranchGen<'s>>),
+}
+
+/// A `Gen` resolved against the current partial assignment: which atom to
+/// materialize and the estimated candidate count.
+enum Resolved<'g, 's> {
+    Atom(&'s Atom),
+    /// Per branch: the chosen enumerator plus the branch's filters.
+    Or(Vec<(&'s Atom, &'g [&'s Atom])>),
+}
+
+/// The per-label search tables for one (sub-)specification, built once per
+/// solver run.
+struct SearchPlan<'s> {
+    spec: &'s Spec,
+    /// First label index this plan assigns (0 for a full solve, the
+    /// prefix arity for an extension solve).
+    start: usize,
+    /// Conjunct atoms decided at each level, cheapest-first.
+    checkers: Vec<Vec<&'s Atom>>,
+    /// Candidate-generation sources per level.
+    generators: Vec<Vec<Gen<'s>>>,
+    /// `Or` conjuncts with their max label, partially evaluated while they
+    /// are not yet fully decided.
+    partials: Vec<(&'s Constraint, usize)>,
+    /// Conjuncts past the prefix mark whose labels all lie inside the
+    /// prefix: checked once per resumed prefix assignment.
+    residual: Vec<&'s Constraint>,
+}
+
+impl<'s> SearchPlan<'s> {
+    fn new(spec: &'s Spec, start: usize, skip_conjuncts: usize) -> SearchPlan<'s> {
+        let n = spec.arity();
+        let mut plan = SearchPlan {
+            spec,
+            start,
+            checkers: vec![Vec::new(); n],
+            generators: (0..n).map(|_| Vec::new()).collect(),
+            partials: Vec::new(),
+            residual: Vec::new(),
+        };
+        for c in &spec.conjuncts()[skip_conjuncts..] {
+            plan.add_conjunct(c);
+        }
+        for v in &mut plan.checkers {
+            v.sort_by_key(|a| a.cost_rank());
+        }
+        plan
+    }
+
+    fn add_conjunct(&mut self, c: &'s Constraint) {
+        match c {
+            Constraint::And(cs) => {
+                for c in cs {
+                    self.add_conjunct(c);
+                }
+            }
+            Constraint::Atom(a) => {
+                let labels = a.labels();
+                let Some(max) = labels.iter().map(|l| l.index()).max() else { return };
+                if max < self.start {
+                    self.residual.push(c);
+                    return;
+                }
+                self.checkers[max].push(a);
+                if labels.iter().filter(|l| l.index() == max).count() == 1 {
+                    self.generators[max].push(Gen::Atom(a));
+                }
+            }
+            Constraint::Or(branches) => {
+                let Some(max) = c.max_label() else { return };
+                if max < self.start {
+                    self.residual.push(c);
+                    return;
+                }
+                self.partials.push((c, max));
+                // Mandatory atoms per branch (nested `And`s flattened,
+                // nested `Or`s skipped — their atoms are optional).
+                let flat: Vec<Vec<&'s Atom>> = branches.iter().map(mandatory_atoms).collect();
+                for k in self.start..=max {
+                    let mut per_branch = Vec::with_capacity(flat.len());
+                    let mut all_generate = true;
+                    for atoms in &flat {
+                        let decidable: Vec<&'s Atom> = atoms
+                            .iter()
+                            .copied()
+                            .filter(|a| a.labels().iter().all(|l| l.index() <= k))
+                            .collect();
+                        let enumerators: Vec<&'s Atom> = decidable
+                            .iter()
+                            .copied()
+                            .filter(|a| {
+                                let ls = a.labels();
+                                ls.iter().filter(|l| l.index() == k).count() == 1
+                            })
+                            .collect();
+                        if enumerators.is_empty() {
+                            all_generate = false;
+                            break;
+                        }
+                        per_branch.push(OrBranchGen { decidable, enumerators });
+                    }
+                    if all_generate {
+                        self.generators[k].push(Gen::Or(per_branch));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Partial evaluation of the not-yet-decided `Or` conjuncts. Conjunct
+    /// atoms are covered exactly once by `checkers`; an `Or` decided at an
+    /// earlier level was evaluated exactly there and cannot change.
+    fn partials_hold(&self, ctx: &MatchCtx<'_>, asg: &[ValueId], level: usize) -> bool {
+        self.partials
+            .iter()
+            .filter(|(_, max)| *max >= level)
+            .all(|(c, _)| eval_partial(c, ctx, asg))
+    }
+}
+
+/// The atoms a constraint's truth mandates: itself for an atom, the union
+/// of mandatory atoms for an `And`, nothing for an `Or` (no single atom is
+/// required).
+fn mandatory_atoms(c: &Constraint) -> Vec<&Atom> {
+    match c {
+        Constraint::Atom(a) => vec![a],
+        Constraint::And(cs) => cs.iter().flat_map(mandatory_atoms).collect(),
+        Constraint::Or(_) => Vec::new(),
+    }
+}
+
 /// Enumerates every assignment satisfying `spec` (up to the limits in
 /// `opts`).
 #[must_use]
 pub fn solve(spec: &Spec, ctx: &MatchCtx<'_>, opts: SolveOptions) -> (Vec<Assignment>, SolveStats) {
-    let n = spec.arity();
     let mut solutions = Vec::new();
     let mut stats = SolveStats::default();
-    if n == 0 {
+    if spec.arity() == 0 {
         return (solutions, stats);
     }
-    // Precompute, for each label k, the conjunct atoms whose labels are all
-    // ≤ k with k included (checked when k is assigned) and the conjunct
-    // atoms usable as candidate generators for k (all other labels < k).
-    let mut checkers: Vec<Vec<&Atom>> = vec![Vec::new(); n];
-    let mut generators: Vec<Vec<&Atom>> = vec![Vec::new(); n];
-    collect_conjuncts(&spec.root, &mut |atom| {
-        let labels = atom.labels();
-        let Some(max) = labels.iter().map(|l| l.index()).max() else { return };
-        checkers[max].push(atom);
-        // usable as generator for its max label when all others are earlier
-        let others_earlier = labels.iter().filter(|l| l.index() == max).count() == 1;
-        if others_earlier {
-            generators[max].push(atom);
-        }
-    });
-
-    let mut asg: Assignment = Vec::with_capacity(n);
-    search(spec, ctx, &checkers, &generators, &mut asg, &mut solutions, &mut stats, opts);
+    let plan = SearchPlan::new(spec, 0, 0);
+    let mut asg: Assignment = Vec::with_capacity(spec.arity());
+    search(&plan, ctx, &mut asg, &mut solutions, &mut stats, opts);
     (solutions, stats)
 }
 
-fn collect_conjuncts<'c>(c: &'c Constraint, f: &mut impl FnMut(&'c Atom)) {
-    match c {
-        Constraint::Atom(a) => f(a),
-        Constraint::And(cs) => {
-            for c in cs {
-                collect_conjuncts(c, f);
-            }
-        }
-        // Atoms under Or are not mandatory; they participate only through
-        // partial evaluation of the tree.
-        Constraint::Or(_) => {}
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn search(
+/// Resumes the backtracking search of `spec` from solved prefix
+/// assignments (each of the prefix's arity), visiting exactly the search
+/// nodes a full [`solve`] would visit below those prefixes: the returned
+/// solutions and their order are identical to the full solve, while the
+/// steps cover only the extension levels.
+///
+/// The prefix assignments are typically produced once per function by
+/// solving [`Spec::prefix_spec`] and cached across idiom entries in a
+/// [`PrefixCache`](crate::detect::PrefixCache).
+///
+/// # Panics
+/// Panics if `spec` has no marked prefix.
+#[must_use]
+pub fn solve_extend(
     spec: &Spec,
     ctx: &MatchCtx<'_>,
-    checkers: &[Vec<&Atom>],
-    generators: &[Vec<&Atom>],
+    prefix_solutions: &[Assignment],
+    opts: SolveOptions,
+) -> (Vec<Assignment>, SolveStats) {
+    let p = spec.prefix.expect("solve_extend requires a spec with a marked prefix");
+    let plan = SearchPlan::new(spec, p.labels, p.conjuncts);
+    let mut solutions = Vec::new();
+    let mut stats = SolveStats::default();
+    for pre in prefix_solutions {
+        debug_assert_eq!(pre.len(), p.labels, "prefix assignment arity mismatch");
+        // Extension conjuncts confined to prefix labels are decided here,
+        // once per prefix assignment.
+        if !plan.residual.iter().all(|c| eval(c, ctx, pre)) {
+            continue;
+        }
+        let mut asg = pre.clone();
+        asg.reserve(spec.arity() - p.labels);
+        search(&plan, ctx, &mut asg, &mut solutions, &mut stats, opts);
+        if stats.truncated {
+            break;
+        }
+    }
+    (solutions, stats)
+}
+
+fn search(
+    plan: &SearchPlan<'_>,
+    ctx: &MatchCtx<'_>,
     asg: &mut Assignment,
     solutions: &mut Vec<Assignment>,
     stats: &mut SolveStats,
@@ -109,27 +297,31 @@ fn search(
         stats.truncated = true;
         return;
     }
-    if k == spec.arity() {
-        if eval(&spec.root, ctx, asg) {
-            solutions.push(asg.clone());
-            stats.solutions += 1;
-        }
+    if k == plan.spec.arity() {
+        // Every conjunct atom was checked at its decision level and every
+        // `Or` conjunct was evaluated exactly at its max level, so a full
+        // assignment is a solution by construction.
+        debug_assert!(eval(&plan.spec.root, ctx, asg) || plan.start > 0);
+        solutions.push(asg.clone());
+        stats.solutions += 1;
         return;
     }
-    // Candidate generation: intersect generating atoms; otherwise all values.
-    let mut candidates: Option<Vec<ValueId>> = None;
-    for atom in &generators[k] {
-        if let Some(mut c) = atom.enumerate(ctx, asg, Label(k)) {
-            c.sort_unstable();
-            c.dedup();
-            candidates = Some(match candidates {
-                None => c,
-                Some(prev) => prev.into_iter().filter(|v| c.binary_search(v).is_ok()).collect(),
-            });
-        }
-    }
-    let candidates = candidates.unwrap_or_else(|| ctx.func.value_ids().collect());
+    let (candidates, chosen) = generate_candidates(plan, ctx, asg, k);
     for v in candidates {
+        // Membership pre-filter (the rest of the generator intersection):
+        // candidates outside any generating source are rejected before
+        // they count as a search step, exactly as if every generator list
+        // had been materialized and intersected. The materialized source
+        // contains its own candidates by construction and is skipped.
+        asg.push(v);
+        let member = plan.generators[k]
+            .iter()
+            .enumerate()
+            .all(|(i, g)| Some(i) == chosen || source_contains(g, ctx, asg));
+        asg.pop();
+        if !member {
+            continue;
+        }
         stats.steps += 1;
         if stats.steps >= opts.max_steps {
             stats.truncated = true;
@@ -137,17 +329,109 @@ fn search(
         }
         asg.push(v);
         // c_k: all conjunct atoms decided at this step must hold, and the
-        // optimistic evaluation of the whole tree must not be false.
+        // optimistic evaluation of the undecided disjunctions must not be
+        // false.
         let ok =
-            checkers[k].iter().all(|a| a.check(ctx, asg)) && eval_partial(&spec.root, ctx, asg);
+            plan.checkers[k].iter().all(|a| a.check(ctx, asg)) && plan.partials_hold(ctx, asg, k);
         if ok {
-            search(spec, ctx, checkers, generators, asg, solutions, stats, opts);
+            search(plan, ctx, asg, solutions, stats, opts);
         }
         asg.pop();
         if solutions.len() >= opts.max_solutions {
             stats.truncated = true;
             return;
         }
+    }
+}
+
+/// Materializes the candidate set for level `k`: the most selective
+/// generating source (by [`Atom::estimate`]) is enumerated; the remaining
+/// sources filter by membership in `search`. Returns the index of the
+/// materialized source (its membership test is true by construction), or
+/// `None` after the full `values(F)` fallback when no source can
+/// generate.
+fn generate_candidates(
+    plan: &SearchPlan<'_>,
+    ctx: &MatchCtx<'_>,
+    asg: &[ValueId],
+    k: usize,
+) -> (Vec<ValueId>, Option<usize>) {
+    let target = Label(k);
+    let mut best: Option<(usize, usize, Resolved<'_, '_>)> = None;
+    for (i, g) in plan.generators[k].iter().enumerate() {
+        let Some((card, resolved)) = resolve_source(g, ctx, asg, target) else { continue };
+        if best.as_ref().is_none_or(|(c, _, _)| card < *c) {
+            best = Some((card, i, resolved));
+        }
+    }
+    let chosen = best.as_ref().map(|(_, i, _)| *i);
+    let mut out = match best {
+        None => return (ctx.func.value_ids().collect(), None),
+        Some((_, _, Resolved::Atom(a))) => {
+            a.enumerate(ctx, asg, target).expect("estimate and enumerate agree")
+        }
+        Some((_, _, Resolved::Or(branches))) => {
+            let mut union = Vec::new();
+            let mut scratch = asg.to_vec();
+            for (enumerator, filters) in branches {
+                let cands =
+                    enumerator.enumerate(ctx, asg, target).expect("estimate and enumerate agree");
+                for v in cands {
+                    scratch.push(v);
+                    let ok = filters.iter().all(|a| a.check(ctx, &scratch));
+                    scratch.pop();
+                    if ok {
+                        union.push(v);
+                    }
+                }
+            }
+            union
+        }
+    };
+    out.sort_unstable();
+    out.dedup();
+    (out, chosen)
+}
+
+/// Resolves a generation source at the current node: estimated candidate
+/// count plus what to materialize. `None` when the source cannot generate
+/// here (it still acts as a checker through the normal paths).
+fn resolve_source<'g, 's>(
+    g: &'g Gen<'s>,
+    ctx: &MatchCtx<'_>,
+    asg: &[ValueId],
+    target: Label,
+) -> Option<(usize, Resolved<'g, 's>)> {
+    match g {
+        Gen::Atom(a) => a.estimate(ctx, asg, target).map(|c| (c, Resolved::Atom(a))),
+        Gen::Or(branches) => {
+            let mut total = 0usize;
+            let mut picks = Vec::with_capacity(branches.len());
+            for b in branches {
+                let mut best: Option<(usize, &'s Atom)> = None;
+                for a in &b.enumerators {
+                    if let Some(card) = a.estimate(ctx, asg, target) {
+                        if best.is_none_or(|(c, _)| card < c) {
+                            best = Some((card, a));
+                        }
+                    }
+                }
+                let (card, a) = best?;
+                total = total.saturating_add(card);
+                picks.push((a, b.decidable.as_slice()));
+            }
+            Some((total, Resolved::Or(picks)))
+        }
+    }
+}
+
+/// Membership test against one generation source: equivalent to `v` being
+/// in the source's materialized candidate set (the assignment already has
+/// the candidate placed at the top).
+fn source_contains(g: &Gen<'_>, ctx: &MatchCtx<'_>, asg: &[ValueId]) -> bool {
+    match g {
+        Gen::Atom(a) => a.check(ctx, asg),
+        Gen::Or(branches) => branches.iter().any(|b| b.decidable.iter().all(|a| a.check(ctx, asg))),
     }
 }
 
@@ -302,8 +586,11 @@ mod tests {
                 Constraint::Atom(Atom::OperandIs { inst: cmp, index: 1, value: v }),
             ]);
             let spec = b.finish();
-            let (sols, _) = solve(&spec, ctx, SolveOptions::default());
+            let (sols, stats) = solve(&spec, ctx, SolveOptions::default());
             assert_eq!(sols.len(), 2);
+            // The disjunction generates: candidates for `v` are the two cmp
+            // operands, not the full `values(F)` fallback.
+            assert!(stats.steps < 10, "Or-union generation expected, steps={}", stats.steps);
         });
     }
 
@@ -349,5 +636,73 @@ mod tests {
                 assert!(Atom::StrictlyDominates { a: x, b: y }.check(ctx, s));
             }
         });
+    }
+
+    #[test]
+    fn equal_atom_pins_labels() {
+        with_ctx(LOOP_SRC, |ctx| {
+            let mut b = SpecBuilder::new("pinned");
+            let load = b.label("load");
+            let alias = b.label("alias");
+            b.atom(Atom::Opcode { l: load, class: OpClass::Load });
+            b.atom(Atom::Equal { a: alias, b: load });
+            let spec = b.finish();
+            let (sols, stats) = solve(&spec, ctx, SolveOptions::default());
+            assert_eq!(sols.len(), 1);
+            assert_eq!(sols[0][0], sols[0][1]);
+            assert!(stats.steps <= 2, "Equal should generate, steps={}", stats.steps);
+        });
+    }
+
+    #[test]
+    fn extend_matches_full_solve_on_marked_prefix() {
+        // A two-stage spec: prefix = load-of-gep chain, extension = the
+        // gep's index value. The resumed search must agree with the full
+        // solve exactly (solutions and order) while skipping prefix steps.
+        with_ctx(LOOP_SRC, |ctx| {
+            let build = |mark: bool| {
+                let mut b = SpecBuilder::new("load-of-gep-idx");
+                let load = b.label("load");
+                let gep = b.label("gep");
+                let base = b.label("base");
+                b.atom(Atom::Opcode { l: load, class: OpClass::Load });
+                b.atom(Atom::OperandIs { inst: load, index: 0, value: gep });
+                b.atom(Atom::Opcode { l: gep, class: OpClass::Gep });
+                b.atom(Atom::OperandIs { inst: gep, index: 0, value: base });
+                if mark {
+                    b.mark_prefix();
+                }
+                let idx = b.label("idx");
+                b.atom(Atom::OperandIs { inst: gep, index: 1, value: idx });
+                b.finish()
+            };
+            let marked = build(true);
+            let plain = build(false);
+            let (full, full_stats) = solve(&plain, ctx, SolveOptions::default());
+            let prefix = marked.prefix_spec().unwrap();
+            let (pre_sols, pre_stats) = solve(&prefix, ctx, SolveOptions::default());
+            assert_eq!(pre_sols.len(), 1);
+            let (ext, ext_stats) = solve_extend(&marked, ctx, &pre_sols, SolveOptions::default());
+            assert_eq!(ext, full, "resumed search must reproduce the full solve");
+            assert!(
+                ext_stats.steps < full_stats.steps,
+                "extension steps {} must undercut full steps {}",
+                ext_stats.steps,
+                full_stats.steps
+            );
+            assert_eq!(pre_stats.steps + ext_stats.steps, full_stats.steps);
+        });
+    }
+
+    #[test]
+    fn prefix_fingerprints_identify_shared_prefixes() {
+        let (a, _) = crate::spec::scalar_reduction_spec();
+        let (b, _) = crate::spec::scan_spec();
+        let pa = a.prefix.unwrap();
+        let pb = b.prefix.unwrap();
+        assert_eq!(pa.fingerprint, pb.fingerprint, "both extend the same for-loop prefix");
+        assert_eq!(pa.labels, pb.labels);
+        let (fl, _) = crate::spec::for_loop_spec();
+        assert_eq!(fl.arity(), pa.labels);
     }
 }

@@ -1,10 +1,17 @@
 //! The argmin/argmax idiom: a conditional minimum or maximum with a
-//! carried argument index,
+//! carried argument index, in either of its two source shapes —
 //!
 //! ```c
+//! // diamond (branch-and-phi):
 //! for (int i = 0; i < n; i++) {
 //!     float v = a[i];
 //!     if (v < best) { best = v; besti = i; }
+//! }
+//! // select (ternary):
+//! for (int i = 0; i < n; i++) {
+//!     float v = a[i];
+//!     besti = v < best ? i : besti;
+//!     best  = v < best ? v : best;
 //! }
 //! ```
 //!
@@ -17,32 +24,39 @@
 //! sequential tie-break exactly (strict comparisons keep the first
 //! extremum, non-strict the last).
 //!
-//! On top of the for-loop structure the specification binds:
+//! On top of the for-loop structure the specification binds the shared
+//! core of both shapes:
 //!
 //! * `val` / `val_init` / `val_next` — the extremum carried by the header,
-//!   its preheader incoming, and the merge phi selecting between the old
-//!   value (`skip` edge) and the candidate (`taken` edge),
-//! * `idx` / `idx_init` / `idx_next` — the companion index phis, selected
-//!   by the *same* two edges, taking the loop iterator on the exchange,
+//!   its preheader incoming, and the per-iteration producer (a two-arm
+//!   merge phi in the diamond shape, a `select` in the select shape),
+//! * `idx` / `idx_init` / `idx_next` — the companion index pair, updated
+//!   in lockstep by the *same* decision,
 //! * `cand` — the candidate, computed only from inputs and invariants,
-//! * `cmp`/`branch` — the exchange test `cmp(cand, val)` (either operand
-//!   order) steering the two-arm diamond `cond_blk → {taken, skip} →
-//!   merge`,
-//! * confinement: `val` feeds only its comparison and the exchange phis
-//!   (the companion index phi is the sanctioned terminal), `idx` feeds
-//!   nothing but its own merge phi.
+//! * `cmp` — the exchange test `cmp(cand, val)` (either operand order),
 //!
-//! The post-check normalizes the predicate direction and strictness and
-//! cross-validates it against the associativity classifier's min/max
-//! verdict.
+//! and then a **disjunction over the two shapes**: the diamond branch adds
+//! the `branch`/`cond_blk`/`taken`/`skip` control skeleton with the phi
+//! incomings, while the select branch requires both producers to be
+//! selects steered by comparisons of `cand` against `val` (the index
+//! select may reuse `cmp` or carry its own syntactic copy, `icmp`) and
+//! pins the diamond-only block labels with [`Atom::Equal`] so every label
+//! stays generator-friendly. Confinement (the extremum leaks only into its
+//! own exchange, the index only into its merge) is expressed per shape.
+//!
+//! The post-check normalizes the predicate direction and strictness for
+//! whichever shape matched and cross-validates it against the
+//! associativity classifier's min/max verdict.
 
 use crate::atoms::{Atom, MatchCtx, OpClass};
 use crate::constraint::{Constraint, Label, Spec, SpecBuilder};
-use crate::postcheck::{classify_update, exchange_op, normalized_exchange_pred};
+use crate::postcheck::{
+    classify_update, exchange_op, normalized_exchange_pred, normalized_select_pred,
+};
 use crate::report::{Reduction, ReductionKind, ReductionOp};
 use crate::spec::forloop::{add_for_loop, ForLoopLabels};
 use crate::spec::registry::IdiomEntry;
-use gr_ir::ValueId;
+use gr_ir::{CmpPred, Opcode, ValueId};
 
 /// Labels of the argmin/argmax idiom.
 #[derive(Debug, Clone, Copy)]
@@ -53,27 +67,31 @@ pub struct ArgMinMaxLabels {
     pub val: Label,
     /// Extremum entering the loop.
     pub val_init: Label,
-    /// Merge phi producing the per-iteration extremum.
+    /// Per-iteration extremum producer (merge phi or select).
     pub val_next: Label,
     /// Index phi in the header.
     pub idx: Label,
     /// Index entering the loop.
     pub idx_init: Label,
-    /// Merge phi producing the per-iteration index.
+    /// Per-iteration index producer (merge phi or select).
     pub idx_next: Label,
     /// The candidate value.
     pub cand: Label,
     /// The exchange comparison.
     pub cmp: Label,
-    /// The conditional branch steered by the comparison.
+    /// The index producer's comparison (select shape; pinned to `cmp` in
+    /// the diamond shape).
+    pub icmp: Label,
+    /// The conditional branch steered by the comparison (diamond; pinned
+    /// to `val_next` in the select shape).
     pub branch: Label,
-    /// Block hosting the comparison's branch.
+    /// Block hosting the comparison's branch (diamond; pinned to `merge`).
     pub cond_blk: Label,
-    /// Block merging the two arms.
+    /// Block merging the two arms (block of both producers).
     pub merge: Label,
-    /// Block performing the exchange.
+    /// Block performing the exchange (diamond; pinned to `val_next`).
     pub taken: Label,
-    /// Block keeping the carried pair.
+    /// Block keeping the carried pair (diamond; pinned to `idx_next`).
     pub skip: Label,
 }
 
@@ -92,6 +110,7 @@ pub fn argminmax_spec() -> (Spec, ArgMinMaxLabels) {
     let idx_init = b.label("idx_init");
     let cmp = b.label("cmp");
     let cand = b.label("cand");
+    let icmp = b.label("icmp");
     let branch = b.label("branch");
     let cond_blk = b.label("cond_blk");
     let taken = b.label("taken");
@@ -108,20 +127,16 @@ pub fn argminmax_spec() -> (Spec, ArgMinMaxLabels) {
     b.atom(Atom::PhiIncoming { phi: val, value: val_init, block: fl.preheader });
     b.atom(Atom::InvariantIn { value: val_init, header: fl.header });
 
-    // Its per-iteration value is a two-way merge phi inside the loop.
-    b.atom(Atom::Opcode { l: val_next, class: OpClass::Phi });
-    b.atom(Atom::PhiArity { phi: val_next, n: 2 });
+    // Its per-iteration producer lives in a loop block shared with the
+    // index producer (`merge` — the phi block in the diamond shape, the
+    // selects' block in the select shape).
     b.atom(Atom::BlockOf { inst: val_next, block: merge });
     b.atom(Atom::InLoopBlock { block: merge, header: fl.header });
-
-    // The companion index: a second merge phi in the same block…
     b.atom(Atom::BlockOf { inst: idx_next, block: merge });
-    b.atom(Atom::Opcode { l: idx_next, class: OpClass::Phi });
-    b.atom(Atom::PhiArity { phi: idx_next, n: 2 });
     b.atom(Atom::TypeInt(idx_next));
     b.atom(Atom::NotEqual { a: idx_next, b: val_next });
 
-    // …feeding a second carried header phi.
+    // The companion index feeds a second carried header phi.
     b.atom(Atom::BlockOf { inst: idx, block: fl.header });
     b.atom(Atom::Opcode { l: idx, class: OpClass::Phi });
     b.atom(Atom::PhiArity { phi: idx, n: 2 });
@@ -156,34 +171,111 @@ pub fn argminmax_spec() -> (Spec, ArgMinMaxLabels) {
         iterator: fl.iterator,
         allowed: vec![],
     });
-
-    // The branch steered by the comparison decides between the exchange
-    // arm (`taken`) and the keep arm (`skip`); both flow into the merge.
-    // This is the canonical two-arm diamond the frontend emits for a
-    // conditional — the keep arm is an explicit (possibly empty) block.
-    b.atom(Atom::OperandIs { inst: branch, index: 0, value: cmp });
-    b.atom(Atom::Opcode { l: branch, class: OpClass::CondBr });
-    b.atom(Atom::BlockOf { inst: branch, block: cond_blk });
-    b.atom(Atom::InLoopBlock { block: cond_blk, header: fl.header });
-    b.atom(Atom::PhiIncoming { phi: val_next, value: cand, block: taken });
-    b.atom(Atom::PhiIncoming { phi: val_next, value: val, block: skip });
     b.atom(Atom::NotEqual { a: taken, b: skip });
-    b.atom(Atom::OperandOf { inst: branch, value: taken });
-    b.atom(Atom::OperandOf { inst: branch, value: skip });
-    b.atom(Atom::CfgEdge { from: cond_blk, to: taken });
-    b.atom(Atom::CfgEdge { from: cond_blk, to: skip });
-    b.atom(Atom::CfgEdge { from: taken, to: merge });
-    b.atom(Atom::CfgEdge { from: skip, to: merge });
 
-    // The index phi exchanges in lockstep, taking the loop iterator.
-    b.atom(Atom::PhiIncoming { phi: idx_next, value: idx, block: skip });
-    b.atom(Atom::PhiIncoming { phi: idx_next, value: fl.iterator, block: taken });
-
-    // Privatization safety: the extremum feeds only its comparison and the
-    // exchange phis (the index merge phi is the sanctioned terminal); the
-    // index feeds nothing but its own merge.
-    b.atom(Atom::UsesConfinedTo { source: val, header: fl.header, terminals: vec![idx_next] });
-    b.atom(Atom::UsesConfinedTo { source: idx, header: fl.header, terminals: vec![] });
+    // The two shapes. Every diamond-only label is pinned by `Equal` in the
+    // select branch, so each branch can generate candidates for every
+    // label and the disjunction stays solver-friendly (the Or-union
+    // generators of `solver`).
+    let diamond = Constraint::And(vec![
+        // Both producers are two-arm merge phis…
+        Constraint::Atom(Atom::Opcode { l: val_next, class: OpClass::Phi }),
+        Constraint::Atom(Atom::PhiArity { phi: val_next, n: 2 }),
+        Constraint::Atom(Atom::Opcode { l: idx_next, class: OpClass::Phi }),
+        Constraint::Atom(Atom::PhiArity { phi: idx_next, n: 2 }),
+        Constraint::Atom(Atom::Equal { a: icmp, b: cmp }),
+        // …selected by the branch steered by the comparison, deciding
+        // between the exchange arm (`taken`) and the keep arm (`skip`).
+        Constraint::Atom(Atom::OperandIs { inst: branch, index: 0, value: cmp }),
+        Constraint::Atom(Atom::Opcode { l: branch, class: OpClass::CondBr }),
+        Constraint::Atom(Atom::BlockOf { inst: branch, block: cond_blk }),
+        Constraint::Atom(Atom::InLoopBlock { block: cond_blk, header: fl.header }),
+        Constraint::Atom(Atom::PhiIncoming { phi: val_next, value: cand, block: taken }),
+        Constraint::Atom(Atom::PhiIncoming { phi: val_next, value: val, block: skip }),
+        Constraint::Atom(Atom::OperandOf { inst: branch, value: taken }),
+        Constraint::Atom(Atom::OperandOf { inst: branch, value: skip }),
+        Constraint::Atom(Atom::CfgEdge { from: cond_blk, to: taken }),
+        Constraint::Atom(Atom::CfgEdge { from: cond_blk, to: skip }),
+        Constraint::Atom(Atom::CfgEdge { from: taken, to: merge }),
+        Constraint::Atom(Atom::CfgEdge { from: skip, to: merge }),
+        // The index phi exchanges in lockstep, taking the loop iterator.
+        Constraint::Atom(Atom::PhiIncoming { phi: idx_next, value: idx, block: skip }),
+        Constraint::Atom(Atom::PhiIncoming { phi: idx_next, value: fl.iterator, block: taken }),
+        // Privatization safety: the extremum feeds only its comparison and
+        // the exchange phis (the index merge phi is the sanctioned
+        // terminal); the index feeds nothing but its own merge.
+        Constraint::Atom(Atom::UsesConfinedTo {
+            source: val,
+            header: fl.header,
+            terminals: vec![idx_next],
+        }),
+        Constraint::Atom(Atom::UsesConfinedTo {
+            source: idx,
+            header: fl.header,
+            terminals: vec![],
+        }),
+    ]);
+    let select = Constraint::And(vec![
+        // Both producers are selects steered by comparisons of the
+        // candidate against the carried value. The index select may reuse
+        // the value comparison or carry its own syntactic copy (`icmp`).
+        Constraint::Atom(Atom::Opcode { l: val_next, class: OpClass::Select }),
+        Constraint::Atom(Atom::Opcode { l: idx_next, class: OpClass::Select }),
+        Constraint::Atom(Atom::OperandIs { inst: val_next, index: 0, value: cmp }),
+        Constraint::Atom(Atom::Opcode { l: icmp, class: OpClass::Cmp }),
+        Constraint::Atom(Atom::OperandIs { inst: idx_next, index: 0, value: icmp }),
+        Constraint::Or(vec![
+            Constraint::And(vec![
+                Constraint::Atom(Atom::OperandIs { inst: icmp, index: 0, value: cand }),
+                Constraint::Atom(Atom::OperandIs { inst: icmp, index: 1, value: val }),
+            ]),
+            Constraint::And(vec![
+                Constraint::Atom(Atom::OperandIs { inst: icmp, index: 0, value: val }),
+                Constraint::Atom(Atom::OperandIs { inst: icmp, index: 1, value: cand }),
+            ]),
+        ]),
+        // Value arms: {cand, val} in either orientation…
+        Constraint::Or(vec![
+            Constraint::And(vec![
+                Constraint::Atom(Atom::OperandIs { inst: val_next, index: 1, value: cand }),
+                Constraint::Atom(Atom::OperandIs { inst: val_next, index: 2, value: val }),
+            ]),
+            Constraint::And(vec![
+                Constraint::Atom(Atom::OperandIs { inst: val_next, index: 1, value: val }),
+                Constraint::Atom(Atom::OperandIs { inst: val_next, index: 2, value: cand }),
+            ]),
+        ]),
+        // …index arms: {iterator, idx} likewise (the post-check verifies
+        // the two selections agree on the normalized predicate).
+        Constraint::Or(vec![
+            Constraint::And(vec![
+                Constraint::Atom(Atom::OperandIs { inst: idx_next, index: 1, value: fl.iterator }),
+                Constraint::Atom(Atom::OperandIs { inst: idx_next, index: 2, value: idx }),
+            ]),
+            Constraint::And(vec![
+                Constraint::Atom(Atom::OperandIs { inst: idx_next, index: 1, value: idx }),
+                Constraint::Atom(Atom::OperandIs { inst: idx_next, index: 2, value: fl.iterator }),
+            ]),
+        ]),
+        // Pin the diamond-only labels: there is no control diamond.
+        Constraint::Atom(Atom::Equal { a: branch, b: val_next }),
+        Constraint::Atom(Atom::Equal { a: cond_blk, b: merge }),
+        Constraint::Atom(Atom::Equal { a: taken, b: val_next }),
+        Constraint::Atom(Atom::Equal { a: skip, b: idx_next }),
+        // Confinement: the extremum's forward closure runs through the
+        // index select into the index phi — both are the sanctioned pair.
+        Constraint::Atom(Atom::UsesConfinedTo {
+            source: val,
+            header: fl.header,
+            terminals: vec![idx_next, idx],
+        }),
+        Constraint::Atom(Atom::UsesConfinedTo {
+            source: idx,
+            header: fl.header,
+            terminals: vec![],
+        }),
+    ]);
+    b.any(vec![diamond, select]);
 
     (
         b.finish(),
@@ -197,6 +289,7 @@ pub fn argminmax_spec() -> (Spec, ArgMinMaxLabels) {
             idx_next,
             cand,
             cmp,
+            icmp,
             branch,
             cond_blk,
             merge,
@@ -217,9 +310,39 @@ fn anchor(spec: &Spec, s: &[ValueId]) -> (ValueId, ValueId) {
     (s[spec.label("val").index()], s[spec.label("idx").index()])
 }
 
-/// Post-check: normalize the exchange predicate ("candidate replaces when
-/// `cand PRED val`"), require it to be an ordering test, and cross-check
-/// against the associativity classifier's verdict on the value chain.
+/// The normalized exchange predicate of a surviving assignment, for
+/// whichever of the two shapes it bound ("the candidate replaces the pair
+/// when `cand PRED val`").
+fn exchange_pred(ctx: &MatchCtx<'_>, spec: &Spec, s: &[ValueId]) -> Option<CmpPred> {
+    let func = ctx.func;
+    let val = s[spec.label("val").index()];
+    let val_next = s[spec.label("val_next").index()];
+    let cand = s[spec.label("cand").index()];
+    if func.value(val_next).kind.opcode() == Some(&Opcode::Select) {
+        let pred = normalized_select_pred(func, val_next, cand, val, cand, val)?;
+        // The index select must exchange in lockstep: same normalized
+        // predicate, iterator on the exchange arm.
+        let idx_next = s[spec.label("idx_next").index()];
+        let iterator = s[spec.label("iterator").index()];
+        let idx = s[spec.label("idx").index()];
+        let ipred = normalized_select_pred(func, idx_next, cand, val, iterator, idx)?;
+        (pred == ipred).then_some(pred)
+    } else {
+        let taken = ctx.as_block(s[spec.label("taken").index()])?;
+        normalized_exchange_pred(
+            func,
+            s[spec.label("cmp").index()],
+            cand,
+            val,
+            s[spec.label("branch").index()],
+            taken,
+        )
+    }
+}
+
+/// Post-check: normalize the exchange predicate, require it to be an
+/// ordering test, and cross-check against the associativity classifier's
+/// verdict on the value chain.
 fn post_check(ctx: &MatchCtx<'_>, spec: &Spec, s: &[ValueId]) -> Option<ReductionOp> {
     let func = ctx.func;
     let header = s[spec.label("header").index()];
@@ -230,15 +353,7 @@ fn post_check(ctx: &MatchCtx<'_>, spec: &Spec, s: &[ValueId]) -> Option<Reductio
     if !matches!(chain_op, ReductionOp::Min | ReductionOp::Max) {
         return None;
     }
-    let taken = ctx.as_block(s[spec.label("taken").index()])?;
-    let pred = normalized_exchange_pred(
-        func,
-        s[spec.label("cmp").index()],
-        s[spec.label("cand").index()],
-        val,
-        s[spec.label("branch").index()],
-        taken,
-    )?;
+    let pred = exchange_pred(ctx, spec, s)?;
     (exchange_op(pred) == Some(chain_op)).then_some(chain_op)
 }
 
@@ -256,15 +371,7 @@ fn classify(ctx: &MatchCtx<'_>, spec: &Spec, s: &[ValueId], op: ReductionOp) -> 
         return None;
     }
     let affine = crate::detect::loads_affine(ctx, lid, iterator, &walk.loads);
-    let taken = ctx.as_block(s[spec.label("taken").index()])?;
-    let pred = normalized_exchange_pred(
-        ctx.func,
-        s[spec.label("cmp").index()],
-        cand,
-        val,
-        s[spec.label("branch").index()],
-        taken,
-    )?;
+    let pred = exchange_pred(ctx, spec, s)?;
     let l = ctx.analyses.loops.get(lid);
     Some(Reduction {
         function: ctx.func.name.clone(),
@@ -395,6 +502,87 @@ mod tests {
             ),
             1
         );
+    }
+
+    #[test]
+    fn finds_select_based_argmin() {
+        // The ternary form lowers to a pair of selects, not a diamond.
+        assert_eq!(
+            pairs_found(
+                "int amin(float* a, int n) {
+                     float best = 1.0e30;
+                     int bi = 0;
+                     for (int i = 0; i < n; i++) {
+                         float v = a[i];
+                         bi = v < best ? i : bi;
+                         best = v < best ? v : best;
+                     }
+                     return bi;
+                 }"
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn finds_select_based_argmax_with_swapped_arms() {
+        // `best > v ? best : v` keeps the maximum through the false arm.
+        assert_eq!(
+            pairs_found(
+                "int amax(float* a, int n) {
+                     float best = -1.0e30;
+                     int bi = 0;
+                     for (int i = 0; i < n; i++) {
+                         float v = a[i];
+                         bi = best > v ? bi : i;
+                         best = best > v ? best : v;
+                     }
+                     return bi;
+                 }"
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn select_argmin_detected_end_to_end() {
+        let m = compile(
+            "int amin(float* a, int n) {
+                 float best = 1.0e30;
+                 int bi = 0;
+                 for (int i = 0; i < n; i++) {
+                     float v = a[i];
+                     bi = v < best ? i : bi;
+                     best = v < best ? v : best;
+                 }
+                 return bi;
+             }",
+        )
+        .unwrap();
+        let rs = crate::detect::detect_reductions(&m);
+        assert_eq!(rs.len(), 1, "{rs:?}");
+        assert_eq!(rs[0].kind, ReductionKind::ArgMin);
+        assert_eq!(rs[0].arg_pred, Some(CmpPred::Lt), "strict keeps the first extremum");
+    }
+
+    #[test]
+    fn select_with_disagreeing_conditions_rejected() {
+        // The index select exchanges on a different predicate than the
+        // value select: the lockstep cross-check refuses the pair.
+        let m = compile(
+            "int f(float* a, int n) {
+                 float best = 1.0e30;
+                 int bi = 0;
+                 for (int i = 0; i < n; i++) {
+                     float v = a[i];
+                     bi = v > best ? i : bi;
+                     best = v < best ? v : best;
+                 }
+                 return bi;
+             }",
+        )
+        .unwrap();
+        assert!(crate::detect::detect_reductions(&m).iter().all(|r| !r.kind.is_arg()));
     }
 
     #[test]

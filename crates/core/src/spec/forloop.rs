@@ -49,6 +49,13 @@ pub struct ForLoopLabels {
 
 /// Adds the for-loop constraints to `b`, returning the labels for
 /// composition with further idiom conditions.
+///
+/// The for-loop labels and conjuncts are marked as the spec's shared
+/// **prefix** ([`SpecBuilder::mark_prefix`]): every idiom built on this
+/// skeleton poses the identical 12-label sub-problem, so the detection
+/// driver solves it once per function and resumes each idiom's search from
+/// the cached solutions
+/// ([`solve_extend`](crate::solver::solve_extend)).
 pub fn add_for_loop(b: &mut SpecBuilder) -> ForLoopLabels {
     let header = b.label("header");
     let preheader = b.label("preheader");
@@ -120,6 +127,8 @@ pub fn add_for_loop(b: &mut SpecBuilder) -> ForLoopLabels {
     b.atom(Atom::InvariantIn { value: iter_step, header });
     b.atom(Atom::PhiIncoming { phi: iterator, value: iter_begin, block: preheader });
     b.atom(Atom::InvariantIn { value: iter_begin, header });
+
+    b.mark_prefix();
 
     ForLoopLabels {
         header,

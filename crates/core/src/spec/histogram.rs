@@ -1,5 +1,10 @@
 //! The histogram (generalized reduction) idiom — paper §3.1.2.
 //!
+//! Composed as `for-loop ⨯ extension`: the loop skeleton is the shared
+//! spec prefix ([`add_for_loop`]), solved once per function and resumed
+//! here, so this spec pays only for its seven own labels (see
+//! [`crate::spec::registry`]).
+//!
 //! On top of the for-loop structure, a histogram binds a load-modify-store
 //! through one `gep` whose index is computed only from array reads and
 //! loop-invariant values (conditions 3–5 of the paper's definition):

@@ -16,7 +16,12 @@
 //!
 //! Composition works exactly like the paper's embedded C++ DSL: a composite
 //! is a plain function that adds atoms over shared labels to a
-//! [`SpecBuilder`].
+//! [`SpecBuilder`]. Composites that form a reusable *stem* — the for-loop
+//! is the canonical one — additionally call
+//! [`SpecBuilder::mark_prefix`](crate::constraint::SpecBuilder::mark_prefix),
+//! which lets the detection driver solve the stem once per function and
+//! resume every idiom built on it from the cached solutions (see
+//! [`registry`]).
 
 pub mod argminmax;
 pub mod forloop;

@@ -1,5 +1,10 @@
 //! The scalar-reduction idiom (paper §3.1.1).
 //!
+//! Composed as `for-loop ⨯ extension`: [`add_for_loop`] marks the loop
+//! skeleton as the spec's shared prefix, so detection solves it once per
+//! function and this idiom pays only for the three accumulator labels
+//! below (see [`crate::spec::registry`]).
+//!
 //! On top of the for-loop structure, a scalar reduction binds:
 //!
 //! * `acc` — a header phi distinct from the induction variable (condition

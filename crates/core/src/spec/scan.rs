@@ -26,7 +26,12 @@
 //! A scan is *not* a scalar reduction — privatized partials alone cannot
 //! reproduce the per-iteration output — which is exactly why the scalar
 //! idiom's confinement constraint rejects accumulators that feed stores.
-//! Exploitation needs the two-pass block-scan template in `gr-parallel`.
+//! Exploitation needs the two-pass block-scan template in `gr-parallel`
+//! (whose partials pass runs a store-free "value-only" chunk variant).
+//!
+//! Like every built-in idiom, the spec is `for-loop ⨯ extension`: the
+//! loop skeleton is the shared prefix ([`add_for_loop`]), solved once per
+//! function and resumed here (see [`crate::spec::registry`]).
 
 use crate::atoms::{Atom, MatchCtx, OpClass};
 use crate::constraint::{Constraint, Label, Spec, SpecBuilder};

@@ -660,12 +660,28 @@ pub fn parallelize(
         })
         .collect();
 
+    // Value-only chunk for the scan partials pass: pass one of the
+    // two-pass block scan only needs each block's final running value, so
+    // the output stores (and the address chains feeding nothing else) are
+    // stripped. This cuts the 2n work bound of scan exploitation toward
+    // n + n/blocks: the replay pass does the full body, the partials pass
+    // the value computation only.
+    let chunk_value_only_fn = if scan_rs.is_empty() {
+        None
+    } else {
+        let vo_name = format!("{chunk_name}_vo");
+        let dead_stores: Vec<ValueId> =
+            scan_rs.iter().map(|r| val_map[&r.binding("store")]).collect();
+        out.push_function(value_only_variant(&chunk, &vo_name, &dead_stores));
+        Some(vo_name)
+    };
     out.push_function(chunk);
     gr_ir::verify::verify_module(&out).expect("outlined module must verify");
 
     let plan = ReductionPlan {
         function: func_name.to_string(),
         chunk_fn: chunk_name,
+        chunk_value_only_fn,
         intrinsic,
         pred,
         accs,
@@ -700,6 +716,63 @@ fn map_operand(
         ValueKind::ConstBool(c) => chunk.const_bool(*c),
         other => panic!("unmapped operand {op}: {other:?}"),
     }
+}
+
+/// Clones `chunk` into its "value-only" variant: `dead_stores` (the scan
+/// output stores) are removed, then every pure instruction left without a
+/// user — typically the gep chain that computed the output addresses — is
+/// dropped by a small dead-code sweep. Signature and out-cell protocol are
+/// unchanged, so the runtime can substitute it for the full chunk in the
+/// partials pass.
+fn value_only_variant(chunk: &Function, name: &str, dead_stores: &[ValueId]) -> Function {
+    let mut vo = chunk.clone();
+    vo.name = name.to_string();
+    for b in &mut vo.blocks {
+        b.insts.retain(|v| !dead_stores.contains(v));
+    }
+    loop {
+        let mut used: HashSet<ValueId> = HashSet::new();
+        for b in &vo.blocks {
+            for &inst in &b.insts {
+                used.extend(vo.value(inst).kind.operands().iter().copied());
+            }
+        }
+        let mut changed = false;
+        for bi in 0..vo.blocks.len() {
+            let insts = vo.blocks[bi].insts.clone();
+            let kept: Vec<ValueId> = insts
+                .iter()
+                .copied()
+                .filter(|&v| used.contains(&v) || !droppable_when_unused(&vo, v))
+                .collect();
+            if kept.len() != insts.len() {
+                changed = true;
+                vo.blocks[bi].insts = kept;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    vo
+}
+
+/// Side-effect-free opcodes a dead-code sweep may drop when unused. Calls
+/// are kept conservatively (purity is not re-derived for the chunk).
+fn droppable_when_unused(f: &Function, v: ValueId) -> bool {
+    matches!(
+        f.value(v).kind.opcode(),
+        Some(
+            Opcode::Gep
+                | Opcode::Load
+                | Opcode::Bin(_)
+                | Opcode::Un(_)
+                | Opcode::Cmp(_)
+                | Opcode::Cast
+                | Opcode::Select
+                | Opcode::Phi
+        )
+    )
 }
 
 /// Whether the store address is provably a distinct element for every
@@ -807,6 +880,71 @@ mod tests {
         assert_eq!(plan.hists.len(), 1);
         assert_eq!(plan.written.len(), 1);
         assert_eq!(plan.written[0].policy, WrittenPolicy::DisjointShared);
+    }
+
+    #[test]
+    fn scan_plan_carries_store_free_value_only_chunk() {
+        let (m, plan) = outline(
+            "void psum(float* a, float* out, int n) {
+                 float s = 0.0;
+                 for (int i = 0; i < n; i++) { s += a[i]; out[i] = s; }
+             }",
+            "psum",
+        )
+        .unwrap();
+        let vo_name = plan.chunk_value_only_fn.as_deref().expect("scan plans get a variant");
+        let vo = m.function(vo_name).expect("variant exists");
+        let full = m.function(&plan.chunk_fn).unwrap();
+        let count_insts = |f: &Function| f.blocks.iter().map(|b| b.insts.len()).sum::<usize>();
+        // The output store and its gep are gone; the cell partial store in
+        // the exit block survives (that is the value the runtime folds).
+        assert!(
+            count_insts(vo) + 2 <= count_insts(full),
+            "{} vs {}",
+            count_insts(vo),
+            count_insts(full)
+        );
+        let loop_stores = vo
+            .blocks
+            .iter()
+            .filter(|b| b.name != "exit")
+            .flat_map(|b| &b.insts)
+            .filter(|&&v| vo.value(v).kind.opcode() == Some(&Opcode::Store))
+            .count();
+        assert_eq!(loop_stores, 0, "no stores left inside the value-only loop body");
+        // Same signature: the runtime swaps it in without re-marshalling.
+        assert_eq!(vo.arg_values.len(), full.arg_values.len());
+    }
+
+    #[test]
+    fn non_scan_plan_has_no_value_only_chunk() {
+        let (_, plan) = outline(
+            "float sum(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[i]; return s; }",
+            "sum",
+        )
+        .unwrap();
+        assert!(plan.chunk_value_only_fn.is_none());
+    }
+
+    #[test]
+    fn select_argmin_outlines() {
+        let (m, plan) = outline(
+            "int amin(float* a, int n) {
+                 float best = 1.0e30;
+                 int bi = 0;
+                 for (int i = 0; i < n; i++) {
+                     float v = a[i];
+                     bi = v < best ? i : bi;
+                     best = v < best ? v : best;
+                 }
+                 return bi;
+             }",
+            "amin",
+        )
+        .unwrap();
+        assert_eq!(plan.args.len(), 1);
+        assert_eq!(plan.args[0].pred, gr_ir::CmpPred::Lt);
+        assert!(m.function(&plan.chunk_fn).is_some());
     }
 
     #[test]

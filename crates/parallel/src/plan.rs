@@ -101,6 +101,11 @@ pub struct ReductionPlan {
     pub function: String,
     /// Name of the generated chunk function.
     pub chunk_fn: String,
+    /// Name of the "value-only" chunk variant used by the scan partials
+    /// pass: the scan output stores (and their dead address chains) are
+    /// stripped, since pass one only needs the per-block running values.
+    /// `None` when the plan has no scans.
+    pub chunk_value_only_fn: Option<String>,
     /// Name of the intrinsic call placed in the original function.
     pub intrinsic: String,
     /// Loop comparison predicate (iterator on the left).
@@ -163,6 +168,7 @@ mod tests {
         ReductionPlan {
             function: "f".into(),
             chunk_fn: "c".into(),
+            chunk_value_only_fn: None,
             intrinsic: "__parrun_0".into(),
             pred,
             accs: vec![],

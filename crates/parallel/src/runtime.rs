@@ -179,6 +179,14 @@ fn run_pass(
     scan_shared: Option<&[Arc<SharedRaw>]>,
 ) -> Result<Vec<PieceOut>, Trap> {
     let (lo, hi, step, count) = bounds;
+    // The scan partials pass (privatized-and-discarded outputs) only needs
+    // each block's final running value: run the store-free value-only
+    // chunk when outlining produced one.
+    let chunk_fn: &str = if scan_shared.is_none() && !plan.scans.is_empty() {
+        plan.chunk_value_only_fn.as_deref().unwrap_or(&plan.chunk_fn)
+    } else {
+        &plan.chunk_fn
+    };
     let results: Result<Vec<PieceOut>, Trap> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (pi, &(start, len)) in pieces.iter().enumerate() {
@@ -250,7 +258,7 @@ fn run_pass(
                     }
                 }
                 let mut machine = Machine::new(module, overlay);
-                machine.call(&plan.chunk_fn, &piece_args)?;
+                machine.call(chunk_fn, &piece_args)?;
                 let mut overlay = machine.mem;
                 let take = |ov: &mut OverlayMemory<'_>, objs: &[ObjId]| -> Vec<Obj> {
                     objs.iter().map(|&o| ov.take_private(o)).collect()
@@ -949,6 +957,30 @@ mod tests {
                 5500,
                 "threads={threads}"
             );
+        }
+    }
+
+    const ARGMIN_SELECT: &str = "int amin(float* a, int n) {
+             float best = 1.0e30;
+             int bi = 0;
+             for (int i = 0; i < n; i++) {
+                 float v = a[i];
+                 bi = v < best ? i : bi;
+                 best = v < best ? v : best;
+             }
+             return bi;
+         }";
+
+    #[test]
+    fn parallel_select_argmin_matches_sequential() {
+        // The select-shaped pair exploits identically to the diamond,
+        // including the strict tie-break across block boundaries.
+        let mut data: Vec<f64> = (0..7000).map(|i| ((i * 7919) % 10007) as f64).collect();
+        for &i in &[411usize, 3500, 6999] {
+            data[i] = -3.0;
+        }
+        for threads in [1usize, 2, 4, 8] {
+            assert_eq!(run_arg(ARGMIN_SELECT, "amin", &data, threads), 411, "threads={threads}");
         }
     }
 
