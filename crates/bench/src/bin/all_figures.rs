@@ -5,17 +5,34 @@
 //!
 //! `--quick` skips the figure harnesses and only emits the JSON (the CI
 //! bench-smoke mode). `--out <path>` overrides the JSON location.
+//! `--baseline <path>` compares the total solver steps against a
+//! checked-in baseline document and exits nonzero on a >20% regression —
+//! the CI guard against silent solver-cost creep (wall time is too noisy
+//! on shared runners; step counts are deterministic).
 
 use gr_bench::stats::{corpus, measure_suite_stats, render_json};
+
+/// Extracts `"solver_steps": N` from the `"total"` object of a
+/// `BENCH_detection.json` document (hand-rolled — the workspace builds
+/// without serde).
+fn total_solver_steps(json: &str) -> Option<usize> {
+    let total = json.split("\"total\"").nth(1)?;
+    let after = total.split("\"solver_steps\":").nth(1)?;
+    let digits: String = after.trim_start().chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map_or("BENCH_detection.json", String::as_str);
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let out_path = flag_value("--out").unwrap_or("BENCH_detection.json");
+    let baseline_path = flag_value("--baseline");
 
     if !quick {
         let run = |name: &str| {
@@ -37,7 +54,35 @@ fn main() {
     let json = render_json(&rows, quick);
     match std::fs::write(out_path, &json) {
         Ok(()) => println!("wrote {out_path}"),
-        Err(e) => eprintln!("cannot write {out_path}: {e}"),
+        Err(e) => {
+            eprintln!("cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
     }
     print!("{json}");
+
+    if let Some(path) = baseline_path {
+        let baseline = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let (Some(base), Some(now)) = (total_solver_steps(&baseline), total_solver_steps(&json))
+        else {
+            eprintln!("cannot parse total solver_steps from baseline or current JSON");
+            std::process::exit(1);
+        };
+        let limit = base + base / 5;
+        println!("baseline check: {now} solver steps vs baseline {base} (limit {limit}, +20%)");
+        if now > limit {
+            eprintln!(
+                "solver-step regression: {now} exceeds the +20% budget over the \
+                 checked-in baseline ({base}); re-baseline deliberately if the \
+                 spec growth is intended"
+            );
+            std::process::exit(1);
+        }
+    }
 }

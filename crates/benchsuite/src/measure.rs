@@ -21,6 +21,9 @@ pub struct DetectionRow {
     pub scan: usize,
     /// Argmin/argmax reductions found by the constraint system.
     pub arg: usize,
+    /// Early-exit searches (find-first, any-of/all-of, find-min-index)
+    /// found by the constraint system.
+    pub search: usize,
     /// Reductions found by the icc model.
     pub icc: usize,
     /// Reduction SCoPs found by the Polly model.
@@ -45,6 +48,7 @@ pub fn measure_detection(p: &ProgramDef) -> DetectionRow {
     let histogram = ours.iter().filter(|r| r.kind == ReductionKind::Histogram).count();
     let scan = ours.iter().filter(|r| r.kind.is_scan()).count();
     let arg = ours.iter().filter(|r| r.kind.is_arg()).count();
+    let search = ours.iter().filter(|r| r.kind.is_search()).count();
     let icc = icc_detect(&module).len();
     let polly = polly_detect(&module);
     DetectionRow {
@@ -53,6 +57,7 @@ pub fn measure_detection(p: &ProgramDef) -> DetectionRow {
         histogram,
         scan,
         arg,
+        search,
         icc,
         polly_reductions: polly.reduction_scop_count(),
         scops: polly.scop_count(),

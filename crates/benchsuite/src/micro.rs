@@ -1,7 +1,13 @@
 //! Idiom micro-workloads: small kernels exercising the registry idioms
-//! that the 40 paper miniatures do not isolate — prefix scans and
-//! argmin/argmax — so detection coverage and parallel speedup of the new
-//! exploitation templates are directly measurable.
+//! that the 40 paper miniatures do not isolate — prefix scans,
+//! argmin/argmax, and the early-exit search group (find-first, any-of,
+//! find-min-index) — so detection coverage and parallel speedup of the
+//! new exploitation templates are directly measurable.
+//!
+//! The search workloads stress both regimes of the cancellable runtime:
+//! `search-find-key` misses (the worst case, a full parallel scan) while
+//! `search-any-hit` and `search-first-below` hit mid-array (speculation
+//! past the hit is cancelled and discarded).
 //!
 //! The programs live in their own [`Suite::Micro`] so the paper-calibrated
 //! totals over the 40 NAS/Parboil/Rodinia programs stay untouched.
@@ -13,7 +19,8 @@ use gr_interp::memory::Memory;
 use gr_interp::Machine;
 use std::time::{Duration, Instant};
 
-/// The micro suite: one integer scan, one float scan, one argmin.
+/// The micro suite: one integer scan, one float scan, one argmin, and the
+/// three early-exit search kernels.
 #[must_use]
 pub fn programs() -> Vec<ProgramDef> {
     vec![
@@ -90,6 +97,76 @@ pub fn programs() -> Vec<ProgramDef> {
                 }
             },
         },
+        ProgramDef {
+            name: "search-find-key",
+            suite: Suite::Micro,
+            // Key lookup that misses: the cancellable runtime's worst case
+            // (a full parallel scan, nothing to cancel).
+            source: "void findkey(int* a, int* out, int key, int n) {
+                         int r = n;
+                         for (int i = 0; i < n; i++) {
+                             if (a[i] == key) { r = i; break; }
+                         }
+                         out[0] = r;
+                     }",
+            paper: Paper::default(),
+            workload: |scale| {
+                let n = 60_000 * scale;
+                Workload {
+                    arrays: vec![iarr(n, Init::RandI(0, 1 << 30)), iarr(1, Init::Zero)],
+                    calls: vec![call(
+                        "findkey",
+                        vec![Arg::A(0), Arg::A(1), Arg::I(-7), Arg::I(n as i64)],
+                    )],
+                }
+            },
+        },
+        ProgramDef {
+            name: "search-any-hit",
+            suite: Suite::Micro,
+            // Membership test that hits early: most chunks are cancelled.
+            source: "void anyhit(int* a, int* out, int key, int n) {
+                         int found = 0;
+                         for (int i = 0; i < n; i++) {
+                             if (a[i] == key) { found = 1; break; }
+                         }
+                         out[0] = found;
+                     }",
+            paper: Paper::default(),
+            workload: |scale| {
+                let n = 60_000 * scale;
+                Workload {
+                    arrays: vec![iarr(n, Init::RandI(0, 256)), iarr(1, Init::Zero)],
+                    calls: vec![call(
+                        "anyhit",
+                        vec![Arg::A(0), Arg::A(1), Arg::I(77), Arg::I(n as i64)],
+                    )],
+                }
+            },
+        },
+        ProgramDef {
+            name: "search-first-below",
+            suite: Suite::Micro,
+            // Sentinel-guarded search: the first value under a threshold.
+            source: "void below(float* a, int* out, float bound, int n) {
+                         int r = -1;
+                         for (int i = 0; i < n; i++) {
+                             if (a[i] < bound) { r = i; break; }
+                         }
+                         out[0] = r;
+                     }",
+            paper: Paper::default(),
+            workload: |scale| {
+                let n = 60_000 * scale;
+                Workload {
+                    arrays: vec![farr(n, Init::RandF(0.0, 1.0)), iarr(1, Init::Zero)],
+                    calls: vec![call(
+                        "below",
+                        vec![Arg::A(0), Arg::A(1), Arg::F(0.001), Arg::I(n as i64)],
+                    )],
+                }
+            },
+        },
     ]
 }
 
@@ -100,6 +177,9 @@ pub fn kernel_of(name: &str) -> &'static str {
         "scan-offsets" => "offsets",
         "scan-running-sum" => "cumsum",
         "argmin-nearest" => "nearest",
+        "search-find-key" => "findkey",
+        "search-any-hit" => "anyhit",
+        "search-first-below" => "below",
         other => panic!("unknown micro program `{other}`"),
     }
 }
@@ -196,7 +276,7 @@ mod tests {
     }
 
     #[test]
-    fn registry_reports_scan_and_argmin_on_micro_workloads() {
+    fn registry_reports_expected_kinds_on_micro_workloads() {
         let kinds: Vec<(String, Vec<ReductionKind>)> = programs()
             .iter()
             .map(|p| {
@@ -207,6 +287,9 @@ mod tests {
         assert_eq!(kinds[0].1, vec![ReductionKind::Scan], "{kinds:?}");
         assert_eq!(kinds[1].1, vec![ReductionKind::Scan], "{kinds:?}");
         assert_eq!(kinds[2].1, vec![ReductionKind::ArgMin], "{kinds:?}");
+        assert_eq!(kinds[3].1, vec![ReductionKind::FindFirst], "{kinds:?}");
+        assert_eq!(kinds[4].1, vec![ReductionKind::AnyOf], "{kinds:?}");
+        assert_eq!(kinds[5].1, vec![ReductionKind::FindMinIndex], "{kinds:?}");
     }
 
     #[test]

@@ -47,9 +47,9 @@ fn main() -> ExitCode {
                 for p in gr_benchsuite::suite_programs(suite) {
                     let row = gr_benchsuite::measure::measure_detection(&p);
                     println!(
-                        "{:<16} scalar={:<2} histogram={:<2} scan={:<2} arg={:<2} icc={:<2} polly-red={:<2} scops={}",
-                        row.name, row.scalar, row.histogram, row.scan, row.arg, row.icc,
-                        row.polly_reductions, row.scops
+                        "{:<18} scalar={:<2} histogram={:<2} scan={:<2} arg={:<2} search={:<2} icc={:<2} polly-red={:<2} scops={}",
+                        row.name, row.scalar, row.histogram, row.scan, row.arg, row.search,
+                        row.icc, row.polly_reductions, row.scops
                     );
                 }
             }
@@ -100,10 +100,12 @@ fn main() -> ExitCode {
                         let shared = registry.stats_report(&ctx, true);
                         let unshared = registry.stats_report(&ctx, false);
                         println!("{}:", func.name);
-                        println!(
-                            "  for-loop prefix     {:>6} steps (solved once)",
-                            shared.prefix.steps
-                        );
+                        for row in &shared.prefix_cache {
+                            println!(
+                                "  {:<20}{:>6} steps (solved once, {} solution(s), {} cache hit(s))",
+                                row.name, row.steps, row.solutions, row.hits
+                            );
+                        }
                         for ((name, ext), (_, full)) in
                             shared.per_idiom.iter().zip(&unshared.per_idiom)
                         {
@@ -138,10 +140,11 @@ fn main() -> ExitCode {
                     let histo = rs.iter().filter(|r| r.kind.is_histogram()).count();
                     let scan = rs.iter().filter(|r| r.kind.is_scan()).count();
                     let arg = rs.iter().filter(|r| r.kind.is_arg()).count();
+                    let search = rs.iter().filter(|r| r.kind.is_search()).count();
                     let icc = icc_detect(&module);
                     let polly = polly_detect(&module);
                     println!(
-                        "constraint system : {scalar} scalar + {histo} histogram + {scan} scan + {arg} argmin/argmax"
+                        "constraint system : {scalar} scalar + {histo} histogram + {scan} scan + {arg} argmin/argmax + {search} early-exit search"
                     );
                     println!("icc model         : {} reductions", icc.len());
                     println!(
@@ -180,14 +183,20 @@ fn main() -> ExitCode {
                                 "outlined `{}` -> chunk `{}`, intrinsic `{}`",
                                 func, plan.chunk_fn, plan.intrinsic
                             );
-                            println!(
-                                "  {} scalar accumulator(s), {} histogram(s), {} scan(s), {} argmin/argmax pair(s), {} other written object(s)",
-                                plan.accs.len(),
-                                plan.hists.len(),
-                                plan.scans.len(),
-                                plan.args.len(),
-                                plan.written.len()
-                            );
+                            match &plan.search {
+                                Some(s) => println!(
+                                    "  early-exit search: {} exit cell(s), cancellable speculative schedule",
+                                    s.exits.len()
+                                ),
+                                None => println!(
+                                    "  {} scalar accumulator(s), {} histogram(s), {} scan(s), {} argmin/argmax pair(s), {} other written object(s)",
+                                    plan.accs.len(),
+                                    plan.hists.len(),
+                                    plan.scans.len(),
+                                    plan.args.len(),
+                                    plan.written.len()
+                                ),
+                            }
                             print!(
                                 "{}",
                                 gr_ir::printer::print_function(

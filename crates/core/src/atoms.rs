@@ -16,7 +16,7 @@ use gr_analysis::dataflow::{
 use gr_analysis::invariant::Invariance;
 use gr_analysis::loops::LoopId;
 use gr_analysis::Analyses;
-use gr_ir::{BlockId, Function, Module, Opcode, ValueId, ValueKind};
+use gr_ir::{BlockId, CmpPred, Function, Module, Opcode, ValueId, ValueKind};
 use std::collections::HashMap;
 
 /// Coarse opcode classes used by [`Atom::Opcode`].
@@ -86,6 +86,9 @@ pub struct MatchCtx<'a> {
     /// Block-label value → loop id for loop headers.
     pub header_loops: HashMap<ValueId, LoopId>,
     block_labels: Vec<ValueId>,
+    /// Integer constant → interned values (the frontend interns constants,
+    /// so the list is almost always a singleton).
+    const_ints: HashMap<i64, Vec<ValueId>>,
 }
 
 impl<'a> MatchCtx<'a> {
@@ -109,6 +112,12 @@ impl<'a> MatchCtx<'a> {
             header_loops.insert(func.block(l.header).label, LoopId(i as u32));
         }
         let block_labels = func.block_ids().map(|b| func.block(b).label).collect();
+        let mut const_ints: HashMap<i64, Vec<ValueId>> = HashMap::new();
+        for v in func.value_ids() {
+            if let ValueKind::ConstInt(c) = func.value(v).kind {
+                const_ints.entry(c).or_default().push(v);
+            }
+        }
         let invariance = Invariance::new(func, &analyses.loops, &analyses.purity);
         MatchCtx {
             module,
@@ -119,6 +128,7 @@ impl<'a> MatchCtx<'a> {
             buckets,
             header_loops,
             block_labels,
+            const_ints,
         }
     }
 
@@ -375,6 +385,48 @@ pub enum Atom {
         /// Later instruction label.
         b: Label,
     },
+    /// The loop at `header` has exactly `n` exit edges (CFG edges from an
+    /// in-loop block to an out-of-loop block). A canonical counted loop
+    /// has one; an early-exit loop with a single guarded `break` has two.
+    LoopExitEdges {
+        /// Loop-header label.
+        header: Label,
+        /// Required exit-edge count.
+        n: usize,
+    },
+    /// Every instruction inside the loop at `header` is free of side
+    /// effects: no stores, no allocas, no returns, and only pure calls.
+    /// This is the speculation-safety condition of the early-exit idioms —
+    /// iterations past the sequential exit point may be executed and
+    /// discarded by the parallel search runtime.
+    PureInLoop {
+        /// Loop-header label.
+        header: Label,
+    },
+    /// The block contains nothing but its terminator (a trampoline, e.g.
+    /// the `break` arm of a guarded early exit — any value it forwards to
+    /// exit phis is computed before the guard branches).
+    OnlyTerminator {
+        /// Block label.
+        block: Label,
+    },
+    /// The value is a comparison with exactly the given predicate (the raw
+    /// IR predicate; arm/operand normalization is post-check business).
+    CmpPredIs {
+        /// Comparison instruction label.
+        l: Label,
+        /// Required predicate.
+        pred: CmpPred,
+    },
+    /// The value is the integer constant `value` (pins exit values of
+    /// boolean short-circuit idioms: any-of breaks to 1 from a default of
+    /// 0, all-of the other way around).
+    IsConstInt {
+        /// Value label.
+        l: Label,
+        /// Required constant.
+        value: i64,
+    },
 }
 
 impl Atom {
@@ -385,7 +437,12 @@ impl Atom {
             Atom::IsBlock(l) | Atom::IsLoopHeader(l) | Atom::TypeScalar(l) | Atom::TypeInt(l) => {
                 vec![*l]
             }
-            Atom::Opcode { l, .. } => vec![*l],
+            Atom::Opcode { l, .. } | Atom::CmpPredIs { l, .. } | Atom::IsConstInt { l, .. } => {
+                vec![*l]
+            }
+            Atom::LoopExitEdges { header, .. } => vec![*header],
+            Atom::PureInLoop { header } => vec![*header],
+            Atom::OnlyTerminator { block } => vec![*block],
             Atom::PhiArity { phi, .. } => vec![*phi],
             Atom::OperandOf { inst, value } => vec![*inst, *value],
             Atom::OperandIs { inst, value, .. } => vec![*inst, *value],
@@ -669,6 +726,41 @@ impl Atom {
                 let pb = insts.iter().position(|&i| i == get(*b));
                 matches!((pa, pb), (Some(x), Some(y)) if x < y)
             }
+            Atom::LoopExitEdges { header, n } => {
+                let Some(lid) = ctx.loop_of_header(get(*header)) else { return false };
+                let l = ctx.analyses.loops.get(lid);
+                let mut edges = 0usize;
+                for &b in &l.blocks {
+                    for &s in &ctx.analyses.cfg.succs[b.index()] {
+                        if !l.contains(s) {
+                            edges += 1;
+                        }
+                    }
+                }
+                edges == *n
+            }
+            Atom::PureInLoop { header } => {
+                let Some(lid) = ctx.loop_of_header(get(*header)) else { return false };
+                let l = ctx.analyses.loops.get(lid);
+                l.blocks.iter().all(|&b| {
+                    ctx.func.block(b).insts.iter().all(|&inst| {
+                        match ctx.func.value(inst).kind.opcode() {
+                            Some(Opcode::Store | Opcode::Alloca | Opcode::Ret) => false,
+                            Some(Opcode::Call(name)) => ctx.analyses.purity.is_pure(name),
+                            _ => true,
+                        }
+                    })
+                })
+            }
+            Atom::OnlyTerminator { block } => {
+                ctx.as_block(get(*block)).is_some_and(|b| ctx.func.block(b).insts.len() == 1)
+            }
+            Atom::CmpPredIs { l, pred } => {
+                matches!(ctx.func.value(get(*l)).kind.opcode(), Some(&Opcode::Cmp(p)) if p == *pred)
+            }
+            Atom::IsConstInt { l, value } => {
+                matches!(ctx.func.value(get(*l)).kind, ValueKind::ConstInt(c) if c == *value)
+            }
         }
     }
 
@@ -832,6 +924,9 @@ impl Atom {
                 }
                 Some(out)
             }
+            Atom::IsConstInt { l, value } if *l == target => {
+                Some(ctx.const_ints.get(value).cloned().unwrap_or_default())
+            }
             _ => None,
         }
     }
@@ -926,6 +1021,9 @@ impl Atom {
                         .sum(),
                 )
             }
+            Atom::IsConstInt { l, value } if *l == target => {
+                Some(ctx.const_ints.get(value).map_or(0, Vec::len))
+            }
             _ => None,
         }
     }
@@ -944,11 +1042,14 @@ impl Atom {
             | Atom::IsBlock(_)
             | Atom::IsLoopHeader(_)
             | Atom::Opcode { .. }
+            | Atom::CmpPredIs { .. }
+            | Atom::IsConstInt { .. }
             | Atom::PhiArity { .. } => 0,
             Atom::OperandIs { .. }
             | Atom::OperandOf { .. }
             | Atom::PhiIncoming { .. }
             | Atom::BlockOf { .. }
+            | Atom::OnlyTerminator { .. }
             | Atom::CfgEdge { .. } => 1,
             Atom::Dominates { .. }
             | Atom::StrictlyDominates { .. }
@@ -960,7 +1061,10 @@ impl Atom {
             | Atom::AnchoredTo { .. }
             | Atom::InvariantIn { .. }
             | Atom::Precedes { .. } => 2,
-            Atom::NoPathAvoiding { .. } | Atom::AffineIn { .. } => 3,
+            Atom::NoPathAvoiding { .. }
+            | Atom::AffineIn { .. }
+            | Atom::LoopExitEdges { .. }
+            | Atom::PureInLoop { .. } => 3,
             Atom::ComputedOnlyFrom { .. }
             | Atom::UsesConfinedTo { .. }
             | Atom::OnlyObjectAccesses { .. } => 4,

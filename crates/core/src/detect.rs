@@ -37,15 +37,39 @@ use std::sync::Arc;
 /// function and drop it afterwards (the driver does).
 #[derive(Default)]
 pub struct PrefixCache {
-    entries: HashMap<u64, Arc<SolvedPrefix>>,
+    entries: HashMap<u64, CacheEntry>,
+}
+
+struct CacheEntry {
+    solved: Arc<SolvedPrefix>,
+    hits: usize,
 }
 
 /// One solved prefix sub-problem.
 pub struct SolvedPrefix {
+    /// Name of the prefix sub-spec (derived from the first spec that
+    /// triggered the solve, e.g. `histogram-reduction::prefix`).
+    pub name: String,
     /// Every assignment of the prefix labels satisfying the prefix spec.
     pub solutions: Vec<Assignment>,
     /// Cost of the one prefix solve.
     pub stats: SolveStats,
+}
+
+/// Per-prefix cache accounting: one row per distinct fingerprint (see
+/// [`PrefixCache::summary`]); `greduce stats` prints these.
+#[derive(Debug, Clone)]
+pub struct PrefixCacheSummary {
+    /// Name of the prefix sub-spec that populated the entry.
+    pub name: String,
+    /// Structural fingerprint keying the entry.
+    pub fingerprint: u64,
+    /// Prefix solutions cached.
+    pub solutions: usize,
+    /// Steps of the one prefix solve.
+    pub steps: usize,
+    /// Cache hits: lookups served without re-solving.
+    pub hits: usize,
 }
 
 impl PrefixCache {
@@ -66,14 +90,35 @@ impl PrefixCache {
         opts: SolveOptions,
     ) -> Option<(Arc<SolvedPrefix>, bool)> {
         let p = spec.prefix?;
-        if let Some(e) = self.entries.get(&p.fingerprint) {
-            return Some((Arc::clone(e), false));
+        if let Some(e) = self.entries.get_mut(&p.fingerprint) {
+            e.hits += 1;
+            return Some((Arc::clone(&e.solved), false));
         }
         let pspec = spec.prefix_spec()?;
+        let name = pspec.name.clone();
         let (solutions, stats) = solve(&pspec, ctx, opts);
-        let e = Arc::new(SolvedPrefix { solutions, stats });
-        self.entries.insert(p.fingerprint, Arc::clone(&e));
+        let e = Arc::new(SolvedPrefix { name, solutions, stats });
+        self.entries
+            .insert(p.fingerprint, CacheEntry { solved: Arc::clone(&e), hits: 0 });
         Some((e, true))
+    }
+
+    /// One row per cached prefix, ordered by name for stable output.
+    #[must_use]
+    pub fn summary(&self) -> Vec<PrefixCacheSummary> {
+        let mut rows: Vec<PrefixCacheSummary> = self
+            .entries
+            .iter()
+            .map(|(&fingerprint, e)| PrefixCacheSummary {
+                name: e.solved.name.clone(),
+                fingerprint,
+                solutions: e.solved.solutions.len(),
+                steps: e.solved.stats.steps,
+                hits: e.hits,
+            })
+            .collect();
+        rows.sort_by(|a, b| a.name.cmp(&b.name));
+        rows
     }
 }
 

@@ -20,12 +20,17 @@
 //!    pair a specification with the hooks the driver needs (post-check,
 //!    report classifier) — a new idiom is a new specification, not a new
 //!    detector,
-//! 4. **idiom specifications** in [`spec`] for for-loops (Figure 5) and
-//!    the four registered idioms:
+//! 4. **idiom specifications** in [`spec`] for the two markable prefixes —
+//!    the single-exit for-loop (Figure 5) and the early-exit loop (one
+//!    guarded `break`) — and the seven registered idioms:
 //!    * `scalar-reduction` — scalar accumulations (§3.1.1),
 //!    * `histogram-reduction` — generalized/histogram reductions (§3.1.2),
+//!      including the sparse/conditional form with duplicated index loads,
 //!    * `prefix-scan` — prefix sums / scans (`s += a[i]; out[i] = s`),
 //!    * `argmin-argmax` — conditional min/max with a carried index,
+//!    * `find-first` / `any-all-of` / `find-min-index-early` — the
+//!      early-exit search family ([`spec::search`]), exploited by the
+//!      cancellable speculative runtime in `gr-parallel`,
 //! 5. the **post-checks** the paper performs outside the constraint
 //!    language (associativity of the update operator) in [`postcheck`], and
 //! 6. a generic [`detect`] driver that runs a registry over a module and
@@ -53,7 +58,8 @@
 //! let mut registry = IdiomRegistry::with_default_idioms();
 //! assert_eq!(
 //!     registry.names(),
-//!     ["histogram-reduction", "scalar-reduction", "prefix-scan", "argmin-argmax"],
+//!     ["histogram-reduction", "scalar-reduction", "prefix-scan", "argmin-argmax",
+//!      "find-first", "any-all-of", "find-min-index-early"],
 //! );
 //! // A custom entry: any `Spec` built with `SpecBuilder` plus hooks.
 //! let scan = gr_core::spec::scan::idiom();

@@ -89,6 +89,18 @@ pub enum ReductionKind {
     ArgMin,
     /// Conditional maximum with a carried argument index.
     ArgMax,
+    /// Early-exit search for the first index whose candidate passes an
+    /// equality test against a loop-invariant needle.
+    FindFirst,
+    /// Boolean short-circuit: breaks to `1` from a default of `0` when any
+    /// element satisfies the exit condition.
+    AnyOf,
+    /// Boolean short-circuit: breaks to `0` from a default of `1` when any
+    /// element violates the condition.
+    AllOf,
+    /// Sentinel-guarded search: the first index whose candidate wins an
+    /// ordering comparison against a loop-invariant sentinel.
+    FindMinIndex,
 }
 
 impl ReductionKind {
@@ -115,6 +127,20 @@ impl ReductionKind {
     pub fn is_arg(self) -> bool {
         matches!(self, ReductionKind::ArgMin | ReductionKind::ArgMax)
     }
+
+    /// Whether this is an early-exit search idiom (find-first, any-of,
+    /// all-of, find-min-index) — exploited by the cancellable speculative
+    /// runtime rather than a privatizing fold.
+    #[must_use]
+    pub fn is_search(self) -> bool {
+        matches!(
+            self,
+            ReductionKind::FindFirst
+                | ReductionKind::AnyOf
+                | ReductionKind::AllOf
+                | ReductionKind::FindMinIndex
+        )
+    }
 }
 
 impl fmt::Display for ReductionKind {
@@ -125,6 +151,10 @@ impl fmt::Display for ReductionKind {
             ReductionKind::Scan => "scan",
             ReductionKind::ArgMin => "argmin",
             ReductionKind::ArgMax => "argmax",
+            ReductionKind::FindFirst => "find-first",
+            ReductionKind::AnyOf => "any-of",
+            ReductionKind::AllOf => "all-of",
+            ReductionKind::FindMinIndex => "find-min-index",
         })
     }
 }
@@ -151,11 +181,13 @@ pub struct Reduction {
     /// iterator (the paper's strict conditions; histograms like tpacf have
     /// non-affine index computations and report `false`).
     pub affine: bool,
-    /// For argmin/argmax only: the normalized exchange predicate — the
+    /// For argmin/argmax: the normalized exchange predicate — the
     /// candidate replaces the carried value (and its index) exactly when
     /// `candidate PRED value` holds. Strict predicates keep the first
     /// extremum, non-strict ones the last; the parallel merge uses the
     /// same predicate to reproduce the sequential tie-break.
+    /// For early-exit searches: the normalized break predicate — the loop
+    /// exits early exactly when `candidate PRED needle` holds.
     pub arg_pred: Option<CmpPred>,
     /// Full solver assignment as `(label, value)` pairs, for codegen and
     /// diagnostics.
@@ -216,6 +248,12 @@ mod tests {
         assert!(ReductionKind::ArgMin.is_arg());
         assert!(ReductionKind::ArgMax.is_arg());
         assert!(!ReductionKind::ArgMax.is_scan());
+        assert!(ReductionKind::FindFirst.is_search());
+        assert!(ReductionKind::AnyOf.is_search());
+        assert!(ReductionKind::AllOf.is_search());
+        assert!(ReductionKind::FindMinIndex.is_search());
+        assert!(!ReductionKind::Scalar.is_search());
+        assert!(!ReductionKind::FindFirst.is_arg());
     }
 
     #[test]
@@ -223,5 +261,9 @@ mod tests {
         assert_eq!(ReductionKind::Scan.to_string(), "scan");
         assert_eq!(ReductionKind::ArgMin.to_string(), "argmin");
         assert_eq!(ReductionKind::ArgMax.to_string(), "argmax");
+        assert_eq!(ReductionKind::FindFirst.to_string(), "find-first");
+        assert_eq!(ReductionKind::AnyOf.to_string(), "any-of");
+        assert_eq!(ReductionKind::AllOf.to_string(), "all-of");
+        assert_eq!(ReductionKind::FindMinIndex.to_string(), "find-min-index");
     }
 }

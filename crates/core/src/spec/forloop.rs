@@ -47,16 +47,17 @@ pub struct ForLoopLabels {
     pub iter_end: Label,
 }
 
-/// Adds the for-loop constraints to `b`, returning the labels for
-/// composition with further idiom conditions.
+/// Adds the counted-loop constraints shared by both markable prefixes —
+/// the single-exit [`add_for_loop`] and the two-exit
+/// [`add_for_loop_early_exit`](crate::spec::earlyexit::add_for_loop_early_exit).
+/// With `single_exit`, the body-region atoms (`body` dominates `latch`,
+/// `latch` post-dominates `body`) enforce that every started iteration
+/// reaches the latch; without, only dominance is required and the caller
+/// adds its own exit discipline (e.g. a single guarded break).
 ///
-/// The for-loop labels and conjuncts are marked as the spec's shared
-/// **prefix** ([`SpecBuilder::mark_prefix`]): every idiom built on this
-/// skeleton poses the identical 12-label sub-problem, so the detection
-/// driver solves it once per function and resumes each idiom's search from
-/// the cached solutions
-/// ([`solve_extend`](crate::solver::solve_extend)).
-pub fn add_for_loop(b: &mut SpecBuilder) -> ForLoopLabels {
+/// Does **not** mark the prefix — the calling composite does, after adding
+/// its remaining atoms.
+pub(crate) fn add_counted_loop(b: &mut SpecBuilder, single_exit: bool) -> ForLoopLabels {
     let header = b.label("header");
     let preheader = b.label("preheader");
     let latch = b.label("latch");
@@ -91,8 +92,12 @@ pub fn add_for_loop(b: &mut SpecBuilder) -> ForLoopLabels {
     b.atom(Atom::CfgEdge { from: header, to: exit });
 
     // Single-exit iteration: every started iteration reaches the latch.
+    // (The early-exit prefix keeps the dominance half and replaces the
+    // post-dominance by its guarded-break discipline.)
     b.atom(Atom::Dominates { a: body, b: latch });
-    b.atom(Atom::Postdominates { a: latch, b: body });
+    if single_exit {
+        b.atom(Atom::Postdominates { a: latch, b: body });
+    }
 
     // Induction variable: a header phi tested against the bound…
     b.atom(Atom::BlockOf { inst: iterator, block: header });
@@ -128,8 +133,6 @@ pub fn add_for_loop(b: &mut SpecBuilder) -> ForLoopLabels {
     b.atom(Atom::PhiIncoming { phi: iterator, value: iter_begin, block: preheader });
     b.atom(Atom::InvariantIn { value: iter_begin, header });
 
-    b.mark_prefix();
-
     ForLoopLabels {
         header,
         preheader,
@@ -144,6 +147,21 @@ pub fn add_for_loop(b: &mut SpecBuilder) -> ForLoopLabels {
         iter_step,
         iter_end,
     }
+}
+
+/// Adds the for-loop constraints to `b`, returning the labels for
+/// composition with further idiom conditions.
+///
+/// The for-loop labels and conjuncts are marked as the spec's shared
+/// **prefix** ([`SpecBuilder::mark_prefix`]): every idiom built on this
+/// skeleton poses the identical 12-label sub-problem, so the detection
+/// driver solves it once per function and resumes each idiom's search from
+/// the cached solutions
+/// ([`solve_extend`](crate::solver::solve_extend)).
+pub fn add_for_loop(b: &mut SpecBuilder) -> ForLoopLabels {
+    let labels = add_counted_loop(b, true);
+    b.mark_prefix();
+    labels
 }
 
 /// The standalone for-loop specification.

@@ -21,7 +21,7 @@
 //! * `newv` — computed only from `old` plus input reads and invariants.
 
 use crate::atoms::{Atom, MatchCtx, OpClass};
-use crate::constraint::{Label, Spec, SpecBuilder};
+use crate::constraint::{Constraint, Label, Spec, SpecBuilder};
 use crate::postcheck::classify_update;
 use crate::report::{Reduction, ReductionKind, ReductionOp};
 use crate::spec::forloop::{add_for_loop, ForLoopLabels};
@@ -43,8 +43,13 @@ pub struct HistogramLabels {
     pub addr_load: Label,
     /// The histogram array pointer.
     pub base: Label,
-    /// The bin index.
+    /// The bin index of the store.
     pub idx: Label,
+    /// The bin index of the load: the same value, or a syntactic duplicate
+    /// of it (a second load through the same `(base, idx)` of unwritten
+    /// index memory — the sparse/conditional form `h[k[i]] = h[k[i]] + w[i]`
+    /// re-materializes `k[i]` on each side).
+    pub idx_load: Label,
     /// The loaded old bin value.
     pub old: Label,
     /// The stored new bin value.
@@ -64,6 +69,11 @@ pub fn histogram_spec() -> (Spec, HistogramLabels) {
     let addr_load = b.label("addr_load");
     let old = b.label("old");
     let newv = b.label("newv");
+    let idx_load = b.label("idx_load");
+    let src_gep_s = b.label("src_gep_s");
+    let src_gep_l = b.label("src_gep_l");
+    let src_base = b.label("src_base");
+    let src_idx = b.label("src_idx");
 
     // Condition 4: read and write the same array cell, once per iteration.
     b.atom(Atom::Opcode { l: store, class: OpClass::Store });
@@ -72,11 +82,12 @@ pub fn histogram_spec() -> (Spec, HistogramLabels) {
     b.atom(Atom::Opcode { l: addr, class: OpClass::Gep });
     b.atom(Atom::OperandIs { inst: addr, index: 0, value: base });
     b.atom(Atom::OperandIs { inst: addr, index: 1, value: idx });
-    // The load goes through a gep with the *same* base and index (it may be
-    // the same instruction or a syntactic duplicate).
+    // The load goes through a gep with the *same* base (it may be the same
+    // instruction or a syntactic duplicate); the index equivalence is a
+    // disjunction below.
     b.atom(Atom::Opcode { l: addr_load, class: OpClass::Gep });
     b.atom(Atom::OperandIs { inst: addr_load, index: 0, value: base });
-    b.atom(Atom::OperandIs { inst: addr_load, index: 1, value: idx });
+    b.atom(Atom::OperandIs { inst: addr_load, index: 1, value: idx_load });
     b.atom(Atom::Opcode { l: old, class: OpClass::Load });
     b.atom(Atom::OperandIs { inst: old, index: 0, value: addr_load });
     b.atom(Atom::Precedes { a: old, b: store });
@@ -106,7 +117,49 @@ pub fn histogram_spec() -> (Spec, HistogramLabels) {
     // Privatization safety: the old value leaks only into the new value.
     b.atom(Atom::UsesConfinedTo { source: old, header: fl.header, terminals: vec![store] });
 
-    (b.finish(), HistogramLabels { for_loop: fl, store, addr, addr_load, base, idx, old, newv })
+    // The two index equivalences. Shared: load and store address the same
+    // index value (the `+=` form — the auxiliary labels are pinned with
+    // [`Atom::Equal`] so the branch stays generator-friendly). Duplicated:
+    // both indices are loads through geps with identical `(base, index)`
+    // operands, each reading memory the loop never writes — so the two
+    // loads observe the same bin, as in the sparse/conditional form
+    // `if (w[i] != 0) h[k[i]] = h[k[i]] + w[i]` where `k[i]` is
+    // re-materialized on each side of the assignment.
+    let shared = Constraint::And(vec![
+        Constraint::Atom(Atom::Equal { a: idx_load, b: idx }),
+        Constraint::Atom(Atom::Equal { a: src_gep_s, b: addr }),
+        Constraint::Atom(Atom::Equal { a: src_gep_l, b: addr_load }),
+        Constraint::Atom(Atom::Equal { a: src_base, b: base }),
+        Constraint::Atom(Atom::Equal { a: src_idx, b: idx }),
+    ]);
+    let duplicated = Constraint::And(vec![
+        Constraint::Atom(Atom::NotEqual { a: idx_load, b: idx }),
+        Constraint::Atom(Atom::Opcode { l: idx, class: OpClass::Load }),
+        Constraint::Atom(Atom::OperandIs { inst: idx, index: 0, value: src_gep_s }),
+        Constraint::Atom(Atom::Opcode { l: src_gep_s, class: OpClass::Gep }),
+        Constraint::Atom(Atom::OperandIs { inst: src_gep_s, index: 0, value: src_base }),
+        Constraint::Atom(Atom::OperandIs { inst: src_gep_s, index: 1, value: src_idx }),
+        Constraint::Atom(Atom::Opcode { l: idx_load, class: OpClass::Load }),
+        Constraint::Atom(Atom::OperandIs { inst: idx_load, index: 0, value: src_gep_l }),
+        Constraint::Atom(Atom::Opcode { l: src_gep_l, class: OpClass::Gep }),
+        Constraint::Atom(Atom::OperandIs { inst: src_gep_l, index: 0, value: src_base }),
+        Constraint::Atom(Atom::OperandIs { inst: src_gep_l, index: 1, value: src_idx }),
+        // The duplicate must read unwritten memory too, so both loads
+        // observe the same value (`idx` is covered by its own
+        // generalized-dominance atom above).
+        Constraint::Atom(Atom::ComputedOnlyFrom {
+            output: idx_load,
+            header: fl.header,
+            iterator: fl.iterator,
+            allowed: vec![],
+        }),
+    ]);
+    b.any(vec![shared, duplicated]);
+
+    (
+        b.finish(),
+        HistogramLabels { for_loop: fl, store, addr, addr_load, base, idx, idx_load, old, newv },
+    )
 }
 
 /// The histogram idiom's registry entry.
@@ -315,6 +368,58 @@ mod tests {
                  }"
             ),
             1
+        );
+    }
+
+    #[test]
+    fn finds_sparse_conditional_histogram_with_duplicated_index_load() {
+        // `h[k[i]] = h[k[i]] + w[i]` re-materializes `k[i]` on each side of
+        // the assignment: the load and store indices are distinct load
+        // instructions over the same unwritten cell. The `Or`'s duplicated
+        // branch accepts them.
+        assert_eq!(
+            histograms_found(
+                "void sparse(float* h, int* k, float* w, int n) {
+                     for (int i = 0; i < n; i++) {
+                         if (w[i] != 0.0) h[k[i]] = h[k[i]] + w[i];
+                     }
+                 }"
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn finds_sparse_histogram_with_hoisted_old_load() {
+        // The old value is loaded before the guard, the store inside it.
+        assert_eq!(
+            histograms_found(
+                "void sparse(int* h, int* k, int* w, int n) {
+                     for (int i = 0; i < n; i++) {
+                         int wi = w[i];
+                         int old = h[k[i]];
+                         if (wi != 0) h[k[i]] = old + wi;
+                     }
+                 }"
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn rejects_duplicated_index_from_written_memory() {
+        // The index array is itself rewritten inside the loop: the two
+        // `k[i]` loads may observe different bins.
+        assert_eq!(
+            histograms_found(
+                "void f(int* h, int* k, int n) {
+                     for (int i = 0; i < n; i++) {
+                         h[k[i]] = h[k[i]] + 1;
+                         k[i] = k[i] + 1;
+                     }
+                 }"
+            ),
+            0
         );
     }
 

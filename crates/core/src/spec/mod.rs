@@ -3,10 +3,14 @@
 //! Modules:
 //!
 //! * [`forloop`] — the for-loop structure of the paper's Figure 5,
+//! * [`earlyexit`] — the second markable prefix: a counted loop with one
+//!   guarded `break` (two exits),
 //! * [`scalar`] — scalar reductions (§3.1.1),
 //! * [`histogram`] — generalized/histogram reductions (§3.1.2),
 //! * [`scan`] — prefix sums / scans (running value stored per iteration),
 //! * [`argminmax`] — conditional min/max with a carried argument index,
+//! * [`search`] — the early-exit family: find-first, any-of/all-of,
+//!   find-min-index-early,
 //! * [`registry`] — the pluggable [`registry::IdiomRegistry`] the generic
 //!   detection driver iterates.
 //!
@@ -24,18 +28,22 @@
 //! [`registry`]).
 
 pub mod argminmax;
+pub mod earlyexit;
 pub mod forloop;
 pub mod histogram;
 pub mod registry;
 pub mod scalar;
 pub mod scan;
+pub mod search;
 
 pub use argminmax::{argminmax_spec, ArgMinMaxLabels};
+pub use earlyexit::{add_for_loop_early_exit, for_loop_early_exit_spec, EarlyExitLabels};
 pub use forloop::{add_for_loop, for_loop_spec, ForLoopLabels};
 pub use histogram::{histogram_spec, HistogramLabels};
 pub use registry::{IdiomEntry, IdiomRegistry, RegistryError};
 pub use scalar::{scalar_reduction_spec, ScalarLabels};
 pub use scan::{scan_spec, ScanLabels};
+pub use search::{any_all_of_spec, find_first_spec, find_min_index_spec, SearchLabels};
 
 use crate::atoms::Atom;
 use crate::constraint::{Label, SpecBuilder};

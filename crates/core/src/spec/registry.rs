@@ -17,28 +17,32 @@
 //! * an optional **finalize** pass over all of the idiom's reports in one
 //!   function (e.g. dropping nested duplicates).
 //!
-//! [`IdiomRegistry::with_default_idioms`] registers the four built-in
-//! idioms (scalar, histogram, scan, argmin/argmax); [`IdiomRegistry::empty`]
-//! plus [`IdiomRegistry::register`] assemble custom detector sets. The
-//! generic driver in [`crate::detect`] iterates whatever is registered —
-//! it has no knowledge of any individual idiom.
+//! [`IdiomRegistry::with_default_idioms`] registers the seven built-in
+//! idioms (scalar, histogram, scan, argmin/argmax, find-first,
+//! any-of/all-of, find-min-index-early); [`IdiomRegistry::empty`] plus
+//! [`IdiomRegistry::register`] assemble custom detector sets. The generic
+//! driver in [`crate::detect`] iterates whatever is registered — it has no
+//! knowledge of any individual idiom.
 //!
 //! # How detection scales: shared-prefix solving
 //!
-//! Every built-in spec is composed as **`for-loop ⨯ extension`**
-//! ([`SpecBuilder::mark_prefix`](crate::constraint::SpecBuilder::mark_prefix),
-//! applied by [`add_for_loop`](crate::spec::forloop::add_for_loop)): the
-//! 12-label loop skeleton is the marked prefix and the idiom's own
-//! conditions are the extension. [`IdiomRegistry::detect_in_function`]
+//! Every built-in spec is composed as **`prefix ⨯ extension`**
+//! ([`SpecBuilder::mark_prefix`](crate::constraint::SpecBuilder::mark_prefix)).
+//! Two prefixes exist: the 12-label single-exit for-loop
+//! ([`add_for_loop`](crate::spec::forloop::add_for_loop), under the four
+//! fold idioms) and the 17-label early-exit loop
+//! ([`add_for_loop_early_exit`](crate::spec::earlyexit::add_for_loop_early_exit),
+//! under the three search idioms). [`IdiomRegistry::detect_in_function`]
 //! solves each distinct prefix **once per function**, memoized in a
 //! [`PrefixCache`] keyed by the prefix's structural fingerprint, and
 //! resumes every entry's search from the cached partial assignments with
 //! [`solve_extend`](crate::solver::solve_extend). Registering a new idiom
-//! on the same skeleton therefore costs one *extension* solve — a handful
-//! of steps — rather than a full 12-label re-solve; on the bench corpus
-//! the default four-idiom registry runs in ~4× fewer solver steps than
-//! unshared solving ([`IdiomRegistry::stats_report`] measures both
-//! paths, and `crates/bench/tests/solver_steps.rs` pins the totals).
+//! on a cached skeleton therefore costs one *extension* solve — a handful
+//! of steps — rather than a full re-solve; on the bench corpus the
+//! default registry runs in far fewer solver steps than unshared solving
+//! ([`IdiomRegistry::stats_report`] measures both paths and the
+//! per-prefix cache hit counts, and `crates/bench/tests/solver_steps.rs`
+//! pins the totals).
 //!
 //! Custom idioms need no opt-in: start the spec with `add_for_loop` (or
 //! any composite that calls `mark_prefix`) **as the first thing on the
@@ -150,7 +154,9 @@ impl IdiomRegistry {
         IdiomRegistry { entries: Vec::new() }
     }
 
-    /// The default registry: histogram, scalar, scan, argmin/argmax.
+    /// The default registry: histogram, scalar, scan, argmin/argmax on the
+    /// for-loop prefix, plus the early-exit search family (find-first,
+    /// any-of/all-of, find-min-index-early) on the two-exit prefix.
     #[must_use]
     pub fn with_default_idioms() -> IdiomRegistry {
         let mut r = IdiomRegistry::empty();
@@ -159,6 +165,9 @@ impl IdiomRegistry {
             crate::spec::scalar::idiom(),
             crate::spec::scan::idiom(),
             crate::spec::argminmax::idiom(),
+            crate::spec::search::find_first_idiom(),
+            crate::spec::search::any_all_of_idiom(),
+            crate::spec::search::find_min_index_idiom(),
         ] {
             r.register(e).expect("default idiom names are unique");
         }
@@ -275,6 +284,7 @@ impl IdiomRegistry {
             }
             report.per_idiom.push((entry.name, stats));
         }
+        report.prefix_cache = cache.summary();
         report
     }
 }
@@ -288,6 +298,9 @@ pub struct RegistryStats {
     pub prefix: SolveStats,
     /// Extension (or, unshared, full) solve cost per idiom entry.
     pub per_idiom: Vec<(&'static str, SolveStats)>,
+    /// Per-prefix cache accounting (one row per distinct fingerprint;
+    /// empty when solving unshared).
+    pub prefix_cache: Vec<crate::detect::PrefixCacheSummary>,
 }
 
 impl RegistryStats {
@@ -327,15 +340,24 @@ mod tests {
     }
 
     #[test]
-    fn default_registry_has_four_idioms() {
+    fn default_registry_has_seven_idioms() {
         let r = IdiomRegistry::with_default_idioms();
         assert_eq!(
             r.names(),
-            vec!["histogram-reduction", "scalar-reduction", "prefix-scan", "argmin-argmax"]
+            vec![
+                "histogram-reduction",
+                "scalar-reduction",
+                "prefix-scan",
+                "argmin-argmax",
+                "find-first",
+                "any-all-of",
+                "find-min-index-early"
+            ]
         );
-        assert_eq!(r.len(), 4);
+        assert_eq!(r.len(), 7);
         assert!(!r.is_empty());
         assert!(r.get("prefix-scan").is_some());
+        assert!(r.get("find-first").is_some());
         assert!(r.get("no-such-idiom").is_none());
     }
 

@@ -13,14 +13,17 @@
 //!
 //! * [`outline`] — rewrites a detected reduction loop into a `chunk(lo, hi,
 //!   step, closure…)` function plus an intrinsic call in the original
-//!   function (the "generated code"),
+//!   function (the "generated code"); early-exit search loops outline with
+//!   both exits intact (a hit phi plus clones of the exit phis),
 //! * [`overlay`] — thread memory views: privatized copies, raw shared
 //!   objects for provably disjoint writes, and lock-protected shared
 //!   objects (used to simulate the benchmarks' "original parallel
 //!   versions"),
 //! * [`runtime`] — the recursive-bisection executor with identity-seeded
 //!   privatized accumulators, element-wise merging and dynamic histogram
-//!   growth.
+//!   growth, plus the **cancellable speculative search** path: chunked
+//!   execution polling an [`sync::EarlyExitToken`], merged by lowest hit
+//!   (sequential first-hit semantics on every thread count).
 //!
 //! # Example
 //!
@@ -52,4 +55,4 @@ pub mod runtime;
 pub mod sync;
 
 pub use outline::parallelize;
-pub use plan::{AccSlot, HistSlot, ReductionPlan, WrittenPolicy};
+pub use plan::{AccSlot, HistSlot, ReductionPlan, SearchSlot, WrittenPolicy};

@@ -25,7 +25,8 @@
 //! overlays and merges the partials.
 
 use crate::plan::{
-    AccSlot, ArgSlot, HistSlot, ReductionPlan, ScanSlot, WrittenPolicy, WrittenSlot,
+    AccSlot, ArgSlot, ExitSlot, HistSlot, ReductionPlan, ScanSlot, SearchSlot, WrittenPolicy,
+    WrittenSlot,
 };
 use gr_analysis::dataflow::root_object;
 use gr_analysis::Analyses;
@@ -54,6 +55,10 @@ pub enum OutlineError {
     UnsupportedHeaderShape,
     /// The loop exit block starts with phis (unsupported shape).
     ExitHasPhis,
+    /// An exit phi's default (the value flowing in when the loop runs to
+    /// completion) is defined inside the loop: the rewritten preheader
+    /// cannot seed its cell.
+    NonInvariantExitDefault,
     /// A pointer argument of the intrinsic was not object-aligned.
     MisalignedPointer,
 }
@@ -74,6 +79,9 @@ impl fmt::Display for OutlineError {
                 f.write_str("loop header has an unsupported shape")
             }
             OutlineError::ExitHasPhis => f.write_str("loop exit block has phis"),
+            OutlineError::NonInvariantExitDefault => {
+                f.write_str("exit phi default is defined inside the loop")
+            }
             OutlineError::MisalignedPointer => {
                 f.write_str("histogram pointer is not object-aligned")
             }
@@ -107,6 +115,14 @@ pub fn parallelize(
     if rs.iter().any(|r| r.header != header) {
         return Err(OutlineError::MixedLoops);
     }
+    // Early-exit searches take the two-exit outline path (they never mix
+    // with fold reductions: search loops carry no accumulators).
+    if rs.iter().any(|r| r.kind.is_search()) {
+        if !rs.iter().all(|r| r.kind.is_search()) {
+            return Err(OutlineError::MixedLoops);
+        }
+        return outline_search(module, func_name, &rs);
+    }
     let fi = module
         .functions
         .iter()
@@ -138,16 +154,7 @@ pub fn parallelize(
     let exit_block = func.block_of_label(get("exit"));
     let preheader = func.block_of_label(get("preheader"));
 
-    // Canonical continue-predicate with the iterator on the left.
-    let Some(&Opcode::Cmp(raw_pred)) = func.value(test).kind.opcode() else {
-        return Err(OutlineError::UnsupportedHeaderShape);
-    };
-    let test_ops = func.value(test).kind.operands().to_vec();
-    let mut pred = if test_ops[0] == iterator { raw_pred } else { raw_pred.swapped() };
-    let jump_ops = func.value(jump).kind.operands().to_vec();
-    if func.block_of_label(jump_ops[1]) == exit_block {
-        pred = pred.negated();
-    }
+    let pred = continue_pred(func, iterator, test, jump, exit_block)?;
 
     // Header shape: phis, then exactly test + jump.
     let header_insts = func.block(header).insts.clone();
@@ -210,16 +217,9 @@ pub fn parallelize(
         .chain(phis.iter().copied())
         .collect();
     let mut closure: Vec<ValueId> = Vec::new();
-    let is_closure =
-        |v: ValueId, func: &Function, closure: &mut Vec<ValueId>| match &func.value(v).kind {
-            ValueKind::Argument(_) | ValueKind::GlobalRef(_) if !closure.contains(&v) => {
-                closure.push(v);
-            }
-            ValueKind::Inst { .. } if !inside.contains(&v) && !closure.contains(&v) => {
-                closure.push(v);
-            }
-            _ => {}
-        };
+    let is_closure = |v: ValueId, func: &Function, closure: &mut Vec<ValueId>| {
+        push_closure_value(v, func, &inside, closure);
+    };
     for &b in &body_blocks {
         for &inst in &func.block(b).insts {
             let data = func.value(inst);
@@ -662,16 +662,46 @@ pub fn parallelize(
 
     // Value-only chunk for the scan partials pass: pass one of the
     // two-pass block scan only needs each block's final running value, so
-    // the output stores (and the address chains feeding nothing else) are
-    // stripped. This cuts the 2n work bound of scan exploitation toward
-    // n + n/blocks: the replay pass does the full body, the partials pass
-    // the value computation only.
+    // every store whose effect pass one discards — the scan output stores,
+    // the histogram updates (privatized and thrown away), and stores to
+    // written objects the loop never reads back — is stripped along with
+    // the address chains feeding nothing else. This cuts the 2n work
+    // bound of scan exploitation toward n + n/blocks: the replay pass does
+    // the full body, the partials pass the value computation only.
     let chunk_value_only_fn = if scan_rs.is_empty() {
         None
     } else {
         let vo_name = format!("{chunk_name}_vo");
-        let dead_stores: Vec<ValueId> =
+        let mut dead_stores: Vec<ValueId> =
             scan_rs.iter().map(|r| val_map[&r.binding("store")]).collect();
+        // Histogram load-modify-stores are privatized-and-discarded in
+        // pass one; detection confines the old value to its own update, so
+        // dropping the store leaves the loads dead for the sweep.
+        dead_stores.extend(hist_rs.iter().map(|r| val_map[&r.binding("store")]));
+        // Same for written objects, as long as nothing in the loop reads
+        // them back (a read-back would observe the stripped stores).
+        let read_roots: HashSet<ValueId> = body_blocks
+            .iter()
+            .flat_map(|&b| func.block(b).insts.iter())
+            .filter_map(|&inst| {
+                let data = func.value(inst);
+                (data.kind.opcode() == Some(&Opcode::Load))
+                    .then(|| root_object(func, data.kind.operands()[0]))
+                    .flatten()
+            })
+            .collect();
+        for &b in &body_blocks {
+            for &inst in &func.block(b).insts {
+                let data = func.value(inst);
+                if data.kind.opcode() != Some(&Opcode::Store) {
+                    continue;
+                }
+                let Some(root) = root_object(func, data.kind.operands()[1]) else { continue };
+                if written_roots.iter().any(|(r, _)| *r == root) && !read_roots.contains(&root) {
+                    dead_stores.push(val_map[&inst]);
+                }
+            }
+        }
         out.push_function(value_only_variant(&chunk, &vo_name, &dead_stores));
         Some(vo_name)
     };
@@ -688,10 +718,441 @@ pub fn parallelize(
         hists,
         scans,
         args,
+        search: None,
         written,
         arg_count,
     };
     Ok((out, plan))
+}
+
+/// Outlines an early-exit search loop: the two-exit analog of
+/// [`parallelize`]. The loop carries nothing (only the induction phi lives
+/// in the header — its results are the *exit phis* at the loop-exit block,
+/// merging the break arm with an invariant default), so the chunk clones
+/// both exits:
+///
+/// * `__chunk_f_<k>(lo, hi, step, closure…, hit, exits…)` runs the loop
+///   over `[lo, hi)` with the guarded break intact. Its exit block merges
+///   a **hit phi** — the iterator from the break edge,
+///   [`SEARCH_NO_HIT`](crate::plan::SEARCH_NO_HIT) from the induction
+///   exit — plus one clone of every original exit phi, and stores them all
+///   to cells;
+/// * the original loop is replaced by cells seeded with the not-found
+///   defaults, the intrinsic call, and reloads rewired over the (removed)
+///   exit phis.
+///
+/// The runtime executes the chunk speculatively over many sub-ranges,
+/// cancels via `EarlyExitToken`, and commits the exit cells of the
+/// lowest-indexed hit — see [`crate::runtime`].
+fn outline_search(
+    module: &Module,
+    func_name: &str,
+    rs: &[&Reduction],
+) -> Result<(Module, ReductionPlan), OutlineError> {
+    let fi = module
+        .functions
+        .iter()
+        .position(|f| f.name == func_name)
+        .ok_or_else(|| OutlineError::NoSuchFunction(func_name.to_string()))?;
+    let func = &module.functions[fi];
+    let analyses = Analyses::new(module, func);
+    let header = rs[0].header;
+    let lid = analyses
+        .loops
+        .loop_with_header(header)
+        .expect("detected search loop must exist");
+    let l = analyses.loops.get(lid).clone();
+
+    // --- gather loop anatomy from the solver bindings -------------------
+    let b0 = &rs[0].bindings;
+    let get = |name: &str| -> ValueId {
+        b0.iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .expect("early-exit binding present")
+    };
+    let iterator = get("iterator");
+    let iter_begin = get("iter_begin");
+    let iter_end = get("iter_end");
+    let iter_step = get("iter_step");
+    let test = get("test");
+    let jump = get("jump");
+    let exit_block = func.block_of_label(get("exit"));
+    let preheader = func.block_of_label(get("preheader"));
+    let break_bb = func.block_of_label(get("break_blk"));
+
+    let pred = continue_pred(func, iterator, test, jump, exit_block)?;
+
+    // Header shape: the induction phi only, then test + jump — a search
+    // loop carries no accumulators.
+    let header_insts = func.block(header).insts.clone();
+    let phis: Vec<ValueId> = header_insts
+        .iter()
+        .copied()
+        .take_while(|&v| func.value(v).kind.opcode() == Some(&Opcode::Phi))
+        .collect();
+    if phis != vec![iterator] {
+        return Err(OutlineError::UnknownCarriedState);
+    }
+    if header_insts[phis.len()..] != [test, jump] {
+        return Err(OutlineError::UnsupportedHeaderShape);
+    }
+
+    // The exit phis: each merges exactly the induction edge (header) and
+    // the break edge. Their default must be available before the loop.
+    let exit_phis: Vec<ValueId> = func
+        .block(exit_block)
+        .insts
+        .iter()
+        .copied()
+        .take_while(|&v| func.value(v).kind.opcode() == Some(&Opcode::Phi))
+        .collect();
+    let mut exit_merges: Vec<(ValueId, ValueId, ValueId)> = Vec::new(); // (phi, default, break value)
+    for &phi in &exit_phis {
+        let incoming = func.phi_incoming(phi);
+        let dv = incoming.iter().find(|(_, b)| *b == header).map(|(v, _)| *v);
+        let bv = incoming.iter().find(|(_, b)| *b == break_bb).map(|(v, _)| *v);
+        let (Some(dv), Some(bv)) = (dv, bv) else { return Err(OutlineError::ExitHasPhis) };
+        if incoming.len() != 2 {
+            return Err(OutlineError::ExitHasPhis);
+        }
+        if func.block_of_inst(dv).is_some_and(|b| l.contains(b) || b == break_bb) {
+            return Err(OutlineError::NonInvariantExitDefault);
+        }
+        exit_merges.push((phi, dv, bv));
+    }
+    // The iterator must not be live past the loop except through the exit
+    // phis being replaced.
+    for b in func.block_ids() {
+        if l.contains(b) || b == break_bb {
+            continue;
+        }
+        for &inst in &func.block(b).insts {
+            if exit_phis.contains(&inst) {
+                continue;
+            }
+            if func.value(inst).kind.operands().contains(&iterator) {
+                return Err(OutlineError::IteratorLiveOut);
+            }
+        }
+    }
+
+    // --- closure discovery ----------------------------------------------
+    // Cloned blocks: the loop body plus the break trampoline (outside the
+    // natural loop, since it cannot reach the latch).
+    let body_blocks: Vec<BlockId> = func
+        .block_ids()
+        .filter(|&b| (l.contains(b) && b != header) || b == break_bb)
+        .collect();
+    let inside: HashSet<ValueId> = body_blocks
+        .iter()
+        .flat_map(|&b| func.block(b).insts.iter().copied())
+        .chain(phis.iter().copied())
+        .collect();
+    let mut closure: Vec<ValueId> = Vec::new();
+    let is_closure = |v: ValueId, func: &Function, closure: &mut Vec<ValueId>| {
+        push_closure_value(v, func, &inside, closure);
+    };
+    for &b in &body_blocks {
+        for &inst in &func.block(b).insts {
+            let data = func.value(inst);
+            let ops: Vec<ValueId> = match data.kind.opcode() {
+                Some(Opcode::Phi) => data.kind.operands().chunks(2).map(|c| c[0]).collect(),
+                _ => data.kind.operands().to_vec(),
+            };
+            for op in ops {
+                if op == iterator {
+                    continue;
+                }
+                is_closure(op, func, &mut closure);
+            }
+        }
+    }
+    // The exit-phi arms travel to the chunk as well: defaults are always
+    // out-of-loop values, break values may be (invariants forwarded by the
+    // trampoline).
+    for &(_, dv, bv) in &exit_merges {
+        is_closure(dv, func, &mut closure);
+        if bv != iterator {
+            is_closure(bv, func, &mut closure);
+        }
+    }
+
+    // --- build the chunk function ----------------------------------------
+    let k = CHUNK_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let chunk_name = format!("__chunk_{func_name}_{k}");
+    let intrinsic = format!("__parrun_{func_name}_{k}");
+
+    let ptr_ty = |ty: Type| match ty {
+        Type::Int | Type::Bool => Type::PtrInt,
+        _ => Type::PtrFloat,
+    };
+    let mut params: Vec<(String, Type)> = vec![
+        ("lo".to_string(), Type::Int),
+        ("hi".to_string(), Type::Int),
+        ("step".to_string(), Type::Int),
+    ];
+    for (i, &cv) in closure.iter().enumerate() {
+        params.push((format!("c{i}"), func.value(cv).ty));
+    }
+    let hit_arg_index = params.len();
+    params.push(("hit".to_string(), Type::PtrInt));
+    let exit_out_base = params.len();
+    for (i, &(phi, _, _)) in exit_merges.iter().enumerate() {
+        params.push((format!("exit{i}"), ptr_ty(func.value(phi).ty)));
+    }
+    let param_refs: Vec<(&str, Type)> = params.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    let mut chunk = Function::new(&chunk_name, &param_refs, Type::Void);
+
+    let c_entry = chunk.add_block("entry");
+    let c_header = chunk.add_block("header");
+    let mut block_map: HashMap<BlockId, BlockId> = HashMap::new();
+    block_map.insert(header, c_header);
+    for &b in &body_blocks {
+        let nb = chunk.add_block(&func.block(b).name);
+        block_map.insert(b, nb);
+    }
+    let c_exit = chunk.add_block("exit");
+    block_map.insert(exit_block, c_exit);
+
+    let mut val_map: HashMap<ValueId, ValueId> = HashMap::new();
+    for (i, &cv) in closure.iter().enumerate() {
+        val_map.insert(cv, chunk.arg_values[3 + i]);
+    }
+
+    // Header: iterator phi, test, jump.
+    let c_entry_label = chunk.block(c_entry).label;
+    let c_header_label = chunk.block(c_header).label;
+    let c_latch = block_map[&func.block_of_label(get("latch"))];
+    let c_latch_label = chunk.block(c_latch).label;
+    let c_iter = chunk.add_value(
+        ValueKind::Inst { opcode: Opcode::Phi, operands: vec![] },
+        Type::Int,
+        Some("i".to_string()),
+    );
+    chunk.blocks[c_header.index()].insts.push(c_iter);
+    val_map.insert(iterator, c_iter);
+    let c_test = chunk.append_inst(
+        c_header,
+        Opcode::Cmp(pred),
+        vec![c_iter, chunk.arg_values[1]],
+        Type::Bool,
+    );
+    let body_entry = func.block_of_label(get("body"));
+    let c_body_label = chunk.block(block_map[&body_entry]).label;
+    let c_exit_label = chunk.block(c_exit).label;
+    chunk.append_inst(
+        c_header,
+        Opcode::CondBr,
+        vec![c_test, c_body_label, c_exit_label],
+        Type::Void,
+    );
+    chunk.append_inst(c_entry, Opcode::Br, vec![c_header_label], Type::Void);
+
+    // Clone body + trampoline instructions: shells, then operands.
+    let mut cloned: Vec<(ValueId, ValueId)> = Vec::new();
+    for &b in &body_blocks {
+        for &inst in &func.block(b).insts.clone() {
+            let data = func.value(inst).clone();
+            let ValueKind::Inst { opcode, .. } = data.kind else { unreachable!() };
+            let c =
+                chunk.add_value(ValueKind::Inst { opcode, operands: vec![] }, data.ty, data.name);
+            chunk.blocks[block_map[&b].index()].insts.push(c);
+            val_map.insert(inst, c);
+            cloned.push((inst, c));
+        }
+    }
+    for (orig, clone) in &cloned {
+        let ops = func.value(*orig).kind.operands().to_vec();
+        let mapped: Vec<ValueId> = ops
+            .iter()
+            .map(|&op| map_operand(func, &mut chunk, &val_map, &block_map, op))
+            .collect();
+        if let ValueKind::Inst { operands, .. } = &mut chunk.value_mut(*clone).kind {
+            *operands = mapped;
+        }
+    }
+    // Complete the iterator phi.
+    let next_iter_clone = val_map[&get("next_iter")];
+    let lo_arg = chunk.arg_values[0];
+    if let ValueKind::Inst { operands, .. } = &mut chunk.value_mut(c_iter).kind {
+        operands.extend([lo_arg, c_entry_label, next_iter_clone, c_latch_label]);
+    }
+
+    // Chunk exit: the hit phi plus one clone of every original exit phi,
+    // merging the induction edge (header) with the break edge.
+    let c_break_label = chunk.block(block_map[&break_bb]).label;
+    let no_hit = chunk.const_int(crate::plan::SEARCH_NO_HIT);
+    let c_hit = chunk.add_value(
+        ValueKind::Inst {
+            opcode: Opcode::Phi,
+            operands: vec![no_hit, c_header_label, c_iter, c_break_label],
+        },
+        Type::Int,
+        Some("hit".to_string()),
+    );
+    chunk.blocks[c_exit.index()].insts.push(c_hit);
+    let mut c_exit_phis = Vec::new();
+    for &(phi, dv, bv) in &exit_merges {
+        let c_dv = map_operand(func, &mut chunk, &val_map, &block_map, dv);
+        let c_bv = map_operand(func, &mut chunk, &val_map, &block_map, bv);
+        let c_phi = chunk.add_value(
+            ValueKind::Inst {
+                opcode: Opcode::Phi,
+                operands: vec![c_dv, c_header_label, c_bv, c_break_label],
+            },
+            func.value(phi).ty,
+            func.value(phi).name.clone(),
+        );
+        chunk.blocks[c_exit.index()].insts.push(c_phi);
+        c_exit_phis.push(c_phi);
+    }
+    chunk.append_inst(
+        c_exit,
+        Opcode::Store,
+        vec![c_hit, chunk.arg_values[hit_arg_index]],
+        Type::Void,
+    );
+    for (i, &c_phi) in c_exit_phis.iter().enumerate() {
+        let out = chunk.arg_values[exit_out_base + i];
+        chunk.append_inst(c_exit, Opcode::Store, vec![c_phi, out], Type::Void);
+    }
+    chunk.append_inst(c_exit, Opcode::Ret, vec![], Type::Void);
+
+    // --- rewrite the original function ------------------------------------
+    let mut out = module.clone();
+    let f = &mut out.functions[fi];
+    let term = f.blocks[preheader.index()].insts.pop().expect("preheader has a terminator");
+    debug_assert_eq!(f.value(term).kind.opcode(), Some(&Opcode::Br));
+
+    // Cells: the hit marker plus one cell per exit phi, seeded with the
+    // not-found defaults (the values the phis take on the induction edge).
+    let one = f.const_int(1);
+    let no_hit_orig = f.const_int(crate::plan::SEARCH_NO_HIT);
+    let hit_cell = f.append_inst(preheader, Opcode::Alloca, vec![one], Type::PtrInt);
+    f.append_inst(preheader, Opcode::Store, vec![no_hit_orig, hit_cell], Type::Void);
+    let mut cells = Vec::new();
+    for &(phi, dv, _) in &exit_merges {
+        let cell = f.append_inst(preheader, Opcode::Alloca, vec![one], ptr_ty(f.value(phi).ty));
+        f.append_inst(preheader, Opcode::Store, vec![dv, cell], Type::Void);
+        cells.push(cell);
+    }
+    let mut call_args = vec![iter_begin, iter_end, iter_step];
+    call_args.extend(closure.iter().copied());
+    call_args.push(hit_cell);
+    call_args.extend(cells.iter().copied());
+    let arg_count = call_args.len();
+    f.append_inst(preheader, Opcode::Call(intrinsic.clone()), call_args, Type::Void);
+    let mut finals = Vec::new();
+    for (ci, &(phi, _, _)) in exit_merges.iter().enumerate() {
+        let ty = f.value(phi).ty;
+        let final_v = f.append_inst(preheader, Opcode::Load, vec![cells[ci]], ty);
+        finals.push((phi, final_v));
+    }
+    let exit_label = f.block(exit_block).label;
+    f.append_inst(preheader, Opcode::Br, vec![exit_label], Type::Void);
+    // Drop the exit phis (replaced by the reloads), then stub out the loop
+    // blocks and the trampoline.
+    f.blocks[exit_block.index()].insts.retain(|v| !exit_phis.contains(v));
+    for b in f.block_ids().collect::<Vec<_>>() {
+        if l.contains(b) || b == break_bb {
+            f.blocks[b.index()].insts.clear();
+            let stub = f.add_value(
+                ValueKind::Inst { opcode: Opcode::Br, operands: vec![exit_label] },
+                Type::Void,
+                None,
+            );
+            f.blocks[b.index()].insts.push(stub);
+        }
+    }
+    // Rewire exit-phi uses outside the loop to the reloaded values.
+    for b in f.block_ids().collect::<Vec<_>>() {
+        if l.contains(b) || b == break_bb {
+            continue;
+        }
+        for inst in f.blocks[b.index()].insts.clone() {
+            let kind = &mut f.values[inst.index()].kind;
+            if let ValueKind::Inst { operands, .. } = kind {
+                for op in operands.iter_mut() {
+                    if let Some((_, nv)) = finals.iter().find(|(phi, _)| phi == op) {
+                        *op = *nv;
+                    }
+                }
+            }
+        }
+    }
+
+    let search = SearchSlot {
+        hit_arg_index,
+        exits: exit_merges
+            .iter()
+            .enumerate()
+            .map(|(i, &(phi, _, _))| ExitSlot {
+                arg_index: exit_out_base + i,
+                ty: func.value(phi).ty,
+            })
+            .collect(),
+    };
+    out.push_function(chunk);
+    gr_ir::verify::verify_module(&out).expect("outlined module must verify");
+
+    let plan = ReductionPlan {
+        function: func_name.to_string(),
+        chunk_fn: chunk_name,
+        chunk_value_only_fn: None,
+        intrinsic,
+        pred,
+        accs: vec![],
+        hists: vec![],
+        scans: vec![],
+        args: vec![],
+        search: Some(search),
+        written: vec![],
+        arg_count,
+    };
+    Ok((out, plan))
+}
+
+/// Normalizes the loop test into a continue-predicate with the iterator
+/// on the left (negated when the jump's then-arm leaves the loop) — shared
+/// by the fold and search outline paths.
+fn continue_pred(
+    func: &Function,
+    iterator: ValueId,
+    test: ValueId,
+    jump: ValueId,
+    exit_block: BlockId,
+) -> Result<gr_ir::CmpPred, OutlineError> {
+    let Some(&Opcode::Cmp(raw_pred)) = func.value(test).kind.opcode() else {
+        return Err(OutlineError::UnsupportedHeaderShape);
+    };
+    let test_ops = func.value(test).kind.operands();
+    let mut pred = if test_ops[0] == iterator { raw_pred } else { raw_pred.swapped() };
+    let jump_ops = func.value(jump).kind.operands();
+    if func.block_of_label(jump_ops[1]) == exit_block {
+        pred = pred.negated();
+    }
+    Ok(pred)
+}
+
+/// Closure-discovery step shared by both outline paths: arguments,
+/// globals, and instructions defined outside the cloned region travel as
+/// chunk parameters.
+fn push_closure_value(
+    v: ValueId,
+    func: &Function,
+    inside: &HashSet<ValueId>,
+    closure: &mut Vec<ValueId>,
+) {
+    match &func.value(v).kind {
+        ValueKind::Argument(_) | ValueKind::GlobalRef(_) if !closure.contains(&v) => {
+            closure.push(v);
+        }
+        ValueKind::Inst { .. } if !inside.contains(&v) && !closure.contains(&v) => {
+            closure.push(v);
+        }
+        _ => {}
+    }
 }
 
 fn map_operand(
@@ -945,6 +1406,160 @@ mod tests {
         assert_eq!(plan.args.len(), 1);
         assert_eq!(plan.args[0].pred, gr_ir::CmpPred::Lt);
         assert!(m.function(&plan.chunk_fn).is_some());
+    }
+
+    #[test]
+    fn find_first_outlines_with_two_exit_chunk() {
+        let (m, plan) = outline(
+            "int find(int* a, int x, int n) {
+                 int r = n;
+                 for (int i = 0; i < n; i++) {
+                     if (a[i] == x) { r = i; break; }
+                 }
+                 return r;
+             }",
+            "find",
+        )
+        .unwrap();
+        let search = plan.search.as_ref().expect("search plan");
+        assert_eq!(search.exits.len(), 1, "one exit phi (the result)");
+        assert!(plan.accs.is_empty() && plan.hists.is_empty() && plan.scans.is_empty());
+        let chunk = m.function(&plan.chunk_fn).expect("chunk exists");
+        // The chunk keeps both exits: its exit block merges >= 2 phis (hit
+        // plus the result) and the guard condbr survives the clone.
+        let exit_blk = chunk.blocks.iter().find(|b| b.name == "exit").unwrap();
+        let phis = exit_blk
+            .insts
+            .iter()
+            .filter(|&&v| chunk.value(v).kind.opcode() == Some(&Opcode::Phi))
+            .count();
+        assert_eq!(phis, 2, "hit phi + result phi");
+        let condbrs = chunk
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|&&v| chunk.value(v).kind.opcode() == Some(&Opcode::CondBr))
+            .count();
+        assert_eq!(condbrs, 2, "loop test + early-exit guard");
+    }
+
+    #[test]
+    fn search_with_flag_outlines_two_exit_cells() {
+        let (_, plan) = outline(
+            "int find(int* a, int* out, int x, int n) {
+                 int r = n;
+                 int found = 0;
+                 for (int i = 0; i < n; i++) {
+                     if (a[i] == x) { r = i; found = 1; break; }
+                 }
+                 out[0] = found;
+                 return r;
+             }",
+            "find",
+        )
+        .unwrap();
+        let search = plan.search.as_ref().expect("search plan");
+        assert_eq!(search.exits.len(), 2, "index and flag exit phis");
+    }
+
+    #[test]
+    fn search_loop_with_extra_carried_state_refused() {
+        // The find-first report itself is valid, but the loop also carries
+        // a sum: the extra header phi stops the search outline (the sum is
+        // no scalar reduction either — its loop has a break).
+        let m = compile(
+            "int f(int* a, int x, int n) {
+                 int r = n;
+                 int s = 0;
+                 for (int i = 0; i < n; i++) {
+                     s = s + a[i];
+                     if (a[i] == x) { r = i; break; }
+                 }
+                 return r + s;
+             }",
+        )
+        .unwrap();
+        let rs = detect_reductions(&m);
+        assert!(rs.iter().all(|r| r.kind.is_search()), "{rs:?}");
+        assert_eq!(parallelize(&m, "f", &rs).err(), Some(OutlineError::UnknownCarriedState));
+    }
+
+    #[test]
+    fn value_only_chunk_strips_histogram_and_disjoint_stores() {
+        // A scan sharing its loop with a histogram and a disjoint-written
+        // array: pass one discards all three side effects, so the
+        // value-only chunk must shed every in-loop store.
+        let (m, plan) = outline(
+            "void f(float* a, float* out, int* h, int* k, int* member, int n) {
+                 float s = 0.0;
+                 for (int i = 0; i < n; i++) {
+                     s += a[i];
+                     out[i] = s;
+                     h[k[i]] = h[k[i]] + 1;
+                     member[i] = k[i];
+                 }
+             }",
+            "f",
+        )
+        .unwrap();
+        assert_eq!(plan.scans.len(), 1);
+        assert_eq!(plan.hists.len(), 1);
+        assert_eq!(plan.written.len(), 1);
+        let vo_name = plan.chunk_value_only_fn.as_deref().expect("scan plans get a variant");
+        let vo = m.function(vo_name).unwrap();
+        let loop_stores = vo
+            .blocks
+            .iter()
+            .filter(|b| b.name != "exit")
+            .flat_map(|b| &b.insts)
+            .filter(|&&v| vo.value(v).kind.opcode() == Some(&Opcode::Store))
+            .count();
+        assert_eq!(loop_stores, 0, "no stores left inside the value-only loop body");
+        // The histogram's bin loads die with the store.
+        let loads = vo
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|&&v| vo.value(v).kind.opcode() == Some(&Opcode::Load))
+            .count();
+        let full = m.function(&plan.chunk_fn).unwrap();
+        let full_loads = full
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|&&v| full.value(v).kind.opcode() == Some(&Opcode::Load))
+            .count();
+        assert!(loads < full_loads, "dead bin/member address loads must be swept");
+    }
+
+    #[test]
+    fn value_only_chunk_keeps_stores_of_read_back_objects() {
+        // The written object is read back inside the loop (not by the
+        // scan): its stores must survive the strip.
+        let (m, plan) = outline(
+            "void f(float* a, float* out, int* tmp, int n) {
+                 float s = 0.0;
+                 for (int i = 0; i < n; i++) {
+                     tmp[i] = i * 2;
+                     int echo = tmp[i];
+                     s += a[i];
+                     out[i] = s;
+                 }
+             }",
+            "f",
+        )
+        .unwrap();
+        assert_eq!(plan.scans.len(), 1, "the program's scan must be detected");
+        let vo_name = plan.chunk_value_only_fn.as_deref().expect("scan plans get a variant");
+        let vo = m.function(vo_name).unwrap();
+        let tmp_stores = vo
+            .blocks
+            .iter()
+            .filter(|b| b.name != "exit")
+            .flat_map(|b| &b.insts)
+            .filter(|&&v| vo.value(v).kind.opcode() == Some(&Opcode::Store))
+            .count();
+        assert!(tmp_stores >= 1, "read-back object keeps its stores");
     }
 
     #[test]

@@ -70,6 +70,36 @@ pub struct ArgSlot {
 /// The sentinel index meaning "this block never exchanged".
 pub const ARG_IDX_SENTINEL: i64 = i64::MIN;
 
+/// The hit-cell value meaning "this chunk completed without breaking".
+pub const SEARCH_NO_HIT: i64 = i64::MIN;
+
+/// One exit-phi cell of a search plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExitSlot {
+    /// Position of the cell pointer in the intrinsic argument list.
+    pub arg_index: usize,
+    /// Element type of the exit value.
+    pub ty: Type,
+}
+
+/// An early-exit search: the loop carries nothing — its results are the
+/// exit phis, reproduced per chunk and stored to cells together with a hit
+/// marker. Executed by the cancellable speculative runtime: the iteration
+/// space is cut into many chunks, workers claim chunks in iteration order
+/// while polling an `EarlyExitToken`, and the merge takes the exit values
+/// of the lowest-indexed chunk that hit (the sequential first hit). Chunks
+/// after the hit may execute speculatively and are discarded — detection
+/// guarantees the loop body is side-effect free, so speculation cannot be
+/// observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchSlot {
+    /// Position of the hit cell (the iterator value at the break, or
+    /// [`SEARCH_NO_HIT`]) in the intrinsic argument list.
+    pub hit_arg_index: usize,
+    /// The exit-phi cells, in exit-block phi order.
+    pub exits: Vec<ExitSlot>,
+}
+
 /// How the runtime treats a memory object the loop writes that is *not* a
 /// reduction target.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +148,9 @@ pub struct ReductionPlan {
     pub scans: Vec<ScanSlot>,
     /// Argmin/argmax slots.
     pub args: Vec<ArgSlot>,
+    /// Early-exit search (mutually exclusive with the fold slots: search
+    /// loops carry no accumulators and write no memory).
+    pub search: Option<SearchSlot>,
     /// Non-reduction written objects.
     pub written: Vec<WrittenSlot>,
     /// Total number of intrinsic arguments (`lo, hi, step, closure…,
@@ -175,6 +208,7 @@ mod tests {
             hists: vec![],
             scans: vec![],
             args: vec![],
+            search: None,
             written: vec![],
             arg_count: 3,
         }

@@ -22,15 +22,27 @@
 //!   including ties;
 //! * disjoint-written arrays: shared without synchronization;
 //! * other written arrays: private copies, with the copy of the thread
-//!   executing the last iterations written back.
+//!   executing the last iterations written back;
+//! * **early-exit searches**: the cancellable speculative path
+//!   ([`execute_search`]) — the iteration space is cut into many chunks,
+//!   workers claim chunks in iteration order while polling a shared
+//!   [`EarlyExitToken`], and the merge commits the exit values of the
+//!   lowest-indexed chunk that hit, reproducing the sequential first-hit
+//!   semantics exactly. This is the first exploitation path whose
+//!   schedule is speculative rather than a deterministic fold: chunks past
+//!   the sequential exit point may run and be discarded, which detection
+//!   makes unobservable (the loop body is side-effect free by
+//!   construction).
 
 use crate::overlay::{OverlayMemory, SharedRaw};
-use crate::plan::{ReductionPlan, WrittenPolicy, ARG_IDX_SENTINEL};
+use crate::plan::{ReductionPlan, SearchSlot, WrittenPolicy, ARG_IDX_SENTINEL, SEARCH_NO_HIT};
+use crate::sync::EarlyExitToken;
 use gr_core::ReductionOp;
 use gr_interp::machine::{IntrinsicHandler, Machine, Trap};
 use gr_interp::memory::{MemBackend, Memory, Obj, ObjId};
 use gr_interp::RtVal;
 use gr_ir::{CmpPred, Module, Type};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Builds the intrinsic handler for `plan`, executing on up to `threads`
@@ -291,6 +303,15 @@ fn run_pass(
     Ok(results)
 }
 
+/// One chunk's search outcome: `(chunk index, hit iterator value, exit
+/// cell objects)`.
+type SearchHit = (usize, i64, Vec<Obj>);
+
+/// Chunks claimed per worker (granularity of speculation): more chunks
+/// than workers, so cancellation has someplace to bite — a worker that
+/// claims a chunk past a known hit stops without touching it.
+const SEARCH_CHUNKS_PER_WORKER: usize = 8;
+
 fn execute(
     module: &Module,
     plan: &ReductionPlan,
@@ -298,6 +319,9 @@ fn execute(
     args: &[RtVal],
     mem: &mut Memory,
 ) -> Result<Option<RtVal>, Trap> {
+    if let Some(search) = &plan.search {
+        return execute_search(module, plan, search, threads, args, mem);
+    }
     let lo = args[0].as_i();
     let hi = args[1].as_i();
     let step = args[2].as_i();
@@ -505,6 +529,105 @@ fn execute(
             }
         }
     }
+    Ok(None)
+}
+
+/// The cancellable speculative search executor.
+///
+/// The iteration space is cut into `threads ×`
+/// [`SEARCH_CHUNKS_PER_WORKER`] chunks (in iteration order). Workers claim
+/// chunks from a shared counter and, between chunks, poll the
+/// [`EarlyExitToken`]: once a strictly earlier chunk is known to have hit,
+/// every remaining claim is moot and the worker stops. A chunk runs the
+/// two-exit chunk function on an overlay with private hit/exit cells; the
+/// chunk itself breaks at its first in-range hit, so per-chunk results are
+/// already "earliest in chunk". The merge commits the exit cells of the
+/// lowest-indexed hit chunk — exactly the sequential first hit, asserted
+/// identical across thread counts by the tests below.
+///
+/// Chunks later than the winning hit may execute speculatively and be
+/// discarded. Detection guarantees this is unobservable (the loop body is
+/// side-effect free — stray writes would trap in the overlay) and safe for
+/// the usual speculation caveat: loads anywhere in the loop's declared
+/// iteration space are assumed in-bounds, as they are for every
+/// exploitation template.
+fn execute_search(
+    module: &Module,
+    plan: &ReductionPlan,
+    search: &SearchSlot,
+    threads: usize,
+    args: &[RtVal],
+    mem: &mut Memory,
+) -> Result<Option<RtVal>, Trap> {
+    let lo = args[0].as_i();
+    let hi = args[1].as_i();
+    let step = args[2].as_i();
+    let count = plan.iteration_count(lo, hi, step);
+    if count == 0 {
+        return Ok(None);
+    }
+    let pieces = bisect(count, (threads * SEARCH_CHUNKS_PER_WORKER).min(count.max(1) as usize));
+    let hit_obj = object_of(args[search.hit_arg_index])?;
+    let exit_objs: Vec<ObjId> = search
+        .exits
+        .iter()
+        .map(|e| object_of(args[e.arg_index]))
+        .collect::<Result<_, Trap>>()?;
+    let token = EarlyExitToken::new();
+    let next = AtomicUsize::new(0);
+    let results: Result<Vec<Vec<SearchHit>>, Trap> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads.max(1) {
+            let base: &Memory = mem;
+            let (token, next, pieces) = (&token, &next, &pieces);
+            let exit_objs = &exit_objs;
+            handles.push(scope.spawn(move || -> Result<Vec<SearchHit>, Trap> {
+                let mut found = Vec::new();
+                loop {
+                    let c = next.fetch_add(1, Ordering::SeqCst);
+                    if c >= pieces.len() || token.cancels(c as i64) {
+                        break;
+                    }
+                    let (start, len) = pieces[c];
+                    let mut piece_args = args.to_vec();
+                    let p_lo = plan.nth_iter_value(lo, step, start);
+                    let p_hi = plan.nth_iter_value(lo, step, start + len);
+                    piece_args[0] = RtVal::I(p_lo);
+                    piece_args[1] = RtVal::I(clamp_hi(plan, p_hi, hi, step, start + len == count));
+                    let mut overlay = OverlayMemory::new(base);
+                    overlay.redirect_private(hit_obj, Obj::I(vec![SEARCH_NO_HIT]), false, 0, 0.0);
+                    for &o in exit_objs.iter() {
+                        overlay.redirect_private(o, base.object(o).clone(), false, 0, 0.0);
+                    }
+                    let mut machine = Machine::new(module, overlay);
+                    machine.call(&plan.chunk_fn, &piece_args)?;
+                    let mut overlay = machine.mem;
+                    let Obj::I(hit) = overlay.take_private(hit_obj) else {
+                        panic!("hit cell type mismatch")
+                    };
+                    if hit[0] != SEARCH_NO_HIT {
+                        token.offer(c as i64);
+                        let exits: Vec<Obj> =
+                            exit_objs.iter().map(|&o| overlay.take_private(o)).collect();
+                        found.push((c, hit[0], exits));
+                        // Every further claim is a later chunk than this
+                        // hit; the poll above ends the loop.
+                    }
+                }
+                Ok(found)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("search worker panicked")).collect()
+    });
+    let hits: Vec<SearchHit> = results?.into_iter().flatten().collect();
+    if let Some((_, hit_iter, exits)) = hits.into_iter().min_by_key(|&(c, _, _)| c) {
+        mem.store_i(hit_obj, 0, hit_iter).map_err(Trap::Mem)?;
+        for (&o, obj) in exit_objs.iter().zip(exits) {
+            *mem.object_mut(o) = obj;
+        }
+    }
+    // No hit anywhere: the cells keep the defaults the rewritten preheader
+    // stored.
     Ok(None)
 }
 
@@ -1043,6 +1166,212 @@ mod tests {
         assert!((t - expect_t).abs() < 1e-6 * expect_t.max(1.0), "{t} vs {expect_t}");
         for (i, (g, e)) in machine.mem.floats(out).iter().zip(&expect_out).enumerate() {
             assert!((g - e).abs() < 1e-6 * e.abs().max(1.0), "out[{i}]: {g} vs {e}");
+        }
+    }
+
+    const FIND_FIRST: &str = "int find(int* a, int x, int n) {
+             int r = n;
+             for (int i = 0; i < n; i++) {
+                 if (a[i] == x) { r = i; break; }
+             }
+             return r;
+         }";
+
+    fn run_search_int(src: &str, fname: &str, data: &[i64], x: i64, threads: usize) -> i64 {
+        let m = compile(src).unwrap();
+        let rs = detect_reductions(&m);
+        assert!(rs.iter().any(|r| r.kind.is_search()), "{rs:?}");
+        let (pm, plan) = parallelize(&m, fname, &rs).unwrap();
+        assert!(plan.search.is_some());
+        let mut mem = Memory::new(&pm);
+        let a = mem.alloc_int(data);
+        let mut machine = Machine::new(&pm, mem);
+        machine.set_handler(handler(&pm, plan, threads));
+        machine
+            .call(fname, &[RtVal::ptr(a), RtVal::I(x), RtVal::I(data.len() as i64)])
+            .unwrap()
+            .unwrap()
+            .as_i()
+    }
+
+    #[test]
+    fn parallel_find_first_matches_sequential() {
+        let n = 9000usize;
+        let data: Vec<i64> = (0..n as i64).map(|i| (i * 7919) % 10007).collect();
+        let x = data[2 * n / 3];
+        let expect = data.iter().position(|&v| v == x).unwrap() as i64;
+        for threads in [1usize, 2, 4, 8] {
+            assert_eq!(
+                run_search_int(FIND_FIRST, "find", &data, x, threads),
+                expect,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_find_first_takes_lowest_indexed_hit() {
+        // The needle occurs many times, straddling chunk boundaries: the
+        // merge must commit the lowest-indexed hit even when later chunks
+        // finish (and offer) first.
+        let mut data = vec![0i64; 8000];
+        for &i in &[137usize, 1500, 3000, 4500, 6000, 7999] {
+            data[i] = 42;
+        }
+        for threads in [1usize, 2, 4, 8] {
+            assert_eq!(
+                run_search_int(FIND_FIRST, "find", &data, 42, threads),
+                137,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_find_first_not_found_keeps_default() {
+        let data = vec![1i64; 5000];
+        for threads in [1usize, 3, 8] {
+            assert_eq!(
+                run_search_int(FIND_FIRST, "find", &data, 7, threads),
+                5000,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_any_of_and_flag_pair() {
+        // Two exit phis (index + flag) exploited together.
+        let src = "int find(int* a, int x, int* flag, int n) {
+                 int r = n;
+                 int found = 0;
+                 for (int i = 0; i < n; i++) {
+                     if (a[i] == x) { r = i; found = 1; break; }
+                 }
+                 flag[0] = found;
+                 return r;
+             }";
+        let m = compile(src).unwrap();
+        let rs = detect_reductions(&m);
+        assert_eq!(rs.len(), 2, "{rs:?}");
+        let (pm, plan) = parallelize(&m, "find", &rs).unwrap();
+        assert_eq!(plan.search.as_ref().unwrap().exits.len(), 2);
+        let mut data = vec![0i64; 6000];
+        data[4321] = 9;
+        for threads in [1usize, 2, 4, 8] {
+            let mut mem = Memory::new(&pm);
+            let a = mem.alloc_int(&data);
+            let flag = mem.alloc_int(&[-1]);
+            let mut machine = Machine::new(&pm, mem);
+            machine.set_handler(handler(&pm, plan.clone(), threads));
+            let r = machine
+                .call("find", &[RtVal::ptr(a), RtVal::I(9), RtVal::ptr(flag), RtVal::I(6000)])
+                .unwrap()
+                .unwrap()
+                .as_i();
+            assert_eq!(r, 4321, "threads={threads}");
+            assert_eq!(machine.mem.ints(flag), &[1], "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_all_of_short_circuit() {
+        let src = "int all_below(float* a, float limit, int n) {
+                 int ok = 1;
+                 for (int i = 0; i < n; i++) {
+                     if (a[i] >= limit) { ok = 0; break; }
+                 }
+                 return ok;
+             }";
+        let m = compile(src).unwrap();
+        let rs = detect_reductions(&m);
+        assert_eq!(rs.len(), 1, "{rs:?}");
+        let (pm, plan) = parallelize(&m, "all_below", &rs).unwrap();
+        for (data, expect) in [
+            (vec![1.0f64; 4000], 1i64), // all below
+            (
+                {
+                    let mut d = vec![1.0f64; 4000];
+                    d[3999] = 7.0;
+                    d
+                },
+                0,
+            ), // violation at the end
+        ] {
+            for threads in [1usize, 2, 4, 8] {
+                let mut mem = Memory::new(&pm);
+                let a = mem.alloc_float(&data);
+                let mut machine = Machine::new(&pm, mem);
+                machine.set_handler(handler(&pm, plan.clone(), threads));
+                let r = machine
+                    .call("all_below", &[RtVal::ptr(a), RtVal::F(5.0), RtVal::I(4000)])
+                    .unwrap()
+                    .unwrap()
+                    .as_i();
+                assert_eq!(r, expect, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_find_min_index_sentinel_search() {
+        let src = "int below(float* a, float bound, int n) {
+                 int r = -1;
+                 for (int i = 0; i < n; i++) {
+                     if (a[i] < bound) { r = i; break; }
+                 }
+                 return r;
+             }";
+        let m = compile(src).unwrap();
+        let rs = detect_reductions(&m);
+        assert_eq!(rs.len(), 1, "{rs:?}");
+        assert_eq!(rs[0].kind, gr_core::ReductionKind::FindMinIndex);
+        let (pm, plan) = parallelize(&m, "below", &rs).unwrap();
+        let mut data: Vec<f64> = (0..7000).map(|i| 10.0 + (i % 17) as f64).collect();
+        data[5555] = -3.0;
+        for threads in [1usize, 2, 4, 8] {
+            let mut mem = Memory::new(&pm);
+            let a = mem.alloc_float(&data);
+            let mut machine = Machine::new(&pm, mem);
+            machine.set_handler(handler(&pm, plan.clone(), threads));
+            let r = machine
+                .call("below", &[RtVal::ptr(a), RtVal::F(0.0), RtVal::I(7000)])
+                .unwrap()
+                .unwrap()
+                .as_i();
+            assert_eq!(r, 5555, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_search_downward_loop() {
+        // Downward iteration: "first" means first in iteration order, not
+        // lowest array index.
+        let src = "int findr(int* a, int x, int n) {
+                 int r = -1;
+                 for (int i = n - 1; i >= 0; i = i + -1) {
+                     if (a[i] == x) { r = i; break; }
+                 }
+                 return r;
+             }";
+        let m = compile(src).unwrap();
+        let rs = detect_reductions(&m);
+        assert!(rs.iter().any(|r| r.kind.is_search()), "{rs:?}");
+        let (pm, plan) = parallelize(&m, "findr", &rs).unwrap();
+        let mut data = vec![0i64; 5000];
+        data[100] = 6;
+        data[4000] = 6; // iteration order visits 4999..0: 4000 comes first
+        for threads in [1usize, 2, 4, 8] {
+            let mut mem = Memory::new(&pm);
+            let a = mem.alloc_int(&data);
+            let mut machine = Machine::new(&pm, mem);
+            machine.set_handler(handler(&pm, plan.clone(), threads));
+            let r = machine
+                .call("findr", &[RtVal::ptr(a), RtVal::I(6), RtVal::I(5000)])
+                .unwrap()
+                .unwrap()
+                .as_i();
+            assert_eq!(r, 4000, "threads={threads}");
         }
     }
 

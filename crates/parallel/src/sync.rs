@@ -1,10 +1,12 @@
 //! Minimal synchronization shim with the `parking_lot` surface this
 //! workspace needs (`Mutex::new` / infallible `lock`), implemented over
-//! `std::sync`. Keeping the API identical lets the overlay and the
-//! "original parallel version" simulations stay byte-for-byte the same if
-//! the real crate is ever dropped in.
+//! `std::sync`, plus the [`EarlyExitToken`] the cancellable search runtime
+//! polls. Keeping the API identical lets the overlay and the "original
+//! parallel version" simulations stay byte-for-byte the same if the real
+//! crate is ever dropped in.
 
 use std::fmt;
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::MutexGuard;
 
 /// A mutex whose `lock` never returns a poison error: a panicked holder
@@ -42,6 +44,51 @@ impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
     }
 }
 
+/// The cancellation token of the speculative search runtime: a shared
+/// monotonically-decreasing "lowest chunk with a hit" register.
+///
+/// Chunks are numbered in iteration order. A worker that finds a hit in
+/// chunk `c` calls [`EarlyExitToken::offer`]`(c)`; workers poll
+/// [`EarlyExitToken::cancels`] before starting a chunk and stop once a
+/// strictly earlier chunk is known to have hit — nothing a later chunk
+/// finds can precede that hit in sequential order. The register only ever
+/// decreases, so a cancelled chunk stays cancelled.
+#[derive(Debug, Default)]
+pub struct EarlyExitToken {
+    /// Lowest chunk index with a hit; `i64::MAX` while none is known.
+    best: AtomicI64,
+}
+
+impl EarlyExitToken {
+    /// A token with no hit recorded.
+    #[must_use]
+    pub fn new() -> EarlyExitToken {
+        EarlyExitToken { best: AtomicI64::new(i64::MAX) }
+    }
+
+    /// Records a hit in chunk `chunk`, keeping the lowest index offered.
+    pub fn offer(&self, chunk: i64) {
+        self.best.fetch_min(chunk, Ordering::SeqCst);
+    }
+
+    /// Whether work on `chunk` is moot: a strictly earlier chunk already
+    /// hit. The chunk holding the current best is *not* cancelled (its own
+    /// hit is the candidate result).
+    #[must_use]
+    pub fn cancels(&self, chunk: i64) -> bool {
+        self.best.load(Ordering::SeqCst) < chunk
+    }
+
+    /// The lowest chunk index with a recorded hit, if any.
+    #[must_use]
+    pub fn winner(&self) -> Option<i64> {
+        match self.best.load(Ordering::SeqCst) {
+            i64::MAX => None,
+            c => Some(c),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,5 +116,35 @@ mod tests {
             }
         });
         assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn token_keeps_lowest_offer() {
+        let t = EarlyExitToken::new();
+        assert_eq!(t.winner(), None);
+        assert!(!t.cancels(0));
+        t.offer(7);
+        t.offer(12);
+        t.offer(3);
+        assert_eq!(t.winner(), Some(3));
+        assert!(t.cancels(4), "later chunks are moot");
+        assert!(!t.cancels(3), "the best chunk itself is not cancelled");
+        assert!(!t.cancels(1), "earlier chunks must still run");
+    }
+
+    #[test]
+    fn token_concurrent_offers_keep_minimum() {
+        let t = EarlyExitToken::new();
+        std::thread::scope(|s| {
+            for k in 0..8i64 {
+                let t = &t;
+                s.spawn(move || {
+                    for j in 0..100 {
+                        t.offer(k * 100 + j + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(t.winner(), Some(1));
     }
 }

@@ -13,14 +13,16 @@
 //! * [`frontend`] — a mini-C compiler producing that IR,
 //! * [`analysis`] — dominance, control dependence, loops, affinity, purity,
 //! * [`core`] — **the paper's contribution**: constraint language, solver,
-//!   the pluggable idiom registry with its four registered idioms
+//!   the pluggable idiom registry with its seven registered idioms
 //!   (`scalar-reduction`, `histogram-reduction`, `prefix-scan`,
-//!   `argmin-argmax`), post-checks,
+//!   `argmin-argmax`, and the early-exit search family `find-first` /
+//!   `any-all-of` / `find-min-index-early`), post-checks,
 //! * [`baselines`] — Polly-like and icc-like comparison detectors,
 //! * [`interp`] — profiling interpreter (the evaluation substrate),
-//! * [`parallel`] — outlining + privatizing parallel runtime (privatized
-//!   partials, element-wise histogram merge, two-pass block scans,
-//!   tie-break-exact argmin/argmax merges),
+//! * [`parallel`] — outlining + parallel runtime (privatized partials,
+//!   element-wise histogram merge, two-pass block scans, tie-break-exact
+//!   argmin/argmax merges, and the cancellable speculative search
+//!   executor for early-exit loops),
 //! * [`benchsuite`] — the 40 NAS/Parboil/Rodinia miniatures plus the
 //!   idiom micro-workloads.
 //!
