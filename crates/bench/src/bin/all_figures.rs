@@ -5,10 +5,15 @@
 //!
 //! `--quick` skips the figure harnesses and only emits the JSON (the CI
 //! bench-smoke mode). `--out <path>` overrides the JSON location.
-//! `--baseline <path>` compares the total solver steps against a
-//! checked-in baseline document and exits nonzero on a >20% regression —
-//! the CI guard against silent solver-cost creep (wall time is too noisy
-//! on shared runners; step counts are deterministic).
+//! `--baseline <path>` compares against a checked-in baseline document
+//! and exits nonzero when **any suite's** solver steps regress by more
+//! than 20%, when a suite disappears, or when the total regresses — the
+//! CI guard against silent solver-cost creep (wall time is too noisy on
+//! shared runners; step counts are deterministic). The comparison is
+//! printed as a baseline-vs-current diff table, and appended to the
+//! GitHub job summary when `GITHUB_STEP_SUMMARY` is set.
+//! `--write-baseline` regenerates the baseline file deliberately (after
+//! intended spec growth) instead of checking against it.
 
 use gr_bench::stats::{corpus, measure_suite_stats, render_json};
 
@@ -17,14 +22,82 @@ use gr_bench::stats::{corpus, measure_suite_stats, render_json};
 /// without serde).
 fn total_solver_steps(json: &str) -> Option<usize> {
     let total = json.split("\"total\"").nth(1)?;
-    let after = total.split("\"solver_steps\":").nth(1)?;
+    parse_steps_after(total)
+}
+
+/// Per-suite `(name, solver_steps)` rows of a `BENCH_detection.json`
+/// document, in document order.
+fn suite_steps(json: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for seg in json.split("{\"suite\": \"").skip(1) {
+        let Some(name_end) = seg.find('"') else { continue };
+        let Some(steps) = parse_steps_after(seg) else { continue };
+        out.push((seg[..name_end].to_string(), steps));
+    }
+    out
+}
+
+fn parse_steps_after(seg: &str) -> Option<usize> {
+    let after = seg.split("\"solver_steps\":").nth(1)?;
     let digits: String = after.trim_start().chars().take_while(char::is_ascii_digit).collect();
     digits.parse().ok()
+}
+
+/// Builds the baseline-vs-current markdown diff table and the list of
+/// failures (suite regressed >20%, suite disappeared, total regressed).
+fn diff_report(baseline: &str, current: &str) -> (String, Vec<String>) {
+    use std::fmt::Write as _;
+    let base_rows = suite_steps(baseline);
+    let cur_rows = suite_steps(current);
+    let mut failures = Vec::new();
+    let mut table = String::from(
+        "| suite | baseline steps | current steps | delta | status |\n\
+         |-------|---------------:|--------------:|------:|--------|\n",
+    );
+    for (name, base) in &base_rows {
+        let limit = base + base / 5;
+        match cur_rows.iter().find(|(n, _)| n == name) {
+            None => {
+                let _ = writeln!(table, "| {name} | {base} | — | — | **MISSING** |");
+                failures.push(format!("suite `{name}` disappeared from the current document"));
+            }
+            Some((_, cur)) => {
+                #[allow(clippy::cast_precision_loss)]
+                let delta = (*cur as f64 - *base as f64) / (*base).max(1) as f64 * 100.0;
+                let status = if *cur > limit { "**FAIL (+20% budget)**" } else { "ok" };
+                let _ = writeln!(table, "| {name} | {base} | {cur} | {delta:+.1}% | {status} |");
+                if *cur > limit {
+                    failures.push(format!(
+                        "suite `{name}` regressed: {cur} steps > {limit} (+20% over {base})"
+                    ));
+                }
+            }
+        }
+    }
+    for (name, cur) in &cur_rows {
+        if !base_rows.iter().any(|(n, _)| n == name) {
+            let _ = writeln!(table, "| {name} | — | {cur} | — | new suite (re-baseline) |");
+        }
+    }
+    if let (Some(base), Some(cur)) = (total_solver_steps(baseline), total_solver_steps(current)) {
+        let limit = base + base / 5;
+        let status = if cur > limit { "**FAIL (+20% budget)**" } else { "ok" };
+        #[allow(clippy::cast_precision_loss)]
+        let delta = (cur as f64 - base as f64) / base.max(1) as f64 * 100.0;
+        let _ = writeln!(table, "| **total** | {base} | {cur} | {delta:+.1}% | {status} |");
+        if cur > limit {
+            failures.push(format!("total regressed: {cur} steps > {limit} (+20% over {base})"));
+        }
+    } else {
+        failures.push("cannot parse total solver_steps from baseline or current JSON".to_string());
+    }
+    (table, failures)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let write_baseline = args.iter().any(|a| a == "--write-baseline");
     let flag_value = |name: &str| {
         args.iter()
             .position(|a| a == name)
@@ -61,6 +134,18 @@ fn main() {
     }
     print!("{json}");
 
+    if write_baseline {
+        let path = baseline_path.unwrap_or("BENCH_detection_baseline.json");
+        match std::fs::write(path, &json) {
+            Ok(()) => println!("re-pinned baseline {path} (commit it deliberately)"),
+            Err(e) => {
+                eprintln!("cannot write baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     if let Some(path) = baseline_path {
         let baseline = match std::fs::read_to_string(path) {
             Ok(s) => s,
@@ -69,20 +154,24 @@ fn main() {
                 std::process::exit(1);
             }
         };
-        let (Some(base), Some(now)) = (total_solver_steps(&baseline), total_solver_steps(&json))
-        else {
-            eprintln!("cannot parse total solver_steps from baseline or current JSON");
-            std::process::exit(1);
-        };
-        let limit = base + base / 5;
-        println!("baseline check: {now} solver steps vs baseline {base} (limit {limit}, +20%)");
-        if now > limit {
+        let (table, failures) = diff_report(&baseline, &json);
+        println!("## Solver-step baseline check\n\n{table}");
+        if let Ok(summary) = std::env::var("GITHUB_STEP_SUMMARY") {
+            use std::io::Write as _;
+            if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(summary) {
+                let _ = writeln!(f, "## Solver-step baseline check\n\n{table}");
+            }
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("baseline check failed: {f}");
+            }
             eprintln!(
-                "solver-step regression: {now} exceeds the +20% budget over the \
-                 checked-in baseline ({base}); re-baseline deliberately if the \
-                 spec growth is intended"
+                "re-baseline deliberately with `all_figures --quick --write-baseline` \
+                 if the spec growth is intended"
             );
             std::process::exit(1);
         }
+        println!("baseline check: every suite within the +20% solver-step budget");
     }
 }

@@ -21,9 +21,12 @@ pub struct DetectionRow {
     pub scan: usize,
     /// Argmin/argmax reductions found by the constraint system.
     pub arg: usize,
-    /// Early-exit searches (find-first, any-of/all-of, find-min-index)
-    /// found by the constraint system.
+    /// Early-exit searches (find-first, any-of/all-of, find-min-index,
+    /// find-last) found by the constraint system.
     pub search: usize,
+    /// Speculative folds (fold-until-sentinel) found by the constraint
+    /// system.
+    pub fold_until: usize,
     /// Reductions found by the icc model.
     pub icc: usize,
     /// Reduction SCoPs found by the Polly model.
@@ -49,6 +52,7 @@ pub fn measure_detection(p: &ProgramDef) -> DetectionRow {
     let scan = ours.iter().filter(|r| r.kind.is_scan()).count();
     let arg = ours.iter().filter(|r| r.kind.is_arg()).count();
     let search = ours.iter().filter(|r| r.kind.is_search()).count();
+    let fold_until = ours.iter().filter(|r| r.kind.is_fold_until()).count();
     let icc = icc_detect(&module).len();
     let polly = polly_detect(&module);
     DetectionRow {
@@ -58,6 +62,7 @@ pub fn measure_detection(p: &ProgramDef) -> DetectionRow {
         scan,
         arg,
         search,
+        fold_until,
         icc,
         polly_reductions: polly.reduction_scop_count(),
         scops: polly.scop_count(),

@@ -1,13 +1,16 @@
 //! Idiom micro-workloads: small kernels exercising the registry idioms
 //! that the 40 paper miniatures do not isolate — prefix scans,
-//! argmin/argmax, and the early-exit search group (find-first, any-of,
-//! find-min-index) — so detection coverage and parallel speedup of the
-//! new exploitation templates are directly measurable.
+//! argmin/argmax, the early-exit search group (find-first, any-of,
+//! find-min-index, find-last) and the speculative fold
+//! (fold-until-sentinel) — so detection coverage and parallel speedup of
+//! the new exploitation templates are directly measurable.
 //!
 //! The search workloads stress both regimes of the cancellable runtime:
 //! `search-find-key` misses (the worst case, a full parallel scan) while
 //! `search-any-hit` and `search-first-below` hit mid-array (speculation
-//! past the hit is cancelled and discarded).
+//! past the hit is cancelled and discarded). `fold-sum-until` hits deep
+//! in the array, so most chunks contribute partials and the tail is
+//! cancelled; `search-find-last` scans from the high end.
 //!
 //! The programs live in their own [`Suite::Micro`] so the paper-calibrated
 //! totals over the 40 NAS/Parboil/Rodinia programs stay untouched.
@@ -19,8 +22,9 @@ use gr_interp::memory::Memory;
 use gr_interp::Machine;
 use std::time::{Duration, Instant};
 
-/// The micro suite: one integer scan, one float scan, one argmin, and the
-/// three early-exit search kernels.
+/// The micro suite: one integer scan, one float scan, one argmin, the
+/// three early-exit search kernels, the speculative fold, and the
+/// high-end scan.
 #[must_use]
 pub fn programs() -> Vec<ProgramDef> {
     vec![
@@ -167,6 +171,58 @@ pub fn programs() -> Vec<ProgramDef> {
                 }
             },
         },
+        ProgramDef {
+            name: "fold-sum-until",
+            suite: Suite::Micro,
+            // The speculative fold: checksum everything before the
+            // sentinel. The `i % m` data places the first occurrence of
+            // `m - 1` at index `m - 1` — five sixths into the array — so
+            // most chunks contribute partials and only the tail is
+            // cancelled speculation.
+            source: "void sumuntil(int* a, int* out, int stop, int n) {
+                         int s = 0;
+                         for (int i = 0; i < n; i++) {
+                             if (a[i] == stop) break;
+                             s = s + a[i];
+                         }
+                         out[0] = s;
+                     }",
+            paper: Paper::default(),
+            workload: |scale| {
+                let n = 60_000 * scale;
+                let m = (50_000 * scale) as i64;
+                Workload {
+                    arrays: vec![iarr(n, Init::ModI(m)), iarr(1, Init::Zero)],
+                    calls: vec![call(
+                        "sumuntil",
+                        vec![Arg::A(0), Arg::A(1), Arg::I(m - 1), Arg::I(n as i64)],
+                    )],
+                }
+            },
+        },
+        ProgramDef {
+            name: "search-find-last",
+            suite: Suite::Micro,
+            // Scanning from the high end: the last occurrence of a key.
+            source: "void findlast(int* a, int* out, int key, int n) {
+                         int r = -1;
+                         for (int i = n - 1; i >= 0; i = i + -1) {
+                             if (a[i] == key) { r = i; break; }
+                         }
+                         out[0] = r;
+                     }",
+            paper: Paper::default(),
+            workload: |scale| {
+                let n = 60_000 * scale;
+                Workload {
+                    arrays: vec![iarr(n, Init::RandI(0, 128)), iarr(1, Init::Zero)],
+                    calls: vec![call(
+                        "findlast",
+                        vec![Arg::A(0), Arg::A(1), Arg::I(77), Arg::I(n as i64)],
+                    )],
+                }
+            },
+        },
     ]
 }
 
@@ -180,6 +236,8 @@ pub fn kernel_of(name: &str) -> &'static str {
         "search-find-key" => "findkey",
         "search-any-hit" => "anyhit",
         "search-first-below" => "below",
+        "fold-sum-until" => "sumuntil",
+        "search-find-last" => "findlast",
         other => panic!("unknown micro program `{other}`"),
     }
 }
@@ -290,6 +348,8 @@ mod tests {
         assert_eq!(kinds[3].1, vec![ReductionKind::FindFirst], "{kinds:?}");
         assert_eq!(kinds[4].1, vec![ReductionKind::AnyOf], "{kinds:?}");
         assert_eq!(kinds[5].1, vec![ReductionKind::FindMinIndex], "{kinds:?}");
+        assert_eq!(kinds[6].1, vec![ReductionKind::FoldUntil], "{kinds:?}");
+        assert_eq!(kinds[7].1, vec![ReductionKind::FindLast], "{kinds:?}");
     }
 
     #[test]

@@ -47,9 +47,9 @@ fn main() -> ExitCode {
                 for p in gr_benchsuite::suite_programs(suite) {
                     let row = gr_benchsuite::measure::measure_detection(&p);
                     println!(
-                        "{:<18} scalar={:<2} histogram={:<2} scan={:<2} arg={:<2} search={:<2} icc={:<2} polly-red={:<2} scops={}",
+                        "{:<18} scalar={:<2} histogram={:<2} scan={:<2} arg={:<2} search={:<2} fold-until={:<2} icc={:<2} polly-red={:<2} scops={}",
                         row.name, row.scalar, row.histogram, row.scan, row.arg, row.search,
-                        row.icc, row.polly_reductions, row.scops
+                        row.fold_until, row.icc, row.polly_reductions, row.scops
                     );
                 }
             }
@@ -94,9 +94,13 @@ fn main() -> ExitCode {
                     let registry = gr_core::IdiomRegistry::with_default_idioms();
                     let mut total_shared = 0usize;
                     let mut total_unshared = 0usize;
+                    let mut rs: Vec<gr_core::Reduction> = Vec::new();
                     for func in &module.functions {
                         let analyses = gr_analysis::Analyses::new(&module, func);
                         let ctx = gr_core::atoms::MatchCtx::new(&module, func, &analyses);
+                        // Collected here so the refusal report below does
+                        // not need another full detection pass.
+                        rs.extend(registry.detect_in_function(&ctx));
                         let shared = registry.stats_report(&ctx, true);
                         let unshared = registry.stats_report(&ctx, false);
                         println!("{}:", func.name);
@@ -131,6 +135,54 @@ fn main() -> ExitCode {
                             "module total: {total_shared} steps (unshared: {total_unshared}, {:.2}x)",
                             total_unshared as f64 / total_shared.max(1) as f64
                         );
+                    }
+                    // Exploitation refusals: which outline refusal fired,
+                    // per idiom kind — makes coverage gaps (detected but
+                    // not exploitable) visible from the CLI. Outlining
+                    // targets one loop at a time, so reductions are
+                    // grouped per (function, header): a function with two
+                    // independent reduction loops is not a refusal.
+                    let mut refusals: Vec<(String, String, usize)> = Vec::new();
+                    let mut exploited = 0usize;
+                    let mut loops: Vec<(&str, gr_ir::BlockId)> = Vec::new();
+                    for r in &rs {
+                        if !loops.contains(&(r.function.as_str(), r.header)) {
+                            loops.push((r.function.as_str(), r.header));
+                        }
+                    }
+                    for (fname, header) in loops {
+                        let group: Vec<gr_core::Reduction> = rs
+                            .iter()
+                            .filter(|r| r.function == fname && r.header == header)
+                            .cloned()
+                            .collect();
+                        match gr_parallel::parallelize(&module, fname, &group) {
+                            Ok(_) => exploited += group.len(),
+                            Err(e) => {
+                                for r in &group {
+                                    let kind = r.kind.to_string();
+                                    let err = e.to_string();
+                                    match refusals
+                                        .iter_mut()
+                                        .find(|(k, m, _)| *k == kind && *m == err)
+                                    {
+                                        Some((_, _, n)) => *n += 1,
+                                        None => refusals.push((kind, err, 1)),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if refusals.is_empty() {
+                        if exploited > 0 {
+                            println!("exploitation: all {exploited} detected reduction(s) outline");
+                        }
+                    } else {
+                        println!("exploitation refusals ({exploited} exploited):");
+                        refusals.sort();
+                        for (kind, err, n) in &refusals {
+                            println!("  {kind:<16} x{n}  {err}");
+                        }
                     }
                     ExitCode::SUCCESS
                 }
@@ -185,8 +237,9 @@ fn main() -> ExitCode {
                             );
                             match &plan.search {
                                 Some(s) => println!(
-                                    "  early-exit search: {} exit cell(s), cancellable speculative schedule",
-                                    s.exits.len()
+                                    "  early-exit speculative: {} exit cell(s), {} fold cell(s), cancellable schedule",
+                                    s.exits.len(),
+                                    s.folds.len()
                                 ),
                                 None => println!(
                                     "  {} scalar accumulator(s), {} histogram(s), {} scan(s), {} argmin/argmax pair(s), {} other written object(s)",

@@ -427,6 +427,12 @@ pub enum Atom {
         /// Required constant.
         value: i64,
     },
+    /// The value is a *negative* integer constant. Pins downward
+    /// iteration for find-last: a loop scanning from the high end carries
+    /// a known negative induction step, which is what distinguishes "the
+    /// last matching index" from find-first's "first matching index"
+    /// purely in the constraint language.
+    ConstIntNegative(Label),
 }
 
 impl Atom {
@@ -440,6 +446,7 @@ impl Atom {
             Atom::Opcode { l, .. } | Atom::CmpPredIs { l, .. } | Atom::IsConstInt { l, .. } => {
                 vec![*l]
             }
+            Atom::ConstIntNegative(l) => vec![*l],
             Atom::LoopExitEdges { header, .. } => vec![*header],
             Atom::PureInLoop { header } => vec![*header],
             Atom::OnlyTerminator { block } => vec![*block],
@@ -761,6 +768,9 @@ impl Atom {
             Atom::IsConstInt { l, value } => {
                 matches!(ctx.func.value(get(*l)).kind, ValueKind::ConstInt(c) if c == *value)
             }
+            Atom::ConstIntNegative(l) => {
+                matches!(ctx.func.value(get(*l)).kind, ValueKind::ConstInt(c) if c < 0)
+            }
         }
     }
 
@@ -927,6 +937,13 @@ impl Atom {
             Atom::IsConstInt { l, value } if *l == target => {
                 Some(ctx.const_ints.get(value).cloned().unwrap_or_default())
             }
+            Atom::ConstIntNegative(l) if *l == target => Some(
+                ctx.const_ints
+                    .iter()
+                    .filter(|(&c, _)| c < 0)
+                    .flat_map(|(_, vs)| vs.iter().copied())
+                    .collect(),
+            ),
             _ => None,
         }
     }
@@ -1024,6 +1041,9 @@ impl Atom {
             Atom::IsConstInt { l, value } if *l == target => {
                 Some(ctx.const_ints.get(value).map_or(0, Vec::len))
             }
+            Atom::ConstIntNegative(l) if *l == target => {
+                Some(ctx.const_ints.iter().filter(|(&c, _)| c < 0).map(|(_, vs)| vs.len()).sum())
+            }
             _ => None,
         }
     }
@@ -1044,6 +1064,7 @@ impl Atom {
             | Atom::Opcode { .. }
             | Atom::CmpPredIs { .. }
             | Atom::IsConstInt { .. }
+            | Atom::ConstIntNegative(_)
             | Atom::PhiArity { .. } => 0,
             Atom::OperandIs { .. }
             | Atom::OperandOf { .. }

@@ -59,7 +59,8 @@
 //! assert_eq!(
 //!     registry.names(),
 //!     ["histogram-reduction", "scalar-reduction", "prefix-scan", "argmin-argmax",
-//!      "find-first", "any-all-of", "find-min-index-early"],
+//!      "find-first", "any-all-of", "find-min-index-early", "fold-until-sentinel",
+//!      "find-last"],
 //! );
 //! // A custom entry: any `Spec` built with `SpecBuilder` plus hooks.
 //! let scan = gr_core::spec::scan::idiom();

@@ -101,6 +101,14 @@ pub enum ReductionKind {
     /// Sentinel-guarded search: the first index whose candidate wins an
     /// ordering comparison against a loop-invariant sentinel.
     FindMinIndex,
+    /// Early-exit search scanning from the high end: a downward counted
+    /// loop breaking at its first (i.e. the array's last) match.
+    FindLast,
+    /// Speculative fold: a loop that both accumulates a scalar and breaks
+    /// early on a sentinel test independent of the accumulator
+    /// ("sum-until-sentinel"). Exploited by folding private partials per
+    /// chunk and replaying them only up to the lowest-indexed hit.
+    FoldUntil,
 }
 
 impl ReductionKind {
@@ -129,8 +137,8 @@ impl ReductionKind {
     }
 
     /// Whether this is an early-exit search idiom (find-first, any-of,
-    /// all-of, find-min-index) — exploited by the cancellable speculative
-    /// runtime rather than a privatizing fold.
+    /// all-of, find-min-index, find-last) — exploited by the cancellable
+    /// speculative runtime rather than a privatizing fold.
     #[must_use]
     pub fn is_search(self) -> bool {
         matches!(
@@ -139,7 +147,23 @@ impl ReductionKind {
                 | ReductionKind::AnyOf
                 | ReductionKind::AllOf
                 | ReductionKind::FindMinIndex
+                | ReductionKind::FindLast
         )
+    }
+
+    /// Whether this is a speculative fold (accumulator carried across a
+    /// two-exit loop).
+    #[must_use]
+    pub fn is_fold_until(self) -> bool {
+        self == ReductionKind::FoldUntil
+    }
+
+    /// Whether this reduction executes on the speculative early-exit
+    /// schedule (searches and speculative folds): chunks past the
+    /// sequential exit point may run and be discarded.
+    #[must_use]
+    pub fn is_speculative(self) -> bool {
+        self.is_search() || self.is_fold_until()
     }
 }
 
@@ -155,6 +179,8 @@ impl fmt::Display for ReductionKind {
             ReductionKind::AnyOf => "any-of",
             ReductionKind::AllOf => "all-of",
             ReductionKind::FindMinIndex => "find-min-index",
+            ReductionKind::FindLast => "find-last",
+            ReductionKind::FoldUntil => "fold-until",
         })
     }
 }
@@ -252,8 +278,14 @@ mod tests {
         assert!(ReductionKind::AnyOf.is_search());
         assert!(ReductionKind::AllOf.is_search());
         assert!(ReductionKind::FindMinIndex.is_search());
+        assert!(ReductionKind::FindLast.is_search());
         assert!(!ReductionKind::Scalar.is_search());
         assert!(!ReductionKind::FindFirst.is_arg());
+        assert!(ReductionKind::FoldUntil.is_fold_until());
+        assert!(!ReductionKind::FoldUntil.is_search());
+        assert!(ReductionKind::FoldUntil.is_speculative());
+        assert!(ReductionKind::FindLast.is_speculative());
+        assert!(!ReductionKind::Scan.is_speculative());
     }
 
     #[test]
@@ -265,5 +297,7 @@ mod tests {
         assert_eq!(ReductionKind::AnyOf.to_string(), "any-of");
         assert_eq!(ReductionKind::AllOf.to_string(), "all-of");
         assert_eq!(ReductionKind::FindMinIndex.to_string(), "find-min-index");
+        assert_eq!(ReductionKind::FindLast.to_string(), "find-last");
+        assert_eq!(ReductionKind::FoldUntil.to_string(), "fold-until");
     }
 }

@@ -13,7 +13,8 @@
 //! loop exit, so the exit block merges two edges: the header's induction
 //! exit and the break. The prefix binds:
 //!
-//! * the full counted-loop 12-tuple of [`add_for_loop`] **minus** the
+//! * the full counted-loop 12-tuple of
+//!   [`add_for_loop`](crate::spec::forloop::add_for_loop) **minus** the
 //!   latch-postdominates-body atom (which is exactly what makes the
 //!   single-exit prefix reject `break`),
 //! * `guard_blk` / `guard_jump` / `exit_cond` — the in-loop conditional

@@ -10,7 +10,9 @@
 //! * [`scan`] — prefix sums / scans (running value stored per iteration),
 //! * [`argminmax`] — conditional min/max with a carried argument index,
 //! * [`search`] — the early-exit family: find-first, any-of/all-of,
-//!   find-min-index-early,
+//!   find-min-index-early, find-last (scanning from the high end),
+//! * [`foldexit`] — the speculative fold: fold-until-sentinel, an
+//!   accumulator carried across a two-exit loop,
 //! * [`registry`] — the pluggable [`registry::IdiomRegistry`] the generic
 //!   detection driver iterates.
 //!
@@ -29,6 +31,7 @@
 
 pub mod argminmax;
 pub mod earlyexit;
+pub mod foldexit;
 pub mod forloop;
 pub mod histogram;
 pub mod registry;
@@ -38,12 +41,15 @@ pub mod search;
 
 pub use argminmax::{argminmax_spec, ArgMinMaxLabels};
 pub use earlyexit::{add_for_loop_early_exit, for_loop_early_exit_spec, EarlyExitLabels};
+pub use foldexit::{fold_until_spec, FoldExitLabels};
 pub use forloop::{add_for_loop, for_loop_spec, ForLoopLabels};
 pub use histogram::{histogram_spec, HistogramLabels};
 pub use registry::{IdiomEntry, IdiomRegistry, RegistryError};
 pub use scalar::{scalar_reduction_spec, ScalarLabels};
 pub use scan::{scan_spec, ScanLabels};
-pub use search::{any_all_of_spec, find_first_spec, find_min_index_spec, SearchLabels};
+pub use search::{
+    any_all_of_spec, find_first_spec, find_last_spec, find_min_index_spec, SearchLabels,
+};
 
 use crate::atoms::Atom;
 use crate::constraint::{Label, SpecBuilder};

@@ -17,9 +17,10 @@
 //! * an optional **finalize** pass over all of the idiom's reports in one
 //!   function (e.g. dropping nested duplicates).
 //!
-//! [`IdiomRegistry::with_default_idioms`] registers the seven built-in
+//! [`IdiomRegistry::with_default_idioms`] registers the nine built-in
 //! idioms (scalar, histogram, scan, argmin/argmax, find-first,
-//! any-of/all-of, find-min-index-early); [`IdiomRegistry::empty`] plus
+//! any-of/all-of, find-min-index-early, fold-until-sentinel, find-last);
+//! [`IdiomRegistry::empty`] plus
 //! [`IdiomRegistry::register`] assemble custom detector sets. The generic
 //! driver in [`crate::detect`] iterates whatever is registered — it has no
 //! knowledge of any individual idiom.
@@ -32,7 +33,7 @@
 //! ([`add_for_loop`](crate::spec::forloop::add_for_loop), under the four
 //! fold idioms) and the 17-label early-exit loop
 //! ([`add_for_loop_early_exit`](crate::spec::earlyexit::add_for_loop_early_exit),
-//! under the three search idioms). [`IdiomRegistry::detect_in_function`]
+//! under the four search idioms and the speculative fold). [`IdiomRegistry::detect_in_function`]
 //! solves each distinct prefix **once per function**, memoized in a
 //! [`PrefixCache`] keyed by the prefix's structural fingerprint, and
 //! resumes every entry's search from the cached partial assignments with
@@ -155,8 +156,9 @@ impl IdiomRegistry {
     }
 
     /// The default registry: histogram, scalar, scan, argmin/argmax on the
-    /// for-loop prefix, plus the early-exit search family (find-first,
-    /// any-of/all-of, find-min-index-early) on the two-exit prefix.
+    /// for-loop prefix, plus the early-exit family (find-first,
+    /// any-of/all-of, find-min-index-early, fold-until-sentinel,
+    /// find-last) on the two-exit prefix.
     #[must_use]
     pub fn with_default_idioms() -> IdiomRegistry {
         let mut r = IdiomRegistry::empty();
@@ -168,6 +170,8 @@ impl IdiomRegistry {
             crate::spec::search::find_first_idiom(),
             crate::spec::search::any_all_of_idiom(),
             crate::spec::search::find_min_index_idiom(),
+            crate::spec::foldexit::idiom(),
+            crate::spec::search::find_last_idiom(),
         ] {
             r.register(e).expect("default idiom names are unique");
         }
@@ -340,7 +344,7 @@ mod tests {
     }
 
     #[test]
-    fn default_registry_has_seven_idioms() {
+    fn default_registry_has_nine_idioms() {
         let r = IdiomRegistry::with_default_idioms();
         assert_eq!(
             r.names(),
@@ -351,13 +355,16 @@ mod tests {
                 "argmin-argmax",
                 "find-first",
                 "any-all-of",
-                "find-min-index-early"
+                "find-min-index-early",
+                "fold-until-sentinel",
+                "find-last"
             ]
         );
-        assert_eq!(r.len(), 7);
+        assert_eq!(r.len(), 9);
         assert!(!r.is_empty());
         assert!(r.get("prefix-scan").is_some());
         assert!(r.get("find-first").is_some());
+        assert!(r.get("fold-until-sentinel").is_some());
         assert!(r.get("no-such-idiom").is_none());
     }
 

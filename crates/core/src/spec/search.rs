@@ -53,7 +53,7 @@ use crate::spec::earlyexit::{add_for_loop_early_exit, EarlyExitLabels};
 use crate::spec::registry::IdiomEntry;
 use gr_ir::{CmpPred, Opcode, ValueId, ValueKind};
 
-/// Labels shared by the three search idioms.
+/// Labels shared by the search idioms.
 #[derive(Debug, Clone, Copy)]
 pub struct SearchLabels {
     /// The early-exit loop sub-idiom.
@@ -66,19 +66,20 @@ pub struct SearchLabels {
     pub res: Label,
 }
 
-/// Adds the shared search core: candidate, needle, and the result phi at
-/// the loop exit. The caller pins the result arms and the predicate class.
-fn add_search_core(b: &mut SpecBuilder) -> SearchLabels {
+/// Adds the shared exit-guard core on top of the early-exit prefix: the
+/// exit comparison tests a per-iteration candidate against a
+/// loop-invariant needle, in either operand order, and the candidate
+/// depends on nothing but inputs, invariants, and the iterator in address
+/// context — the same discipline as every idiom input. Shared between the
+/// search family and the speculative folds
+/// ([`crate::spec::foldexit`]), which is exactly what makes the fold's
+/// early exit decidable per chunk: the guard never reads the accumulator.
+pub(crate) fn add_exit_guard(b: &mut SpecBuilder) -> (EarlyExitLabels, Label, Label) {
     let ee = add_for_loop_early_exit(b);
     let fl = ee.for_loop;
     let cand = b.label("cand");
     let needle = b.label("needle");
-    let res = b.label("res");
 
-    // The exit condition compares a per-iteration candidate against a
-    // loop-invariant needle, in either operand order. The candidate must
-    // not depend on anything but inputs, invariants, and the iterator in
-    // address context — the same discipline as every idiom input.
     b.atom(Atom::OperandOf { inst: ee.exit_cond, value: cand });
     b.atom(Atom::InLoopInst { inst: cand, header: fl.header });
     b.atom(Atom::OperandOf { inst: ee.exit_cond, value: needle });
@@ -101,6 +102,16 @@ fn add_search_core(b: &mut SpecBuilder) -> SearchLabels {
         allowed: vec![],
     });
 
+    (ee, cand, needle)
+}
+
+/// Adds the shared search core: the exit guard plus the result phi at the
+/// loop exit. The caller pins the result arms and the predicate class.
+fn add_search_core(b: &mut SpecBuilder) -> SearchLabels {
+    let (ee, cand, needle) = add_exit_guard(b);
+    let fl = ee.for_loop;
+    let res = b.label("res");
+
     // The search result: a phi at the loop exit merging the two exit
     // edges. The arms are pinned by the individual idioms.
     b.atom(Atom::BlockOf { inst: res, block: fl.exit });
@@ -117,6 +128,16 @@ fn add_search_core(b: &mut SpecBuilder) -> SearchLabels {
 pub fn find_first_spec() -> (Spec, SearchLabels) {
     let mut b = SpecBuilder::new("find-first");
     let s = add_search_core(&mut b);
+    pin_index_result(&mut b, &s);
+    (b.finish(), s)
+}
+
+/// Pins the index-result shape shared by find-first and find-last: the
+/// result's break arm is the loop iterator, its default is invariant, and
+/// the exit comparison is an equality-class test (`Eq`/`Ne`). Kept in one
+/// place so the two idioms cannot silently diverge — they differ only in
+/// the induction step's sign.
+fn pin_index_result(b: &mut SpecBuilder, s: &SearchLabels) {
     let fl = s.early_exit.for_loop;
     let res_default = b.label("res_default");
     b.atom(Atom::PhiIncoming { phi: s.res, value: fl.iterator, block: s.early_exit.break_blk });
@@ -126,7 +147,6 @@ pub fn find_first_spec() -> (Spec, SearchLabels) {
         Constraint::Atom(Atom::CmpPredIs { l: s.early_exit.exit_cond, pred: CmpPred::Eq }),
         Constraint::Atom(Atom::CmpPredIs { l: s.early_exit.exit_cond, pred: CmpPred::Ne }),
     ]);
-    (b.finish(), s)
 }
 
 /// Builds the any-of/all-of specification: both result arms are pinned
@@ -150,6 +170,20 @@ pub fn any_all_of_spec() -> (Spec, SearchLabels) {
             Constraint::Atom(Atom::IsConstInt { l: res_default, value: 1 }),
         ]),
     ]);
+    (b.finish(), s)
+}
+
+/// Builds the find-last specification: find-first scanning from the high
+/// end. Structurally it is the same equality search — break arm pinned to
+/// the iterator, invariant default — but [`Atom::ConstIntNegative`] pins
+/// the induction step to a known negative constant, so the first hit *in
+/// iteration order* is the array's last matching index.
+#[must_use]
+pub fn find_last_spec() -> (Spec, SearchLabels) {
+    let mut b = SpecBuilder::new("find-last");
+    let s = add_search_core(&mut b);
+    pin_index_result(&mut b, &s);
+    b.atom(Atom::ConstIntNegative(s.early_exit.for_loop.iter_step));
     (b.finish(), s)
 }
 
@@ -197,6 +231,14 @@ pub fn find_min_index_idiom() -> IdiomEntry {
         .with_finalize(finalize)
 }
 
+/// The find-last idiom's registry entry.
+#[must_use]
+pub fn find_last_idiom() -> IdiomEntry {
+    let (spec, _) = find_last_spec();
+    IdiomEntry::new("find-last", spec, anchor, post_check_find_last, classify_find_last)
+        .with_finalize(finalize)
+}
+
 fn anchor(spec: &Spec, s: &[ValueId]) -> (ValueId, ValueId) {
     (s[spec.label("res").index()], s[spec.label("exit_cond").index()])
 }
@@ -228,10 +270,34 @@ pub(crate) fn normalized_break_pred(
     Some(if jops[1] == break_label { pred } else { pred.negated() })
 }
 
+/// Whether the bound induction step is a known negative constant — the
+/// find-last shape. Steps that are positive or unknown at compile time
+/// stay with find-first.
+fn step_is_negative_const(ctx: &MatchCtx<'_>, spec: &Spec, s: &[ValueId]) -> bool {
+    matches!(
+        ctx.func.value(s[spec.label("iter_step").index()]).kind,
+        ValueKind::ConstInt(c) if c < 0
+    )
+}
+
 fn post_check_find_first(ctx: &MatchCtx<'_>, spec: &Spec, s: &[ValueId]) -> Option<ReductionOp> {
     let pred = normalized_break_pred(ctx, spec, s)?;
     // Both orientations are a first-match search ("first equal" / "first
-    // different"); ordering tests belong to find-min-index-early.
+    // different"); ordering tests belong to find-min-index-early, and
+    // equality scans from the high end to find-last.
+    if step_is_negative_const(ctx, spec, s) {
+        return None;
+    }
+    matches!(pred, CmpPred::Eq | CmpPred::Ne).then_some(ReductionOp::Min)
+}
+
+fn post_check_find_last(ctx: &MatchCtx<'_>, spec: &Spec, s: &[ValueId]) -> Option<ReductionOp> {
+    let pred = normalized_break_pred(ctx, spec, s)?;
+    // The spec already pins the step negative; belt and braces here keeps
+    // the find-first/find-last partition visible in one place.
+    if !step_is_negative_const(ctx, spec, s) {
+        return None;
+    }
     matches!(pred, CmpPred::Eq | CmpPred::Ne).then_some(ReductionOp::Min)
 }
 
@@ -314,9 +380,19 @@ fn classify_find_min(
     classify_search(ctx, spec, s, ReductionKind::FindMinIndex)
 }
 
+fn classify_find_last(
+    ctx: &MatchCtx<'_>,
+    spec: &Spec,
+    s: &[ValueId],
+    _: ReductionOp,
+) -> Option<Reduction> {
+    classify_search(ctx, spec, s, ReductionKind::FindLast)
+}
+
 /// One report per result phi (`Or` branches can bind the same phi through
-/// several assignments).
-fn finalize(_: &MatchCtx<'_>, mut rs: Vec<Reduction>) -> Vec<Reduction> {
+/// several assignments). Shared with the speculative folds, whose `Or`
+/// over the break-arm shape has the same effect.
+pub(crate) fn finalize(_: &MatchCtx<'_>, mut rs: Vec<Reduction>) -> Vec<Reduction> {
     let mut seen: Vec<ValueId> = Vec::new();
     rs.retain(|r| {
         if seen.contains(&r.anchor) {
@@ -529,10 +605,62 @@ mod tests {
         let (a, _) = find_first_spec();
         let (b, _) = any_all_of_spec();
         let (c, _) = find_min_index_spec();
+        let (d, _) = find_last_spec();
         let pa = a.prefix.unwrap();
         assert_eq!(pa.fingerprint, b.prefix.unwrap().fingerprint);
         assert_eq!(pa.fingerprint, c.prefix.unwrap().fingerprint);
+        assert_eq!(pa.fingerprint, d.prefix.unwrap().fingerprint);
         let (single, _) = crate::spec::scalar_reduction_spec();
         assert_ne!(pa.fingerprint, single.prefix.unwrap().fingerprint);
+    }
+
+    #[test]
+    fn find_last_detected_on_downward_scan() {
+        // Scanning from the high end: the first hit in iteration order is
+        // the last matching array index.
+        let rs = detect(
+            "int findlast(int* a, int x, int n) {
+                 int r = -1;
+                 for (int i = n - 1; i >= 0; i = i + -1) {
+                     if (a[i] == x) { r = i; break; }
+                 }
+                 return r;
+             }",
+        );
+        assert_eq!(rs.len(), 1, "{rs:?}");
+        assert_eq!(rs[0].kind, ReductionKind::FindLast);
+        assert_eq!(rs[0].arg_pred, Some(CmpPred::Eq));
+    }
+
+    #[test]
+    fn downward_sentinel_search_stays_find_min_index() {
+        // Ordering tests keep their idiom regardless of direction; only
+        // equality scans from the high end become find-last.
+        let rs = detect(
+            "int below(float* a, float bound, int n) {
+                 int r = -1;
+                 for (int i = n - 1; i >= 0; i = i + -1) {
+                     if (a[i] < bound) { r = i; break; }
+                 }
+                 return r;
+             }",
+        );
+        assert_eq!(rs.len(), 1, "{rs:?}");
+        assert_eq!(rs[0].kind, ReductionKind::FindMinIndex);
+    }
+
+    #[test]
+    fn upward_scan_is_find_first_not_find_last() {
+        let rs = detect(
+            "int find(int* a, int x, int n) {
+                 int r = n;
+                 for (int i = 0; i < n; i++) {
+                     if (a[i] == x) { r = i; break; }
+                 }
+                 return r;
+             }",
+        );
+        assert_eq!(rs.len(), 1, "find-first and find-last must partition: {rs:?}");
+        assert_eq!(rs[0].kind, ReductionKind::FindFirst);
     }
 }

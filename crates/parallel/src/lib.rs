@@ -13,17 +13,22 @@
 //!
 //! * [`outline`] — rewrites a detected reduction loop into a `chunk(lo, hi,
 //!   step, closure…)` function plus an intrinsic call in the original
-//!   function (the "generated code"); early-exit search loops outline with
-//!   both exits intact (a hit phi plus clones of the exit phis),
+//!   function (the "generated code"); early-exit loops outline with both
+//!   exits intact (a hit phi plus clones of the exit phis, plus
+//!   identity-seeded accumulator clones for speculative folds), and fold
+//!   loops with exit phis patch them onto the preheader edge,
 //! * [`overlay`] — thread memory views: privatized copies, raw shared
 //!   objects for provably disjoint writes, and lock-protected shared
 //!   objects (used to simulate the benchmarks' "original parallel
 //!   versions"),
 //! * [`runtime`] — the recursive-bisection executor with identity-seeded
 //!   privatized accumulators, element-wise merging and dynamic histogram
-//!   growth, plus the **cancellable speculative search** path: chunked
-//!   execution polling an [`sync::EarlyExitToken`], merged by lowest hit
-//!   (sequential first-hit semantics on every thread count).
+//!   growth, plus the **cancellable speculative** path for early-exit
+//!   loops: chunked execution (geometric front-ramp via
+//!   [`plan::ChunkPolicy`]) polling an [`sync::EarlyExitToken`], merged
+//!   by lowest hit with fold partials replayed up to it (sequential
+//!   semantics on every thread count), and a bounds-aware sequential
+//!   fallback for trapping speculation.
 //!
 //! # Example
 //!
@@ -55,4 +60,29 @@ pub mod runtime;
 pub mod sync;
 
 pub use outline::parallelize;
-pub use plan::{AccSlot, HistSlot, ReductionPlan, SearchSlot, WrittenPolicy};
+pub use plan::{
+    AccSlot, ChunkPolicy, FoldSlot, HistSlot, ReductionPlan, SearchSlot, WrittenPolicy,
+};
+
+/// Thread counts the sequential-equivalence tests sweep: `{1, 2, 4, 8}`
+/// by default, overridable with a comma-separated `GR_THREADS`
+/// environment variable (e.g. `GR_THREADS=2,8`). CI's thread-matrix leg
+/// uses the override to exercise each count on a real multi-core runner
+/// instead of only time-slicing all four on one machine.
+/// # Panics
+/// Panics on a malformed `GR_THREADS` value — a CI leg pinned to a
+/// thread count must fail loudly rather than silently run the default
+/// sweep.
+#[must_use]
+pub fn test_thread_counts() -> Vec<usize> {
+    match std::env::var("GR_THREADS") {
+        Ok(spec) => spec
+            .split(',')
+            .map(|t| match t.trim().parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => panic!("GR_THREADS: `{t}` is not a positive thread count (in `{spec}`)"),
+            })
+            .collect(),
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}

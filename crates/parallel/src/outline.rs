@@ -25,8 +25,8 @@
 //! overlays and merges the partials.
 
 use crate::plan::{
-    AccSlot, ArgSlot, ExitSlot, HistSlot, ReductionPlan, ScanSlot, SearchSlot, WrittenPolicy,
-    WrittenSlot,
+    AccSlot, ArgSlot, ChunkPolicy, ExitSlot, FoldSlot, HistSlot, ReductionPlan, ScanSlot,
+    SearchSlot, WrittenPolicy, WrittenSlot,
 };
 use gr_analysis::dataflow::root_object;
 use gr_analysis::Analyses;
@@ -53,8 +53,13 @@ pub enum OutlineError {
     IteratorLiveOut,
     /// The loop header has unexpected extra instructions.
     UnsupportedHeaderShape,
-    /// The loop exit block starts with phis (unsupported shape).
+    /// A loop-exit phi merges an in-loop value that is not a detected
+    /// carried value on the loop edge (unsupported shape).
     ExitHasPhis,
+    /// A carried accumulator escapes the loop other than through its
+    /// detected result (post-loop uses would observe the pre-break
+    /// value, which the cells do not reproduce).
+    CarriedValueLiveOut,
     /// An exit phi's default (the value flowing in when the loop runs to
     /// completion) is defined inside the loop: the rewritten preheader
     /// cannot seed its cell.
@@ -78,7 +83,12 @@ impl fmt::Display for OutlineError {
             OutlineError::UnsupportedHeaderShape => {
                 f.write_str("loop header has an unsupported shape")
             }
-            OutlineError::ExitHasPhis => f.write_str("loop exit block has phis"),
+            OutlineError::ExitHasPhis => {
+                f.write_str("loop exit phi merges an unknown in-loop value")
+            }
+            OutlineError::CarriedValueLiveOut => {
+                f.write_str("carried accumulator escapes the loop beside its result")
+            }
             OutlineError::NonInvariantExitDefault => {
                 f.write_str("exit phi default is defined inside the loop")
             }
@@ -115,13 +125,14 @@ pub fn parallelize(
     if rs.iter().any(|r| r.header != header) {
         return Err(OutlineError::MixedLoops);
     }
-    // Early-exit searches take the two-exit outline path (they never mix
-    // with fold reductions: search loops carry no accumulators).
-    if rs.iter().any(|r| r.kind.is_search()) {
-        if !rs.iter().all(|r| r.kind.is_search()) {
+    // Early-exit searches and speculative folds take the two-exit outline
+    // path (they never mix with the deterministic fold reductions: their
+    // loop has two exits, which the single-exit prefix rejects).
+    if rs.iter().any(|r| r.kind.is_speculative()) {
+        if !rs.iter().all(|r| r.kind.is_speculative()) {
             return Err(OutlineError::MixedLoops);
         }
-        return outline_search(module, func_name, &rs);
+        return outline_speculative(module, func_name, &rs);
     }
     let fi = module
         .functions
@@ -199,13 +210,31 @@ pub fn parallelize(
             }
         }
     }
-    if func
+    // Exit phis no longer stop fold outlining (mirroring what the search
+    // path did for its two exits): a loop nested in control flow merges
+    // its carried values with the other paths' values at the exit block.
+    // Each exit phi's loop-edge arm must be a detected carried phi (it is
+    // patched to the reloaded final) or a value available before the loop.
+    let exit_phis: Vec<ValueId> = func
         .block(exit_block)
         .insts
         .iter()
-        .any(|&v| func.value(v).kind.opcode() == Some(&Opcode::Phi))
-    {
-        return Err(OutlineError::ExitHasPhis);
+        .copied()
+        .take_while(|&v| func.value(v).kind.opcode() == Some(&Opcode::Phi))
+        .collect();
+    let mut exit_patches: Vec<(ValueId, ValueId)> = Vec::new(); // (phi, loop-edge value)
+    for &phi in &exit_phis {
+        let hv = func
+            .phi_incoming(phi)
+            .iter()
+            .find(|(_, b)| *b == header)
+            .map(|(v, _)| *v)
+            .ok_or(OutlineError::ExitHasPhis)?;
+        let in_loop = func.block_of_inst(hv).is_some_and(|b| l.contains(b));
+        if in_loop && !acc_phis.contains(&hv) {
+            return Err(OutlineError::ExitHasPhis);
+        }
+        exit_patches.push((phi, hv));
     }
 
     // --- closure discovery ----------------------------------------------
@@ -572,12 +601,32 @@ pub fn parallelize(
     }
     let exit_label = f.block(exit_block).label;
     f.append_inst(preheader, Opcode::Br, vec![exit_label], Type::Void);
-    // Stub out the loop blocks.
+    // Patch the exit phis: the loop edge becomes the preheader edge,
+    // carrying the reloaded final for carried values (the other arms —
+    // paths around the loop — stay untouched).
+    let header_label = f.block(header).label;
+    let preheader_label = f.block(preheader).label;
+    for &(phi, hv) in &exit_patches {
+        let new_v = finals.iter().find(|(acc, _)| *acc == hv).map_or(hv, |(_, nv)| *nv);
+        if let ValueKind::Inst { operands, .. } = &mut f.values[phi.index()].kind {
+            for c in operands.chunks_mut(2) {
+                if c[1] == header_label {
+                    c[0] = new_v;
+                    c[1] = preheader_label;
+                }
+            }
+        }
+    }
+    // Stub out the loop blocks. With exit phis present the stubs must
+    // not create stray predecessors of the exit block (phi incoming
+    // edges are checked against predecessors exactly), so the now
+    // unreachable blocks branch to themselves instead.
     for b in f.block_ids().collect::<Vec<_>>() {
         if l.contains(b) {
             f.blocks[b.index()].insts.clear();
+            let target = if exit_phis.is_empty() { exit_label } else { f.block(b).label };
             let stub = f.add_value(
-                ValueKind::Inst { opcode: Opcode::Br, operands: vec![exit_label] },
+                ValueKind::Inst { opcode: Opcode::Br, operands: vec![target] },
                 Type::Void,
                 None,
             );
@@ -590,6 +639,9 @@ pub fn parallelize(
             continue;
         }
         for inst in f.blocks[b.index()].insts.clone() {
+            if exit_phis.contains(&inst) {
+                continue; // already patched edge-precisely above
+            }
             let kind = &mut f.values[inst.index()].kind;
             if let ValueKind::Inst { operands, .. } = kind {
                 for op in operands.iter_mut() {
@@ -721,30 +773,38 @@ pub fn parallelize(
         search: None,
         written,
         arg_count,
+        chunking: ChunkPolicy::default(),
     };
     Ok((out, plan))
 }
 
-/// Outlines an early-exit search loop: the two-exit analog of
-/// [`parallelize`]. The loop carries nothing (only the induction phi lives
-/// in the header — its results are the *exit phis* at the loop-exit block,
-/// merging the break arm with an invariant default), so the chunk clones
-/// both exits:
+/// Outlines an early-exit loop onto the speculative schedule: the
+/// two-exit analog of [`parallelize`], covering both the search family
+/// (the loop carries nothing; its results are the *exit phis* at the
+/// loop-exit block, merging the break arm with an invariant default) and
+/// the speculative folds (the loop *also* carries accumulators whose
+/// guard is independent of them). The chunk clones both exits **and** the
+/// carried state:
 ///
-/// * `__chunk_f_<k>(lo, hi, step, closure…, hit, exits…)` runs the loop
-///   over `[lo, hi)` with the guarded break intact. Its exit block merges
-///   a **hit phi** — the iterator from the break edge,
+/// * `__chunk_f_<k>(lo, hi, step, closure…, hit, exits…, folds…)` runs
+///   the loop over `[lo, hi)` with the guarded break intact and every
+///   fold accumulator seeded with its operator's identity. Its exit block
+///   merges a **hit phi** — the iterator from the break edge,
 ///   [`SEARCH_NO_HIT`](crate::plan::SEARCH_NO_HIT) from the induction
-///   exit — plus one clone of every original exit phi, and stores them all
-///   to cells;
+///   exit — plus one clone of every original exit phi and one **partial
+///   phi** per fold (the identity-seeded accumulator, which on a break
+///   holds exactly the fold over the chunk's pre-hit iterations), and
+///   stores them all to cells;
 /// * the original loop is replaced by cells seeded with the not-found
-///   defaults, the intrinsic call, and reloads rewired over the (removed)
-///   exit phis.
+///   defaults (exit phis) and the accumulators' initial values (folds),
+///   the intrinsic call, and reloads rewired over the removed exit phis
+///   and the accumulators' post-loop uses.
 ///
 /// The runtime executes the chunk speculatively over many sub-ranges,
-/// cancels via `EarlyExitToken`, and commits the exit cells of the
-/// lowest-indexed hit — see [`crate::runtime`].
-fn outline_search(
+/// cancels via `EarlyExitToken`, commits the exit cells of the
+/// lowest-indexed hit, and folds the partials of every chunk up to it —
+/// see [`crate::runtime`].
+fn outline_speculative(
     module: &Module,
     func_name: &str,
     rs: &[&Reduction],
@@ -783,23 +843,38 @@ fn outline_search(
 
     let pred = continue_pred(func, iterator, test, jump, exit_block)?;
 
-    // Header shape: the induction phi only, then test + jump — a search
-    // loop carries no accumulators.
+    // The speculative folds riding on this loop, if any: their carried
+    // accumulator phis are the only header state allowed beside the
+    // induction variable.
+    let fold_rs: Vec<&Reduction> = rs.iter().copied().filter(|r| r.kind.is_fold_until()).collect();
+    let fold_accs: Vec<ValueId> = fold_rs.iter().map(|r| r.binding("acc")).collect();
+    let fold_res: Vec<ValueId> = fold_rs.iter().map(|r| r.binding("res")).collect();
+
+    // Header shape: the induction phi plus the detected fold
+    // accumulators, then test + jump.
     let header_insts = func.block(header).insts.clone();
     let phis: Vec<ValueId> = header_insts
         .iter()
         .copied()
         .take_while(|&v| func.value(v).kind.opcode() == Some(&Opcode::Phi))
         .collect();
-    if phis != vec![iterator] {
-        return Err(OutlineError::UnknownCarriedState);
+    if !phis.contains(&iterator) {
+        return Err(OutlineError::UnsupportedHeaderShape);
+    }
+    for &p in &phis {
+        if p != iterator && !fold_accs.contains(&p) {
+            return Err(OutlineError::UnknownCarriedState);
+        }
     }
     if header_insts[phis.len()..] != [test, jump] {
         return Err(OutlineError::UnsupportedHeaderShape);
     }
 
     // The exit phis: each merges exactly the induction edge (header) and
-    // the break edge. Their default must be available before the loop.
+    // the break edge. Fold results are handled separately (their
+    // loop-edge arm is the carried phi, seeded from the accumulator's
+    // initial value rather than an invariant default); every other phi's
+    // default must be available before the loop.
     let exit_phis: Vec<ValueId> = func
         .block(exit_block)
         .insts
@@ -809,6 +884,9 @@ fn outline_search(
         .collect();
     let mut exit_merges: Vec<(ValueId, ValueId, ValueId)> = Vec::new(); // (phi, default, break value)
     for &phi in &exit_phis {
+        if fold_res.contains(&phi) {
+            continue;
+        }
         let incoming = func.phi_incoming(phi);
         let dv = incoming.iter().find(|(_, b)| *b == header).map(|(v, _)| *v);
         let bv = incoming.iter().find(|(_, b)| *b == break_bb).map(|(v, _)| *v);
@@ -821,8 +899,28 @@ fn outline_search(
         }
         exit_merges.push((phi, dv, bv));
     }
-    // The iterator must not be live past the loop except through the exit
-    // phis being replaced.
+    // The fold results' break arms: the carried phi (pre-update break —
+    // SSA then folds the trivial exit phi away, so `res == acc`) or its
+    // update (post-update break, through a surviving exit phi).
+    let mut fold_breaks: Vec<ValueId> = Vec::new();
+    for (r, &acc) in fold_rs.iter().zip(&fold_accs) {
+        let res = r.binding("res");
+        if res == acc {
+            fold_breaks.push(acc);
+        } else {
+            let bv = func
+                .phi_incoming(res)
+                .iter()
+                .find(|(_, b)| *b == break_bb)
+                .map(|(v, _)| *v)
+                .ok_or(OutlineError::ExitHasPhis)?;
+            fold_breaks.push(bv);
+        }
+    }
+    // The iterator must not be live past the loop except through the
+    // exit phis being replaced; a fold accumulator whose result is an
+    // exit phi must not escape directly either (such uses would observe
+    // the pre-break value, which the cells do not reproduce).
     for b in func.block_ids() {
         if l.contains(b) || b == break_bb {
             continue;
@@ -831,8 +929,14 @@ fn outline_search(
             if exit_phis.contains(&inst) {
                 continue;
             }
-            if func.value(inst).kind.operands().contains(&iterator) {
+            let ops = func.value(inst).kind.operands();
+            if ops.contains(&iterator) {
                 return Err(OutlineError::IteratorLiveOut);
+            }
+            for (r, &acc) in fold_rs.iter().zip(&fold_accs) {
+                if r.binding("res") != acc && ops.contains(&acc) {
+                    return Err(OutlineError::CarriedValueLiveOut);
+                }
             }
         }
     }
@@ -901,6 +1005,10 @@ fn outline_search(
     for (i, &(phi, _, _)) in exit_merges.iter().enumerate() {
         params.push((format!("exit{i}"), ptr_ty(func.value(phi).ty)));
     }
+    let fold_out_base = params.len();
+    for (i, &acc) in fold_accs.iter().enumerate() {
+        params.push((format!("fold{i}"), ptr_ty(func.value(acc).ty)));
+    }
     let param_refs: Vec<(&str, Type)> = params.iter().map(|(n, t)| (n.as_str(), *t)).collect();
     let mut chunk = Function::new(&chunk_name, &param_refs, Type::Void);
 
@@ -932,6 +1040,21 @@ fn outline_search(
     );
     chunk.blocks[c_header.index()].insts.push(c_iter);
     val_map.insert(iterator, c_iter);
+    // Fold accumulators: identity-seeded carried phis, exactly like the
+    // deterministic fold template's (the merge re-applies the initial
+    // value once, in the rewritten preheader's cell).
+    let mut c_fold_accs: Vec<(ValueId, Type)> = Vec::new();
+    for &acc in &fold_accs {
+        let ty = func.value(acc).ty;
+        let c_acc = chunk.add_value(
+            ValueKind::Inst { opcode: Opcode::Phi, operands: vec![] },
+            ty,
+            Some("acc".to_string()),
+        );
+        chunk.blocks[c_header.index()].insts.push(c_acc);
+        val_map.insert(acc, c_acc);
+        c_fold_accs.push((c_acc, ty));
+    }
     let c_test = chunk.append_inst(
         c_header,
         Opcode::Cmp(pred),
@@ -978,6 +1101,18 @@ fn outline_search(
     if let ValueKind::Inst { operands, .. } = &mut chunk.value_mut(c_iter).kind {
         operands.extend([lo_arg, c_entry_label, next_iter_clone, c_latch_label]);
     }
+    // Complete the fold accumulator phis: identity from entry, the
+    // cloned update from the latch.
+    for (r, &(c_acc, ty)) in fold_rs.iter().zip(&c_fold_accs) {
+        let identity = match ty {
+            Type::Int | Type::Bool => chunk.const_int(r.op.identity_int()),
+            _ => chunk.const_float(r.op.identity_float()),
+        };
+        let next_clone = val_map[&r.binding("acc_next")];
+        if let ValueKind::Inst { operands, .. } = &mut chunk.value_mut(c_acc).kind {
+            operands.extend([identity, c_entry_label, next_clone, c_latch_label]);
+        }
+    }
 
     // Chunk exit: the hit phi plus one clone of every original exit phi,
     // merging the induction edge (header) with the break edge.
@@ -1007,6 +1142,24 @@ fn outline_search(
         chunk.blocks[c_exit.index()].insts.push(c_phi);
         c_exit_phis.push(c_phi);
     }
+    // One partial phi per fold: the identity-seeded accumulator on the
+    // induction exit, its break-arm value on the break edge. On a break
+    // this is exactly the fold over the chunk's pre-hit (or, post-update,
+    // through-hit) iterations — the value the merge replays in order.
+    let mut c_fold_phis = Vec::new();
+    for (&(c_acc, ty), &bv) in c_fold_accs.iter().zip(&fold_breaks) {
+        let c_bv = map_operand(func, &mut chunk, &val_map, &block_map, bv);
+        let c_phi = chunk.add_value(
+            ValueKind::Inst {
+                opcode: Opcode::Phi,
+                operands: vec![c_acc, c_header_label, c_bv, c_break_label],
+            },
+            ty,
+            Some("partial".to_string()),
+        );
+        chunk.blocks[c_exit.index()].insts.push(c_phi);
+        c_fold_phis.push(c_phi);
+    }
     chunk.append_inst(
         c_exit,
         Opcode::Store,
@@ -1015,6 +1168,10 @@ fn outline_search(
     );
     for (i, &c_phi) in c_exit_phis.iter().enumerate() {
         let out = chunk.arg_values[exit_out_base + i];
+        chunk.append_inst(c_exit, Opcode::Store, vec![c_phi, out], Type::Void);
+    }
+    for (i, &c_phi) in c_fold_phis.iter().enumerate() {
+        let out = chunk.arg_values[fold_out_base + i];
         chunk.append_inst(c_exit, Opcode::Store, vec![c_phi, out], Type::Void);
     }
     chunk.append_inst(c_exit, Opcode::Ret, vec![], Type::Void);
@@ -1037,10 +1194,21 @@ fn outline_search(
         f.append_inst(preheader, Opcode::Store, vec![dv, cell], Type::Void);
         cells.push(cell);
     }
+    // Fold cells are seeded with the accumulator's original initial
+    // value: the merge folds `init ⊕ partial_0 ⊕ … ⊕ partial_w` into
+    // them, so a loop the runtime never enters keeps `init` — the
+    // sequential result of an empty iteration space.
+    let mut fold_cells = Vec::new();
+    for (r, &acc) in fold_rs.iter().zip(&fold_accs) {
+        let cell = f.append_inst(preheader, Opcode::Alloca, vec![one], ptr_ty(f.value(acc).ty));
+        f.append_inst(preheader, Opcode::Store, vec![r.binding("acc_init"), cell], Type::Void);
+        fold_cells.push(cell);
+    }
     let mut call_args = vec![iter_begin, iter_end, iter_step];
     call_args.extend(closure.iter().copied());
     call_args.push(hit_cell);
     call_args.extend(cells.iter().copied());
+    call_args.extend(fold_cells.iter().copied());
     let arg_count = call_args.len();
     f.append_inst(preheader, Opcode::Call(intrinsic.clone()), call_args, Type::Void);
     let mut finals = Vec::new();
@@ -1048,6 +1216,15 @@ fn outline_search(
         let ty = f.value(phi).ty;
         let final_v = f.append_inst(preheader, Opcode::Load, vec![cells[ci]], ty);
         finals.push((phi, final_v));
+    }
+    // Fold results: rewire whatever carried the fold out of the loop —
+    // the surviving exit phi, or (pre-update break) the accumulator phi
+    // itself — to the merged cell value.
+    for (ri, r) in fold_rs.iter().enumerate() {
+        let res = r.binding("res");
+        let ty = f.value(res).ty;
+        let final_v = f.append_inst(preheader, Opcode::Load, vec![fold_cells[ri]], ty);
+        finals.push((res, final_v));
     }
     let exit_label = f.block(exit_block).label;
     f.append_inst(preheader, Opcode::Br, vec![exit_label], Type::Void);
@@ -1092,6 +1269,16 @@ fn outline_search(
                 ty: func.value(phi).ty,
             })
             .collect(),
+        folds: fold_rs
+            .iter()
+            .zip(&fold_accs)
+            .enumerate()
+            .map(|(i, (r, &acc))| FoldSlot {
+                arg_index: fold_out_base + i,
+                ty: func.value(acc).ty,
+                op: r.op,
+            })
+            .collect(),
     };
     out.push_function(chunk);
     gr_ir::verify::verify_module(&out).expect("outlined module must verify");
@@ -1109,6 +1296,7 @@ fn outline_search(
         search: Some(search),
         written: vec![],
         arg_count,
+        chunking: ChunkPolicy::default(),
     };
     Ok((out, plan))
 }
@@ -1463,10 +1651,10 @@ mod tests {
     }
 
     #[test]
-    fn search_loop_with_extra_carried_state_refused() {
-        // The find-first report itself is valid, but the loop also carries
-        // a sum: the extra header phi stops the search outline (the sum is
-        // no scalar reduction either — its loop has a break).
+    fn search_with_carried_sum_outlines_speculatively() {
+        // The shape PR 3 refused (`UnknownCarriedState`): a find-first
+        // whose loop also carries a sum. The combined speculative-fold
+        // template now clones both the exit phi and the accumulator.
         let m = compile(
             "int f(int* a, int x, int n) {
                  int r = n;
@@ -1480,8 +1668,66 @@ mod tests {
         )
         .unwrap();
         let rs = detect_reductions(&m);
-        assert!(rs.iter().all(|r| r.kind.is_search()), "{rs:?}");
-        assert_eq!(parallelize(&m, "f", &rs).err(), Some(OutlineError::UnknownCarriedState));
+        assert!(rs.iter().any(|r| r.kind.is_search()), "{rs:?}");
+        assert!(rs.iter().any(|r| r.kind.is_fold_until()), "{rs:?}");
+        let (pm, plan) = parallelize(&m, "f", &rs).unwrap();
+        let search = plan.search.as_ref().expect("speculative plan");
+        assert_eq!(search.exits.len(), 1, "the hit index");
+        assert_eq!(search.folds.len(), 1, "the carried sum");
+        assert!(pm.function(&plan.chunk_fn).is_some());
+    }
+
+    #[test]
+    fn fold_until_outlines_with_identity_seeded_partial() {
+        let (m, plan) = outline(
+            "float sum_until(float* a, float stop, int n) {
+                 float s = 0.0;
+                 for (int i = 0; i < n; i++) {
+                     if (a[i] == stop) break;
+                     s += a[i];
+                 }
+                 return s;
+             }",
+            "sum_until",
+        )
+        .unwrap();
+        let search = plan.search.as_ref().expect("speculative plan");
+        assert!(search.exits.is_empty(), "pre-update break folds the exit phi away");
+        assert_eq!(search.folds.len(), 1);
+        assert_eq!(search.folds[0].op, gr_core::ReductionOp::Add);
+        let chunk = m.function(&plan.chunk_fn).unwrap();
+        // The chunk's header carries two phis: the iterator and the
+        // identity-seeded accumulator.
+        let header = chunk.blocks.iter().find(|b| b.name == "header").unwrap();
+        let phis = header
+            .insts
+            .iter()
+            .filter(|&&v| chunk.value(v).kind.opcode() == Some(&Opcode::Phi))
+            .count();
+        assert_eq!(phis, 2, "iterator + accumulator");
+    }
+
+    #[test]
+    fn fold_with_unrelated_carried_state_still_refused() {
+        // The while-style secondary carried value is no detected
+        // reduction: the speculative outline must keep refusing.
+        let m = compile(
+            "float f(float* a, float stop, int n) {
+                 float s = 0.0;
+                 float prev = 0.0;
+                 for (int i = 0; i < n; i++) {
+                     if (a[i] == stop) break;
+                     s += a[i] * prev;
+                     prev = a[i];
+                 }
+                 return s;
+             }",
+        )
+        .unwrap();
+        let rs = detect_reductions(&m);
+        if rs.iter().any(|r| r.kind.is_speculative()) {
+            assert_eq!(parallelize(&m, "f", &rs).err(), Some(OutlineError::UnknownCarriedState));
+        }
     }
 
     #[test]
@@ -1560,6 +1806,53 @@ mod tests {
             .filter(|&&v| vo.value(v).kind.opcode() == Some(&Opcode::Store))
             .count();
         assert!(tmp_stores >= 1, "read-back object keeps its stores");
+    }
+
+    #[test]
+    fn fold_with_exit_phis_outlines() {
+        // The loop sits inside a conditional: the exit block merges the
+        // accumulator with the no-loop path's value through a phi. PR 3
+        // removed the ExitHasPhis refusal for searches; this is the fold
+        // analog.
+        let (m, plan) = outline(
+            "float f(float* a, int n, int flag) {
+                 float s = 0.0;
+                 if (flag) {
+                     for (int i = 0; i < n; i++) s += a[i];
+                 }
+                 return s;
+             }",
+            "f",
+        )
+        .unwrap();
+        assert_eq!(plan.accs.len(), 1);
+        assert!(m.function(&plan.chunk_fn).is_some());
+        // The rewritten function still verifies (checked inside
+        // parallelize) with the exit phi patched onto the preheader edge.
+    }
+
+    #[test]
+    fn exit_phi_of_unknown_in_loop_value_still_refused() {
+        // The exit phi forwards a non-carried in-loop value: outside what
+        // the cells reproduce.
+        let m = compile(
+            "float f(float* a, int n, int flag) {
+                 float s = 0.0;
+                 float last = 0.0;
+                 if (flag) {
+                     for (int i = 0; i < n; i++) { s += a[i]; last = a[i] * 2.0; }
+                 }
+                 return s + last;
+             }",
+        )
+        .unwrap();
+        let rs = detect_reductions(&m);
+        if !rs.is_empty() {
+            assert!(matches!(
+                parallelize(&m, "f", &rs),
+                Err(OutlineError::ExitHasPhis | OutlineError::UnknownCarriedState)
+            ));
+        }
     }
 
     #[test]

@@ -82,15 +82,34 @@ pub struct ExitSlot {
     pub ty: Type,
 }
 
-/// An early-exit search: the loop carries nothing — its results are the
-/// exit phis, reproduced per chunk and stored to cells together with a hit
-/// marker. Executed by the cancellable speculative runtime: the iteration
-/// space is cut into many chunks, workers claim chunks in iteration order
-/// while polling an `EarlyExitToken`, and the merge takes the exit values
-/// of the lowest-indexed chunk that hit (the sequential first hit). Chunks
-/// after the hit may execute speculatively and are discarded — detection
-/// guarantees the loop body is side-effect free, so speculation cannot be
-/// observed.
+/// One speculative-fold cell: an accumulator carried across a two-exit
+/// loop ("sum-until-sentinel"). Each chunk folds an identity-seeded
+/// private partial — breaking at its local first hit, so the partial
+/// covers exactly the iterations sequential execution would have run
+/// inside that chunk — and the merge replays partials in chunk order only
+/// up to the lowest-indexed hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FoldSlot {
+    /// Position of the cell pointer in the intrinsic argument list. The
+    /// rewritten preheader seeds it with the accumulator's initial value;
+    /// the chunk stores its partial; the merge folds `init ⊕ partials`.
+    pub arg_index: usize,
+    /// Element type of the accumulator.
+    pub ty: Type,
+    /// Merge operator (from the associativity post-check).
+    pub op: ReductionOp,
+}
+
+/// An early-exit loop on the speculative schedule: searches (the results
+/// are exit phis, reproduced per chunk and stored to cells together with
+/// a hit marker) and speculative folds (identity-seeded per-chunk
+/// partials). Executed by the cancellable speculative runtime: the
+/// iteration space is cut into many chunks, workers claim chunks in
+/// iteration order while polling an `EarlyExitToken`, the merge takes the
+/// exit values of the lowest-indexed chunk that hit (the sequential first
+/// hit) and folds the partials of every chunk up to it. Chunks after the
+/// hit may execute speculatively and are discarded — detection guarantees
+/// the loop body is side-effect free, so speculation cannot be observed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SearchSlot {
     /// Position of the hit cell (the iterator value at the break, or
@@ -98,6 +117,28 @@ pub struct SearchSlot {
     pub hit_arg_index: usize,
     /// The exit-phi cells, in exit-block phi order.
     pub exits: Vec<ExitSlot>,
+    /// The speculative-fold cells, in detection order.
+    pub folds: Vec<FoldSlot>,
+}
+
+/// Chunk granularity of the speculative schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkPolicy {
+    /// Chunks claimed per worker: more chunks than workers, so
+    /// cancellation has someplace to bite — a worker that claims a chunk
+    /// past a known hit stops without touching it.
+    pub chunks_per_worker: usize,
+    /// Geometric front-ramp: early chunks are small (piece `k` weighs
+    /// `min(2^k, 64)`), so a hit near the front cancels nearly the whole
+    /// iteration space before the speculative tail has been touched.
+    /// Without it the space is bisected evenly.
+    pub front_ramp: bool,
+}
+
+impl Default for ChunkPolicy {
+    fn default() -> ChunkPolicy {
+        ChunkPolicy { chunks_per_worker: 8, front_ramp: true }
+    }
 }
 
 /// How the runtime treats a memory object the loop writes that is *not* a
@@ -148,14 +189,18 @@ pub struct ReductionPlan {
     pub scans: Vec<ScanSlot>,
     /// Argmin/argmax slots.
     pub args: Vec<ArgSlot>,
-    /// Early-exit search (mutually exclusive with the fold slots: search
-    /// loops carry no accumulators and write no memory).
+    /// Early-exit speculative schedule (mutually exclusive with the
+    /// deterministic fold slots above: speculative loops write no memory,
+    /// and their accumulators live in [`SearchSlot::folds`]).
     pub search: Option<SearchSlot>,
     /// Non-reduction written objects.
     pub written: Vec<WrittenSlot>,
     /// Total number of intrinsic arguments (`lo, hi, step, closure…,
     /// cells…`).
     pub arg_count: usize,
+    /// Chunk granularity of the speculative schedule (ignored by the
+    /// deterministic fold templates, which bisect once per thread).
+    pub chunking: ChunkPolicy,
 }
 
 impl ReductionPlan {
@@ -211,6 +256,7 @@ mod tests {
             search: None,
             written: vec![],
             arg_count: 3,
+            chunking: ChunkPolicy::default(),
         }
     }
 

@@ -23,16 +23,22 @@
 //! * disjoint-written arrays: shared without synchronization;
 //! * other written arrays: private copies, with the copy of the thread
 //!   executing the last iterations written back;
-//! * **early-exit searches**: the cancellable speculative path
-//!   ([`execute_search`]) — the iteration space is cut into many chunks,
-//!   workers claim chunks in iteration order while polling a shared
-//!   [`EarlyExitToken`], and the merge commits the exit values of the
-//!   lowest-indexed chunk that hit, reproducing the sequential first-hit
-//!   semantics exactly. This is the first exploitation path whose
-//!   schedule is speculative rather than a deterministic fold: chunks past
-//!   the sequential exit point may run and be discarded, which detection
+//! * **early-exit loops** (searches and speculative folds): the
+//!   cancellable speculative path — the iteration space is cut into many
+//!   chunks (evenly, or with the geometric front-ramp of
+//!   [`ramped`] when [`ChunkPolicy::front_ramp`] is set), workers claim
+//!   chunks in iteration order while polling a shared [`EarlyExitToken`],
+//!   and the merge commits the exit values of the lowest-indexed chunk
+//!   that hit and folds the speculative-fold partials of every chunk up
+//!   to it, reproducing the sequential semantics exactly. This schedule
+//!   is speculative rather than a deterministic fold: chunks past the
+//!   sequential exit point may run and be discarded, which detection
 //!   makes unobservable (the loop body is side-effect free by
-//!   construction).
+//!   construction). A speculative chunk that **traps** is discarded too;
+//!   when it cannot be proven irrelevant the executor falls back to
+//!   sequential execution instead of propagating the trap.
+//!
+//! [`ChunkPolicy::front_ramp`]: crate::plan::ChunkPolicy
 
 use crate::overlay::{OverlayMemory, SharedRaw};
 use crate::plan::{ReductionPlan, SearchSlot, WrittenPolicy, ARG_IDX_SENTINEL, SEARCH_NO_HIT};
@@ -60,6 +66,38 @@ pub fn handler<'m>(
         }
         Some(execute(module, &plan, threads, args, mem))
     })
+}
+
+/// Splits `count` iterations into at most `pieces` contiguous ranges with
+/// a **geometric front-ramp**: piece `k` weighs `min(2^k, 64)`, so the
+/// first chunks are small and a hit near the front of the iteration space
+/// cancels nearly all of it before the speculative tail has been touched,
+/// while the tail still amortizes claim overhead over large chunks.
+/// Coverage is exact and pieces stay in iteration order (the cancellation
+/// protocol depends only on chunk *order*, not size).
+#[must_use]
+pub fn ramped(count: i64, pieces: usize) -> Vec<(i64, i64)> {
+    if pieces <= 1 || count <= 1 {
+        return bisect(count, pieces);
+    }
+    const RAMP_CAP: u32 = 6; // weights saturate at 2^6 = 64
+    let weights: Vec<i64> = (0..pieces)
+        .map(|k| 1i64 << u32::try_from(k).map_or(RAMP_CAP, |k| k.min(RAMP_CAP)))
+        .collect();
+    let total: i128 = weights.iter().map(|&w| i128::from(w)).sum();
+    let mut out = Vec::new();
+    let mut prefix: i128 = 0;
+    let mut start = 0i64;
+    for w in weights {
+        prefix += i128::from(w);
+        #[allow(clippy::cast_possible_truncation)] // bounded by count
+        let end = ((i128::from(count) * prefix) / total) as i64;
+        if end > start {
+            out.push((start, end - start));
+            start = end;
+        }
+    }
+    out
 }
 
 /// Splits `count` iterations by recursive bisection into at most
@@ -303,14 +341,18 @@ fn run_pass(
     Ok(results)
 }
 
-/// One chunk's search outcome: `(chunk index, hit iterator value, exit
-/// cell objects)`.
-type SearchHit = (usize, i64, Vec<Obj>);
-
-/// Chunks claimed per worker (granularity of speculation): more chunks
-/// than workers, so cancellation has someplace to bite — a worker that
-/// claims a chunk past a known hit stops without touching it.
-const SEARCH_CHUNKS_PER_WORKER: usize = 8;
+/// One executed chunk's outcome on the speculative schedule.
+struct ChunkOut {
+    /// Chunk index in iteration order.
+    chunk: usize,
+    /// The iterator value at the chunk's first hit, or
+    /// [`SEARCH_NO_HIT`] when it completed without breaking.
+    hit: i64,
+    /// Exit-phi cell values (taken only when the chunk hit).
+    exits: Vec<Obj>,
+    /// Speculative-fold partials (taken from every executed chunk).
+    folds: Vec<Obj>,
+}
 
 fn execute(
     module: &Module,
@@ -532,25 +574,38 @@ fn execute(
     Ok(None)
 }
 
-/// The cancellable speculative search executor.
+/// The cancellable speculative executor for early-exit loops: searches
+/// and speculative folds.
 ///
-/// The iteration space is cut into `threads ×`
-/// [`SEARCH_CHUNKS_PER_WORKER`] chunks (in iteration order). Workers claim
-/// chunks from a shared counter and, between chunks, poll the
-/// [`EarlyExitToken`]: once a strictly earlier chunk is known to have hit,
-/// every remaining claim is moot and the worker stops. A chunk runs the
-/// two-exit chunk function on an overlay with private hit/exit cells; the
-/// chunk itself breaks at its first in-range hit, so per-chunk results are
-/// already "earliest in chunk". The merge commits the exit cells of the
-/// lowest-indexed hit chunk — exactly the sequential first hit, asserted
-/// identical across thread counts by the tests below.
+/// The iteration space is cut into `threads × chunks_per_worker` chunks
+/// in iteration order ([`ReductionPlan::chunking`]; with `front_ramp` the
+/// cut is [`ramped`] — small chunks first — instead of an even
+/// [`bisect`]). Workers claim chunks from a shared counter and, between
+/// chunks, poll the [`EarlyExitToken`]: once a strictly earlier chunk is
+/// known to have hit, every remaining claim is moot and the worker stops.
+/// A chunk runs the two-exit chunk function on an overlay with private
+/// hit/exit/fold cells; the chunk itself breaks at its first in-range
+/// hit, so per-chunk results are already "earliest in chunk".
+///
+/// The merge commits the exit cells of the lowest-indexed hit chunk —
+/// exactly the sequential first hit — and folds the speculative-fold
+/// partials **in chunk order, only up to that chunk** (all of them when
+/// nothing hit): because claims are issued in order and only chunks
+/// strictly past a known hit are cancelled, every chunk before the winner
+/// has run to completion and its partial is available. Results are
+/// asserted identical with sequential execution across thread counts by
+/// the tests below (bit-equal integers, tolerance float sums from the
+/// bounded reassociation).
 ///
 /// Chunks later than the winning hit may execute speculatively and be
 /// discarded. Detection guarantees this is unobservable (the loop body is
-/// side-effect free — stray writes would trap in the overlay) and safe for
-/// the usual speculation caveat: loads anywhere in the loop's declared
-/// iteration space are assumed in-bounds, as they are for every
-/// exploitation template.
+/// side-effect free — stray writes would trap in the overlay). Loads past
+/// the sequential exit point are *not* assumed in-bounds: a speculative
+/// chunk that traps is discarded, and if it cannot be proven irrelevant
+/// (it precedes the winning hit, or nothing hit at all) the executor
+/// falls back to running the chunk function once over the full range —
+/// sequential semantics, including the trap if the original program
+/// really would have faulted (ROADMAP's bounds-aware fallback).
 fn execute_search(
     module: &Module,
     plan: &ReductionPlan,
@@ -566,23 +621,33 @@ fn execute_search(
     if count == 0 {
         return Ok(None);
     }
-    let pieces = bisect(count, (threads * SEARCH_CHUNKS_PER_WORKER).min(count.max(1) as usize));
+    #[allow(clippy::cast_sign_loss)] // count > 0 here
+    let target = (threads.max(1) * plan.chunking.chunks_per_worker.max(1)).min(count as usize);
+    let pieces =
+        if plan.chunking.front_ramp { ramped(count, target) } else { bisect(count, target) };
     let hit_obj = object_of(args[search.hit_arg_index])?;
     let exit_objs: Vec<ObjId> = search
         .exits
         .iter()
         .map(|e| object_of(args[e.arg_index]))
         .collect::<Result<_, Trap>>()?;
+    let fold_objs: Vec<ObjId> = search
+        .folds
+        .iter()
+        .map(|f| object_of(args[f.arg_index]))
+        .collect::<Result<_, Trap>>()?;
     let token = EarlyExitToken::new();
     let next = AtomicUsize::new(0);
-    let results: Result<Vec<Vec<SearchHit>>, Trap> = std::thread::scope(|scope| {
+    // Lowest chunk index that trapped while speculating (i64::MAX: none).
+    let trapped = std::sync::atomic::AtomicI64::new(i64::MAX);
+    let results: Vec<Vec<ChunkOut>> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for _ in 0..threads.max(1) {
             let base: &Memory = mem;
-            let (token, next, pieces) = (&token, &next, &pieces);
-            let exit_objs = &exit_objs;
-            handles.push(scope.spawn(move || -> Result<Vec<SearchHit>, Trap> {
-                let mut found = Vec::new();
+            let (token, next, pieces, trapped) = (&token, &next, &pieces, &trapped);
+            let (exit_objs, fold_objs) = (&exit_objs, &fold_objs);
+            handles.push(scope.spawn(move || -> Vec<ChunkOut> {
+                let mut done = Vec::new();
                 loop {
                     let c = next.fetch_add(1, Ordering::SeqCst);
                     if c >= pieces.len() || token.cancels(c as i64) {
@@ -594,40 +659,158 @@ fn execute_search(
                     let p_hi = plan.nth_iter_value(lo, step, start + len);
                     piece_args[0] = RtVal::I(p_lo);
                     piece_args[1] = RtVal::I(clamp_hi(plan, p_hi, hi, step, start + len == count));
-                    let mut overlay = OverlayMemory::new(base);
-                    overlay.redirect_private(hit_obj, Obj::I(vec![SEARCH_NO_HIT]), false, 0, 0.0);
-                    for &o in exit_objs.iter() {
-                        overlay.redirect_private(o, base.object(o).clone(), false, 0, 0.0);
-                    }
-                    let mut machine = Machine::new(module, overlay);
-                    machine.call(&plan.chunk_fn, &piece_args)?;
-                    let mut overlay = machine.mem;
-                    let Obj::I(hit) = overlay.take_private(hit_obj) else {
-                        panic!("hit cell type mismatch")
+                    let Ok((hit, exits, folds)) = run_speculative_chunk(
+                        module,
+                        &plan.chunk_fn,
+                        &piece_args,
+                        base,
+                        hit_obj,
+                        exit_objs,
+                        fold_objs,
+                    ) else {
+                        // A trap while speculating is not (yet) an error:
+                        // record the chunk and let the merge decide
+                        // whether sequential execution would have reached
+                        // it at all.
+                        trapped.fetch_min(c as i64, Ordering::SeqCst);
+                        continue;
                     };
-                    if hit[0] != SEARCH_NO_HIT {
+                    if hit != SEARCH_NO_HIT {
                         token.offer(c as i64);
-                        let exits: Vec<Obj> =
-                            exit_objs.iter().map(|&o| overlay.take_private(o)).collect();
-                        found.push((c, hit[0], exits));
-                        // Every further claim is a later chunk than this
-                        // hit; the poll above ends the loop.
                     }
+                    done.push(ChunkOut { chunk: c, hit, exits, folds });
                 }
-                Ok(found)
+                done
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("search worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("speculative worker panicked"))
+            .collect()
     });
-    let hits: Vec<SearchHit> = results?.into_iter().flatten().collect();
-    if let Some((_, hit_iter, exits)) = hits.into_iter().min_by_key(|&(c, _, _)| c) {
-        mem.store_i(hit_obj, 0, hit_iter).map_err(Trap::Mem)?;
+    let mut outs: Vec<ChunkOut> = results.into_iter().flatten().collect();
+    outs.sort_by_key(|o| o.chunk);
+    let winner = outs.iter().filter(|o| o.hit != SEARCH_NO_HIT).map(|o| o.chunk).min();
+    // The speculative result stands only when everything sequential
+    // execution would have run is accounted for: every chunk up to the
+    // winner (all chunks, when nothing hit) completed without a trap.
+    let needed = winner.map_or(pieces.len(), |w| w + 1);
+    let trapped_min = trapped.load(Ordering::SeqCst);
+    let complete = trapped_min >= needed as i64
+        && outs.len() >= needed
+        && outs.iter().take(needed).enumerate().all(|(i, o)| o.chunk == i);
+    if !complete {
+        return execute_sequential_fallback(
+            module, plan, search, args, mem, hit_obj, &exit_objs, &fold_objs,
+        );
+    }
+    if let Some(w) = winner {
+        let won = outs.iter().find(|o| o.chunk == w).expect("winner chunk result present");
+        mem.store_i(hit_obj, 0, won.hit).map_err(Trap::Mem)?;
+        for (&o, obj) in exit_objs.iter().zip(&won.exits) {
+            *mem.object_mut(o) = obj.clone();
+        }
+    }
+    // Speculative-fold merge: init (already in the cell) ⊕ the partials
+    // of chunks 0..=winner, in iteration order.
+    for (fi, (slot, &cell)) in search.folds.iter().zip(&fold_objs).enumerate() {
+        merge_fold_partials(mem, cell, slot, outs.iter().take(needed).map(|o| &o.folds[fi]))?;
+    }
+    // No hit anywhere: the hit/exit cells keep the defaults the rewritten
+    // preheader stored.
+    Ok(None)
+}
+
+/// Runs the chunk function once over `args`'s `[lo, hi)` on an overlay
+/// with private hit/exit/fold cells — the one chunk-execution protocol
+/// shared by the speculative workers and the sequential fallback.
+/// Returns the hit value ([`SEARCH_NO_HIT`] when the chunk completed),
+/// the exit-cell values (empty unless it hit) and the fold partials.
+fn run_speculative_chunk(
+    module: &Module,
+    chunk_fn: &str,
+    args: &[RtVal],
+    base: &Memory,
+    hit_obj: ObjId,
+    exit_objs: &[ObjId],
+    fold_objs: &[ObjId],
+) -> Result<(i64, Vec<Obj>, Vec<Obj>), Trap> {
+    let mut overlay = OverlayMemory::new(base);
+    overlay.redirect_private(hit_obj, Obj::I(vec![SEARCH_NO_HIT]), false, 0, 0.0);
+    for &o in exit_objs.iter().chain(fold_objs.iter()) {
+        overlay.redirect_private(o, base.object(o).clone(), false, 0, 0.0);
+    }
+    let mut machine = Machine::new(module, overlay);
+    machine.call(chunk_fn, args)?;
+    let mut overlay = machine.mem;
+    let Obj::I(hit) = overlay.take_private(hit_obj) else { panic!("hit cell type mismatch") };
+    let hit = hit[0];
+    let exits: Vec<Obj> = if hit == SEARCH_NO_HIT {
+        Vec::new()
+    } else {
+        exit_objs.iter().map(|&o| overlay.take_private(o)).collect()
+    };
+    let folds: Vec<Obj> = fold_objs.iter().map(|&o| overlay.take_private(o)).collect();
+    Ok((hit, exits, folds))
+}
+
+/// Folds `init ⊕ partial_0 ⊕ … ⊕ partial_k` into a speculative-fold cell
+/// (the cell holds `init` on entry — the rewritten preheader stored it).
+fn merge_fold_partials<'a>(
+    mem: &mut Memory,
+    cell: ObjId,
+    slot: &crate::plan::FoldSlot,
+    partials: impl Iterator<Item = &'a Obj>,
+) -> Result<(), Trap> {
+    match slot.ty {
+        Type::Int | Type::Bool => {
+            let mut v = mem.load_i(cell, 0).map_err(Trap::Mem)?;
+            for p in partials {
+                let Obj::I(p) = p else { panic!("fold cell type mismatch") };
+                v = slot.op.merge_int(v, p[0]);
+            }
+            mem.store_i(cell, 0, v).map_err(Trap::Mem)?;
+        }
+        _ => {
+            let mut v = mem.load_f(cell, 0).map_err(Trap::Mem)?;
+            for p in partials {
+                let Obj::F(p) = p else { panic!("fold cell type mismatch") };
+                v = slot.op.merge_float(v, p[0]);
+            }
+            mem.store_f(cell, 0, v).map_err(Trap::Mem)?;
+        }
+    }
+    Ok(())
+}
+
+/// The bounds-aware fallback: a speculative chunk trapped and sequential
+/// execution cannot be proven to stop before it, so every speculative
+/// result is discarded and the chunk function runs **once over the full
+/// range** against the live cells — it breaks at its first hit exactly
+/// like the original loop, so this is sequential execution in chunk
+/// clothing. A trap here is real and propagates.
+#[allow(clippy::too_many_arguments)]
+fn execute_sequential_fallback(
+    module: &Module,
+    plan: &ReductionPlan,
+    search: &SearchSlot,
+    args: &[RtVal],
+    mem: &mut Memory,
+    hit_obj: ObjId,
+    exit_objs: &[ObjId],
+    fold_objs: &[ObjId],
+) -> Result<Option<RtVal>, Trap> {
+    let (hit, exits, folds) =
+        run_speculative_chunk(module, &plan.chunk_fn, args, mem, hit_obj, exit_objs, fold_objs)?;
+    if hit != SEARCH_NO_HIT {
+        mem.store_i(hit_obj, 0, hit).map_err(Trap::Mem)?;
         for (&o, obj) in exit_objs.iter().zip(exits) {
             *mem.object_mut(o) = obj;
         }
     }
-    // No hit anywhere: the cells keep the defaults the rewritten preheader
-    // stored.
+    for ((slot, &cell), partial) in search.folds.iter().zip(fold_objs).zip(&folds) {
+        merge_fold_partials(mem, cell, slot, std::iter::once(partial))?;
+    }
     Ok(None)
 }
 
@@ -697,6 +880,39 @@ mod tests {
                     next = start + len;
                 }
             }
+        }
+    }
+
+    #[test]
+    fn ramped_covers_range_exactly() {
+        for count in [1i64, 2, 7, 100, 1023, 80_000] {
+            for pieces in [1usize, 2, 3, 8, 64] {
+                let ps = ramped(count, pieces);
+                assert!(ps.len() <= pieces);
+                let total: i64 = ps.iter().map(|p| p.1).sum();
+                assert_eq!(total, count, "count={count} pieces={pieces}");
+                let mut next = 0;
+                for &(start, len) in &ps {
+                    assert_eq!(start, next);
+                    assert!(len > 0);
+                    next = start + len;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ramped_front_chunks_are_small() {
+        // The geometric ramp: the first chunk is a small fraction of the
+        // last, so an early hit cancels nearly the whole space cheaply.
+        let ps = ramped(64_000, 32);
+        assert!(ps.len() > 8);
+        let first = ps.first().unwrap().1;
+        let last = ps.last().unwrap().1;
+        assert!(first * 16 <= last, "first {first} vs last {last}");
+        // Sizes never shrink along the ramp (modulo rounding jitter).
+        for w in ps.windows(2) {
+            assert!(w[0].1 <= w[1].1 + 1, "{ps:?}");
         }
     }
 
@@ -899,7 +1115,7 @@ mod tests {
             s += v;
             expect.push(s);
         }
-        for threads in [1usize, 2, 4, 8] {
+        for threads in crate::test_thread_counts() {
             let mut mem = Memory::new(&pm);
             let a = mem.alloc_int(&data);
             let out = mem.alloc_int(&vec![0; data.len()]);
@@ -1050,7 +1266,7 @@ mod tests {
             .min_by(|(_, x), (_, y)| x.partial_cmp(y).unwrap())
             .unwrap()
             .0 as i64;
-        for threads in [1usize, 2, 4, 8] {
+        for threads in crate::test_thread_counts() {
             assert_eq!(run_arg(ARGMIN_STRICT, "amin", &data, threads), expect, "threads={threads}");
         }
     }
@@ -1063,7 +1279,7 @@ mod tests {
         for &i in &[123usize, 1500, 3000, 4500, 5999] {
             data[i] = -7.0;
         }
-        for threads in [1usize, 2, 4, 8] {
+        for threads in crate::test_thread_counts() {
             assert_eq!(run_arg(ARGMIN_STRICT, "amin", &data, threads), 123, "threads={threads}");
         }
     }
@@ -1074,7 +1290,7 @@ mod tests {
         for &i in &[77usize, 2000, 4000, 5500] {
             data[i] = 9.0;
         }
-        for threads in [1usize, 2, 4, 8] {
+        for threads in crate::test_thread_counts() {
             assert_eq!(
                 run_arg(ARGMAX_NONSTRICT, "amax", &data, threads),
                 5500,
@@ -1102,7 +1318,7 @@ mod tests {
         for &i in &[411usize, 3500, 6999] {
             data[i] = -3.0;
         }
-        for threads in [1usize, 2, 4, 8] {
+        for threads in crate::test_thread_counts() {
             assert_eq!(run_arg(ARGMIN_SELECT, "amin", &data, threads), 411, "threads={threads}");
         }
     }
@@ -1200,7 +1416,7 @@ mod tests {
         let data: Vec<i64> = (0..n as i64).map(|i| (i * 7919) % 10007).collect();
         let x = data[2 * n / 3];
         let expect = data.iter().position(|&v| v == x).unwrap() as i64;
-        for threads in [1usize, 2, 4, 8] {
+        for threads in crate::test_thread_counts() {
             assert_eq!(
                 run_search_int(FIND_FIRST, "find", &data, x, threads),
                 expect,
@@ -1218,7 +1434,7 @@ mod tests {
         for &i in &[137usize, 1500, 3000, 4500, 6000, 7999] {
             data[i] = 42;
         }
-        for threads in [1usize, 2, 4, 8] {
+        for threads in crate::test_thread_counts() {
             assert_eq!(
                 run_search_int(FIND_FIRST, "find", &data, 42, threads),
                 137,
@@ -1258,7 +1474,7 @@ mod tests {
         assert_eq!(plan.search.as_ref().unwrap().exits.len(), 2);
         let mut data = vec![0i64; 6000];
         data[4321] = 9;
-        for threads in [1usize, 2, 4, 8] {
+        for threads in crate::test_thread_counts() {
             let mut mem = Memory::new(&pm);
             let a = mem.alloc_int(&data);
             let flag = mem.alloc_int(&[-1]);
@@ -1298,7 +1514,7 @@ mod tests {
                 0,
             ), // violation at the end
         ] {
-            for threads in [1usize, 2, 4, 8] {
+            for threads in crate::test_thread_counts() {
                 let mut mem = Memory::new(&pm);
                 let a = mem.alloc_float(&data);
                 let mut machine = Machine::new(&pm, mem);
@@ -1329,7 +1545,7 @@ mod tests {
         let (pm, plan) = parallelize(&m, "below", &rs).unwrap();
         let mut data: Vec<f64> = (0..7000).map(|i| 10.0 + (i % 17) as f64).collect();
         data[5555] = -3.0;
-        for threads in [1usize, 2, 4, 8] {
+        for threads in crate::test_thread_counts() {
             let mut mem = Memory::new(&pm);
             let a = mem.alloc_float(&data);
             let mut machine = Machine::new(&pm, mem);
@@ -1361,7 +1577,7 @@ mod tests {
         let mut data = vec![0i64; 5000];
         data[100] = 6;
         data[4000] = 6; // iteration order visits 4999..0: 4000 comes first
-        for threads in [1usize, 2, 4, 8] {
+        for threads in crate::test_thread_counts() {
             let mut mem = Memory::new(&pm);
             let a = mem.alloc_int(&data);
             let mut machine = Machine::new(&pm, mem);
@@ -1396,5 +1612,373 @@ mod tests {
             |mem| vec![RtVal::ptr(mem.alloc_float(&[])), RtVal::I(0)],
         );
         assert_eq!(r.unwrap().as_f(), 1.5);
+    }
+
+    // ---- the speculative-fold schedule --------------------------------
+
+    const SUM_UNTIL_INT: &str = "int sum_until(int* a, int stop, int n) {
+             int s = 0;
+             for (int i = 0; i < n; i++) {
+                 if (a[i] == stop) break;
+                 s = s + a[i];
+             }
+             return s;
+         }";
+
+    fn fold_plan(src: &str, fname: &str) -> (Module, ReductionPlan) {
+        let m = compile(src).unwrap();
+        let rs = detect_reductions(&m);
+        assert!(rs.iter().any(|r| r.kind.is_fold_until()), "{rs:?}");
+        let (pm, plan) = parallelize(&m, fname, &rs).unwrap();
+        assert!(!plan.search.as_ref().unwrap().folds.is_empty());
+        (pm, plan)
+    }
+
+    fn run_fold_int(
+        pm: &Module,
+        plan: &ReductionPlan,
+        data: &[i64],
+        stop: i64,
+        threads: usize,
+    ) -> i64 {
+        let mut mem = Memory::new(pm);
+        let a = mem.alloc_int(data);
+        let mut machine = Machine::new(pm, mem);
+        machine.set_handler(handler(pm, plan.clone(), threads));
+        machine
+            .call(&plan.function, &[RtVal::ptr(a), RtVal::I(stop), RtVal::I(data.len() as i64)])
+            .unwrap()
+            .unwrap()
+            .as_i()
+    }
+
+    #[test]
+    fn parallel_sum_until_sentinel_matches_sequential() {
+        let (pm, plan) = fold_plan(SUM_UNTIL_INT, "sum_until");
+        let mut data: Vec<i64> = (0..40_000).map(|i| (i * 31 + 7) % 97 + 1).collect();
+        data[29_000] = -5; // the sentinel, deep in the speculative tail
+        let expect: i64 = data[..29_000].iter().sum();
+        for threads in crate::test_thread_counts() {
+            assert_eq!(run_fold_int(&pm, &plan, &data, -5, threads), expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_sum_until_first_sentinel_wins() {
+        // Several sentinels straddling chunk boundaries: the merge must
+        // replay partials only up to the lowest-indexed hit, even when a
+        // later chunk finds (and offers) its hit first.
+        let (pm, plan) = fold_plan(SUM_UNTIL_INT, "sum_until");
+        let mut data: Vec<i64> = vec![3; 32_000];
+        for &i in &[1_111usize, 8_000, 16_000, 24_000, 31_999] {
+            data[i] = -1;
+        }
+        let expect: i64 = 3 * 1_111;
+        for threads in crate::test_thread_counts() {
+            assert_eq!(run_fold_int(&pm, &plan, &data, -1, threads), expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_sum_until_no_hit_folds_everything() {
+        let (pm, plan) = fold_plan(SUM_UNTIL_INT, "sum_until");
+        let data: Vec<i64> = (0..20_000).map(|i| i % 13).collect();
+        let expect: i64 = data.iter().sum();
+        for threads in crate::test_thread_counts() {
+            assert_eq!(run_fold_int(&pm, &plan, &data, -7, threads), expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_fold_until_empty_space_keeps_init() {
+        let (pm, plan) = fold_plan(
+            "int f(int* a, int stop, int n) {
+                 int s = 42;
+                 for (int i = 0; i < n; i++) {
+                     if (a[i] == stop) break;
+                     s = s + a[i];
+                 }
+                 return s;
+             }",
+            "f",
+        );
+        for threads in [1usize, 4] {
+            assert_eq!(run_fold_int(&pm, &plan, &[], 0, threads), 42, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_post_update_fold_includes_hit_element() {
+        // `s += a[i]; if (a[i] == stop) break;` — the sentinel element is
+        // folded in before the break.
+        let (pm, plan) = fold_plan(
+            "int through(int* a, int stop, int n) {
+                 int s = 0;
+                 for (int i = 0; i < n; i++) {
+                     s = s + a[i];
+                     if (a[i] == stop) break;
+                 }
+                 return s;
+             }",
+            "through",
+        );
+        let mut data: Vec<i64> = vec![2; 24_000];
+        data[17_002] = 1000;
+        let expect: i64 = 2 * 17_002 + 1000;
+        for threads in crate::test_thread_counts() {
+            assert_eq!(run_fold_int(&pm, &plan, &data, 1000, threads), expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_float_sum_until_within_tolerance() {
+        let (pm, plan) = fold_plan(
+            "float fsum_until(float* a, float stop, int n) {
+                 float s = 0.0;
+                 for (int i = 0; i < n; i++) {
+                     if (a[i] == stop) break;
+                     s += a[i];
+                 }
+                 return s;
+             }",
+            "fsum_until",
+        );
+        let mut data: Vec<f64> =
+            (0..30_000).map(|i| ((i * 131) % 997) as f64 * 0.125 + 0.25).collect();
+        data[23_456] = -1.0;
+        let expect: f64 = data[..23_456].iter().sum();
+        for threads in crate::test_thread_counts() {
+            let mut mem = Memory::new(&pm);
+            let a = mem.alloc_float(&data);
+            let mut machine = Machine::new(&pm, mem);
+            machine.set_handler(handler(&pm, plan.clone(), threads));
+            let got = machine
+                .call("fsum_until", &[RtVal::ptr(a), RtVal::F(-1.0), RtVal::I(data.len() as i64)])
+                .unwrap()
+                .unwrap()
+                .as_f();
+            assert!(
+                (got - expect).abs() < 1e-6 * expect.abs().max(1.0),
+                "threads={threads}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_fold_until_downward_loop() {
+        // Scanning from the high end: the fold covers the suffix above
+        // the first sentinel met in (downward) iteration order.
+        let (pm, plan) = fold_plan(
+            "int dsum(int* a, int stop, int n) {
+                 int s = 0;
+                 for (int i = n - 1; i >= 0; i = i + -1) {
+                     if (a[i] == stop) break;
+                     s = s + a[i];
+                 }
+                 return s;
+             }",
+            "dsum",
+        );
+        let mut data: Vec<i64> = vec![5; 16_000];
+        data[300] = -1;
+        data[9_000] = -1; // met first when iterating downward from 15999
+        let expect: i64 = 5 * (15_999 - 9_000);
+        for threads in crate::test_thread_counts() {
+            assert_eq!(run_fold_int(&pm, &plan, &data, -1, threads), expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_min_until_is_bit_exact() {
+        let (pm, plan) = fold_plan(
+            "float min_until(float* a, float bound, int n) {
+                 float m = 1.0e30;
+                 for (int i = 0; i < n; i++) {
+                     if (a[i] > bound) break;
+                     m = fmin(m, a[i]);
+                 }
+                 return m;
+             }",
+            "min_until",
+        );
+        let mut data: Vec<f64> = (0..20_000).map(|i| ((i * 7919) % 4001) as f64 - 2000.0).collect();
+        data[15_000] = 1.0e9; // exceeds the bound: the loop stops here
+        let expect = data[..15_000].iter().cloned().fold(f64::INFINITY, f64::min).min(1.0e30);
+        for threads in crate::test_thread_counts() {
+            let mut mem = Memory::new(&pm);
+            let a = mem.alloc_float(&data);
+            let mut machine = Machine::new(&pm, mem);
+            machine.set_handler(handler(&pm, plan.clone(), threads));
+            let got = machine
+                .call("min_until", &[RtVal::ptr(a), RtVal::F(1.0e6), RtVal::I(data.len() as i64)])
+                .unwrap()
+                .unwrap()
+                .as_f();
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_fold_and_find_first_share_one_loop() {
+        // The combined template: hit index (search exit phi) and carried
+        // sum (fold cell) committed consistently from one schedule.
+        let src = "int f(int* a, int* out, int x, int n) {
+                 int r = n;
+                 int s = 0;
+                 for (int i = 0; i < n; i++) {
+                     s = s + a[i];
+                     if (a[i] == x) { r = i; break; }
+                 }
+                 out[0] = s;
+                 return r;
+             }";
+        let m = compile(src).unwrap();
+        let rs = detect_reductions(&m);
+        assert_eq!(rs.len(), 2, "{rs:?}");
+        let (pm, plan) = parallelize(&m, "f", &rs).unwrap();
+        let search = plan.search.as_ref().unwrap();
+        assert_eq!(search.exits.len(), 1);
+        assert_eq!(search.folds.len(), 1);
+        let mut data: Vec<i64> = (0..18_000).map(|i| (i % 100) + 1).collect();
+        data[12_345] = -9;
+        let expect_r = 12_345i64;
+        let expect_s: i64 = data[..=12_345].iter().sum();
+        for threads in crate::test_thread_counts() {
+            let mut mem = Memory::new(&pm);
+            let a = mem.alloc_int(&data);
+            let out = mem.alloc_int(&[0]);
+            let mut machine = Machine::new(&pm, mem);
+            machine.set_handler(handler(&pm, plan.clone(), threads));
+            let r = machine
+                .call(
+                    "f",
+                    &[RtVal::ptr(a), RtVal::ptr(out), RtVal::I(-9), RtVal::I(data.len() as i64)],
+                )
+                .unwrap()
+                .unwrap()
+                .as_i();
+            assert_eq!(r, expect_r, "threads={threads}");
+            assert_eq!(machine.mem.ints(out), &[expect_s], "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_two_folds_in_one_loop() {
+        let (pm, plan) = fold_plan(
+            "void two(float* a, float* out, float stop, int n) {
+                 float sx = 0.0;
+                 float sy = 0.0;
+                 for (int i = 0; i < n; i++) {
+                     if (a[2 * i] == stop) break;
+                     sx += a[2 * i];
+                     sy += a[2 * i + 1];
+                 }
+                 out[0] = sx;
+                 out[1] = sy;
+             }",
+            "two",
+        );
+        assert_eq!(plan.search.as_ref().unwrap().folds.len(), 2);
+        let n = 8_000usize;
+        let mut data: Vec<f64> = (0..2 * n).map(|i| ((i * 37) % 19) as f64 + 1.0).collect();
+        data[2 * 6_500] = -3.0;
+        let expect_x: f64 = (0..6_500).map(|i| data[2 * i]).sum();
+        let expect_y: f64 = (0..6_500).map(|i| data[2 * i + 1]).sum();
+        for threads in crate::test_thread_counts() {
+            let mut mem = Memory::new(&pm);
+            let a = mem.alloc_float(&data);
+            let out = mem.alloc_float(&[0.0, 0.0]);
+            let mut machine = Machine::new(&pm, mem);
+            machine.set_handler(handler(&pm, plan.clone(), threads));
+            machine
+                .call("two", &[RtVal::ptr(a), RtVal::ptr(out), RtVal::F(-3.0), RtVal::I(n as i64)])
+                .unwrap();
+            let got = machine.mem.floats(out);
+            assert!((got[0] - expect_x).abs() < 1e-6 * expect_x.max(1.0), "threads={threads}");
+            assert!((got[1] - expect_y).abs() < 1e-6 * expect_y.max(1.0), "threads={threads}");
+        }
+    }
+
+    // ---- bounds-aware speculation -------------------------------------
+
+    #[test]
+    fn speculative_trap_past_hit_is_discarded() {
+        // The array ends right after the sentinel; the loop bound claims
+        // far more. Sequential execution breaks at the sentinel and never
+        // reads past it — speculative chunks do, trap, and must be
+        // discarded (they all lie past the winning hit), not propagated.
+        let (pm, plan) = fold_plan(SUM_UNTIL_INT, "sum_until");
+        let h = 1_000usize;
+        let mut data: Vec<i64> = (0..=h as i64).map(|i| i % 7 + 1).collect();
+        data[h] = -2; // sentinel at the last valid index
+        let expect: i64 = data[..h].iter().sum();
+        for threads in crate::test_thread_counts() {
+            let mut mem = Memory::new(&pm);
+            let a = mem.alloc_int(&data);
+            let mut machine = Machine::new(&pm, mem);
+            machine.set_handler(handler(&pm, plan.clone(), threads));
+            let got = machine
+                .call("sum_until", &[RtVal::ptr(a), RtVal::I(-2), RtVal::I(8_000)])
+                .unwrap()
+                .unwrap()
+                .as_i();
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn search_trap_past_hit_is_discarded() {
+        // The same guarantee for a pure search: find-first over an array
+        // shorter than the declared bound, hit inside the valid range.
+        let m = compile(FIND_FIRST).unwrap();
+        let rs = detect_reductions(&m);
+        let (pm, plan) = parallelize(&m, "find", &rs).unwrap();
+        let mut data = vec![0i64; 700];
+        data[650] = 9;
+        for threads in crate::test_thread_counts() {
+            let mut mem = Memory::new(&pm);
+            let a = mem.alloc_int(&data);
+            let mut machine = Machine::new(&pm, mem);
+            machine.set_handler(handler(&pm, plan.clone(), threads));
+            let r = machine
+                .call("find", &[RtVal::ptr(a), RtVal::I(9), RtVal::I(50_000)])
+                .unwrap()
+                .unwrap()
+                .as_i();
+            assert_eq!(r, 650, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn trap_with_no_hit_reproduces_sequential_trap() {
+        // No sentinel inside the valid range: sequential execution runs
+        // off the end and traps — the fallback must reproduce that trap
+        // rather than return a made-up partial fold.
+        let (pm, plan) = fold_plan(SUM_UNTIL_INT, "sum_until");
+        let data = vec![1i64; 500];
+        let mut mem = Memory::new(&pm);
+        let a = mem.alloc_int(&data);
+        let mut machine = Machine::new(&pm, mem);
+        machine.set_handler(handler(&pm, plan.clone(), 4));
+        let err = machine.call("sum_until", &[RtVal::ptr(a), RtVal::I(-1), RtVal::I(2_000)]);
+        assert!(err.is_err(), "the out-of-bounds read is real, not speculative");
+    }
+
+    #[test]
+    fn even_bisection_knob_still_works() {
+        // front_ramp off: the legacy even split, same results.
+        let m = compile(SUM_UNTIL_INT).unwrap();
+        let rs = detect_reductions(&m);
+        let (pm, mut plan) = parallelize(&m, "sum_until", &rs).unwrap();
+        plan.chunking = crate::plan::ChunkPolicy { chunks_per_worker: 4, front_ramp: false };
+        let mut data: Vec<i64> = vec![2; 10_000];
+        data[7_777] = -1;
+        for threads in [1usize, 3, 8] {
+            assert_eq!(
+                run_fold_int(&pm, &plan, &data, -1, threads),
+                2 * 7_777,
+                "threads={threads}"
+            );
+        }
     }
 }

@@ -1,0 +1,128 @@
+//! The README's "Adding an idiom" follow-up walkthrough, runnable: the
+//! **fold-until-sentinel** speculative fold specified with the public
+//! constraint DSL on the early-exit prefix — an accumulator carried
+//! across a two-exit loop — solved against unseen code, and then the
+//! built-in registry entry detected *and exploited* end-to-end through
+//! the speculative-fold parallel runtime (identity-seeded per-chunk
+//! partials, replayed in order up to the lowest-indexed hit).
+//!
+//! Run with: `cargo run --release --example sum_until_sentinel`
+
+use general_reductions::core::atoms::{Atom, MatchCtx, OpClass};
+use general_reductions::core::constraint::{Spec, SpecBuilder};
+use general_reductions::core::solver::{solve, SolveOptions};
+use general_reductions::core::spec::add_for_loop_early_exit;
+use general_reductions::prelude::*;
+
+/// A compact re-specification of fold-until-sentinel: the early-exit
+/// prefix plus a carried accumulator whose update is computed only from
+/// itself, array reads and invariants — and a break guard that never
+/// reads it. (The built-in spec in `gr_core::spec::foldexit` adds the
+/// full guard normalization and the pre-/post-update result shapes; this
+/// walkthrough version keeps only the essential atoms.)
+fn sum_until_spec() -> Spec {
+    let mut b = SpecBuilder::new("fold-until-walkthrough");
+    // 1. The markable prefix: counted loop ⨯ guarded break, pure body.
+    //    `mark_prefix` is called inside, so this spec shares the cached
+    //    prefix solve with every other early-exit idiom.
+    let ee = add_for_loop_early_exit(&mut b);
+    let fl = ee.for_loop;
+
+    // 2. The accumulator discipline, purely in the constraint language —
+    //    the same atoms that pin reassociability for plain scalar
+    //    reductions, now on the two-exit skeleton.
+    let acc = b.label("acc");
+    let acc_next = b.label("acc_next");
+    let acc_init = b.label("acc_init");
+    b.atom(Atom::BlockOf { inst: acc, block: fl.header });
+    b.atom(Atom::Opcode { l: acc, class: OpClass::Phi });
+    b.atom(Atom::PhiArity { phi: acc, n: 2 });
+    b.atom(Atom::TypeScalar(acc));
+    b.atom(Atom::NotEqual { a: acc, b: fl.iterator });
+    b.atom(Atom::PhiIncoming { phi: acc, value: acc_next, block: fl.latch });
+    b.atom(Atom::PhiIncoming { phi: acc, value: acc_init, block: fl.preheader });
+    b.atom(Atom::InvariantIn { value: acc_init, header: fl.header });
+    b.atom(Atom::ComputedOnlyFrom {
+        output: acc_next,
+        header: fl.header,
+        iterator: fl.iterator,
+        allowed: vec![acc],
+    });
+    // 3. Chunk-decidable exit: the guard's comparison depends on inputs,
+    //    invariants and the iterator only — never on the accumulator.
+    let cand = b.label("cand");
+    b.atom(Atom::OperandIs { inst: ee.exit_cond, index: 0, value: cand });
+    b.atom(Atom::ComputedOnlyFrom {
+        output: cand,
+        header: fl.header,
+        iterator: fl.iterator,
+        allowed: vec![],
+    });
+    b.finish()
+}
+
+fn main() {
+    let module = compile(
+        "float sum_until(float* a, float stop, int n) {
+             float s = 0.0;
+             for (int i = 0; i < n; i++) {
+                 if (a[i] == stop) break;
+                 s += a[i];
+             }
+             return s;
+         }
+         float not_speculative(float* a, float limit, int n) {
+             float s = 0.0;
+             for (int i = 0; i < n; i++) {
+                 if (s > limit) break;
+                 s += a[i];
+             }
+             return s;
+         }",
+    )
+    .expect("compiles");
+
+    // The walkthrough spec against unseen code: @sum_until matches; the
+    // self-guarded loop does not (its exit reads the accumulator, so no
+    // chunk could decide its exit independently).
+    let spec = sum_until_spec();
+    for func in &module.functions {
+        let analyses = gr_analysis::Analyses::new(&module, func);
+        let ctx = MatchCtx::new(&module, func, &analyses);
+        let (solutions, stats) = solve(&spec, &ctx, SolveOptions::default());
+        println!(
+            "@{}: {} fold-until match(es) in {} solver steps",
+            func.name,
+            solutions.len(),
+            stats.steps
+        );
+    }
+
+    // The built-in entry, detected and exploited: per-chunk partials fold
+    // from the identity, the merge replays them up to the first sentinel.
+    let reductions = detect_reductions(&module);
+    println!("\nthrough the default registry:");
+    for r in &reductions {
+        println!("  {r}");
+    }
+    let (pm, plan) = parallelize(&module, "sum_until", &reductions).expect("outlines");
+    let mut data: Vec<f64> = (0..100_000i32).map(|i| f64::from(i % 97)).collect();
+    data[61_803] = -1.0; // the sentinel
+    let seq: f64 = data[..61_803].iter().sum();
+    for threads in [1usize, 2, 4, 8] {
+        let mut mem = Memory::new(&pm);
+        let a = mem.alloc_float(&data);
+        let mut machine = Machine::new(&pm, mem);
+        machine.set_handler(gr_parallel::runtime::handler(&pm, plan.clone(), threads));
+        let r = machine
+            .call("sum_until", &[RtVal::ptr(a), RtVal::F(-1.0), RtVal::I(data.len() as i64)])
+            .unwrap()
+            .unwrap();
+        let got = match r {
+            RtVal::F(v) => v,
+            other => panic!("unexpected result {other:?}"),
+        };
+        assert!((got - seq).abs() < 1e-6 * seq.abs().max(1.0));
+        println!("  {threads} thread(s): fold up to the sentinel = {got:.1} — matches sequential");
+    }
+}

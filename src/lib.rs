@@ -13,16 +13,19 @@
 //! * [`frontend`] — a mini-C compiler producing that IR,
 //! * [`analysis`] — dominance, control dependence, loops, affinity, purity,
 //! * [`core`] — **the paper's contribution**: constraint language, solver,
-//!   the pluggable idiom registry with its seven registered idioms
+//!   the pluggable idiom registry with its nine registered idioms
 //!   (`scalar-reduction`, `histogram-reduction`, `prefix-scan`,
-//!   `argmin-argmax`, and the early-exit search family `find-first` /
-//!   `any-all-of` / `find-min-index-early`), post-checks,
+//!   `argmin-argmax`, and the early-exit family `find-first` /
+//!   `any-all-of` / `find-min-index-early` / `fold-until-sentinel` /
+//!   `find-last`), post-checks,
 //! * [`baselines`] — Polly-like and icc-like comparison detectors,
 //! * [`interp`] — profiling interpreter (the evaluation substrate),
 //! * [`parallel`] — outlining + parallel runtime (privatized partials,
 //!   element-wise histogram merge, two-pass block scans, tie-break-exact
-//!   argmin/argmax merges, and the cancellable speculative search
-//!   executor for early-exit loops),
+//!   argmin/argmax merges, and the cancellable speculative executor for
+//!   early-exit loops — searches and speculative folds, with a geometric
+//!   front-ramp chunking knob and a bounds-aware sequential fallback for
+//!   trapping speculation),
 //! * [`benchsuite`] — the 40 NAS/Parboil/Rodinia miniatures plus the
 //!   idiom micro-workloads.
 //!
