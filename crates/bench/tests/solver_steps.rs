@@ -4,9 +4,10 @@
 //! The step counts are fully deterministic: candidate lists are sorted
 //! before use and the search is depth-first, so the totals only move when
 //! candidate generation or the specs change. The bounds leave a little
-//! headroom over the measured values (micro 242, corpus 3216 with the
-//! nine-idiom registry and both prefixes) so spec growth does not trip
-//! them spuriously, while a genuine candidate-generation regression does.
+//! headroom over the measured values (micro 285, corpus 3259 with the
+//! ten-idiom registry, both prefixes and the fusion pair-resume) so spec
+//! growth does not trip them spuriously, while a genuine
+//! candidate-generation regression does.
 
 use gr_bench::stats::{corpus, measure_suite_stats};
 use gr_benchsuite::{suite_programs, Suite};
@@ -39,12 +40,12 @@ fn shared_steps(suite: Suite) -> usize {
 fn micro_corpus_steps_are_pinned() {
     let steps = shared_steps(Suite::Micro);
     assert!(steps > 0);
-    // Measured 242 with the eight micro programs (scan ×2, argmin, search
-    // ×4, speculative fold) solving both prefixes with the nine-idiom
-    // registry.
+    // Measured 285 with the nine micro programs (scan ×2, argmin, search
+    // ×4, speculative fold, fusion pair) solving both prefixes with the
+    // ten-idiom registry.
     assert!(
-        steps <= 280,
-        "micro-corpus solver steps regressed: {steps} > 280 — candidate \
+        steps <= 330,
+        "micro-corpus solver steps regressed: {steps} > 330 — candidate \
          generation got weaker (or a new micro program needs a new pin)"
     );
 }
@@ -59,9 +60,39 @@ fn corpus_steps_drop_3x_vs_pre_sharing_main() {
          with only four idioms; nine now ride on the shared prefixes)",
         MAIN_BASELINE_STEPS / 3
     );
-    // Tighter trend guard over the measured 3216 (nine idioms, two
-    // prefixes, 48 programs).
-    assert!(total <= 3_500, "corpus steps regressed: {total} > 3500");
+    // Tighter trend guard over the measured 3259 (ten idioms — including
+    // the two-loop fusion spec resumed from prefix *pairs* — over 49
+    // programs).
+    assert!(total <= 3_800, "corpus steps regressed: {total} > 3800");
+}
+
+#[test]
+fn fusion_extension_steps_are_pinned() {
+    // The two-loop fusion spec must stay cheap on the 48 programs without
+    // a fusible pair: its cross-loop conditions are *residual* conjuncts,
+    // decided per resumed (producer, consumer) pair before any extension
+    // label is searched, so non-fusible functions cost zero extension
+    // steps. Only the micro fusion pair pays for real extension work.
+    let registry = IdiomRegistry::with_default_idioms();
+    let mut fusion_ext = 0usize;
+    for suite in corpus() {
+        for p in suite_programs(suite) {
+            let m = p.compile();
+            for func in &m.functions {
+                let analyses = gr_analysis::Analyses::new(&m, func);
+                let ctx = MatchCtx::new(&m, func, &analyses);
+                let report = registry.stats_report(&ctx, true);
+                for (name, stats) in &report.per_idiom {
+                    if *name == "map-reduce-fusion" {
+                        fusion_ext += stats.steps;
+                    }
+                }
+            }
+        }
+    }
+    assert!(fusion_ext > 0, "the micro fusion pair must exercise the extension");
+    // Measured 9 extension steps across the whole 49-program corpus.
+    assert!(fusion_ext <= 80, "fusion extension steps regressed: {fusion_ext} > 80");
 }
 
 #[test]
@@ -135,10 +166,11 @@ fn two_distinct_prefixes_cached_without_collision() {
         .find(|r| r.name == "find-first::prefix")
         .expect("early-exit prefix entry");
     assert_ne!(fold.fingerprint, early.fingerprint);
-    // Four fold idioms share one solve (3 hits); the five early-exit
-    // idioms (three searches + fold-until-sentinel + find-last) share the
-    // other (4 hits).
-    assert_eq!(fold.hits, 3);
+    // Four fold idioms plus map-reduce fusion share one solve (4 hits —
+    // the fusion spec's stacked pair still costs a single cache lookup);
+    // the five early-exit idioms (three searches + fold-until-sentinel +
+    // find-last) share the other (4 hits).
+    assert_eq!(fold.hits, 4);
     assert_eq!(early.hits, 4);
     // Detection still sees exactly one scalar and one find-first.
     let rs = registry.detect_in_function(&ctx);

@@ -1,0 +1,457 @@
+//! Differential fuzzing of detection **soundness**: random loop nests
+//! drawn from the idiom grammar — folds, histograms, scans, argmin,
+//! searches, speculative folds, producer/consumer fusion pairs — plus
+//! deliberately *mutated near-misses*, asserting that detection never
+//! changes semantics: whatever the registry detects and the outliner
+//! exploits must produce the same results as the sequential interpreter,
+//! on every thread count.
+//!
+//! Every prior test pinned parallel == sequential on hand-written
+//! programs only; this harness closes the gap from the other side. A
+//! near-miss that slips past a constraint (a fold whose guard reads the
+//! accumulator, a fusion intermediate read after the reduction, …) is
+//! *allowed* to go undetected — that costs coverage, not correctness —
+//! but if it is detected and exploited, the differential check catches
+//! the divergence immediately, with the generating seed and case index
+//! in the failure message.
+//!
+//! The generator is deterministic per seed ([`StdRng`]), so CI failures
+//! reproduce locally with the same `GR_FUZZ_SEED`/case count.
+
+use crate::rng::StdRng;
+use gr_interp::machine::Machine;
+use gr_interp::memory::{Memory, Obj, ObjId};
+use gr_interp::RtVal;
+
+/// One concrete argument of a generated kernel call.
+#[derive(Debug, Clone)]
+pub enum FuzzArg {
+    /// A float array (materialized per run).
+    FArr(Vec<f64>),
+    /// An integer array (materialized per run).
+    IArr(Vec<i64>),
+    /// An integer scalar.
+    I(i64),
+    /// A float scalar.
+    F(f64),
+}
+
+/// One generated program plus the workload to run it on.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// Family + mutation tag, e.g. `fold/self-gated`.
+    pub name: String,
+    /// Mini-C source; the kernel function is always named `k`.
+    pub src: String,
+    /// Kernel call arguments, in order.
+    pub args: Vec<FuzzArg>,
+}
+
+/// Aggregate outcome of one [`run_differential`] sweep.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FuzzReport {
+    /// Cases generated and executed.
+    pub cases: usize,
+    /// Cases where the registry reported at least one reduction.
+    pub detected: usize,
+    /// Cases that outlined and ran through the parallel runtime (each
+    /// compared against the sequential interpreter on every thread
+    /// count).
+    pub exploited: usize,
+    /// Cases where outlining refused (detection without exploitation
+    /// cannot diverge; counted for visibility).
+    pub refused: usize,
+}
+
+fn floats(rng: &mut StdRng, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+fn ints(rng: &mut StdRng, len: usize, lo: i64, hi: i64) -> Vec<i64> {
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Draws one case from the idiom grammar. Mutated near-misses are mixed
+/// in at roughly one case in three.
+#[must_use]
+pub fn generate(rng: &mut StdRng) -> FuzzCase {
+    let n = rng.gen_range(1..2_500);
+    #[allow(clippy::cast_sign_loss)]
+    let len = n as usize;
+    match rng.gen_range(0..8) {
+        0 => gen_scalar_fold(rng, len),
+        1 => gen_histogram(rng, len),
+        2 => gen_scan(rng, len),
+        3 => gen_argmin(rng, len),
+        4 => gen_search(rng, len),
+        5 => gen_fold_until(rng, len),
+        6 => gen_fusion(rng, len),
+        _ => gen_find_last(rng, len),
+    }
+}
+
+fn gen_scalar_fold(rng: &mut StdRng, len: usize) -> FuzzCase {
+    let data = floats(rng, len, -50.0, 50.0);
+    let step = rng.gen_range(1..4);
+    let (tag, body) = match rng.gen_range(0..6) {
+        0 => ("sum", "s += a[i];"),
+        1 => ("sum-square", "s += a[i] * a[i];"),
+        2 => ("conditional-sum", "if (a[i] > 0.0) s += a[i];"),
+        3 => ("min-call", "s = fmin(s, a[i]);"),
+        // Near-misses: the self-gated accumulator (the paper's `t1 <= sx`
+        // counterexample family) and the non-associative flip.
+        4 => ("self-gated", "if (a[i] <= s) s += a[i];"),
+        _ => ("non-associative", "s = a[i] - s;"),
+    };
+    let init = if tag == "min-call" { "1.0e30" } else { "0.0" };
+    FuzzCase {
+        name: format!("fold/{tag}/step{step}"),
+        src: format!(
+            "float k(float* a, int n) {{ float s = {init}; for (int i = 0; i < n; i = i + {step}) {{ {body} }} return s; }}"
+        ),
+        args: vec![FuzzArg::FArr(data), FuzzArg::I(len as i64)],
+    }
+}
+
+fn gen_histogram(rng: &mut StdRng, len: usize) -> FuzzCase {
+    let bins = 64usize;
+    let keys = ints(rng, len, 0, bins as i64);
+    let (tag, body) = match rng.gen_range(0..3) {
+        0 => ("plain", "h[key[i]] = h[key[i]] + 1;"),
+        1 => ("weighted", "h[key[i]] = h[key[i]] + key[i];"),
+        // Near-miss: the loaded cell is not the stored cell — a stencil,
+        // not a histogram (order matters, must not privatize).
+        _ => ("shifted-read", "h[key[i]] = h[63 - key[i]] + 1;"),
+    };
+    FuzzCase {
+        name: format!("histogram/{tag}"),
+        src: format!(
+            "void k(int* h, int* key, int n) {{ for (int i = 0; i < n; i++) {{ {body} }} }}"
+        ),
+        args: vec![FuzzArg::IArr(vec![0; bins]), FuzzArg::IArr(keys), FuzzArg::I(len as i64)],
+    }
+}
+
+fn gen_scan(rng: &mut StdRng, len: usize) -> FuzzCase {
+    let data = ints(rng, len, -40, 40);
+    let (tag, body) = match rng.gen_range(0..3) {
+        0 => ("inclusive", "s += a[i]; out[i] = s;"),
+        1 => ("exclusive", "out[i] = s; s += a[i];"),
+        // Near-miss: a constant output index is a redundantly stored
+        // scalar, not a scan — privatizing the store would drop writes.
+        _ => ("constant-index", "s += a[i]; out[0] = s;"),
+    };
+    FuzzCase {
+        name: format!("scan/{tag}"),
+        src: format!(
+            "void k(int* a, int* out, int n) {{ int s = 0; for (int i = 0; i < n; i++) {{ {body} }} }}"
+        ),
+        args: vec![FuzzArg::IArr(data), FuzzArg::IArr(vec![0; len]), FuzzArg::I(len as i64)],
+    }
+}
+
+fn gen_argmin(rng: &mut StdRng, len: usize) -> FuzzCase {
+    // Coarse quantization forces duplicated minima: the tie-break is the
+    // interesting part.
+    let data: Vec<f64> = (0..len).map(|_| rng.gen_range(-8i64..8) as f64).collect();
+    let (tag, cmp) = match rng.gen_range(0..3) {
+        0 => ("strict", "<"),
+        1 => ("non-strict", "<="),
+        _ => ("strict-gt", ">"),
+    };
+    FuzzCase {
+        name: format!("argmin/{tag}"),
+        src: format!(
+            "int k(float* a, int n) {{
+                 float best = {};
+                 int bi = -1;
+                 for (int i = 0; i < n; i++) {{
+                     float v = a[i];
+                     if (v {cmp} best) {{ best = v; bi = i; }}
+                 }}
+                 return bi;
+             }}",
+            if tag == "strict-gt" { "-1.0e30" } else { "1.0e30" }
+        ),
+        args: vec![FuzzArg::FArr(data), FuzzArg::I(len as i64)],
+    }
+}
+
+fn gen_search(rng: &mut StdRng, len: usize) -> FuzzCase {
+    let mut data = ints(rng, len, 0, 1000);
+    // Place the needle (sometimes absent, sometimes duplicated).
+    let needle = 1_000_000 + rng.gen_range(0..5);
+    for _ in 0..rng.gen_range(0..4) {
+        let at = rng.gen_range(0..len as i64);
+        #[allow(clippy::cast_sign_loss)]
+        {
+            data[at as usize] = needle;
+        }
+    }
+    let (tag, body) = match rng.gen_range(0..3) {
+        0 => ("find-first", "if (a[i] == x) { r = i; break; }"),
+        1 => ("any-of", "if (a[i] == x) { r = 1; break; }"),
+        // Near-miss: the body writes — speculation would be observable.
+        _ => ("impure-body", "log[i] = a[i]; if (a[i] == x) { r = i; break; }"),
+    };
+    let log_param = if tag == "impure-body" { "int* log, " } else { "" };
+    let mut args = Vec::new();
+    if tag == "impure-body" {
+        args.push(FuzzArg::IArr(vec![0; len]));
+    }
+    let src = format!(
+        "int k({log_param}int* a, int x, int n) {{
+             int r = {};
+             for (int i = 0; i < n; i++) {{ {body} }}
+             return r;
+         }}",
+        if tag == "any-of" { "0" } else { "-1" }
+    );
+    let mut all_args = args;
+    all_args.push(FuzzArg::IArr(data));
+    all_args.push(FuzzArg::I(needle));
+    all_args.push(FuzzArg::I(len as i64));
+    FuzzCase { name: format!("search/{tag}"), src, args: all_args }
+}
+
+fn gen_fold_until(rng: &mut StdRng, len: usize) -> FuzzCase {
+    let mut data = ints(rng, len, 1, 90);
+    let sentinel = -7i64;
+    if rng.gen_range(0..3) > 0 {
+        let at = rng.gen_range(0..len as i64);
+        #[allow(clippy::cast_sign_loss)]
+        {
+            data[at as usize] = sentinel;
+        }
+    }
+    let (tag, guard) = match rng.gen_range(0..3) {
+        0 => ("pre-update", "if (a[i] == stop) break; s = s + a[i];"),
+        1 => ("post-update", "s = s + a[i]; if (a[i] == stop) break;"),
+        // Near-miss: the guard reads the accumulator — chunked
+        // speculation cannot reproduce a data-dependent stop point.
+        _ => ("acc-in-guard", "s = s + a[i]; if (s > 100000) break;"),
+    };
+    FuzzCase {
+        name: format!("fold-until/{tag}"),
+        src: format!(
+            "int k(int* a, int stop, int n) {{
+                 int s = 0;
+                 for (int i = 0; i < n; i++) {{ {guard} }}
+                 return s;
+             }}"
+        ),
+        args: vec![FuzzArg::IArr(data), FuzzArg::I(sentinel), FuzzArg::I(len as i64)],
+    }
+}
+
+fn gen_fusion(rng: &mut StdRng, len: usize) -> FuzzCase {
+    let data = floats(rng, len, -10.0, 10.0);
+    let map_expr = match rng.gen_range(0..4) {
+        0 => "a[i] * a[i]",
+        1 => "a[i] + 1.5",
+        // A loop-invariant broadcast: the produced value lives entirely
+        // outside the loop bodies and travels as a chunk closure slot.
+        2 => "0.25",
+        _ => "2.0 * a[i] - 0.5",
+    };
+    // Near-miss variants; `n - 1` with n == 1 is an empty consumer, which
+    // is still a valid (vacuous) workload.
+    let (tag, epilogue, consumer_bound) = match rng.gen_range(0..4) {
+        // Near-miss: the intermediate is read after the reduction.
+        0 => ("tmp-read-after", "return s + tmp[0];", "n"),
+        // Near-miss: the consumer covers a different range.
+        1 => ("short-consumer", "return s;", "n - 1"),
+        _ => ("clean", "return s;", "n"),
+    };
+    FuzzCase {
+        name: format!("fusion/{tag}"),
+        src: format!(
+            "float k(float* a, int n) {{
+                 float tmp[2500];
+                 for (int i = 0; i < n; i++) tmp[i] = {map_expr};
+                 float s = 0.0;
+                 for (int j = 0; j < {consumer_bound}; j++) s += tmp[j];
+                 {epilogue}
+             }}"
+        ),
+        args: vec![FuzzArg::FArr(data), FuzzArg::I(len as i64)],
+    }
+}
+
+fn gen_find_last(rng: &mut StdRng, len: usize) -> FuzzCase {
+    let mut data = ints(rng, len, 0, 50);
+    let needle = 999i64;
+    for _ in 0..rng.gen_range(0..3) {
+        let at = rng.gen_range(0..len as i64);
+        #[allow(clippy::cast_sign_loss)]
+        {
+            data[at as usize] = needle;
+        }
+    }
+    FuzzCase {
+        name: "find-last/downward".to_string(),
+        src: "int k(int* a, int x, int n) {
+                 int r = -1;
+                 for (int i = n - 1; i >= 0; i = i + -1) {
+                     if (a[i] == x) { r = i; break; }
+                 }
+                 return r;
+             }"
+        .to_string(),
+        args: vec![FuzzArg::IArr(data), FuzzArg::I(needle), FuzzArg::I(len as i64)],
+    }
+}
+
+/// Materializes the case's arguments into `mem`, returning the call args
+/// and the array objects (for post-run comparison).
+fn materialize(case: &FuzzCase, mem: &mut Memory) -> (Vec<RtVal>, Vec<ObjId>) {
+    let mut args = Vec::new();
+    let mut objs = Vec::new();
+    for a in &case.args {
+        match a {
+            FuzzArg::FArr(v) => {
+                let o = mem.alloc_float(v);
+                objs.push(o);
+                args.push(RtVal::ptr(o));
+            }
+            FuzzArg::IArr(v) => {
+                let o = mem.alloc_int(v);
+                objs.push(o);
+                args.push(RtVal::ptr(o));
+            }
+            FuzzArg::I(v) => args.push(RtVal::I(*v)),
+            FuzzArg::F(v) => args.push(RtVal::F(*v)),
+        }
+    }
+    (args, objs)
+}
+
+fn assert_value_eq(case: &str, threads: usize, seq: &Option<RtVal>, par: &Option<RtVal>) {
+    match (seq, par) {
+        (None, None) => {}
+        (Some(RtVal::I(a)), Some(RtVal::I(b))) => {
+            assert_eq!(a, b, "{case} (threads={threads}): integer result diverged");
+        }
+        (Some(RtVal::F(a)), Some(RtVal::F(b))) => {
+            assert!(
+                (a - b).abs() <= 1e-6 * a.abs().max(1.0),
+                "{case} (threads={threads}): float result diverged: {a} vs {b}"
+            );
+        }
+        other => panic!("{case} (threads={threads}): result shape diverged: {other:?}"),
+    }
+}
+
+fn assert_mem_eq(case: &str, threads: usize, seq: &Obj, par: &Obj) {
+    match (seq, par) {
+        (Obj::I(a), Obj::I(b)) => {
+            assert_eq!(a, b, "{case} (threads={threads}): integer array diverged");
+        }
+        (Obj::F(a), Obj::F(b)) => {
+            assert_eq!(a.len(), b.len(), "{case} (threads={threads}): array length diverged");
+            for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                assert!(
+                    (x - y).abs() <= 1e-6 * x.abs().max(1.0),
+                    "{case} (threads={threads}): float array diverged at {i}: {x} vs {y}"
+                );
+            }
+        }
+        _ => panic!("{case} (threads={threads}): array type diverged"),
+    }
+}
+
+/// Generates `cases` programs from `seed` and asserts, for every one the
+/// registry detects *and* the outliner exploits, that the parallel
+/// runtime reproduces the sequential interpreter on every count in
+/// `threads` — integer results bit-equal, float results within relative
+/// tolerance, output arrays element-wise.
+///
+/// # Panics
+/// Panics on the first divergence (detection soundness bug), on a
+/// generated program that fails to compile, or on a sequential trap (a
+/// generator bug — the grammar must produce trap-free workloads).
+#[must_use]
+pub fn run_differential(seed: u64, cases: usize, threads: &[usize]) -> FuzzReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut report = FuzzReport::default();
+    for case_idx in 0..cases {
+        let case = generate(&mut rng);
+        let tag = format!("seed {seed:#x} case {case_idx} [{}]", case.name);
+        let module = gr_frontend::compile(&case.src).unwrap_or_else(|e| {
+            panic!("{tag}: generated source fails to compile: {e}\n{}", case.src)
+        });
+        report.cases += 1;
+
+        // Sequential reference.
+        let mut mem = Memory::new(&module);
+        let (args, seq_objs) = materialize(&case, &mut mem);
+        let mut seq = Machine::new(&module, mem);
+        let seq_ret = seq
+            .call("k", &args)
+            .unwrap_or_else(|e| panic!("{tag}: sequential run trapped: {e}\n{}", case.src));
+
+        let rs = gr_core::detect_reductions(&module);
+        if rs.is_empty() {
+            // Nothing detected (e.g. a rejected near-miss): nothing can
+            // diverge, and it is not an outliner refusal.
+            continue;
+        }
+        report.detected += 1;
+        let Ok((pm, plan)) = gr_parallel::parallelize(&module, "k", &rs) else {
+            report.refused += 1;
+            continue;
+        };
+        report.exploited += 1;
+        for &t in threads {
+            let mut mem = Memory::new(&pm);
+            let (pargs, par_objs) = materialize(&case, &mut mem);
+            let mut par = Machine::new(&pm, mem);
+            par.set_handler(gr_parallel::runtime::handler(&pm, plan.clone(), t));
+            let par_ret = par
+                .call("k", &pargs)
+                .unwrap_or_else(|e| panic!("{tag} (threads={t}): parallel run trapped: {e}"));
+            assert_value_eq(&tag, t, &seq_ret, &par_ret);
+            for (&so, &po) in seq_objs.iter().zip(&par_objs) {
+                assert_mem_eq(&tag, t, seq.mem.object(so), par.mem.object(po));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..32 {
+            let ca = generate(&mut a);
+            let cb = generate(&mut b);
+            assert_eq!(ca.src, cb.src);
+            assert_eq!(ca.name, cb.name);
+        }
+    }
+
+    #[test]
+    fn every_family_compiles() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            let c = generate(&mut rng);
+            gr_frontend::compile(&c.src)
+                .unwrap_or_else(|e| panic!("[{}] fails to compile: {e}\n{}", c.name, c.src));
+        }
+    }
+
+    #[test]
+    fn smoke_sweep_is_divergence_free() {
+        // A small in-crate smoke; the CI-scaled sweep lives in the
+        // workspace-level `tests/properties.rs` (GR_FUZZ_CASES).
+        let report = run_differential(0xD1FF, 24, &[1, 4]);
+        assert_eq!(report.cases, 24);
+        assert!(report.detected > 0, "{report:?}");
+        assert!(report.exploited > 0, "{report:?}");
+    }
+}

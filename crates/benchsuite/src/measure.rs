@@ -27,6 +27,9 @@ pub struct DetectionRow {
     /// Speculative folds (fold-until-sentinel) found by the constraint
     /// system.
     pub fold_until: usize,
+    /// Map-reduce fusions (producer loop + reduction loop over a local
+    /// intermediate) found by the constraint system.
+    pub fusion: usize,
     /// Reductions found by the icc model.
     pub icc: usize,
     /// Reduction SCoPs found by the Polly model.
@@ -53,6 +56,7 @@ pub fn measure_detection(p: &ProgramDef) -> DetectionRow {
     let arg = ours.iter().filter(|r| r.kind.is_arg()).count();
     let search = ours.iter().filter(|r| r.kind.is_search()).count();
     let fold_until = ours.iter().filter(|r| r.kind.is_fold_until()).count();
+    let fusion = ours.iter().filter(|r| r.kind.is_fusion()).count();
     let icc = icc_detect(&module).len();
     let polly = polly_detect(&module);
     DetectionRow {
@@ -63,6 +67,7 @@ pub fn measure_detection(p: &ProgramDef) -> DetectionRow {
         arg,
         search,
         fold_until,
+        fusion,
         icc,
         polly_reductions: polly.reduction_scop_count(),
         scops: polly.scop_count(),

@@ -23,8 +23,8 @@ use gr_interp::Machine;
 use std::time::{Duration, Instant};
 
 /// The micro suite: one integer scan, one float scan, one argmin, the
-/// three early-exit search kernels, the speculative fold, and the
-/// high-end scan.
+/// three early-exit search kernels, the speculative fold, the map-reduce
+/// fusion pair, and the high-end scan.
 #[must_use]
 pub fn programs() -> Vec<ProgramDef> {
     vec![
@@ -201,6 +201,29 @@ pub fn programs() -> Vec<ProgramDef> {
             },
         },
         ProgramDef {
+            name: "fuse-square-sum",
+            suite: Suite::Micro,
+            // Map-reduce fusion: a squared-distance map materialized into
+            // a function-local intermediate, consumed only by the sum.
+            // The fixed-size local bounds the workload, so this program
+            // ignores `scale` (the intermediate's extent is compile-time).
+            source: "void sqsum(float* a, float* out, int n) {
+                         float tmp[30000];
+                         for (int i = 0; i < n; i++) tmp[i] = a[i] * a[i];
+                         float s = 0.0;
+                         for (int j = 0; j < n; j++) s += tmp[j];
+                         out[0] = s;
+                     }",
+            paper: Paper::default(),
+            workload: |_scale| {
+                let n = 30_000;
+                Workload {
+                    arrays: vec![farr(n, Init::RandF(-1.0, 1.0)), farr(1, Init::Zero)],
+                    calls: vec![call("sqsum", vec![Arg::A(0), Arg::A(1), Arg::I(n as i64)])],
+                }
+            },
+        },
+        ProgramDef {
             name: "search-find-last",
             suite: Suite::Micro,
             // Scanning from the high end: the last occurrence of a key.
@@ -237,6 +260,7 @@ pub fn kernel_of(name: &str) -> &'static str {
         "search-any-hit" => "anyhit",
         "search-first-below" => "below",
         "fold-sum-until" => "sumuntil",
+        "fuse-square-sum" => "sqsum",
         "search-find-last" => "findlast",
         other => panic!("unknown micro program `{other}`"),
     }
@@ -349,7 +373,12 @@ mod tests {
         assert_eq!(kinds[4].1, vec![ReductionKind::AnyOf], "{kinds:?}");
         assert_eq!(kinds[5].1, vec![ReductionKind::FindMinIndex], "{kinds:?}");
         assert_eq!(kinds[6].1, vec![ReductionKind::FoldUntil], "{kinds:?}");
-        assert_eq!(kinds[7].1, vec![ReductionKind::FindLast], "{kinds:?}");
+        assert_eq!(
+            kinds[7].1,
+            vec![ReductionKind::Scalar, ReductionKind::MapReduceFusion],
+            "the fusion pair also reports its consumer accumulator: {kinds:?}"
+        );
+        assert_eq!(kinds[8].1, vec![ReductionKind::FindLast], "{kinds:?}");
     }
 
     #[test]

@@ -47,9 +47,9 @@ fn main() -> ExitCode {
                 for p in gr_benchsuite::suite_programs(suite) {
                     let row = gr_benchsuite::measure::measure_detection(&p);
                     println!(
-                        "{:<18} scalar={:<2} histogram={:<2} scan={:<2} arg={:<2} search={:<2} fold-until={:<2} icc={:<2} polly-red={:<2} scops={}",
+                        "{:<18} scalar={:<2} histogram={:<2} scan={:<2} arg={:<2} search={:<2} fold-until={:<2} fusion={:<2} icc={:<2} polly-red={:<2} scops={}",
                         row.name, row.scalar, row.histogram, row.scan, row.arg, row.search,
-                        row.fold_until, row.icc, row.polly_reductions, row.scops
+                        row.fold_until, row.fusion, row.icc, row.polly_reductions, row.scops
                     );
                 }
             }
@@ -193,10 +193,11 @@ fn main() -> ExitCode {
                     let scan = rs.iter().filter(|r| r.kind.is_scan()).count();
                     let arg = rs.iter().filter(|r| r.kind.is_arg()).count();
                     let search = rs.iter().filter(|r| r.kind.is_search()).count();
+                    let fusion = rs.iter().filter(|r| r.kind.is_fusion()).count();
                     let icc = icc_detect(&module);
                     let polly = polly_detect(&module);
                     println!(
-                        "constraint system : {scalar} scalar + {histo} histogram + {scan} scan + {arg} argmin/argmax + {search} early-exit search"
+                        "constraint system : {scalar} scalar + {histo} histogram + {scan} scan + {arg} argmin/argmax + {search} early-exit search + {fusion} map-reduce fusion"
                     );
                     println!("icc model         : {} reductions", icc.len());
                     println!(

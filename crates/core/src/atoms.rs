@@ -433,6 +433,41 @@ pub enum Atom {
     /// last matching index" from find-first's "first matching index"
     /// purely in the constraint language.
     ConstIntNegative(Label),
+    /// The two labels bind headers of counted loops with the *same
+    /// iteration space*: identical initial value, step and bound (value
+    /// identity — the frontend interns constants, and shared runtime
+    /// bounds are shared SSA values) and the same normalized continue
+    /// predicate. The cross-loop condition of map-reduce fusion: the
+    /// consumer must visit exactly the indices the producer wrote.
+    SameTripCount {
+        /// First loop header.
+        h1: Label,
+        /// Second loop header.
+        h2: Label,
+    },
+    /// Every block on a CFG path from `from` to `to` (both inclusive) is
+    /// free of side effects: no stores, no allocas, and only pure calls.
+    /// Vacuously true when `to` is unreachable from `from`. Fusing two
+    /// loops moves the producer's work past this region, which is only
+    /// sound when nothing here writes memory the producer reads.
+    NoInterveningWrites {
+        /// First block of the region (the producer loop's exit).
+        from: Label,
+        /// Last block of the region (the consumer loop's preheader).
+        to: Label,
+    },
+    /// **Function-wide** object confinement: the memory object rooted at
+    /// `ptr` is accessed — loaded, stored, or passed to a call — only by
+    /// the instructions bound to `allowed`, anywhere in the function (the
+    /// loop-scoped sibling is [`Atom::OnlyObjectAccesses`]). Pins the
+    /// fusion intermediate: an array consumed *only* by its reduction can
+    /// be elided entirely once the loops fuse.
+    OnlyConsumedBy {
+        /// Pointer value label (the object root is derived from it).
+        ptr: Label,
+        /// Permitted accessor instruction labels.
+        allowed: Vec<Label>,
+    },
 }
 
 impl Atom {
@@ -468,7 +503,15 @@ impl Atom {
             | Atom::AnchoredTo { inst: a, header: b }
             | Atom::InvariantIn { value: a, header: b }
             | Atom::Precedes { a, b } => vec![*a, *b],
+            Atom::SameTripCount { h1: a, h2: b } | Atom::NoInterveningWrites { from: a, to: b } => {
+                vec![*a, *b]
+            }
             Atom::NoPathAvoiding { from, to, avoiding } => vec![*from, *to, *avoiding],
+            Atom::OnlyConsumedBy { ptr, allowed } => {
+                let mut v = vec![*ptr];
+                v.extend(allowed.iter().copied());
+                v
+            }
             Atom::ComputedOnlyFrom { output, header, iterator, allowed } => {
                 let mut v = vec![*output, *header, *iterator];
                 v.extend(allowed.iter().copied());
@@ -485,6 +528,92 @@ impl Atom {
                 v
             }
             Atom::AffineIn { value, header, iterator } => vec![*value, *header, *iterator],
+        }
+    }
+
+    /// Clones the atom with every mentioned label rewritten through `f`
+    /// (structure and parameters untouched). Used to compare stacked
+    /// prefix instances modulo their label offset.
+    #[must_use]
+    pub fn map_labels(&self, f: &dyn Fn(Label) -> Label) -> Atom {
+        match self {
+            Atom::IsBlock(l) => Atom::IsBlock(f(*l)),
+            Atom::IsLoopHeader(l) => Atom::IsLoopHeader(f(*l)),
+            Atom::TypeScalar(l) => Atom::TypeScalar(f(*l)),
+            Atom::TypeInt(l) => Atom::TypeInt(f(*l)),
+            Atom::ConstIntNegative(l) => Atom::ConstIntNegative(f(*l)),
+            Atom::Opcode { l, class } => Atom::Opcode { l: f(*l), class: *class },
+            Atom::CmpPredIs { l, pred } => Atom::CmpPredIs { l: f(*l), pred: *pred },
+            Atom::IsConstInt { l, value } => Atom::IsConstInt { l: f(*l), value: *value },
+            Atom::LoopExitEdges { header, n } => Atom::LoopExitEdges { header: f(*header), n: *n },
+            Atom::PureInLoop { header } => Atom::PureInLoop { header: f(*header) },
+            Atom::OnlyTerminator { block } => Atom::OnlyTerminator { block: f(*block) },
+            Atom::PhiArity { phi, n } => Atom::PhiArity { phi: f(*phi), n: *n },
+            Atom::OperandOf { inst, value } => Atom::OperandOf { inst: f(*inst), value: f(*value) },
+            Atom::OperandIs { inst, index, value } => {
+                Atom::OperandIs { inst: f(*inst), index: *index, value: f(*value) }
+            }
+            Atom::PhiIncoming { phi, value, block } => {
+                Atom::PhiIncoming { phi: f(*phi), value: f(*value), block: f(*block) }
+            }
+            Atom::NotEqual { a, b } => Atom::NotEqual { a: f(*a), b: f(*b) },
+            Atom::Equal { a, b } => Atom::Equal { a: f(*a), b: f(*b) },
+            Atom::BlockOf { inst, block } => Atom::BlockOf { inst: f(*inst), block: f(*block) },
+            Atom::CfgEdge { from, to } => Atom::CfgEdge { from: f(*from), to: f(*to) },
+            Atom::Dominates { a, b } => Atom::Dominates { a: f(*a), b: f(*b) },
+            Atom::StrictlyDominates { a, b } => Atom::StrictlyDominates { a: f(*a), b: f(*b) },
+            Atom::Postdominates { a, b } => Atom::Postdominates { a: f(*a), b: f(*b) },
+            Atom::StrictlyPostdominates { a, b } => {
+                Atom::StrictlyPostdominates { a: f(*a), b: f(*b) }
+            }
+            Atom::NoPathAvoiding { from, to, avoiding } => {
+                Atom::NoPathAvoiding { from: f(*from), to: f(*to), avoiding: f(*avoiding) }
+            }
+            Atom::InLoopBlock { block, header } => {
+                Atom::InLoopBlock { block: f(*block), header: f(*header) }
+            }
+            Atom::NotInLoopBlock { block, header } => {
+                Atom::NotInLoopBlock { block: f(*block), header: f(*header) }
+            }
+            Atom::InLoopInst { inst, header } => {
+                Atom::InLoopInst { inst: f(*inst), header: f(*header) }
+            }
+            Atom::AnchoredTo { inst, header } => {
+                Atom::AnchoredTo { inst: f(*inst), header: f(*header) }
+            }
+            Atom::InvariantIn { value, header } => {
+                Atom::InvariantIn { value: f(*value), header: f(*header) }
+            }
+            Atom::ComputedOnlyFrom { output, header, iterator, allowed } => {
+                Atom::ComputedOnlyFrom {
+                    output: f(*output),
+                    header: f(*header),
+                    iterator: f(*iterator),
+                    allowed: allowed.iter().map(|l| f(*l)).collect(),
+                }
+            }
+            Atom::UsesConfinedTo { source, header, terminals } => Atom::UsesConfinedTo {
+                source: f(*source),
+                header: f(*header),
+                terminals: terminals.iter().map(|l| f(*l)).collect(),
+            },
+            Atom::OnlyObjectAccesses { ptr, header, allowed } => Atom::OnlyObjectAccesses {
+                ptr: f(*ptr),
+                header: f(*header),
+                allowed: allowed.iter().map(|l| f(*l)).collect(),
+            },
+            Atom::AffineIn { value, header, iterator } => {
+                Atom::AffineIn { value: f(*value), header: f(*header), iterator: f(*iterator) }
+            }
+            Atom::Precedes { a, b } => Atom::Precedes { a: f(*a), b: f(*b) },
+            Atom::SameTripCount { h1, h2 } => Atom::SameTripCount { h1: f(*h1), h2: f(*h2) },
+            Atom::NoInterveningWrites { from, to } => {
+                Atom::NoInterveningWrites { from: f(*from), to: f(*to) }
+            }
+            Atom::OnlyConsumedBy { ptr, allowed } => Atom::OnlyConsumedBy {
+                ptr: f(*ptr),
+                allowed: allowed.iter().map(|l| f(*l)).collect(),
+            },
         }
     }
 
@@ -770,6 +899,42 @@ impl Atom {
             }
             Atom::ConstIntNegative(l) => {
                 matches!(ctx.func.value(get(*l)).kind, ValueKind::ConstInt(c) if c < 0)
+            }
+            Atom::SameTripCount { h1, h2 } => same_trip_count(ctx, get(*h1), get(*h2)),
+            Atom::NoInterveningWrites { from, to } => {
+                let (Some(f), Some(t)) = (ctx.as_block(get(*from)), ctx.as_block(get(*to))) else {
+                    return false;
+                };
+                no_intervening_writes(ctx, f, t)
+            }
+            Atom::OnlyConsumedBy { ptr, allowed } => {
+                let Some(object) = root_object(ctx.func, get(*ptr)) else { return false };
+                let allowed_vals: Vec<ValueId> = allowed.iter().map(|l| get(*l)).collect();
+                for b in ctx.func.block_ids() {
+                    for &inst in &ctx.func.block(b).insts {
+                        if allowed_vals.contains(&inst) {
+                            continue;
+                        }
+                        let data = ctx.func.value(inst);
+                        let touches = match data.kind.opcode() {
+                            Some(Opcode::Load) => {
+                                root_object(ctx.func, data.kind.operands()[0]) == Some(object)
+                            }
+                            Some(Opcode::Store) => {
+                                root_object(ctx.func, data.kind.operands()[1]) == Some(object)
+                            }
+                            Some(Opcode::Call(_)) => data.kind.operands().iter().any(|&a| {
+                                ctx.func.value(a).ty.is_ptr()
+                                    && root_object(ctx.func, a) == Some(object)
+                            }),
+                            _ => false,
+                        };
+                        if touches {
+                            return false;
+                        }
+                    }
+                }
+                true
             }
         }
     }
@@ -1085,16 +1250,80 @@ impl Atom {
             Atom::NoPathAvoiding { .. }
             | Atom::AffineIn { .. }
             | Atom::LoopExitEdges { .. }
+            | Atom::SameTripCount { .. }
+            | Atom::NoInterveningWrites { .. }
             | Atom::PureInLoop { .. } => 3,
             Atom::ComputedOnlyFrom { .. }
             | Atom::UsesConfinedTo { .. }
-            | Atom::OnlyObjectAccesses { .. } => 4,
+            | Atom::OnlyObjectAccesses { .. }
+            | Atom::OnlyConsumedBy { .. } => 4,
         }
     }
 }
 
 fn both_blocks(ctx: &MatchCtx<'_>, a: ValueId, b: ValueId) -> Option<(BlockId, BlockId)> {
     Some((ctx.as_block(a)?, ctx.as_block(b)?))
+}
+
+/// Whether the counted loops headed by `h1` and `h2` have identical
+/// iteration spaces: same initial value, step and bound (by SSA value
+/// identity) and the same normalized continue predicate with the same
+/// branch orientation.
+fn same_trip_count(ctx: &MatchCtx<'_>, h1: ValueId, h2: ValueId) -> bool {
+    let shape_of = |h: ValueId| {
+        let lid = ctx.loop_of_header(h)?;
+        gr_analysis::loops::match_for_shape(ctx.func, &ctx.analyses.loops, lid)
+    };
+    let (Some(s1), Some(s2)) = (shape_of(h1), shape_of(h2)) else { return false };
+    // `ForShape::pred` is already normalized to "continue while iterator
+    // PRED bound" (iterator on the left, branch orientation folded in).
+    (s1.init, s1.step, s1.bound, s1.pred) == (s2.init, s2.step, s2.bound, s2.pred)
+}
+
+/// Whether every block on a `from → to` path (both endpoints included) is
+/// free of stores, allocas and impure calls. Vacuously true when `to` is
+/// unreachable from `from`.
+fn no_intervening_writes(ctx: &MatchCtx<'_>, from: BlockId, to: BlockId) -> bool {
+    let cfg = &ctx.analyses.cfg;
+    let n = ctx.func.blocks.len();
+    // Forward reachability from `from`.
+    let mut fwd = vec![false; n];
+    let mut work = vec![from];
+    fwd[from.index()] = true;
+    while let Some(b) = work.pop() {
+        for &s in &cfg.succs[b.index()] {
+            if !fwd[s.index()] {
+                fwd[s.index()] = true;
+                work.push(s);
+            }
+        }
+    }
+    if !fwd[to.index()] {
+        return true;
+    }
+    // Backward reachability from `to`.
+    let mut bwd = vec![false; n];
+    let mut work = vec![to];
+    bwd[to.index()] = true;
+    while let Some(b) = work.pop() {
+        for &p in &cfg.preds[b.index()] {
+            if !bwd[p.index()] {
+                bwd[p.index()] = true;
+                work.push(p);
+            }
+        }
+    }
+    ctx.func.block_ids().filter(|b| fwd[b.index()] && bwd[b.index()]).all(|b| {
+        ctx.func
+            .block(b)
+            .insts
+            .iter()
+            .all(|&inst| match ctx.func.value(inst).kind.opcode() {
+                Some(Opcode::Store | Opcode::Alloca) => false,
+                Some(Opcode::Call(name)) => ctx.analyses.purity.is_pure(name),
+                _ => true,
+            })
+    })
 }
 
 /// BFS check that every path `from → to` passes through `avoiding`.

@@ -64,15 +64,40 @@ impl Constraint {
 /// exact same prefix sub-problem, so a solver run over one prefix can be
 /// reused by every extension
 /// ([`solve_extend`](crate::solver::solve_extend)).
+///
+/// A spec may stack **several instances** of the same prefix (calling
+/// `mark_prefix` once per instance): the map-reduce-fusion idiom poses the
+/// for-loop sub-problem twice — once for the producer loop, once for the
+/// consumer. `labels`/`conjuncts` always describe a *single* instance;
+/// the solver resumes such specs from the cartesian power of the cached
+/// prefix solutions, so one cached for-loop solve serves every ordered
+/// pair of loops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PrefixInfo {
-    /// Number of leading labels owned by the prefix.
+    /// Number of leading labels owned by one prefix instance.
     pub labels: usize,
-    /// Number of leading top-level conjuncts owned by the prefix.
+    /// Number of leading top-level conjuncts owned by one prefix instance.
     pub conjuncts: usize,
-    /// Structural fingerprint of the prefix (labels + constraint tree):
-    /// equal fingerprints ⇒ identical prefix sub-problems.
+    /// How many structurally identical instances of the prefix are
+    /// stacked back to back (1 for every single-loop idiom).
+    pub instances: usize,
+    /// Structural fingerprint of one prefix instance (labels + constraint
+    /// tree): equal fingerprints ⇒ identical prefix sub-problems.
     pub fingerprint: u64,
+}
+
+impl PrefixInfo {
+    /// Total labels covered by all stacked prefix instances.
+    #[must_use]
+    pub fn total_labels(&self) -> usize {
+        self.labels * self.instances
+    }
+
+    /// Total top-level conjuncts covered by all stacked prefix instances.
+    #[must_use]
+    pub fn total_conjuncts(&self) -> usize {
+        self.conjuncts * self.instances
+    }
 }
 
 /// A named idiom specification: labels plus the constraint predicate.
@@ -143,7 +168,9 @@ pub struct SpecBuilder {
     name: String,
     label_names: Vec<String>,
     conjuncts: Vec<Constraint>,
-    prefix: Option<(usize, usize)>,
+    /// One `(labels_so_far, conjuncts_so_far)` boundary per `mark_prefix`
+    /// call; several boundaries stack instances of the same prefix.
+    prefix_marks: Vec<(usize, usize)>,
 }
 
 impl SpecBuilder {
@@ -154,7 +181,7 @@ impl SpecBuilder {
             name: name.to_string(),
             label_names: Vec::new(),
             conjuncts: Vec::new(),
-            prefix: None,
+            prefix_marks: Vec::new(),
         }
     }
 
@@ -174,10 +201,22 @@ impl SpecBuilder {
     /// but it multiplies prefix solutions instead of sharing a small
     /// skeleton).
     ///
+    /// Calling `mark_prefix` again after adding a *second copy* of the
+    /// same composite stacks another **instance** of the prefix: the
+    /// instances must be structurally identical up to the label offset
+    /// (checked in [`SpecBuilder::finish`]), and the solver resumes the
+    /// spec from tuples of cached prefix solutions — one per instance —
+    /// instead of re-solving the copies. This is how map-reduce fusion
+    /// poses the for-loop sub-problem once for the producer loop and once
+    /// for the consumer while still paying for a single cached solve.
+    ///
     /// [`add_for_loop`]: crate::spec::forloop::add_for_loop
     pub fn mark_prefix(&mut self) -> &mut SpecBuilder {
-        assert!(self.prefix.is_none(), "spec `{}` marked a prefix twice", self.name);
-        self.prefix = Some((self.label_names.len(), self.conjuncts.len()));
+        let mark = (self.label_names.len(), self.conjuncts.len());
+        if let Some(&last) = self.prefix_marks.last() {
+            assert!(mark != last, "spec `{}` marked an empty prefix instance", self.name);
+        }
+        self.prefix_marks.push(mark);
         self
     }
 
@@ -214,12 +253,42 @@ impl SpecBuilder {
     }
 
     /// Finalizes the specification.
+    ///
+    /// # Panics
+    /// Panics when stacked prefix instances are not structurally identical
+    /// up to the label offset (a specification bug: the solver could not
+    /// soundly resume them from one cached sub-solution).
     #[must_use]
     pub fn finish(self) -> Spec {
-        let prefix = self.prefix.map(|(labels, conjuncts)| PrefixInfo {
-            labels,
-            conjuncts,
-            fingerprint: fingerprint(&self.label_names[..labels], &self.conjuncts[..conjuncts]),
+        let prefix = self.prefix_marks.first().map(|&(labels, conjuncts)| {
+            let instances = self.prefix_marks.len();
+            // Every further instance must span the same number of labels
+            // and conjuncts and repeat the first instance's constraint
+            // tree, merely shifted by the label offset.
+            for (i, &(l_end, c_end)) in self.prefix_marks.iter().enumerate() {
+                assert_eq!(
+                    (l_end, c_end),
+                    (labels * (i + 1), conjuncts * (i + 1)),
+                    "spec `{}`: prefix instance {i} has a different span",
+                    self.name
+                );
+                let shifted: Vec<Constraint> = self.conjuncts[conjuncts * i..c_end]
+                    .iter()
+                    .map(|c| shift_labels(c, -(isize::try_from(labels * i).unwrap())))
+                    .collect();
+                assert_eq!(
+                    format!("{shifted:?}"),
+                    format!("{:?}", &self.conjuncts[..conjuncts]),
+                    "spec `{}`: prefix instance {i} is not a copy of instance 0",
+                    self.name
+                );
+            }
+            PrefixInfo {
+                labels,
+                conjuncts,
+                instances,
+                fingerprint: fingerprint(&self.label_names[..labels], &self.conjuncts[..conjuncts]),
+            }
         });
         Spec {
             name: self.name,
@@ -227,6 +296,21 @@ impl SpecBuilder {
             root: Constraint::And(self.conjuncts),
             prefix,
         }
+    }
+}
+
+/// Clones a constraint tree with every label index shifted by `delta`
+/// (used to compare stacked prefix instances against instance 0).
+fn shift_labels(c: &Constraint, delta: isize) -> Constraint {
+    let shift = |l: Label| {
+        Label(
+            usize::try_from(isize::try_from(l.index()).unwrap() + delta).expect("label underflow"),
+        )
+    };
+    match c {
+        Constraint::Atom(a) => Constraint::Atom(a.map_labels(&shift)),
+        Constraint::And(cs) => Constraint::And(cs.iter().map(|c| shift_labels(c, delta)).collect()),
+        Constraint::Or(cs) => Constraint::Or(cs.iter().map(|c| shift_labels(c, delta)).collect()),
     }
 }
 

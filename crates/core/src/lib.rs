@@ -22,15 +22,21 @@
 //!    detector,
 //! 4. **idiom specifications** in [`spec`] for the two markable prefixes —
 //!    the single-exit for-loop (Figure 5) and the early-exit loop (one
-//!    guarded `break`) — and the seven registered idioms:
+//!    guarded `break`) — and the ten registered idioms:
 //!    * `scalar-reduction` — scalar accumulations (§3.1.1),
 //!    * `histogram-reduction` — generalized/histogram reductions (§3.1.2),
 //!      including the sparse/conditional form with duplicated index loads,
 //!    * `prefix-scan` — prefix sums / scans (`s += a[i]; out[i] = s`),
 //!    * `argmin-argmax` — conditional min/max with a carried index,
-//!    * `find-first` / `any-all-of` / `find-min-index-early` — the
-//!      early-exit search family ([`spec::search`]), exploited by the
-//!      cancellable speculative runtime in `gr-parallel`,
+//!    * `find-first` / `any-all-of` / `find-min-index-early` /
+//!      `find-last` — the early-exit search family ([`spec::search`]),
+//!      exploited by the cancellable speculative runtime in `gr-parallel`,
+//!    * `fold-until-sentinel` — the speculative fold,
+//!    * `map-reduce-fusion` — the first **two-loop** idiom
+//!      ([`spec::fusion`]): a producer loop whose output array is consumed
+//!      only by a reduction loop over the same range; the spec stacks two
+//!      for-loop prefix instances and the solver resumes it from *pairs*
+//!      of cached prefix solutions,
 //! 5. the **post-checks** the paper performs outside the constraint
 //!    language (associativity of the update operator) in [`postcheck`], and
 //! 6. a generic [`detect`] driver that runs a registry over a module and
@@ -60,7 +66,7 @@
 //!     registry.names(),
 //!     ["histogram-reduction", "scalar-reduction", "prefix-scan", "argmin-argmax",
 //!      "find-first", "any-all-of", "find-min-index-early", "fold-until-sentinel",
-//!      "find-last"],
+//!      "find-last", "map-reduce-fusion"],
 //! );
 //! // A custom entry: any `Spec` built with `SpecBuilder` plus hooks.
 //! let scan = gr_core::spec::scan::idiom();

@@ -109,6 +109,12 @@ pub enum ReductionKind {
     /// ("sum-until-sentinel"). Exploited by folding private partials per
     /// chunk and replaying them only up to the lowest-indexed hit.
     FoldUntil,
+    /// Map-reduce fusion: a counted producer loop materializing
+    /// `tmp[i] = f(…)` whose output array is consumed *only* by a scalar
+    /// reduction loop over the same range in the same function. Exploited
+    /// by fusing the two loops into one chunked map+reduce body that never
+    /// materializes the intermediate array.
+    MapReduceFusion,
 }
 
 impl ReductionKind {
@@ -158,6 +164,13 @@ impl ReductionKind {
         self == ReductionKind::FoldUntil
     }
 
+    /// Whether this is a map-reduce fusion (producer loop + reduction
+    /// loop over the same intermediate array).
+    #[must_use]
+    pub fn is_fusion(self) -> bool {
+        self == ReductionKind::MapReduceFusion
+    }
+
     /// Whether this reduction executes on the speculative early-exit
     /// schedule (searches and speculative folds): chunks past the
     /// sequential exit point may run and be discarded.
@@ -181,6 +194,7 @@ impl fmt::Display for ReductionKind {
             ReductionKind::FindMinIndex => "find-min-index",
             ReductionKind::FindLast => "find-last",
             ReductionKind::FoldUntil => "fold-until",
+            ReductionKind::MapReduceFusion => "map-reduce-fusion",
         })
     }
 }

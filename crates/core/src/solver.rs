@@ -250,6 +250,15 @@ pub fn solve(spec: &Spec, ctx: &MatchCtx<'_>, opts: SolveOptions) -> (Vec<Assign
 /// solutions and their order are identical to the full solve, while the
 /// steps cover only the extension levels.
 ///
+/// Specs stacking several prefix **instances** (see
+/// [`PrefixInfo::instances`](crate::constraint::PrefixInfo)) resume from
+/// every ordered tuple of prefix solutions — the cartesian power, in
+/// lexicographic order, which is exactly the order a full solve enumerates
+/// the stacked copies. Map-reduce fusion resumes from *pairs* of for-loop
+/// solutions this way: one cached solve, |loops|² resumed pairs, and the
+/// cross-loop residual conjuncts prune each pair before any extension
+/// label is searched.
+///
 /// The prefix assignments are typically produced once per function by
 /// solving [`Spec::prefix_spec`] and cached across idiom entries in a
 /// [`PrefixCache`](crate::detect::PrefixCache).
@@ -264,22 +273,38 @@ pub fn solve_extend(
     opts: SolveOptions,
 ) -> (Vec<Assignment>, SolveStats) {
     let p = spec.prefix.expect("solve_extend requires a spec with a marked prefix");
-    let plan = SearchPlan::new(spec, p.labels, p.conjuncts);
+    let plan = SearchPlan::new(spec, p.total_labels(), p.total_conjuncts());
     let mut solutions = Vec::new();
     let mut stats = SolveStats::default();
-    for pre in prefix_solutions {
-        debug_assert_eq!(pre.len(), p.labels, "prefix assignment arity mismatch");
-        // Extension conjuncts confined to prefix labels are decided here,
-        // once per prefix assignment.
-        if !plan.residual.iter().all(|c| eval(c, ctx, pre)) {
-            continue;
+    if prefix_solutions.is_empty() {
+        return (solutions, stats);
+    }
+    // Odometer over `instances` digits, last digit fastest: tuple t is the
+    // assignment of instance i's labels from `prefix_solutions[t[i]]`.
+    let mut idx = vec![0usize; p.instances];
+    'tuples: loop {
+        let mut asg: Assignment = Vec::with_capacity(spec.arity());
+        for &i in &idx {
+            let pre = &prefix_solutions[i];
+            debug_assert_eq!(pre.len(), p.labels, "prefix assignment arity mismatch");
+            asg.extend_from_slice(pre);
         }
-        let mut asg = pre.clone();
-        asg.reserve(spec.arity() - p.labels);
-        search(&plan, ctx, &mut asg, &mut solutions, &mut stats, opts);
-        if stats.truncated {
-            break;
+        // Extension conjuncts confined to prefix labels (including every
+        // cross-instance condition) are decided here, once per tuple.
+        if plan.residual.iter().all(|c| eval(c, ctx, &asg)) {
+            search(&plan, ctx, &mut asg, &mut solutions, &mut stats, opts);
+            if stats.truncated {
+                break;
+            }
         }
+        for d in (0..idx.len()).rev() {
+            idx[d] += 1;
+            if idx[d] < prefix_solutions.len() {
+                continue 'tuples;
+            }
+            idx[d] = 0;
+        }
+        break;
     }
     (solutions, stats)
 }

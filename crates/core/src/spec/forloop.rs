@@ -58,18 +58,31 @@ pub struct ForLoopLabels {
 /// Does **not** mark the prefix — the calling composite does, after adding
 /// its remaining atoms.
 pub(crate) fn add_counted_loop(b: &mut SpecBuilder, single_exit: bool) -> ForLoopLabels {
-    let header = b.label("header");
-    let preheader = b.label("preheader");
-    let latch = b.label("latch");
-    let jump = b.label("jump");
-    let test = b.label("test");
-    let body = b.label("body");
-    let exit = b.label("exit");
-    let iterator = b.label("iterator");
-    let next_iter = b.label("next_iter");
-    let iter_begin = b.label("iter_begin");
-    let iter_step = b.label("iter_step");
-    let iter_end = b.label("iter_end");
+    add_counted_loop_suffixed(b, single_exit, "")
+}
+
+/// [`add_counted_loop`] with a suffix appended to every label name, so a
+/// spec can stack a *second* copy of the counted-loop sub-problem without
+/// colliding with the first instance's label names (the constraint tree
+/// is identical modulo the label offset — which is exactly what
+/// [`SpecBuilder::mark_prefix`] verifies for stacked prefix instances).
+pub(crate) fn add_counted_loop_suffixed(
+    b: &mut SpecBuilder,
+    single_exit: bool,
+    suffix: &str,
+) -> ForLoopLabels {
+    let header = b.label(&format!("header{suffix}"));
+    let preheader = b.label(&format!("preheader{suffix}"));
+    let latch = b.label(&format!("latch{suffix}"));
+    let jump = b.label(&format!("jump{suffix}"));
+    let test = b.label(&format!("test{suffix}"));
+    let body = b.label(&format!("body{suffix}"));
+    let exit = b.label(&format!("exit{suffix}"));
+    let iterator = b.label(&format!("iterator{suffix}"));
+    let next_iter = b.label(&format!("next_iter{suffix}"));
+    let iter_begin = b.label(&format!("iter_begin{suffix}"));
+    let iter_step = b.label(&format!("iter_step{suffix}"));
+    let iter_end = b.label(&format!("iter_end{suffix}"));
 
     // Structure: header is a loop header; preheader enters it from outside;
     // the latch closes the back edge from inside.
@@ -162,6 +175,22 @@ pub fn add_for_loop(b: &mut SpecBuilder) -> ForLoopLabels {
     let labels = add_counted_loop(b, true);
     b.mark_prefix();
     labels
+}
+
+/// Adds **two stacked instances** of the for-loop prefix — the producer
+/// and the consumer loop of a two-loop idiom like map-reduce fusion. Each
+/// instance is marked with [`SpecBuilder::mark_prefix`], so the detection
+/// driver resumes the spec from every ordered *pair* of cached for-loop
+/// solutions instead of re-solving either loop; the second instance's
+/// labels carry the `suffix` (e.g. `header_r`) to keep names unique.
+///
+/// Must be the first composite on a fresh builder, exactly like
+/// [`add_for_loop`].
+pub fn add_for_loop_pair(b: &mut SpecBuilder, suffix: &str) -> (ForLoopLabels, ForLoopLabels) {
+    let first = add_for_loop(b);
+    let second = add_counted_loop_suffixed(b, true, suffix);
+    b.mark_prefix();
+    (first, second)
 }
 
 /// The standalone for-loop specification.

@@ -13,6 +13,9 @@
 //!   find-min-index-early, find-last (scanning from the high end),
 //! * [`foldexit`] — the speculative fold: fold-until-sentinel, an
 //!   accumulator carried across a two-exit loop,
+//! * [`fusion`] — map-reduce fusion, the first two-loop idiom: a producer
+//!   loop whose output array is consumed only by a reduction loop over
+//!   the same range (the spec stacks two for-loop prefix instances),
 //! * [`registry`] — the pluggable [`registry::IdiomRegistry`] the generic
 //!   detection driver iterates.
 //!
@@ -33,6 +36,7 @@ pub mod argminmax;
 pub mod earlyexit;
 pub mod foldexit;
 pub mod forloop;
+pub mod fusion;
 pub mod histogram;
 pub mod registry;
 pub mod scalar;
@@ -42,7 +46,8 @@ pub mod search;
 pub use argminmax::{argminmax_spec, ArgMinMaxLabels};
 pub use earlyexit::{add_for_loop_early_exit, for_loop_early_exit_spec, EarlyExitLabels};
 pub use foldexit::{fold_until_spec, FoldExitLabels};
-pub use forloop::{add_for_loop, for_loop_spec, ForLoopLabels};
+pub use forloop::{add_for_loop, add_for_loop_pair, for_loop_spec, ForLoopLabels};
+pub use fusion::{map_reduce_fusion_spec, FusionLabels};
 pub use histogram::{histogram_spec, HistogramLabels};
 pub use registry::{IdiomEntry, IdiomRegistry, RegistryError};
 pub use scalar::{scalar_reduction_spec, ScalarLabels};

@@ -17,9 +17,10 @@
 //! * an optional **finalize** pass over all of the idiom's reports in one
 //!   function (e.g. dropping nested duplicates).
 //!
-//! [`IdiomRegistry::with_default_idioms`] registers the nine built-in
+//! [`IdiomRegistry::with_default_idioms`] registers the ten built-in
 //! idioms (scalar, histogram, scan, argmin/argmax, find-first,
-//! any-of/all-of, find-min-index-early, fold-until-sentinel, find-last);
+//! any-of/all-of, find-min-index-early, fold-until-sentinel, find-last,
+//! map-reduce-fusion);
 //! [`IdiomRegistry::empty`] plus
 //! [`IdiomRegistry::register`] assemble custom detector sets. The generic
 //! driver in [`crate::detect`] iterates whatever is registered — it has no
@@ -44,6 +45,12 @@
 //! ([`IdiomRegistry::stats_report`] measures both paths and the
 //! per-prefix cache hit counts, and `crates/bench/tests/solver_steps.rs`
 //! pins the totals).
+//!
+//! A spec may even stack **several instances** of one prefix: map-reduce
+//! fusion ([`crate::spec::fusion`]) poses the for-loop sub-problem twice
+//! — producer and consumer loop — and the driver resumes it from every
+//! ordered *pair* of the same cached for-loop solutions. Two-loop idioms
+//! therefore still pay a single prefix solve per function.
 //!
 //! Custom idioms need no opt-in: start the spec with `add_for_loop` (or
 //! any composite that calls `mark_prefix`) **as the first thing on the
@@ -156,9 +163,10 @@ impl IdiomRegistry {
     }
 
     /// The default registry: histogram, scalar, scan, argmin/argmax on the
-    /// for-loop prefix, plus the early-exit family (find-first,
-    /// any-of/all-of, find-min-index-early, fold-until-sentinel,
-    /// find-last) on the two-exit prefix.
+    /// for-loop prefix, the early-exit family (find-first, any-of/all-of,
+    /// find-min-index-early, fold-until-sentinel, find-last) on the
+    /// two-exit prefix, and map-reduce fusion on a stacked *pair* of
+    /// for-loop prefixes.
     #[must_use]
     pub fn with_default_idioms() -> IdiomRegistry {
         let mut r = IdiomRegistry::empty();
@@ -172,6 +180,7 @@ impl IdiomRegistry {
             crate::spec::search::find_min_index_idiom(),
             crate::spec::foldexit::idiom(),
             crate::spec::search::find_last_idiom(),
+            crate::spec::fusion::idiom(),
         ] {
             r.register(e).expect("default idiom names are unique");
         }
@@ -344,7 +353,7 @@ mod tests {
     }
 
     #[test]
-    fn default_registry_has_nine_idioms() {
+    fn default_registry_has_ten_idioms() {
         let r = IdiomRegistry::with_default_idioms();
         assert_eq!(
             r.names(),
@@ -357,14 +366,16 @@ mod tests {
                 "any-all-of",
                 "find-min-index-early",
                 "fold-until-sentinel",
-                "find-last"
+                "find-last",
+                "map-reduce-fusion"
             ]
         );
-        assert_eq!(r.len(), 9);
+        assert_eq!(r.len(), 10);
         assert!(!r.is_empty());
         assert!(r.get("prefix-scan").is_some());
         assert!(r.get("find-first").is_some());
         assert!(r.get("fold-until-sentinel").is_some());
+        assert!(r.get("map-reduce-fusion").is_some());
         assert!(r.get("no-such-idiom").is_none());
     }
 

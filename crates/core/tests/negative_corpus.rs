@@ -1,0 +1,359 @@
+//! The negative corpus: one deliberately-broken **near-miss per
+//! registered idiom**, each asserted *not detected* (as that idiom).
+//!
+//! In the spirit of CoreDiag-style redundancy analysis over constraint
+//! sets, every spec earns its keep by what it rejects: a constraint whose
+//! removal still rejects all of these is at least not load-bearing for
+//! soundness, and a future "simplification" that starts accepting one of
+//! them is a semantics bug, not a coverage win — each program here would
+//! produce wrong results under the corresponding exploitation template.
+//! (The differential fuzzer sweeps mutated near-misses at random; this
+//! file pins the canonical counterexamples deterministically.)
+
+use gr_core::{detect_reductions, ReductionKind};
+
+fn kinds(src: &str) -> Vec<ReductionKind> {
+    detect_reductions(&gr_frontend::compile(src).unwrap())
+        .iter()
+        .map(|r| r.kind)
+        .collect()
+}
+
+#[track_caller]
+fn assert_not_detected(kind: ReductionKind, src: &str) {
+    let ks = kinds(src);
+    assert!(!ks.contains(&kind), "near-miss wrongly detected as {kind}: {ks:?}\n{src}");
+}
+
+/// scalar-reduction: the accumulator steers a branch over *other* state
+/// (the paper's §2 counterexample) — privatizing it would change which
+/// iterations update the histogram and the sums.
+#[test]
+fn scalar_accumulator_in_foreign_guard() {
+    let src = "void ep(float* x, float* q, float* sums, int nk) {
+             float sx = 0.0;
+             for (int i = 0; i < nk; i++) {
+                 float x1 = 2.0 * x[i] - 1.0;
+                 if (x1 <= sx) {
+                     q[i] = x1;
+                     sx = sx + x1;
+                 }
+             }
+             sums[0] = sx;
+         }";
+    assert_not_detected(ReductionKind::Scalar, src);
+}
+
+/// scalar-reduction: accumulator used as an address — iteration k's read
+/// depends on every prior update, so partials cannot merge.
+#[test]
+fn scalar_accumulator_as_index() {
+    assert_not_detected(
+        ReductionKind::Scalar,
+        "int k(int* a, int n) {
+             int s = 0;
+             for (int i = 0; i < n; i++) s += a[s];
+             return s;
+         }",
+    );
+}
+
+/// histogram-reduction: the loaded cell differs from the stored cell — a
+/// stencil with cross-iteration order dependence, not a histogram.
+#[test]
+fn histogram_reads_a_different_cell() {
+    assert_not_detected(
+        ReductionKind::Histogram,
+        "void k(int* h, int* key, int n) {
+             for (int i = 0; i < n; i++) h[key[i]] = h[63 - key[i]] + 1;
+         }",
+    );
+}
+
+/// prefix-scan: the running value lands in one fixed cell — privatized
+/// replay would drop all but the final store's visibility ordering.
+#[test]
+fn scan_with_constant_output_index() {
+    assert_not_detected(
+        ReductionKind::Scan,
+        "void k(float* a, float* out, int n) {
+             float s = 0.0;
+             for (int i = 0; i < n; i++) { s += a[i]; out[0] = s; }
+         }",
+    );
+}
+
+/// prefix-scan: the output array is also read in the loop — a second
+/// loop-carried dependence beside the accumulator.
+#[test]
+fn scan_output_read_back() {
+    assert_not_detected(
+        ReductionKind::Scan,
+        "void k(float* a, float* out, int n) {
+             float s = 0.0;
+             for (int i = 1; i < n; i++) { s += a[i] + out[i - 1]; out[i] = s; }
+         }",
+    );
+}
+
+/// argmin-argmax: the exchange predicate compares against a *moving*
+/// third value, so block-level replay cannot reproduce the sequence of
+/// exchanges.
+#[test]
+fn argmin_exchange_against_moving_reference() {
+    let src = "int k(float* a, int n) {
+             float ref = 0.0;
+             float best = 1.0e30;
+             int bi = -1;
+             for (int i = 0; i < n; i++) {
+                 float v = a[i];
+                 ref = ref + 1.0;
+                 if (v < best - ref) { best = v; bi = i; }
+             }
+             return bi;
+         }";
+    assert_not_detected(ReductionKind::ArgMin, src);
+    assert_not_detected(ReductionKind::ArgMax, src);
+}
+
+/// find-first: an impure early-exit body — speculative chunks past the
+/// sequential hit would write observable memory.
+#[test]
+fn find_first_with_impure_body() {
+    assert_not_detected(
+        ReductionKind::FindFirst,
+        "int k(int* a, int* log, int x, int n) {
+             int r = -1;
+             for (int i = 0; i < n; i++) {
+                 log[i] = a[i];
+                 if (a[i] == x) { r = i; break; }
+             }
+             return r;
+         }",
+    );
+}
+
+/// any-all-of: the break arm carries computation (no pure trampoline), so
+/// the exit value is not a pinned constant.
+#[test]
+fn any_of_with_computed_break_value() {
+    assert_not_detected(
+        ReductionKind::AnyOf,
+        "int k(int* a, int x, int n) {
+             int r = 0;
+             for (int i = 0; i < n; i++) {
+                 if (a[i] == x) { r = i * 2 + 1; break; }
+             }
+             return r;
+         }",
+    );
+}
+
+/// find-min-index-early: the threshold moves inside the loop — not a
+/// loop-invariant sentinel, the exit set depends on iteration order.
+#[test]
+fn find_min_index_with_moving_threshold() {
+    assert_not_detected(
+        ReductionKind::FindMinIndex,
+        "int k(float* a, float bound, int n) {
+             int r = -1;
+             for (int i = 0; i < n; i++) {
+                 bound = bound * 0.5;
+                 if (a[i] < bound) { r = i; break; }
+             }
+             return r;
+         }",
+    );
+}
+
+/// fold-until-sentinel: the exit guard reads the accumulator — the stop
+/// point depends on the fold itself, which chunked speculation with
+/// identity-seeded partials cannot reproduce.
+#[test]
+fn fold_until_accumulator_in_exit_guard() {
+    assert_not_detected(
+        ReductionKind::FoldUntil,
+        "int k(int* a, int limit, int n) {
+             int s = 0;
+             for (int i = 0; i < n; i++) {
+                 s = s + a[i];
+                 if (s > limit) break;
+             }
+             return s;
+         }",
+    );
+}
+
+/// find-last: an upward loop must classify as find-first, never as
+/// find-last (the two partition on the sign of the induction step).
+#[test]
+fn find_last_requires_downward_step() {
+    let src = "int k(int* a, int x, int n) {
+             int r = -1;
+             for (int i = 0; i < n; i++) {
+                 if (a[i] == x) { r = i; break; }
+             }
+             return r;
+         }";
+    assert_not_detected(ReductionKind::FindLast, src);
+    assert!(kinds(src).contains(&ReductionKind::FindFirst), "the positive twin must stay");
+}
+
+/// map-reduce-fusion: the intermediate is read *after* the reduction —
+/// eliding it would return garbage from the stubbed producer.
+#[test]
+fn fusion_intermediate_read_after_reduction() {
+    assert_not_detected(
+        ReductionKind::MapReduceFusion,
+        "float k(float* a, int n) {
+             float tmp[2048];
+             for (int i = 0; i < n; i++) tmp[i] = a[i] * a[i];
+             float s = 0.0;
+             for (int j = 0; j < n; j++) s += tmp[j];
+             return s + tmp[0];
+         }",
+    );
+}
+
+/// map-reduce-fusion: the intermediate is a caller-visible argument that
+/// may alias the producer's input — the post-check refuses.
+#[test]
+fn fusion_intermediate_aliases_an_input() {
+    assert_not_detected(
+        ReductionKind::MapReduceFusion,
+        "float k(float* a, float* tmp, int n) {
+             for (int i = 0; i < n; i++) tmp[i] = a[i] * a[i];
+             float s = 0.0;
+             for (int j = 0; j < n; j++) s += tmp[j];
+             return s;
+         }",
+    );
+}
+
+/// map-reduce-fusion: a write between the loops touches the producer's
+/// input — fusing would read the updated value.
+#[test]
+fn fusion_with_intervening_write() {
+    assert_not_detected(
+        ReductionKind::MapReduceFusion,
+        "float k(float* a, int n) {
+             float tmp[2048];
+             for (int i = 0; i < n; i++) tmp[i] = a[i] * a[i];
+             a[0] = 9.0;
+             float s = 0.0;
+             for (int j = 0; j < n; j++) s += tmp[j];
+             return s;
+         }",
+    );
+}
+
+/// map-reduce-fusion: producer and consumer ranges differ — the consumer
+/// would fold elements the producer never wrote.
+#[test]
+fn fusion_with_mismatched_trip_counts() {
+    assert_not_detected(
+        ReductionKind::MapReduceFusion,
+        "float k(float* a, int n, int m) {
+             float tmp[2048];
+             for (int i = 0; i < n; i++) tmp[i] = a[i] * a[i];
+             float s = 0.0;
+             for (int j = 0; j < m; j++) s += tmp[j];
+             return s;
+         }",
+    );
+}
+
+/// map-reduce-fusion: the producer carries a running value — that is a
+/// scan materialization, and per-iteration re-computation in the fused
+/// body would be wrong.
+#[test]
+fn fusion_with_carried_producer_state() {
+    assert_not_detected(
+        ReductionKind::MapReduceFusion,
+        "float k(float* a, int n) {
+             float tmp[2048];
+             float run = 0.0;
+             for (int i = 0; i < n; i++) { run += a[i]; tmp[i] = run; }
+             float s = 0.0;
+             for (int j = 0; j < n; j++) s += tmp[j];
+             return s;
+         }",
+    );
+}
+
+/// Every near-miss in this file still has a detectable positive twin:
+/// guard against the corpus accidentally testing programs the detector
+/// would never see (e.g. a syntax shape the frontend canonicalizes away).
+#[test]
+fn positive_twins_are_detected() {
+    assert!(kinds(
+        "float k(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[i]; return s; }"
+    )
+    .contains(&ReductionKind::Scalar));
+    assert!(kinds(
+        "void k(int* h, int* key, int n) { for (int i = 0; i < n; i++) h[key[i]] = h[key[i]] + 1; }"
+    )
+    .contains(&ReductionKind::Histogram));
+    assert!(kinds(
+        "void k(float* a, float* out, int n) { float s = 0.0; for (int i = 0; i < n; i++) { s += a[i]; out[i] = s; } }"
+    )
+    .contains(&ReductionKind::Scan));
+    assert!(kinds(
+        "int k(float* a, int n) {
+             float best = 1.0e30; int bi = -1;
+             for (int i = 0; i < n; i++) { float v = a[i]; if (v < best) { best = v; bi = i; } }
+             return bi;
+         }"
+    )
+    .contains(&ReductionKind::ArgMin));
+    assert!(kinds(
+        "int k(int* a, int x, int n) {
+             int r = -1;
+             for (int i = 0; i < n; i++) { if (a[i] == x) { r = i; break; } }
+             return r;
+         }"
+    )
+    .contains(&ReductionKind::FindFirst));
+    assert!(kinds(
+        "int k(int* a, int x, int n) {
+             int r = 0;
+             for (int i = 0; i < n; i++) { if (a[i] == x) { r = 1; break; } }
+             return r;
+         }"
+    )
+    .contains(&ReductionKind::AnyOf));
+    assert!(kinds(
+        "int k(float* a, float bound, int n) {
+             int r = -1;
+             for (int i = 0; i < n; i++) { if (a[i] < bound) { r = i; break; } }
+             return r;
+         }"
+    )
+    .contains(&ReductionKind::FindMinIndex));
+    assert!(kinds(
+        "int k(int* a, int stop, int n) {
+             int s = 0;
+             for (int i = 0; i < n; i++) { if (a[i] == stop) break; s = s + a[i]; }
+             return s;
+         }"
+    )
+    .contains(&ReductionKind::FoldUntil));
+    assert!(kinds(
+        "int k(int* a, int x, int n) {
+             int r = -1;
+             for (int i = n - 1; i >= 0; i = i + -1) { if (a[i] == x) { r = i; break; } }
+             return r;
+         }"
+    )
+    .contains(&ReductionKind::FindLast));
+    assert!(kinds(
+        "float k(float* a, int n) {
+             float tmp[2048];
+             for (int i = 0; i < n; i++) tmp[i] = a[i] * a[i];
+             float s = 0.0;
+             for (int j = 0; j < n; j++) s += tmp[j];
+             return s;
+         }"
+    )
+    .contains(&ReductionKind::MapReduceFusion));
+}

@@ -66,6 +66,13 @@ pub enum OutlineError {
     NonInvariantExitDefault,
     /// A pointer argument of the intrinsic was not object-aligned.
     MisalignedPointer,
+    /// The fusion intermediate's address chain has users beside the
+    /// detected store/load pair, so eliding the array would orphan them.
+    IntermediateNotElidable,
+    /// A closure value of the fused chunk does not dominate the rewritten
+    /// call site (the consumer preheader), so the intrinsic cannot
+    /// forward it.
+    ClosureNotAvailable,
 }
 
 impl fmt::Display for OutlineError {
@@ -95,6 +102,12 @@ impl fmt::Display for OutlineError {
             OutlineError::MisalignedPointer => {
                 f.write_str("histogram pointer is not object-aligned")
             }
+            OutlineError::IntermediateNotElidable => {
+                f.write_str("fusion intermediate address chain has other users")
+            }
+            OutlineError::ClosureNotAvailable => {
+                f.write_str("closure value does not dominate the fused call site")
+            }
         }
     }
 }
@@ -120,6 +133,33 @@ pub fn parallelize(
     let rs: Vec<&Reduction> = reductions.iter().filter(|r| r.function == func_name).collect();
     if rs.is_empty() {
         return Err(OutlineError::NoReductions);
+    }
+    // Map-reduce fusion takes precedence: its report spans two loops and
+    // subsumes the duplicate scalar report on the consumer accumulator.
+    // Several fusion reports (independent producer/consumer pairs) are
+    // tried in detection order — one call site outlines one loop nest, so
+    // the first pair that fuses wins. When every fused outline refuses
+    // but other reductions exist, fall back to the single-loop templates
+    // (the producer loop then simply runs sequentially before the
+    // parallelized consumer).
+    let fusions: Vec<&Reduction> = rs
+        .iter()
+        .copied()
+        .filter(|r| r.kind == ReductionKind::MapReduceFusion)
+        .collect();
+    let mut fusion_err = None;
+    for fusion in &fusions {
+        match outline_fused(module, func_name, fusion) {
+            Ok(out) => return Ok(out),
+            Err(e) => fusion_err = Some(e),
+        }
+    }
+    let rs: Vec<&Reduction> =
+        rs.into_iter().filter(|r| r.kind != ReductionKind::MapReduceFusion).collect();
+    if rs.is_empty() {
+        // Only fusions were detected and none outlined: surface the real
+        // refusal instead of a misleading `NoReductions`.
+        return Err(fusion_err.unwrap_or(OutlineError::NoReductions));
     }
     let header = rs[0].header;
     if rs.iter().any(|r| r.header != header) {
@@ -778,6 +818,481 @@ pub fn parallelize(
     Ok((out, plan))
 }
 
+/// Outlines a detected **map-reduce fusion** into a single chunked
+/// map+reduce body that never materializes the intermediate array:
+///
+/// * `__chunk_f_<k>(lo, hi, step, closure…, out)` iterates the *consumer's*
+///   range once; each iteration first runs the producer body's value
+///   computation (the `tmp[i] = p_val` store and its address chain are
+///   **not cloned** — the consumer's `tmp[j]` load is rewired straight to
+///   the cloned `p_val`), then the consumer body folding `p_val` into an
+///   identity-seeded accumulator, stored to the out-cell on exit. `tmp`
+///   itself never reaches the chunk: no store, no load, not even a
+///   closure slot.
+/// * the original function drops **both** loops: the producer loop is
+///   stubbed outright (detection proved `tmp` is a non-escaping local
+///   consumed only by the reduction, so never writing it is unobservable),
+///   and the consumer loop is replaced by the usual cell + intrinsic +
+///   reload sequence of the scalar template.
+///
+/// The runtime needs nothing new: the plan is a one-accumulator scalar
+/// plan and executes on the standard privatize-and-merge path.
+fn outline_fused(
+    module: &Module,
+    func_name: &str,
+    fusion: &Reduction,
+) -> Result<(Module, ReductionPlan), OutlineError> {
+    let fi = module
+        .functions
+        .iter()
+        .position(|f| f.name == func_name)
+        .ok_or_else(|| OutlineError::NoSuchFunction(func_name.to_string()))?;
+    let func = &module.functions[fi];
+    let analyses = Analyses::new(module, func);
+
+    // --- gather both loops' anatomy from the solver bindings -----------
+    let get = |name: &str| fusion.binding(name);
+    // Producer (prefix instance 0, plain names).
+    let p_iterator = get("iterator");
+    let p_header = func.block_of_label(get("header"));
+    let p_exit = func.block_of_label(get("exit"));
+    let p_test = get("test");
+    let p_jump = get("jump");
+    // Consumer (prefix instance 1, `_r` names).
+    let c_iterator = get("iterator_r");
+    let c_header = func.block_of_label(get("header_r"));
+    let c_exit = func.block_of_label(get("exit_r"));
+    let c_preheader = func.block_of_label(get("preheader_r"));
+    let c_test = get("test_r");
+    let c_jump = get("jump_r");
+    // The intermediate's chain and the carried accumulator.
+    let p_store = get("p_store");
+    let p_addr = get("p_addr");
+    let p_val = get("p_val");
+    let c_load = get("c_load");
+    let c_addr = get("c_addr");
+    let acc = get("acc");
+    let acc_init = get("acc_init");
+    let acc_next = get("acc_next");
+
+    let p_lid = analyses.loops.loop_with_header(p_header).expect("producer loop exists");
+    let c_lid = analyses.loops.loop_with_header(c_header).expect("consumer loop exists");
+    let pl = analyses.loops.get(p_lid).clone();
+    let cl = analyses.loops.get(c_lid).clone();
+    if pl.latches.len() != 1 || cl.latches.len() != 1 {
+        return Err(OutlineError::UnsupportedHeaderShape);
+    }
+
+    let pred = continue_pred(func, c_iterator, c_test, c_jump, c_exit)?;
+
+    // Header shapes: producer carries only its induction variable, the
+    // consumer only the induction variable and the accumulator.
+    let header_phis = |header: BlockId| -> Vec<ValueId> {
+        func.block(header)
+            .insts
+            .iter()
+            .copied()
+            .take_while(|&v| func.value(v).kind.opcode() == Some(&Opcode::Phi))
+            .collect()
+    };
+    let p_phis = header_phis(p_header);
+    if p_phis != [p_iterator] {
+        return Err(OutlineError::UnknownCarriedState);
+    }
+    if func.block(p_header).insts[p_phis.len()..] != [p_test, p_jump] {
+        return Err(OutlineError::UnsupportedHeaderShape);
+    }
+    let c_phis = header_phis(c_header);
+    for &p in &c_phis {
+        if p != c_iterator && p != acc {
+            return Err(OutlineError::UnknownCarriedState);
+        }
+    }
+    if func.block(c_header).insts[c_phis.len()..] != [c_test, c_jump] {
+        return Err(OutlineError::UnsupportedHeaderShape);
+    }
+
+    // The elided chain: the producer's store + address gep and the
+    // consumer's load + address gep. Each address gep must feed nothing
+    // but its access, and the load's only consumers sit in the consumer
+    // body (the clone substitutes them).
+    let dead: Vec<ValueId> = vec![p_store, p_addr, c_load, c_addr];
+    for b in func.block_ids() {
+        for &inst in &func.block(b).insts {
+            if inst == p_store || inst == c_load {
+                continue;
+            }
+            let ops = func.value(inst).kind.operands();
+            if ops.contains(&p_addr) || ops.contains(&c_addr) {
+                return Err(OutlineError::IntermediateNotElidable);
+            }
+        }
+    }
+
+    // No producer-defined SSA value may be consumed outside the producer
+    // loop (such a use would observe the *final* iteration's value, which
+    // the fused per-iteration clone does not reproduce). The elided tmp
+    // chain is memory, not SSA, so the detected fusion itself is exempt.
+    let p_insts: HashSet<ValueId> =
+        pl.blocks.iter().flat_map(|&b| func.block(b).insts.iter().copied()).collect();
+    for b in func.block_ids() {
+        if pl.contains(b) {
+            continue;
+        }
+        for &inst in &func.block(b).insts {
+            if func.value(inst).kind.operands().iter().any(|op| p_insts.contains(op)) {
+                return Err(OutlineError::CarriedValueLiveOut);
+            }
+        }
+    }
+    // The consumer's iterator must not escape either.
+    for b in func.block_ids() {
+        if cl.contains(b) {
+            continue;
+        }
+        for &inst in &func.block(b).insts {
+            if func.value(inst).kind.operands().contains(&c_iterator) {
+                return Err(OutlineError::IteratorLiveOut);
+            }
+        }
+    }
+    // The producer's exit must merge nothing (its loop carries nothing).
+    if func
+        .block(p_exit)
+        .insts
+        .first()
+        .is_some_and(|&v| func.value(v).kind.opcode() == Some(&Opcode::Phi))
+    {
+        return Err(OutlineError::ExitHasPhis);
+    }
+    // Consumer exit phis: the loop edge must carry the accumulator or an
+    // out-of-loop value (patched to the reloaded final below).
+    let c_exit_phis: Vec<ValueId> = func
+        .block(c_exit)
+        .insts
+        .iter()
+        .copied()
+        .take_while(|&v| func.value(v).kind.opcode() == Some(&Opcode::Phi))
+        .collect();
+    let mut exit_patches: Vec<(ValueId, ValueId)> = Vec::new();
+    for &phi in &c_exit_phis {
+        let hv = func
+            .phi_incoming(phi)
+            .iter()
+            .find(|(_, b)| *b == c_header)
+            .map(|(v, _)| *v)
+            .ok_or(OutlineError::ExitHasPhis)?;
+        let in_loop = func.block_of_inst(hv).is_some_and(|b| cl.contains(b));
+        if in_loop && hv != acc {
+            return Err(OutlineError::ExitHasPhis);
+        }
+        exit_patches.push((phi, hv));
+    }
+
+    // --- closure discovery over BOTH bodies -----------------------------
+    let p_body_blocks: Vec<BlockId> =
+        func.block_ids().filter(|&b| pl.contains(b) && b != p_header).collect();
+    let c_body_blocks: Vec<BlockId> =
+        func.block_ids().filter(|&b| cl.contains(b) && b != c_header).collect();
+    // The consumer's body entry must be phi-free: its predecessor changes
+    // from the fused header to the producer's latch in the chunk.
+    let c_body_entry = func.block_of_label(get("body_r"));
+    if func
+        .block(c_body_entry)
+        .insts
+        .first()
+        .is_some_and(|&v| func.value(v).kind.opcode() == Some(&Opcode::Phi))
+    {
+        return Err(OutlineError::UnsupportedHeaderShape);
+    }
+    let inside: HashSet<ValueId> = p_body_blocks
+        .iter()
+        .chain(&c_body_blocks)
+        .flat_map(|&b| func.block(b).insts.iter().copied())
+        .chain([p_iterator, c_iterator, acc])
+        .collect();
+    let mut closure: Vec<ValueId> = Vec::new();
+    for &b in p_body_blocks.iter().chain(&c_body_blocks) {
+        for &inst in &func.block(b).insts {
+            if dead.contains(&inst) {
+                continue;
+            }
+            let data = func.value(inst);
+            let ops: Vec<ValueId> = match data.kind.opcode() {
+                Some(Opcode::Phi) => data.kind.operands().chunks(2).map(|c| c[0]).collect(),
+                _ => data.kind.operands().to_vec(),
+            };
+            for op in ops {
+                if op == p_iterator || op == c_iterator || op == acc || dead.contains(&op) {
+                    continue;
+                }
+                push_closure_value(op, func, &inside, &mut closure);
+            }
+        }
+    }
+    // The produced value itself may live entirely outside both bodies (a
+    // loop-invariant broadcast, `tmp[i] = x`): its only user is the elided
+    // store, so the body scan above never sees it — yet the consumer's
+    // load is rewired to it, so it must still travel to the chunk.
+    if p_val != p_iterator && !dead.contains(&p_val) {
+        push_closure_value(p_val, func, &inside, &mut closure);
+    }
+    // Every closure value must be available at the rewritten call site.
+    for &cv in &closure {
+        if let ValueKind::Inst { .. } = &func.value(cv).kind {
+            let Some(db) = func.block_of_inst(cv) else {
+                return Err(OutlineError::ClosureNotAvailable);
+            };
+            if !analyses.dom.dominates(db, c_preheader) {
+                return Err(OutlineError::ClosureNotAvailable);
+            }
+        }
+    }
+
+    // --- build the fused chunk ------------------------------------------
+    let k = CHUNK_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let chunk_name = format!("__chunk_{func_name}_{k}");
+    let intrinsic = format!("__parrun_{func_name}_{k}");
+
+    let acc_ty = func.value(acc).ty;
+    let ptr_ty = |ty: Type| match ty {
+        Type::Int | Type::Bool => Type::PtrInt,
+        _ => Type::PtrFloat,
+    };
+    let mut params: Vec<(String, Type)> = vec![
+        ("lo".to_string(), Type::Int),
+        ("hi".to_string(), Type::Int),
+        ("step".to_string(), Type::Int),
+    ];
+    for (i, &cv) in closure.iter().enumerate() {
+        params.push((format!("c{i}"), func.value(cv).ty));
+    }
+    let acc_out_index = params.len();
+    params.push(("out0".to_string(), ptr_ty(acc_ty)));
+    let param_refs: Vec<(&str, Type)> = params.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    let mut chunk = Function::new(&chunk_name, &param_refs, Type::Void);
+
+    let ch_entry = chunk.add_block("entry");
+    let ch_header = chunk.add_block("header");
+    let mut block_map: HashMap<BlockId, BlockId> = HashMap::new();
+    // Both original headers collapse onto the fused header.
+    block_map.insert(p_header, ch_header);
+    block_map.insert(c_header, ch_header);
+    for &b in p_body_blocks.iter().chain(&c_body_blocks) {
+        let nb = chunk.add_block(&func.block(b).name);
+        block_map.insert(b, nb);
+    }
+    let ch_exit = chunk.add_block("exit");
+    block_map.insert(c_exit, ch_exit);
+
+    let mut val_map: HashMap<ValueId, ValueId> = HashMap::new();
+    for (i, &cv) in closure.iter().enumerate() {
+        val_map.insert(cv, chunk.arg_values[3 + i]);
+    }
+
+    // Fused header: one iterator phi standing in for both loops'
+    // induction variables, the identity-seeded accumulator, the consumer's
+    // continue test.
+    let ch_entry_label = chunk.block(ch_entry).label;
+    let ch_header_label = chunk.block(ch_header).label;
+    let ch_iter = chunk.add_value(
+        ValueKind::Inst { opcode: Opcode::Phi, operands: vec![] },
+        Type::Int,
+        Some("i".to_string()),
+    );
+    chunk.blocks[ch_header.index()].insts.push(ch_iter);
+    val_map.insert(p_iterator, ch_iter);
+    val_map.insert(c_iterator, ch_iter);
+    let ch_acc = chunk.add_value(
+        ValueKind::Inst { opcode: Opcode::Phi, operands: vec![] },
+        acc_ty,
+        Some("acc".to_string()),
+    );
+    chunk.blocks[ch_header.index()].insts.push(ch_acc);
+    val_map.insert(acc, ch_acc);
+    let ch_test = chunk.append_inst(
+        ch_header,
+        Opcode::Cmp(pred),
+        vec![ch_iter, chunk.arg_values[1]],
+        Type::Bool,
+    );
+    let p_body_entry = func.block_of_label(get("body"));
+    let ch_p_body_label = chunk.block(block_map[&p_body_entry]).label;
+    let ch_c_body_label = chunk.block(block_map[&c_body_entry]).label;
+    let ch_exit_label = chunk.block(ch_exit).label;
+    chunk.append_inst(
+        ch_header,
+        Opcode::CondBr,
+        vec![ch_test, ch_p_body_label, ch_exit_label],
+        Type::Void,
+    );
+    chunk.append_inst(ch_entry, Opcode::Br, vec![ch_header_label], Type::Void);
+
+    // Clone both bodies, skipping the elided tmp chain.
+    let mut cloned: Vec<(ValueId, ValueId)> = Vec::new();
+    for &b in p_body_blocks.iter().chain(&c_body_blocks) {
+        for &inst in &func.block(b).insts.clone() {
+            if dead.contains(&inst) {
+                continue;
+            }
+            let data = func.value(inst).clone();
+            let ValueKind::Inst { opcode, .. } = data.kind else { unreachable!() };
+            let c =
+                chunk.add_value(ValueKind::Inst { opcode, operands: vec![] }, data.ty, data.name);
+            chunk.blocks[block_map[&b].index()].insts.push(c);
+            val_map.insert(inst, c);
+            cloned.push((inst, c));
+        }
+    }
+    // The fusion itself: the consumer's `tmp[j]` load *is* the producer's
+    // per-iteration value.
+    let fused_val = map_operand(func, &mut chunk, &val_map, &block_map, p_val);
+    val_map.insert(c_load, fused_val);
+    for (orig, clone) in &cloned {
+        let ops = func.value(*orig).kind.operands().to_vec();
+        let mapped: Vec<ValueId> = ops
+            .iter()
+            .map(|&op| map_operand(func, &mut chunk, &val_map, &block_map, op))
+            .collect();
+        if let ValueKind::Inst { operands, .. } = &mut chunk.value_mut(*clone).kind {
+            *operands = mapped;
+        }
+    }
+    // Splice the bodies: the producer's back edge now falls through into
+    // the consumer body instead of the (collapsed) header.
+    let ch_p_latch = block_map[&func.block_of_label(get("latch"))];
+    let p_term = *chunk.blocks[ch_p_latch.index()].insts.last().expect("latch has a terminator");
+    if let ValueKind::Inst { operands, .. } = &mut chunk.value_mut(p_term).kind {
+        for op in operands.iter_mut() {
+            if *op == ch_header_label {
+                *op = ch_c_body_label;
+            }
+        }
+    }
+    // Complete the fused header phis: the iterator advances by the
+    // *consumer's* increment (SameTripCount guarantees it equals the
+    // producer's), the accumulator by the cloned update.
+    let ch_c_latch = block_map[&func.block_of_label(get("latch_r"))];
+    let ch_c_latch_label = chunk.block(ch_c_latch).label;
+    let next_iter_clone = val_map[&get("next_iter_r")];
+    let lo_arg = chunk.arg_values[0];
+    if let ValueKind::Inst { operands, .. } = &mut chunk.value_mut(ch_iter).kind {
+        operands.extend([lo_arg, ch_entry_label, next_iter_clone, ch_c_latch_label]);
+    }
+    let identity = match acc_ty {
+        Type::Int | Type::Bool => chunk.const_int(fusion.op.identity_int()),
+        _ => chunk.const_float(fusion.op.identity_float()),
+    };
+    let acc_next_clone = val_map[&acc_next];
+    if let ValueKind::Inst { operands, .. } = &mut chunk.value_mut(ch_acc).kind {
+        operands.extend([identity, ch_entry_label, acc_next_clone, ch_c_latch_label]);
+    }
+    // exit: store the partial, ret.
+    let out_cell = chunk.arg_values[acc_out_index];
+    chunk.append_inst(ch_exit, Opcode::Store, vec![ch_acc, out_cell], Type::Void);
+    chunk.append_inst(ch_exit, Opcode::Ret, vec![], Type::Void);
+    // The producer's own increment (and any other computation feeding only
+    // the elided chain) is now dead: sweep it.
+    sweep_unused_pure(&mut chunk);
+
+    // --- rewrite the original function ----------------------------------
+    let mut out = module.clone();
+    let f = &mut out.functions[fi];
+    let term = f.blocks[c_preheader.index()].insts.pop().expect("preheader has a terminator");
+    debug_assert_eq!(f.value(term).kind.opcode(), Some(&Opcode::Br));
+    let one = f.const_int(1);
+    let cell = f.append_inst(c_preheader, Opcode::Alloca, vec![one], ptr_ty(acc_ty));
+    f.append_inst(c_preheader, Opcode::Store, vec![acc_init, cell], Type::Void);
+    let mut call_args = vec![get("iter_begin_r"), get("iter_end_r"), get("iter_step_r")];
+    call_args.extend(closure.iter().copied());
+    call_args.push(cell);
+    let arg_count = call_args.len();
+    f.append_inst(c_preheader, Opcode::Call(intrinsic.clone()), call_args, Type::Void);
+    let final_v = f.append_inst(c_preheader, Opcode::Load, vec![cell], acc_ty);
+    let c_exit_label_orig = f.block(c_exit).label;
+    f.append_inst(c_preheader, Opcode::Br, vec![c_exit_label_orig], Type::Void);
+    // Patch the consumer's exit phis onto the preheader edge.
+    let c_header_label_orig = f.block(c_header).label;
+    let c_preheader_label = f.block(c_preheader).label;
+    for &(phi, hv) in &exit_patches {
+        let new_v = if hv == acc { final_v } else { hv };
+        if let ValueKind::Inst { operands, .. } = &mut f.values[phi.index()].kind {
+            for ch in operands.chunks_mut(2) {
+                if ch[1] == c_header_label_orig {
+                    ch[0] = new_v;
+                    ch[1] = c_preheader_label;
+                }
+            }
+        }
+    }
+    // Stub the consumer loop.
+    for b in f.block_ids().collect::<Vec<_>>() {
+        if cl.contains(b) {
+            f.blocks[b.index()].insts.clear();
+            let target = if c_exit_phis.is_empty() { c_exit_label_orig } else { f.block(b).label };
+            let stub = f.add_value(
+                ValueKind::Inst { opcode: Opcode::Br, operands: vec![target] },
+                Type::Void,
+                None,
+            );
+            f.blocks[b.index()].insts.push(stub);
+        }
+    }
+    // Stub the producer loop outright: its only effect was materializing
+    // `tmp`, which detection proved unobservable.
+    let p_exit_label = f.block(p_exit).label;
+    for b in f.block_ids().collect::<Vec<_>>() {
+        if pl.contains(b) {
+            f.blocks[b.index()].insts.clear();
+            let target = if b == p_header { p_exit_label } else { f.block(b).label };
+            let stub = f.add_value(
+                ValueKind::Inst { opcode: Opcode::Br, operands: vec![target] },
+                Type::Void,
+                None,
+            );
+            f.blocks[b.index()].insts.push(stub);
+        }
+    }
+    // Rewire the accumulator's post-loop uses to the reloaded final.
+    for b in f.block_ids().collect::<Vec<_>>() {
+        if cl.contains(b) {
+            continue;
+        }
+        for inst in f.blocks[b.index()].insts.clone() {
+            if c_exit_phis.contains(&inst) {
+                continue;
+            }
+            if let ValueKind::Inst { operands, .. } = &mut f.values[inst.index()].kind {
+                for op in operands.iter_mut() {
+                    if *op == acc {
+                        *op = final_v;
+                    }
+                }
+            }
+        }
+    }
+
+    out.push_function(chunk);
+    gr_ir::verify::verify_module(&out).expect("fused module must verify");
+
+    let plan = ReductionPlan {
+        function: func_name.to_string(),
+        chunk_fn: chunk_name,
+        chunk_value_only_fn: None,
+        intrinsic,
+        pred,
+        accs: vec![AccSlot { arg_index: acc_out_index, ty: acc_ty, op: fusion.op }],
+        hists: vec![],
+        scans: vec![],
+        args: vec![],
+        search: None,
+        written: vec![],
+        arg_count,
+        chunking: ChunkPolicy::default(),
+    };
+    Ok((out, plan))
+}
+
 /// Outlines an early-exit loop onto the speculative schedule: the
 /// two-exit analog of [`parallelize`], covering both the search family
 /// (the loop carries nothing; its results are the *exit phis* at the
@@ -1379,31 +1894,39 @@ fn value_only_variant(chunk: &Function, name: &str, dead_stores: &[ValueId]) -> 
     for b in &mut vo.blocks {
         b.insts.retain(|v| !dead_stores.contains(v));
     }
+    sweep_unused_pure(&mut vo);
+    vo
+}
+
+/// Iteratively drops pure instructions with no remaining users — the
+/// small dead-code sweep shared by the value-only variant (dead address
+/// chains of stripped stores) and the fused chunk (the producer's
+/// now-unused increment and elided tmp chain feeders).
+fn sweep_unused_pure(f: &mut Function) {
     loop {
         let mut used: HashSet<ValueId> = HashSet::new();
-        for b in &vo.blocks {
+        for b in &f.blocks {
             for &inst in &b.insts {
-                used.extend(vo.value(inst).kind.operands().iter().copied());
+                used.extend(f.value(inst).kind.operands().iter().copied());
             }
         }
         let mut changed = false;
-        for bi in 0..vo.blocks.len() {
-            let insts = vo.blocks[bi].insts.clone();
+        for bi in 0..f.blocks.len() {
+            let insts = f.blocks[bi].insts.clone();
             let kept: Vec<ValueId> = insts
                 .iter()
                 .copied()
-                .filter(|&v| used.contains(&v) || !droppable_when_unused(&vo, v))
+                .filter(|&v| used.contains(&v) || !droppable_when_unused(f, v))
                 .collect();
             if kept.len() != insts.len() {
                 changed = true;
-                vo.blocks[bi].insts = kept;
+                f.blocks[bi].insts = kept;
             }
         }
         if !changed {
             break;
         }
     }
-    vo
 }
 
 /// Side-effect-free opcodes a dead-code sweep may drop when unused. Calls
@@ -1860,6 +2383,177 @@ mod tests {
         let m = compile("void f(int n) { }").unwrap();
         let rs = detect_reductions(&m);
         assert_eq!(parallelize(&m, "f", &rs).err(), Some(OutlineError::NoReductions));
+    }
+
+    const FUSION_SRC: &str = "float sq(float* a, int n) {
+             float tmp[8192];
+             for (int i = 0; i < n; i++) tmp[i] = a[i] * a[i];
+             float s = 0.0;
+             for (int j = 0; j < n; j++) s += tmp[j];
+             return s;
+         }";
+
+    #[test]
+    fn fusion_outlines_without_materializing_tmp() {
+        let m = compile(FUSION_SRC).unwrap();
+        let rs = detect_reductions(&m);
+        assert!(rs.iter().any(|r| r.kind.is_fusion()), "{rs:?}");
+        let (pm, plan) = parallelize(&m, "sq", &rs).unwrap();
+        assert_eq!(plan.accs.len(), 1);
+        assert_eq!(plan.accs[0].op, gr_core::ReductionOp::Add);
+        assert!(plan.hists.is_empty() && plan.scans.is_empty() && plan.search.is_none());
+        let chunk = pm.function(&plan.chunk_fn).expect("chunk exists");
+        // The intermediate is gone from the chunk: the only store left is
+        // the out-cell partial in the exit block, and the only loads read
+        // the input array.
+        let stores: Vec<ValueId> = chunk
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .copied()
+            .filter(|&v| chunk.value(v).kind.opcode() == Some(&Opcode::Store))
+            .collect();
+        assert_eq!(stores.len(), 1, "only the partial store survives fusion");
+        let store_block = chunk.block_of_inst(stores[0]).unwrap();
+        assert_eq!(chunk.block(store_block).name, "exit");
+        // No alloca-typed closure slot: tmp never travels to the chunk.
+        // (params: lo, hi, step, a, out-cell.)
+        assert_eq!(plan.arg_count, 5, "lo/hi/step + input + cell, no tmp slot");
+        // One fused loop: exactly one back edge / one cond-br (the header
+        // test) in the chunk.
+        let condbrs = chunk
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|&&v| chunk.value(v).kind.opcode() == Some(&Opcode::CondBr))
+            .count();
+        assert_eq!(condbrs, 1, "a single fused loop");
+    }
+
+    #[test]
+    fn fusion_rewrite_stubs_both_loops() {
+        let m = compile(FUSION_SRC).unwrap();
+        let rs = detect_reductions(&m);
+        let (pm, plan) = parallelize(&m, "sq", &rs).unwrap();
+        let f = pm.function("sq").unwrap();
+        // The rewritten original must neither store to nor load from tmp:
+        // all that survives is the cell protocol around the intrinsic.
+        let loads_stores = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|&&v| matches!(f.value(v).kind.opcode(), Some(Opcode::Store | Opcode::Load)))
+            .count();
+        assert_eq!(loads_stores, 2, "cell seed store + final reload only");
+        let calls = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|&&v| {
+                matches!(f.value(v).kind.opcode(), Some(Opcode::Call(n)) if *n == plan.intrinsic)
+            })
+            .count();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn fusion_with_argument_tmp_falls_back_to_scalar_outline() {
+        // The intermediate is caller-visible: the fusion post-check
+        // already refused, so the consumer outlines as a plain scalar
+        // reduction and the producer keeps running sequentially.
+        let m = compile(
+            "float sq(float* a, float* tmp, int n) {
+                 for (int i = 0; i < n; i++) tmp[i] = a[i] * a[i];
+                 float s = 0.0;
+                 for (int j = 0; j < n; j++) s += tmp[j];
+                 return s;
+             }",
+        )
+        .unwrap();
+        let rs = detect_reductions(&m);
+        assert!(!rs.iter().any(|r| r.kind.is_fusion()), "{rs:?}");
+        let (pm, plan) = parallelize(&m, "sq", &rs).unwrap();
+        assert_eq!(plan.accs.len(), 1);
+        // The producer loop survives in the rewritten function.
+        let f = pm.function("sq").unwrap();
+        let stores = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|&&v| f.value(v).kind.opcode() == Some(&Opcode::Store))
+            .count();
+        assert!(stores >= 2, "tmp store + cell seed store");
+    }
+
+    #[test]
+    fn two_independent_fusion_pairs_fuse_the_first() {
+        // Two producer/consumer pairs in one function: fusion reports are
+        // tried in detection order and the first one that outlines wins
+        // (one call site rewrites one loop nest).
+        let m = compile(
+            "float f(float* a, float* b, float* out, int n, int m) {
+                 float t1[2048];
+                 for (int i = 0; i < n; i++) t1[i] = a[i] * a[i];
+                 float s1 = 0.0;
+                 for (int j = 0; j < n; j++) s1 += t1[j];
+                 float t2[2048];
+                 for (int i = 0; i < m; i++) t2[i] = b[i] + 1.0;
+                 float s2 = 0.0;
+                 for (int j = 0; j < m; j++) s2 += t2[j];
+                 out[0] = s1;
+                 out[1] = s2;
+             }",
+        )
+        .unwrap();
+        let rs = detect_reductions(&m);
+        let fusions = rs.iter().filter(|r| r.kind.is_fusion()).count();
+        assert_eq!(fusions, 2, "{rs:?}");
+        let (pm, plan) = parallelize(&m, "f", &rs).unwrap();
+        assert_eq!(plan.accs.len(), 1, "one pair fused");
+        assert!(pm.function(&plan.chunk_fn).is_some());
+    }
+
+    #[test]
+    fn fusion_of_invariant_broadcast_outlines() {
+        // The produced value is loop-invariant (an argument): it has no
+        // presence in either loop body — its only user is the elided
+        // store — so it must travel to the chunk as a closure slot.
+        let m = compile(
+            "float f(float* unused, float x, int n) {
+                 float tmp[4096];
+                 for (int i = 0; i < n; i++) tmp[i] = x;
+                 float s = 0.0;
+                 for (int j = 0; j < n; j++) s += tmp[j];
+                 return s;
+             }",
+        )
+        .unwrap();
+        let rs = detect_reductions(&m);
+        assert!(rs.iter().any(|r| r.kind.is_fusion()), "{rs:?}");
+        let (pm, plan) = parallelize(&m, "f", &rs).unwrap();
+        // lo/hi/step + x + out-cell: the broadcast value is the closure.
+        assert_eq!(plan.arg_count, 5, "the invariant value travels as a closure slot");
+        assert!(pm.function(&plan.chunk_fn).is_some());
+    }
+
+    #[test]
+    fn fusion_with_computation_in_consumer_body() {
+        // The consumer may transform the loaded value before folding; the
+        // substitution rewires the load, not the whole update.
+        let m = compile(
+            "float f(float* a, int n) {
+                 float tmp[4096];
+                 for (int i = 0; i < n; i++) tmp[i] = a[i] + 1.0;
+                 float s = 0.0;
+                 for (int j = 0; j < n; j++) s += tmp[j] * 2.0;
+                 return s;
+             }",
+        )
+        .unwrap();
+        let rs = detect_reductions(&m);
+        assert!(rs.iter().any(|r| r.kind.is_fusion()), "{rs:?}");
+        let (pm, plan) = parallelize(&m, "f", &rs).unwrap();
+        assert!(pm.function(&plan.chunk_fn).is_some());
     }
 
     #[test]

@@ -700,8 +700,24 @@ fn execute_search(
         && outs.len() >= needed
         && outs.iter().take(needed).enumerate().all(|(i, o)| o.chunk == i);
     if !complete {
+        // Restart from the last completed chunk boundary instead of
+        // re-running the whole range: chunks `0..prefix` finished without
+        // hit or trap, so their partials are committed as-is and the
+        // sequential tail resumes exactly where coverage ends.
+        let prefix = completed_prefix(&outs, trapped_min);
+        debug_assert!(prefix < pieces.len(), "a fully completed schedule cannot be incomplete");
+        let restart_at = pieces.get(prefix).map_or(count, |&(start, _)| start);
         return execute_sequential_fallback(
-            module, plan, search, args, mem, hit_obj, &exit_objs, &fold_objs,
+            module,
+            plan,
+            search,
+            args,
+            mem,
+            hit_obj,
+            &exit_objs,
+            &fold_objs,
+            &outs[..prefix],
+            plan.nth_iter_value(lo, step, restart_at),
         );
     }
     if let Some(w) = winner {
@@ -783,12 +799,32 @@ fn merge_fold_partials<'a>(
     Ok(())
 }
 
+/// The longest contiguous run of chunks `0..prefix` that completed
+/// without a hit and below the lowest trapped chunk: their partials are
+/// exactly what sequential execution would have produced over the same
+/// iterations, so the fallback can commit them and restart past them.
+/// `outs` must be sorted by chunk index.
+fn completed_prefix(outs: &[ChunkOut], trapped_min: i64) -> usize {
+    let mut prefix = 0usize;
+    for o in outs {
+        if o.chunk == prefix && o.hit == SEARCH_NO_HIT && (prefix as i64) < trapped_min {
+            prefix += 1;
+        } else {
+            break;
+        }
+    }
+    prefix
+}
+
 /// The bounds-aware fallback: a speculative chunk trapped and sequential
-/// execution cannot be proven to stop before it, so every speculative
-/// result is discarded and the chunk function runs **once over the full
-/// range** against the live cells — it breaks at its first hit exactly
-/// like the original loop, so this is sequential execution in chunk
-/// clothing. A trap here is real and propagates.
+/// execution cannot be proven to stop before it, so the speculative tail
+/// is discarded and the chunk function runs once **from the last
+/// completed chunk boundary to the true bound** against the live cells —
+/// it breaks at its first hit exactly like the original loop, so this is
+/// sequential execution in chunk clothing, minus the prefix the schedule
+/// already covered (`completed`, whose partials are committed verbatim).
+/// A trap here is real and propagates — before any cell is touched, so a
+/// trapping call leaves the rewritten preheader's seeds intact.
 #[allow(clippy::too_many_arguments)]
 fn execute_sequential_fallback(
     module: &Module,
@@ -799,17 +835,31 @@ fn execute_sequential_fallback(
     hit_obj: ObjId,
     exit_objs: &[ObjId],
     fold_objs: &[ObjId],
+    completed: &[ChunkOut],
+    restart_lo: i64,
 ) -> Result<Option<RtVal>, Trap> {
-    let (hit, exits, folds) =
-        run_speculative_chunk(module, &plan.chunk_fn, args, mem, hit_obj, exit_objs, fold_objs)?;
+    let mut tail_args = args.to_vec();
+    tail_args[0] = RtVal::I(restart_lo);
+    let (hit, exits, folds) = run_speculative_chunk(
+        module,
+        &plan.chunk_fn,
+        &tail_args,
+        mem,
+        hit_obj,
+        exit_objs,
+        fold_objs,
+    )?;
     if hit != SEARCH_NO_HIT {
         mem.store_i(hit_obj, 0, hit).map_err(Trap::Mem)?;
         for (&o, obj) in exit_objs.iter().zip(exits) {
             *mem.object_mut(o) = obj;
         }
     }
-    for ((slot, &cell), partial) in search.folds.iter().zip(fold_objs).zip(&folds) {
-        merge_fold_partials(mem, cell, slot, std::iter::once(partial))?;
+    for (fi, ((slot, &cell), tail_partial)) in
+        search.folds.iter().zip(fold_objs).zip(&folds).enumerate()
+    {
+        let prefix_partials = completed.iter().map(move |o| &o.folds[fi]);
+        merge_fold_partials(mem, cell, slot, prefix_partials.chain(std::iter::once(tail_partial)))?;
     }
     Ok(None)
 }
@@ -1899,6 +1949,119 @@ mod tests {
         }
     }
 
+    // ---- map-reduce fusion --------------------------------------------
+
+    const FUSED_SQ: &str = "float sq(float* a, int n) {
+             float tmp[8192];
+             for (int i = 0; i < n; i++) tmp[i] = a[i] * a[i];
+             float s = 0.0;
+             for (int j = 0; j < n; j++) s += tmp[j];
+             return s;
+         }";
+
+    #[test]
+    fn parallel_fused_map_reduce_matches_sequential_float() {
+        let m = compile(FUSED_SQ).unwrap();
+        let rs = detect_reductions(&m);
+        assert!(rs.iter().any(|r| r.kind.is_fusion()), "{rs:?}");
+        let (pm, plan) = parallelize(&m, "sq", &rs).unwrap();
+        let n = 8_000usize;
+        let data: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64 * 0.125 - 3.0).collect();
+        // Sequential reference from the *unmodified* module.
+        let mut mem = Memory::new(&m);
+        let a = mem.alloc_float(&data);
+        let mut seq = Machine::new(&m, mem);
+        let expect = seq.call("sq", &[RtVal::ptr(a), RtVal::I(n as i64)]).unwrap().unwrap().as_f();
+        for threads in crate::test_thread_counts() {
+            let mut mem = Memory::new(&pm);
+            let a = mem.alloc_float(&data);
+            let mut machine = Machine::new(&pm, mem);
+            machine.set_handler(handler(&pm, plan.clone(), threads));
+            let got = machine
+                .call("sq", &[RtVal::ptr(a), RtVal::I(n as i64)])
+                .unwrap()
+                .unwrap()
+                .as_f();
+            assert!(
+                (got - expect).abs() < 1e-6 * expect.abs().max(1.0),
+                "threads={threads}: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_fused_map_reduce_int_bit_exact() {
+        let src = "int f(int* a, int n) {
+                 int tmp[8192];
+                 for (int i = 0; i < n; i++) tmp[i] = a[i] * 3 + 1;
+                 int s = 0;
+                 for (int j = 0; j < n; j++) s += tmp[j];
+                 return s;
+             }";
+        let m = compile(src).unwrap();
+        let rs = detect_reductions(&m);
+        assert!(rs.iter().any(|r| r.kind.is_fusion()), "{rs:?}");
+        let (pm, plan) = parallelize(&m, "f", &rs).unwrap();
+        let n = 6_000usize;
+        let data: Vec<i64> = (0..n as i64).map(|i| (i * 31 + 5) % 97 - 48).collect();
+        let expect: i64 = data.iter().map(|v| v * 3 + 1).sum();
+        for threads in crate::test_thread_counts() {
+            let mut mem = Memory::new(&pm);
+            let a = mem.alloc_int(&data);
+            let mut machine = Machine::new(&pm, mem);
+            machine.set_handler(handler(&pm, plan.clone(), threads));
+            let got =
+                machine.call("f", &[RtVal::ptr(a), RtVal::I(n as i64)]).unwrap().unwrap().as_i();
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_fused_min_reduce_is_bit_exact() {
+        // A non-Add merge through the fused template.
+        let src = "float f(float* a, float x, int n) {
+                 float tmp[4096];
+                 for (int i = 0; i < n; i++) tmp[i] = fabs(a[i] - x);
+                 float best = 1.0e30;
+                 for (int j = 0; j < n; j++) best = fmin(best, tmp[j]);
+                 return best;
+             }";
+        let m = compile(src).unwrap();
+        let rs = detect_reductions(&m);
+        assert!(rs.iter().any(|r| r.kind.is_fusion()), "{rs:?}");
+        let (pm, plan) = parallelize(&m, "f", &rs).unwrap();
+        assert_eq!(plan.accs[0].op, ReductionOp::Min);
+        let n = 4_000usize;
+        let data: Vec<f64> = (0..n).map(|i| ((i * 7919) % 4001) as f64 - 2000.0).collect();
+        let expect =
+            data.iter().map(|v| (v - 1.25).abs()).fold(f64::INFINITY, f64::min).min(1.0e30);
+        for threads in crate::test_thread_counts() {
+            let mut mem = Memory::new(&pm);
+            let a = mem.alloc_float(&data);
+            let mut machine = Machine::new(&pm, mem);
+            machine.set_handler(handler(&pm, plan.clone(), threads));
+            let got = machine
+                .call("f", &[RtVal::ptr(a), RtVal::F(1.25), RtVal::I(n as i64)])
+                .unwrap()
+                .unwrap()
+                .as_f();
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fused_empty_iteration_space_keeps_init() {
+        let m = compile(FUSED_SQ).unwrap();
+        let rs = detect_reductions(&m);
+        let (pm, plan) = parallelize(&m, "sq", &rs).unwrap();
+        let mut mem = Memory::new(&pm);
+        let a = mem.alloc_float(&[]);
+        let mut machine = Machine::new(&pm, mem);
+        machine.set_handler(handler(&pm, plan, 4));
+        let got = machine.call("sq", &[RtVal::ptr(a), RtVal::I(0)]).unwrap().unwrap().as_f();
+        assert_eq!(got, 0.0);
+    }
+
     // ---- bounds-aware speculation -------------------------------------
 
     #[test]
@@ -1952,16 +2115,88 @@ mod tests {
     #[test]
     fn trap_with_no_hit_reproduces_sequential_trap() {
         // No sentinel inside the valid range: sequential execution runs
-        // off the end and traps — the fallback must reproduce that trap
-        // rather than return a made-up partial fold.
+        // off the end and traps — the fallback must reproduce *that* trap
+        // (same index, same bounds) rather than return a made-up partial
+        // fold. The partial restart changes where re-execution begins, not
+        // what it observes.
+        let src_module = compile(SUM_UNTIL_INT).unwrap();
         let (pm, plan) = fold_plan(SUM_UNTIL_INT, "sum_until");
         let data = vec![1i64; 500];
-        let mut mem = Memory::new(&pm);
+        // Sequential reference trap.
+        let mut mem = Memory::new(&src_module);
         let a = mem.alloc_int(&data);
-        let mut machine = Machine::new(&pm, mem);
-        machine.set_handler(handler(&pm, plan.clone(), 4));
-        let err = machine.call("sum_until", &[RtVal::ptr(a), RtVal::I(-1), RtVal::I(2_000)]);
-        assert!(err.is_err(), "the out-of-bounds read is real, not speculative");
+        let mut seq = Machine::new(&src_module, mem);
+        let seq_err = seq
+            .call("sum_until", &[RtVal::ptr(a), RtVal::I(-1), RtVal::I(2_000)])
+            .expect_err("sequential execution must trap");
+        for threads in crate::test_thread_counts() {
+            let mut mem = Memory::new(&pm);
+            let a = mem.alloc_int(&data);
+            let mut machine = Machine::new(&pm, mem);
+            machine.set_handler(handler(&pm, plan.clone(), threads));
+            let err = machine
+                .call("sum_until", &[RtVal::ptr(a), RtVal::I(-1), RtVal::I(2_000)])
+                .expect_err("the out-of-bounds read is real, not speculative");
+            // Same faulting access as the sequential run.
+            match (&seq_err, &err) {
+                (
+                    Trap::Mem(gr_interp::memory::MemError::OutOfBounds {
+                        index: i1, len: l1, ..
+                    }),
+                    Trap::Mem(gr_interp::memory::MemError::OutOfBounds {
+                        index: i2, len: l2, ..
+                    }),
+                ) => {
+                    assert_eq!((i1, l1), (i2, l2), "threads={threads}");
+                }
+                other => panic!("expected matching OOB traps, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn completed_prefix_stops_at_gap_hit_and_trap() {
+        let out = |chunk: usize, hit: i64| ChunkOut { chunk, hit, exits: vec![], folds: vec![] };
+        // Clean prefix below the trapped chunk.
+        let outs = vec![out(0, SEARCH_NO_HIT), out(1, SEARCH_NO_HIT), out(3, SEARCH_NO_HIT)];
+        assert_eq!(completed_prefix(&outs, 2), 2, "stops at the trapped chunk");
+        assert_eq!(completed_prefix(&outs, i64::MAX), 2, "stops at the gap");
+        // A hit terminates the prefix (the tail re-run must re-find it).
+        let outs = vec![out(0, SEARCH_NO_HIT), out(1, 77)];
+        assert_eq!(completed_prefix(&outs, i64::MAX), 1);
+        // Chunk 0 trapped: nothing is committed.
+        let outs = vec![out(1, SEARCH_NO_HIT)];
+        assert_eq!(completed_prefix(&outs, 0), 0);
+        assert_eq!(completed_prefix(&[], 0), 0);
+    }
+
+    #[test]
+    fn partial_restart_matches_sequential_result_and_trap_deep_in_range() {
+        // The array covers most of the claimed range, so many chunks
+        // complete before the trapping one: the fallback commits their
+        // partials and restarts from the boundary — and must still end in
+        // exactly the sequential trap (the fold result is unobservable
+        // after a trap, the trap identity is the contract).
+        let src_module = compile(SUM_UNTIL_INT).unwrap();
+        let (pm, plan) = fold_plan(SUM_UNTIL_INT, "sum_until");
+        let data: Vec<i64> = (0..30_000).map(|i| i % 11 + 1).collect();
+        let claimed = 32_000i64; // 2k iterations past the end, no sentinel
+        let mut mem = Memory::new(&src_module);
+        let a = mem.alloc_int(&data);
+        let mut seq = Machine::new(&src_module, mem);
+        let seq_err = seq
+            .call("sum_until", &[RtVal::ptr(a), RtVal::I(-1), RtVal::I(claimed)])
+            .expect_err("sequential trap");
+        for threads in crate::test_thread_counts() {
+            let mut mem = Memory::new(&pm);
+            let a = mem.alloc_int(&data);
+            let mut machine = Machine::new(&pm, mem);
+            machine.set_handler(handler(&pm, plan.clone(), threads));
+            let err = machine
+                .call("sum_until", &[RtVal::ptr(a), RtVal::I(-1), RtVal::I(claimed)])
+                .expect_err("parallel trap");
+            assert_eq!(err.to_string(), seq_err.to_string(), "threads={threads}");
+        }
     }
 
     #[test]

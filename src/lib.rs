@@ -13,21 +13,26 @@
 //! * [`frontend`] — a mini-C compiler producing that IR,
 //! * [`analysis`] — dominance, control dependence, loops, affinity, purity,
 //! * [`core`] — **the paper's contribution**: constraint language, solver,
-//!   the pluggable idiom registry with its nine registered idioms
+//!   the pluggable idiom registry with its ten registered idioms
 //!   (`scalar-reduction`, `histogram-reduction`, `prefix-scan`,
-//!   `argmin-argmax`, and the early-exit family `find-first` /
+//!   `argmin-argmax`, the early-exit family `find-first` /
 //!   `any-all-of` / `find-min-index-early` / `fold-until-sentinel` /
-//!   `find-last`), post-checks,
+//!   `find-last`, and the two-loop `map-reduce-fusion` — a stacked pair
+//!   of for-loop prefixes resumed from cached solution pairs),
+//!   post-checks,
 //! * [`baselines`] — Polly-like and icc-like comparison detectors,
 //! * [`interp`] — profiling interpreter (the evaluation substrate),
 //! * [`parallel`] — outlining + parallel runtime (privatized partials,
 //!   element-wise histogram merge, two-pass block scans, tie-break-exact
-//!   argmin/argmax merges, and the cancellable speculative executor for
+//!   argmin/argmax merges, loop fusion that never materializes the
+//!   intermediate array, and the cancellable speculative executor for
 //!   early-exit loops — searches and speculative folds, with a geometric
-//!   front-ramp chunking knob and a bounds-aware sequential fallback for
-//!   trapping speculation),
-//! * [`benchsuite`] — the 40 NAS/Parboil/Rodinia miniatures plus the
-//!   idiom micro-workloads.
+//!   front-ramp chunking knob and a bounds-aware sequential fallback
+//!   that restarts from the last completed chunk boundary on trapping
+//!   speculation),
+//! * [`benchsuite`] — the 40 NAS/Parboil/Rodinia miniatures, the idiom
+//!   micro-workloads, and the differential fuzzing harness
+//!   ([`benchsuite::fuzz`]) guarding detection soundness.
 //!
 //! New idioms plug in through [`core::spec::registry`]: build a `Spec`
 //! with `SpecBuilder`, wrap it in an `IdiomEntry` (name, post-check hook,

@@ -275,6 +275,28 @@ fn prop_parallel_argmin_equals_sequential_across_thread_counts() {
     }
 }
 
+/// Differential fuzzing of detection soundness: seeded random programs
+/// from the idiom grammar (folds, histograms, scans, argmin, searches,
+/// speculative folds, fusion pairs) plus mutated near-misses; everything
+/// detected *and* exploited must reproduce the sequential interpreter on
+/// every thread count (`GR_THREADS` honored). `GR_FUZZ_CASES` scales the
+/// sweep (CI's fuzz-smoke leg runs 256; the default keeps `cargo test`
+/// fast).
+#[test]
+fn prop_differential_fuzzing_finds_no_divergence() {
+    let cases = std::env::var("GR_FUZZ_CASES")
+        .ok()
+        .map(|s| s.parse::<usize>().expect("GR_FUZZ_CASES must be a number"))
+        .unwrap_or(64);
+    let threads = gr_parallel::test_thread_counts();
+    let report = gr_benchsuite::fuzz::run_differential(0x5EED_CA5E, cases, &threads);
+    assert_eq!(report.cases, cases);
+    // The grammar must keep producing programs that exercise the full
+    // pipeline — a fuzzer that stops detecting anything is vacuous.
+    assert!(report.detected * 2 >= cases, "detection coverage collapsed: {report:?}");
+    assert!(report.exploited > 0, "nothing exploited: {report:?}");
+}
+
 /// The backtracking solver and the naive enumeration agree on a small
 /// spec over randomly shaped straight-line+loop programs.
 #[test]
