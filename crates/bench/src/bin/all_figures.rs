@@ -9,13 +9,15 @@
 //! and exits nonzero when **any suite's** solver steps regress by more
 //! than 20%, when a suite disappears, or when the total regresses — the
 //! CI guard against silent solver-cost creep (wall time is too noisy on
-//! shared runners; step counts are deterministic). The comparison is
+//! shared runners; step counts are deterministic). The `"runtime"`
+//! scheduler counters (chunk dispatches, token polls, …) ride the same
+//! budget. The comparison is
 //! printed as a baseline-vs-current diff table, and appended to the
 //! GitHub job summary when `GITHUB_STEP_SUMMARY` is set.
 //! `--write-baseline` regenerates the baseline file deliberately (after
 //! intended spec growth) instead of checking against it.
 
-use gr_bench::stats::{corpus, measure_suite_stats, render_json};
+use gr_bench::stats::{corpus, measure_runtime_counters, measure_suite_stats, render_json};
 
 /// Extracts `"solver_steps": N` from the `"total"` object of a
 /// `BENCH_detection.json` document (hand-rolled — the workspace builds
@@ -41,6 +43,24 @@ fn parse_steps_after(seg: &str) -> Option<usize> {
     let after = seg.split("\"solver_steps\":").nth(1)?;
     let digits: String = after.trim_start().chars().take_while(char::is_ascii_digit).collect();
     digits.parse().ok()
+}
+
+/// The `(name, value)` pairs of the `"runtime"` scheduler-counter object,
+/// in document order. Empty when the document predates the runtime block.
+fn runtime_counters(json: &str) -> Vec<(String, i64)> {
+    let Some(seg) = json.split("\"runtime\":").nth(1) else { return Vec::new() };
+    let Some(open) = seg.find('{') else { return Vec::new() };
+    let Some(close) = seg.find('}') else { return Vec::new() };
+    let mut out = Vec::new();
+    for pair in seg[open + 1..close].split(',') {
+        let mut it = pair.splitn(2, ':');
+        let (Some(key), Some(val)) = (it.next(), it.next()) else { continue };
+        let key = key.trim().trim_matches('"');
+        if let Ok(v) = val.trim().parse::<i64>() {
+            out.push((key.to_string(), v));
+        }
+    }
+    out
 }
 
 /// Builds the baseline-vs-current markdown diff table and the list of
@@ -91,6 +111,42 @@ fn diff_report(baseline: &str, current: &str) -> (String, Vec<String>) {
     } else {
         failures.push("cannot parse total solver_steps from baseline or current JSON".to_string());
     }
+    // Runtime scheduler counters (chunk dispatches, token polls, …) ride
+    // the same >20% budget: the fixed workloads are deterministic, so any
+    // increase is a real scheduling change, not noise.
+    let base_rt = runtime_counters(baseline);
+    let cur_rt = runtime_counters(current);
+    for (name, base) in &base_rt {
+        let limit = base + base / 5;
+        match cur_rt.iter().find(|(n, _)| n == name) {
+            None => {
+                let _ = writeln!(table, "| runtime.{name} | {base} | — | — | **MISSING** |");
+                failures.push(format!(
+                    "runtime counter `{name}` disappeared from the current document"
+                ));
+            }
+            Some((_, cur)) => {
+                #[allow(clippy::cast_precision_loss)]
+                let delta = (*cur as f64 - *base as f64) / (*base).max(1) as f64 * 100.0;
+                let status = if *cur > limit { "**FAIL (+20% budget)**" } else { "ok" };
+                let _ = writeln!(
+                    table,
+                    "| runtime.{name} | {base} | {cur} | {delta:+.1}% | {status} |"
+                );
+                if *cur > limit {
+                    failures.push(format!(
+                        "runtime counter `{name}` regressed: {cur} > {limit} (+20% over {base})"
+                    ));
+                }
+            }
+        }
+    }
+    for (name, cur) in &cur_rt {
+        if !base_rt.iter().any(|(n, _)| n == name) {
+            let _ =
+                writeln!(table, "| runtime.{name} | — | {cur} | — | new counter (re-baseline) |");
+        }
+    }
     (table, failures)
 }
 
@@ -124,7 +180,8 @@ fn main() {
     }
 
     let rows: Vec<_> = corpus().into_iter().map(measure_suite_stats).collect();
-    let json = render_json(&rows, quick);
+    let runtime = measure_runtime_counters();
+    let json = render_json(&rows, &runtime, quick);
     match std::fs::write(out_path, &json) {
         Ok(()) => println!("wrote {out_path}"),
         Err(e) => {

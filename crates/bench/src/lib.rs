@@ -94,10 +94,68 @@ pub mod stats {
         out
     }
 
-    /// Renders the per-suite stats as the `BENCH_detection.json` document
-    /// (hand-rolled writer — the workspace builds without serde).
+    /// Runs the fixed runtime workloads under a trace session and returns
+    /// the `runtime.*` scheduler counters as a [`gr_trace::MetricsSnapshot`].
+    ///
+    /// Two workloads, both chosen so the counters are deterministic (the
+    /// property CI gates on):
+    /// - a *no-hit* early-exit search at two workers — every planned chunk
+    ///   is claimed, polled, dispatched and completed, so the aggregate is
+    ///   a closed-form function of the chunk plan;
+    /// - a *hit* run at one worker — a single worker claims chunks in
+    ///   order, so even the cancelling schedule (merge commit, token
+    ///   cancellations) replays identically.
     #[must_use]
-    pub fn render_json(rows: &[SuiteStats], quick: bool) -> String {
+    pub fn measure_runtime_counters() -> gr_trace::MetricsSnapshot {
+        use gr_interp::{Machine, Memory, RtVal};
+
+        const FIND_FIRST: &str = "int find(int* a, int x, int n) {
+                 int r = n;
+                 for (int i = 0; i < n; i++) {
+                     if (a[i] == x) { r = i; break; }
+                 }
+                 return r;
+             }";
+        // Everything from detection on happens inside the session: the
+        // solver counters it records are filtered out below, and pipeline
+        // work never leaks into a session another thread may hold open.
+        let guard = gr_trace::start();
+        let m = gr_frontend::compile(FIND_FIRST).expect("runtime workload compiles");
+        let rs = gr_core::detect_reductions(&m);
+        let run = |data: &[i64], x: i64, threads: usize| {
+            let (pm, plan) =
+                gr_parallel::parallelize(&m, "find", &rs).expect("find-first outlines");
+            let mut mem = Memory::new(&pm);
+            let a = mem.alloc_int(data);
+            let mut machine = Machine::new(&pm, mem);
+            machine.set_handler(gr_parallel::runtime::handler(&pm, plan, threads));
+            machine
+                .call("find", &[RtVal::ptr(a), RtVal::I(x), RtVal::I(data.len() as i64)])
+                .expect("workload runs");
+        };
+        let miss = vec![1i64; 4096];
+        run(&miss, 7, 2);
+        let hit: Vec<i64> = (0..4096i64).collect();
+        run(&hit, 3000, 1);
+        let trace = guard.finish();
+        let mut snap = gr_trace::MetricsSnapshot::default();
+        for (k, v) in &trace.counters {
+            if let Some(stripped) = k.strip_prefix("runtime.") {
+                snap.counters.insert(stripped.to_string(), *v);
+            }
+        }
+        snap
+    }
+
+    /// Renders the per-suite stats plus the runtime scheduler counters as
+    /// the `BENCH_detection.json` document (hand-rolled writer — the
+    /// workspace builds without serde).
+    #[must_use]
+    pub fn render_json(
+        rows: &[SuiteStats],
+        runtime: &gr_trace::MetricsSnapshot,
+        quick: bool,
+    ) -> String {
         use std::fmt::Write as _;
         let mut s = String::from("{\n");
         let _ = writeln!(s, "  \"schema\": \"gr-bench/detection-stats/v1\",");
@@ -124,9 +182,17 @@ pub mod stats {
         let wall: f64 = rows.iter().map(|r| r.wall_ms).sum();
         let _ = writeln!(
             s,
-            "  \"total\": {{\"solver_steps\": {shared}, \"solver_steps_unshared\": {unshared}, \"sharing_speedup\": {:.3}, \"wall_ms\": {wall:.3}}}",
+            "  \"total\": {{\"solver_steps\": {shared}, \"solver_steps_unshared\": {unshared}, \"sharing_speedup\": {:.3}, \"wall_ms\": {wall:.3}}},",
             unshared as f64 / shared.max(1) as f64,
         );
+        let _ = write!(s, "  \"runtime\": {{");
+        for (i, (k, v)) in runtime.counters.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{}: {v}", gr_trace::json_str(k));
+        }
+        s.push_str("}\n");
         s.push_str("}\n");
         s
     }

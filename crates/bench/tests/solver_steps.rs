@@ -8,6 +8,10 @@
 //! ten-idiom registry, both prefixes and the fusion pair-resume) so spec
 //! growth does not trip them spuriously, while a genuine
 //! candidate-generation regression does.
+//!
+//! `trace_substrate.rs` re-asserts the corpus pin through the `gr-trace`
+//! counters, proving the legacy ledger and the trace substrate count the
+//! same thing.
 
 use gr_bench::stats::{corpus, measure_suite_stats};
 use gr_benchsuite::{suite_programs, Suite};
@@ -228,7 +232,9 @@ fn shared_and_unshared_detection_reports_are_byte_identical() {
 #[test]
 fn bench_json_renders_all_suites() {
     let rows: Vec<_> = corpus().into_iter().map(measure_suite_stats).collect();
-    let json = gr_bench::stats::render_json(&rows, true);
+    let mut runtime = gr_trace::MetricsSnapshot::default();
+    runtime.counters.insert("chunk_dispatch".to_string(), 12);
+    let json = gr_bench::stats::render_json(&rows, &runtime, true);
     for suite in ["nas", "parboil", "rodinia", "micro"] {
         assert!(
             json.to_lowercase().contains(&format!("\"suite\": \"{suite}\"")),
@@ -236,4 +242,5 @@ fn bench_json_renders_all_suites() {
         );
     }
     assert!(json.contains("\"sharing_speedup\""));
+    assert!(json.contains("\"runtime\": {\"chunk_dispatch\": 12}"));
 }

@@ -1,0 +1,61 @@
+//! The solver-step pins of `solver_steps.rs`, re-checked through the
+//! `gr-trace` substrate: one counting layer for the legacy [`SolveStats`]
+//! ledger, the CLI, and `BENCH_detection.json`.
+//!
+//! These tests live in their own binary because each opens a global trace
+//! session (the session lock serializes them); pipeline code running in
+//! *other* test binaries executes in other processes and cannot record
+//! into these sessions.
+//!
+//! [`SolveStats`]: gr_core::solver::SolveStats
+
+use gr_bench::stats::{corpus, measure_runtime_counters};
+use gr_benchsuite::suite_programs;
+use gr_core::atoms::MatchCtx;
+use gr_core::spec::IdiomRegistry;
+
+#[test]
+fn corpus_trace_steps_match_legacy_and_stay_pinned() {
+    // The same sweep `solver_steps.rs` pins (prefix-shared, full corpus),
+    // with a session around it: the trace counter must agree with the
+    // hand-threaded totals exactly, and the pinned bound holds on the
+    // unified substrate.
+    let registry = IdiomRegistry::with_default_idioms();
+    let guard = gr_trace::start();
+    let mut legacy = 0usize;
+    for suite in corpus() {
+        for p in suite_programs(suite) {
+            let m = p.compile();
+            for func in &m.functions {
+                let analyses = gr_analysis::Analyses::new(&m, func);
+                let ctx = MatchCtx::new(&m, func, &analyses);
+                legacy += registry.solve_stats(&ctx).steps;
+            }
+        }
+    }
+    let trace = guard.finish();
+    assert_eq!(
+        trace.counter("solver.steps"),
+        legacy as i64,
+        "trace substrate and SolveStats must count identically"
+    );
+    // Same trend guard as `corpus_steps_drop_3x_vs_pre_sharing_main`,
+    // asserted on the trace counter (measured 3259).
+    assert!(trace.counter("solver.steps") <= 3_800, "corpus steps regressed on trace substrate");
+    // The deepest assignment the corpus search reaches; a jump means a
+    // spec grew a label chain the candidate ordering no longer prunes.
+    assert!(trace.counter("solver.max_depth") >= 1);
+}
+
+#[test]
+fn runtime_counter_snapshot_is_byte_deterministic() {
+    // The fixed workloads behind the `"runtime"` block of
+    // `BENCH_detection.json` must replay to the same bytes — this is what
+    // lets the baseline diff gate on them without noise margins.
+    let a = measure_runtime_counters();
+    let b = measure_runtime_counters();
+    assert_eq!(a.render_json(), b.render_json());
+    assert!(a.get("chunk_dispatch") > 0);
+    assert!(a.get("token_polls") > 0);
+    assert_eq!(a.get("merge_commits"), 1, "the hit workload commits exactly one winner");
+}

@@ -402,21 +402,70 @@ pub fn run_differential(seed: u64, cases: usize, threads: &[usize]) -> FuzzRepor
             continue;
         };
         report.exploited += 1;
-        for &t in threads {
-            let mut mem = Memory::new(&pm);
-            let (pargs, par_objs) = materialize(&case, &mut mem);
-            let mut par = Machine::new(&pm, mem);
-            par.set_handler(gr_parallel::runtime::handler(&pm, plan.clone(), t));
-            let par_ret = par
-                .call("k", &pargs)
-                .unwrap_or_else(|e| panic!("{tag} (threads={t}): parallel run trapped: {e}"));
-            assert_value_eq(&tag, t, &seq_ret, &par_ret);
-            for (&so, &po) in seq_objs.iter().zip(&par_objs) {
-                assert_mem_eq(&tag, t, seq.mem.object(so), par.mem.object(po));
+        let mut observed: Vec<String> = Vec::new();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            for &t in threads {
+                let mut mem = Memory::new(&pm);
+                let (pargs, par_objs) = materialize(&case, &mut mem);
+                let mut par = Machine::new(&pm, mem);
+                par.set_handler(gr_parallel::runtime::handler(&pm, plan.clone(), t));
+                let par_ret = par
+                    .call("k", &pargs)
+                    .unwrap_or_else(|e| panic!("{tag} (threads={t}): parallel run trapped: {e}"));
+                observed.push(format!("threads={t}: parallel result = {par_ret:?}"));
+                assert_value_eq(&tag, t, &seq_ret, &par_ret);
+                for (&so, &po) in seq_objs.iter().zip(&par_objs) {
+                    assert_mem_eq(&tag, t, seq.mem.object(so), par.mem.object(po));
+                }
             }
+        }));
+        if let Err(panic) = outcome {
+            dump_failure(seed, case_idx, &case, &seq_ret, &observed, panic.as_ref());
+            std::panic::resume_unwind(panic);
         }
     }
     report
+}
+
+/// Writes a reproduction artifact for a differential mismatch to
+/// `target/fuzz-failures/<seed>.txt` — the seed, the rendered program,
+/// the sequential reference result and every parallel result observed
+/// before the divergence — so a CI failure is diagnosable without
+/// re-running the sweep.
+fn dump_failure(
+    seed: u64,
+    case_idx: usize,
+    case: &FuzzCase,
+    seq_ret: &Option<RtVal>,
+    observed: &[String],
+    panic: &(dyn std::any::Any + Send),
+) {
+    use std::fmt::Write as _;
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/fuzz-failures");
+    if std::fs::create_dir_all(&dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{seed:#x}.txt"));
+    let msg = panic
+        .downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| panic.downcast_ref::<&str>().copied())
+        .unwrap_or("<non-string panic payload>");
+    let mut body = String::new();
+    let _ = writeln!(body, "differential fuzz failure");
+    let _ = writeln!(body, "seed:  {seed:#x}");
+    let _ = writeln!(body, "case:  {case_idx} [{}]", case.name);
+    let _ = writeln!(body, "repro: GR_FUZZ_SEED={seed:#x} (case index {case_idx})");
+    let _ = writeln!(body, "\n--- program ---\n{}", case.src);
+    let _ = writeln!(body, "\n--- sequential result ---\n{seq_ret:?}");
+    let _ = writeln!(body, "\n--- parallel results (up to the divergence) ---");
+    for line in observed {
+        let _ = writeln!(body, "{line}");
+    }
+    let _ = writeln!(body, "\n--- failure ---\n{msg}");
+    if std::fs::write(&path, body).is_ok() {
+        eprintln!("fuzz-failure artifact written to {}", path.display());
+    }
 }
 
 #[cfg(test)]
@@ -443,6 +492,29 @@ mod tests {
             gr_frontend::compile(&c.src)
                 .unwrap_or_else(|e| panic!("[{}] fails to compile: {e}\n{}", c.name, c.src));
         }
+    }
+
+    #[test]
+    fn failure_artifact_renders_seed_program_and_results() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let case = generate(&mut rng);
+        let payload: Box<dyn std::any::Any + Send> = Box::new("synthetic divergence".to_string());
+        dump_failure(
+            0xA11CE,
+            3,
+            &case,
+            &Some(RtVal::I(5)),
+            &["threads=2: parallel result = Some(I(6))".to_string()],
+            payload.as_ref(),
+        );
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/fuzz-failures/0xa11ce.txt");
+        let body = std::fs::read_to_string(&path).expect("artifact written");
+        assert!(body.contains("seed:  0xa11ce"));
+        assert!(body.contains(&case.src));
+        assert!(body.contains("Some(I(5))"));
+        assert!(body.contains("synthetic divergence"));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! `greduce` — command-line driver for the general-reductions toolchain.
 //!
 //! ```text
-//! greduce detect <file.c>        detect reductions (constraint system)
+//! greduce detect <file.c> [--trace]     detect reductions (constraint system)
 //! greduce stats <file.c>         solver-step ledger (shared prefix vs unshared)
+//! greduce trace <file.c> [--json out]   trace the pipeline, write Chrome JSON
 //! greduce compare <file.c>       ours vs icc-model vs Polly-model
 //! greduce ir <file.c>            dump the SSA IR
 //! greduce run <file.c> <fn> [args...]   interpret a function (int args)
@@ -15,19 +16,36 @@ use gr_core::detect_reductions;
 use gr_interp::{Machine, Memory, RtVal};
 use std::process::ExitCode;
 
+/// Distinct (function, header) loop groups of a detection result, in
+/// first-appearance order — outlining targets one loop at a time.
+fn reduction_loops(rs: &[gr_core::Reduction]) -> Vec<(String, gr_ir::BlockId)> {
+    let mut loops: Vec<(String, gr_ir::BlockId)> = Vec::new();
+    for r in rs {
+        if !loops.iter().any(|(f, h)| *f == r.function && *h == r.header) {
+            loops.push((r.function.clone(), r.header));
+        }
+    }
+    loops
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
-        eprintln!("usage: greduce <detect|stats|compare|ir|run|par|suite|help> [file.c] [args...]");
+        eprintln!(
+            "usage: greduce <detect|stats|trace|compare|ir|run|par|suite|help> [file.c] [args...]"
+        );
         ExitCode::FAILURE
     };
     let Some(cmd) = args.first().map(String::as_str) else { return usage() };
     match cmd {
         "help" => {
             println!("greduce — constraint-based reduction discovery (CGO 2017 reproduction)");
-            println!("  detect <file.c>              list detected reductions");
+            println!("  detect <file.c> [--trace]    list detected reductions");
             println!(
                 "  stats <file.c>               per-function solver steps, shared vs unshared"
+            );
+            println!(
+                "  trace <file.c> [--json out]  trace detect+outline, write Chrome trace JSON"
             );
             println!("  compare <file.c>             compare against icc/Polly models");
             println!("  ir <file.c>                  print the SSA IR");
@@ -55,7 +73,7 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        "detect" | "stats" | "compare" | "ir" | "run" | "par" => {
+        "detect" | "stats" | "trace" | "compare" | "ir" | "run" | "par" => {
             let Some(path) = args.get(1) else { return usage() };
             let source = match std::fs::read_to_string(path) {
                 Ok(s) => s,
@@ -77,12 +95,85 @@ fn main() -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 "detect" => {
+                    if !args.iter().skip(2).any(|a| a == "--trace") {
+                        let rs = detect_reductions(&module);
+                        if rs.is_empty() {
+                            println!("no reductions detected");
+                        }
+                        for r in &rs {
+                            println!("{r}");
+                        }
+                        return ExitCode::SUCCESS;
+                    }
+                    // --trace: run detection inside a trace session and
+                    // cross-check the trace substrate against the legacy
+                    // SolveStats counters — the two must agree exactly.
+                    let guard = gr_trace::start();
                     let rs = detect_reductions(&module);
+                    let trace = guard.finish();
                     if rs.is_empty() {
                         println!("no reductions detected");
                     }
                     for r in &rs {
                         println!("{r}");
+                    }
+                    let legacy: usize = gr_core::detect::detection_stats(&module)
+                        .iter()
+                        .map(|(_, s)| s.steps)
+                        .sum();
+                    let traced = trace.counter("solver.steps");
+                    if let Err(e) = std::fs::write("TRACE.json", trace.chrome_json()) {
+                        eprintln!("cannot write TRACE.json: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!(
+                        "trace: wrote TRACE.json ({} events); solver steps {traced} (legacy solver_steps {legacy})",
+                        trace.events.len()
+                    );
+                    if traced != legacy as i64 {
+                        eprintln!("trace/legacy solver-step mismatch: {traced} != {legacy}");
+                        return ExitCode::FAILURE;
+                    }
+                    ExitCode::SUCCESS
+                }
+                "trace" => {
+                    let mut json_path = String::from("TRACE.json");
+                    let mut rest = args.iter().skip(2);
+                    while let Some(a) = rest.next() {
+                        if a == "--json" {
+                            match rest.next() {
+                                Some(p) => json_path = p.clone(),
+                                None => return usage(),
+                            }
+                        } else {
+                            return usage();
+                        }
+                    }
+                    // One session around the whole pipeline: detection, then
+                    // an outline attempt per (function, header) group —
+                    // exactly the exploitation pass `stats` reports on.
+                    let guard = gr_trace::start();
+                    let rs = detect_reductions(&module);
+                    for (fname, header) in reduction_loops(&rs) {
+                        let group: Vec<gr_core::Reduction> = rs
+                            .iter()
+                            .filter(|r| r.function == fname && r.header == header)
+                            .cloned()
+                            .collect();
+                        let _ = gr_parallel::parallelize(&module, &fname, &group);
+                    }
+                    let trace = guard.finish();
+                    if let Err(e) = std::fs::write(&json_path, trace.chrome_json()) {
+                        eprintln!("cannot write {json_path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!(
+                        "wrote {json_path}: {} events, {} counters",
+                        trace.events.len(),
+                        trace.counters.len()
+                    );
+                    for (name, value) in &trace.counters {
+                        println!("  {name:<44} {value:>8}");
                     }
                     ExitCode::SUCCESS
                 }
@@ -95,6 +186,9 @@ fn main() -> ExitCode {
                     let mut total_shared = 0usize;
                     let mut total_unshared = 0usize;
                     let mut rs: Vec<gr_core::Reduction> = Vec::new();
+                    // Module-wide extension-step total per idiom, summed
+                    // over the per-function reports below.
+                    let mut idiom_steps: Vec<(&'static str, usize)> = Vec::new();
                     for func in &module.functions {
                         let analyses = gr_analysis::Analyses::new(&module, func);
                         let ctx = gr_core::atoms::MatchCtx::new(&module, func, &analyses);
@@ -105,9 +199,15 @@ fn main() -> ExitCode {
                         let unshared = registry.stats_report(&ctx, false);
                         println!("{}:", func.name);
                         for row in &shared.prefix_cache {
+                            // One solve per cache row, so the hit rate is
+                            // hits / (hits + 1).
                             println!(
-                                "  {:<20}{:>6} steps (solved once, {} solution(s), {} cache hit(s))",
-                                row.name, row.steps, row.solutions, row.hits
+                                "  {:<20}{:>6} steps (solved once, {} solution(s), {} cache hit(s), {:.0}% hit rate)",
+                                row.name,
+                                row.steps,
+                                row.solutions,
+                                row.hits,
+                                100.0 * row.hits as f64 / (row.hits + 1) as f64
                             );
                         }
                         for ((name, ext), (_, full)) in
@@ -117,6 +217,10 @@ fn main() -> ExitCode {
                                 "  {name:<20}{:>6} steps (unshared: {})",
                                 ext.steps, full.steps
                             );
+                            match idiom_steps.iter_mut().find(|(n, _)| n == name) {
+                                Some((_, acc)) => *acc += ext.steps,
+                                None => idiom_steps.push((name, ext.steps)),
+                            }
                         }
                         let s = shared.total();
                         let u = unshared.total();
@@ -136,41 +240,41 @@ fn main() -> ExitCode {
                             total_unshared as f64 / total_shared.max(1) as f64
                         );
                     }
+                    if module.functions.len() > 1 && idiom_steps.len() > 1 {
+                        println!("extension steps per idiom (module total):");
+                        for (name, steps) in &idiom_steps {
+                            println!("  {name:<20}{steps:>6} steps");
+                        }
+                    }
                     // Exploitation refusals: which outline refusal fired,
                     // per idiom kind — makes coverage gaps (detected but
                     // not exploitable) visible from the CLI. Outlining
                     // targets one loop at a time, so reductions are
                     // grouped per (function, header): a function with two
-                    // independent reduction loops is not a refusal.
-                    let mut refusals: Vec<(String, String, usize)> = Vec::new();
+                    // independent reduction loops is not a refusal. The
+                    // tally is aggregated from the structured
+                    // `outline.refusal` trace events rather than a
+                    // hand-rolled side channel.
                     let mut exploited = 0usize;
-                    let mut loops: Vec<(&str, gr_ir::BlockId)> = Vec::new();
-                    for r in &rs {
-                        if !loops.contains(&(r.function.as_str(), r.header)) {
-                            loops.push((r.function.as_str(), r.header));
-                        }
-                    }
-                    for (fname, header) in loops {
+                    let guard = gr_trace::start();
+                    for (fname, header) in reduction_loops(&rs) {
                         let group: Vec<gr_core::Reduction> = rs
                             .iter()
                             .filter(|r| r.function == fname && r.header == header)
                             .cloned()
                             .collect();
-                        match gr_parallel::parallelize(&module, fname, &group) {
-                            Ok(_) => exploited += group.len(),
-                            Err(e) => {
-                                for r in &group {
-                                    let kind = r.kind.to_string();
-                                    let err = e.to_string();
-                                    match refusals
-                                        .iter_mut()
-                                        .find(|(k, m, _)| *k == kind && *m == err)
-                                    {
-                                        Some((_, _, n)) => *n += 1,
-                                        None => refusals.push((kind, err, 1)),
-                                    }
-                                }
-                            }
+                        if gr_parallel::parallelize(&module, &fname, &group).is_ok() {
+                            exploited += group.len();
+                        }
+                    }
+                    let trace = guard.finish();
+                    let mut refusals: Vec<(String, String, usize)> = Vec::new();
+                    for ev in trace.events_named("outline.refusal") {
+                        let kind = ev.arg_str("kind").unwrap_or("?").to_string();
+                        let err = ev.arg_str("detail").unwrap_or("?").to_string();
+                        match refusals.iter_mut().find(|(k, m, _)| *k == kind && *m == err) {
+                            Some((_, _, n)) => *n += 1,
+                            None => refusals.push((kind, err, 1)),
                         }
                     }
                     if refusals.is_empty() {

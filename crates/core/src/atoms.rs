@@ -471,6 +471,51 @@ pub enum Atom {
 }
 
 impl Atom {
+    /// The atom's variant name, used as the prune-reason key in trace
+    /// counters (`solver.prunes{<kind>}`).
+    #[must_use]
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Atom::IsBlock(..) => "IsBlock",
+            Atom::IsLoopHeader(..) => "IsLoopHeader",
+            Atom::Opcode { .. } => "Opcode",
+            Atom::TypeScalar(..) => "TypeScalar",
+            Atom::TypeInt(..) => "TypeInt",
+            Atom::PhiArity { .. } => "PhiArity",
+            Atom::OperandOf { .. } => "OperandOf",
+            Atom::OperandIs { .. } => "OperandIs",
+            Atom::PhiIncoming { .. } => "PhiIncoming",
+            Atom::NotEqual { .. } => "NotEqual",
+            Atom::Equal { .. } => "Equal",
+            Atom::BlockOf { .. } => "BlockOf",
+            Atom::CfgEdge { .. } => "CfgEdge",
+            Atom::Dominates { .. } => "Dominates",
+            Atom::StrictlyDominates { .. } => "StrictlyDominates",
+            Atom::Postdominates { .. } => "Postdominates",
+            Atom::StrictlyPostdominates { .. } => "StrictlyPostdominates",
+            Atom::NoPathAvoiding { .. } => "NoPathAvoiding",
+            Atom::InLoopBlock { .. } => "InLoopBlock",
+            Atom::NotInLoopBlock { .. } => "NotInLoopBlock",
+            Atom::InLoopInst { .. } => "InLoopInst",
+            Atom::AnchoredTo { .. } => "AnchoredTo",
+            Atom::InvariantIn { .. } => "InvariantIn",
+            Atom::ComputedOnlyFrom { .. } => "ComputedOnlyFrom",
+            Atom::UsesConfinedTo { .. } => "UsesConfinedTo",
+            Atom::OnlyObjectAccesses { .. } => "OnlyObjectAccesses",
+            Atom::AffineIn { .. } => "AffineIn",
+            Atom::Precedes { .. } => "Precedes",
+            Atom::LoopExitEdges { .. } => "LoopExitEdges",
+            Atom::PureInLoop { .. } => "PureInLoop",
+            Atom::OnlyTerminator { .. } => "OnlyTerminator",
+            Atom::CmpPredIs { .. } => "CmpPredIs",
+            Atom::IsConstInt { .. } => "IsConstInt",
+            Atom::ConstIntNegative(..) => "ConstIntNegative",
+            Atom::SameTripCount { .. } => "SameTripCount",
+            Atom::NoInterveningWrites { .. } => "NoInterveningWrites",
+            Atom::OnlyConsumedBy { .. } => "OnlyConsumedBy",
+        }
+    }
+
     /// All labels this atom mentions.
     #[must_use]
     pub fn labels(&self) -> Vec<Label> {

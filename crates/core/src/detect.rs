@@ -94,11 +94,20 @@ impl PrefixCache {
         let p = spec.prefix?;
         if let Some(e) = self.entries.get_mut(&p.fingerprint) {
             e.hits += 1;
+            if gr_trace::enabled() {
+                gr_trace::counter_keyed("prefix_cache.hits", &e.solved.name, 1);
+            }
             return Some((Arc::clone(&e.solved), false));
         }
         let pspec = spec.prefix_spec()?;
         let name = pspec.name.clone();
+        let _sp = gr_trace::enabled()
+            .then(|| gr_trace::span_with("prefix", vec![("prefix", name.as_str().into())]));
         let (solutions, stats) = solve(&pspec, ctx, opts);
+        if gr_trace::enabled() {
+            gr_trace::counter_keyed("prefix_cache.solves", &name, 1);
+            gr_trace::counter_keyed("prefix_cache.solutions", &name, solutions.len() as i64);
+        }
         let e = Arc::new(SolvedPrefix { name, solutions, stats });
         self.entries
             .insert(p.fingerprint, CacheEntry { solved: Arc::clone(&e), hits: 0 });
@@ -121,6 +130,17 @@ impl PrefixCache {
             .collect();
         rows.sort_by(|a, b| a.name.cmp(&b.name));
         rows
+    }
+}
+
+impl Drop for PrefixCache {
+    /// The cache has no replacement policy: entries live until the
+    /// per-function cache is dropped, which is therefore the one eviction
+    /// point — `prefix_cache.evictions` counts entries retired here.
+    fn drop(&mut self) {
+        if gr_trace::enabled() && !self.entries.is_empty() {
+            gr_trace::counter("prefix_cache.evictions", self.entries.len() as i64);
+        }
     }
 }
 

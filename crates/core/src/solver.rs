@@ -233,6 +233,8 @@ fn mandatory_atoms(c: &Constraint) -> Vec<&Atom> {
 /// `opts`).
 #[must_use]
 pub fn solve(spec: &Spec, ctx: &MatchCtx<'_>, opts: SolveOptions) -> (Vec<Assignment>, SolveStats) {
+    let _sp = gr_trace::enabled()
+        .then(|| gr_trace::span_with("solve", vec![("spec", spec.name.as_str().into())]));
     let mut solutions = Vec::new();
     let mut stats = SolveStats::default();
     if spec.arity() == 0 {
@@ -273,6 +275,8 @@ pub fn solve_extend(
     opts: SolveOptions,
 ) -> (Vec<Assignment>, SolveStats) {
     let p = spec.prefix.expect("solve_extend requires a spec with a marked prefix");
+    let _sp = gr_trace::enabled()
+        .then(|| gr_trace::span_with("extend", vec![("spec", spec.name.as_str().into())]));
     let plan = SearchPlan::new(spec, p.total_labels(), p.total_conjuncts());
     let mut solutions = Vec::new();
     let mut stats = SolveStats::default();
@@ -289,9 +293,11 @@ pub fn solve_extend(
             debug_assert_eq!(pre.len(), p.labels, "prefix assignment arity mismatch");
             asg.extend_from_slice(pre);
         }
+        gr_trace::counter("solver.resume_tuples", 1);
         // Extension conjuncts confined to prefix labels (including every
         // cross-instance condition) are decided here, once per tuple.
         if plan.residual.iter().all(|c| eval(c, ctx, &asg)) {
+            gr_trace::counter("solver.resume_points", 1);
             search(&plan, ctx, &mut asg, &mut solutions, &mut stats, opts);
             if stats.truncated {
                 break;
@@ -332,6 +338,14 @@ fn search(
         return;
     }
     let (candidates, chosen) = generate_candidates(plan, ctx, asg, k);
+    if gr_trace::enabled() {
+        gr_trace::counter("solver.candidates", candidates.len() as i64);
+        gr_trace::counter_keyed(
+            "solver.candidates.label",
+            &format!("{}::{}", plan.spec.name, plan.spec.label_names[k]),
+            candidates.len() as i64,
+        );
+    }
     for v in candidates {
         // Membership pre-filter (the rest of the generator intersection):
         // candidates outside any generating source are rejected before
@@ -348,6 +362,12 @@ fn search(
             continue;
         }
         stats.steps += 1;
+        if gr_trace::enabled() {
+            // The `solver.steps` trace counter increments exactly where
+            // `stats.steps` does, so the two substrates agree byte-for-byte.
+            gr_trace::counter("solver.steps", 1);
+            gr_trace::counter_max("solver.max_depth", (k + 1) as i64);
+        }
         if stats.steps >= opts.max_steps {
             stats.truncated = true;
             return;
@@ -356,8 +376,11 @@ fn search(
         // c_k: all conjunct atoms decided at this step must hold, and the
         // optimistic evaluation of the undecided disjunctions must not be
         // false.
-        let ok =
-            plan.checkers[k].iter().all(|a| a.check(ctx, asg)) && plan.partials_hold(ctx, asg, k);
+        let ok = if gr_trace::enabled() {
+            check_traced(plan, ctx, asg, k)
+        } else {
+            plan.checkers[k].iter().all(|a| a.check(ctx, asg)) && plan.partials_hold(ctx, asg, k)
+        };
         if ok {
             search(plan, ctx, asg, solutions, stats, opts);
         }
@@ -367,6 +390,25 @@ fn search(
             return;
         }
     }
+}
+
+/// The `c_k` check of [`search`] with prune-reason recording: same
+/// evaluation order and short-circuiting as the untraced path, but the
+/// first failing checker atom (or the optimistic `Or` evaluation) is
+/// counted under `solver.prunes{<kind>}`.
+#[cold]
+fn check_traced(plan: &SearchPlan<'_>, ctx: &MatchCtx<'_>, asg: &[ValueId], k: usize) -> bool {
+    for a in &plan.checkers[k] {
+        if !a.check(ctx, asg) {
+            gr_trace::counter_keyed("solver.prunes", a.kind_name(), 1);
+            return false;
+        }
+    }
+    if !plan.partials_hold(ctx, asg, k) {
+        gr_trace::counter_keyed("solver.prunes", "Or", 1);
+        return false;
+    }
+    true
 }
 
 /// Materializes the candidate set for level `k`: the most selective

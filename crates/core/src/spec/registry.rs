@@ -249,10 +249,17 @@ impl IdiomRegistry {
         ctx: &MatchCtx<'_>,
         mut cache: Option<&mut PrefixCache>,
     ) -> Vec<Reduction> {
+        let _sp = gr_trace::enabled().then(|| {
+            gr_trace::span_with("detect", vec![("function", ctx.func.name.as_str().into())])
+        });
         let mut out = Vec::new();
         for entry in &self.entries {
+            let _isp = gr_trace::enabled()
+                .then(|| gr_trace::span_with("idiom", vec![("idiom", entry.name.into())]));
             let (sols, _, _) =
                 solve_with_cache(&entry.spec, ctx, cache.as_deref_mut(), SolveOptions::default());
+            let _psp = gr_trace::enabled()
+                .then(|| gr_trace::span_with("postcheck", vec![("idiom", entry.name.into())]));
             let mut seen: HashSet<(ValueId, ValueId)> = HashSet::new();
             let mut found = Vec::new();
             for s in sols {
@@ -260,13 +267,18 @@ impl IdiomRegistry {
                     continue;
                 }
                 let Some(op) = (entry.post_check)(ctx, &entry.spec, &s) else {
+                    gr_trace::counter_keyed("detect.postcheck_rejects", entry.name, 1);
                     continue;
                 };
                 if let Some(r) = (entry.classify)(ctx, &entry.spec, &s, op) {
                     found.push(r);
+                } else {
+                    gr_trace::counter_keyed("detect.classify_rejects", entry.name, 1);
                 }
             }
-            out.extend((entry.finalize)(ctx, found));
+            let finalized = (entry.finalize)(ctx, found);
+            gr_trace::counter_keyed("detect.reports", entry.name, finalized.len() as i64);
+            out.extend(finalized);
         }
         out
     }

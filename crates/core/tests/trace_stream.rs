@@ -1,0 +1,136 @@
+//! The unified counting substrate: `gr-trace` counters must agree
+//! byte-for-byte with the legacy hand-threaded [`SolveStats`] counters.
+//!
+//! Every test opens a trace session; the global session lock serializes
+//! them, so no other test in this binary records into a foreign session.
+
+use gr_core::atoms::MatchCtx;
+use gr_core::detect::detection_stats;
+use gr_core::solver::SolveStats;
+use gr_core::spec::registry::IdiomRegistry;
+use gr_frontend::compile;
+
+const CORPUS_SRC: &str = "void ep(float* x, float* q, float* sums, int nk) {
+         float sx = 0.0;
+         float sy = 0.0;
+         for (int i = 0; i < nk; i++) {
+             float x1 = 2.0 * x[2 * i] - 1.0;
+             float x2 = 2.0 * x[2 * i + 1] - 1.0;
+             float t1 = x1 * x1 + x2 * x2;
+             if (t1 <= 1.0) {
+                 float t2 = sqrt(-2.0 * log(t1) / t1);
+                 float t3 = x1 * t2;
+                 float t4 = x2 * t2;
+                 int l = fmax(fabs(t3), fabs(t4));
+                 q[l] = q[l] + 1.0;
+                 sx = sx + t3;
+                 sy = sy + t4;
+             }
+         }
+         sums[0] = sx;
+         sums[1] = sy;
+     }
+     int find(int* a, int x, int n) {
+         int r = n;
+         for (int i = 0; i < n; i++) {
+             if (a[i] == x) { r = i; break; }
+         }
+         return r;
+     }";
+
+#[test]
+fn trace_steps_byte_match_legacy_solve_stats() {
+    let m = compile(CORPUS_SRC).unwrap();
+    let guard = gr_trace::start();
+    let legacy = detection_stats(&m);
+    let trace = guard.finish();
+    let legacy_steps: usize = legacy.iter().map(|(_, s)| s.steps).sum();
+    assert!(legacy_steps > 0);
+    assert_eq!(
+        trace.counter("solver.steps"),
+        legacy_steps as i64,
+        "the trace substrate must count exactly where SolveStats counts"
+    );
+}
+
+#[test]
+fn repeated_detection_traces_are_byte_identical() {
+    let m = compile(CORPUS_SRC).unwrap();
+    let run = || {
+        let guard = gr_trace::start();
+        let _ = detection_stats(&m);
+        guard.finish()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.chrome_json(), b.chrome_json());
+    assert_eq!(a.snapshot().render_json(), b.snapshot().render_json());
+    assert!(a.counter("solver.candidates") > 0);
+}
+
+#[test]
+fn prune_reasons_are_recorded_by_failing_checker_kind() {
+    // Single-mention atoms act as candidate generators or membership
+    // filters and never reach the checker stage, so to observe a genuine
+    // checker prune the atom must mention its decision label twice:
+    // `NotEqual(x, x)` is never a generator, always fails, and every
+    // search step records a prune keyed by the atom kind.
+    use gr_core::atoms::Atom;
+    use gr_core::constraint::SpecBuilder;
+    use gr_core::solver::{solve, SolveOptions};
+
+    let m = compile("float f(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[i]; return s; }").unwrap();
+    let func = &m.functions[0];
+    let analyses = gr_analysis::Analyses::new(&m, func);
+    let ctx = MatchCtx::new(&m, func, &analyses);
+    let mut b = SpecBuilder::new("never");
+    let x = b.label("x");
+    b.atom(Atom::NotEqual { a: x, b: x });
+    let spec = b.finish();
+    let guard = gr_trace::start();
+    let (sols, stats) = solve(&spec, &ctx, SolveOptions::default());
+    let trace = guard.finish();
+    assert!(sols.is_empty());
+    assert!(stats.steps > 0);
+    assert_eq!(trace.counter("solver.steps"), stats.steps as i64);
+    assert_eq!(
+        trace.counter("solver.prunes{NotEqual}"),
+        stats.steps as i64,
+        "every step fails the NotEqual checker: {:?}",
+        trace.counters
+    );
+}
+
+#[test]
+fn prefix_cache_counters_match_cache_summary() {
+    let m = compile(CORPUS_SRC).unwrap();
+    let registry = IdiomRegistry::with_default_idioms();
+    let guard = gr_trace::start();
+    let mut legacy = SolveStats::default();
+    let mut summary_hits = 0usize;
+    let mut summary_solves = 0usize;
+    for func in &m.functions {
+        let analyses = gr_analysis::Analyses::new(&m, func);
+        let ctx = MatchCtx::new(&m, func, &analyses);
+        let report = registry.stats_report(&ctx, true);
+        legacy.absorb(report.total());
+        for row in &report.prefix_cache {
+            summary_hits += row.hits;
+            summary_solves += 1;
+        }
+    }
+    let trace = guard.finish();
+    assert_eq!(trace.counter("solver.steps"), legacy.steps as i64);
+    let traced_hits: i64 = trace.counters_with_prefix("prefix_cache.hits{").map(|(_, v)| v).sum();
+    let traced_solves: i64 =
+        trace.counters_with_prefix("prefix_cache.solves{").map(|(_, v)| v).sum();
+    assert_eq!(traced_hits, summary_hits as i64);
+    assert_eq!(traced_solves, summary_solves as i64);
+    // Every per-function cache was dropped inside the session: evictions
+    // cover each cached entry exactly once.
+    assert_eq!(trace.counter("prefix_cache.evictions"), summary_solves as i64);
+    // Spans nest detect-pipeline order: a prefix solve happens inside an
+    // idiom span inside the extend/solve machinery.
+    assert!(trace.events_named("prefix").count() >= 2, "one fresh prefix solve per fingerprint");
+    assert!(trace.events_named("extend").count() > 0);
+}

@@ -75,6 +75,28 @@ pub enum OutlineError {
     ClosureNotAvailable,
 }
 
+impl OutlineError {
+    /// The error's variant name, used as the structured refusal-reason key
+    /// in trace events (`outline.refusal` / `outline.refusals{<kind>}`).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            OutlineError::NoReductions => "NoReductions",
+            OutlineError::MixedLoops => "MixedLoops",
+            OutlineError::NoSuchFunction(_) => "NoSuchFunction",
+            OutlineError::UnknownCarriedState => "UnknownCarriedState",
+            OutlineError::IteratorLiveOut => "IteratorLiveOut",
+            OutlineError::UnsupportedHeaderShape => "UnsupportedHeaderShape",
+            OutlineError::ExitHasPhis => "ExitHasPhis",
+            OutlineError::CarriedValueLiveOut => "CarriedValueLiveOut",
+            OutlineError::NonInvariantExitDefault => "NonInvariantExitDefault",
+            OutlineError::MisalignedPointer => "MisalignedPointer",
+            OutlineError::IntermediateNotElidable => "IntermediateNotElidable",
+            OutlineError::ClosureNotAvailable => "ClosureNotAvailable",
+        }
+    }
+}
+
 impl fmt::Display for OutlineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -126,6 +148,50 @@ static CHUNK_COUNTER: std::sync::atomic::AtomicUsize = std::sync::atomic::Atomic
 /// Returns an [`OutlineError`] when the loop shape is outside what this
 /// code generator supports.
 pub fn parallelize(
+    module: &Module,
+    func_name: &str,
+    reductions: &[Reduction],
+) -> Result<(Module, ReductionPlan), OutlineError> {
+    if !gr_trace::enabled() {
+        return parallelize_inner(module, func_name, reductions);
+    }
+    let _sp = gr_trace::span_with("outline", vec![("function", func_name.into())]);
+    let result = parallelize_inner(module, func_name, reductions);
+    match &result {
+        Ok(_) => gr_trace::counter("outline.ok", 1),
+        Err(e) => {
+            gr_trace::counter_keyed("outline.refusals", e.kind(), 1);
+            // One structured event per refused reduction, so sinks can
+            // attribute the reason to the idiom kinds it turned away.
+            let refused: Vec<&Reduction> =
+                reductions.iter().filter(|r| r.function == func_name).collect();
+            if refused.is_empty() {
+                gr_trace::instant(
+                    "outline.refusal",
+                    vec![
+                        ("function", func_name.into()),
+                        ("reason", e.kind().into()),
+                        ("detail", e.to_string().into()),
+                    ],
+                );
+            }
+            for r in refused {
+                gr_trace::instant(
+                    "outline.refusal",
+                    vec![
+                        ("function", func_name.into()),
+                        ("kind", r.kind.to_string().into()),
+                        ("reason", e.kind().into()),
+                        ("detail", e.to_string().into()),
+                    ],
+                );
+            }
+        }
+    }
+    result
+}
+
+fn parallelize_inner(
     module: &Module,
     func_name: &str,
     reductions: &[Reduction],

@@ -237,6 +237,7 @@ fn run_pass(
     } else {
         &plan.chunk_fn
     };
+    gr_trace::counter("runtime.passes", 1);
     let results: Result<Vec<PieceOut>, Trap> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (pi, &(start, len)) in pieces.iter().enumerate() {
@@ -244,6 +245,13 @@ fn run_pass(
             let mut piece_args = args.to_vec();
             let seeds = scan_seeds[pi].clone();
             handles.push(scope.spawn(move || -> Result<PieceOut, Trap> {
+                if gr_trace::enabled() {
+                    gr_trace::counter("runtime.chunk_dispatch", 1);
+                    gr_trace::instant(
+                        "runtime.chunk",
+                        vec![("chunk", pi.into()), ("start", start.into()), ("len", len.into())],
+                    );
+                }
                 let p_lo = plan.nth_iter_value(lo, step, start);
                 let p_hi = plan.nth_iter_value(lo, step, start + len);
                 piece_args[0] = RtVal::I(p_lo);
@@ -328,6 +336,7 @@ fn run_pass(
                     })
                     .map(|((&o, _), _)| overlay.take_private(o))
                     .collect();
+                gr_trace::counter("runtime.chunk_complete", 1);
                 Ok(PieceOut { piece: pi, cells, scan_cells, hists, arg_vals, arg_idxs, copyback })
             }));
         }
@@ -625,6 +634,19 @@ fn execute_search(
     let target = (threads.max(1) * plan.chunking.chunks_per_worker.max(1)).min(count as usize);
     let pieces =
         if plan.chunking.front_ramp { ramped(count, target) } else { bisect(count, target) };
+    if gr_trace::enabled() {
+        gr_trace::counter("runtime.chunks_planned", pieces.len() as i64);
+        if plan.chunking.front_ramp {
+            gr_trace::instant(
+                "runtime.ramp",
+                vec![
+                    ("chunks", pieces.len().into()),
+                    ("first_len", pieces.first().map_or(0, |&(_, l)| l).into()),
+                    ("last_len", pieces.last().map_or(0, |&(_, l)| l).into()),
+                ],
+            );
+        }
+    }
     let hit_obj = object_of(args[search.hit_arg_index])?;
     let exit_objs: Vec<ObjId> = search
         .exits
@@ -650,10 +672,22 @@ fn execute_search(
                 let mut done = Vec::new();
                 loop {
                     let c = next.fetch_add(1, Ordering::SeqCst);
-                    if c >= pieces.len() || token.cancels(c as i64) {
+                    if c >= pieces.len() {
+                        break;
+                    }
+                    gr_trace::counter("runtime.token_polls", 1);
+                    if token.cancels(c as i64) {
+                        gr_trace::counter("runtime.token_cancelled", 1);
                         break;
                     }
                     let (start, len) = pieces[c];
+                    if gr_trace::enabled() {
+                        gr_trace::counter("runtime.chunk_dispatch", 1);
+                        gr_trace::instant(
+                            "runtime.chunk",
+                            vec![("chunk", c.into()), ("start", start.into()), ("len", len.into())],
+                        );
+                    }
                     let mut piece_args = args.to_vec();
                     let p_lo = plan.nth_iter_value(lo, step, start);
                     let p_hi = plan.nth_iter_value(lo, step, start + len);
@@ -672,12 +706,15 @@ fn execute_search(
                         // record the chunk and let the merge decide
                         // whether sequential execution would have reached
                         // it at all.
+                        gr_trace::counter("runtime.chunk_trap", 1);
                         trapped.fetch_min(c as i64, Ordering::SeqCst);
                         continue;
                     };
                     if hit != SEARCH_NO_HIT {
+                        gr_trace::counter("runtime.chunk_hits", 1);
                         token.offer(c as i64);
                     }
+                    gr_trace::counter("runtime.chunk_complete", 1);
                     done.push(ChunkOut { chunk: c, hit, exits, folds });
                 }
                 done
@@ -707,6 +744,13 @@ fn execute_search(
         let prefix = completed_prefix(&outs, trapped_min);
         debug_assert!(prefix < pieces.len(), "a fully completed schedule cannot be incomplete");
         let restart_at = pieces.get(prefix).map_or(count, |&(start, _)| start);
+        if gr_trace::enabled() {
+            gr_trace::counter("runtime.trap_fallbacks", 1);
+            gr_trace::instant(
+                "runtime.trap_fallback",
+                vec![("restart_chunk", prefix.into()), ("restart_iter", restart_at.into())],
+            );
+        }
         return execute_sequential_fallback(
             module,
             plan,
@@ -722,6 +766,7 @@ fn execute_search(
     }
     if let Some(w) = winner {
         let won = outs.iter().find(|o| o.chunk == w).expect("winner chunk result present");
+        gr_trace::counter("runtime.merge_commits", 1);
         mem.store_i(hit_obj, 0, won.hit).map_err(Trap::Mem)?;
         for (&o, obj) in exit_objs.iter().zip(&won.exits) {
             *mem.object_mut(o) = obj.clone();
@@ -729,6 +774,9 @@ fn execute_search(
     }
     // Speculative-fold merge: init (already in the cell) ⊕ the partials
     // of chunks 0..=winner, in iteration order.
+    if gr_trace::enabled() && !search.folds.is_empty() {
+        gr_trace::counter("runtime.fold_partials_merged", (needed * search.folds.len()) as i64);
+    }
     for (fi, (slot, &cell)) in search.folds.iter().zip(&fold_objs).enumerate() {
         merge_fold_partials(mem, cell, slot, outs.iter().take(needed).map(|o| &o.folds[fi]))?;
     }

@@ -1,0 +1,693 @@
+//! # gr-trace — deterministic tracing & metrics for the reduction pipeline
+//!
+//! A zero-dependency event layer the detection pipeline (solver, prefix
+//! cache, outliner) and the speculative runtime record into. Two properties
+//! drive the design:
+//!
+//! 1. **Determinism.** Events are keyed by *logical* sequence numbers
+//!    (per-worker emission order), never wall time. Two runs of the same
+//!    program produce the same stream; counters aggregate to the same
+//!    totals. This is what lets CI gate scheduler behaviour on counters
+//!    instead of timings on single-CPU containers.
+//! 2. **Zero cost when off.** Recording is guarded by one relaxed atomic
+//!    load; with the `off` cargo feature the guard becomes a constant
+//!    `false` and every instrumented call site is dead-code-eliminated.
+//!
+//! ## Sessions
+//!
+//! Recording happens inside a *session*, started with [`start`] and closed
+//! with [`TraceGuard::finish`], which returns the collected [`Trace`].
+//! Sessions are process-global and mutually exclusive: a second `start`
+//! blocks until the first guard is dropped. Each participating thread gets
+//! its own buffer (in the spirit of `parallel::sync` — a thread only ever
+//! touches its own, so there is no cross-thread contention on the hot
+//! path) and a stable *worker ordinal* assigned on first emission; the
+//! session opener is always worker 0.
+//!
+//! Because the enable flag is global, threads that are not logically part
+//! of the traced operation would also record if they ran pipeline code
+//! concurrently in the same process. Test suites therefore keep all
+//! tracing tests in dedicated files where every test opens a session (the
+//! session lock then serializes them).
+//!
+//! ## Recording API
+//!
+//! - [`span`] / [`span_with`] — RAII begin/end pair, nests in the stream
+//! - [`instant`] — a single point event with arguments
+//! - [`counter`] / [`counter_keyed`] — summed per worker, merged at finish
+//! - [`counter_max`] — high-water mark (e.g. backtrack depth)
+//!
+//! ## Sinks
+//!
+//! - [`Trace::chrome_json`] — Chrome trace-event format (`chrome://tracing`
+//!   or Perfetto); `ts` is the logical sequence number, `tid` the worker
+//!   ordinal.
+//! - [`Trace::snapshot`] — a [`MetricsSnapshot`]: the merged counter map
+//!   with a byte-deterministic JSON rendering, folded into
+//!   `BENCH_detection.json` by the bench harness.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Argument value attached to an event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgVal {
+    /// Integer argument.
+    Int(i64),
+    /// String argument (e.g. a spec or function name).
+    Str(String),
+}
+
+impl From<i64> for ArgVal {
+    fn from(v: i64) -> ArgVal {
+        ArgVal::Int(v)
+    }
+}
+
+impl From<usize> for ArgVal {
+    fn from(v: usize) -> ArgVal {
+        ArgVal::Int(v as i64)
+    }
+}
+
+impl From<&str> for ArgVal {
+    fn from(v: &str) -> ArgVal {
+        ArgVal::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgVal {
+    fn from(v: String) -> ArgVal {
+        ArgVal::Str(v)
+    }
+}
+
+/// Phase of an event, mirroring the Chrome trace-event `ph` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Span begin (`"B"`).
+    Begin,
+    /// Span end (`"E"`).
+    End,
+    /// Instantaneous event (`"i"`).
+    Instant,
+}
+
+impl Phase {
+    fn chrome(self) -> &'static str {
+        match self {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Instant => "i",
+        }
+    }
+}
+
+/// One recorded event. `seq` is the logical timestamp: the 1-based emission
+/// index *within* the worker's stream, so (worker, seq) totally orders the
+/// trace deterministically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Static event name (e.g. `"solve"`, `"outline.refusal"`).
+    pub name: &'static str,
+    /// Begin/End/Instant.
+    pub phase: Phase,
+    /// Worker ordinal (0 = session opener; others in registration order).
+    pub worker: u32,
+    /// 1-based per-worker emission index; the logical timestamp.
+    pub seq: u64,
+    /// Event arguments, in emission order.
+    pub args: Vec<(&'static str, ArgVal)>,
+}
+
+impl Event {
+    /// The string value of argument `name`, if present and a string.
+    #[must_use]
+    pub fn arg_str(&self, name: &str) -> Option<&str> {
+        self.args.iter().find_map(|(k, v)| match v {
+            ArgVal::Str(s) if *k == name => Some(s.as_str()),
+            _ => None,
+        })
+    }
+
+    /// The integer value of argument `name`, if present and an integer.
+    #[must_use]
+    pub fn arg_int(&self, name: &str) -> Option<i64> {
+        self.args.iter().find_map(|(k, v)| match v {
+            ArgVal::Int(n) if *k == name => Some(*n),
+            _ => None,
+        })
+    }
+}
+
+struct WorkerBuf {
+    worker: u32,
+    events: Mutex<Vec<Event>>,
+    sums: Mutex<BTreeMap<String, i64>>,
+    maxes: Mutex<BTreeMap<String, i64>>,
+}
+
+impl WorkerBuf {
+    fn new(worker: u32) -> WorkerBuf {
+        WorkerBuf {
+            worker,
+            events: Mutex::new(Vec::new()),
+            sums: Mutex::new(BTreeMap::new()),
+            maxes: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
+struct SessionState {
+    buffers: Vec<Arc<WorkerBuf>>,
+    next_worker: u32,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EPOCH: AtomicU64 = AtomicU64::new(0);
+static SESSION_TOKEN: Mutex<()> = Mutex::new(());
+static SESSION: Mutex<SessionState> =
+    Mutex::new(SessionState { buffers: Vec::new(), next_worker: 0 });
+
+thread_local! {
+    static TLS_BUF: RefCell<Option<(u64, Arc<WorkerBuf>)>> = const { RefCell::new(None) };
+}
+
+fn plock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Whether a trace session is currently recording. One relaxed atomic
+/// load; a constant `false` under the `off` feature. Instrumented code may
+/// use this to skip argument construction entirely.
+#[inline]
+pub fn enabled() -> bool {
+    if cfg!(feature = "off") {
+        return false;
+    }
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Exclusive handle on the active trace session. Dropping it (or calling
+/// [`TraceGuard::finish`]) stops recording; only `finish` yields the
+/// collected [`Trace`].
+pub struct TraceGuard {
+    _token: Option<MutexGuard<'static, ()>>,
+}
+
+impl TraceGuard {
+    /// Stops recording and returns the collected trace: events sorted by
+    /// (worker, seq), counters merged across workers (sums added,
+    /// high-water marks maxed).
+    pub fn finish(self) -> Trace {
+        if cfg!(feature = "off") {
+            return Trace { events: Vec::new(), counters: BTreeMap::new() };
+        }
+        ENABLED.store(false, Ordering::SeqCst);
+        let buffers = {
+            let mut s = plock(&SESSION);
+            s.next_worker = 0;
+            std::mem::take(&mut s.buffers)
+        };
+        let mut events = Vec::new();
+        let mut sums: BTreeMap<String, i64> = BTreeMap::new();
+        let mut maxes: BTreeMap<String, i64> = BTreeMap::new();
+        for buf in &buffers {
+            events.extend(plock(&buf.events).drain(..));
+            for (k, v) in plock(&buf.sums).iter() {
+                *sums.entry(k.clone()).or_insert(0) += *v;
+            }
+            for (k, v) in plock(&buf.maxes).iter() {
+                let e = maxes.entry(k.clone()).or_insert(i64::MIN);
+                *e = (*e).max(*v);
+            }
+        }
+        events.sort_by_key(|e| (e.worker, e.seq));
+        let mut counters = sums;
+        for (k, v) in maxes {
+            let e = counters.entry(k).or_insert(i64::MIN);
+            *e = (*e).max(v);
+        }
+        Trace { events, counters }
+        // the session token drops here, releasing exclusivity
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if !cfg!(feature = "off") {
+            ENABLED.store(false, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Starts a trace session, blocking until any previous session's guard is
+/// dropped. The calling thread is registered as worker 0.
+pub fn start() -> TraceGuard {
+    if cfg!(feature = "off") {
+        return TraceGuard { _token: None };
+    }
+    let token = SESSION_TOKEN.lock().unwrap_or_else(PoisonError::into_inner);
+    {
+        let mut s = plock(&SESSION);
+        s.buffers.clear();
+        s.next_worker = 0;
+    }
+    EPOCH.fetch_add(1, Ordering::SeqCst);
+    ENABLED.store(true, Ordering::SeqCst);
+    // Register the opener eagerly so it is always worker 0.
+    let _ = current_buf();
+    TraceGuard { _token: Some(token) }
+}
+
+fn current_buf() -> Option<Arc<WorkerBuf>> {
+    if !enabled() {
+        return None;
+    }
+    let epoch = EPOCH.load(Ordering::SeqCst);
+    TLS_BUF.with(|slot| {
+        {
+            let cached = slot.borrow();
+            if let Some((e, buf)) = cached.as_ref() {
+                if *e == epoch {
+                    return Some(Arc::clone(buf));
+                }
+            }
+        }
+        let mut s = plock(&SESSION);
+        if !enabled() {
+            return None;
+        }
+        let buf = Arc::new(WorkerBuf::new(s.next_worker));
+        s.next_worker += 1;
+        s.buffers.push(Arc::clone(&buf));
+        drop(s);
+        *slot.borrow_mut() = Some((epoch, Arc::clone(&buf)));
+        Some(buf)
+    })
+}
+
+fn emit(name: &'static str, phase: Phase, args: Vec<(&'static str, ArgVal)>) {
+    if let Some(buf) = current_buf() {
+        let mut events = plock(&buf.events);
+        let seq = events.len() as u64 + 1;
+        events.push(Event { name, phase, worker: buf.worker, seq, args });
+    }
+}
+
+/// RAII span: emits a Begin event on creation (when recording) and the
+/// matching End event on drop. Obtain via [`span`] or [`span_with`].
+pub struct Span {
+    name: Option<&'static str>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(name) = self.name {
+            if enabled() {
+                emit(name, Phase::End, Vec::new());
+            }
+        }
+    }
+}
+
+/// Opens a span with no arguments. A no-op handle when not recording.
+#[must_use]
+pub fn span(name: &'static str) -> Span {
+    span_with(name, Vec::new())
+}
+
+/// Opens a span with arguments on the Begin event.
+#[must_use]
+pub fn span_with(name: &'static str, args: Vec<(&'static str, ArgVal)>) -> Span {
+    if !enabled() {
+        return Span { name: None };
+    }
+    emit(name, Phase::Begin, args);
+    Span { name: Some(name) }
+}
+
+/// Emits an instantaneous event with arguments.
+pub fn instant(name: &'static str, args: Vec<(&'static str, ArgVal)>) {
+    if !enabled() {
+        return;
+    }
+    emit(name, Phase::Instant, args);
+}
+
+/// Adds `delta` to the summed counter `name` on the current worker.
+/// Totals are merged across workers at [`TraceGuard::finish`].
+pub fn counter(name: &'static str, delta: i64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(buf) = current_buf() {
+        *plock(&buf.sums).entry(name.to_string()).or_insert(0) += delta;
+    }
+}
+
+/// Adds `delta` to the keyed counter `name{key}` — e.g.
+/// `counter_keyed("solver.prunes", "Dominates", 1)` records under
+/// `solver.prunes{Dominates}`.
+pub fn counter_keyed(name: &'static str, key: &str, delta: i64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(buf) = current_buf() {
+        *plock(&buf.sums).entry(format!("{name}{{{key}}}")).or_insert(0) += delta;
+    }
+}
+
+/// Raises the high-water-mark counter `name` to at least `value` (merged
+/// across workers by max).
+pub fn counter_max(name: &'static str, value: i64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(buf) = current_buf() {
+        let mut maxes = plock(&buf.maxes);
+        let e = maxes.entry(name.to_string()).or_insert(i64::MIN);
+        *e = (*e).max(value);
+    }
+}
+
+/// The result of a trace session: the ordered event stream plus the merged
+/// counter map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// All events, sorted by (worker, seq).
+    pub events: Vec<Event>,
+    /// Merged counters: summed counters added across workers, high-water
+    /// marks maxed. Keyed counters appear as `name{key}`.
+    pub counters: BTreeMap<String, i64>,
+}
+
+impl Trace {
+    /// The merged value of counter `name` (0 if never recorded).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> i64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// All events with the given name, in stream order.
+    pub fn events_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Event> + 'a {
+        self.events.iter().filter(move |e| e.name == name)
+    }
+
+    /// Counters whose key starts with `prefix`, in key order.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, i64)> + 'a {
+        self.counters
+            .iter()
+            .filter(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// The counter map as a standalone, byte-deterministic snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot { counters: self.counters.clone() }
+    }
+
+    /// Renders the trace in Chrome trace-event format. `ts` is the logical
+    /// per-worker sequence number, `tid` the worker ordinal, `pid` always 1.
+    /// Merged counters are appended as `"C"` (counter) events after the
+    /// last span. The output is deterministic for a deterministic stream.
+    #[must_use]
+    pub fn chrome_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        let mut max_seq = 0u64;
+        for ev in &self.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            max_seq = max_seq.max(ev.seq);
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"ph\":\"{}\",\"ts\":{},\"pid\":1,\"tid\":{}",
+                json_str(ev.name),
+                ev.phase.chrome(),
+                ev.seq,
+                ev.worker
+            );
+            if ev.phase == Phase::Instant {
+                out.push_str(",\"s\":\"t\"");
+            }
+            if !ev.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (i, (k, v)) in ev.args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{}:", json_str(k));
+                    match v {
+                        ArgVal::Int(n) => {
+                            let _ = write!(out, "{n}");
+                        }
+                        ArgVal::Str(s) => out.push_str(&json_str(s)),
+                    }
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":0,\"args\":{{\"value\":{}}}}}",
+                json_str(name),
+                max_seq + 1 + i as u64,
+                value
+            );
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+}
+
+/// A point-in-time counter snapshot with a byte-deterministic JSON
+/// rendering: the bench harness folds one into `BENCH_detection.json` so
+/// scheduler counters are CI-gated alongside solver steps.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Merged counters, keyed as in [`Trace::counters`].
+    pub counters: BTreeMap<String, i64>,
+}
+
+impl MetricsSnapshot {
+    /// The value of counter `name` (0 if absent).
+    #[must_use]
+    pub fn get(&self, name: &str) -> i64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Renders the snapshot as JSON. Keys are emitted in `BTreeMap` order,
+    /// so two equal snapshots render byte-identically.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"gr-trace/metrics/v1\",\n  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {}", json_str(k), v);
+        }
+        if !self.counters.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal (with surrounding quotes).
+#[must_use]
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal structural JSON check: balanced braces/brackets outside
+    /// string literals, ending at depth zero.
+    fn assert_structurally_valid_json(s: &str) {
+        let mut depth = 0i64;
+        let mut in_str = false;
+        let mut escape = false;
+        for c in s.chars() {
+            if in_str {
+                if escape {
+                    escape = false;
+                } else if c == '\\' {
+                    escape = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => {
+                    depth -= 1;
+                    assert!(depth >= 0, "unbalanced close in {s}");
+                }
+                _ => {}
+            }
+        }
+        assert!(!in_str, "unterminated string in {s}");
+        assert_eq!(depth, 0, "unbalanced JSON: {s}");
+    }
+
+    #[test]
+    fn disabled_recording_is_a_no_op() {
+        assert!(!enabled());
+        counter("noop", 1);
+        counter_keyed("noop", "k", 1);
+        counter_max("noop.max", 5);
+        instant("noop.i", vec![("v", ArgVal::Int(1))]);
+        let _s = span("noop.span");
+    }
+
+    #[test]
+    fn session_collects_spans_counters_and_args() {
+        let guard = start();
+        {
+            let _outer = span_with("detect", vec![("function", ArgVal::from("f"))]);
+            {
+                let _inner = span("solve");
+                counter("solver.steps", 3);
+                counter("solver.steps", 4);
+                counter_keyed("solver.prunes", "Dominates", 2);
+                counter_max("solver.max_depth", 2);
+                counter_max("solver.max_depth", 5);
+                counter_max("solver.max_depth", 3);
+            }
+            instant("outline.refusal", vec![("reason", ArgVal::from("MixedLoops"))]);
+        }
+        let trace = guard.finish();
+        assert!(!enabled());
+        assert_eq!(trace.counter("solver.steps"), 7);
+        assert_eq!(trace.counter("solver.prunes{Dominates}"), 2);
+        assert_eq!(trace.counter("solver.max_depth"), 5);
+        let names: Vec<_> = trace.events.iter().map(|e| (e.name, e.phase)).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("detect", Phase::Begin),
+                ("solve", Phase::Begin),
+                ("solve", Phase::End),
+                ("outline.refusal", Phase::Instant),
+                ("detect", Phase::End),
+            ]
+        );
+        assert_eq!(trace.events[0].args, vec![("function", ArgVal::Str("f".into()))]);
+    }
+
+    #[test]
+    fn workers_get_stable_ordinals_and_merged_counters() {
+        let guard = start();
+        counter("c", 1);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    counter("c", 10);
+                    instant("worker.tick", Vec::new());
+                });
+            }
+        });
+        let trace = guard.finish();
+        assert_eq!(trace.counter("c"), 41);
+        let ticks: Vec<u32> = trace.events_named("worker.tick").map(|e| e.worker).collect();
+        assert_eq!(ticks.len(), 4);
+        for w in &ticks {
+            assert!((1..=4).contains(w), "spawned threads get ordinals 1..=4, got {w}");
+        }
+        // Events are sorted by (worker, seq).
+        let order: Vec<(u32, u64)> = trace.events.iter().map(|e| (e.worker, e.seq)).collect();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let g1 = start();
+        counter("x", 5);
+        let t1 = g1.finish();
+        let g2 = start();
+        counter("x", 7);
+        let t2 = g2.finish();
+        assert_eq!(t1.counter("x"), 5);
+        assert_eq!(t2.counter("x"), 7);
+    }
+
+    #[test]
+    fn chrome_json_and_snapshot_are_deterministic_and_valid() {
+        let run = || {
+            let guard = start();
+            let _sp = span_with("solve", vec![("spec", ArgVal::from("histogram"))]);
+            counter("solver.steps", 12);
+            counter_keyed("prefix_cache.hits", "histogram-reduction::prefix", 3);
+            drop(_sp);
+            guard.finish()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.chrome_json(), b.chrome_json());
+        assert_eq!(a.snapshot().render_json(), b.snapshot().render_json());
+        assert_structurally_valid_json(&a.chrome_json());
+        assert_structurally_valid_json(&a.snapshot().render_json());
+        assert!(a.chrome_json().contains("\"traceEvents\""));
+        assert!(a.chrome_json().contains("\"ph\":\"C\""));
+        assert!(a.snapshot().render_json().contains("gr-trace/metrics/v1"));
+    }
+
+    #[test]
+    fn json_str_escapes() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn guard_drop_without_finish_stops_recording() {
+        let guard = start();
+        assert!(enabled());
+        drop(guard);
+        assert!(!enabled());
+        counter("dead", 1);
+        // A fresh session must not see leftovers from the dropped one.
+        let g = start();
+        let t = g.finish();
+        assert_eq!(t.counter("dead"), 0);
+    }
+}

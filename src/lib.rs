@@ -32,7 +32,10 @@
 //!   speculation),
 //! * [`benchsuite`] — the 40 NAS/Parboil/Rodinia miniatures, the idiom
 //!   micro-workloads, and the differential fuzzing harness
-//!   ([`benchsuite::fuzz`]) guarding detection soundness.
+//!   ([`benchsuite::fuzz`]) guarding detection soundness,
+//! * [`trace`] — the deterministic tracing/metrics layer every stage
+//!   above records into (logical-sequence spans and counters, Chrome
+//!   trace-event and metrics-snapshot sinks; zero-cost when disabled).
 //!
 //! New idioms plug in through [`core::spec::registry`]: build a `Spec`
 //! with `SpecBuilder`, wrap it in an `IdiomEntry` (name, post-check hook,
@@ -71,6 +74,7 @@ pub use gr_frontend as frontend;
 pub use gr_interp as interp;
 pub use gr_ir as ir;
 pub use gr_parallel as parallel;
+pub use gr_trace as trace;
 
 /// The most common imports in one place.
 pub mod prelude {
