@@ -10,14 +10,17 @@
 //! than 20%, when a suite disappears, or when the total regresses — the
 //! CI guard against silent solver-cost creep (wall time is too noisy on
 //! shared runners; step counts are deterministic). The `"runtime"`
-//! scheduler counters (chunk dispatches, token polls, …) ride the same
-//! budget. The comparison is
+//! scheduler counters (chunk dispatches, token polls, …) and the
+//! `"errors"` failure-ledger counters (deterministic fault probes, one
+//! per `GrError` class) ride the same budget. The comparison is
 //! printed as a baseline-vs-current diff table, and appended to the
 //! GitHub job summary when `GITHUB_STEP_SUMMARY` is set.
 //! `--write-baseline` regenerates the baseline file deliberately (after
 //! intended spec growth) instead of checking against it.
 
-use gr_bench::stats::{corpus, measure_runtime_counters, measure_suite_stats, render_json};
+use gr_bench::stats::{
+    corpus, measure_error_counters, measure_runtime_counters, measure_suite_stats, render_json,
+};
 
 /// Extracts `"solver_steps": N` from the `"total"` object of a
 /// `BENCH_detection.json` document (hand-rolled — the workspace builds
@@ -45,10 +48,11 @@ fn parse_steps_after(seg: &str) -> Option<usize> {
     digits.parse().ok()
 }
 
-/// The `(name, value)` pairs of the `"runtime"` scheduler-counter object,
-/// in document order. Empty when the document predates the runtime block.
-fn runtime_counters(json: &str) -> Vec<(String, i64)> {
-    let Some(seg) = json.split("\"runtime\":").nth(1) else { return Vec::new() };
+/// The `(name, value)` pairs of a flat counter object (`"runtime"`,
+/// `"errors"`), in document order. Empty when the document predates the
+/// block.
+fn counter_block(json: &str, label: &str) -> Vec<(String, i64)> {
+    let Some(seg) = json.split(label).nth(1) else { return Vec::new() };
     let Some(open) = seg.find('{') else { return Vec::new() };
     let Some(close) = seg.find('}') else { return Vec::new() };
     let mut out = Vec::new();
@@ -111,40 +115,45 @@ fn diff_report(baseline: &str, current: &str) -> (String, Vec<String>) {
     } else {
         failures.push("cannot parse total solver_steps from baseline or current JSON".to_string());
     }
-    // Runtime scheduler counters (chunk dispatches, token polls, …) ride
-    // the same >20% budget: the fixed workloads are deterministic, so any
-    // increase is a real scheduling change, not noise.
-    let base_rt = runtime_counters(baseline);
-    let cur_rt = runtime_counters(current);
-    for (name, base) in &base_rt {
-        let limit = base + base / 5;
-        match cur_rt.iter().find(|(n, _)| n == name) {
-            None => {
-                let _ = writeln!(table, "| runtime.{name} | {base} | — | — | **MISSING** |");
-                failures.push(format!(
-                    "runtime counter `{name}` disappeared from the current document"
-                ));
-            }
-            Some((_, cur)) => {
-                #[allow(clippy::cast_precision_loss)]
-                let delta = (*cur as f64 - *base as f64) / (*base).max(1) as f64 * 100.0;
-                let status = if *cur > limit { "**FAIL (+20% budget)**" } else { "ok" };
-                let _ = writeln!(
-                    table,
-                    "| runtime.{name} | {base} | {cur} | {delta:+.1}% | {status} |"
-                );
-                if *cur > limit {
+    // Runtime scheduler counters (chunk dispatches, token polls, …) and
+    // the failure-ledger counters (`errors`: GR001…) ride the same >20%
+    // budget: the fixed workloads and fault probes are deterministic, so
+    // any increase is a real behavior change, not noise.
+    for (prefix, label) in [("runtime", "\"runtime\":"), ("errors", "\"errors\":")] {
+        let base_rows = counter_block(baseline, label);
+        let cur_rows = counter_block(current, label);
+        for (name, base) in &base_rows {
+            let limit = base + base / 5;
+            match cur_rows.iter().find(|(n, _)| n == name) {
+                None => {
+                    let _ = writeln!(table, "| {prefix}.{name} | {base} | — | — | **MISSING** |");
                     failures.push(format!(
-                        "runtime counter `{name}` regressed: {cur} > {limit} (+20% over {base})"
+                        "{prefix} counter `{name}` disappeared from the current document"
                     ));
+                }
+                Some((_, cur)) => {
+                    #[allow(clippy::cast_precision_loss)]
+                    let delta = (*cur as f64 - *base as f64) / (*base).max(1) as f64 * 100.0;
+                    let status = if *cur > limit { "**FAIL (+20% budget)**" } else { "ok" };
+                    let _ = writeln!(
+                        table,
+                        "| {prefix}.{name} | {base} | {cur} | {delta:+.1}% | {status} |"
+                    );
+                    if *cur > limit {
+                        failures.push(format!(
+                            "{prefix} counter `{name}` regressed: {cur} > {limit} (+20% over {base})"
+                        ));
+                    }
                 }
             }
         }
-    }
-    for (name, cur) in &cur_rt {
-        if !base_rt.iter().any(|(n, _)| n == name) {
-            let _ =
-                writeln!(table, "| runtime.{name} | — | {cur} | — | new counter (re-baseline) |");
+        for (name, cur) in &cur_rows {
+            if !base_rows.iter().any(|(n, _)| n == name) {
+                let _ = writeln!(
+                    table,
+                    "| {prefix}.{name} | — | {cur} | — | new counter (re-baseline) |"
+                );
+            }
         }
     }
     (table, failures)
@@ -181,7 +190,8 @@ fn main() {
 
     let rows: Vec<_> = corpus().into_iter().map(measure_suite_stats).collect();
     let runtime = measure_runtime_counters();
-    let json = render_json(&rows, &runtime, quick);
+    let errors = measure_error_counters();
+    let json = render_json(&rows, &runtime, &errors, quick);
     match std::fs::write(out_path, &json) {
         Ok(()) => println!("wrote {out_path}"),
         Err(e) => {

@@ -147,13 +147,104 @@ pub mod stats {
         snap
     }
 
-    /// Renders the per-suite stats plus the runtime scheduler counters as
-    /// the `BENCH_detection.json` document (hand-rolled writer — the
-    /// workspace builds without serde).
+    /// Runs one deterministic probe per failure class of the error
+    /// taxonomy — solver starvation (GR001), an outline refusal (GR002),
+    /// a contained interpreter trap (GR003), an injected worker panic
+    /// (GR004) and an injected token abort (GR005) — and returns the
+    /// aggregated `error{GRxxx}` ledger counters keyed by bare code.
+    ///
+    /// Every probe is fixed (program, data, thread count, fault site), so
+    /// the counts are byte-deterministic and CI gates them against the
+    /// baseline exactly like the scheduler counters.
+    ///
+    /// Single-threaded callers only (the figure binaries): the fault
+    /// seams are armed while the trace session is open, the reverse of
+    /// the guard-then-session order the test suites use, which is safe
+    /// only because nothing else contends for either lock here.
+    #[must_use]
+    pub fn measure_error_counters() -> gr_trace::MetricsSnapshot {
+        use gr_interp::{Machine, Memory, RtVal};
+        use gr_parallel::fault::InjectGuard;
+
+        const FIND_FIRST: &str = "int find(int* a, int x, int n) {
+                 int r = n;
+                 for (int i = 0; i < n; i++) {
+                     if (a[i] == x) { r = i; break; }
+                 }
+                 return r;
+             }";
+        // Two reduction loops in one function: outlining targets one loop
+        // at a time, so handing it both is a deterministic refusal.
+        const TWO_LOOPS: &str = "float two(float* a, int n) {
+                 float s = 0.0;
+                 for (int i = 0; i < n; i++) s += a[i];
+                 float p = 0.0;
+                 for (int j = 0; j < n; j++) p += a[j] * a[j];
+                 return s + p;
+             }";
+
+        let guard = gr_trace::start();
+        let m = gr_frontend::compile(FIND_FIRST).expect("error workload compiles");
+
+        // GR001: one-step starvation truncates every idiom's solve.
+        let _ = gr_core::detect_reductions_budgeted(&m, gr_core::DetectBudget::steps(1));
+
+        // GR002: a mixed-loop outline request refuses.
+        let m2 = gr_frontend::compile(TWO_LOOPS).expect("refusal workload compiles");
+        let rs2 = gr_core::detect_reductions(&m2);
+        assert!(
+            gr_parallel::parallelize(&m2, "two", &rs2).is_err(),
+            "mixed-loop workload must refuse to outline"
+        );
+
+        let rs = gr_core::detect_reductions(&m);
+        let run = |data: &[i64], n: i64, threads: usize| {
+            let (pm, plan) =
+                gr_parallel::parallelize(&m, "find", &rs).expect("find-first outlines");
+            let mut mem = Memory::new(&pm);
+            let a = mem.alloc_int(data);
+            let mut machine = Machine::new(&pm, mem);
+            machine.set_handler(gr_parallel::runtime::handler(&pm, plan, threads));
+            // Err is a legitimate outcome (the GR003 probe traps).
+            let _ = machine.call("find", &[RtVal::ptr(a), RtVal::I(7), RtVal::I(n)]);
+        };
+        let miss = vec![1i64; 4096];
+
+        // GR003: the loop bound overruns the array — the contained trap
+        // degrades to the sequential fallback, which traps identically.
+        run(&miss[..512], 600, 2);
+
+        // GR004: the worker claiming chunk 0 panics; containment plus
+        // fallback reproduce the sequential no-hit result.
+        {
+            let _fault = InjectGuard::panic_at_chunk(0);
+            run(&miss, miss.len() as i64, 2);
+        }
+
+        // GR005: the cancellation token is torn down under the schedule.
+        {
+            let _fault = InjectGuard::abort_at_chunk(0);
+            run(&miss, miss.len() as i64, 2);
+        }
+
+        let trace = guard.finish();
+        let mut snap = gr_trace::MetricsSnapshot::default();
+        for (k, v) in trace.counters_with_prefix("error{") {
+            let code = k.trim_start_matches("error{").trim_end_matches('}');
+            snap.counters.insert(code.to_string(), v);
+        }
+        snap
+    }
+
+    /// Renders the per-suite stats plus the runtime scheduler counters
+    /// and the failure-ledger counters as the `BENCH_detection.json`
+    /// document (hand-rolled writer — the workspace builds without
+    /// serde).
     #[must_use]
     pub fn render_json(
         rows: &[SuiteStats],
         runtime: &gr_trace::MetricsSnapshot,
+        errors: &gr_trace::MetricsSnapshot,
         quick: bool,
     ) -> String {
         use std::fmt::Write as _;
@@ -187,6 +278,14 @@ pub mod stats {
         );
         let _ = write!(s, "  \"runtime\": {{");
         for (i, (k, v)) in runtime.counters.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{}: {v}", gr_trace::json_str(k));
+        }
+        s.push_str("},\n");
+        let _ = write!(s, "  \"errors\": {{");
+        for (i, (k, v)) in errors.counters.iter().enumerate() {
             if i > 0 {
                 s.push_str(", ");
             }

@@ -234,7 +234,9 @@ fn bench_json_renders_all_suites() {
     let rows: Vec<_> = corpus().into_iter().map(measure_suite_stats).collect();
     let mut runtime = gr_trace::MetricsSnapshot::default();
     runtime.counters.insert("chunk_dispatch".to_string(), 12);
-    let json = gr_bench::stats::render_json(&rows, &runtime, true);
+    let mut errors = gr_trace::MetricsSnapshot::default();
+    errors.counters.insert("GR001".to_string(), 3);
+    let json = gr_bench::stats::render_json(&rows, &runtime, &errors, true);
     for suite in ["nas", "parboil", "rodinia", "micro"] {
         assert!(
             json.to_lowercase().contains(&format!("\"suite\": \"{suite}\"")),
@@ -243,4 +245,5 @@ fn bench_json_renders_all_suites() {
     }
     assert!(json.contains("\"sharing_speedup\""));
     assert!(json.contains("\"runtime\": {\"chunk_dispatch\": 12}"));
+    assert!(json.contains("\"errors\": {\"GR001\": 3}"));
 }

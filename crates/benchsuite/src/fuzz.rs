@@ -304,7 +304,7 @@ fn gen_find_last(rng: &mut StdRng, len: usize) -> FuzzCase {
 
 /// Materializes the case's arguments into `mem`, returning the call args
 /// and the array objects (for post-run comparison).
-fn materialize(case: &FuzzCase, mem: &mut Memory) -> (Vec<RtVal>, Vec<ObjId>) {
+pub(crate) fn materialize(case: &FuzzCase, mem: &mut Memory) -> (Vec<RtVal>, Vec<ObjId>) {
     let mut args = Vec::new();
     let mut objs = Vec::new();
     for a in &case.args {
@@ -326,7 +326,12 @@ fn materialize(case: &FuzzCase, mem: &mut Memory) -> (Vec<RtVal>, Vec<ObjId>) {
     (args, objs)
 }
 
-fn assert_value_eq(case: &str, threads: usize, seq: &Option<RtVal>, par: &Option<RtVal>) {
+pub(crate) fn assert_value_eq(
+    case: &str,
+    threads: usize,
+    seq: &Option<RtVal>,
+    par: &Option<RtVal>,
+) {
     match (seq, par) {
         (None, None) => {}
         (Some(RtVal::I(a)), Some(RtVal::I(b))) => {
@@ -342,7 +347,7 @@ fn assert_value_eq(case: &str, threads: usize, seq: &Option<RtVal>, par: &Option
     }
 }
 
-fn assert_mem_eq(case: &str, threads: usize, seq: &Obj, par: &Obj) {
+pub(crate) fn assert_mem_eq(case: &str, threads: usize, seq: &Obj, par: &Obj) {
     match (seq, par) {
         (Obj::I(a), Obj::I(b)) => {
             assert_eq!(a, b, "{case} (threads={threads}): integer array diverged");
@@ -432,7 +437,7 @@ pub fn run_differential(seed: u64, cases: usize, threads: &[usize]) -> FuzzRepor
 /// the sequential reference result and every parallel result observed
 /// before the divergence — so a CI failure is diagnosable without
 /// re-running the sweep.
-fn dump_failure(
+pub(crate) fn dump_failure(
     seed: u64,
     case_idx: usize,
     case: &FuzzCase,

@@ -13,6 +13,7 @@
 //! the paper-reported evaluation numbers so the figure harnesses in
 //! `gr-bench` can print measured-vs-paper tables.
 
+pub mod faultinject;
 pub mod fuzz;
 pub mod measure;
 pub mod micro;

@@ -1,7 +1,7 @@
 //! `greduce` — command-line driver for the general-reductions toolchain.
 //!
 //! ```text
-//! greduce detect <file.c> [--trace]     detect reductions (constraint system)
+//! greduce detect <file.c> [--trace] [--budget N]   detect reductions (constraint system)
 //! greduce stats <file.c>         solver-step ledger (shared prefix vs unshared)
 //! greduce trace <file.c> [--json out]   trace the pipeline, write Chrome JSON
 //! greduce compare <file.c>       ours vs icc-model vs Polly-model
@@ -28,6 +28,20 @@ fn reduction_loops(rs: &[gr_core::Reduction]) -> Vec<(String, gr_ir::BlockId)> {
     loops
 }
 
+/// Flags solver-limit truncation (`SolveStats::truncated`) after a
+/// default, unbudgeted detection run — hitting the built-in step or
+/// solution ceiling is rare, but silently partial results would be worse.
+fn warn_truncation(module: &gr_ir::Module) {
+    for (func, stats) in gr_core::detect::detection_stats(module) {
+        if stats.truncated {
+            eprintln!(
+                "warning: solver limit hit in `{func}` ({} steps, {} solution(s)); detection may be partial",
+                stats.steps, stats.solutions
+            );
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
@@ -40,7 +54,9 @@ fn main() -> ExitCode {
     match cmd {
         "help" => {
             println!("greduce — constraint-based reduction discovery (CGO 2017 reproduction)");
-            println!("  detect <file.c> [--trace]    list detected reductions");
+            println!("  detect <file.c> [--trace] [--budget N]");
+            println!("                               list detected reductions; --budget caps");
+            println!("                               solver steps per function (anytime mode)");
             println!(
                 "  stats <file.c>               per-function solver steps, shared vs unshared"
             );
@@ -95,7 +111,75 @@ fn main() -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 "detect" => {
-                    if !args.iter().skip(2).any(|a| a == "--trace") {
+                    let mut with_trace = false;
+                    let mut budget: Option<usize> = None;
+                    let mut rest = args.iter().skip(2);
+                    while let Some(a) = rest.next() {
+                        match a.as_str() {
+                            "--trace" => with_trace = true,
+                            "--budget" => match rest.next().and_then(|n| n.parse().ok()) {
+                                Some(n) => budget = Some(n),
+                                None => {
+                                    eprintln!("--budget needs a step count");
+                                    return usage();
+                                }
+                            },
+                            _ => return usage(),
+                        }
+                    }
+                    if let Some(steps) = budget {
+                        // Anytime detection: a starved solver degrades to a
+                        // partial per-function report instead of running
+                        // without bound. Degradation is a warning, not a
+                        // failure — the reductions printed are still sound.
+                        let guard = with_trace.then(gr_trace::start);
+                        let reports = gr_core::detect_reductions_budgeted(
+                            &module,
+                            gr_core::DetectBudget::steps(steps),
+                        );
+                        let empty = reports.iter().all(|r| r.reductions.is_empty());
+                        if empty {
+                            println!("no reductions detected");
+                        }
+                        for rep in &reports {
+                            for r in &rep.reductions {
+                                println!("{r}");
+                            }
+                        }
+                        let mut degraded = 0usize;
+                        for rep in &reports {
+                            if let gr_core::DetectionStatus::Degraded { budget, steps_used } =
+                                rep.status
+                            {
+                                degraded += 1;
+                                eprintln!(
+                                    "warning: detection degraded in `{}`: {steps_used} steps spent of {budget} budgeted (truncated: {})",
+                                    rep.function,
+                                    rep.truncated_idioms.join(", ")
+                                );
+                            }
+                        }
+                        if let Some(guard) = guard {
+                            let trace = guard.finish();
+                            if let Err(e) = std::fs::write("TRACE.json", trace.chrome_json()) {
+                                eprintln!("cannot write TRACE.json: {e}");
+                                return ExitCode::FAILURE;
+                            }
+                            println!(
+                                "trace: wrote TRACE.json ({} events); error ledger: GR001 x{}",
+                                trace.events.len(),
+                                trace.counter("error{GR001}")
+                            );
+                        }
+                        if degraded > 0 {
+                            eprintln!(
+                                "{degraded} of {} function(s) degraded; re-run with a larger --budget for full coverage",
+                                reports.len()
+                            );
+                        }
+                        return ExitCode::SUCCESS;
+                    }
+                    if !with_trace {
                         let rs = detect_reductions(&module);
                         if rs.is_empty() {
                             println!("no reductions detected");
@@ -103,6 +187,7 @@ fn main() -> ExitCode {
                         for r in &rs {
                             println!("{r}");
                         }
+                        warn_truncation(&module);
                         return ExitCode::SUCCESS;
                     }
                     // --trace: run detection inside a trace session and
@@ -117,6 +202,7 @@ fn main() -> ExitCode {
                     for r in &rs {
                         println!("{r}");
                     }
+                    warn_truncation(&module);
                     let legacy: usize = gr_core::detect::detection_stats(&module)
                         .iter()
                         .map(|(_, s)| s.steps)
@@ -214,8 +300,10 @@ fn main() -> ExitCode {
                             shared.per_idiom.iter().zip(&unshared.per_idiom)
                         {
                             println!(
-                                "  {name:<20}{:>6} steps (unshared: {})",
-                                ext.steps, full.steps
+                                "  {name:<20}{:>6} steps (unshared: {}){}",
+                                ext.steps,
+                                full.steps,
+                                if ext.truncated { "  TRUNCATED" } else { "" }
                             );
                             match idiom_steps.iter_mut().find(|(n, _)| n == name) {
                                 Some((_, acc)) => *acc += ext.steps,
@@ -286,6 +374,16 @@ fn main() -> ExitCode {
                         refusals.sort();
                         for (kind, err, n) in &refusals {
                             println!("  {kind:<16} x{n}  {err}");
+                        }
+                    }
+                    // The failure ledger: every `GrError` raised inside the
+                    // session above (outline refusals here; detection and
+                    // runtime paths feed the same counters elsewhere).
+                    let ledger: Vec<(&str, i64)> = trace.counters_with_prefix("error{").collect();
+                    if !ledger.is_empty() {
+                        println!("failure ledger:");
+                        for (code, n) in &ledger {
+                            println!("  {code:<44} {n:>8}");
                         }
                     }
                     ExitCode::SUCCESS

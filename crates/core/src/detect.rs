@@ -18,6 +18,9 @@ use crate::constraint::Spec;
 use crate::report::Reduction;
 use crate::solver::{solve, solve_extend, Assignment, SolveOptions, SolveStats};
 use crate::spec::registry::IdiomRegistry;
+pub use budget::{
+    detect_reductions_budgeted, detect_with_budget, DetectBudget, DetectionReport, DetectionStatus,
+};
 use gr_analysis::dataflow::{
     computed_only_from, forward_closure_in_loop, DominanceQuery, DominanceResult,
 };
@@ -210,6 +213,141 @@ pub fn detection_stats(module: &Module) -> Vec<(String, SolveStats)> {
         out.push((func.name.clone(), registry.solve_stats(&ctx)));
     }
     out
+}
+
+/// Budgeted **anytime** detection: step budgets, degradation status and
+/// per-function reports. See [`detect_reductions_budgeted`].
+mod budget {
+    use super::{Analyses, MatchCtx, Module, PrefixCache, Reduction};
+    use crate::spec::registry::IdiomRegistry;
+
+    /// Deterministic step budgets for one detection run. Budgets are
+    /// counted in solver backtracking **steps** — never wall-clock — so
+    /// a budgeted run degrades identically on every machine (CI is
+    /// single-CPU; timers would make degradation nondeterministic).
+    ///
+    /// [`DetectBudget::UNLIMITED`] leaves the solver's own defensive
+    /// defaults ([`crate::solver::SolveOptions::default`]) in force and
+    /// is bit-identical to unbudgeted detection — same steps, same
+    /// reports.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct DetectBudget {
+        /// Ceiling on backtracking steps for any single solve call
+        /// (prefix or extension).
+        pub per_call_steps: usize,
+        /// Ceiling on cumulative solver steps across all idioms in one
+        /// function. Once spent, remaining idioms get a zero-step
+        /// budget and truncate immediately (their already-cached prefix
+        /// solutions are still reused).
+        pub per_function_steps: usize,
+    }
+
+    impl DetectBudget {
+        /// No budget: solver defaults only. Detection behaves exactly
+        /// as the unbudgeted driver.
+        pub const UNLIMITED: DetectBudget =
+            DetectBudget { per_call_steps: usize::MAX, per_function_steps: usize::MAX };
+
+        /// A uniform budget: at most `steps` solver steps per function,
+        /// and per call (the per-call ceiling never exceeds what is
+        /// left of the function budget anyway).
+        #[must_use]
+        pub fn steps(steps: usize) -> DetectBudget {
+            DetectBudget { per_call_steps: steps, per_function_steps: steps }
+        }
+
+        /// Whether this budget constrains anything beyond the solver
+        /// defaults.
+        #[must_use]
+        pub fn is_limited(&self) -> bool {
+            *self != DetectBudget::UNLIMITED
+        }
+    }
+
+    impl Default for DetectBudget {
+        fn default() -> DetectBudget {
+            DetectBudget::UNLIMITED
+        }
+    }
+
+    /// Completion status of one function's detection run.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum DetectionStatus {
+        /// Every solve ran to exhaustion: the report is total.
+        Complete,
+        /// At least one solve truncated against the budget: the report
+        /// is a sound **under-approximation** (everything reported is a
+        /// real match; more may exist).
+        Degraded {
+            /// The per-function step budget that was in force.
+            budget: usize,
+            /// Solver steps actually spent on this function.
+            steps_used: usize,
+        },
+    }
+
+    impl DetectionStatus {
+        /// Whether the run degraded.
+        #[must_use]
+        pub fn is_degraded(&self) -> bool {
+            matches!(self, DetectionStatus::Degraded { .. })
+        }
+    }
+
+    /// One function's detection outcome under a budget: the reductions
+    /// found (possibly partial), the status, and which idioms hit the
+    /// budget. A degraded function never poisons the run — the driver
+    /// reports it and moves to the next function.
+    #[derive(Debug, Clone)]
+    pub struct DetectionReport {
+        /// Function name.
+        pub function: String,
+        /// Reductions found within budget (a sound subset on
+        /// degradation).
+        pub reductions: Vec<Reduction>,
+        /// Completion status.
+        pub status: DetectionStatus,
+        /// Solver steps spent (prefix + extensions).
+        pub steps_used: usize,
+        /// Names of idiom entries whose solve truncated, in detection
+        /// order (empty when complete). A truncated shared *prefix*
+        /// surfaces on every idiom that resumed from it.
+        pub truncated_idioms: Vec<&'static str>,
+    }
+
+    /// Budgeted [`super::detect_reductions`]: one [`DetectionReport`]
+    /// per function. A solver blow-up on one function degrades that
+    /// function's report to [`DetectionStatus::Degraded`] — with
+    /// whatever matches fit in the budget — instead of stalling or
+    /// aborting the whole module.
+    #[must_use]
+    pub fn detect_reductions_budgeted(
+        module: &Module,
+        budget: DetectBudget,
+    ) -> Vec<DetectionReport> {
+        let registry = IdiomRegistry::with_default_idioms();
+        detect_with_budget(&registry, module, budget)
+    }
+
+    /// [`detect_reductions_budgeted`] with a caller-supplied registry.
+    #[must_use]
+    pub fn detect_with_budget(
+        registry: &IdiomRegistry,
+        module: &Module,
+        budget: DetectBudget,
+    ) -> Vec<DetectionReport> {
+        let mut out = Vec::new();
+        for func in &module.functions {
+            let analyses = Analyses::new(module, func);
+            let ctx = MatchCtx::new(module, func, &analyses);
+            out.push(registry.detect_in_function_report(
+                &ctx,
+                Some(&mut PrefixCache::new()),
+                budget,
+            ));
+        }
+        out
+    }
 }
 
 /// Walks the generalized-dominance dataflow of `result` within the loop,
@@ -589,5 +727,87 @@ mod tests {
         assert_eq!(stats.len(), 1);
         assert!(stats[0].1.steps > 0);
         assert!(!stats[0].1.truncated);
+    }
+
+    const TWO_FUNCS: &str = "float sum(float* a, int n) {
+             float s = 0.0;
+             for (int i = 0; i < n; i++) s += a[i];
+             return s;
+         }
+         int amin(float* a, int n) {
+             float best = 1.0e30;
+             int bi = 0;
+             for (int i = 0; i < n; i++) {
+                 float v = a[i];
+                 if (v < best) { best = v; bi = i; }
+             }
+             return bi;
+         }";
+
+    #[test]
+    fn unlimited_budget_reproduces_unbudgeted_detection() {
+        let m = compile(TWO_FUNCS).unwrap();
+        let plain = detect_reductions(&m);
+        let reports = detect_reductions_budgeted(&m, DetectBudget::UNLIMITED);
+        assert_eq!(reports.len(), 2, "one report per function");
+        let budgeted: Vec<&Reduction> = reports.iter().flat_map(|r| &r.reductions).collect();
+        assert_eq!(budgeted.len(), plain.len());
+        for (a, b) in plain.iter().zip(&budgeted) {
+            assert_eq!(a.function, b.function);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.anchor, b.anchor);
+        }
+        for r in &reports {
+            assert_eq!(r.status, DetectionStatus::Complete, "{r:?}");
+            assert!(r.truncated_idioms.is_empty());
+            assert!(r.steps_used > 0, "steps are accounted even when complete");
+        }
+    }
+
+    #[test]
+    fn zero_budget_degrades_every_function_without_poisoning_the_run() {
+        let m = compile(TWO_FUNCS).unwrap();
+        let reports = detect_reductions_budgeted(&m, DetectBudget::steps(0));
+        assert_eq!(reports.len(), 2, "a degraded function never aborts the module walk");
+        for r in &reports {
+            assert!(r.status.is_degraded(), "{r:?}");
+            assert_eq!(r.status, DetectionStatus::Degraded { budget: 0, steps_used: r.steps_used });
+            assert!(!r.truncated_idioms.is_empty());
+            assert!(r.reductions.is_empty(), "no steps, no matches: {r:?}");
+        }
+    }
+
+    #[test]
+    fn partial_budget_is_a_sound_underapproximation() {
+        let m = compile(TWO_FUNCS).unwrap();
+        let complete = detect_reductions_budgeted(&m, DetectBudget::UNLIMITED);
+        // Re-run each function with half the steps it actually needs: the
+        // degraded report may only *lose* matches, never invent them.
+        for (func, full) in m.functions.iter().zip(&complete) {
+            let half = DetectBudget::steps(full.steps_used / 2);
+            let degraded = detect_reductions_budgeted(&m, half)
+                .into_iter()
+                .find(|r| r.function == func.name)
+                .unwrap();
+            assert!(degraded.steps_used <= full.steps_used);
+            for r in &degraded.reductions {
+                assert!(
+                    full.reductions.iter().any(|f| f.anchor == r.anchor && f.kind == r.kind),
+                    "budgeted match {r:?} absent from the complete report"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_call_budget_caps_each_solve_independently() {
+        let m = compile(TWO_FUNCS).unwrap();
+        let complete = &detect_reductions_budgeted(&m, DetectBudget::UNLIMITED)[0];
+        // A generous per-function pool with a tiny per-call cap must still
+        // truncate: no single solve may exceed the call ceiling.
+        let budget = DetectBudget { per_call_steps: 1, per_function_steps: usize::MAX };
+        let capped = &detect_reductions_budgeted(&m, budget)[0];
+        assert!(capped.status.is_degraded(), "{capped:?}");
+        assert!(capped.steps_used < complete.steps_used);
     }
 }

@@ -84,12 +84,17 @@
 pub mod atoms;
 pub mod constraint;
 pub mod detect;
+pub mod error;
 pub mod postcheck;
 pub mod report;
 pub mod solver;
 pub mod spec;
 
-pub use detect::{detect_reductions, detect_with};
+pub use detect::{
+    detect_reductions, detect_reductions_budgeted, detect_with, detect_with_budget, DetectBudget,
+    DetectionReport, DetectionStatus,
+};
+pub use error::{ErrorPhase, GrError};
 pub use report::{Reduction, ReductionKind, ReductionOp};
 // `sese` is a free function in `spec`'s module root (not a submodule);
 // re-exported here so composites can reach it without the `spec::` path.

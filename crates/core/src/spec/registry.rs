@@ -60,7 +60,10 @@
 
 use crate::atoms::MatchCtx;
 use crate::constraint::Spec;
-use crate::detect::{solve_with_cache, PrefixCache};
+use crate::detect::{
+    solve_with_cache, DetectBudget, DetectionReport, DetectionStatus, PrefixCache,
+};
+use crate::error::GrError;
 use crate::report::{Reduction, ReductionOp};
 use crate::solver::{SolveOptions, SolveStats};
 use gr_ir::ValueId;
@@ -247,17 +250,65 @@ impl IdiomRegistry {
     pub fn detect_in_function_with(
         &self,
         ctx: &MatchCtx<'_>,
-        mut cache: Option<&mut PrefixCache>,
+        cache: Option<&mut PrefixCache>,
     ) -> Vec<Reduction> {
+        self.detect_in_function_report(ctx, cache, DetectBudget::UNLIMITED).reductions
+    }
+
+    /// Budgeted **anytime** variant of
+    /// [`IdiomRegistry::detect_in_function_with`]: the same driver, but
+    /// every solve runs under `budget` and the outcome is a
+    /// [`DetectionReport`] carrying explicit completion status instead of
+    /// a bare match list.
+    ///
+    /// Budget accounting is deterministic: each entry's solve gets
+    /// `min(solver default, per-call budget, per-function remainder)`
+    /// steps, the remainder shrinks by the steps actually spent (prefix
+    /// solves included), and a solve that truncates records the entry in
+    /// [`DetectionReport::truncated_idioms`] and emits a
+    /// [`GrError::SolverBudget`] (`GR001`) ledger entry. Truncation never
+    /// aborts the loop — later idioms still run (their cached prefix
+    /// solutions are free), and every solution found within budget is
+    /// still post-checked and classified, so a degraded report is a sound
+    /// under-approximation of the complete one.
+    ///
+    /// With [`DetectBudget::UNLIMITED`] the solve options are exactly
+    /// [`SolveOptions::default`] — identical steps, identical reports.
+    #[must_use]
+    pub fn detect_in_function_report(
+        &self,
+        ctx: &MatchCtx<'_>,
+        mut cache: Option<&mut PrefixCache>,
+        budget: DetectBudget,
+    ) -> DetectionReport {
         let _sp = gr_trace::enabled().then(|| {
             gr_trace::span_with("detect", vec![("function", ctx.func.name.as_str().into())])
         });
         let mut out = Vec::new();
+        let mut steps_used: usize = 0;
+        let mut truncated_idioms: Vec<&'static str> = Vec::new();
         for entry in &self.entries {
             let _isp = gr_trace::enabled()
                 .then(|| gr_trace::span_with("idiom", vec![("idiom", entry.name.into())]));
-            let (sols, _, _) =
-                solve_with_cache(&entry.spec, ctx, cache.as_deref_mut(), SolveOptions::default());
+            let defaults = SolveOptions::default();
+            let remaining = budget.per_function_steps.saturating_sub(steps_used);
+            let opts = SolveOptions {
+                max_steps: defaults.max_steps.min(budget.per_call_steps).min(remaining),
+                ..defaults
+            };
+            let (sols, stats, prefix) =
+                solve_with_cache(&entry.spec, ctx, cache.as_deref_mut(), opts);
+            steps_used += stats.steps + prefix.map_or(0, |p| p.steps);
+            if stats.truncated {
+                truncated_idioms.push(entry.name);
+                GrError::SolverBudget {
+                    function: ctx.func.name.clone(),
+                    idiom: entry.name.to_string(),
+                    budget: budget.per_function_steps.min(budget.per_call_steps),
+                    steps_used,
+                }
+                .emit();
+            }
             let _psp = gr_trace::enabled()
                 .then(|| gr_trace::span_with("postcheck", vec![("idiom", entry.name.into())]));
             let mut seen: HashSet<(ValueId, ValueId)> = HashSet::new();
@@ -280,7 +331,18 @@ impl IdiomRegistry {
             gr_trace::counter_keyed("detect.reports", entry.name, finalized.len() as i64);
             out.extend(finalized);
         }
-        out
+        let status = if truncated_idioms.is_empty() {
+            DetectionStatus::Complete
+        } else {
+            DetectionStatus::Degraded { budget: budget.per_function_steps, steps_used }
+        };
+        DetectionReport {
+            function: ctx.func.name.clone(),
+            reductions: out,
+            status,
+            steps_used,
+            truncated_idioms,
+        }
     }
 
     /// Cumulative solver statistics over all registered idioms for one

@@ -102,6 +102,29 @@ fn prune_reasons_are_recorded_by_failing_checker_kind() {
 }
 
 #[test]
+fn budget_truncation_lands_in_the_error_ledger() {
+    use gr_core::{detect_reductions_budgeted, DetectBudget, DetectionStatus};
+
+    let m = compile(CORPUS_SRC).unwrap();
+    let guard = gr_trace::start();
+    let reports = detect_reductions_budgeted(&m, DetectBudget::steps(0));
+    let trace = guard.finish();
+    assert!(reports.iter().all(|r| r.status.is_degraded()));
+    let gr001 = trace.counter("error{GR001}");
+    let truncations: usize = reports.iter().map(|r| r.truncated_idioms.len()).sum();
+    assert_eq!(gr001, truncations as i64, "one GR001 per truncated idiom solve");
+    let raised = trace.events_named("error.raised").count();
+    assert_eq!(raised as i64, gr001, "instant events pair the ledger counters");
+    // Unbudgeted detection must leave the ledger empty.
+    let guard = gr_trace::start();
+    let clean = detect_reductions_budgeted(&m, DetectBudget::UNLIMITED);
+    let trace = guard.finish();
+    assert!(clean.iter().all(|r| r.status == DetectionStatus::Complete));
+    assert_eq!(trace.counter("error{GR001}"), 0);
+    assert_eq!(trace.events_named("error.raised").count(), 0);
+}
+
+#[test]
 fn prefix_cache_counters_match_cache_summary() {
     let m = compile(CORPUS_SRC).unwrap();
     let registry = IdiomRegistry::with_default_idioms();

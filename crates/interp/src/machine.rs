@@ -27,10 +27,7 @@ pub enum Trap {
 impl fmt::Display for Trap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Trap::Mem(MemError::OutOfBounds { obj, index, len }) => {
-                write!(f, "out-of-bounds access to {obj:?}[{index}] (len {len})")
-            }
-            Trap::Mem(MemError::BadObject(o)) => write!(f, "access to unknown object {o:?}"),
+            Trap::Mem(e) => e.fmt(f),
             Trap::DivByZero => f.write_str("integer division by zero"),
             Trap::UnknownFunction(n) => write!(f, "call to unknown function `{n}`"),
             Trap::NoSuchFunction(n) => write!(f, "no function named `{n}`"),

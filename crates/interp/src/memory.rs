@@ -6,6 +6,7 @@
 //! lock-protected shared storage ("original parallel version" simulations).
 
 use gr_ir::{Module, Type};
+use std::fmt;
 
 /// Index of a memory object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -68,6 +69,19 @@ pub enum MemError {
     /// Unknown object id.
     BadObject(ObjId),
 }
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfBounds { obj, index, len } => {
+                write!(f, "out-of-bounds access to {obj:?}[{index}] (len {len})")
+            }
+            MemError::BadObject(o) => write!(f, "access to unknown object {o:?}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
 
 /// Backend trait: where loads and stores actually go.
 pub trait MemBackend {

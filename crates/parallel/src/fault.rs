@@ -1,0 +1,200 @@
+//! Deterministic fault-injection seams for the speculative runtime.
+//!
+//! The fault-tolerance claims of this crate — a panicking worker is
+//! contained, a cancelled schedule degrades to the sequential fallback —
+//! are only worth anything if they are *exercised*. This module provides
+//! the two seams the executor's worker loops consult so a test harness
+//! (`gr_benchsuite::faultinject`) can force those failures at an exact,
+//! reproducible site:
+//!
+//! * [`InjectGuard::panic_at_chunk`] — the worker that claims the chosen
+//!   chunk panics (payload prefixed [`PANIC_PREFIX`]) instead of running
+//!   it;
+//! * [`InjectGuard::abort_at_chunk`] — the worker that claims the chosen
+//!   chunk aborts the [`EarlyExitToken`](crate::sync::EarlyExitToken)
+//!   instead of running it, simulating a cancellation race where the
+//!   schedule is torn down under the workers.
+//!
+//! Determinism contract:
+//!
+//! * Injection is **one-shot**: the first worker to reach the armed site
+//!   consumes it (atomic compare-exchange), so one guard means exactly
+//!   one injected fault no matter how many passes or workers run.
+//! * The seams are consulted **only in the worker claim loops**, never on
+//!   the sequential fallback paths — an injected fault can therefore not
+//!   re-fire while the executor is recovering from it.
+//! * Guards are **exclusive** (a process-wide lock): concurrent tests
+//!   serialize rather than observe each other's faults, and dropping the
+//!   guard disarms any fault that never fired (e.g. a chunk index past
+//!   the schedule).
+//!
+//! The first guard also installs a panic hook that suppresses the default
+//! "thread panicked" stderr report for payloads carrying [`PANIC_PREFIX`]
+//! (anything else is delegated to the previously installed hook), keeping
+//! fault-heavy test logs readable.
+
+use std::panic;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Marker prefix of injected panic payloads; the suppression hook and the
+/// containment tests key on it.
+pub const PANIC_PREFIX: &str = "gr-fault:";
+
+/// "Nothing armed" sentinel for the seam atomics.
+const NONE: i64 = -1;
+
+/// Chunk index at which the claiming worker panics (`NONE`: disarmed).
+static PANIC_CHUNK: AtomicI64 = AtomicI64::new(NONE);
+/// Chunk index at which the claiming worker aborts the token.
+static ABORT_CHUNK: AtomicI64 = AtomicI64::new(NONE);
+
+fn injection_lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+fn install_suppression_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied());
+            if msg.is_some_and(|m| m.starts_with(PANIC_PREFIX)) {
+                return; // injected and about to be contained: stay quiet
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// An armed fault. Exactly one may exist per process at a time; dropping
+/// it disarms whatever has not fired yet.
+#[must_use = "the fault stays armed only while the guard lives"]
+pub struct InjectGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl InjectGuard {
+    fn arm(slot: &'static AtomicI64, chunk: i64) -> InjectGuard {
+        assert!(chunk >= 0, "chunk indices are non-negative");
+        let lock = injection_lock().lock().unwrap_or_else(PoisonError::into_inner);
+        install_suppression_hook();
+        slot.store(chunk, Ordering::SeqCst);
+        InjectGuard { _lock: lock }
+    }
+
+    /// Arms a worker panic: the worker claiming chunk `chunk` (in any
+    /// executor pass) panics before running it.
+    pub fn panic_at_chunk(chunk: i64) -> InjectGuard {
+        InjectGuard::arm(&PANIC_CHUNK, chunk)
+    }
+
+    /// Arms a token abort: the worker claiming chunk `chunk` on the
+    /// speculative schedule aborts the cancellation token before running
+    /// it. Non-search passes ignore this seam (they have no token).
+    pub fn abort_at_chunk(chunk: i64) -> InjectGuard {
+        InjectGuard::arm(&ABORT_CHUNK, chunk)
+    }
+
+    /// Whether the armed fault has fired (been consumed) already.
+    #[must_use]
+    pub fn fired(&self) -> bool {
+        PANIC_CHUNK.load(Ordering::SeqCst) == NONE && ABORT_CHUNK.load(Ordering::SeqCst) == NONE
+    }
+}
+
+impl Drop for InjectGuard {
+    fn drop(&mut self) {
+        PANIC_CHUNK.store(NONE, Ordering::SeqCst);
+        ABORT_CHUNK.store(NONE, Ordering::SeqCst);
+    }
+}
+
+/// Worker-loop seam: panics (payload [`PANIC_PREFIX`]) iff a panic is
+/// armed for exactly `chunk`; one-shot.
+pub(crate) fn maybe_panic(chunk: usize) {
+    let c = i64::try_from(chunk).unwrap_or(i64::MAX);
+    if PANIC_CHUNK.load(Ordering::SeqCst) == c
+        && PANIC_CHUNK
+            .compare_exchange(c, NONE, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    {
+        panic!("{PANIC_PREFIX} injected worker panic at chunk {chunk}");
+    }
+}
+
+/// Worker-loop seam: reports `true` (once) iff a token abort is armed for
+/// exactly `chunk`; the caller performs the abort.
+pub(crate) fn abort_requested(chunk: usize) -> bool {
+    let c = i64::try_from(chunk).unwrap_or(i64::MAX);
+    ABORT_CHUNK.load(Ordering::SeqCst) == c
+        && ABORT_CHUNK
+            .compare_exchange(c, NONE, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+}
+
+/// Renders a caught panic payload for error reports: the `String`/`&str`
+/// message when there is one, a placeholder otherwise.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seams_are_one_shot_and_disarmed_on_drop() {
+        {
+            let g = InjectGuard::panic_at_chunk(3);
+            assert!(!g.fired());
+            maybe_panic(2); // wrong site: nothing happens
+            assert!(!g.fired());
+            let err = std::panic::catch_unwind(|| maybe_panic(3)).unwrap_err();
+            assert!(panic_message(&*err).starts_with(PANIC_PREFIX));
+            assert!(g.fired(), "the fault is consumed by firing");
+            maybe_panic(3); // already consumed: nothing happens
+        }
+        maybe_panic(3); // guard dropped: disarmed
+    }
+
+    #[test]
+    fn abort_seam_fires_once_at_its_site() {
+        let g = InjectGuard::abort_at_chunk(1);
+        assert!(!abort_requested(0));
+        assert!(abort_requested(1));
+        assert!(g.fired());
+        assert!(!abort_requested(1), "one-shot");
+        drop(g);
+        assert!(!abort_requested(1));
+    }
+
+    #[test]
+    fn guards_serialize_against_each_other() {
+        // Dropping the first guard must fully disarm before the second
+        // arms; interleaving would deadlock (exclusive lock) or leak.
+        drop(InjectGuard::panic_at_chunk(0));
+        let g = InjectGuard::abort_at_chunk(0);
+        assert_eq!(PANIC_CHUNK.load(Ordering::SeqCst), NONE);
+        drop(g);
+    }
+
+    #[test]
+    fn panic_message_renders_common_payloads() {
+        let s: Box<dyn std::any::Any + Send> = Box::new("literal");
+        assert_eq!(panic_message(&*s), "literal");
+        let s: Box<dyn std::any::Any + Send> = Box::new(String::from("owned"));
+        assert_eq!(panic_message(&*s), "owned");
+        let s: Box<dyn std::any::Any + Send> = Box::new(42usize);
+        assert_eq!(panic_message(&*s), "non-string panic payload");
+    }
+}

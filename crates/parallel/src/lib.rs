@@ -53,6 +53,7 @@
 //! assert_eq!(r, Some(RtVal::F(499_500.0)));
 //! ```
 
+pub mod fault;
 pub mod outline;
 pub mod overlay;
 pub mod plan;

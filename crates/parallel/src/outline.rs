@@ -161,6 +161,14 @@ pub fn parallelize(
         Ok(_) => gr_trace::counter("outline.ok", 1),
         Err(e) => {
             gr_trace::counter_keyed("outline.refusals", e.kind(), 1);
+            // One GR002 ledger entry per refusal (not per refused
+            // reduction), keeping ledger counts deterministic.
+            gr_core::GrError::OutlineRefusal {
+                function: func_name.to_string(),
+                kind: e.kind(),
+                detail: e.to_string(),
+            }
+            .emit();
             // One structured event per refused reduction, so sinks can
             // attribute the reason to the idiom kinds it turned away.
             let refused: Vec<&Reduction> =

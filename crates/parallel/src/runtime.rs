@@ -43,11 +43,12 @@
 use crate::overlay::{OverlayMemory, SharedRaw};
 use crate::plan::{ReductionPlan, SearchSlot, WrittenPolicy, ARG_IDX_SENTINEL, SEARCH_NO_HIT};
 use crate::sync::EarlyExitToken;
-use gr_core::ReductionOp;
+use gr_core::{GrError, ReductionOp};
 use gr_interp::machine::{IntrinsicHandler, Machine, Trap};
 use gr_interp::memory::{MemBackend, Memory, Obj, ObjId};
 use gr_interp::RtVal;
 use gr_ir::{CmpPred, Module, Type};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -180,6 +181,22 @@ struct PieceOut {
     copyback: Vec<Obj>,
 }
 
+/// Why a non-speculative pass did not produce its piece results.
+enum PieceFailure {
+    /// A chunk trapped. Sequential execution over the same iterations
+    /// traps too, so the trap propagates as the pass result.
+    Trap(Trap),
+    /// A worker panicked mid-chunk. The panic was contained on the
+    /// worker; the executor degrades to a whole-range sequential re-run
+    /// ([`recover_pass_failure`]).
+    Panic {
+        /// Piece index the panic occurred in.
+        piece: usize,
+        /// Rendered panic payload.
+        detail: String,
+    },
+}
+
 /// All resolved runtime objects of one plan.
 struct PlanObjects {
     cells: Vec<ObjId>,
@@ -227,7 +244,7 @@ fn run_pass(
     written_raw: &[Option<Arc<SharedRaw>>],
     scan_seeds: &[Vec<SeedVal>],
     scan_shared: Option<&[Arc<SharedRaw>]>,
-) -> Result<Vec<PieceOut>, Trap> {
+) -> Result<Vec<PieceOut>, PieceFailure> {
     let (lo, hi, step, count) = bounds;
     // The scan partials pass (privatized-and-discarded outputs) only needs
     // each block's final running value: run the store-free value-only
@@ -238,111 +255,153 @@ fn run_pass(
         &plan.chunk_fn
     };
     gr_trace::counter("runtime.passes", 1);
-    let results: Result<Vec<PieceOut>, Trap> = std::thread::scope(|scope| {
+    let results: Result<Vec<PieceOut>, PieceFailure> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (pi, &(start, len)) in pieces.iter().enumerate() {
             let base: &Memory = mem;
             let mut piece_args = args.to_vec();
             let seeds = scan_seeds[pi].clone();
-            handles.push(scope.spawn(move || -> Result<PieceOut, Trap> {
-                if gr_trace::enabled() {
-                    gr_trace::counter("runtime.chunk_dispatch", 1);
-                    gr_trace::instant(
-                        "runtime.chunk",
-                        vec![("chunk", pi.into()), ("start", start.into()), ("len", len.into())],
-                    );
-                }
-                let p_lo = plan.nth_iter_value(lo, step, start);
-                let p_hi = plan.nth_iter_value(lo, step, start + len);
-                piece_args[0] = RtVal::I(p_lo);
-                piece_args[1] = RtVal::I(clamp_hi(plan, p_hi, hi, step, start + len == count));
-                let mut overlay = OverlayMemory::new(base);
-                for (&cell, acc) in objs.cells.iter().zip(&plan.accs) {
-                    overlay.redirect_private(
-                        cell,
-                        SeedVal::identity(acc.op, acc.ty).into_obj(),
-                        false,
-                        0,
-                        0.0,
-                    );
-                }
-                for (&cell, seed) in objs.scan_cells.iter().zip(&seeds) {
-                    overlay.redirect_private(cell, seed.into_obj(), false, 0, 0.0);
-                }
-                for (si, &out) in objs.scan_outs.iter().enumerate() {
-                    match scan_shared {
-                        Some(raws) => overlay.redirect_raw(out, Arc::clone(&raws[si])),
-                        // Partials pass: output writes are recomputed by
-                        // the replay pass; sink them (the spec proves the
-                        // loop never reads the output).
-                        None => overlay.redirect_sink(out),
+            handles.push(scope.spawn(move || -> Result<PieceOut, PieceFailure> {
+                // Contain panics on the worker itself: a panicking chunk
+                // must never tear down the whole executor (unwinding out
+                // of a scoped thread aborts via the scope join).
+                let run = catch_unwind(AssertUnwindSafe(|| -> Result<PieceOut, Trap> {
+                    crate::fault::maybe_panic(pi);
+                    if gr_trace::enabled() {
+                        gr_trace::counter("runtime.chunk_dispatch", 1);
+                        gr_trace::instant(
+                            "runtime.chunk",
+                            vec![
+                                ("chunk", pi.into()),
+                                ("start", start.into()),
+                                ("len", len.into()),
+                            ],
+                        );
                     }
-                }
-                for (&vobj, slot) in objs.arg_vals.iter().zip(&plan.args) {
-                    overlay.redirect_private(
-                        vobj,
-                        SeedVal::identity(slot.op, slot.ty).into_obj(),
-                        false,
-                        0,
-                        0.0,
-                    );
-                }
-                for &iobj in &objs.arg_idxs {
-                    overlay.redirect_private(iobj, Obj::I(vec![ARG_IDX_SENTINEL]), false, 0, 0.0);
-                }
-                for (&hobj, h) in objs.hists.iter().zip(&plan.hists) {
-                    let len = if h.growable { 1 } else { base.object(hobj).len() };
-                    let (fill_i, fill_f) = (h.op.identity_int(), h.op.identity_float());
-                    let seed = match h.elem {
-                        Type::Int => Obj::I(vec![fill_i; len]),
-                        _ => Obj::F(vec![fill_f; len]),
+                    let p_lo = plan.nth_iter_value(lo, step, start);
+                    let p_hi = plan.nth_iter_value(lo, step, start + len);
+                    piece_args[0] = RtVal::I(p_lo);
+                    piece_args[1] = RtVal::I(clamp_hi(plan, p_hi, hi, step, start + len == count));
+                    let mut overlay = OverlayMemory::new(base);
+                    for (&cell, acc) in objs.cells.iter().zip(&plan.accs) {
+                        overlay.redirect_private(
+                            cell,
+                            SeedVal::identity(acc.op, acc.ty).into_obj(),
+                            false,
+                            0,
+                            0.0,
+                        );
+                    }
+                    for (&cell, seed) in objs.scan_cells.iter().zip(&seeds) {
+                        overlay.redirect_private(cell, seed.into_obj(), false, 0, 0.0);
+                    }
+                    for (si, &out) in objs.scan_outs.iter().enumerate() {
+                        match scan_shared {
+                            Some(raws) => overlay.redirect_raw(out, Arc::clone(&raws[si])),
+                            // Partials pass: output writes are recomputed by
+                            // the replay pass; sink them (the spec proves the
+                            // loop never reads the output).
+                            None => overlay.redirect_sink(out),
+                        }
+                    }
+                    for (&vobj, slot) in objs.arg_vals.iter().zip(&plan.args) {
+                        overlay.redirect_private(
+                            vobj,
+                            SeedVal::identity(slot.op, slot.ty).into_obj(),
+                            false,
+                            0,
+                            0.0,
+                        );
+                    }
+                    for &iobj in &objs.arg_idxs {
+                        overlay.redirect_private(
+                            iobj,
+                            Obj::I(vec![ARG_IDX_SENTINEL]),
+                            false,
+                            0,
+                            0.0,
+                        );
+                    }
+                    for (&hobj, h) in objs.hists.iter().zip(&plan.hists) {
+                        let len = if h.growable { 1 } else { base.object(hobj).len() };
+                        let (fill_i, fill_f) = (h.op.identity_int(), h.op.identity_float());
+                        let seed = match h.elem {
+                            Type::Int => Obj::I(vec![fill_i; len]),
+                            _ => Obj::F(vec![fill_f; len]),
+                        };
+                        overlay.redirect_private(hobj, seed, h.growable, fill_i, fill_f);
+                    }
+                    for ((&wobj, w), raw) in objs.written.iter().zip(&plan.written).zip(written_raw)
+                    {
+                        match (w.policy, raw) {
+                            (WrittenPolicy::DisjointShared, Some(raw)) => {
+                                overlay.redirect_raw(wobj, Arc::clone(raw));
+                            }
+                            _ => {
+                                overlay.redirect_private(
+                                    wobj,
+                                    base.object(wobj).clone(),
+                                    false,
+                                    0,
+                                    0.0,
+                                );
+                            }
+                        }
+                    }
+                    let mut machine = Machine::new(module, overlay);
+                    machine.call(chunk_fn, &piece_args)?;
+                    let mut overlay = machine.mem;
+                    let take = |ov: &mut OverlayMemory<'_>, objs: &[ObjId]| -> Vec<Obj> {
+                        objs.iter().map(|&o| ov.take_private(o)).collect()
                     };
-                    overlay.redirect_private(hobj, seed, h.growable, fill_i, fill_f);
-                }
-                for ((&wobj, w), raw) in objs.written.iter().zip(&plan.written).zip(written_raw) {
-                    match (w.policy, raw) {
-                        (WrittenPolicy::DisjointShared, Some(raw)) => {
-                            overlay.redirect_raw(wobj, Arc::clone(raw));
-                        }
-                        _ => {
-                            overlay.redirect_private(
-                                wobj,
-                                base.object(wobj).clone(),
-                                false,
-                                0,
-                                0.0,
-                            );
-                        }
+                    let cells = take(&mut overlay, &objs.cells);
+                    let scan_cells = take(&mut overlay, &objs.scan_cells);
+                    let hists = take(&mut overlay, &objs.hists);
+                    let arg_vals = take(&mut overlay, &objs.arg_vals);
+                    let arg_idxs = take(&mut overlay, &objs.arg_idxs);
+                    let copyback: Vec<Obj> = objs
+                        .written
+                        .iter()
+                        .zip(&plan.written)
+                        .zip(written_raw)
+                        .filter(|((_, w), raw)| {
+                            w.policy == WrittenPolicy::PrivateCopyback || raw.is_none()
+                        })
+                        .map(|((&o, _), _)| overlay.take_private(o))
+                        .collect();
+                    gr_trace::counter("runtime.chunk_complete", 1);
+                    Ok(PieceOut {
+                        piece: pi,
+                        cells,
+                        scan_cells,
+                        hists,
+                        arg_vals,
+                        arg_idxs,
+                        copyback,
+                    })
+                }));
+                match run {
+                    Ok(Ok(out)) => Ok(out),
+                    Ok(Err(trap)) => Err(PieceFailure::Trap(trap)),
+                    Err(payload) => {
+                        gr_trace::counter("runtime.chunk_panic", 1);
+                        Err(PieceFailure::Panic {
+                            piece: pi,
+                            detail: crate::fault::panic_message(&*payload),
+                        })
                     }
                 }
-                let mut machine = Machine::new(module, overlay);
-                machine.call(chunk_fn, &piece_args)?;
-                let mut overlay = machine.mem;
-                let take = |ov: &mut OverlayMemory<'_>, objs: &[ObjId]| -> Vec<Obj> {
-                    objs.iter().map(|&o| ov.take_private(o)).collect()
-                };
-                let cells = take(&mut overlay, &objs.cells);
-                let scan_cells = take(&mut overlay, &objs.scan_cells);
-                let hists = take(&mut overlay, &objs.hists);
-                let arg_vals = take(&mut overlay, &objs.arg_vals);
-                let arg_idxs = take(&mut overlay, &objs.arg_idxs);
-                let copyback: Vec<Obj> = objs
-                    .written
-                    .iter()
-                    .zip(&plan.written)
-                    .zip(written_raw)
-                    .filter(|((_, w), raw)| {
-                        w.policy == WrittenPolicy::PrivateCopyback || raw.is_none()
-                    })
-                    .map(|((&o, _), _)| overlay.take_private(o))
-                    .collect();
-                gr_trace::counter("runtime.chunk_complete", 1);
-                Ok(PieceOut { piece: pi, cells, scan_cells, hists, arg_vals, arg_idxs, copyback })
             }));
         }
+        // Workers contain their own panics; a join failure here would be a
+        // panic *outside* the containment (harness bug), not a chunk
+        // failure. Piece order makes the propagated failure deterministic:
+        // the lowest-piece failure wins, which for traps is the earliest
+        // trapping iteration — exactly the trap sequential execution hits
+        // first.
         handles
             .into_iter()
-            .map(|h| h.join().expect("reduction worker panicked"))
+            .map(|h| h.join().expect("reduction worker died outside panic containment"))
             .collect()
     });
     let mut results = results?;
@@ -400,7 +459,7 @@ fn execute(
         plan.scans.iter().map(|s| SeedVal::identity(s.op, s.ty)).collect();
 
     let results = if plan.scans.is_empty() {
-        run_pass(
+        match run_pass(
             module,
             plan,
             args,
@@ -411,12 +470,15 @@ fn execute(
             &raw_shared,
             &vec![identity_seeds; pieces.len()],
             None,
-        )?
+        ) {
+            Ok(r) => r,
+            Err(f) => return recover_pass_failure(module, plan, args, mem, f),
+        }
     } else {
         // Two-pass block scan. Pass one computes per-block partials with
         // all side effects privatized and discarded.
         let no_raw = vec![None; plan.written.len()];
-        let partials = run_pass(
+        let partials = match run_pass(
             module,
             plan,
             args,
@@ -427,7 +489,10 @@ fn execute(
             &no_raw,
             &vec![identity_seeds; pieces.len()],
             None,
-        )?;
+        ) {
+            Ok(r) => r,
+            Err(f) => return recover_pass_failure(module, plan, args, mem, f),
+        };
         // Fold block partials into per-block offsets: block 0 starts from
         // the original initial value, block t from offset(t-1) ⊕
         // partial(t-1).
@@ -458,7 +523,7 @@ fn execute(
             .iter()
             .map(|&o| Arc::new(SharedRaw::new(mem.object(o).clone())))
             .collect();
-        let replay = run_pass(
+        let replay = match run_pass(
             module,
             plan,
             args,
@@ -469,7 +534,17 @@ fn execute(
             &raw_shared,
             &offsets,
             Some(&scan_raws),
-        )?;
+        ) {
+            Ok(r) => r,
+            Err(f) => {
+                // The replay pass writes only through `SharedRaw` copies
+                // (`scan_raws` / disjoint-shared), never the base memory,
+                // so partially written copies are simply dropped here and
+                // the sequential re-run starts from pristine state.
+                drop(scan_raws);
+                return recover_pass_failure(module, plan, args, mem, f);
+            }
+        };
         // Output writeback and the final accumulator values (the running
         // fold now covers every block).
         for (raw, &out) in scan_raws.into_iter().zip(&objs.scan_outs) {
@@ -583,6 +658,40 @@ fn execute(
     Ok(None)
 }
 
+/// Degrades a failed non-speculative pass. A trap propagates — the pass
+/// covers every iteration exactly once, so the lowest failing piece holds
+/// the earliest trapping iteration, the same trap sequential execution
+/// raises. A contained worker panic instead falls back to running the
+/// chunk function once, sequentially, over the **entire** iteration space
+/// against a scratch copy of the live memory: every chunk-local result so
+/// far lived in discarded overlays, so the re-run reproduces exact
+/// sequential semantics — including the sequential trap or panic if the
+/// failure was genuine — and the base memory is only replaced once the
+/// re-run succeeds.
+fn recover_pass_failure(
+    module: &Module,
+    plan: &ReductionPlan,
+    args: &[RtVal],
+    mem: &mut Memory,
+    failure: PieceFailure,
+) -> Result<Option<RtVal>, Trap> {
+    match failure {
+        PieceFailure::Trap(t) => Err(t),
+        PieceFailure::Panic { piece, detail } => {
+            GrError::WorkerPanic { function: plan.chunk_fn.clone(), chunk: piece as i64, detail }
+                .emit();
+            if gr_trace::enabled() {
+                gr_trace::counter("runtime.panic_fallbacks", 1);
+                gr_trace::instant("runtime.panic_fallback", vec![("chunk", piece.into())]);
+            }
+            let mut machine = Machine::new(module, mem.clone());
+            machine.call(&plan.chunk_fn, args)?;
+            *mem = machine.mem;
+            Ok(None)
+        }
+    }
+}
+
 /// The cancellable speculative executor for early-exit loops: searches
 /// and speculative folds.
 ///
@@ -660,20 +769,29 @@ fn execute_search(
         .collect::<Result<_, Trap>>()?;
     let token = EarlyExitToken::new();
     let next = AtomicUsize::new(0);
-    // Lowest chunk index that trapped while speculating (i64::MAX: none).
+    // Lowest chunk index that trapped or panicked while speculating
+    // (i64::MAX: none) — the barrier below which the speculative result
+    // cannot be trusted.
     let trapped = std::sync::atomic::AtomicI64::new(i64::MAX);
+    // What actually went wrong, per chunk, for the failure ledger. The
+    // crate's poisoning-immune mutex: a panicking worker (whose panic is
+    // contained before the lock is ever held here) can never wedge it.
+    let failures: crate::sync::Mutex<Vec<(usize, GrError)>> = crate::sync::Mutex::new(Vec::new());
     let results: Vec<Vec<ChunkOut>> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for _ in 0..threads.max(1) {
             let base: &Memory = mem;
             let (token, next, pieces, trapped) = (&token, &next, &pieces, &trapped);
-            let (exit_objs, fold_objs) = (&exit_objs, &fold_objs);
+            let (exit_objs, fold_objs, failures) = (&exit_objs, &fold_objs, &failures);
             handles.push(scope.spawn(move || -> Vec<ChunkOut> {
                 let mut done = Vec::new();
                 loop {
                     let c = next.fetch_add(1, Ordering::SeqCst);
                     if c >= pieces.len() {
                         break;
+                    }
+                    if crate::fault::abort_requested(c) {
+                        token.abort();
                     }
                     gr_trace::counter("runtime.token_polls", 1);
                     if token.cancels(c as i64) {
@@ -693,22 +811,53 @@ fn execute_search(
                     let p_hi = plan.nth_iter_value(lo, step, start + len);
                     piece_args[0] = RtVal::I(p_lo);
                     piece_args[1] = RtVal::I(clamp_hi(plan, p_hi, hi, step, start + len == count));
-                    let Ok((hit, exits, folds)) = run_speculative_chunk(
-                        module,
-                        &plan.chunk_fn,
-                        &piece_args,
-                        base,
-                        hit_obj,
-                        exit_objs,
-                        fold_objs,
-                    ) else {
-                        // A trap while speculating is not (yet) an error:
-                        // record the chunk and let the merge decide
-                        // whether sequential execution would have reached
-                        // it at all.
-                        gr_trace::counter("runtime.chunk_trap", 1);
-                        trapped.fetch_min(c as i64, Ordering::SeqCst);
-                        continue;
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        crate::fault::maybe_panic(c);
+                        run_speculative_chunk(
+                            module,
+                            &plan.chunk_fn,
+                            &piece_args,
+                            base,
+                            hit_obj,
+                            exit_objs,
+                            fold_objs,
+                        )
+                    }));
+                    let (hit, exits, folds) = match outcome {
+                        Ok(Ok(r)) => r,
+                        Ok(Err(trap)) => {
+                            // A trap while speculating is not (yet) an
+                            // error: record the chunk and let the merge
+                            // decide whether sequential execution would
+                            // have reached it at all.
+                            gr_trace::counter("runtime.chunk_trap", 1);
+                            trapped.fetch_min(c as i64, Ordering::SeqCst);
+                            failures.lock().push((
+                                c,
+                                GrError::InterpTrap {
+                                    function: plan.chunk_fn.clone(),
+                                    detail: trap.to_string(),
+                                },
+                            ));
+                            continue;
+                        }
+                        Err(payload) => {
+                            // A panicking chunk is contained exactly like
+                            // a trapping one: its work is discarded, the
+                            // schedule keeps running, and the merge falls
+                            // back when the chunk turns out to matter.
+                            gr_trace::counter("runtime.chunk_panic", 1);
+                            trapped.fetch_min(c as i64, Ordering::SeqCst);
+                            failures.lock().push((
+                                c,
+                                GrError::WorkerPanic {
+                                    function: plan.chunk_fn.clone(),
+                                    chunk: c as i64,
+                                    detail: crate::fault::panic_message(&*payload),
+                                },
+                            ));
+                            continue;
+                        }
                     };
                     if hit != SEARCH_NO_HIT {
                         gr_trace::counter("runtime.chunk_hits", 1);
@@ -722,7 +871,7 @@ fn execute_search(
         }
         handles
             .into_iter()
-            .map(|h| h.join().expect("speculative worker panicked"))
+            .map(|h| h.join().expect("speculative worker died outside panic containment"))
             .collect()
     });
     let mut outs: Vec<ChunkOut> = results.into_iter().flatten().collect();
@@ -744,6 +893,19 @@ fn execute_search(
         let prefix = completed_prefix(&outs, trapped_min);
         debug_assert!(prefix < pieces.len(), "a fully completed schedule cannot be incomplete");
         let restart_at = pieces.get(prefix).map_or(count, |&(start, _)| start);
+        // Failure ledger: one entry for the earliest failure sequential
+        // execution actually needs (chunks below `needed` always run to
+        // an outcome, so this choice is deterministic; racy speculative
+        // failures past the winner are not user-visible degradations),
+        // plus the abort itself when the schedule was torn down.
+        let mut fails = failures.into_inner();
+        fails.sort_by_key(|&(c, _)| c);
+        if let Some((_, err)) = fails.iter().find(|&&(c, _)| c < needed) {
+            err.emit();
+        }
+        if token.aborted() {
+            GrError::TokenAborted { function: plan.chunk_fn.clone() }.emit();
+        }
         if gr_trace::enabled() {
             gr_trace::counter("runtime.trap_fallbacks", 1);
             gr_trace::instant(

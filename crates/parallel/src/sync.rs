@@ -79,13 +79,33 @@ impl EarlyExitToken {
         self.best.load(Ordering::SeqCst) < chunk
     }
 
-    /// The lowest chunk index with a recorded hit, if any.
+    /// The lowest chunk index with a recorded hit, if any. An aborted
+    /// token has no winner: the abort sentinel is not a hit.
     #[must_use]
     pub fn winner(&self) -> Option<i64> {
         match self.best.load(Ordering::SeqCst) {
-            i64::MAX => None,
+            i64::MAX | i64::MIN => None,
             c => Some(c),
         }
+    }
+
+    /// Aborts the speculative schedule: every chunk — including chunk 0 —
+    /// reads as cancelled from now on, and [`EarlyExitToken::winner`]
+    /// reports no hit. Used when speculation must be torn down without a
+    /// result (an injected cancellation race, or a supervisor deciding
+    /// the schedule is beyond saving); the executor then degrades to the
+    /// sequential fallback. Irreversible for this token's lifetime —
+    /// `i64::MIN` is below every real offer, so no later `offer` can
+    /// resurrect the schedule — but the token itself stays structurally
+    /// valid and reusable for polling (no lock, no poison).
+    pub fn abort(&self) {
+        self.best.store(i64::MIN, Ordering::SeqCst);
+    }
+
+    /// Whether [`EarlyExitToken::abort`] was called.
+    #[must_use]
+    pub fn aborted(&self) -> bool {
+        self.best.load(Ordering::SeqCst) == i64::MIN
     }
 }
 
@@ -130,6 +150,28 @@ mod tests {
         assert!(t.cancels(4), "later chunks are moot");
         assert!(!t.cancels(3), "the best chunk itself is not cancelled");
         assert!(!t.cancels(1), "earlier chunks must still run");
+    }
+
+    #[test]
+    fn aborted_token_cancels_everything_and_has_no_winner() {
+        let t = EarlyExitToken::new();
+        t.offer(5);
+        t.abort();
+        assert!(t.aborted());
+        assert!(t.cancels(0), "abort cancels even chunk 0");
+        assert!(t.cancels(i64::MIN + 1));
+        assert_eq!(t.winner(), None, "the abort sentinel is not a hit");
+        t.offer(2);
+        assert!(t.aborted(), "no offer resurrects an aborted schedule");
+        assert_eq!(t.winner(), None);
+    }
+
+    #[test]
+    fn fresh_token_is_not_aborted() {
+        let t = EarlyExitToken::new();
+        assert!(!t.aborted());
+        t.offer(0);
+        assert!(!t.aborted());
     }
 
     #[test]

@@ -1,0 +1,59 @@
+//! Fault-injection differential suite: every failure class the pipeline
+//! claims to survive — solver budget exhaustion, interpreter traps,
+//! worker panics, token cancellation races — is forced at seeded sites
+//! (`gr_benchsuite::faultinject`) and the degraded outcome compared
+//! against the sequential interpreter on every thread count (`GR_THREADS`
+//! honored).
+//!
+//! `GR_FAULT_CASES` scales the sweep (CI's fault-smoke leg runs 256; the
+//! default keeps `cargo test` fast); `GR_FAULT_SEED` pins the generator
+//! for reproduction. The sweep's aggregated `error.*` ledger is written
+//! to `target/fault-ledger/` for the CI artifact upload.
+
+use gr_benchsuite::faultinject::{run_fault_differential, write_fault_ledger};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .map(|s| s.parse::<usize>().unwrap_or_else(|_| panic!("{name} must be a number")))
+        .unwrap_or(default)
+}
+
+fn env_seed(default: u64) -> u64 {
+    match std::env::var("GR_FAULT_SEED") {
+        Ok(s) => {
+            let s = s.trim();
+            s.strip_prefix("0x")
+                .map_or_else(|| s.parse(), |hex| u64::from_str_radix(hex, 16))
+                .unwrap_or_else(|_| panic!("GR_FAULT_SEED must be a (hex) number: {s}"))
+        }
+        Err(_) => default,
+    }
+}
+
+#[test]
+fn fault_injection_degrades_to_sequential_semantics() {
+    let cases = env_usize("GR_FAULT_CASES", 32);
+    let seed = env_seed(0xFA_0175);
+    let threads = gr_parallel::test_thread_counts();
+    let report = run_fault_differential(seed, cases, &threads);
+    assert_eq!(report.cases, cases);
+
+    // Every class must be generated and — except where the grammar drew a
+    // variant the outliner refuses — actually exercised end to end. A
+    // harness that stops exploiting anything is vacuous.
+    for (i, (&generated, &exploited)) in report.by_class.iter().zip(&report.exploited).enumerate() {
+        assert!(generated > 0, "class {i} never generated: {report:?}");
+        assert!(exploited > 0, "class {i} never exercised the pipeline: {report:?}");
+    }
+    // Faults must demonstrably fire: budget starvation always does, and
+    // with ≥8 cases the seam/trap classes land in-schedule often enough.
+    if cases >= 8 {
+        for (i, &fired) in report.fired.iter().enumerate() {
+            assert!(fired > 0, "class {i} never fired a fault: {report:?}");
+        }
+    }
+
+    let path = write_fault_ledger(seed, &report).expect("fault ledger written");
+    eprintln!("fault ledger: {} — {:?}", path.display(), report.ledger);
+}
