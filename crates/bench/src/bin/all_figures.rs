@@ -19,7 +19,8 @@
 //! intended spec growth) instead of checking against it.
 
 use gr_bench::stats::{
-    corpus, measure_error_counters, measure_runtime_counters, measure_suite_stats, render_json,
+    corpus, measure_error_counters, measure_profile, measure_runtime_counters, measure_suite_stats,
+    render_json,
 };
 
 /// Extracts `"solver_steps": N` from the `"total"` object of a
@@ -62,6 +63,88 @@ fn counter_block(json: &str, label: &str) -> Vec<(String, i64)> {
         let key = key.trim().trim_matches('"');
         if let Ok(v) = val.trim().parse::<i64>() {
             out.push((key.to_string(), v));
+        }
+    }
+    out
+}
+
+/// One parsed row of the `"histograms"` block: enough digest to gate
+/// shape regressions (count, sum, highest non-empty bucket).
+struct HistRow {
+    name: String,
+    count: i64,
+    sum: i64,
+    top_bucket: i64,
+}
+
+/// Parses the nested `"histograms"` block. Unlike the flat counter blocks
+/// this needs string-aware balanced-brace scanning: histogram *keys*
+/// contain literal braces (`solver.fanout{spec}`) and the *values* are
+/// objects, so `counter_block`'s first-`}` heuristic would misparse it.
+fn histograms_block(json: &str) -> Vec<HistRow> {
+    let Some(seg) = json.split("\"histograms\":").nth(1) else { return Vec::new() };
+    let bytes = seg.as_bytes();
+    let Some(start) = seg.find('{') else { return Vec::new() };
+    let field = |obj: &str, key: &str| -> Option<i64> {
+        let after = obj.split(key).nth(1)?;
+        let after = after.trim_start();
+        let end = after
+            .char_indices()
+            .find(|(_, c)| !(c.is_ascii_digit() || *c == '-'))
+            .map_or(after.len(), |(i, _)| i);
+        after[..end].parse().ok()
+    };
+    let mut out = Vec::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => {
+                let kstart = i + 1;
+                let mut j = kstart;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    if bytes[j] == b'\\' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+                let name = seg[kstart..j].to_string();
+                let Some(rel) = seg[j..].find('{') else { break };
+                let ostart = j + rel;
+                let mut k = ostart + 1;
+                let mut in_str = false;
+                let mut depth = 1i32;
+                while k < bytes.len() && depth > 0 {
+                    match bytes[k] {
+                        b'"' => in_str = !in_str,
+                        b'{' if !in_str => depth += 1,
+                        b'}' if !in_str => depth -= 1,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let obj = &seg[ostart..k];
+                let top_bucket = obj
+                    .split("\"buckets\":[")
+                    .nth(1)
+                    .and_then(|rest| rest.split(']').next())
+                    .map_or(-1, |list| {
+                        list.split(',')
+                            .enumerate()
+                            .filter(|(_, v)| v.trim().parse::<u64>().is_ok_and(|n| n > 0))
+                            .map(|(idx, _)| idx as i64)
+                            .max()
+                            .unwrap_or(-1)
+                    });
+                out.push(HistRow {
+                    name,
+                    count: field(obj, "\"count\":").unwrap_or(0),
+                    sum: field(obj, "\"sum\":").unwrap_or(0),
+                    top_bucket,
+                });
+                i = k;
+            }
+            b'}' => break,
+            _ => i += 1,
         }
     }
     out
@@ -156,6 +239,63 @@ fn diff_report(baseline: &str, current: &str) -> (String, Vec<String>) {
             }
         }
     }
+    // Histogram digests ride the same budget, plus a shape gate: a sample
+    // landing in a strictly higher log2 bucket than the baseline ever saw
+    // (e.g. a candidate-fanout blowup) fails even when the totals squeak
+    // under +20%. The table row shows the sum; count and top-bucket
+    // breaches are reported through the status column and failure list.
+    {
+        let base_rows = histograms_block(baseline);
+        let cur_rows = histograms_block(current);
+        for b in &base_rows {
+            match cur_rows.iter().find(|c| c.name == b.name) {
+                None => {
+                    let _ =
+                        writeln!(table, "| hist.{} | {} | — | — | **MISSING** |", b.name, b.sum);
+                    failures.push(format!(
+                        "histogram `{}` disappeared from the current document",
+                        b.name
+                    ));
+                }
+                Some(c) => {
+                    let mut reasons = Vec::new();
+                    for (what, base, cur) in [("count", b.count, c.count), ("sum", b.sum, c.sum)] {
+                        let limit = base + base.max(0) / 5;
+                        if cur > limit {
+                            reasons.push(format!("{what} {cur} > {limit} (+20% over {base})"));
+                        }
+                    }
+                    if c.top_bucket > b.top_bucket {
+                        reasons.push(format!(
+                            "top bucket {} > baseline {} (distribution shift)",
+                            c.top_bucket, b.top_bucket
+                        ));
+                    }
+                    #[allow(clippy::cast_precision_loss)]
+                    let delta = (c.sum as f64 - b.sum as f64) / (b.sum.max(1)) as f64 * 100.0;
+                    let status =
+                        if reasons.is_empty() { "ok".to_string() } else { "**FAIL**".to_string() };
+                    let _ = writeln!(
+                        table,
+                        "| hist.{} | {} | {} | {delta:+.1}% | {status} |",
+                        b.name, b.sum, c.sum
+                    );
+                    for r in reasons {
+                        failures.push(format!("histogram `{}` regressed: {r}", b.name));
+                    }
+                }
+            }
+        }
+        for c in &cur_rows {
+            if !base_rows.iter().any(|b| b.name == c.name) {
+                let _ = writeln!(
+                    table,
+                    "| hist.{} | — | {} | — | new histogram (re-baseline) |",
+                    c.name, c.sum
+                );
+            }
+        }
+    }
     (table, failures)
 }
 
@@ -191,12 +331,38 @@ fn main() {
     let rows: Vec<_> = corpus().into_iter().map(measure_suite_stats).collect();
     let runtime = measure_runtime_counters();
     let errors = measure_error_counters();
-    let json = render_json(&rows, &runtime, &errors, quick);
+    let profile = measure_profile();
+    // The attribution is exact by construction; a mismatch with the legacy
+    // SolveStats ledger means an instrumentation bug, so it hard-fails the
+    // bench run rather than silently shipping a wrong profile.
+    if profile.attributed_steps != profile.legacy_steps as i64 {
+        eprintln!(
+            "attribution/legacy solver-step mismatch: {} != {}",
+            profile.attributed_steps, profile.legacy_steps
+        );
+        std::process::exit(1);
+    }
+    let json = render_json(&rows, &runtime, &errors, &profile.histograms, quick);
     match std::fs::write(out_path, &json) {
         Ok(()) => println!("wrote {out_path}"),
         Err(e) => {
             eprintln!("cannot write {out_path}: {e}");
             std::process::exit(1);
+        }
+    }
+    for (path, contents) in [
+        ("BENCH_profile.collapsed", &profile.collapsed),
+        ("BENCH_hitprofile.json", &profile.hit_profile_json),
+    ] {
+        match std::fs::write(path, contents) {
+            Ok(()) => println!(
+                "wrote {path} (corpus solver.steps attribution {})",
+                profile.attributed_steps
+            ),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
     print!("{json}");

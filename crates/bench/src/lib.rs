@@ -236,15 +236,116 @@ pub mod stats {
         snap
     }
 
-    /// Renders the per-suite stats plus the runtime scheduler counters
-    /// and the failure-ledger counters as the `BENCH_detection.json`
-    /// document (hand-rolled writer — the workspace builds without
-    /// serde).
+    /// Deterministic profile artifacts over the whole detection corpus
+    /// plus the fixed runtime workloads — the data behind the
+    /// `"histograms"` baseline block and the CI profile artifacts.
+    #[derive(Debug, Clone)]
+    pub struct ProfileArtifacts {
+        /// Histogram digests for the `BENCH_detection.json` block:
+        /// per-label solver fanout aggregated per spec (full per-label
+        /// fidelity stays in traces; the baseline gates the per-spec
+        /// shape), per-idiom step distributions, and the runtime chunk /
+        /// hit histograms of the fixed workloads.
+        pub histograms: std::collections::BTreeMap<String, gr_trace::Histogram>,
+        /// Collapsed-stack attribution of `solver.steps` (flamegraph
+        /// format), byte-deterministic.
+        pub collapsed: String,
+        /// The per-call-site hit-position profile, serialized
+        /// (`gr-trace/hit-profile/v1`).
+        pub hit_profile_json: String,
+        /// Attribution total of `solver.steps` across everything detected
+        /// in the session (corpus sweep plus the runtime workload kernel)
+        /// — must equal [`ProfileArtifacts::legacy_steps`] exactly.
+        pub attributed_steps: i64,
+        /// The legacy `SolveStats` ledger total over the same modules.
+        pub legacy_steps: usize,
+    }
+
+    /// Runs one trace session over a full corpus detection sweep plus the
+    /// fixed runtime workloads of [`measure_runtime_counters`] and folds
+    /// it into [`ProfileArtifacts`]. Deterministic for fixed thread
+    /// counts: detection-side histograms are thread-invariant, the
+    /// runtime workloads pin their own thread counts (2 and 1).
+    #[must_use]
+    pub fn measure_profile() -> ProfileArtifacts {
+        use gr_interp::{Machine, Memory, RtVal};
+        use gr_trace::profile::{Attribution, HitProfile};
+
+        const FIND_FIRST: &str = "int find(int* a, int x, int n) {
+                 int r = n;
+                 for (int i = 0; i < n; i++) {
+                     if (a[i] == x) { r = i; break; }
+                 }
+                 return r;
+             }";
+        let modules: Vec<_> =
+            corpus().iter().flat_map(|s| suite_programs(*s)).map(|p| p.compile()).collect();
+        let guard = gr_trace::start();
+        for m in &modules {
+            let _ = gr_core::detect_reductions(m);
+        }
+        let fm = gr_frontend::compile(FIND_FIRST).expect("runtime workload compiles");
+        let rs = gr_core::detect_reductions(&fm);
+        let run = |data: &[i64], x: i64, threads: usize| {
+            let (pm, plan) =
+                gr_parallel::parallelize(&fm, "find", &rs).expect("find-first outlines");
+            let mut mem = Memory::new(&pm);
+            let a = mem.alloc_int(data);
+            let mut machine = Machine::new(&pm, mem);
+            machine.set_handler(gr_parallel::runtime::handler(&pm, plan, threads));
+            machine
+                .call("find", &[RtVal::ptr(a), RtVal::I(x), RtVal::I(data.len() as i64)])
+                .expect("workload runs");
+        };
+        let miss = vec![1i64; 4096];
+        run(&miss, 7, 2);
+        let hit: Vec<i64> = (0..4096i64).collect();
+        run(&hit, 3000, 1);
+        let trace = guard.finish();
+
+        // Digest: collapse `solver.fanout{spec::label}` to per-spec keys so
+        // the baseline block stays readable; everything else passes through.
+        let mut histograms = std::collections::BTreeMap::new();
+        for (name, h) in &trace.histograms {
+            let key = match name.strip_prefix("solver.fanout{") {
+                Some(rest) => {
+                    let spec = rest.split("::").next().unwrap_or(rest).trim_end_matches('}');
+                    format!("solver.fanout{{{spec}}}")
+                }
+                None => name.clone(),
+            };
+            histograms.entry(key).or_insert_with(gr_trace::Histogram::new).merge(h);
+        }
+        let attr = Attribution::from_trace(&trace);
+        // The ledger the attribution must conserve: every module detected
+        // inside the session — the corpus sweep *and* the runtime
+        // workload kernel.
+        let legacy_steps: usize = modules
+            .iter()
+            .chain(std::iter::once(&fm))
+            .map(|m| {
+                gr_core::detect::detection_stats(m).iter().map(|(_, s)| s.steps).sum::<usize>()
+            })
+            .sum();
+        ProfileArtifacts {
+            histograms,
+            collapsed: attr.collapsed("solver.steps"),
+            hit_profile_json: HitProfile::from_trace(&trace).render_json(),
+            attributed_steps: attr.total("solver.steps"),
+            legacy_steps,
+        }
+    }
+
+    /// Renders the per-suite stats plus the runtime scheduler counters,
+    /// the failure-ledger counters and the histogram digests as the
+    /// `BENCH_detection.json` document (hand-rolled writer — the
+    /// workspace builds without serde).
     #[must_use]
     pub fn render_json(
         rows: &[SuiteStats],
         runtime: &gr_trace::MetricsSnapshot,
         errors: &gr_trace::MetricsSnapshot,
+        histograms: &std::collections::BTreeMap<String, gr_trace::Histogram>,
         quick: bool,
     ) -> String {
         use std::fmt::Write as _;
@@ -290,6 +391,17 @@ pub mod stats {
                 s.push_str(", ");
             }
             let _ = write!(s, "{}: {v}", gr_trace::json_str(k));
+        }
+        s.push_str("},\n");
+        let _ = write!(s, "  \"histograms\": {{");
+        for (i, (k, h)) in histograms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\n    {}: {}", gr_trace::json_str(k), h.render_json());
+        }
+        if !histograms.is_empty() {
+            s.push_str("\n  ");
         }
         s.push_str("}\n");
         s.push_str("}\n");

@@ -236,7 +236,11 @@ fn bench_json_renders_all_suites() {
     runtime.counters.insert("chunk_dispatch".to_string(), 12);
     let mut errors = gr_trace::MetricsSnapshot::default();
     errors.counters.insert("GR001".to_string(), 3);
-    let json = gr_bench::stats::render_json(&rows, &runtime, &errors, true);
+    let mut hists = std::collections::BTreeMap::new();
+    let mut h = gr_trace::Histogram::new();
+    h.record(7);
+    hists.insert("solver.steps.per_idiom{sum}".to_string(), h);
+    let json = gr_bench::stats::render_json(&rows, &runtime, &errors, &hists, true);
     for suite in ["nas", "parboil", "rodinia", "micro"] {
         assert!(
             json.to_lowercase().contains(&format!("\"suite\": \"{suite}\"")),
@@ -246,4 +250,8 @@ fn bench_json_renders_all_suites() {
     assert!(json.contains("\"sharing_speedup\""));
     assert!(json.contains("\"runtime\": {\"chunk_dispatch\": 12}"));
     assert!(json.contains("\"errors\": {\"GR001\": 3}"));
+    assert!(
+        json.contains("\"solver.steps.per_idiom{sum}\": {\"count\":1,\"sum\":7,"),
+        "missing histograms block in {json}"
+    );
 }

@@ -436,7 +436,9 @@ pub fn run_differential(seed: u64, cases: usize, threads: &[usize]) -> FuzzRepor
 /// `target/fuzz-failures/<seed>.txt` — the seed, the rendered program,
 /// the sequential reference result and every parallel result observed
 /// before the divergence — so a CI failure is diagnosable without
-/// re-running the sweep.
+/// re-running the sweep. When a trace session is active, the live event
+/// stream is additionally dumped to `<seed>.trace.json` (Chrome trace
+/// format) so the failing schedule itself is part of the artifact.
 pub(crate) fn dump_failure(
     seed: u64,
     case_idx: usize,
@@ -470,6 +472,12 @@ pub(crate) fn dump_failure(
     let _ = writeln!(body, "\n--- failure ---\n{msg}");
     if std::fs::write(&path, body).is_ok() {
         eprintln!("fuzz-failure artifact written to {}", path.display());
+    }
+    if let Some(trace) = gr_trace::live_snapshot() {
+        let trace_path = dir.join(format!("{seed:#x}.trace.json"));
+        if std::fs::write(&trace_path, trace.chrome_json()).is_ok() {
+            eprintln!("fuzz-failure trace written to {}", trace_path.display());
+        }
     }
 }
 
@@ -520,6 +528,26 @@ mod tests {
         assert!(body.contains("Some(I(5))"));
         assert!(body.contains("synthetic divergence"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failure_artifact_dumps_live_trace_when_session_active() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let case = generate(&mut rng);
+        let payload: Box<dyn std::any::Any + Send> = Box::new("synthetic divergence".to_string());
+        let guard = gr_trace::start();
+        gr_trace::counter("fuzz.synthetic", 1);
+        dump_failure(0xBEEF2, 0, &case, &Some(RtVal::I(5)), &[], payload.as_ref());
+        drop(guard.finish());
+        let dir =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/fuzz-failures");
+        let txt = dir.join("0xbeef2.txt");
+        let trace = dir.join("0xbeef2.trace.json");
+        assert!(txt.exists(), "text artifact written");
+        let body = std::fs::read_to_string(&trace).expect("trace artifact written");
+        assert!(body.contains("\"fuzz.synthetic\""), "counter in trace dump: {body}");
+        let _ = std::fs::remove_file(&txt);
+        let _ = std::fs::remove_file(&trace);
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! `greduce` — command-line driver for the general-reductions toolchain.
 //!
 //! ```text
-//! greduce detect <file.c> [--trace] [--budget N]   detect reductions (constraint system)
-//! greduce stats <file.c>         solver-step ledger (shared prefix vs unshared)
+//! greduce detect <file.c> [--trace] [--profile] [--budget N]   detect reductions
+//! greduce stats <file.c> [--json]  solver-step ledger (shared prefix vs unshared)
 //! greduce trace <file.c> [--json out]   trace the pipeline, write Chrome JSON
+//! greduce profile <file.c> [--json|--collapsed]   span cost attribution
 //! greduce compare <file.c>       ours vs icc-model vs Polly-model
 //! greduce ir <file.c>            dump the SSA IR
 //! greduce run <file.c> <fn> [args...]   interpret a function (int args)
@@ -46,7 +47,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
         eprintln!(
-            "usage: greduce <detect|stats|trace|compare|ir|run|par|suite|help> [file.c] [args...]"
+            "usage: greduce <detect|stats|trace|profile|compare|ir|run|par|suite|help> [file.c] [args...]"
         );
         ExitCode::FAILURE
     };
@@ -54,15 +55,20 @@ fn main() -> ExitCode {
     match cmd {
         "help" => {
             println!("greduce — constraint-based reduction discovery (CGO 2017 reproduction)");
-            println!("  detect <file.c> [--trace] [--budget N]");
+            println!("  detect <file.c> [--trace] [--profile] [--budget N]");
             println!("                               list detected reductions; --budget caps");
-            println!("                               solver steps per function (anytime mode)");
+            println!("                               solver steps per function (anytime mode);");
+            println!("                               --profile prints the span cost attribution");
             println!(
-                "  stats <file.c>               per-function solver steps, shared vs unshared"
+                "  stats <file.c> [--json]      per-function solver steps, shared vs unshared"
             );
             println!(
                 "  trace <file.c> [--json out]  trace detect+outline, write Chrome trace JSON"
             );
+            println!("  profile <file.c> [--json|--collapsed]");
+            println!("                               span cost attribution of detect+outline:");
+            println!("                               self/total tree, flamegraph collapsed-stack");
+            println!("                               (--collapsed) or JSON (--json)");
             println!("  compare <file.c>             compare against icc/Polly models");
             println!("  ir <file.c>                  print the SSA IR");
             println!("  run <file.c> <fn> [ints...]  interpret a function");
@@ -89,7 +95,7 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
-        "detect" | "stats" | "trace" | "compare" | "ir" | "run" | "par" => {
+        "detect" | "stats" | "trace" | "profile" | "compare" | "ir" | "run" | "par" => {
             let Some(path) = args.get(1) else { return usage() };
             let source = match std::fs::read_to_string(path) {
                 Ok(s) => s,
@@ -112,11 +118,13 @@ fn main() -> ExitCode {
                 }
                 "detect" => {
                     let mut with_trace = false;
+                    let mut with_profile = false;
                     let mut budget: Option<usize> = None;
                     let mut rest = args.iter().skip(2);
                     while let Some(a) = rest.next() {
                         match a.as_str() {
                             "--trace" => with_trace = true,
+                            "--profile" => with_profile = true,
                             "--budget" => match rest.next().and_then(|n| n.parse().ok()) {
                                 Some(n) => budget = Some(n),
                                 None => {
@@ -132,7 +140,7 @@ fn main() -> ExitCode {
                         // partial per-function report instead of running
                         // without bound. Degradation is a warning, not a
                         // failure — the reductions printed are still sound.
-                        let guard = with_trace.then(gr_trace::start);
+                        let guard = (with_trace || with_profile).then(gr_trace::start);
                         let reports = gr_core::detect_reductions_budgeted(
                             &module,
                             gr_core::DetectBudget::steps(steps),
@@ -161,15 +169,21 @@ fn main() -> ExitCode {
                         }
                         if let Some(guard) = guard {
                             let trace = guard.finish();
-                            if let Err(e) = std::fs::write("TRACE.json", trace.chrome_json()) {
-                                eprintln!("cannot write TRACE.json: {e}");
-                                return ExitCode::FAILURE;
+                            if with_trace {
+                                if let Err(e) = std::fs::write("TRACE.json", trace.chrome_json()) {
+                                    eprintln!("cannot write TRACE.json: {e}");
+                                    return ExitCode::FAILURE;
+                                }
+                                println!(
+                                    "trace: wrote TRACE.json ({} events); error ledger: GR001 x{}",
+                                    trace.events.len(),
+                                    trace.counter("error{GR001}")
+                                );
                             }
-                            println!(
-                                "trace: wrote TRACE.json ({} events); error ledger: GR001 x{}",
-                                trace.events.len(),
-                                trace.counter("error{GR001}")
-                            );
+                            if with_profile {
+                                let attr = gr_trace::profile::Attribution::from_trace(&trace);
+                                print!("{}", attr.render_text("solver.steps"));
+                            }
                         }
                         if degraded > 0 {
                             eprintln!(
@@ -179,7 +193,7 @@ fn main() -> ExitCode {
                         }
                         return ExitCode::SUCCESS;
                     }
-                    if !with_trace {
+                    if !with_trace && !with_profile {
                         let rs = detect_reductions(&module);
                         if rs.is_empty() {
                             println!("no reductions detected");
@@ -190,9 +204,9 @@ fn main() -> ExitCode {
                         warn_truncation(&module);
                         return ExitCode::SUCCESS;
                     }
-                    // --trace: run detection inside a trace session and
-                    // cross-check the trace substrate against the legacy
-                    // SolveStats counters — the two must agree exactly.
+                    // --trace / --profile: run detection inside a trace
+                    // session and cross-check the trace substrate against
+                    // the legacy SolveStats counters — must agree exactly.
                     let guard = gr_trace::start();
                     let rs = detect_reductions(&module);
                     let trace = guard.finish();
@@ -208,14 +222,24 @@ fn main() -> ExitCode {
                         .map(|(_, s)| s.steps)
                         .sum();
                     let traced = trace.counter("solver.steps");
-                    if let Err(e) = std::fs::write("TRACE.json", trace.chrome_json()) {
-                        eprintln!("cannot write TRACE.json: {e}");
-                        return ExitCode::FAILURE;
+                    if with_trace {
+                        if let Err(e) = std::fs::write("TRACE.json", trace.chrome_json()) {
+                            eprintln!("cannot write TRACE.json: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        println!(
+                            "trace: wrote TRACE.json ({} events); solver steps {traced} (legacy solver_steps {legacy})",
+                            trace.events.len()
+                        );
                     }
-                    println!(
-                        "trace: wrote TRACE.json ({} events); solver steps {traced} (legacy solver_steps {legacy})",
-                        trace.events.len()
-                    );
+                    if with_profile {
+                        let attr = gr_trace::profile::Attribution::from_trace(&trace);
+                        print!("{}", attr.render_text("solver.steps"));
+                        println!(
+                            "attributed solver steps {} (legacy solver_steps {legacy})",
+                            attr.total("solver.steps")
+                        );
+                    }
                     if traced != legacy as i64 {
                         eprintln!("trace/legacy solver-step mismatch: {traced} != {legacy}");
                         return ExitCode::FAILURE;
@@ -263,11 +287,74 @@ fn main() -> ExitCode {
                     }
                     ExitCode::SUCCESS
                 }
+                "profile" => {
+                    // Span cost attribution over the same session the
+                    // `trace` command records: detection plus one outline
+                    // attempt per (function, header) reduction group. Every
+                    // render below is byte-deterministic, and the self
+                    // values reconcile exactly with the flat counters (the
+                    // attribution is recorded at counter-emit time, not
+                    // sampled) — the reconcile check at the end enforces it.
+                    let mut mode = "text";
+                    for a in args.iter().skip(2) {
+                        match a.as_str() {
+                            "--json" => mode = "json",
+                            "--collapsed" => mode = "collapsed",
+                            _ => return usage(),
+                        }
+                    }
+                    let guard = gr_trace::start();
+                    let rs = detect_reductions(&module);
+                    for (fname, header) in reduction_loops(&rs) {
+                        let group: Vec<gr_core::Reduction> = rs
+                            .iter()
+                            .filter(|r| r.function == fname && r.header == header)
+                            .cloned()
+                            .collect();
+                        let _ = gr_parallel::parallelize(&module, &fname, &group);
+                    }
+                    let trace = guard.finish();
+                    let attr = gr_trace::profile::Attribution::from_trace(&trace);
+                    match mode {
+                        "json" => print!("{}", attr.render_json()),
+                        "collapsed" => print!("{}", attr.collapsed("solver.steps")),
+                        _ => {
+                            print!("{}", attr.render_text("solver.steps"));
+                            if !trace.histograms.is_empty() {
+                                println!("histograms:");
+                                for (name, h) in &trace.histograms {
+                                    println!("  {name:<52} {}", h.render_json());
+                                }
+                            }
+                        }
+                    }
+                    let legacy: usize = gr_core::detect::detection_stats(&module)
+                        .iter()
+                        .map(|(_, s)| s.steps)
+                        .sum();
+                    if attr.total("solver.steps") != legacy as i64 {
+                        eprintln!(
+                            "attribution/legacy solver-step mismatch: {} != {legacy}",
+                            attr.total("solver.steps")
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    ExitCode::SUCCESS
+                }
                 "stats" => {
                     // Per-function solver cost: the shared for-loop prefix
                     // is solved once and every idiom resumes from it;
                     // `unshared` is what solving each spec from scratch
-                    // would have cost.
+                    // would have cost. With `--json` the same ledger is
+                    // emitted as one machine-readable document instead of
+                    // the table.
+                    let mut json_mode = false;
+                    for a in args.iter().skip(2) {
+                        match a.as_str() {
+                            "--json" => json_mode = true,
+                            _ => return usage(),
+                        }
+                    }
                     let registry = gr_core::IdiomRegistry::with_default_idioms();
                     let mut total_shared = 0usize;
                     let mut total_unshared = 0usize;
@@ -275,6 +362,9 @@ fn main() -> ExitCode {
                     // Module-wide extension-step total per idiom, summed
                     // over the per-function reports below.
                     let mut idiom_steps: Vec<(&'static str, usize)> = Vec::new();
+                    // Everything the JSON rendering needs, collected while
+                    // the table prints (or silently in --json mode).
+                    let mut json_funcs = String::new();
                     for func in &module.functions {
                         let analyses = gr_analysis::Analyses::new(&module, func);
                         let ctx = gr_core::atoms::MatchCtx::new(&module, func, &analyses);
@@ -283,28 +373,62 @@ fn main() -> ExitCode {
                         rs.extend(registry.detect_in_function(&ctx));
                         let shared = registry.stats_report(&ctx, true);
                         let unshared = registry.stats_report(&ctx, false);
-                        println!("{}:", func.name);
-                        for row in &shared.prefix_cache {
+                        if !json_mode {
+                            println!("{}:", func.name);
+                        }
+                        if !json_funcs.is_empty() {
+                            json_funcs.push(',');
+                        }
+                        json_funcs.push_str(&format!(
+                            "\n    {{\"name\": {}, \"prefix_cache\": [",
+                            gr_trace::json_str(&func.name)
+                        ));
+                        for (i, row) in shared.prefix_cache.iter().enumerate() {
                             // One solve per cache row, so the hit rate is
                             // hits / (hits + 1).
-                            println!(
-                                "  {:<20}{:>6} steps (solved once, {} solution(s), {} cache hit(s), {:.0}% hit rate)",
-                                row.name,
+                            if !json_mode {
+                                println!(
+                                    "  {:<20}{:>6} steps (solved once, {} solution(s), {} cache hit(s), {:.0}% hit rate)",
+                                    row.name,
+                                    row.steps,
+                                    row.solutions,
+                                    row.hits,
+                                    100.0 * row.hits as f64 / (row.hits + 1) as f64
+                                );
+                            }
+                            if i > 0 {
+                                json_funcs.push(',');
+                            }
+                            json_funcs.push_str(&format!(
+                                "{{\"name\": {}, \"steps\": {}, \"solutions\": {}, \"hits\": {}}}",
+                                gr_trace::json_str(&row.name),
                                 row.steps,
                                 row.solutions,
-                                row.hits,
-                                100.0 * row.hits as f64 / (row.hits + 1) as f64
-                            );
+                                row.hits
+                            ));
                         }
-                        for ((name, ext), (_, full)) in
-                            shared.per_idiom.iter().zip(&unshared.per_idiom)
+                        json_funcs.push_str("], \"idioms\": [");
+                        for (i, ((name, ext), (_, full))) in
+                            shared.per_idiom.iter().zip(&unshared.per_idiom).enumerate()
                         {
-                            println!(
-                                "  {name:<20}{:>6} steps (unshared: {}){}",
+                            if !json_mode {
+                                println!(
+                                    "  {name:<20}{:>6} steps (unshared: {}){}",
+                                    ext.steps,
+                                    full.steps,
+                                    if ext.truncated { "  TRUNCATED" } else { "" }
+                                );
+                            }
+                            if i > 0 {
+                                json_funcs.push(',');
+                            }
+                            json_funcs.push_str(&format!(
+                                "{{\"name\": {}, \"steps\": {}, \"unshared\": {}, \"truncated\": {}}}",
+                                gr_trace::json_str(name),
                                 ext.steps,
                                 full.steps,
-                                if ext.truncated { "  TRUNCATED" } else { "" }
-                            );
+                                ext.truncated
+                            ));
                             match idiom_steps.iter_mut().find(|(n, _)| n == name) {
                                 Some((_, acc)) => *acc += ext.steps,
                                 None => idiom_steps.push((name, ext.steps)),
@@ -312,23 +436,29 @@ fn main() -> ExitCode {
                         }
                         let s = shared.total();
                         let u = unshared.total();
-                        println!(
-                            "  total               {:>6} steps, {} solutions (unshared: {}, {:.2}x)",
-                            s.steps,
-                            s.solutions,
-                            u.steps,
-                            u.steps as f64 / s.steps.max(1) as f64
-                        );
+                        if !json_mode {
+                            println!(
+                                "  total               {:>6} steps, {} solutions (unshared: {}, {:.2}x)",
+                                s.steps,
+                                s.solutions,
+                                u.steps,
+                                u.steps as f64 / s.steps.max(1) as f64
+                            );
+                        }
+                        json_funcs.push_str(&format!(
+                            "], \"total\": {{\"steps\": {}, \"solutions\": {}, \"unshared\": {}}}}}",
+                            s.steps, s.solutions, u.steps
+                        ));
                         total_shared += s.steps;
                         total_unshared += u.steps;
                     }
-                    if module.functions.len() > 1 {
+                    if !json_mode && module.functions.len() > 1 {
                         println!(
                             "module total: {total_shared} steps (unshared: {total_unshared}, {:.2}x)",
                             total_unshared as f64 / total_shared.max(1) as f64
                         );
                     }
-                    if module.functions.len() > 1 && idiom_steps.len() > 1 {
+                    if !json_mode && module.functions.len() > 1 && idiom_steps.len() > 1 {
                         println!("extension steps per idiom (module total):");
                         for (name, steps) in &idiom_steps {
                             println!("  {name:<20}{steps:>6} steps");
@@ -365,26 +495,78 @@ fn main() -> ExitCode {
                             None => refusals.push((kind, err, 1)),
                         }
                     }
-                    if refusals.is_empty() {
-                        if exploited > 0 {
-                            println!("exploitation: all {exploited} detected reduction(s) outline");
-                        }
-                    } else {
-                        println!("exploitation refusals ({exploited} exploited):");
-                        refusals.sort();
-                        for (kind, err, n) in &refusals {
-                            println!("  {kind:<16} x{n}  {err}");
+                    refusals.sort();
+                    if !json_mode {
+                        if refusals.is_empty() {
+                            if exploited > 0 {
+                                println!(
+                                    "exploitation: all {exploited} detected reduction(s) outline"
+                                );
+                            }
+                        } else {
+                            println!("exploitation refusals ({exploited} exploited):");
+                            for (kind, err, n) in &refusals {
+                                println!("  {kind:<16} x{n}  {err}");
+                            }
                         }
                     }
                     // The failure ledger: every `GrError` raised inside the
                     // session above (outline refusals here; detection and
                     // runtime paths feed the same counters elsewhere).
                     let ledger: Vec<(&str, i64)> = trace.counters_with_prefix("error{").collect();
-                    if !ledger.is_empty() {
+                    if !json_mode && !ledger.is_empty() {
                         println!("failure ledger:");
                         for (code, n) in &ledger {
                             println!("  {code:<44} {n:>8}");
                         }
+                    }
+                    if json_mode {
+                        // One deterministic document: key order is fixed,
+                        // maps are emitted in collection order (functions
+                        // and idioms in module order, refusals sorted).
+                        let mut out = String::from("{\n  \"schema\": \"greduce/stats/v1\",");
+                        out.push_str("\n  \"functions\": [");
+                        out.push_str(&json_funcs);
+                        if !json_funcs.is_empty() {
+                            out.push_str("\n  ");
+                        }
+                        out.push_str(&format!(
+                            "],\n  \"module\": {{\"shared_steps\": {total_shared}, \"unshared_steps\": {total_unshared}}},"
+                        ));
+                        out.push_str("\n  \"idiom_steps\": {");
+                        for (i, (name, steps)) in idiom_steps.iter().enumerate() {
+                            if i > 0 {
+                                out.push_str(", ");
+                            }
+                            out.push_str(&format!("{}: {steps}", gr_trace::json_str(name)));
+                        }
+                        out.push_str("},");
+                        out.push_str(&format!(
+                            "\n  \"exploitation\": {{\"exploited\": {exploited}, \"refusals\": ["
+                        ));
+                        for (i, (kind, err, n)) in refusals.iter().enumerate() {
+                            if i > 0 {
+                                out.push(',');
+                            }
+                            out.push_str(&format!(
+                                "\n    {{\"kind\": {}, \"detail\": {}, \"count\": {n}}}",
+                                gr_trace::json_str(kind),
+                                gr_trace::json_str(err)
+                            ));
+                        }
+                        if !refusals.is_empty() {
+                            out.push_str("\n  ");
+                        }
+                        out.push_str("]},");
+                        out.push_str("\n  \"errors\": {");
+                        for (i, (code, n)) in ledger.iter().enumerate() {
+                            if i > 0 {
+                                out.push_str(", ");
+                            }
+                            out.push_str(&format!("{}: {n}", gr_trace::json_str(code)));
+                        }
+                        out.push_str("}\n}");
+                        println!("{out}");
                     }
                     ExitCode::SUCCESS
                 }

@@ -340,11 +340,13 @@ fn search(
     let (candidates, chosen) = generate_candidates(plan, ctx, asg, k);
     if gr_trace::enabled() {
         gr_trace::counter("solver.candidates", candidates.len() as i64);
-        gr_trace::counter_keyed(
-            "solver.candidates.label",
-            &format!("{}::{}", plan.spec.name, plan.spec.label_names[k]),
-            candidates.len() as i64,
-        );
+        let label = format!("{}::{}", plan.spec.name, plan.spec.label_names[k]);
+        gr_trace::counter_keyed("solver.candidates.label", &label, candidates.len() as i64);
+        // Fanout distribution per label: how many candidates each decision
+        // level generates, not just the sum. A future beam search orders by
+        // exactly this (ROADMAP: selectivity-guided search), and the bench
+        // baseline gates its shape so fanout blowups fail CI.
+        gr_trace::histogram_keyed("solver.fanout", &label, candidates.len() as i64);
     }
     for v in candidates {
         // Membership pre-filter (the rest of the generator intersection):

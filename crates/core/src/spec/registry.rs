@@ -299,6 +299,12 @@ impl IdiomRegistry {
             let (sols, stats, prefix) =
                 solve_with_cache(&entry.spec, ctx, cache.as_deref_mut(), opts);
             steps_used += stats.steps + prefix.map_or(0, |p| p.steps);
+            if gr_trace::enabled() {
+                // Extension-step distribution per idiom: one sample per
+                // (idiom, function) solve, so the profile answers "which
+                // idioms are cheap everywhere vs. expensive somewhere".
+                gr_trace::histogram_keyed("solver.steps.per_idiom", entry.name, stats.steps as i64);
+            }
             if stats.truncated {
                 truncated_idioms.push(entry.name);
                 GrError::SolverBudget {
@@ -330,6 +336,14 @@ impl IdiomRegistry {
             let finalized = (entry.finalize)(ctx, found);
             gr_trace::counter_keyed("detect.reports", entry.name, finalized.len() as i64);
             out.extend(finalized);
+        }
+        if gr_trace::enabled() && budget.per_function_steps != usize::MAX {
+            // Headroom left under the per-function budget after the whole
+            // registry ran: 0 means the budget bit, large means the budget
+            // was generous. Only meaningful (and only recorded) when a
+            // finite budget is in force.
+            let headroom = budget.per_function_steps.saturating_sub(steps_used);
+            gr_trace::histogram("detect.budget_headroom", headroom as i64);
         }
         let status = if truncated_idioms.is_empty() {
             DetectionStatus::Complete

@@ -133,11 +133,28 @@ pub struct ChunkPolicy {
     /// iteration space before the speculative tail has been touched.
     /// Without it the space is bisected evenly.
     pub front_ramp: bool,
+    /// Expected hit position for this call site, seeded from a persisted
+    /// [`gr_trace::profile::HitProfile`] (the approximate median of past
+    /// hits). **Read-only this release:** the planner records and carries
+    /// the hint but the ramp stays static — this is the data contract the
+    /// adaptive-scheduling work consumes when it lands.
+    pub expected_hit: Option<i64>,
 }
 
 impl Default for ChunkPolicy {
     fn default() -> ChunkPolicy {
-        ChunkPolicy { chunks_per_worker: 8, front_ramp: true }
+        ChunkPolicy { chunks_per_worker: 8, front_ramp: true, expected_hit: None }
+    }
+}
+
+impl ChunkPolicy {
+    /// Seeds [`ChunkPolicy::expected_hit`] from a recorded hit-position
+    /// profile for call site `site` (typically the searched function's
+    /// chunk name). Sites absent from the profile leave the hint unset;
+    /// the rest of the policy is untouched.
+    #[must_use]
+    pub fn with_profile(self, profile: &gr_trace::profile::HitProfile, site: &str) -> ChunkPolicy {
+        ChunkPolicy { expected_hit: profile.median_hit(site), ..self }
     }
 }
 

@@ -692,6 +692,23 @@ fn recover_pass_failure(
     }
 }
 
+/// Stable per-call-site key for the runtime profiling histograms: the
+/// chunk-function name with its trailing outliner gensym stripped
+/// (`__chunk_find_5` → `__chunk_find`). The gensym is a process-global
+/// counter, so it is not stable across runs — exactly the wrong key for
+/// the persisted [`gr_trace::profile::HitProfile`]. Distinct search loops
+/// in one function share a site; that coarseness is deliberate.
+fn trace_site(chunk_fn: &str) -> &str {
+    match chunk_fn.rfind('_') {
+        Some(i)
+            if i + 1 < chunk_fn.len() && chunk_fn[i + 1..].bytes().all(|b| b.is_ascii_digit()) =>
+        {
+            &chunk_fn[..i]
+        }
+        _ => chunk_fn,
+    }
+}
+
 /// The cancellable speculative executor for early-exit loops: searches
 /// and speculative folds.
 ///
@@ -745,6 +762,12 @@ fn execute_search(
         if plan.chunking.front_ramp { ramped(count, target) } else { bisect(count, target) };
     if gr_trace::enabled() {
         gr_trace::counter("runtime.chunks_planned", pieces.len() as i64);
+        // Chunk-size distribution per call site, recorded at plan time (on
+        // the dispatching thread, before any worker races) so the profile
+        // is deterministic for a fixed thread count.
+        for &(_, len) in &pieces {
+            gr_trace::histogram_keyed("runtime.chunk_len", trace_site(&plan.chunk_fn), len);
+        }
         if plan.chunking.front_ramp {
             gr_trace::instant(
                 "runtime.ramp",
@@ -929,6 +952,14 @@ fn execute_search(
     if let Some(w) = winner {
         let won = outs.iter().find(|o| o.chunk == w).expect("winner chunk result present");
         gr_trace::counter("runtime.merge_commits", 1);
+        if gr_trace::enabled() {
+            // Hit-position profile per call site: the committed hit is the
+            // sequential first hit, so this histogram is identical across
+            // thread counts and is what an adaptive ramp would train on
+            // (gr_trace::profile::HitProfile extracts it).
+            gr_trace::histogram_keyed("runtime.hit_pos", trace_site(&plan.chunk_fn), won.hit);
+            gr_trace::histogram_keyed("runtime.hit_chunk", trace_site(&plan.chunk_fn), w as i64);
+        }
         mem.store_i(hit_obj, 0, won.hit).map_err(Trap::Mem)?;
         for (&o, obj) in exit_objs.iter().zip(&won.exits) {
             *mem.object_mut(o) = obj.clone();
@@ -2415,7 +2446,11 @@ mod tests {
         let m = compile(SUM_UNTIL_INT).unwrap();
         let rs = detect_reductions(&m);
         let (pm, mut plan) = parallelize(&m, "sum_until", &rs).unwrap();
-        plan.chunking = crate::plan::ChunkPolicy { chunks_per_worker: 4, front_ramp: false };
+        plan.chunking = crate::plan::ChunkPolicy {
+            chunks_per_worker: 4,
+            front_ramp: false,
+            ..crate::plan::ChunkPolicy::default()
+        };
         let mut data: Vec<i64> = vec![2; 10_000];
         data[7_777] = -1;
         for threads in [1usize, 3, 8] {

@@ -114,6 +114,55 @@ fn single_thread_hit_run_is_byte_deterministic() {
     assert!(s1.get("runtime.chunk_complete") <= s1.get("runtime.chunk_dispatch"));
 }
 
+/// Renders every histogram of `t` to one deterministic string.
+fn histogram_digest(t: &gr_trace::Trace) -> String {
+    t.histograms.iter().map(|(k, h)| format!("{k}={}\n", h.render_json())).collect()
+}
+
+#[test]
+fn histograms_are_byte_deterministic_per_thread_count() {
+    // Same property the counter snapshots pin, on the histogram layer:
+    // for a fixed thread count, repeated runs must merge worker-local
+    // histogram buffers to identical bytes regardless of which worker
+    // recorded what.
+    let data = vec![1i64; 5000];
+    for threads in gr_parallel::test_thread_counts() {
+        let (_, t1) = traced_search_run(&data, 7, threads);
+        let (_, t2) = traced_search_run(&data, 7, threads);
+        assert_eq!(
+            histogram_digest(&t1),
+            histogram_digest(&t2),
+            "byte-identical histograms for repeated runs at threads={threads}"
+        );
+        // The plan-time chunk-length histogram must account for every
+        // planned chunk exactly.
+        let lens = t1.histogram("runtime.chunk_len{__chunk_find}").expect("chunk_len recorded");
+        assert_eq!(lens.count as i64, planned_chunks(data.len() as i64, threads));
+        assert_eq!(lens.sum, data.len() as i64, "chunk lengths partition the iteration space");
+    }
+}
+
+#[test]
+fn hit_position_histogram_records_sequential_first_hit() {
+    // The committed hit is the sequential first hit, so the hit-position
+    // histogram is a thread-count-independent observation — here pinned
+    // at one worker where the whole schedule is deterministic.
+    let n = 9000usize;
+    let data: Vec<i64> = (0..n as i64).map(|i| (i * 7919) % 10007).collect();
+    let x = data[2 * n / 3];
+    let expect = data.iter().position(|&v| v == x).unwrap() as i64;
+    let (r, t) = traced_search_run(&data, x, 1);
+    assert_eq!(r, expect);
+    let hits = t.histogram("runtime.hit_pos{__chunk_find}").expect("hit recorded");
+    assert_eq!((hits.count, hits.min, hits.max), (1, expect, expect));
+    assert!(t.histogram("runtime.hit_chunk{__chunk_find}").is_some());
+    // And the extraction layer sees it: the persisted profile's median
+    // for this site is the recorded hit's bucket floor.
+    let profile = gr_trace::profile::HitProfile::from_trace(&t);
+    let median = profile.median_hit("__chunk_find").expect("site present");
+    assert!(median > 0 && median <= expect, "median {median} vs hit {expect}");
+}
+
 #[test]
 fn detection_side_event_stream_is_thread_count_invariant() {
     // The detection pipeline (solver, prefix cache, outline) runs on the

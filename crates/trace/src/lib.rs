@@ -36,15 +36,28 @@
 //! - [`instant`] — a single point event with arguments
 //! - [`counter`] / [`counter_keyed`] — summed per worker, merged at finish
 //! - [`counter_max`] — high-water mark (e.g. backtrack depth)
+//! - [`histogram`] / [`histogram_keyed`] — log2-bucketed value
+//!   distributions ([`Histogram`]), merged bucket-wise at finish
+//!
+//! Un-keyed [`counter`] deltas are additionally *attributed* to the span
+//! path open on the recording worker at the moment of the call (e.g.
+//! `detect;idiom;solve`), so a session can be folded into a hierarchical
+//! self/total cost tree after the fact — see [`profile::Attribution`].
 //!
 //! ## Sinks
 //!
 //! - [`Trace::chrome_json`] — Chrome trace-event format (`chrome://tracing`
 //!   or Perfetto); `ts` is the logical sequence number, `tid` the worker
-//!   ordinal.
+//!   ordinal. Worker lanes carry `thread_name` metadata and keyed counters
+//!   render their keys as proper argument objects.
 //! - [`Trace::snapshot`] — a [`MetricsSnapshot`]: the merged counter map
 //!   with a byte-deterministic JSON rendering, folded into
 //!   `BENCH_detection.json` by the bench harness.
+//! - [`profile`] — post-hoc aggregations: span cost attribution
+//!   (collapsed-stack / flamegraph text, self/total trees) and persistent
+//!   per-call-site hit-position profiles ([`profile::HitProfile`]).
+
+pub mod profile;
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -143,11 +156,155 @@ impl Event {
     }
 }
 
+/// A log2-bucketed value distribution with a byte-deterministic merge.
+///
+/// Bucket 0 holds values `<= 0`; bucket `k >= 1` holds values in
+/// `[2^(k-1), 2^k)`. Buckets are stored densely up to the highest one ever
+/// hit, so two histograms over the same samples — regardless of how the
+/// samples were split across workers — merge to identical structs and
+/// render to identical bytes. Recorded via [`histogram`] /
+/// [`histogram_keyed`]; merged across worker buffers at
+/// [`TraceGuard::finish`] into [`Trace::histograms`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: i64,
+    /// Smallest recorded value (`i64::MAX` while empty).
+    pub min: i64,
+    /// Largest recorded value (`i64::MIN` while empty).
+    pub max: i64,
+    /// Dense bucket counts, index 0 up to the highest non-empty bucket.
+    pub buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram (no samples, no buckets).
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram { count: 0, sum: 0, min: i64::MAX, max: i64::MIN, buckets: Vec::new() }
+    }
+
+    /// The bucket index for `value`: 0 for `value <= 0`, else
+    /// `1 + floor(log2(value))`.
+    #[must_use]
+    pub fn bucket_index(value: i64) -> usize {
+        if value <= 0 {
+            0
+        } else {
+            64 - (value as u64).leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive lower bound of bucket `index` (0 for bucket 0, else
+    /// `2^(index-1)`).
+    #[must_use]
+    pub fn bucket_floor(index: usize) -> i64 {
+        if index == 0 {
+            0
+        } else {
+            1i64 << (index - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: i64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let idx = Histogram::bucket_index(value);
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+    }
+
+    /// Merges `other` into `self` bucket-wise. Order-independent: merging
+    /// any partition of the same samples yields the same histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, b) in other.buckets.iter().enumerate() {
+            self.buckets[i] += b;
+        }
+    }
+
+    /// The lower bound of the bucket containing the median sample
+    /// (`None` when empty). An approximation by construction — histograms
+    /// only keep bucket counts — but deterministic, which is what the
+    /// chunk-policy hint consumers need.
+    #[must_use]
+    pub fn median(&self) -> Option<i64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = self.count.div_ceil(2);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return Some(Histogram::bucket_floor(i));
+            }
+        }
+        None
+    }
+
+    /// Renders the histogram as a one-line JSON object
+    /// (`{"count":..,"sum":..,"min":..,"max":..,"buckets":[..]}`).
+    /// Byte-deterministic; empty histograms render min/max as 0.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let (mn, mx) = if self.count == 0 { (0, 0) } else { (self.min, self.max) };
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+            self.count, self.sum, mn, mx
+        );
+        for (i, b) in self.buckets.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{b}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Per-worker span-path state for counter attribution. `path` is the
+/// `';'`-joined names of the spans currently open on this worker; `marks`
+/// remembers the path length before each push so End truncates exactly.
+#[derive(Default)]
+struct AttrState {
+    path: String,
+    marks: Vec<usize>,
+    deltas: BTreeMap<String, BTreeMap<&'static str, i64>>,
+}
+
 struct WorkerBuf {
     worker: u32,
     events: Mutex<Vec<Event>>,
     sums: Mutex<BTreeMap<String, i64>>,
     maxes: Mutex<BTreeMap<String, i64>>,
+    hists: Mutex<BTreeMap<String, Histogram>>,
+    attr: Mutex<AttrState>,
 }
 
 impl WorkerBuf {
@@ -157,6 +314,8 @@ impl WorkerBuf {
             events: Mutex::new(Vec::new()),
             sums: Mutex::new(BTreeMap::new()),
             maxes: Mutex::new(BTreeMap::new()),
+            hists: Mutex::new(BTreeMap::new()),
+            attr: Mutex::new(AttrState::default()),
         }
     }
 }
@@ -204,7 +363,7 @@ impl TraceGuard {
     /// high-water marks maxed).
     pub fn finish(self) -> Trace {
         if cfg!(feature = "off") {
-            return Trace { events: Vec::new(), counters: BTreeMap::new() };
+            return Trace::empty();
         }
         ENABLED.store(false, Ordering::SeqCst);
         let buffers = {
@@ -212,28 +371,59 @@ impl TraceGuard {
             s.next_worker = 0;
             std::mem::take(&mut s.buffers)
         };
-        let mut events = Vec::new();
-        let mut sums: BTreeMap<String, i64> = BTreeMap::new();
-        let mut maxes: BTreeMap<String, i64> = BTreeMap::new();
-        for buf in &buffers {
-            events.extend(plock(&buf.events).drain(..));
-            for (k, v) in plock(&buf.sums).iter() {
-                *sums.entry(k.clone()).or_insert(0) += *v;
-            }
-            for (k, v) in plock(&buf.maxes).iter() {
-                let e = maxes.entry(k.clone()).or_insert(i64::MIN);
-                *e = (*e).max(*v);
-            }
-        }
-        events.sort_by_key(|e| (e.worker, e.seq));
-        let mut counters = sums;
-        for (k, v) in maxes {
-            let e = counters.entry(k).or_insert(i64::MIN);
-            *e = (*e).max(v);
-        }
-        Trace { events, counters }
+        collect(&buffers)
         // the session token drops here, releasing exclusivity
     }
+}
+
+/// Merges worker buffers into a [`Trace`]: events sorted by (worker, seq),
+/// sums added, high-water marks maxed, histograms bucket-merged, span-path
+/// counter attributions summed per (path, counter).
+fn collect(buffers: &[Arc<WorkerBuf>]) -> Trace {
+    let mut events = Vec::new();
+    let mut sums: BTreeMap<String, i64> = BTreeMap::new();
+    let mut maxes: BTreeMap<String, i64> = BTreeMap::new();
+    let mut histograms: BTreeMap<String, Histogram> = BTreeMap::new();
+    let mut attributed: BTreeMap<String, BTreeMap<String, i64>> = BTreeMap::new();
+    for buf in buffers {
+        events.extend(plock(&buf.events).iter().cloned());
+        for (k, v) in plock(&buf.sums).iter() {
+            *sums.entry(k.clone()).or_insert(0) += *v;
+        }
+        for (k, v) in plock(&buf.maxes).iter() {
+            let e = maxes.entry(k.clone()).or_insert(i64::MIN);
+            *e = (*e).max(*v);
+        }
+        for (k, h) in plock(&buf.hists).iter() {
+            histograms.entry(k.clone()).or_default().merge(h);
+        }
+        for (path, per) in plock(&buf.attr).deltas.iter() {
+            let slot = attributed.entry(path.clone()).or_default();
+            for (c, v) in per {
+                *slot.entry((*c).to_string()).or_insert(0) += *v;
+            }
+        }
+    }
+    events.sort_by_key(|e| (e.worker, e.seq));
+    let mut counters = sums;
+    for (k, v) in maxes {
+        let e = counters.entry(k).or_insert(i64::MIN);
+        *e = (*e).max(v);
+    }
+    Trace { events, counters, histograms, attributed }
+}
+
+/// Clones the state of the *live* session into a [`Trace`] without ending
+/// it — `None` when no session is recording (or under the `off` feature).
+/// Used by failure paths (e.g. fuzz repro artifacts) that want to dump the
+/// event stream leading up to a mismatch while the session keeps running.
+#[must_use]
+pub fn live_snapshot() -> Option<Trace> {
+    if !enabled() {
+        return None;
+    }
+    let buffers: Vec<Arc<WorkerBuf>> = plock(&SESSION).buffers.clone();
+    Some(collect(&buffers))
 }
 
 impl Drop for TraceGuard {
@@ -309,6 +499,12 @@ impl Drop for Span {
         if let Some(name) = self.name {
             if enabled() {
                 emit(name, Phase::End, Vec::new());
+                if let Some(buf) = current_buf() {
+                    let mut attr = plock(&buf.attr);
+                    if let Some(mark) = attr.marks.pop() {
+                        attr.path.truncate(mark);
+                    }
+                }
             }
         }
     }
@@ -327,6 +523,15 @@ pub fn span_with(name: &'static str, args: Vec<(&'static str, ArgVal)>) -> Span 
         return Span { name: None };
     }
     emit(name, Phase::Begin, args);
+    if let Some(buf) = current_buf() {
+        let mut attr = plock(&buf.attr);
+        let mark = attr.path.len();
+        attr.marks.push(mark);
+        if !attr.path.is_empty() {
+            attr.path.push(';');
+        }
+        attr.path.push_str(name);
+    }
     Span { name: Some(name) }
 }
 
@@ -339,13 +544,22 @@ pub fn instant(name: &'static str, args: Vec<(&'static str, ArgVal)>) {
 }
 
 /// Adds `delta` to the summed counter `name` on the current worker.
-/// Totals are merged across workers at [`TraceGuard::finish`].
+/// Totals are merged across workers at [`TraceGuard::finish`]. The delta
+/// is also attributed to the worker's currently-open span path (see
+/// [`Trace::attributed`]), so attribution totals reconcile exactly with
+/// the flat counter by construction.
 pub fn counter(name: &'static str, delta: i64) {
     if !enabled() {
         return;
     }
     if let Some(buf) = current_buf() {
         *plock(&buf.sums).entry(name.to_string()).or_insert(0) += delta;
+        let state = &mut *plock(&buf.attr);
+        if !state.deltas.contains_key(state.path.as_str()) {
+            state.deltas.insert(state.path.clone(), BTreeMap::new());
+        }
+        let per = state.deltas.get_mut(state.path.as_str()).expect("path slot just ensured");
+        *per.entry(name).or_insert(0) += delta;
     }
 }
 
@@ -374,6 +588,31 @@ pub fn counter_max(name: &'static str, value: i64) {
     }
 }
 
+/// Records one sample into the log2-bucketed histogram `name` on the
+/// current worker. Histograms are merged bucket-wise across workers at
+/// [`TraceGuard::finish`], so the merged result is byte-deterministic for
+/// a deterministic sample multiset regardless of worker interleaving.
+pub fn histogram(name: &'static str, value: i64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(buf) = current_buf() {
+        plock(&buf.hists).entry(name.to_string()).or_default().record(value);
+    }
+}
+
+/// Records one sample into the keyed histogram `name{key}` — e.g.
+/// `histogram_keyed("runtime.hit_pos", "find_first", 3000)` records under
+/// `runtime.hit_pos{find_first}`.
+pub fn histogram_keyed(name: &'static str, key: &str, value: i64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(buf) = current_buf() {
+        plock(&buf.hists).entry(format!("{name}{{{key}}}")).or_default().record(value);
+    }
+}
+
 /// The result of a trace session: the ordered event stream plus the merged
 /// counter map.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -383,9 +622,32 @@ pub struct Trace {
     /// Merged counters: summed counters added across workers, high-water
     /// marks maxed. Keyed counters appear as `name{key}`.
     pub counters: BTreeMap<String, i64>,
+    /// Merged histograms, keyed like counters (`name` or `name{key}`).
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Span-path attribution of un-keyed counter deltas: outer key is the
+    /// `';'`-joined span path open at record time (`""` = outside any
+    /// span), inner map is counter name → summed delta. For every counter,
+    /// the inner values sum to the flat total in [`Trace::counters`].
+    pub attributed: BTreeMap<String, BTreeMap<String, i64>>,
 }
 
 impl Trace {
+    /// An empty trace (what a session under the `off` feature yields).
+    #[must_use]
+    pub fn empty() -> Trace {
+        Trace {
+            events: Vec::new(),
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            attributed: BTreeMap::new(),
+        }
+    }
+
+    /// The merged histogram `name`, if any samples were recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
     /// The merged value of counter `name` (0 if never recorded).
     #[must_use]
     pub fn counter(&self, name: &str) -> i64 {
@@ -416,13 +678,37 @@ impl Trace {
 
     /// Renders the trace in Chrome trace-event format. `ts` is the logical
     /// per-worker sequence number, `tid` the worker ordinal, `pid` always 1.
-    /// Merged counters are appended as `"C"` (counter) events after the
-    /// last span. The output is deterministic for a deterministic stream.
+    /// The stream opens with `"M"` metadata events (`process_name`, one
+    /// `thread_name` per worker lane) so Perfetto labels the lanes. Merged
+    /// counters are appended as `"C"` (counter) events after the last
+    /// span; keyed counters (`name{key}`) are grouped per base name into
+    /// one counter event whose args object maps each key to its value.
+    /// The output is deterministic for a deterministic stream.
     #[must_use]
     pub fn chrome_json(&self) -> String {
         let mut out = String::from("{\"traceEvents\":[");
-        let mut first = true;
         let mut max_seq = 0u64;
+        // Metadata: label the process and every worker lane.
+        let mut workers: Vec<u32> = self.events.iter().map(|e| e.worker).collect();
+        workers.sort_unstable();
+        workers.dedup();
+        if workers.is_empty() {
+            workers.push(0);
+        }
+        out.push_str(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"greduce\"}}",
+        );
+        let mut first = false;
+        for w in &workers {
+            let label =
+                if *w == 0 { format!("worker-{w} (opener)") } else { format!("worker-{w}") };
+            let _ = write!(
+                out,
+                ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":{}}}}}",
+                w,
+                json_str(&label)
+            );
+        }
         for ev in &self.events {
             if !first {
                 out.push(',');
@@ -458,7 +744,22 @@ impl Trace {
             }
             out.push('}');
         }
-        for (i, (name, value)) in self.counters.iter().enumerate() {
+        // Counter events: plain counters as {"value": v}; keyed counters
+        // grouped per base name so each key becomes a series in one track.
+        let mut plain: Vec<(&str, i64)> = Vec::new();
+        let mut keyed: BTreeMap<&str, Vec<(&str, i64)>> = BTreeMap::new();
+        for (name, value) in &self.counters {
+            match name.find('{') {
+                Some(open) if name.ends_with('}') => {
+                    let base = &name[..open];
+                    let key = &name[open + 1..name.len() - 1];
+                    keyed.entry(base).or_default().push((key, *value));
+                }
+                _ => plain.push((name, *value)),
+            }
+        }
+        let mut ts = max_seq + 1;
+        for (name, value) in plain {
             if !first {
                 out.push(',');
             }
@@ -467,9 +768,30 @@ impl Trace {
                 out,
                 "{{\"name\":{},\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":0,\"args\":{{\"value\":{}}}}}",
                 json_str(name),
-                max_seq + 1 + i as u64,
+                ts,
                 value
             );
+            ts += 1;
+        }
+        for (base, entries) in keyed {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":{},\"ph\":\"C\",\"ts\":{},\"pid\":1,\"tid\":0,\"args\":{{",
+                json_str(base),
+                ts
+            );
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}:{}", json_str(key), value);
+            }
+            out.push_str("}}");
+            ts += 1;
         }
         out.push_str("],\"displayTimeUnit\":\"ms\"}");
         out
@@ -533,7 +855,32 @@ pub fn json_str(s: &str) -> String {
     out
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "off"))]
+mod off_tests {
+    use super::*;
+
+    #[test]
+    fn everything_is_compiled_away() {
+        assert!(!enabled());
+        let guard = start();
+        assert!(!enabled());
+        counter("x", 1);
+        counter_keyed("x", "k", 1);
+        counter_max("x.max", 9);
+        histogram("h", 3);
+        histogram_keyed("h", "k", 3);
+        instant("i", Vec::new());
+        let _s = span("s");
+        assert!(live_snapshot().is_none());
+        let t = guard.finish();
+        assert!(t.events.is_empty());
+        assert!(t.counters.is_empty());
+        assert!(t.histograms.is_empty());
+        assert!(t.attributed.is_empty());
+    }
+}
+
+#[cfg(all(test, not(feature = "off")))]
 mod tests {
     use super::*;
 
@@ -670,6 +1017,166 @@ mod tests {
         assert!(a.chrome_json().contains("\"traceEvents\""));
         assert!(a.chrome_json().contains("\"ph\":\"C\""));
         assert!(a.snapshot().render_json().contains("gr-trace/metrics/v1"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_index(-5), 0);
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(i64::MAX), 63);
+        assert_eq!(Histogram::bucket_floor(0), 0);
+        assert_eq!(Histogram::bucket_floor(1), 1);
+        assert_eq!(Histogram::bucket_floor(11), 1024);
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 110);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 100);
+        assert_eq!(h.buckets, vec![1, 1, 2, 1, 0, 0, 0, 1]);
+        assert_eq!(h.median(), Some(2));
+        assert_eq!(
+            h.render_json(),
+            "{\"count\":6,\"sum\":110,\"min\":0,\"max\":100,\"buckets\":[1,1,2,1,0,0,0,1]}"
+        );
+    }
+
+    #[test]
+    fn histogram_merge_is_partition_independent() {
+        let samples = [5i64, 1, 17, 0, 64, 3, 3, 900, 2];
+        let mut whole = Histogram::new();
+        for v in samples {
+            whole.record(v);
+        }
+        for split in 0..=samples.len() {
+            let mut a = Histogram::new();
+            let mut b = Histogram::new();
+            for v in &samples[..split] {
+                a.record(*v);
+            }
+            for v in &samples[split..] {
+                b.record(*v);
+            }
+            a.merge(&b);
+            assert_eq!(a, whole, "split at {split}");
+            assert_eq!(a.render_json(), whole.render_json());
+        }
+        // Merging an empty histogram is the identity.
+        let before = whole.clone();
+        whole.merge(&Histogram::new());
+        assert_eq!(whole, before);
+    }
+
+    #[test]
+    fn histograms_merge_across_workers_deterministically() {
+        let run = || {
+            let guard = start();
+            histogram("h", 7);
+            histogram_keyed("h.by", "site", 2);
+            std::thread::scope(|s| {
+                for t in 0..4 {
+                    s.spawn(move || {
+                        histogram("h", t * 10);
+                        histogram_keyed("h.by", "site", t);
+                    });
+                }
+            });
+            guard.finish()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.histograms, b.histograms);
+        let h = a.histogram("h").expect("recorded");
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 7 + 10 + 20 + 30);
+        let by = a.histogram("h.by{site}").expect("keyed recorded");
+        assert_eq!(by.count, 5);
+        assert_eq!(
+            by.render_json(),
+            b.histogram("h.by{site}").expect("keyed recorded").render_json()
+        );
+    }
+
+    #[test]
+    fn counters_attribute_to_the_open_span_path() {
+        let guard = start();
+        counter("solver.steps", 1); // root, before any span
+        {
+            let _d = span("detect");
+            counter("solver.steps", 10);
+            {
+                let _s = span("solve");
+                counter("solver.steps", 100);
+            }
+            {
+                let _e = span("extend");
+                counter("solver.steps", 1000);
+                counter("other", 5);
+            }
+            counter("solver.steps", 10000); // back at detect after children
+        }
+        counter("solver.steps", 100000); // root again
+        let trace = guard.finish();
+        assert_eq!(trace.counter("solver.steps"), 111111);
+        let at = |path: &str| trace.attributed.get(path).and_then(|m| m.get("solver.steps"));
+        assert_eq!(at(""), Some(&100001));
+        assert_eq!(at("detect"), Some(&10010));
+        assert_eq!(at("detect;solve"), Some(&100));
+        assert_eq!(at("detect;extend"), Some(&1000));
+        assert_eq!(trace.attributed["detect;extend"]["other"], 5);
+        // Attribution reconciles exactly with the flat counter.
+        let total: i64 = trace.attributed.values().filter_map(|m| m.get("solver.steps")).sum();
+        assert_eq!(total, trace.counter("solver.steps"));
+    }
+
+    #[test]
+    fn live_snapshot_observes_without_ending_the_session() {
+        let guard = start();
+        counter("c", 3);
+        histogram("h", 4);
+        let snap = live_snapshot().expect("session active");
+        assert_eq!(snap.counter("c"), 3);
+        assert_eq!(snap.histogram("h").map(|h| h.count), Some(1));
+        assert!(enabled(), "snapshot must not stop recording");
+        counter("c", 4);
+        let trace = guard.finish();
+        assert_eq!(trace.counter("c"), 7);
+        assert!(live_snapshot().is_none(), "no session after finish");
+    }
+
+    #[test]
+    fn chrome_json_labels_lanes_and_groups_keyed_counters() {
+        let guard = start();
+        {
+            let _s = span("solve");
+            counter("solver.steps", 2);
+            counter_keyed("solver.prunes", "Dominates", 3);
+            counter_keyed("solver.prunes", "ReadsBefore", 4);
+        }
+        std::thread::scope(|s| {
+            s.spawn(|| instant("worker.tick", Vec::new()));
+        });
+        let trace = guard.finish();
+        let json = trace.chrome_json();
+        assert_structurally_valid_json(&json);
+        assert!(json.contains("\"name\":\"process_name\",\"ph\":\"M\""));
+        assert!(json.contains("\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0"));
+        assert!(json.contains("\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1"));
+        assert!(json.contains("worker-0 (opener)"));
+        // Keyed counters render as one C event with per-key args, not as
+        // literal "name{key}" counter names.
+        assert!(json.contains(
+            "\"name\":\"solver.prunes\",\"ph\":\"C\",\"ts\":4,\"pid\":1,\"tid\":0,\"args\":{\"Dominates\":3,\"ReadsBefore\":4}"
+        ));
+        assert!(!json.contains("solver.prunes{"));
     }
 
     #[test]

@@ -1,0 +1,582 @@
+//! Post-hoc profiling aggregations over a collected [`Trace`].
+//!
+//! Two consumers-facing views live here:
+//!
+//! - [`Attribution`] folds the span-path counter attribution recorded
+//!   during a session (see [`Trace::attributed`]) into a hierarchical
+//!   self/total cost tree, with a collapsed-stack text sink that standard
+//!   flamegraph tooling consumes directly and byte-deterministic JSON /
+//!   text renderings. Because attribution happens at counter-emit time,
+//!   tree totals reconcile *exactly* with the flat counters — there is no
+//!   sampling and no drift.
+//! - [`HitProfile`] extracts the per-call-site hit-position histograms the
+//!   speculative runtime records (`runtime.hit_pos{site}`) into a
+//!   standalone, deterministically-serialized profile file. `ChunkPolicy`
+//!   consumes it read-only today (the ramp stays static); it is the data
+//!   contract a future adaptive-scheduling change flips on.
+//!
+//! Everything here is plain data folding — no sessions, no globals — so it
+//! works the same on a [`TraceGuard::finish`](crate::TraceGuard::finish)
+//! result and on a [`live_snapshot`](crate::live_snapshot).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::{json_str, Histogram, Trace};
+
+/// Display name for the empty span path (counters recorded outside any
+/// span).
+pub const ROOT_FRAME: &str = "(root)";
+
+/// A hierarchical self/total view of span-attributed counter deltas.
+///
+/// Built from [`Trace::attributed`]; paths are `';'`-joined span names
+/// with `""` meaning "outside any span". For every counter, the sum of
+/// self values across all paths equals the flat counter total in
+/// [`Trace::counters`] — the attribution is exact, not sampled.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Attribution {
+    /// Self deltas: span path → counter name → summed delta.
+    pub paths: BTreeMap<String, BTreeMap<String, i64>>,
+}
+
+/// One node of the rendered attribution tree (see
+/// [`Attribution::tree`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrNode {
+    /// Span name of this node ([`ROOT_FRAME`] at the root).
+    pub name: String,
+    /// Counter delta recorded directly at this path.
+    pub self_value: i64,
+    /// Self plus all descendants.
+    pub total: i64,
+    /// Child nodes, ordered by first appearance in path order.
+    pub children: Vec<AttrNode>,
+}
+
+impl Attribution {
+    /// Extracts the attribution recorded in `trace`.
+    #[must_use]
+    pub fn from_trace(trace: &Trace) -> Attribution {
+        Attribution { paths: trace.attributed.clone() }
+    }
+
+    /// All counter names that have attributed deltas, in sorted order.
+    #[must_use]
+    pub fn counters(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.paths.values().flat_map(|m| m.keys().cloned()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// The summed self value of `counter` across all paths — equal to the
+    /// flat [`Trace::counters`] total by construction.
+    #[must_use]
+    pub fn total(&self, counter: &str) -> i64 {
+        self.paths.values().filter_map(|m| m.get(counter)).sum()
+    }
+
+    /// Renders `counter` in collapsed-stack format: one
+    /// `frame;frame;... value` line per path with a non-zero self value,
+    /// sorted by path. Pipe into `flamegraph.pl` (or any FlameGraph-format
+    /// consumer) as-is. Byte-deterministic.
+    #[must_use]
+    pub fn collapsed(&self, counter: &str) -> String {
+        let mut out = String::new();
+        for (path, per) in &self.paths {
+            let Some(v) = per.get(counter) else { continue };
+            if *v == 0 {
+                continue;
+            }
+            if path.is_empty() {
+                let _ = writeln!(out, "{ROOT_FRAME} {v}");
+            } else {
+                let _ = writeln!(out, "{ROOT_FRAME};{path} {v}");
+            }
+        }
+        out
+    }
+
+    /// Builds the self/total tree for `counter`, rooted at
+    /// [`ROOT_FRAME`]. Intermediate paths that never recorded a delta
+    /// themselves still appear (with `self_value == 0`) when a descendant
+    /// did.
+    #[must_use]
+    pub fn tree(&self, counter: &str) -> AttrNode {
+        let mut root = AttrNode {
+            name: ROOT_FRAME.to_string(),
+            self_value: 0,
+            total: 0,
+            children: Vec::new(),
+        };
+        for (path, per) in &self.paths {
+            let Some(v) = per.get(counter) else { continue };
+            let mut node = &mut root;
+            if !path.is_empty() {
+                for frame in path.split(';') {
+                    let pos = match node.children.iter().position(|c| c.name == frame) {
+                        Some(p) => p,
+                        None => {
+                            node.children.push(AttrNode {
+                                name: frame.to_string(),
+                                self_value: 0,
+                                total: 0,
+                                children: Vec::new(),
+                            });
+                            node.children.len() - 1
+                        }
+                    };
+                    node = &mut node.children[pos];
+                }
+            }
+            node.self_value += v;
+        }
+        fn fill_totals(node: &mut AttrNode) -> i64 {
+            let mut total = node.self_value;
+            for c in &mut node.children {
+                total += fill_totals(c);
+            }
+            node.total = total;
+            total
+        }
+        fill_totals(&mut root);
+        root
+    }
+
+    /// Renders the `counter` tree as indented human-readable text
+    /// (`total  self  name` per line). Byte-deterministic.
+    #[must_use]
+    pub fn render_text(&self, counter: &str) -> String {
+        let tree = self.tree(counter);
+        let mut out = String::new();
+        let _ = writeln!(out, "{counter}: total {}", tree.total);
+        fn walk(node: &AttrNode, depth: usize, out: &mut String) {
+            let _ = writeln!(
+                out,
+                "{:>10} {:>10}  {}{}",
+                node.total,
+                node.self_value,
+                "  ".repeat(depth),
+                node.name
+            );
+            for c in &node.children {
+                walk(c, depth + 1, out);
+            }
+        }
+        walk(&tree, 0, &mut out);
+        out
+    }
+
+    /// Renders the full attribution (every path, every counter) as
+    /// byte-deterministic JSON. Paths are prefixed with [`ROOT_FRAME`].
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"gr-trace/attribution/v1\",\n  \"paths\": {");
+        for (i, (path, per)) in self.paths.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let shown = if path.is_empty() {
+                ROOT_FRAME.to_string()
+            } else {
+                format!("{ROOT_FRAME};{path}")
+            };
+            let _ = write!(out, "\n    {}: {{", json_str(&shown));
+            for (j, (counter, v)) in per.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}: {}", json_str(counter), v);
+            }
+            out.push('}');
+        }
+        if !self.paths.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+}
+
+/// Histogram-key prefix under which the speculative runtime records hit
+/// positions (`runtime.hit_pos{<call site>}`).
+pub const HIT_POS_PREFIX: &str = "runtime.hit_pos{";
+
+/// Per-call-site hit-position profile, extracted from the
+/// `runtime.hit_pos{site}` histograms a traced run records.
+///
+/// Serialized deterministically via [`HitProfile::render_json`] and read
+/// back with [`HitProfile::parse_json`], so a profile file produced by one
+/// run can seed `ChunkPolicy::expected_hit` hints in a later one. This
+/// release only defines the contract and a read-only consumer — the chunk
+/// ramp stays static.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HitProfile {
+    /// Call site (the outlined chunk-function name with its run-varying
+    /// gensym suffix stripped, e.g. `__chunk_find`) → hit-position
+    /// histogram.
+    pub sites: BTreeMap<String, Histogram>,
+}
+
+impl HitProfile {
+    /// Collects every `runtime.hit_pos{site}` histogram from `trace`.
+    #[must_use]
+    pub fn from_trace(trace: &Trace) -> HitProfile {
+        let mut sites = BTreeMap::new();
+        for (name, h) in &trace.histograms {
+            if let Some(rest) = name.strip_prefix(HIT_POS_PREFIX) {
+                if let Some(site) = rest.strip_suffix('}') {
+                    sites.insert(site.to_string(), h.clone());
+                }
+            }
+        }
+        HitProfile { sites }
+    }
+
+    /// The approximate median hit position for `site` (bucket lower
+    /// bound), if the profile has samples for it.
+    #[must_use]
+    pub fn median_hit(&self, site: &str) -> Option<i64> {
+        self.sites.get(site).and_then(Histogram::median)
+    }
+
+    /// Renders the profile as byte-deterministic JSON
+    /// (schema `gr-trace/hit-profile/v1`).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"schema\": \"gr-trace/hit-profile/v1\",\n  \"sites\": {");
+        for (i, (site, h)) in self.sites.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    {}: {}", json_str(site), h.render_json());
+        }
+        if !self.sites.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses a profile previously written by [`HitProfile::render_json`].
+    /// Returns `None` on malformed input or a wrong schema tag. Tolerates
+    /// whitespace variations; numbers must be integers.
+    #[must_use]
+    pub fn parse_json(input: &str) -> Option<HitProfile> {
+        let doc = JsonVal::parse(input)?;
+        let top = doc.as_obj()?;
+        let schema = lookup(top, "schema")?.as_str()?;
+        if schema != "gr-trace/hit-profile/v1" {
+            return None;
+        }
+        let mut sites = BTreeMap::new();
+        for (site, val) in lookup(top, "sites")?.as_obj()? {
+            let o = val.as_obj()?;
+            let buckets_val = lookup(o, "buckets")?.as_arr()?;
+            let mut buckets = Vec::with_capacity(buckets_val.len());
+            for b in buckets_val {
+                buckets.push(u64::try_from(b.as_int()?).ok()?);
+            }
+            let count = u64::try_from(lookup(o, "count")?.as_int()?).ok()?;
+            let (min, max) = if count == 0 {
+                (i64::MAX, i64::MIN)
+            } else {
+                (lookup(o, "min")?.as_int()?, lookup(o, "max")?.as_int()?)
+            };
+            sites.insert(
+                site.clone(),
+                Histogram { count, sum: lookup(o, "sum")?.as_int()?, min, max, buckets },
+            );
+        }
+        Some(HitProfile { sites })
+    }
+}
+
+fn lookup<'a>(obj: &'a [(String, JsonVal)], key: &str) -> Option<&'a JsonVal> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Minimal integer-only JSON value, just enough to round-trip the files
+/// this module writes (objects, arrays, strings, i64 numbers).
+enum JsonVal {
+    Int(i64),
+    Str(String),
+    Arr(Vec<JsonVal>),
+    Obj(Vec<(String, JsonVal)>),
+}
+
+impl JsonVal {
+    fn parse(input: &str) -> Option<JsonVal> {
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos == bytes.len() {
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    fn as_int(&self) -> Option<i64> {
+        match self {
+            JsonVal::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonVal::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[JsonVal]> {
+        match self {
+            JsonVal::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    fn as_obj(&self) -> Option<&[(String, JsonVal)]> {
+        match self {
+            JsonVal::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Option<JsonVal> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos)? {
+        b'{' => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Some(JsonVal::Obj(entries));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return None;
+                }
+                *pos += 1;
+                entries.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos)? {
+                    b',' => *pos += 1,
+                    b'}' => {
+                        *pos += 1;
+                        return Some(JsonVal::Obj(entries));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Some(JsonVal::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos)? {
+                    b',' => *pos += 1,
+                    b']' => {
+                        *pos += 1;
+                        return Some(JsonVal::Arr(items));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'"' => parse_string(bytes, pos).map(JsonVal::Str),
+        _ => {
+            let start = *pos;
+            if bytes.get(*pos) == Some(&b'-') {
+                *pos += 1;
+            }
+            while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+                *pos += 1;
+            }
+            if *pos == start || (*pos == start + 1 && bytes[start] == b'-') {
+                return None;
+            }
+            std::str::from_utf8(&bytes[start..*pos]).ok()?.parse().ok().map(JsonVal::Int)
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Option<String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return None;
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    loop {
+        match bytes.get(*pos)? {
+            b'"' => {
+                *pos += 1;
+                return String::from_utf8(out).ok();
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos)? {
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    b'n' => out.push(b'\n'),
+                    b'r' => out.push(b'\r'),
+                    b't' => out.push(b'\t'),
+                    b'u' => {
+                        let hex = bytes.get(*pos + 1..*pos + 5)?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                        let c = char::from_u32(code)?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        *pos += 4;
+                    }
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            b => {
+                out.push(*b);
+                *pos += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_attribution() -> Attribution {
+        let mut paths: BTreeMap<String, BTreeMap<String, i64>> = BTreeMap::new();
+        let mut put = |path: &str, counter: &str, v: i64| {
+            paths.entry(path.to_string()).or_default().insert(counter.to_string(), v);
+        };
+        put("", "solver.steps", 2);
+        put("detect", "solver.steps", 10);
+        put("detect;idiom;solve", "solver.steps", 100);
+        put("detect;idiom;extend", "solver.steps", 1000);
+        put("detect;idiom;extend", "solver.candidates", 7);
+        Attribution { paths }
+    }
+
+    #[test]
+    fn totals_and_counters() {
+        let a = sample_attribution();
+        assert_eq!(a.total("solver.steps"), 1112);
+        assert_eq!(a.total("solver.candidates"), 7);
+        assert_eq!(a.total("missing"), 0);
+        assert_eq!(a.counters(), vec!["solver.candidates", "solver.steps"]);
+    }
+
+    #[test]
+    fn collapsed_stack_is_flamegraph_shaped_and_deterministic() {
+        let a = sample_attribution();
+        let c = a.collapsed("solver.steps");
+        assert_eq!(
+            c,
+            "(root) 2\n\
+             (root);detect 10\n\
+             (root);detect;idiom;extend 1000\n\
+             (root);detect;idiom;solve 100\n"
+        );
+        assert_eq!(c, a.collapsed("solver.steps"), "re-render is byte-equal");
+        // Zero-valued and absent counters produce no lines.
+        assert_eq!(a.collapsed("missing"), "");
+    }
+
+    #[test]
+    fn tree_fills_intermediate_nodes_and_totals() {
+        let a = sample_attribution();
+        let t = a.tree("solver.steps");
+        assert_eq!(t.name, ROOT_FRAME);
+        assert_eq!(t.self_value, 2);
+        assert_eq!(t.total, 1112);
+        let detect = &t.children[0];
+        assert_eq!(detect.name, "detect");
+        assert_eq!(detect.self_value, 10);
+        assert_eq!(detect.total, 1110);
+        let idiom = &detect.children[0];
+        assert_eq!(idiom.name, "idiom");
+        assert_eq!(idiom.self_value, 0, "intermediate node synthesized");
+        assert_eq!(idiom.total, 1100);
+        assert_eq!(idiom.children.len(), 2);
+        let text = a.render_text("solver.steps");
+        assert!(text.starts_with("solver.steps: total 1112\n"));
+        assert_eq!(text, a.render_text("solver.steps"));
+        let json = a.render_json();
+        assert!(json.contains("\"schema\": \"gr-trace/attribution/v1\""));
+        assert!(json.contains("\"(root);detect;idiom;solve\": {\"solver.steps\": 100}"));
+        assert_eq!(json, a.render_json());
+    }
+
+    #[test]
+    fn hit_profile_round_trips_byte_exactly() {
+        let mut p = HitProfile::default();
+        let mut h = Histogram::new();
+        for v in [3000i64, 2999, 3001, 0] {
+            h.record(v);
+        }
+        p.sites.insert("find_first".to_string(), h);
+        p.sites.insert("empty \"site\"".to_string(), Histogram::new());
+        let json = p.render_json();
+        let back = HitProfile::parse_json(&json).expect("round trip");
+        assert_eq!(back, p);
+        assert_eq!(back.render_json(), json, "render-parse-render is byte-stable");
+        assert_eq!(p.median_hit("find_first"), Some(2048));
+        assert_eq!(p.median_hit("empty \"site\""), None);
+        assert_eq!(p.median_hit("absent"), None);
+    }
+
+    #[test]
+    fn hit_profile_parse_rejects_malformed_input() {
+        assert!(HitProfile::parse_json("").is_none());
+        assert!(HitProfile::parse_json("{}").is_none());
+        assert!(HitProfile::parse_json("{\"schema\": \"other/v1\", \"sites\": {}}").is_none());
+        assert!(HitProfile::parse_json("{\"schema\": \"gr-trace/hit-profile/v1\"").is_none());
+        let ok =
+            HitProfile::parse_json("{ \"schema\": \"gr-trace/hit-profile/v1\", \"sites\": {} }");
+        assert_eq!(ok, Some(HitProfile::default()));
+    }
+
+    #[cfg(not(feature = "off"))]
+    #[test]
+    fn from_trace_extracts_hit_sites_and_attribution() {
+        let guard = crate::start();
+        {
+            let _d = crate::span("detect");
+            crate::counter("solver.steps", 5);
+        }
+        crate::histogram_keyed("runtime.hit_pos", "find_first", 3000);
+        crate::histogram_keyed("runtime.hit_pos", "any_of", 12);
+        crate::histogram_keyed("runtime.chunk_len", "find_first", 64);
+        let trace = guard.finish();
+        let p = HitProfile::from_trace(&trace);
+        assert_eq!(p.sites.len(), 2, "only hit_pos histograms are profile sites");
+        assert_eq!(p.sites["find_first"].sum, 3000);
+        assert_eq!(p.sites["any_of"].count, 1);
+        let a = Attribution::from_trace(&trace);
+        assert_eq!(a.total("solver.steps"), trace.counter("solver.steps"));
+        assert_eq!(a.collapsed("solver.steps"), "(root);detect 5\n");
+    }
+}
