@@ -19,8 +19,8 @@
 //! intended spec growth) instead of checking against it.
 
 use gr_bench::stats::{
-    corpus, measure_error_counters, measure_profile, measure_runtime_counters, measure_suite_stats,
-    render_json,
+    corpus, measure_error_counters, measure_profile, measure_runtime_counters,
+    measure_server_throughput, measure_suite_stats, render_json,
 };
 
 /// Extracts `"solver_steps": N` from the `"total"` object of a
@@ -202,7 +202,9 @@ fn diff_report(baseline: &str, current: &str) -> (String, Vec<String>) {
     // the failure-ledger counters (`errors`: GR001…) ride the same >20%
     // budget: the fixed workloads and fault probes are deterministic, so
     // any increase is a real behavior change, not noise.
-    for (prefix, label) in [("runtime", "\"runtime\":"), ("errors", "\"errors\":")] {
+    for (prefix, label) in
+        [("runtime", "\"runtime\":"), ("errors", "\"errors\":"), ("server", "\"server\":")]
+    {
         let base_rows = counter_block(baseline, label);
         let cur_rows = counter_block(current, label);
         for (name, base) in &base_rows {
@@ -331,6 +333,24 @@ fn main() {
     let rows: Vec<_> = corpus().into_iter().map(measure_suite_stats).collect();
     let runtime = measure_runtime_counters();
     let errors = measure_error_counters();
+    // The serving corpus size is fixed (not `GR_CORPUS_FUNCS`): the
+    // baseline diff needs the same corpus on every machine.
+    let server = measure_server_throughput(
+        gr_benchsuite::fuzz::CORPUS_SEED,
+        gr_benchsuite::fuzz::CORPUS_FUNCTIONS,
+    );
+    println!(
+        "serving throughput ({} fns): cold {:.0} fn/s ({} steps, p50 {} p99 {}), \
+         warm {:.0} fn/s ({} steps, {}‰ hits)",
+        server.corpus_functions,
+        server.cold_functions_per_sec(),
+        server.cold_steps,
+        server.p50_steps,
+        server.p99_steps,
+        server.warm_functions_per_sec(),
+        server.warm_steps,
+        server.warm_hit_permil,
+    );
     let profile = measure_profile();
     // The attribution is exact by construction; a mismatch with the legacy
     // SolveStats ledger means an instrumentation bug, so it hard-fails the
@@ -342,7 +362,7 @@ fn main() {
         );
         std::process::exit(1);
     }
-    let json = render_json(&rows, &runtime, &errors, &profile.histograms, quick);
+    let json = render_json(&rows, &runtime, &errors, &server, &profile.histograms, quick);
     match std::fs::write(out_path, &json) {
         Ok(()) => println!("wrote {out_path}"),
         Err(e) => {

@@ -336,15 +336,119 @@ pub mod stats {
         }
     }
 
+    /// Detection-serving throughput over the synthetic corpus
+    /// ([`gr_benchsuite::fuzz::synthetic_corpus`]): a cold batch through
+    /// [`gr_server::DetectionServer`] followed by a warm re-submission of
+    /// the identical corpus against the populated report cache.
+    ///
+    /// Every gated field is denominated in deterministic solver steps or
+    /// exact counts — the latency percentiles are step percentiles, not
+    /// wall time. Wall clock (functions/sec) is carried alongside for
+    /// human consumption but never enters the baseline diff.
+    #[derive(Debug, Clone)]
+    pub struct ServerStats {
+        /// Corpus functions submitted per batch.
+        pub corpus_functions: usize,
+        /// Distinct structural fingerprints across the corpus (the
+        /// alpha-renamed twins collapse).
+        pub distinct_fingerprints: usize,
+        /// Total solver steps of the cold batch.
+        pub cold_steps: usize,
+        /// Total solver steps of the warm re-submission (zero when every
+        /// unchanged function is served from the cache).
+        pub warm_steps: usize,
+        /// Warm-batch cache hits, permil of the corpus.
+        pub warm_hit_permil: usize,
+        /// Cold-batch cache hits, permil (zero on an empty cache).
+        pub cold_hit_permil: usize,
+        /// Reductions reported by the cold batch (the warm batch must
+        /// reproduce the same reports).
+        pub reductions: usize,
+        /// Median per-function solver-step latency of the cold batch.
+        pub p50_steps: usize,
+        /// 99th-percentile per-function solver-step latency, cold.
+        pub p99_steps: usize,
+        /// Wall time of the cold batch, milliseconds (reported, ungated).
+        pub cold_wall_ms: f64,
+        /// Wall time of the warm batch, milliseconds (reported, ungated).
+        pub warm_wall_ms: f64,
+    }
+
+    impl ServerStats {
+        /// Cold-batch throughput in functions per second (wall clock —
+        /// for the console report, never the baseline).
+        #[must_use]
+        pub fn cold_functions_per_sec(&self) -> f64 {
+            #[allow(clippy::cast_precision_loss)]
+            let f = self.corpus_functions as f64;
+            f / (self.cold_wall_ms / 1e3).max(1e-9)
+        }
+
+        /// Warm-batch throughput in functions per second.
+        #[must_use]
+        pub fn warm_functions_per_sec(&self) -> f64 {
+            #[allow(clippy::cast_precision_loss)]
+            let f = self.corpus_functions as f64;
+            f / (self.warm_wall_ms / 1e3).max(1e-9)
+        }
+    }
+
+    /// Runs the serving throughput measurement: compile the corpus once,
+    /// submit it cold through a fresh in-memory [`gr_server::DetectionServer`],
+    /// then re-submit the identical modules warm. Step counts, hit rates
+    /// and percentiles are byte-deterministic for a fixed `(seed,
+    /// functions)`; only the two wall-clock fields vary run to run.
+    #[must_use]
+    pub fn measure_server_throughput(seed: u64, functions: usize) -> ServerStats {
+        use gr_server::{DetectionServer, ServeConfig};
+
+        let corpus = gr_benchsuite::fuzz::synthetic_corpus(seed, functions);
+        let modules: Vec<_> = corpus
+            .iter()
+            .map(|c| {
+                gr_frontend::compile(&c.src)
+                    .unwrap_or_else(|e| panic!("corpus [{}] fails to compile: {e}", c.name))
+            })
+            .collect();
+        let mut server = DetectionServer::new(ServeConfig::default());
+        let t0 = Instant::now();
+        let cold = server.run_batch(&modules);
+        let cold_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let warm = server.run_batch(&modules);
+        let warm_wall_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        let mut per_fn: Vec<usize> = cold.results.iter().map(|r| r.report.steps_used).collect();
+        per_fn.sort_unstable();
+        let pct = |p: usize| per_fn[(per_fn.len().saturating_sub(1)) * p / 100];
+        let distinct: std::collections::HashSet<u64> =
+            cold.results.iter().map(|r| r.fingerprint).collect();
+        let permil = |hits: usize| hits * 1000 / functions.max(1);
+        ServerStats {
+            corpus_functions: functions,
+            distinct_fingerprints: distinct.len(),
+            cold_steps: cold.summary.solver_steps,
+            warm_steps: warm.summary.solver_steps,
+            warm_hit_permil: permil(warm.summary.warm_hits),
+            cold_hit_permil: permil(cold.summary.warm_hits),
+            reductions: cold.results.iter().map(|r| r.report.reductions.len()).sum(),
+            p50_steps: pct(50),
+            p99_steps: pct(99),
+            cold_wall_ms,
+            warm_wall_ms,
+        }
+    }
+
     /// Renders the per-suite stats plus the runtime scheduler counters,
-    /// the failure-ledger counters and the histogram digests as the
-    /// `BENCH_detection.json` document (hand-rolled writer — the
-    /// workspace builds without serde).
+    /// the failure-ledger counters, the serving-throughput block and the
+    /// histogram digests as the `BENCH_detection.json` document
+    /// (hand-rolled writer — the workspace builds without serde).
     #[must_use]
     pub fn render_json(
         rows: &[SuiteStats],
         runtime: &gr_trace::MetricsSnapshot,
         errors: &gr_trace::MetricsSnapshot,
+        server: &ServerStats,
         histograms: &std::collections::BTreeMap<String, gr_trace::Histogram>,
         quick: bool,
     ) -> String {
@@ -393,6 +497,22 @@ pub mod stats {
             let _ = write!(s, "{}: {v}", gr_trace::json_str(k));
         }
         s.push_str("},\n");
+        // Deterministic ints only: the baseline diff gates every field of
+        // this block under the +20% budget, so wall-clock throughput stays
+        // out (the figure binaries print it instead).
+        let _ = writeln!(
+            s,
+            "  \"server\": {{\"corpus_functions\": {}, \"distinct_fingerprints\": {}, \"cold_steps\": {}, \"warm_steps\": {}, \"cold_hit_permil\": {}, \"warm_hit_permil\": {}, \"reductions\": {}, \"p50_steps\": {}, \"p99_steps\": {}}},",
+            server.corpus_functions,
+            server.distinct_fingerprints,
+            server.cold_steps,
+            server.warm_steps,
+            server.cold_hit_permil,
+            server.warm_hit_permil,
+            server.reductions,
+            server.p50_steps,
+            server.p99_steps,
+        );
         let _ = write!(s, "  \"histograms\": {{");
         for (i, (k, h)) in histograms.iter().enumerate() {
             if i > 0 {

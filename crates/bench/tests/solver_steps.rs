@@ -240,7 +240,10 @@ fn bench_json_renders_all_suites() {
     let mut h = gr_trace::Histogram::new();
     h.record(7);
     hists.insert("solver.steps.per_idiom{sum}".to_string(), h);
-    let json = gr_bench::stats::render_json(&rows, &runtime, &errors, &hists, true);
+    // A small serving sweep keeps the render test fast; the real corpus
+    // size is exercised by `all_figures` and the serving tests.
+    let server = gr_bench::stats::measure_server_throughput(gr_benchsuite::fuzz::CORPUS_SEED, 64);
+    let json = gr_bench::stats::render_json(&rows, &runtime, &errors, &server, &hists, true);
     for suite in ["nas", "parboil", "rodinia", "micro"] {
         assert!(
             json.to_lowercase().contains(&format!("\"suite\": \"{suite}\"")),
@@ -250,6 +253,9 @@ fn bench_json_renders_all_suites() {
     assert!(json.contains("\"sharing_speedup\""));
     assert!(json.contains("\"runtime\": {\"chunk_dispatch\": 12}"));
     assert!(json.contains("\"errors\": {\"GR001\": 3}"));
+    assert!(json.contains("\"server\": {\"corpus_functions\": 64, "), "missing server block");
+    assert!(json.contains("\"warm_steps\": 0"), "warm batch must cost zero steps: {json}");
+    assert!(json.contains("\"warm_hit_permil\": 1000"), "warm batch must hit fully: {json}");
     assert!(
         json.contains("\"solver.steps.per_idiom{sum}\": {\"count\":1,\"sum\":7,"),
         "missing histograms block in {json}"

@@ -302,6 +302,148 @@ fn gen_find_last(rng: &mut StdRng, len: usize) -> FuzzCase {
     }
 }
 
+/// Default size of the serving corpus ([`synthetic_corpus`]): the
+/// throughput bench and the warm-cache pins run over ten thousand
+/// functions.
+pub const CORPUS_FUNCTIONS: usize = 10_000;
+
+/// Seed of the serving corpus used by the bench and the pinned tests.
+pub const CORPUS_SEED: u64 = 0x5EED_C0DE;
+
+/// Corpus size override for test runs: `GR_CORPUS_FUNCS=500` scales the
+/// sweep down (or up) without touching the pinned default.
+#[must_use]
+pub fn corpus_functions_from_env() -> usize {
+    std::env::var("GR_CORPUS_FUNCS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(CORPUS_FUNCTIONS)
+}
+
+/// Deterministic synthetic corpus for the detection-serving throughput
+/// bench: `functions` single-kernel translation units named `f0..fN`,
+/// drawn from the same idiom grammar as the differential fuzzer but with
+/// the function index folded into each body as a distinguishing constant
+/// — `gr-fp/v1` hashes constant payloads, so every non-twin function has
+/// a distinct structural fingerprint. Every 16th function instead
+/// repeats the previous body verbatim under its own name: an
+/// alpha-renamed twin, the fingerprint-level duplicate a warm report
+/// cache collapses to a single entry.
+///
+/// The corpus is detection-only (the bench never executes it), so the
+/// argument arrays are token-sized.
+#[must_use]
+pub fn synthetic_corpus(seed: u64, functions: usize) -> Vec<FuzzCase> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<FuzzCase> = Vec::with_capacity(functions);
+    for idx in 0..functions {
+        let case = if idx % 16 == 15 {
+            let prev = &out[idx - 1];
+            FuzzCase {
+                name: format!("{}/twin", prev.name),
+                src: prev.src.replacen(&format!(" f{}(", idx - 1), &format!(" f{idx}("), 1),
+                args: prev.args.clone(),
+            }
+        } else {
+            corpus_case(&mut rng, idx)
+        };
+        out.push(case);
+    }
+    out
+}
+
+/// Draws corpus function `idx`. The family rotates with the rng; the
+/// index appears as a constant payload (fold seed, guard threshold,
+/// histogram weight, …) so structurally identical templates still
+/// fingerprint apart.
+fn corpus_case(rng: &mut StdRng, idx: usize) -> FuzzCase {
+    let name = format!("f{idx}");
+    let c = idx as i64;
+    let short = |tag: &str| format!("corpus/{tag}/{idx}");
+    let farr = FuzzArg::FArr(vec![1.0; 4]);
+    let iarr = FuzzArg::IArr(vec![0; 4]);
+    match rng.gen_range(0..8) {
+        0 => FuzzCase {
+            name: short("fold-sum"),
+            src: format!(
+                "float {name}(float* a, int n) {{ float s = {c}.0; for (int i = 0; i < n; i++) s += a[i]; return s; }}"
+            ),
+            args: vec![farr, FuzzArg::I(4)],
+        },
+        1 => FuzzCase {
+            name: short("fold-guarded"),
+            src: format!(
+                "float {name}(float* a, int n) {{ float s = 0.0; for (int i = 0; i < n; i++) {{ if (a[i] > {c}.0) s += a[i]; }} return s; }}"
+            ),
+            args: vec![farr, FuzzArg::I(4)],
+        },
+        2 => FuzzCase {
+            name: short("histogram"),
+            src: format!(
+                "void {name}(int* h, int* key, int n) {{ for (int i = 0; i < n; i++) {{ h[key[i]] = h[key[i]] + {c}; }} }}"
+            ),
+            args: vec![iarr.clone(), iarr, FuzzArg::I(4)],
+        },
+        3 => FuzzCase {
+            name: short("scan"),
+            src: format!(
+                "void {name}(int* a, int* out, int n) {{ int s = {c}; for (int i = 0; i < n; i++) {{ s += a[i]; out[i] = s; }} }}"
+            ),
+            args: vec![iarr.clone(), iarr, FuzzArg::I(4)],
+        },
+        4 => FuzzCase {
+            name: short("argmin"),
+            src: format!(
+                "int {name}(float* a, int n) {{
+                     float best = {c}.5;
+                     int bi = -1;
+                     for (int i = 0; i < n; i++) {{
+                         float v = a[i];
+                         if (v < best) {{ best = v; bi = i; }}
+                     }}
+                     return bi;
+                 }}"
+            ),
+            args: vec![farr, FuzzArg::I(4)],
+        },
+        5 => FuzzCase {
+            name: short("find-first"),
+            src: format!(
+                "int {name}(int* a, int n) {{
+                     int r = -1;
+                     for (int i = 0; i < n; i++) {{ if (a[i] == {c}) {{ r = i; break; }} }}
+                     return r;
+                 }}"
+            ),
+            args: vec![iarr, FuzzArg::I(4)],
+        },
+        6 => FuzzCase {
+            name: short("fold-until"),
+            src: format!(
+                "int {name}(int* a, int n) {{
+                     int s = 0;
+                     for (int i = 0; i < n; i++) {{ if (a[i] == {c}) break; s = s + a[i]; }}
+                     return s;
+                 }}"
+            ),
+            args: vec![iarr, FuzzArg::I(4)],
+        },
+        _ => FuzzCase {
+            name: short("fusion"),
+            src: format!(
+                "float {name}(float* a, int n) {{
+                     float tmp[2500];
+                     for (int i = 0; i < n; i++) tmp[i] = a[i] + {c}.5;
+                     float s = 0.0;
+                     for (int j = 0; j < n; j++) s += tmp[j];
+                     return s;
+                 }}"
+            ),
+            args: vec![farr, FuzzArg::I(4)],
+        },
+    }
+}
+
 /// Materializes the case's arguments into `mem`, returning the call args
 /// and the array objects (for post-run comparison).
 pub(crate) fn materialize(case: &FuzzCase, mem: &mut Memory) -> (Vec<RtVal>, Vec<ObjId>) {
@@ -548,6 +690,51 @@ mod tests {
         assert!(body.contains("\"fuzz.synthetic\""), "counter in trace dump: {body}");
         let _ = std::fs::remove_file(&txt);
         let _ = std::fs::remove_file(&trace);
+    }
+
+    #[test]
+    fn corpus_is_deterministic_with_distinct_names() {
+        let a = synthetic_corpus(CORPUS_SEED, 64);
+        let b = synthetic_corpus(CORPUS_SEED, 64);
+        let mut names = std::collections::HashSet::new();
+        for (i, (ca, cb)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(ca.src, cb.src, "corpus diverged at {i}");
+            assert!(ca.src.contains(&format!(" f{i}(")), "wrong kernel name in {}", ca.src);
+            assert!(names.insert(format!("f{i}")));
+        }
+    }
+
+    #[test]
+    fn corpus_twins_repeat_the_previous_body_verbatim() {
+        let corpus = synthetic_corpus(CORPUS_SEED, 32);
+        for idx in [15usize, 31] {
+            let twin =
+                corpus[idx].src.replacen(&format!(" f{idx}("), &format!(" f{}(", idx - 1), 1);
+            assert_eq!(twin, corpus[idx - 1].src, "f{idx} is not an alpha twin of f{}", idx - 1);
+            assert!(corpus[idx].name.ends_with("/twin"));
+        }
+    }
+
+    #[test]
+    fn corpus_families_compile_and_detect() {
+        // Every template family must compile, and the corpus has to be a
+        // real detection workload: the overwhelming majority of functions
+        // carry a detectable reduction (the index constant rides in a slot
+        // the idiom specs leave free).
+        let corpus = synthetic_corpus(CORPUS_SEED, 96);
+        let mut detected = 0usize;
+        for case in &corpus {
+            let m = gr_frontend::compile(&case.src)
+                .unwrap_or_else(|e| panic!("[{}] fails to compile: {e}\n{}", case.name, case.src));
+            if !gr_core::detect_reductions(&m).is_empty() {
+                detected += 1;
+            }
+        }
+        assert!(
+            detected * 10 >= corpus.len() * 9,
+            "corpus detection coverage collapsed: {detected}/{} functions detected",
+            corpus.len()
+        );
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //! greduce run <file.c> <fn> [args...]   interpret a function (int args)
 //! greduce par <file.c> <fn>      detect, outline and describe
 //! greduce suite                  detection table over all 40 benchmarks
+//! greduce batch <files..> [--jobs N] [--cache <dir>] [--budget N]
+//!                                serve a batch through the worker pool +
+//!                                persistent fingerprint cache
+//! greduce serve [--jobs N] [--cache <dir>] [--budget N]
+//!                                long-running loop: file paths on stdin
 //! ```
 
 use gr_baselines::{icc_detect, polly_detect};
@@ -43,11 +48,118 @@ fn warn_truncation(module: &gr_ir::Module) {
     }
 }
 
+/// Serving options shared by `greduce batch` and `greduce serve`.
+struct ServeFlags {
+    jobs: usize,
+    cache_path: Option<std::path::PathBuf>,
+    budget: gr_core::DetectBudget,
+    files: Vec<String>,
+}
+
+/// Parses `[--jobs N] [--cache <dir>] [--budget N]` plus positional file
+/// paths; `None` (with a message) on a malformed flag.
+fn parse_serve_flags<'a>(args: impl Iterator<Item = &'a String>) -> Option<ServeFlags> {
+    let mut flags = ServeFlags {
+        jobs: 4,
+        cache_path: None,
+        budget: gr_core::DetectBudget::UNLIMITED,
+        files: Vec::new(),
+    };
+    let mut rest = args;
+    while let Some(a) = rest.next() {
+        match a.as_str() {
+            "--jobs" => match rest.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n > 0 => flags.jobs = n,
+                _ => {
+                    eprintln!("--jobs needs a positive worker count");
+                    return None;
+                }
+            },
+            "--cache" => match rest.next() {
+                Some(dir) => {
+                    flags.cache_path = Some(std::path::Path::new(dir).join("gr-cache.json"));
+                }
+                None => {
+                    eprintln!("--cache needs a directory");
+                    return None;
+                }
+            },
+            "--budget" => match rest.next().and_then(|n| n.parse().ok()) {
+                Some(n) => flags.budget = gr_core::DetectBudget::steps(n),
+                None => {
+                    eprintln!("--budget needs a step count");
+                    return None;
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag `{flag}`");
+                return None;
+            }
+            file => flags.files.push(file.to_string()),
+        }
+    }
+    Some(flags)
+}
+
+/// Compiles one source file for the serving commands; errors go to the
+/// GR-style stderr ledger and yield `None` (the server survives bad
+/// requests instead of dying on them).
+fn compile_for_serving(path: &str) -> Option<gr_ir::Module> {
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return None;
+        }
+    };
+    match gr_frontend::compile(&source) {
+        Ok(m) => Some(m),
+        Err(e) => {
+            eprintln!("error: {path}:{e}");
+            None
+        }
+    }
+}
+
+/// Runs one file batch through a [`gr_server::DetectionServer`], printing
+/// per-function status lines (cold/warm, reductions, steps, `Degraded`
+/// budgets) plus GR-coded ledger entries. Returns whether every file
+/// compiled.
+fn serve_files(server: &mut gr_server::DetectionServer, files: &[String]) -> bool {
+    let mut ok = true;
+    let mut modules = Vec::new();
+    let mut names = Vec::new();
+    for f in files {
+        match compile_for_serving(f) {
+            Some(m) => {
+                modules.push(m);
+                names.push(f.clone());
+            }
+            None => ok = false,
+        }
+    }
+    let batch = server.run_batch(&modules);
+    let mut last_module = usize::MAX;
+    for r in &batch.results {
+        if r.module != last_module {
+            println!("{}:", names[r.module]);
+            last_module = r.module;
+        }
+        println!("  {}", gr_server::status_line(r));
+    }
+    let s = &batch.summary;
+    println!(
+        "batch: {} function(s), {} warm, {} cold, {} degraded, {} solver step(s)",
+        s.functions, s.warm_hits, s.cold_solves, s.degraded, s.solver_steps
+    );
+    ok
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage = || {
         eprintln!(
-            "usage: greduce <detect|stats|trace|profile|compare|ir|run|par|suite|help> [file.c] [args...]"
+            "usage: greduce <detect|stats|trace|profile|compare|ir|run|par|suite|batch|serve|help> [file.c] [args...]"
         );
         ExitCode::FAILURE
     };
@@ -74,6 +186,87 @@ fn main() -> ExitCode {
             println!("  run <file.c> <fn> [ints...]  interpret a function");
             println!("  par <file.c> <fn>            outline the reduction loop and show the plan");
             println!("  suite                        detection table over the 40 benchmarks");
+            println!("  batch <files..> [--jobs N] [--cache <dir>] [--budget N]");
+            println!("                               run files through the detection worker pool;");
+            println!("                               --cache persists a fingerprint-keyed report");
+            println!("                               cache (gr-cache/v1) so unchanged functions");
+            println!("                               re-serve with zero solver steps");
+            println!("  serve [--jobs N] [--cache <dir>] [--budget N]");
+            println!("                               long-running server: reads one file path per");
+            println!("                               stdin line, answers with per-function status");
+            ExitCode::SUCCESS
+        }
+        "batch" => {
+            let Some(flags) = parse_serve_flags(args.iter().skip(1)) else { return usage() };
+            if flags.files.is_empty() {
+                eprintln!("batch needs at least one file");
+                return usage();
+            }
+            let mut server = gr_server::DetectionServer::new(gr_server::ServeConfig {
+                jobs: flags.jobs,
+                cache_path: flags.cache_path,
+                capacity: gr_server::DEFAULT_CAPACITY,
+                budget: flags.budget,
+            });
+            for e in server.ledger() {
+                eprintln!("warning: {e}");
+            }
+            let ok = serve_files(&mut server, &flags.files);
+            if let Err(e) = server.persist() {
+                eprintln!("cannot persist cache: {e}");
+                return ExitCode::FAILURE;
+            }
+            if ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "serve" => {
+            let Some(flags) = parse_serve_flags(args.iter().skip(1)) else { return usage() };
+            if !flags.files.is_empty() {
+                eprintln!("serve takes no positional files (submit paths on stdin)");
+                return usage();
+            }
+            let mut server = gr_server::DetectionServer::new(gr_server::ServeConfig {
+                jobs: flags.jobs,
+                cache_path: flags.cache_path,
+                capacity: gr_server::DEFAULT_CAPACITY,
+                budget: flags.budget,
+            });
+            for e in server.ledger() {
+                eprintln!("warning: {e}");
+            }
+            eprintln!("greduce serve: one file path per stdin line; EOF ends the session");
+            let stdin = std::io::stdin();
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match std::io::BufRead::read_line(&mut stdin.lock(), &mut line) {
+                    Ok(0) => break,
+                    Ok(_) => {}
+                    Err(e) => {
+                        eprintln!("stdin error: {e}");
+                        break;
+                    }
+                }
+                let path = line.trim();
+                if path.is_empty() {
+                    continue;
+                }
+                // One request = one file batch; the persistent cache and
+                // the worker pool configuration live across requests, and
+                // the cache is re-persisted after each one so a killed
+                // server loses at most the in-flight request.
+                serve_files(&mut server, std::slice::from_ref(&path.to_string()));
+                if let Err(e) = server.persist() {
+                    eprintln!("cannot persist cache: {e}");
+                }
+            }
+            if let Err(e) = server.persist() {
+                eprintln!("cannot persist cache: {e}");
+                return ExitCode::FAILURE;
+            }
             ExitCode::SUCCESS
         }
         "suite" => {

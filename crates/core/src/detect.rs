@@ -117,6 +117,19 @@ impl PrefixCache {
         Some((e, true))
     }
 
+    /// Retires every entry, emitting the same `prefix_cache.evictions`
+    /// ledger counter as [`Drop`]. Prefix solutions are assignments of
+    /// one function's `ValueId`s, so a long-lived cache owner (a
+    /// `gr-server` detection worker holding its shard across jobs) must
+    /// reset between functions — reuse across functions would resume
+    /// extensions from another function's value arena.
+    pub fn reset(&mut self) {
+        if gr_trace::enabled() && !self.entries.is_empty() {
+            gr_trace::counter("prefix_cache.evictions", self.entries.len() as i64);
+        }
+        self.entries.clear();
+    }
+
     /// One row per cached prefix, ordered by name for stable output.
     #[must_use]
     pub fn summary(&self) -> Vec<PrefixCacheSummary> {

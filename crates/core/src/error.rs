@@ -2,8 +2,9 @@
 //!
 //! Every failure mode a driver serving untrusted programs must survive —
 //! solver budget exhaustion, outline refusals, interpreter traps, runtime
-//! worker panics, speculative-schedule aborts — is represented by one
-//! [`GrError`] variant with a **stable error code** (`GR001`–`GR005`).
+//! worker panics, speculative-schedule aborts, corrupted persistent-cache
+//! artifacts — is represented by one [`GrError`] variant with a **stable
+//! error code** (`GR001`–`GR006`).
 //! Codes are the contract: log scrapers, the `greduce stats` failure
 //! ledger and the `BENCH_detection.json` error counters all key on them,
 //! so a variant may grow fields but its code never changes.
@@ -35,6 +36,8 @@ pub enum ErrorPhase {
     Outline,
     /// Parallel runtime execution.
     Execute,
+    /// Detection serving (batch driver, persistent cache).
+    Serve,
 }
 
 impl ErrorPhase {
@@ -45,6 +48,7 @@ impl ErrorPhase {
             ErrorPhase::Detect => "detect",
             ErrorPhase::Outline => "outline",
             ErrorPhase::Execute => "execute",
+            ErrorPhase::Serve => "serve",
         }
     }
 }
@@ -104,6 +108,16 @@ pub enum GrError {
         /// Function (chunk) being executed.
         function: String,
     },
+    /// `GR006` — a persistent detection-cache artifact (`gr-cache/v1`)
+    /// failed to parse or failed its schema check and was discarded;
+    /// every affected function degraded to a full re-solve. Served
+    /// results are never derived from a corrupted artifact.
+    CacheCorrupt {
+        /// Path of the discarded cache file, rendered.
+        path: String,
+        /// What failed (unreadable, malformed JSON, wrong schema tag).
+        detail: String,
+    },
 }
 
 impl GrError {
@@ -117,6 +131,7 @@ impl GrError {
             GrError::InterpTrap { .. } => "GR003",
             GrError::WorkerPanic { .. } => "GR004",
             GrError::TokenAborted { .. } => "GR005",
+            GrError::CacheCorrupt { .. } => "GR006",
         }
     }
 
@@ -129,10 +144,12 @@ impl GrError {
             GrError::InterpTrap { .. }
             | GrError::WorkerPanic { .. }
             | GrError::TokenAborted { .. } => ErrorPhase::Execute,
+            GrError::CacheCorrupt { .. } => ErrorPhase::Serve,
         }
     }
 
-    /// Function the failure is attributed to.
+    /// Function (or, for cache corruption, the cache file path) the
+    /// failure is attributed to.
     #[must_use]
     pub fn function(&self) -> &str {
         match self {
@@ -141,6 +158,7 @@ impl GrError {
             | GrError::InterpTrap { function, .. }
             | GrError::WorkerPanic { function, .. }
             | GrError::TokenAborted { function } => function,
+            GrError::CacheCorrupt { path, .. } => path,
         }
     }
 
@@ -184,6 +202,9 @@ impl fmt::Display for GrError {
             GrError::TokenAborted { function } => {
                 write!(f, "[GR005] speculative token aborted in `{function}`")
             }
+            GrError::CacheCorrupt { path, detail } => {
+                write!(f, "[GR006] persistent cache discarded at `{path}`: {detail}")
+            }
         }
     }
 }
@@ -210,13 +231,17 @@ mod tests {
             GrError::InterpTrap { function: "k_chunk".into(), detail: "out-of-bounds".into() },
             GrError::WorkerPanic { function: "k_chunk".into(), chunk: 3, detail: "boom".into() },
             GrError::TokenAborted { function: "k_chunk".into() },
+            GrError::CacheCorrupt {
+                path: "cache/gr-cache.json".into(),
+                detail: "malformed JSON".into(),
+            },
         ]
     }
 
     #[test]
     fn codes_are_stable_and_distinct() {
         let codes: Vec<&str> = samples().iter().map(GrError::code).collect();
-        assert_eq!(codes, ["GR001", "GR002", "GR003", "GR004", "GR005"]);
+        assert_eq!(codes, ["GR001", "GR002", "GR003", "GR004", "GR005", "GR006"]);
     }
 
     #[test]
@@ -231,7 +256,7 @@ mod tests {
     #[test]
     fn phases_partition_the_pipeline() {
         let phases: Vec<&str> = samples().iter().map(|e| e.phase().as_str()).collect();
-        assert_eq!(phases, ["detect", "outline", "execute", "execute", "execute"]);
+        assert_eq!(phases, ["detect", "outline", "execute", "execute", "execute", "serve"]);
     }
 
     #[test]

@@ -85,6 +85,7 @@ pub mod atoms;
 pub mod constraint;
 pub mod detect;
 pub mod error;
+pub mod fingerprint;
 pub mod postcheck;
 pub mod report;
 pub mod solver;
@@ -95,6 +96,7 @@ pub use detect::{
     DetectionReport, DetectionStatus,
 };
 pub use error::{ErrorPhase, GrError};
+pub use fingerprint::{function_fingerprint, module_fingerprints, strip_gensym};
 pub use report::{Reduction, ReductionKind, ReductionOp};
 // `sese` is a free function in `spec`'s module root (not a submodule);
 // re-exported here so composites can reach it without the `spec::` path.

@@ -64,6 +64,21 @@ impl ReductionOp {
     }
 }
 
+impl ReductionOp {
+    /// Parses the stable [`fmt::Display`] name back into the operator —
+    /// the round-trip the persistent `gr-cache/v1` format relies on.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<ReductionOp> {
+        Some(match name {
+            "+" => ReductionOp::Add,
+            "*" => ReductionOp::Mul,
+            "min" => ReductionOp::Min,
+            "max" => ReductionOp::Max,
+            _ => return None,
+        })
+    }
+}
+
 impl fmt::Display for ReductionOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
@@ -177,6 +192,27 @@ impl ReductionKind {
     #[must_use]
     pub fn is_speculative(self) -> bool {
         self.is_search() || self.is_fold_until()
+    }
+
+    /// Parses the stable [`fmt::Display`] name back into the kind —
+    /// the round-trip the persistent `gr-cache/v1` format relies on.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<ReductionKind> {
+        Some(match name {
+            "scalar" => ReductionKind::Scalar,
+            "histogram" => ReductionKind::Histogram,
+            "scan" => ReductionKind::Scan,
+            "argmin" => ReductionKind::ArgMin,
+            "argmax" => ReductionKind::ArgMax,
+            "find-first" => ReductionKind::FindFirst,
+            "any-of" => ReductionKind::AnyOf,
+            "all-of" => ReductionKind::AllOf,
+            "find-min-index" => ReductionKind::FindMinIndex,
+            "find-last" => ReductionKind::FindLast,
+            "fold-until" => ReductionKind::FoldUntil,
+            "map-reduce-fusion" => ReductionKind::MapReduceFusion,
+            _ => return None,
+        })
     }
 }
 
@@ -300,6 +336,31 @@ mod tests {
         assert!(ReductionKind::FoldUntil.is_speculative());
         assert!(ReductionKind::FindLast.is_speculative());
         assert!(!ReductionKind::Scan.is_speculative());
+    }
+
+    #[test]
+    fn display_names_round_trip() {
+        for kind in [
+            ReductionKind::Scalar,
+            ReductionKind::Histogram,
+            ReductionKind::Scan,
+            ReductionKind::ArgMin,
+            ReductionKind::ArgMax,
+            ReductionKind::FindFirst,
+            ReductionKind::AnyOf,
+            ReductionKind::AllOf,
+            ReductionKind::FindMinIndex,
+            ReductionKind::FindLast,
+            ReductionKind::FoldUntil,
+            ReductionKind::MapReduceFusion,
+        ] {
+            assert_eq!(ReductionKind::from_name(&kind.to_string()), Some(kind));
+        }
+        for op in [ReductionOp::Add, ReductionOp::Mul, ReductionOp::Min, ReductionOp::Max] {
+            assert_eq!(ReductionOp::from_name(&op.to_string()), Some(op));
+        }
+        assert_eq!(ReductionKind::from_name("nope"), None);
+        assert_eq!(ReductionOp::from_name("nope"), None);
     }
 
     #[test]

@@ -1,0 +1,470 @@
+//! The persistent cross-run detection cache (`gr-cache/v1`).
+//!
+//! Maps a structural function fingerprint
+//! ([`gr_core::fingerprint::function_fingerprint`]) to the function's
+//! complete [`DetectionReport`], so re-submitting an unchanged function
+//! costs **zero solver steps** — the serving-scale analogue of the
+//! per-function [`PrefixCache`](gr_core::detect::PrefixCache), which
+//! amortizes the prefix solve across idioms within one run.
+//!
+//! Persistence follows the same discipline as `gr-trace/hit-profile/v1`
+//! (see `docs/formats.md`): a versioned schema tag, a hand-rendered
+//! byte-deterministic JSON layout, and a reader that rejects anything
+//! malformed with `None` rather than guessing. A rejected file is
+//! *poison*: [`ReportCache::load`] degrades to an empty cache (every
+//! function re-solves — slower, never wrong) and reports the discard as
+//! a `GR006` ledger entry.
+//!
+//! Three invariants keep cached results sound:
+//!
+//! 1. Only [`DetectionStatus::Complete`] reports with no truncated
+//!    idioms are stored. A complete report is budget-independent (it
+//!    equals the unbudgeted answer), so serving it under any later
+//!    budget is exact; a degraded report is an under-approximation that
+//!    a bigger budget could improve, so it must re-solve.
+//! 2. Entries store no function names: alpha-renamed twins share one
+//!    fingerprint and one entry, and the report is re-labelled with the
+//!    submitted function's name on every hit.
+//! 3. Eviction is LRU with a deterministic tie-break: entries carry a
+//!    logical touch clock (no wall time anywhere), the render lists
+//!    them least-recently-used first, and reloading renumbers in file
+//!    order — so cache files are byte-for-byte reproducible across
+//!    machines and runs.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use gr_core::detect::{DetectionReport, DetectionStatus};
+use gr_core::report::{Reduction, ReductionKind, ReductionOp};
+use gr_core::GrError;
+use gr_ir::{BlockId, CmpPred, ValueId};
+use gr_trace::json::{lookup, JsonVal};
+use gr_trace::json_str;
+
+/// Schema tag of the on-disk render; the reader rejects anything else.
+pub const CACHE_SCHEMA: &str = "gr-cache/v1";
+
+/// Default capacity (entries) of a [`ReportCache`].
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+fn pred_name(p: CmpPred) -> &'static str {
+    match p {
+        CmpPred::Eq => "eq",
+        CmpPred::Ne => "ne",
+        CmpPred::Lt => "lt",
+        CmpPred::Le => "le",
+        CmpPred::Gt => "gt",
+        CmpPred::Ge => "ge",
+    }
+}
+
+fn pred_from_name(s: &str) -> Option<CmpPred> {
+    Some(match s {
+        "eq" => CmpPred::Eq,
+        "ne" => CmpPred::Ne,
+        "lt" => CmpPred::Lt,
+        "le" => CmpPred::Le,
+        "gt" => CmpPred::Gt,
+        "ge" => CmpPred::Ge,
+        _ => return None,
+    })
+}
+
+struct CachedEntry {
+    /// Reductions with `function` left empty; re-labelled on hit.
+    reductions: Vec<Reduction>,
+    /// Solver steps the original cold solve spent (reporting only; a
+    /// hit spends zero).
+    solved_steps: usize,
+    /// LRU recency: larger = more recently used.
+    touch: u64,
+}
+
+/// The in-memory face of the persistent cache. See the module docs for
+/// the soundness invariants.
+pub struct ReportCache {
+    entries: HashMap<u64, CachedEntry>,
+    capacity: usize,
+    clock: u64,
+}
+
+impl ReportCache {
+    /// An empty cache evicting beyond `capacity` entries (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> ReportCache {
+        ReportCache { entries: HashMap::new(), capacity: capacity.max(1), clock: 0 }
+    }
+
+    /// Loads `path`, degrading to an empty cache on any corruption.
+    ///
+    /// A missing file is a normal cold start (`None` error). An
+    /// unreadable, malformed or wrong-schema file is poison: the
+    /// returned `GR006` has already been [`GrError::emit`]ted (one
+    /// `error{GR006}` ledger entry plus a `cache.persistent.poisoned`
+    /// counter) and the cache starts empty — affected functions
+    /// re-solve, results are never derived from the corrupt artifact.
+    #[must_use]
+    pub fn load(path: &Path, capacity: usize) -> (ReportCache, Option<GrError>) {
+        let poison = |detail: String| {
+            let err = GrError::CacheCorrupt { path: path.display().to_string(), detail };
+            err.emit();
+            if gr_trace::enabled() {
+                gr_trace::counter("cache.persistent.poisoned", 1);
+            }
+            (ReportCache::new(capacity), Some(err))
+        };
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return (ReportCache::new(capacity), None);
+            }
+            Err(e) => return poison(format!("unreadable: {e}")),
+        };
+        match ReportCache::parse(&text, capacity) {
+            Some(cache) => (cache, None),
+            None => poison("malformed or wrong-schema gr-cache artifact".into()),
+        }
+    }
+
+    /// Parses a `gr-cache/v1` render. `None` on any malformation —
+    /// unknown schema, missing fields, a bad fingerprint, an
+    /// out-of-vocabulary kind/op/pred. Entries beyond `capacity` are
+    /// LRU-trimmed (the file lists least-recent first, so the tail is
+    /// kept).
+    #[must_use]
+    pub fn parse(text: &str, capacity: usize) -> Option<ReportCache> {
+        let root = JsonVal::parse(text)?;
+        let obj = root.as_obj()?;
+        if lookup(obj, "schema")?.as_str()? != CACHE_SCHEMA {
+            return None;
+        }
+        let raw = lookup(obj, "entries")?.as_arr()?;
+        let mut cache = ReportCache::new(capacity);
+        let skip = raw.len().saturating_sub(cache.capacity);
+        for e in &raw[skip..] {
+            let e = e.as_obj()?;
+            let fp = u64::from_str_radix(lookup(e, "fp")?.as_str()?, 16).ok()?;
+            let solved_steps = usize::try_from(lookup(e, "steps")?.as_int()?).ok()?;
+            let mut reductions = Vec::new();
+            for r in lookup(e, "reductions")?.as_arr()? {
+                reductions.push(parse_reduction(r)?);
+            }
+            cache.clock += 1;
+            let touch = cache.clock;
+            // Duplicate fingerprints would make the render ambiguous.
+            if cache
+                .entries
+                .insert(fp, CachedEntry { reductions, solved_steps, touch })
+                .is_some()
+            {
+                return None;
+            }
+        }
+        Some(cache)
+    }
+
+    /// The deterministic on-disk render: entries least-recently-used
+    /// first, every field in a fixed order, fingerprints as zero-padded
+    /// hex. Rendering the same logical cache state always yields the
+    /// same bytes.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut order: Vec<(&u64, &CachedEntry)> = self.entries.iter().collect();
+        order.sort_by_key(|(_, e)| e.touch);
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", json_str(CACHE_SCHEMA));
+        out.push_str("  \"entries\": [");
+        for (i, (fp, e)) in order.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            let _ = write!(out, "{{\"fp\": \"{fp:016x}\", \"steps\": {}, ", e.solved_steps);
+            out.push_str("\"reductions\": [");
+            for (j, r) in e.reductions.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                render_reduction(&mut out, r);
+            }
+            out.push_str("]}");
+        }
+        if order.is_empty() {
+            out.push_str("]\n}\n");
+        } else {
+            out.push_str("\n  ]\n}\n");
+        }
+        out
+    }
+
+    /// Writes the render to `path`, creating parent directories.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(path, self.render())
+    }
+
+    /// Serves a cached report for fingerprint `fp`, re-labelled as
+    /// `function`. `steps_used` is 0 — a hit spends no solver steps.
+    pub fn hit(&mut self, fp: u64, function: &str) -> Option<DetectionReport> {
+        self.clock += 1;
+        let clock = self.clock;
+        let e = self.entries.get_mut(&fp)?;
+        e.touch = clock;
+        let mut reductions = e.reductions.clone();
+        for r in &mut reductions {
+            r.function = function.to_string();
+        }
+        if gr_trace::enabled() {
+            gr_trace::counter("cache.persistent.hits", 1);
+        }
+        Some(DetectionReport {
+            function: function.to_string(),
+            reductions,
+            status: DetectionStatus::Complete,
+            steps_used: 0,
+            truncated_idioms: Vec::new(),
+        })
+    }
+
+    /// Whether `fp` is cached (no LRU touch, no re-label).
+    #[must_use]
+    pub fn contains(&self, fp: u64) -> bool {
+        self.entries.contains_key(&fp)
+    }
+
+    /// Stores a report under `fp`. Degraded or truncated reports are
+    /// refused (invariant 1 in the module docs) — they would serve an
+    /// under-approximation forever. Returns whether the report was
+    /// stored; storing over a full cache evicts the least-recently-used
+    /// entry.
+    pub fn store(&mut self, fp: u64, report: &DetectionReport) -> bool {
+        if report.status.is_degraded() || !report.truncated_idioms.is_empty() {
+            return false;
+        }
+        let mut reductions = report.reductions.clone();
+        for r in &mut reductions {
+            r.function = String::new();
+        }
+        self.clock += 1;
+        let entry = CachedEntry { reductions, solved_steps: report.steps_used, touch: self.clock };
+        if self.entries.insert(fp, entry).is_none() && self.entries.len() > self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.touch)
+                .map(|(fp, _)| *fp)
+                .expect("cache over capacity implies at least one entry");
+            self.entries.remove(&lru);
+            if gr_trace::enabled() {
+                gr_trace::counter("cache.persistent.evictions", 1);
+            }
+        }
+        if gr_trace::enabled() {
+            gr_trace::counter("cache.persistent.stores", 1);
+        }
+        true
+    }
+
+    /// Entries currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+fn render_reduction(out: &mut String, r: &Reduction) {
+    let object = r.object.map_or(-1, |v| i64::from(v.0));
+    let pred = r.arg_pred.map_or("-", pred_name);
+    let _ = write!(
+        out,
+        "{{\"kind\": {}, \"op\": {}, \"header\": {}, \"depth\": {}, \"anchor\": {}, \
+         \"object\": {}, \"affine\": {}, \"pred\": {}, \"bindings\": [",
+        json_str(&r.kind.to_string()),
+        json_str(&r.op.to_string()),
+        r.header.0,
+        r.depth,
+        r.anchor.0,
+        object,
+        i32::from(r.affine),
+        json_str(pred),
+    );
+    for (i, (label, v)) in r.bindings.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "[{}, {}]", json_str(label), v.0);
+    }
+    out.push_str("]}");
+}
+
+fn parse_reduction(v: &JsonVal) -> Option<Reduction> {
+    let o = v.as_obj()?;
+    let kind = ReductionKind::from_name(lookup(o, "kind")?.as_str()?)?;
+    let op = ReductionOp::from_name(lookup(o, "op")?.as_str()?)?;
+    let header = BlockId(u32::try_from(lookup(o, "header")?.as_int()?).ok()?);
+    let depth = u32::try_from(lookup(o, "depth")?.as_int()?).ok()?;
+    let anchor = ValueId(u32::try_from(lookup(o, "anchor")?.as_int()?).ok()?);
+    let object = match lookup(o, "object")?.as_int()? {
+        -1 => None,
+        v => Some(ValueId(u32::try_from(v).ok()?)),
+    };
+    let affine = match lookup(o, "affine")?.as_int()? {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    let arg_pred = match lookup(o, "pred")?.as_str()? {
+        "-" => None,
+        p => Some(pred_from_name(p)?),
+    };
+    let mut bindings = Vec::new();
+    for b in lookup(o, "bindings")?.as_arr()? {
+        let pair = b.as_arr()?;
+        if pair.len() != 2 {
+            return None;
+        }
+        let label = pair[0].as_str()?.to_string();
+        let value = ValueId(u32::try_from(pair[1].as_int()?).ok()?);
+        bindings.push((label, value));
+    }
+    Some(Reduction {
+        function: String::new(),
+        kind,
+        op,
+        header,
+        depth,
+        anchor,
+        object,
+        affine,
+        arg_pred,
+        bindings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(function: &str, n_reductions: usize, steps: usize) -> DetectionReport {
+        let reductions = (0..n_reductions)
+            .map(|i| Reduction {
+                function: function.to_string(),
+                kind: ReductionKind::Histogram,
+                op: ReductionOp::Add,
+                header: BlockId(2),
+                depth: 1,
+                anchor: ValueId(17 + u32::try_from(i).unwrap()),
+                object: Some(ValueId(3)),
+                affine: i % 2 == 0,
+                arg_pred: Some(CmpPred::Lt),
+                bindings: vec![("loop".into(), ValueId(5)), ("acc".into(), ValueId(9))],
+            })
+            .collect();
+        DetectionReport {
+            function: function.to_string(),
+            reductions,
+            status: DetectionStatus::Complete,
+            steps_used: steps,
+            truncated_idioms: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip_is_byte_identical() {
+        let mut c = ReportCache::new(8);
+        assert!(c.store(0xdead_beef, &report("f", 2, 42)));
+        assert!(c.store(1, &report("g", 0, 7)));
+        let bytes = c.render();
+        let reloaded = ReportCache::parse(&bytes, 8).unwrap();
+        assert_eq!(reloaded.len(), 2);
+        assert_eq!(reloaded.render(), bytes, "reload must re-render identically");
+    }
+
+    #[test]
+    fn hit_relabels_and_spends_zero_steps() {
+        let mut c = ReportCache::new(8);
+        c.store(9, &report("original", 1, 42));
+        let served = c.hit(9, "renamed_twin").unwrap();
+        assert_eq!(served.function, "renamed_twin");
+        assert_eq!(served.reductions[0].function, "renamed_twin");
+        assert_eq!(served.steps_used, 0, "a warm hit costs no solver steps");
+        assert_eq!(served.status, DetectionStatus::Complete);
+        assert!(c.hit(10, "missing").is_none());
+    }
+
+    #[test]
+    fn degraded_reports_are_refused() {
+        let mut c = ReportCache::new(8);
+        let mut r = report("f", 1, 100);
+        r.status = DetectionStatus::Degraded { budget: 100, steps_used: 100 };
+        assert!(!c.store(5, &r), "degraded reports must never be cached");
+        let mut t = report("g", 1, 100);
+        t.truncated_idioms = vec!["scalar-reduction"];
+        assert!(!c.store(6, &t), "truncated reports must never be cached");
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let mut c = ReportCache::new(2);
+        c.store(1, &report("a", 0, 1));
+        c.store(2, &report("b", 0, 1));
+        c.hit(1, "a"); // 2 is now coldest
+        c.store(3, &report("c", 0, 1));
+        assert!(c.contains(1) && c.contains(3) && !c.contains(2));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn wrong_schema_and_garbage_are_rejected() {
+        assert!(ReportCache::parse("{\"schema\": \"gr-cache/v2\", \"entries\": []}", 4).is_none());
+        assert!(ReportCache::parse("not json", 4).is_none());
+        assert!(ReportCache::parse("{\"entries\": []}", 4).is_none());
+        let dup = "{\"schema\": \"gr-cache/v1\", \"entries\": [\
+                   {\"fp\": \"01\", \"steps\": 1, \"reductions\": []},\
+                   {\"fp\": \"01\", \"steps\": 2, \"reductions\": []}]}";
+        assert!(ReportCache::parse(dup, 4).is_none(), "duplicate fingerprints are ambiguous");
+    }
+
+    #[test]
+    fn load_missing_file_is_a_clean_cold_start() {
+        let dir = std::env::temp_dir().join("gr-cache-test-missing");
+        let (c, err) = ReportCache::load(&dir.join("nope.json"), 4);
+        assert!(c.is_empty());
+        assert!(err.is_none(), "a missing file is not corruption");
+    }
+
+    #[test]
+    fn poisoned_file_degrades_with_gr006() {
+        let path = std::env::temp_dir().join("gr-cache-test-poison.json");
+        std::fs::write(&path, "{\"schema\": \"gr-cache/v1\", \"entries\": [garbage").unwrap();
+        let (c, err) = ReportCache::load(&path, 4);
+        assert!(c.is_empty(), "poison degrades to an empty cache");
+        let err = err.expect("corruption must surface a ledger entry");
+        assert_eq!(err.code(), "GR006");
+        assert_eq!(err.phase().as_str(), "serve");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn capacity_trim_on_parse_keeps_the_most_recent_tail() {
+        let mut c = ReportCache::new(8);
+        for fp in 1..=4u64 {
+            c.store(fp, &report("f", 0, 1));
+        }
+        let reloaded = ReportCache::parse(&c.render(), 2).unwrap();
+        assert_eq!(reloaded.len(), 2);
+        assert!(reloaded.contains(3) && reloaded.contains(4), "the LRU head is trimmed");
+    }
+}

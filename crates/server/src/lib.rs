@@ -1,0 +1,433 @@
+//! # gr-server — detection as a service
+//!
+//! Turns the synchronous `gr-core` detection library into a served,
+//! cache-persistent system: a bounded job queue
+//! ([`gr_parallel::sync::BoundedQueue`]) feeds a pool of detection
+//! workers, each owning a [`PrefixCache`] shard (reset between
+//! functions — prefix solutions are assignments of one function's
+//! `ValueId`s), in front of a **persistent cross-run cache**
+//! ([`cache::ReportCache`], `gr-cache/v1` on disk) keyed by structural
+//! function fingerprints ([`gr_core::fingerprint`]).
+//!
+//! The data path of one [`DetectionServer::run_batch`]:
+//!
+//! 1. The coordinator walks the submitted modules in order,
+//!    fingerprints every function, and serves warm hits straight from
+//!    the persistent cache — **zero solver steps** for any function
+//!    whose structure is unchanged since an earlier run (incremental
+//!    re-detection: only changed fingerprints re-solve).
+//! 2. Misses become jobs on the bounded queue (backpressure keeps the
+//!    in-flight set small). Workers drain the queue; each runs the full
+//!    budgeted registry driver and reports
+//!    [`DetectionStatus::Degraded`] with GR-coded ledger entries
+//!    (`GR001`) rather than stalling on adversarial functions.
+//! 3. The coordinator reassembles results in **submission order** —
+//!    batch output is byte-identical to sequential
+//!    [`gr_core::detect_reductions`] for any worker count — and stores
+//!    newly solved *complete* reports back into the cache, again in
+//!    submission order, so the persisted artifact is deterministic.
+//!
+//! A corrupted cache file on disk never poisons results: loading
+//! degrades to an empty cache with a `GR006` ledger entry
+//! ([`cache::ReportCache::load`]) and every function simply re-solves.
+//!
+//! Everything observable lands on the gr-trace ledger: `server.*`
+//! counters for the pool (batches, functions, jobs dispatched) and
+//! `cache.persistent.*` for the cache (hits, misses, stores, evictions,
+//! poisoned loads).
+
+pub mod cache;
+
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use gr_analysis::Analyses;
+use gr_core::atoms::MatchCtx;
+use gr_core::detect::PrefixCache;
+use gr_core::spec::registry::IdiomRegistry;
+use gr_core::{function_fingerprint, DetectBudget, DetectionReport, DetectionStatus, GrError};
+use gr_ir::Module;
+use gr_parallel::sync::{BoundedQueue, Mutex};
+
+pub use cache::{ReportCache, CACHE_SCHEMA, DEFAULT_CAPACITY};
+
+/// Configuration of a [`DetectionServer`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Detection workers in the pool (minimum 1).
+    pub jobs: usize,
+    /// Persistent cache file (`gr-cache/v1`); `None` serves from an
+    /// in-memory cache only.
+    pub cache_path: Option<PathBuf>,
+    /// Persistent-cache capacity in entries (LRU beyond).
+    pub capacity: usize,
+    /// Solver budget applied to every cold solve.
+    pub budget: DetectBudget,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            jobs: 4,
+            cache_path: None,
+            capacity: cache::DEFAULT_CAPACITY,
+            budget: DetectBudget::UNLIMITED,
+        }
+    }
+}
+
+/// How one function's report was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Solved by a worker this batch.
+    Cold,
+    /// Served from the persistent cache — zero solver steps.
+    Warm,
+}
+
+/// One function's outcome within a batch, in submission order.
+#[derive(Debug, Clone)]
+pub struct FunctionResult {
+    /// Index of the submitted module the function came from.
+    pub module: usize,
+    /// Structural fingerprint (the cache key).
+    pub fingerprint: u64,
+    /// Cold solve or warm cache hit.
+    pub outcome: CacheOutcome,
+    /// The detection report (carries function name, reductions, status,
+    /// steps). Warm reports always read `Complete` with 0 steps.
+    pub report: DetectionReport,
+}
+
+/// Aggregate accounting for one batch.
+#[derive(Debug, Clone, Default)]
+pub struct BatchSummary {
+    /// Functions processed.
+    pub functions: usize,
+    /// Functions served from the persistent cache.
+    pub warm_hits: usize,
+    /// Functions solved by the worker pool.
+    pub cold_solves: usize,
+    /// Functions whose report degraded against the budget.
+    pub degraded: usize,
+    /// Total solver steps spent (cold solves only; hits are free).
+    pub solver_steps: usize,
+}
+
+/// The result of [`DetectionServer::run_batch`]: per-function results in
+/// submission order plus the batch ledger.
+#[derive(Debug, Clone, Default)]
+pub struct BatchResult {
+    /// One entry per submitted function, in submission order.
+    pub results: Vec<FunctionResult>,
+    /// Aggregate accounting.
+    pub summary: BatchSummary,
+}
+
+/// One job on the queue: a function awaiting a cold solve.
+struct Job {
+    /// Index into the batch's result vector.
+    slot: usize,
+    /// Module index in the submitted slice.
+    module: usize,
+    /// Function index within the module.
+    func: usize,
+}
+
+/// A detection service instance: worker-pool configuration plus the
+/// persistent report cache, alive across any number of batches.
+pub struct DetectionServer {
+    config: ServeConfig,
+    cache: ReportCache,
+    ledger: Vec<GrError>,
+}
+
+impl DetectionServer {
+    /// Builds a server, loading the persistent cache when configured. A
+    /// corrupted cache file degrades to an empty cache and lands on
+    /// [`DetectionServer::ledger`] as `GR006`.
+    #[must_use]
+    pub fn new(config: ServeConfig) -> DetectionServer {
+        let mut ledger = Vec::new();
+        let cache = match &config.cache_path {
+            Some(path) => {
+                let (cache, poison) = ReportCache::load(path, config.capacity);
+                ledger.extend(poison);
+                cache
+            }
+            None => ReportCache::new(config.capacity),
+        };
+        DetectionServer { config, cache, ledger }
+    }
+
+    /// GR-coded failures observed outside any one function's report
+    /// (today: `GR006` persistent-cache corruption at load).
+    #[must_use]
+    pub fn ledger(&self) -> &[GrError] {
+        &self.ledger
+    }
+
+    /// The live report cache (for inspection and tests).
+    #[must_use]
+    pub fn cache(&self) -> &ReportCache {
+        &self.cache
+    }
+
+    /// Runs one batch over `modules`: warm functions are served from the
+    /// cache, cold ones fan out to the worker pool, and results come
+    /// back in submission order (module order, then declaration order) —
+    /// byte-identical to a sequential run for any `jobs` count.
+    pub fn run_batch(&mut self, modules: &[Module]) -> BatchResult {
+        // Phase 1 (coordinator): fingerprint in submission order, serve
+        // hits, queue misses. Touch order on the cache is deterministic
+        // because only this thread touches it.
+        let mut results: Vec<Option<FunctionResult>> = Vec::new();
+        let mut meta: Vec<(usize, u64)> = Vec::new();
+        let mut jobs: Vec<Job> = Vec::new();
+        for (mi, module) in modules.iter().enumerate() {
+            for (fi, func) in module.functions.iter().enumerate() {
+                let fp = function_fingerprint(module, func);
+                let slot = results.len();
+                meta.push((mi, fp));
+                if let Some(report) = self.cache.hit(fp, &func.name) {
+                    results.push(Some(FunctionResult {
+                        module: mi,
+                        fingerprint: fp,
+                        outcome: CacheOutcome::Warm,
+                        report,
+                    }));
+                } else {
+                    if gr_trace::enabled() {
+                        gr_trace::counter("cache.persistent.misses", 1);
+                    }
+                    results.push(None);
+                    jobs.push(Job { slot, module: mi, func: fi });
+                }
+            }
+        }
+
+        // Phase 2 (pool): workers drain the bounded queue, each owning a
+        // PrefixCache shard it resets between functions. Reports land in
+        // their submission slot, so scheduling order never shows.
+        let functions = results.len();
+        if gr_trace::enabled() {
+            gr_trace::counter("server.batches", 1);
+            gr_trace::counter("server.functions", functions as i64);
+            gr_trace::counter("server.jobs", jobs.len() as i64);
+        }
+        let solved: Vec<(usize, DetectionReport)> = if jobs.is_empty() {
+            Vec::new()
+        } else {
+            let workers = self.config.jobs.max(1).min(jobs.len());
+            let budget = self.config.budget;
+            let queue: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(workers * 4));
+            let out: Mutex<Vec<(usize, DetectionReport)>> = Mutex::new(Vec::new());
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    let queue = Arc::clone(&queue);
+                    let out = &out;
+                    s.spawn(move || {
+                        let registry = IdiomRegistry::with_default_idioms();
+                        // This worker's PrefixCache shard: owned for the
+                        // pool's lifetime, valid per function.
+                        let mut shard = PrefixCache::new();
+                        while let Some(job) = queue.pop() {
+                            let module = &modules[job.module];
+                            let func = &module.functions[job.func];
+                            let analyses = Analyses::new(module, func);
+                            let ctx = MatchCtx::new(module, func, &analyses);
+                            let report =
+                                registry.detect_in_function_report(&ctx, Some(&mut shard), budget);
+                            shard.reset();
+                            out.lock().push((job.slot, report));
+                        }
+                    });
+                }
+                for job in jobs {
+                    // Push blocks on backpressure; Err means closed,
+                    // impossible here (only we close below).
+                    let _ = queue.push(job);
+                }
+                queue.close();
+            });
+            out.into_inner()
+        };
+
+        // Phase 3 (coordinator): store fresh complete reports and stitch
+        // the result vector, both in submission order.
+        let mut solved = solved;
+        solved.sort_by_key(|(slot, _)| *slot);
+        let mut job_results = solved.into_iter().peekable();
+        let mut batch = BatchResult::default();
+        for (slot, result) in results.into_iter().enumerate() {
+            let r = match result {
+                Some(warm) => warm,
+                None => {
+                    let (s, report) =
+                        job_results.next().expect("every queued job must produce a report");
+                    debug_assert_eq!(s, slot);
+                    let (mi, fp) = meta[slot];
+                    self.cache.store(fp, &report);
+                    FunctionResult {
+                        module: mi,
+                        fingerprint: fp,
+                        outcome: CacheOutcome::Cold,
+                        report,
+                    }
+                }
+            };
+            batch.summary.functions += 1;
+            match r.outcome {
+                CacheOutcome::Warm => batch.summary.warm_hits += 1,
+                CacheOutcome::Cold => batch.summary.cold_solves += 1,
+            }
+            if r.report.status.is_degraded() {
+                batch.summary.degraded += 1;
+            }
+            batch.summary.solver_steps += r.report.steps_used;
+            batch.results.push(r);
+        }
+        batch
+    }
+
+    /// Persists the cache to its configured path (no-op without one).
+    pub fn persist(&self) -> io::Result<()> {
+        match &self.config.cache_path {
+            Some(path) => self.cache.save(path),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Sequential reference driver with the same output shape as
+/// [`DetectionServer::run_batch`]: no pool, no cache. The differential
+/// tests pin batch output byte-identical to this.
+#[must_use]
+pub fn detect_sequential(modules: &[Module], budget: DetectBudget) -> Vec<DetectionReport> {
+    let registry = IdiomRegistry::with_default_idioms();
+    let mut out = Vec::new();
+    for module in modules {
+        for func in &module.functions {
+            let analyses = Analyses::new(module, func);
+            let ctx = MatchCtx::new(module, func, &analyses);
+            out.push(registry.detect_in_function_report(
+                &ctx,
+                Some(&mut PrefixCache::new()),
+                budget,
+            ));
+        }
+    }
+    out
+}
+
+/// Renders one function's serving status as the stable one-line form the
+/// CLI prints: name, cold/warm, reduction count, steps, and either
+/// `complete` or the degraded budget.
+#[must_use]
+pub fn status_line(r: &FunctionResult) -> String {
+    let outcome = match r.outcome {
+        CacheOutcome::Cold => "cold",
+        CacheOutcome::Warm => "warm",
+    };
+    let status = match r.report.status {
+        DetectionStatus::Complete => "complete".to_string(),
+        DetectionStatus::Degraded { budget, steps_used } => {
+            format!("DEGRADED (budget {budget}, spent {steps_used})")
+        }
+    };
+    format!(
+        "@{}: {} · {} reduction(s) · {} step(s) · {}",
+        r.report.function,
+        outcome,
+        r.report.reductions.len(),
+        r.report.steps_used,
+        status,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn modules(srcs: &[&str]) -> Vec<Module> {
+        srcs.iter().map(|s| gr_frontend::compile(s).unwrap()).collect()
+    }
+
+    const SUM: &str = "float sum(float* a, int n) {
+        float s = 0.0;
+        for (int i = 0; i < n; i++) s += a[i];
+        return s;
+    }";
+
+    #[test]
+    fn cold_batch_matches_sequential_and_warm_batch_is_free() {
+        let ms = modules(&[
+            SUM,
+            "int count(int* a, int n, int key) {
+            int c = 0;
+            for (int i = 0; i < n; i++) if (a[i] == key) c = c + 1;
+            return c;
+        }",
+        ]);
+        let mut server = DetectionServer::new(ServeConfig::default());
+        let cold = server.run_batch(&ms);
+        assert_eq!(cold.summary.cold_solves, 2);
+        assert_eq!(cold.summary.warm_hits, 0);
+        assert!(cold.summary.solver_steps > 0);
+
+        let seq = detect_sequential(&ms, DetectBudget::UNLIMITED);
+        for (b, s) in cold.results.iter().zip(&seq) {
+            assert_eq!(format!("{:?}", b.report.reductions), format!("{:?}", s.reductions));
+        }
+
+        let warm = server.run_batch(&ms);
+        assert_eq!(warm.summary.warm_hits, 2);
+        assert_eq!(warm.summary.solver_steps, 0, "warm functions cost zero solver steps");
+        for (w, c) in warm.results.iter().zip(&cold.results) {
+            assert_eq!(format!("{:?}", w.report.reductions), format!("{:?}", c.report.reductions));
+        }
+    }
+
+    #[test]
+    fn incremental_redetection_resolves_only_changed_functions() {
+        let mut server = DetectionServer::new(ServeConfig::default());
+        let before = modules(&[SUM]);
+        server.run_batch(&before);
+        // One-instruction edit: the fingerprint changes, so it re-solves.
+        let after = modules(&["float sum(float* a, int n) {
+            float s = 0.0;
+            for (int i = 0; i < n; i++) s += a[i] * 2.0;
+            return s;
+        }"]);
+        let r = server.run_batch(&after);
+        assert_eq!(r.summary.cold_solves, 1, "a changed function must re-solve");
+        // Unchanged resubmission stays warm.
+        let again = server.run_batch(&after);
+        assert_eq!(again.summary.warm_hits, 1);
+    }
+
+    #[test]
+    fn alpha_renamed_twin_is_served_warm_under_its_own_name() {
+        let mut server = DetectionServer::new(ServeConfig::default());
+        server.run_batch(&modules(&[SUM]));
+        let twin = modules(&["float total(float* xs, int len) {
+            float acc = 0.0;
+            for (int j = 0; j < len; j++) acc += xs[j];
+            return acc;
+        }"]);
+        let r = server.run_batch(&twin);
+        assert_eq!(r.summary.warm_hits, 1, "alpha-renamed twins share the cache entry");
+        assert_eq!(r.results[0].report.function, "total");
+        assert_eq!(r.results[0].report.reductions[0].function, "total");
+    }
+
+    #[test]
+    fn status_lines_are_stable() {
+        let mut server = DetectionServer::new(ServeConfig::default());
+        let r = server.run_batch(&modules(&[SUM]));
+        let line = status_line(&r.results[0]);
+        assert!(line.starts_with("@sum: cold · 1 reduction(s)"), "{line}");
+        assert!(line.ends_with("complete"), "{line}");
+    }
+}

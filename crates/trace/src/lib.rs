@@ -57,6 +57,7 @@
 //!   (collapsed-stack / flamegraph text, self/total trees) and persistent
 //!   per-call-site hit-position profiles ([`profile::HitProfile`]).
 
+pub mod json;
 pub mod profile;
 
 use std::cell::RefCell;

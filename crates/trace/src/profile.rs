@@ -22,6 +22,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use crate::json::{lookup, JsonVal};
 use crate::{json_str, Histogram, Trace};
 
 /// Display name for the empty span path (counters recorded outside any
@@ -290,176 +291,6 @@ impl HitProfile {
             );
         }
         Some(HitProfile { sites })
-    }
-}
-
-fn lookup<'a>(obj: &'a [(String, JsonVal)], key: &str) -> Option<&'a JsonVal> {
-    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-}
-
-/// Minimal integer-only JSON value, just enough to round-trip the files
-/// this module writes (objects, arrays, strings, i64 numbers).
-enum JsonVal {
-    Int(i64),
-    Str(String),
-    Arr(Vec<JsonVal>),
-    Obj(Vec<(String, JsonVal)>),
-}
-
-impl JsonVal {
-    fn parse(input: &str) -> Option<JsonVal> {
-        let bytes = input.as_bytes();
-        let mut pos = 0usize;
-        let v = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos == bytes.len() {
-            Some(v)
-        } else {
-            None
-        }
-    }
-
-    fn as_int(&self) -> Option<i64> {
-        match self {
-            JsonVal::Int(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            JsonVal::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn as_arr(&self) -> Option<&[JsonVal]> {
-        match self {
-            JsonVal::Arr(a) => Some(a),
-            _ => None,
-        }
-    }
-
-    fn as_obj(&self) -> Option<&[(String, JsonVal)]> {
-        match self {
-            JsonVal::Obj(o) => Some(o),
-            _ => None,
-        }
-    }
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Option<JsonVal> {
-    skip_ws(bytes, pos);
-    match bytes.get(*pos)? {
-        b'{' => {
-            *pos += 1;
-            let mut entries = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Some(JsonVal::Obj(entries));
-            }
-            loop {
-                skip_ws(bytes, pos);
-                let key = parse_string(bytes, pos)?;
-                skip_ws(bytes, pos);
-                if bytes.get(*pos) != Some(&b':') {
-                    return None;
-                }
-                *pos += 1;
-                entries.push((key, parse_value(bytes, pos)?));
-                skip_ws(bytes, pos);
-                match bytes.get(*pos)? {
-                    b',' => *pos += 1,
-                    b'}' => {
-                        *pos += 1;
-                        return Some(JsonVal::Obj(entries));
-                    }
-                    _ => return None,
-                }
-            }
-        }
-        b'[' => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Some(JsonVal::Arr(items));
-            }
-            loop {
-                items.push(parse_value(bytes, pos)?);
-                skip_ws(bytes, pos);
-                match bytes.get(*pos)? {
-                    b',' => *pos += 1,
-                    b']' => {
-                        *pos += 1;
-                        return Some(JsonVal::Arr(items));
-                    }
-                    _ => return None,
-                }
-            }
-        }
-        b'"' => parse_string(bytes, pos).map(JsonVal::Str),
-        _ => {
-            let start = *pos;
-            if bytes.get(*pos) == Some(&b'-') {
-                *pos += 1;
-            }
-            while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
-                *pos += 1;
-            }
-            if *pos == start || (*pos == start + 1 && bytes[start] == b'-') {
-                return None;
-            }
-            std::str::from_utf8(&bytes[start..*pos]).ok()?.parse().ok().map(JsonVal::Int)
-        }
-    }
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Option<String> {
-    if bytes.get(*pos) != Some(&b'"') {
-        return None;
-    }
-    *pos += 1;
-    let mut out = Vec::new();
-    loop {
-        match bytes.get(*pos)? {
-            b'"' => {
-                *pos += 1;
-                return String::from_utf8(out).ok();
-            }
-            b'\\' => {
-                *pos += 1;
-                match bytes.get(*pos)? {
-                    b'"' => out.push(b'"'),
-                    b'\\' => out.push(b'\\'),
-                    b'n' => out.push(b'\n'),
-                    b'r' => out.push(b'\r'),
-                    b't' => out.push(b'\t'),
-                    b'u' => {
-                        let hex = bytes.get(*pos + 1..*pos + 5)?;
-                        let code = u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
-                        let c = char::from_u32(code)?;
-                        let mut buf = [0u8; 4];
-                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
-                        *pos += 4;
-                    }
-                    _ => return None,
-                }
-                *pos += 1;
-            }
-            b => {
-                out.push(*b);
-                *pos += 1;
-            }
-        }
     }
 }
 

@@ -30,6 +30,11 @@
 //!   front-ramp chunking knob and a bounds-aware sequential fallback
 //!   that restarts from the last completed chunk boundary on trapping
 //!   speculation),
+//! * [`server`] — detection as a service: a bounded job queue feeding a
+//!   pool of detection workers (each owning a `PrefixCache` shard) behind
+//!   a persistent, fingerprint-keyed cross-run report cache
+//!   (`gr-cache/v1`) — re-submitting an unchanged function costs zero
+//!   solver steps,
 //! * [`benchsuite`] — the 40 NAS/Parboil/Rodinia miniatures, the idiom
 //!   micro-workloads, and the differential fuzzing harness
 //!   ([`benchsuite::fuzz`]) guarding detection soundness,
@@ -74,6 +79,7 @@ pub use gr_frontend as frontend;
 pub use gr_interp as interp;
 pub use gr_ir as ir;
 pub use gr_parallel as parallel;
+pub use gr_server as server;
 pub use gr_trace as trace;
 
 /// The most common imports in one place.

@@ -1,0 +1,145 @@
+//! Docs stay truthful: every markdown link and repo-path reference in
+//! README.md / ARCHITECTURE.md / ROADMAP.md / docs/formats.md must
+//! resolve to a real file, and every `greduce <subcommand>` the docs
+//! mention must exist as a dispatch arm in the CLI. Run by the normal
+//! test suite and called out as a named CI step, so documentation drift
+//! fails the build instead of rotting.
+
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+const DOCS: &[&str] = &["README.md", "ARCHITECTURE.md", "ROADMAP.md", "docs/formats.md"];
+
+fn read(doc: &str) -> String {
+    let path = repo_root().join(doc);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {doc}: {e}"))
+}
+
+/// `[text](target)` inline links, with `target` stripped of `#anchor`.
+fn markdown_links(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while let Some(rel) = text[i..].find("](") {
+        let start = i + rel + 2;
+        let Some(len) = text[start..].find(')') else { break };
+        let target = &text[start..start + len];
+        let target = target.split('#').next().unwrap_or(target);
+        if !target.is_empty() {
+            out.push(target.to_string());
+        }
+        i = start + len;
+    }
+    out
+}
+
+/// Backticked repo paths like `crates/core/src/error.rs`,
+/// `docs/formats.md`, `examples/batch_detect.rs`, `tests/serving.rs`,
+/// plus the `gr-<crate>/src/...` shorthand the README uses (normalized
+/// to `crates/<crate>/...`).
+fn repo_path_refs(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for span in text.split('`').skip(1).step_by(2) {
+        let looks_like_path = span.contains('/')
+            && !span.contains(' ')
+            && (span.ends_with(".rs") || span.ends_with(".md") || span.ends_with(".json"));
+        if !looks_like_path {
+            continue;
+        }
+        let normalized = match span.strip_prefix("gr-") {
+            Some(rest) => format!("crates/{rest}"),
+            None => span.to_string(),
+        };
+        let known_root = ["crates/", "docs/", "examples/", "tests/", "src/"]
+            .iter()
+            .any(|p| normalized.starts_with(p));
+        if known_root {
+            out.push(normalized);
+        }
+    }
+    out
+}
+
+#[test]
+fn markdown_links_resolve() {
+    let root = repo_root();
+    let mut checked = 0;
+    for doc in DOCS {
+        let dir = root.join(doc);
+        let dir = dir.parent().unwrap_or(&root);
+        for target in markdown_links(&read(doc)) {
+            if target.starts_with("http://") || target.starts_with("https://") {
+                continue;
+            }
+            let resolved = dir.join(&target);
+            assert!(resolved.exists(), "{doc}: dead link `{target}` (looked at {resolved:?})");
+            checked += 1;
+        }
+    }
+    assert!(checked >= 4, "link extraction broke: only {checked} local links found");
+}
+
+#[test]
+fn repo_path_references_resolve() {
+    let root = repo_root();
+    let mut checked = 0;
+    for doc in DOCS {
+        for path in repo_path_refs(&read(doc)) {
+            assert!(
+                root.join(&path).exists(),
+                "{doc}: references `{path}`, which does not exist in the repo"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 10, "path extraction broke: only {checked} references found");
+}
+
+#[test]
+fn greduce_subcommand_references_exist_in_the_cli() {
+    let cli = std::fs::read_to_string(repo_root().join("crates/cli/src/main.rs"))
+        .expect("CLI source readable");
+    let mut checked = 0;
+    for doc in DOCS {
+        let text = read(doc);
+        for span in text.split('`').skip(1).step_by(2) {
+            let mut words = span.split_whitespace();
+            if words.next() != Some("greduce") {
+                continue;
+            }
+            let Some(sub) = words.next() else { continue };
+            // `greduce batch/serve` names two subcommands at once.
+            for sub in sub.split('/') {
+                let sub = sub.trim_matches(|c: char| !c.is_ascii_alphanumeric());
+                if sub.is_empty() {
+                    continue;
+                }
+                assert!(
+                    cli.contains(&format!("\"{sub}\" =>")),
+                    "{doc}: mentions `greduce {sub}`, but the CLI has no `{sub}` dispatch arm"
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 5, "subcommand extraction broke: only {checked} mentions found");
+}
+
+#[test]
+fn architecture_crate_map_covers_the_workspace() {
+    // Every workspace member must appear in ARCHITECTURE.md's crate
+    // table — a new crate without a documented role fails here.
+    let manifest = read("Cargo.toml");
+    let arch = read("ARCHITECTURE.md");
+    for line in manifest.lines() {
+        let line = line.trim();
+        let Some(member) = line.strip_prefix("\"crates/") else { continue };
+        let Some(name) = member.split('"').next() else { continue };
+        assert!(
+            arch.contains(&format!("`crates/{name}`")),
+            "ARCHITECTURE.md crate map is missing `crates/{name}`"
+        );
+    }
+}
