@@ -101,23 +101,24 @@ fn parse_serve_flags<'a>(args: impl Iterator<Item = &'a String>) -> Option<Serve
     Some(flags)
 }
 
-/// Compiles one source file for the serving commands; errors go to the
-/// GR-style stderr ledger and yield `None` (the server survives bad
-/// requests instead of dying on them).
+/// Compiles one source file for the serving commands; every failure is a
+/// coded [`gr_core::GrError::BadRequest`] (`GR007`) printed to stderr and
+/// emitted to the trace ledger, and yields `None` — the server survives
+/// bad requests instead of dying on them.
 fn compile_for_serving(path: &str) -> Option<gr_ir::Module> {
+    let refuse = |detail: String| {
+        let e = gr_core::GrError::BadRequest { path: path.to_string(), detail };
+        e.emit();
+        eprintln!("error: {e}");
+        None
+    };
     let source = match std::fs::read_to_string(path) {
         Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: cannot read {path}: {e}");
-            return None;
-        }
+        Err(e) => return refuse(format!("cannot read: {e}")),
     };
     match gr_frontend::compile(&source) {
         Ok(m) => Some(m),
-        Err(e) => {
-            eprintln!("error: {path}:{e}");
-            None
-        }
+        Err(e) => refuse(format!("does not compile: {e}")),
     }
 }
 
@@ -250,8 +251,18 @@ fn main() -> ExitCode {
                         break;
                     }
                 }
+                // Trailing whitespace (and the newline itself) is part of
+                // the transport, not the path; a line that is empty after
+                // trimming is a malformed request, answered with a coded
+                // error like any other bad request — never a session abort.
                 let path = line.trim();
                 if path.is_empty() {
+                    let e = gr_core::GrError::BadRequest {
+                        path: String::new(),
+                        detail: "empty request line".to_string(),
+                    };
+                    e.emit();
+                    eprintln!("error: {e}");
                     continue;
                 }
                 // One request = one file batch; the persistent cache and
@@ -519,6 +530,12 @@ fn main() -> ExitCode {
                                     println!("  {name:<52} {}", h.render_json());
                                 }
                             }
+                            println!(
+                                "solver trie: {} node(s), {} shared generation(s), {} symmetry prune(s)",
+                                trace.counter("solver.trie.nodes"),
+                                trace.counter("solver.trie.shared_gen"),
+                                trace.counter("solver.trie.pruned_sym")
+                            );
                         }
                     }
                     let legacy: usize = gr_core::detect::detection_stats(&module)
@@ -558,6 +575,11 @@ fn main() -> ExitCode {
                     // Everything the JSON rendering needs, collected while
                     // the table prints (or silently in --json mode).
                     let mut json_funcs = String::new();
+                    // One trace session around the detection sweep picks up
+                    // the trie counters (interned prefix nodes, memo-served
+                    // candidate lists, symmetry prunes); it is finished
+                    // before the exploitation pass opens its own session.
+                    let trie_guard = gr_trace::start();
                     for func in &module.functions {
                         let analyses = gr_analysis::Analyses::new(&module, func);
                         let ctx = gr_core::atoms::MatchCtx::new(&module, func, &analyses);
@@ -645,6 +667,16 @@ fn main() -> ExitCode {
                         total_shared += s.steps;
                         total_unshared += u.steps;
                     }
+                    let trie_trace = trie_guard.finish();
+                    let trie_nodes = trie_trace.counter("solver.trie.nodes");
+                    let trie_shared_gen = trie_trace.counter("solver.trie.shared_gen");
+                    let trie_pruned_sym = trie_trace.counter("solver.trie.pruned_sym");
+                    if !json_mode {
+                        println!(
+                            "solver trie: {trie_nodes} node(s), {trie_shared_gen} shared \
+                             generation(s), {trie_pruned_sym} symmetry prune(s)"
+                        );
+                    }
                     if !json_mode && module.functions.len() > 1 {
                         println!(
                             "module total: {total_shared} steps (unshared: {total_unshared}, {:.2}x)",
@@ -725,6 +757,9 @@ fn main() -> ExitCode {
                         }
                         out.push_str(&format!(
                             "],\n  \"module\": {{\"shared_steps\": {total_shared}, \"unshared_steps\": {total_unshared}}},"
+                        ));
+                        out.push_str(&format!(
+                            "\n  \"trie\": {{\"nodes\": {trie_nodes}, \"shared_gen\": {trie_shared_gen}, \"pruned_sym\": {trie_pruned_sym}}},"
                         ));
                         out.push_str("\n  \"idiom_steps\": {");
                         for (i, (name, steps)) in idiom_steps.iter().enumerate() {

@@ -1,0 +1,67 @@
+//! Regression test for the `greduce serve` stdin loop: malformed
+//! requests — blank lines, trailing whitespace, nonexistent paths,
+//! sources that do not compile — must each be answered with a coded
+//! `GR007` error line and must not end the session; requests after a bad
+//! one are still served.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn write_src(dir: &std::path::Path, name: &str, src: &str) -> String {
+    let p = dir.join(name);
+    std::fs::write(&p, src).unwrap();
+    p.to_string_lossy().into_owned()
+}
+
+#[test]
+fn serve_survives_mixed_good_bad_and_blank_requests() {
+    let dir = std::env::temp_dir().join(format!("gr-serve-loop-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let good = write_src(
+        &dir,
+        "good.c",
+        "float sum(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[i]; return s; }",
+    );
+    let broken = write_src(&dir, "broken.c", "float oops(float* a, int n) { retur s; }");
+    let missing = dir.join("does-not-exist.c").to_string_lossy().into_owned();
+
+    // Good, blank, whitespace-only, nonexistent, non-compiling, then good
+    // again (with trailing spaces on the path): the loop must reach and
+    // serve the final request.
+    let script = format!("{good}\n\n   \n{missing}\n{broken}\n{good}   \n");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_greduce"))
+        .arg("serve")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn greduce serve");
+    child.stdin.take().unwrap().write_all(script.as_bytes()).unwrap();
+    let out = child.wait_with_output().expect("serve must exit at EOF");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+
+    assert!(out.status.success(), "serve must not abort on bad requests:\n{stderr}");
+
+    // Every malformed request gets one GR007 line naming the failure.
+    assert_eq!(
+        stderr.matches("[GR007]").count(),
+        4,
+        "two blank + one missing + one non-compiling request:\n{stderr}"
+    );
+    assert!(stderr.contains("empty request line"), "{stderr}");
+    assert!(stderr.contains("cannot read"), "{stderr}");
+    assert!(stderr.contains("does not compile"), "{stderr}");
+
+    // The good file is served twice — once before and once after the bad
+    // requests — the second time warm from the in-memory fingerprint
+    // cache. Blank lines never reach the batch layer, so four requests
+    // (good, missing, broken, good) produce four batch summaries.
+    assert_eq!(stdout.matches("@sum: ").count(), 2, "{stdout}");
+    assert!(stdout.contains("@sum: cold"), "{stdout}");
+    assert!(stdout.contains("@sum: warm"), "{stdout}");
+    assert_eq!(stdout.matches("batch:").count(), 4, "one batch line per request:\n{stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

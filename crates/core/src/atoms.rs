@@ -85,7 +85,7 @@ pub struct MatchCtx<'a> {
     buckets: HashMap<OpClass, Vec<ValueId>>,
     /// Block-label value → loop id for loop headers.
     pub header_loops: HashMap<ValueId, LoopId>,
-    block_labels: Vec<ValueId>,
+    pub(crate) block_labels: Vec<ValueId>,
     /// Integer constant → interned values (the frontend interns constants,
     /// so the list is almost always a singleton).
     const_ints: HashMap<i64, Vec<ValueId>>,

@@ -16,7 +16,7 @@
 use crate::atoms::MatchCtx;
 use crate::constraint::Spec;
 use crate::report::Reduction;
-use crate::solver::{solve, solve_extend, Assignment, SolveOptions, SolveStats};
+use crate::solver::{solve, solve_extend_with_memo, Assignment, GenMemo, SolveOptions, SolveStats};
 use crate::spec::registry::IdiomRegistry;
 pub use budget::{
     detect_reductions_budgeted, detect_with_budget, DetectBudget, DetectionReport, DetectionStatus,
@@ -43,6 +43,11 @@ use std::sync::Arc;
 #[derive(Default)]
 pub struct PrefixCache {
     entries: HashMap<u64, CacheEntry>,
+    /// Candidate-generation memo shared by every extension resumed from
+    /// this cache: sibling idioms reuse each other's per-node candidate
+    /// lists (`solver.trie.shared_gen`). Keys embed the bound values, so
+    /// entries from different prefixes cannot collide.
+    memo: GenMemo,
 }
 
 struct CacheEntry {
@@ -55,10 +60,89 @@ pub struct SolvedPrefix {
     /// Name of the prefix sub-spec (derived from the first spec that
     /// triggered the solve, e.g. `histogram-reduction::prefix`).
     pub name: String,
-    /// Every assignment of the prefix labels satisfying the prefix spec.
-    pub solutions: Vec<Assignment>,
+    /// Every assignment of the prefix labels satisfying the prefix spec,
+    /// stored as a trie keyed by (label, value).
+    pub solutions: SolutionTrie,
     /// Cost of the one prefix solve.
     pub stats: SolveStats,
+}
+
+/// Prefix solutions stored as a trie over (label, value) edges: solutions
+/// sharing a leading run of assignments share the nodes spelling it, so
+/// the cache holds the set in its path-compressed shape and every idiom
+/// extending the same loop walks the same spine. Built from the solver's
+/// lexicographically sorted output; [`SolutionTrie::solutions`]
+/// materializes the same sorted list back.
+#[derive(Default)]
+pub struct SolutionTrie {
+    len: usize,
+    nodes: usize,
+    roots: Vec<TrieNode>,
+}
+
+struct TrieNode {
+    value: ValueId,
+    children: Vec<TrieNode>,
+}
+
+impl SolutionTrie {
+    /// Builds the trie from lexicographically sorted assignments (the
+    /// order [`solve`] yields). Equal prefixes are adjacent in sorted
+    /// order, so a single sequential pass shares every common spine.
+    #[must_use]
+    pub fn from_sorted(solutions: &[Assignment]) -> SolutionTrie {
+        let mut trie = SolutionTrie::default();
+        for sol in solutions {
+            let mut level = &mut trie.roots;
+            for &v in sol {
+                if level.last().map(|n| n.value) != Some(v) {
+                    level.push(TrieNode { value: v, children: Vec::new() });
+                    trie.nodes += 1;
+                }
+                level = &mut level.last_mut().expect("just ensured a node").children;
+            }
+            trie.len += 1;
+        }
+        trie
+    }
+
+    /// Number of stored solutions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the trie stores no solution.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of trie nodes — the path-compressed size of the solution
+    /// set. `nodes < len * arity` exactly when sharing occurred.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Materializes the stored assignments in lexicographic order.
+    #[must_use]
+    pub fn solutions(&self) -> Vec<Assignment> {
+        fn walk(nodes: &[TrieNode], path: &mut Assignment, out: &mut Vec<Assignment>) {
+            for n in nodes {
+                path.push(n.value);
+                if n.children.is_empty() {
+                    out.push(path.clone());
+                } else {
+                    walk(&n.children, path, out);
+                }
+                path.pop();
+            }
+        }
+        let mut out = Vec::with_capacity(self.len);
+        walk(&self.roots, &mut Vec::new(), &mut out);
+        out
+    }
 }
 
 /// Per-prefix cache accounting: one row per distinct fingerprint (see
@@ -111,6 +195,8 @@ impl PrefixCache {
             gr_trace::counter_keyed("prefix_cache.solves", &name, 1);
             gr_trace::counter_keyed("prefix_cache.solutions", &name, solutions.len() as i64);
         }
+        let solutions = SolutionTrie::from_sorted(&solutions);
+        gr_trace::counter("solver.trie.nodes", solutions.node_count() as i64);
         let e = Arc::new(SolvedPrefix { name, solutions, stats });
         self.entries
             .insert(p.fingerprint, CacheEntry { solved: Arc::clone(&e), hits: 0 });
@@ -128,6 +214,7 @@ impl PrefixCache {
             gr_trace::counter("prefix_cache.evictions", self.entries.len() as i64);
         }
         self.entries.clear();
+        self.memo.clear();
     }
 
     /// One row per cached prefix, ordered by name for stable output.
@@ -172,7 +259,9 @@ pub fn solve_with_cache(
 ) -> (Vec<Assignment>, SolveStats, Option<SolveStats>) {
     if let Some(cache) = cache {
         if let Some((prefix, fresh)) = cache.lookup(spec, ctx, opts) {
-            let (sols, mut stats) = solve_extend(spec, ctx, &prefix.solutions, opts);
+            let prefix_solutions = prefix.solutions.solutions();
+            let (sols, mut stats) =
+                solve_extend_with_memo(spec, ctx, &prefix_solutions, opts, Some(&mut cache.memo));
             // A truncated prefix solve means the cached solution list is
             // incomplete: surface that on every resume, not just the
             // fresh one.
@@ -732,8 +821,11 @@ mod tests {
 
     #[test]
     fn detection_stats_cover_all_registered_idioms() {
+        // Two accumulators in one loop: the scalar spec's `acc` label
+        // genuinely branches, so the solve costs at least one accounted
+        // step (a single-accumulator body is all forced moves, at zero).
         let m = compile(
-            "float f(float* a, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[i]; return s; }",
+            "float f(float* a, int n) { float s = 0.0; float t = 1.0; for (int i = 0; i < n; i++) { s += a[i]; t *= a[i]; } return s + t; }",
         )
         .unwrap();
         let stats = detection_stats(&m);
@@ -742,10 +834,15 @@ mod tests {
         assert!(!stats[0].1.truncated);
     }
 
+    // `sum` carries two accumulators so the scalar spec's `acc` label
+    // branches and the solve costs real steps — a single-accumulator body
+    // is all forced moves and would make the budget-cap assertions below
+    // vacuous.
     const TWO_FUNCS: &str = "float sum(float* a, int n) {
              float s = 0.0;
-             for (int i = 0; i < n; i++) s += a[i];
-             return s;
+             float t = 1.0;
+             for (int i = 0; i < n; i++) { s += a[i]; t *= a[i]; }
+             return s + t;
          }
          int amin(float* a, int n) {
              float best = 1.0e30;
@@ -773,8 +870,11 @@ mod tests {
         for r in &reports {
             assert_eq!(r.status, DetectionStatus::Complete, "{r:?}");
             assert!(r.truncated_idioms.is_empty());
-            assert!(r.steps_used > 0, "steps are accounted even when complete");
         }
+        // Forced moves are free, so a fully-determined function may cost 0,
+        // but the branching `sum` guarantees the module total is accounted.
+        let total: usize = reports.iter().map(|r| r.steps_used).sum();
+        assert!(total > 0, "steps are accounted even when complete");
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! Every failure mode a driver serving untrusted programs must survive —
 //! solver budget exhaustion, outline refusals, interpreter traps, runtime
 //! worker panics, speculative-schedule aborts, corrupted persistent-cache
-//! artifacts — is represented by one [`GrError`] variant with a **stable
-//! error code** (`GR001`–`GR006`).
+//! artifacts, malformed serving requests — is represented by one
+//! [`GrError`] variant with a **stable error code** (`GR001`–`GR007`).
 //! Codes are the contract: log scrapers, the `greduce stats` failure
 //! ledger and the `BENCH_detection.json` error counters all key on them,
 //! so a variant may grow fields but its code never changes.
@@ -118,6 +118,16 @@ pub enum GrError {
         /// What failed (unreadable, malformed JSON, wrong schema tag).
         detail: String,
     },
+    /// `GR007` — a serving request could not be turned into a module
+    /// (empty request line, unreadable path, or a source file that does
+    /// not compile); the request is answered with this error line and
+    /// the server keeps serving the session.
+    BadRequest {
+        /// The request path as submitted (may be empty).
+        path: String,
+        /// Why the request was refused.
+        detail: String,
+    },
 }
 
 impl GrError {
@@ -132,6 +142,7 @@ impl GrError {
             GrError::WorkerPanic { .. } => "GR004",
             GrError::TokenAborted { .. } => "GR005",
             GrError::CacheCorrupt { .. } => "GR006",
+            GrError::BadRequest { .. } => "GR007",
         }
     }
 
@@ -144,7 +155,7 @@ impl GrError {
             GrError::InterpTrap { .. }
             | GrError::WorkerPanic { .. }
             | GrError::TokenAborted { .. } => ErrorPhase::Execute,
-            GrError::CacheCorrupt { .. } => ErrorPhase::Serve,
+            GrError::CacheCorrupt { .. } | GrError::BadRequest { .. } => ErrorPhase::Serve,
         }
     }
 
@@ -158,7 +169,7 @@ impl GrError {
             | GrError::InterpTrap { function, .. }
             | GrError::WorkerPanic { function, .. }
             | GrError::TokenAborted { function } => function,
-            GrError::CacheCorrupt { path, .. } => path,
+            GrError::CacheCorrupt { path, .. } | GrError::BadRequest { path, .. } => path,
         }
     }
 
@@ -205,6 +216,9 @@ impl fmt::Display for GrError {
             GrError::CacheCorrupt { path, detail } => {
                 write!(f, "[GR006] persistent cache discarded at `{path}`: {detail}")
             }
+            GrError::BadRequest { path, detail } => {
+                write!(f, "[GR007] bad serve request `{path}`: {detail}")
+            }
         }
     }
 }
@@ -235,13 +249,14 @@ mod tests {
                 path: "cache/gr-cache.json".into(),
                 detail: "malformed JSON".into(),
             },
+            GrError::BadRequest { path: "missing.c".into(), detail: "cannot read".into() },
         ]
     }
 
     #[test]
     fn codes_are_stable_and_distinct() {
         let codes: Vec<&str> = samples().iter().map(GrError::code).collect();
-        assert_eq!(codes, ["GR001", "GR002", "GR003", "GR004", "GR005", "GR006"]);
+        assert_eq!(codes, ["GR001", "GR002", "GR003", "GR004", "GR005", "GR006", "GR007"]);
     }
 
     #[test]
@@ -256,7 +271,10 @@ mod tests {
     #[test]
     fn phases_partition_the_pipeline() {
         let phases: Vec<&str> = samples().iter().map(|e| e.phase().as_str()).collect();
-        assert_eq!(phases, ["detect", "outline", "execute", "execute", "execute", "serve"]);
+        assert_eq!(
+            phases,
+            ["detect", "outline", "execute", "execute", "execute", "serve", "serve"]
+        );
     }
 
     #[test]

@@ -98,6 +98,7 @@ pub use detect::{
 pub use error::{ErrorPhase, GrError};
 pub use fingerprint::{function_fingerprint, module_fingerprints, strip_gensym};
 pub use report::{Reduction, ReductionKind, ReductionOp};
+pub use solver::{GenMemo, SearchPolicy};
 // `sese` is a free function in `spec`'s module root (not a submodule);
 // re-exported here so composites can reach it without the `spec::` path.
 pub use spec::registry::{IdiomEntry, IdiomRegistry, RegistryError};

@@ -2,36 +2,57 @@
 //! (Figure 6).
 //!
 //! Given a specification with labels `i1 … in` and predicate `c`, the
-//! solver assigns labels in order. At step `k` it evaluates `c_k`: the
-//! predicate with every atom that mentions a not-yet-assigned label
-//! replaced by `true` (paper §3.3, step 2). Candidates for the next label
-//! are produced by the atoms themselves ([`Atom::enumerate`]) — falling
-//! back to the full `values(F)` enumeration only when no atom can
+//! solver assigns labels one per search level. At step `k` it evaluates
+//! `c_k`: the predicate with every atom that mentions a not-yet-assigned
+//! label replaced by `true` (paper §3.3, step 2). Candidates for the next
+//! label are produced by the atoms themselves ([`Atom::enumerate`]) —
+//! falling back to the full `values(F)` enumeration only when no atom can
 //! generate. This is the "smarter approach that utilizes knowledge about
-//! the composition of the predicate" of §3.2, sharpened in three ways:
+//! the composition of the predicate" of §3.2, sharpened in five ways:
 //!
 //! * **indexed candidate generation** — every generating atom reports the
 //!   cardinality of its candidate set from the precomputed indexes on
 //!   [`MatchCtx`] ([`Atom::estimate`]); only the most selective generator
 //!   is materialized, the rest act as membership filters, so the candidate
 //!   set equals the full intersection without building every list;
+//! * **priority-guided label order** — labels themselves are ordered
+//!   cheapest-and-most-selective first ([`SearchPolicy::priority`]): a
+//!   greedy pass places next whichever label has a generating atom whose
+//!   other labels are already placed, breaking ties by the static
+//!   candidate-set size the `MatchCtx` indexes predict. Solutions are
+//!   reported in lexicographic label order regardless of the internal
+//!   assignment order, so reordering never changes observable output;
+//! * **forced-move-free step accounting** — a level whose candidate set
+//!   collapses to a single surviving value is a *forced move*: no search
+//!   decision is taken, so no step is charged. Steps count only the
+//!   candidates tried at genuinely branching levels, which is the work a
+//!   solver with perfect propagation would still have to do;
+//! * **symmetry breaking** — interchangeable labels (the conjunct multiset
+//!   is invariant under swapping them) are canonicalized by value-id order
+//!   ([`SearchPolicy::symmetry`]): the mirror half of the search space is
+//!   pruned (`solver.trie.pruned_sym`) and only the canonical
+//!   representative of each solution orbit is reported;
 //! * **disjunction generators** — an `Or` conjunct generates candidates as
 //!   the union of its branches' candidate sets whenever every branch can
 //!   generate, which keeps specs with alternative shapes (e.g. the
-//!   diamond/select argmin forms) tractable;
-//! * **selectivity-ordered checkers** — each label's checker atoms run
-//!   cheapest-and-most-selective first ([`Atom::cost_rank`]), so equality
-//!   and index lookups prune before whole-loop dataflow walks execute.
+//!   diamond/select argmin forms) tractable.
 //!
 //! **Prefix sharing.** Specifications composed as `prefix ⨯ extension`
 //! (see [`SpecBuilder::mark_prefix`](crate::constraint::SpecBuilder::mark_prefix))
 //! can skip re-solving the shared prefix: [`solve_extend`] resumes the
 //! backtracking search from previously computed prefix assignments,
 //! visiting exactly the nodes a full [`solve`] would visit *below* the
-//! prefix — same solutions, same order, a fraction of the steps. The
-//! detection driver caches for-loop solutions per function in a
-//! [`PrefixCache`](crate::detect::PrefixCache) so the loop skeleton is
-//! solved once per function, not once per idiom.
+//! prefix — same solutions, a fraction of the steps. The detection driver
+//! caches for-loop solutions per function as a
+//! [`SolutionTrie`](crate::detect::SolutionTrie) inside a
+//! [`PrefixCache`](crate::detect::PrefixCache), and a [`GenMemo`] shares
+//! the per-(atom, bound-operands) candidate lists across every idiom
+//! extending the same cached prefix (`solver.trie.shared_gen`). Specs
+//! stacking several prefix instances (map-reduce fusion) resume via a
+//! *trie product*: prefix digits are assigned one instance at a time and
+//! the cross-instance residual conjuncts prune a whole subtree of tuples
+//! as soon as the deciding digit is bound, instead of filtering the flat
+//! cartesian product tuple by tuple.
 //!
 //! [`solve_naive`] is the exponential baseline (filter the full cartesian
 //! enumeration), kept for the ablation benchmark and for cross-validation
@@ -40,9 +61,31 @@
 use crate::atoms::{Atom, MatchCtx};
 use crate::constraint::{Constraint, Label, Spec};
 use gr_ir::ValueId;
+use std::collections::HashMap;
 
 /// A full assignment of label index → IR value.
 pub type Assignment = Vec<ValueId>;
+
+/// Search-shaping knobs: which of the solver's pruning layers are active.
+/// Both default on; the ablation benches and the idiom registry's
+/// [`with_policy`](crate::spec::IdiomRegistry::with_policy) hook switch
+/// them individually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchPolicy {
+    /// Order labels by static generator selectivity (cheapest candidate
+    /// sets first). Off: labels are assigned in declaration order.
+    pub priority: bool,
+    /// Canonicalize interchangeable labels by value-id order, pruning the
+    /// mirrored half of the search space. Off: every symmetric twin of a
+    /// solution is enumerated.
+    pub symmetry: bool,
+}
+
+impl Default for SearchPolicy {
+    fn default() -> SearchPolicy {
+        SearchPolicy { priority: true, symmetry: true }
+    }
+}
 
 /// Solver configuration.
 #[derive(Debug, Clone, Copy)]
@@ -51,18 +94,27 @@ pub struct SolveOptions {
     pub max_solutions: usize,
     /// Abort after this many backtracking steps.
     pub max_steps: usize,
+    /// Which search-shaping layers are active.
+    pub policy: SearchPolicy,
 }
 
 impl Default for SolveOptions {
     fn default() -> SolveOptions {
-        SolveOptions { max_solutions: 10_000, max_steps: 50_000_000 }
+        SolveOptions {
+            max_solutions: 10_000,
+            max_steps: 50_000_000,
+            policy: SearchPolicy::default(),
+        }
     }
 }
 
 /// Statistics from one solver run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolveStats {
-    /// Nodes visited in the backtracking tree.
+    /// Candidates tried at branching levels of the backtracking tree.
+    /// Forced moves — levels where exactly one candidate survives the
+    /// generator intersection — are free: they represent propagation, not
+    /// search.
     pub steps: usize,
     /// Solutions yielded.
     pub solutions: usize,
@@ -79,11 +131,53 @@ impl SolveStats {
     }
 }
 
+/// Memoized candidate generation, shared across solver runs over the same
+/// function. Keyed by the materialized atom plus the values bound to its
+/// non-target labels — exactly the inputs [`Atom::enumerate`] reads — so a
+/// hit returns the byte-identical candidate list the atom would have
+/// produced. Sibling idioms extending the same cached prefix re-derive the
+/// same `(atom, bound values)` pairs at the same trie nodes; each re-use is
+/// counted under `solver.trie.shared_gen`.
+///
+/// Like the [`PrefixCache`](crate::detect::PrefixCache) that owns one, a
+/// memo is only meaningful for a single function: candidate lists are
+/// `ValueId`s of one value arena.
+#[derive(Default)]
+pub struct GenMemo {
+    map: HashMap<(String, Vec<ValueId>), Vec<ValueId>>,
+}
+
+impl GenMemo {
+    /// An empty memo.
+    #[must_use]
+    pub fn new() -> GenMemo {
+        GenMemo::default()
+    }
+
+    /// Distinct `(atom, bound-operands)` generation sites memoized.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no generation site has been memoized yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops every memoized candidate list.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
 /// One branch of an `Or` conjunct, prepared for candidate generation at a
 /// fixed level: the branch's atoms decidable at that level, and the subset
 /// able to enumerate the level's label.
 struct OrBranchGen<'s> {
-    /// Branch atoms whose labels are all `<= level` (membership filters).
+    /// Branch atoms whose labels are all placed by the level (membership
+    /// filters).
     decidable: Vec<&'s Atom>,
     /// Decidable atoms mentioning the level's label exactly once with all
     /// other labels earlier (candidate enumerators).
@@ -108,35 +202,68 @@ enum Resolved<'g, 's> {
     Or(Vec<(&'s Atom, &'g [&'s Atom])>),
 }
 
-/// The per-label search tables for one (sub-)specification, built once per
-/// solver run.
+/// The per-level search tables for one (sub-)specification, built once per
+/// solver run. Levels are *positions* in the priority order, not label
+/// indexes: `order[pos]` is the label assigned at position `pos`, and
+/// every table below is indexed by position.
 struct SearchPlan<'s> {
     spec: &'s Spec,
-    /// First label index this plan assigns (0 for a full solve, the
-    /// prefix arity for an extension solve).
+    /// First position this plan assigns (0 for a full solve, the prefix
+    /// arity for an extension solve). Positions below `start` hold the
+    /// resumed prefix labels, in label order.
     start: usize,
-    /// Conjunct atoms decided at each level, cheapest-first.
+    /// Position → label index. Positions `0..pin` are always the identity
+    /// (`pin` covers a marked prefix), so prefix assignments land in their
+    /// declared slots on both the full and the resumed path.
+    order: Vec<usize>,
+    /// Label index → position (inverse of `order`).
+    place: Vec<usize>,
+    /// Conjunct atoms decided at each position, cheapest-first.
     checkers: Vec<Vec<&'s Atom>>,
-    /// Candidate-generation sources per level.
+    /// Candidate-generation sources per position.
     generators: Vec<Vec<Gen<'s>>>,
-    /// `Or` conjuncts with their max label, partially evaluated while they
-    /// are not yet fully decided.
+    /// `Or` conjuncts with the position deciding them, partially evaluated
+    /// while they are not yet fully decided.
     partials: Vec<(&'s Constraint, usize)>,
     /// Conjuncts past the prefix mark whose labels all lie inside the
-    /// prefix: checked once per resumed prefix assignment.
+    /// prefix: checked once per resumed prefix digit.
     residual: Vec<&'s Constraint>,
+    /// Canonical-order constraints from symmetry breaking, attached to the
+    /// position where both labels of the pair are bound: candidates
+    /// violating `asg[lo] <= asg[hi]` are mirror images of a canonical
+    /// assignment and are pruned.
+    sym_checks: Vec<Vec<(usize, usize)>>,
 }
 
 impl<'s> SearchPlan<'s> {
-    fn new(spec: &'s Spec, start: usize, skip_conjuncts: usize) -> SearchPlan<'s> {
+    fn new(
+        spec: &'s Spec,
+        ctx: &MatchCtx<'_>,
+        start: usize,
+        skip_conjuncts: usize,
+        policy: SearchPolicy,
+    ) -> SearchPlan<'s> {
         let n = spec.arity();
+        // The identity-pinned region: a marked prefix keeps declaration
+        // order on both the full-solve and the resumed path, so the two
+        // visit the same nodes level for level and the step decomposition
+        // `prefix + extension == full` holds exactly.
+        let pin = spec.prefix.map_or(start, |p| p.total_labels()).max(start).min(n);
+        let order = priority_order(spec, ctx, pin, policy);
+        let mut place = vec![0usize; n];
+        for (pos, &l) in order.iter().enumerate() {
+            place[l] = pos;
+        }
         let mut plan = SearchPlan {
             spec,
             start,
+            order,
+            place,
             checkers: vec![Vec::new(); n],
             generators: (0..n).map(|_| Vec::new()).collect(),
             partials: Vec::new(),
             residual: Vec::new(),
+            sym_checks: vec![Vec::new(); n],
         };
         for c in &spec.conjuncts()[skip_conjuncts..] {
             plan.add_conjunct(c);
@@ -144,7 +271,24 @@ impl<'s> SearchPlan<'s> {
         for v in &mut plan.checkers {
             v.sort_by_key(|a| a.cost_rank());
         }
+        if policy.symmetry {
+            for (lo, hi) in symmetric_pairs(spec, pin) {
+                let pos = plan.place[lo].max(plan.place[hi]);
+                plan.sym_checks[pos].push((lo, hi));
+            }
+        }
         plan
+    }
+
+    /// The latest position among a constraint's labels — the level at
+    /// which the constraint is fully decided.
+    fn max_place(&self, c: &Constraint) -> Option<usize> {
+        match c {
+            Constraint::Atom(a) => a.labels().iter().map(|l| self.place[l.index()]).max(),
+            Constraint::And(cs) | Constraint::Or(cs) => {
+                cs.iter().filter_map(|c| self.max_place(c)).max()
+            }
+        }
     }
 
     fn add_conjunct(&mut self, c: &'s Constraint) {
@@ -156,18 +300,19 @@ impl<'s> SearchPlan<'s> {
             }
             Constraint::Atom(a) => {
                 let labels = a.labels();
-                let Some(max) = labels.iter().map(|l| l.index()).max() else { return };
-                if max < self.start {
+                let Some(pos) = labels.iter().map(|l| self.place[l.index()]).max() else { return };
+                if pos < self.start {
                     self.residual.push(c);
                     return;
                 }
-                self.checkers[max].push(a);
-                if labels.iter().filter(|l| l.index() == max).count() == 1 {
-                    self.generators[max].push(Gen::Atom(a));
+                self.checkers[pos].push(a);
+                let decided = self.order[pos];
+                if labels.iter().filter(|l| l.index() == decided).count() == 1 {
+                    self.generators[pos].push(Gen::Atom(a));
                 }
             }
             Constraint::Or(branches) => {
-                let Some(max) = c.max_label() else { return };
+                let Some(max) = self.max_place(c) else { return };
                 if max < self.start {
                     self.residual.push(c);
                     return;
@@ -176,21 +321,22 @@ impl<'s> SearchPlan<'s> {
                 // Mandatory atoms per branch (nested `And`s flattened,
                 // nested `Or`s skipped — their atoms are optional).
                 let flat: Vec<Vec<&'s Atom>> = branches.iter().map(mandatory_atoms).collect();
-                for k in self.start..=max {
+                for pos in self.start..=max {
+                    let decided = self.order[pos];
                     let mut per_branch = Vec::with_capacity(flat.len());
                     let mut all_generate = true;
                     for atoms in &flat {
                         let decidable: Vec<&'s Atom> = atoms
                             .iter()
                             .copied()
-                            .filter(|a| a.labels().iter().all(|l| l.index() <= k))
+                            .filter(|a| a.labels().iter().all(|l| self.place[l.index()] <= pos))
                             .collect();
                         let enumerators: Vec<&'s Atom> = decidable
                             .iter()
                             .copied()
                             .filter(|a| {
                                 let ls = a.labels();
-                                ls.iter().filter(|l| l.index() == k).count() == 1
+                                ls.iter().filter(|l| l.index() == decided).count() == 1
                             })
                             .collect();
                         if enumerators.is_empty() {
@@ -200,7 +346,7 @@ impl<'s> SearchPlan<'s> {
                         per_branch.push(OrBranchGen { decidable, enumerators });
                     }
                     if all_generate {
-                        self.generators[k].push(Gen::Or(per_branch));
+                        self.generators[pos].push(Gen::Or(per_branch));
                     }
                 }
             }
@@ -209,12 +355,36 @@ impl<'s> SearchPlan<'s> {
 
     /// Partial evaluation of the not-yet-decided `Or` conjuncts. Conjunct
     /// atoms are covered exactly once by `checkers`; an `Or` decided at an
-    /// earlier level was evaluated exactly there and cannot change.
-    fn partials_hold(&self, ctx: &MatchCtx<'_>, asg: &[ValueId], level: usize) -> bool {
+    /// earlier position was evaluated exactly there and cannot change.
+    fn partials_hold(&self, ctx: &MatchCtx<'_>, asg: &[ValueId], pos: usize) -> bool {
         self.partials
             .iter()
-            .filter(|(_, max)| *max >= level)
-            .all(|(c, _)| eval_partial(c, ctx, asg))
+            .filter(|(_, max)| *max >= pos)
+            .all(|(c, _)| self.eval_partial(c, ctx, asg, pos))
+    }
+
+    /// Optimistic evaluation: atoms mentioning a label placed after `pos`
+    /// count as true (this is the substitution defining `c_k` in the
+    /// paper). Boundness is positional — under a priority order a label's
+    /// index says nothing about when it is assigned.
+    fn eval_partial(
+        &self,
+        c: &Constraint,
+        ctx: &MatchCtx<'_>,
+        asg: &[ValueId],
+        pos: usize,
+    ) -> bool {
+        match c {
+            Constraint::Atom(a) => {
+                if a.labels().iter().all(|l| self.place[l.index()] <= pos) {
+                    a.check(ctx, asg)
+                } else {
+                    true
+                }
+            }
+            Constraint::And(cs) => cs.iter().all(|c| self.eval_partial(c, ctx, asg, pos)),
+            Constraint::Or(cs) => cs.iter().any(|c| self.eval_partial(c, ctx, asg, pos)),
+        }
     }
 }
 
@@ -229,8 +399,182 @@ fn mandatory_atoms(c: &Constraint) -> Vec<&Atom> {
     }
 }
 
+/// Every atom reachable in a constraint, `Or` branches included (used for
+/// the ordering heuristic only, where optimistic coverage is fine).
+fn collect_atoms<'s>(c: &'s Constraint, out: &mut Vec<&'s Atom>) {
+    match c {
+        Constraint::Atom(a) => out.push(a),
+        Constraint::And(cs) | Constraint::Or(cs) => {
+            for c in cs {
+                collect_atoms(c, out);
+            }
+        }
+    }
+}
+
+/// Static candidate-set size of one atom generating `target`, read off the
+/// `MatchCtx` indexes without any labels bound: `None` exactly when
+/// [`Atom::enumerate`] could never produce candidates for that role, and a
+/// typical-fanout guess where the true cardinality needs a bound anchor.
+/// Only a heuristic for label ordering — the dynamic [`Atom::estimate`]
+/// still picks the generator at each node, and a label wrongly scored here
+/// is merely visited at a different level, never solved incorrectly.
+fn static_estimate(a: &Atom, ctx: &MatchCtx<'_>, target: Label) -> Option<usize> {
+    match a {
+        Atom::IsBlock(l) => (*l == target).then_some(ctx.block_labels.len()),
+        Atom::IsLoopHeader(l) => (*l == target).then_some(ctx.header_loops.len()),
+        Atom::Opcode { l, class } => (*l == target).then(|| ctx.bucket(*class).len()),
+        Atom::Equal { a, b } => (*a != *b && (*a == target || *b == target)).then_some(1),
+        Atom::OperandIs { inst, value, .. } => {
+            if *value == target {
+                Some(1)
+            } else {
+                (*inst == target).then_some(3)
+            }
+        }
+        Atom::PhiIncoming { phi, value, block } => {
+            (*phi == target || *value == target || *block == target).then_some(3)
+        }
+        Atom::OperandOf { inst, value } => (*inst == target || *value == target).then_some(3),
+        Atom::BlockOf { inst, block } => {
+            if *block == target {
+                Some(1)
+            } else {
+                (*inst == target).then_some(10)
+            }
+        }
+        Atom::CfgEdge { from, to } => (*from == target || *to == target).then_some(2),
+        Atom::InLoopBlock { block, .. } => (*block == target).then_some(4),
+        Atom::InLoopInst { inst, .. } => (*inst == target).then_some(24),
+        Atom::AnchoredTo { inst, .. } => (*inst == target).then_some(16),
+        Atom::IsConstInt { l, .. } => (*l == target).then_some(1),
+        Atom::ConstIntNegative(l) => (*l == target).then_some(2),
+        _ => None,
+    }
+}
+
+/// The priority order: positions `0..pin` keep declaration order (the
+/// marked-prefix region); after that, any unplaced label that a
+/// placed-anchored atom pins to **at most one candidate** (estimate `<= 1`:
+/// `Equal`, a value-slot `OperandIs`, `BlockOf` toward the block, a
+/// singleton opcode bucket, ...) is hoisted next — binding it is a forced
+/// move, costs no search steps, and arms its membership filters for every
+/// later position. Only **mandatory** atoms count as forcing: an atom
+/// inside an `Or` pins the label in its own branch only, and hoisting on
+/// it would push the sibling branch of the union generator into the
+/// whole-domain fallback. When no label is forced the order falls back to
+/// declaration order: hand-written specs chain each label off its
+/// predecessors, and static cardinality guesses for branching generators
+/// are not reliable enough to beat that chain.
+fn priority_order(spec: &Spec, ctx: &MatchCtx<'_>, pin: usize, policy: SearchPolicy) -> Vec<usize> {
+    let n = spec.arity();
+    let mut order: Vec<usize> = (0..pin.min(n)).collect();
+    if !policy.priority {
+        order.extend(pin..n);
+        return order;
+    }
+    // Force records, precomputed once: `(target, anchors)` where some
+    // mandatory atom mentions `target` exactly once with estimate <= 1,
+    // and `anchors` are the atom's other labels — the move is forced as
+    // soon as every anchor is placed. `static_estimate` is placement-
+    // independent, so nothing here needs recomputing inside the loop.
+    let mut force: Vec<(usize, Vec<usize>)> = Vec::new();
+    for a in spec.conjuncts().iter().flat_map(mandatory_atoms) {
+        let ls = a.labels();
+        for x in &ls {
+            let l = x.index();
+            if ls.iter().filter(|y| y.index() == l).count() == 1
+                && static_estimate(a, ctx, Label(l)).is_some_and(|e| e <= 1)
+            {
+                force.push((l, ls.iter().map(|y| y.index()).filter(|&o| o != l).collect()));
+            }
+        }
+    }
+    let mut placed = vec![false; n];
+    for &l in &order {
+        placed[l] = true;
+    }
+    while order.len() < n {
+        let forced = (0..n).filter(|&l| !placed[l]).find(|&l| {
+            force.iter().any(|(t, anchors)| *t == l && anchors.iter().all(|&o| placed[o]))
+        });
+        let l =
+            forced.unwrap_or_else(|| (0..n).find(|&l| !placed[l]).expect("some label is unplaced"));
+        placed[l] = true;
+        order.push(l);
+    }
+    order
+}
+
+/// Interchangeable label pairs `(lo, hi)` with `lo < hi`, both at or past
+/// `from`: swapping the two labels everywhere maps the conjunct multiset
+/// onto itself, so the solution set is closed under swapping their values
+/// and the solver may keep only the `asg[lo] <= asg[hi]` representative of
+/// each orbit.
+///
+/// Detection is purely structural (a textual `Label(i) ↔ Label(j)` swap
+/// over the conjuncts' debug rendering, compared as multisets), preceded
+/// by a cheap per-label signature filter so the string pass runs only on
+/// genuinely twin-shaped labels. Pairs straddling a marked prefix are
+/// excluded (`from` = prefix arity): the prefix is solved standalone and
+/// must not commit to a canonical form the extension conjuncts could
+/// distinguish.
+fn symmetric_pairs(spec: &Spec, from: usize) -> Vec<(usize, usize)> {
+    let n = spec.arity();
+    if n < 2 || from + 2 > n {
+        return Vec::new();
+    }
+    let conjuncts = spec.conjuncts();
+    // Signature filter: the multiset of (atom kind, mention count) per
+    // label must agree before the exact swap test is worth rendering.
+    let mut sig: Vec<Vec<(&'static str, usize)>> = vec![Vec::new(); n];
+    let mut atoms = Vec::new();
+    for c in conjuncts {
+        collect_atoms(c, &mut atoms);
+    }
+    for a in &atoms {
+        let ls = a.labels();
+        for l in &ls {
+            let mentions = ls.iter().filter(|x| x == &l).count();
+            sig[l.index()].push((a.kind_name(), mentions));
+        }
+    }
+    for s in &mut sig {
+        s.sort_unstable();
+    }
+    let mut rendered: Option<Vec<String>> = None;
+    let mut pairs = Vec::new();
+    for lo in from..n {
+        for hi in lo + 1..n {
+            if sig[lo] != sig[hi] {
+                continue;
+            }
+            let base = rendered
+                .get_or_insert_with(|| conjuncts.iter().map(|c| format!("{c:?}")).collect());
+            let mut swapped: Vec<String> =
+                base.iter().map(|s| swap_label_text(s, lo, hi)).collect();
+            let mut sorted_base = base.clone();
+            sorted_base.sort_unstable();
+            swapped.sort_unstable();
+            if swapped == sorted_base {
+                pairs.push((lo, hi));
+            }
+        }
+    }
+    pairs
+}
+
+/// Textual `Label(i) ↔ Label(j)` swap over one conjunct's debug rendering.
+/// The closing parenthesis makes the needle unambiguous (`Label(1)` never
+/// matches inside `Label(12)`).
+fn swap_label_text(s: &str, i: usize, j: usize) -> String {
+    let a = format!("Label({i})");
+    let b = format!("Label({j})");
+    s.replace(&a, "\u{1}").replace(&b, &a).replace('\u{1}', &b)
+}
+
 /// Enumerates every assignment satisfying `spec` (up to the limits in
-/// `opts`).
+/// `opts`), in lexicographic order.
 #[must_use]
 pub fn solve(spec: &Spec, ctx: &MatchCtx<'_>, opts: SolveOptions) -> (Vec<Assignment>, SolveStats) {
     let _sp = gr_trace::enabled()
@@ -240,26 +584,29 @@ pub fn solve(spec: &Spec, ctx: &MatchCtx<'_>, opts: SolveOptions) -> (Vec<Assign
     if spec.arity() == 0 {
         return (solutions, stats);
     }
-    let plan = SearchPlan::new(spec, 0, 0);
-    let mut asg: Assignment = Vec::with_capacity(spec.arity());
-    search(&plan, ctx, &mut asg, &mut solutions, &mut stats, opts);
+    let plan = SearchPlan::new(spec, ctx, 0, 0, opts.policy);
+    let mut asg: Assignment = vec![ValueId(0); spec.arity()];
+    search(&plan, ctx, &mut asg, 0, &mut solutions, &mut stats, opts, None);
+    solutions.sort_unstable();
     (solutions, stats)
 }
 
 /// Resumes the backtracking search of `spec` from solved prefix
 /// assignments (each of the prefix's arity), visiting exactly the search
 /// nodes a full [`solve`] would visit below those prefixes: the returned
-/// solutions and their order are identical to the full solve, while the
-/// steps cover only the extension levels.
+/// solutions are identical to the full solve, while the steps cover only
+/// the extension levels.
 ///
 /// Specs stacking several prefix **instances** (see
 /// [`PrefixInfo::instances`](crate::constraint::PrefixInfo)) resume from
-/// every ordered tuple of prefix solutions — the cartesian power, in
-/// lexicographic order, which is exactly the order a full solve enumerates
-/// the stacked copies. Map-reduce fusion resumes from *pairs* of for-loop
-/// solutions this way: one cached solve, |loops|² resumed pairs, and the
-/// cross-loop residual conjuncts prune each pair before any extension
-/// label is searched.
+/// every ordered tuple of prefix solutions via a *trie product*: instance
+/// digits are assigned outermost-first, and the residual conjuncts
+/// confined to the first `d` instances are checked as soon as digit `d` is
+/// bound — a failing producer loop prunes every consumer pairing at once
+/// instead of surfacing `|loops|` dead tuples. Map-reduce fusion resumes
+/// from *pairs* of for-loop solutions this way: one cached solve, a pruned
+/// product over the pairs, and the cross-loop residual conjuncts cut each
+/// subtree before any extension label is searched.
 ///
 /// The prefix assignments are typically produced once per function by
 /// solving [`Spec::prefix_spec`] and cached across idiom entries in a
@@ -274,121 +621,202 @@ pub fn solve_extend(
     prefix_solutions: &[Assignment],
     opts: SolveOptions,
 ) -> (Vec<Assignment>, SolveStats) {
+    solve_extend_with_memo(spec, ctx, prefix_solutions, opts, None)
+}
+
+/// [`solve_extend`] with a candidate-generation memo shared across calls
+/// over the same function: sibling idioms extending the same prefix reuse
+/// each other's per-node candidate lists (see [`GenMemo`]). Results are
+/// byte-identical with and without a memo — only repeated enumeration work
+/// is skipped.
+///
+/// # Panics
+/// Panics if `spec` has no marked prefix.
+#[must_use]
+pub fn solve_extend_with_memo(
+    spec: &Spec,
+    ctx: &MatchCtx<'_>,
+    prefix_solutions: &[Assignment],
+    opts: SolveOptions,
+    mut memo: Option<&mut GenMemo>,
+) -> (Vec<Assignment>, SolveStats) {
     let p = spec.prefix.expect("solve_extend requires a spec with a marked prefix");
     let _sp = gr_trace::enabled()
         .then(|| gr_trace::span_with("extend", vec![("spec", spec.name.as_str().into())]));
-    let plan = SearchPlan::new(spec, p.total_labels(), p.total_conjuncts());
+    let plan = SearchPlan::new(spec, ctx, p.total_labels(), p.total_conjuncts(), opts.policy);
     let mut solutions = Vec::new();
     let mut stats = SolveStats::default();
     if prefix_solutions.is_empty() {
         return (solutions, stats);
     }
-    // Odometer over `instances` digits, last digit fastest: tuple t is the
-    // assignment of instance i's labels from `prefix_solutions[t[i]]`.
-    let mut idx = vec![0usize; p.instances];
-    'tuples: loop {
-        let mut asg: Assignment = Vec::with_capacity(spec.arity());
-        for &i in &idx {
-            let pre = &prefix_solutions[i];
-            debug_assert_eq!(pre.len(), p.labels, "prefix assignment arity mismatch");
-            asg.extend_from_slice(pre);
-        }
-        gr_trace::counter("solver.resume_tuples", 1);
-        // Extension conjuncts confined to prefix labels (including every
-        // cross-instance condition) are decided here, once per tuple.
-        if plan.residual.iter().all(|c| eval(c, ctx, &asg)) {
-            gr_trace::counter("solver.resume_points", 1);
-            search(&plan, ctx, &mut asg, &mut solutions, &mut stats, opts);
-            if stats.truncated {
-                break;
-            }
-        }
-        for d in (0..idx.len()).rev() {
-            idx[d] += 1;
-            if idx[d] < prefix_solutions.len() {
-                continue 'tuples;
-            }
-            idx[d] = 0;
-        }
-        break;
+    // Residual conjuncts bucketed by the last prefix instance they read:
+    // checked as soon as that digit of the product is bound.
+    let mut residual_at: Vec<Vec<&Constraint>> = (0..p.instances).map(|_| Vec::new()).collect();
+    for c in &plan.residual {
+        let max = c.max_label().expect("residual conjuncts mention prefix labels");
+        residual_at[max / p.labels].push(c);
     }
+    let mut asg: Assignment = vec![ValueId(0); spec.arity()];
+    product(
+        &plan,
+        ctx,
+        &p,
+        prefix_solutions,
+        &residual_at,
+        0,
+        &mut asg,
+        &mut solutions,
+        &mut stats,
+        opts,
+        &mut memo,
+    );
+    solutions.sort_unstable();
     (solutions, stats)
 }
 
-fn search(
+/// One level of the prefix trie product: bind instance `depth`'s labels
+/// from each cached prefix solution, check the residual conjuncts decided
+/// by that digit, and recurse; a full tuple launches the extension search.
+#[allow(clippy::too_many_arguments)]
+fn product(
     plan: &SearchPlan<'_>,
     ctx: &MatchCtx<'_>,
+    p: &crate::constraint::PrefixInfo,
+    prefix_solutions: &[Assignment],
+    residual_at: &[Vec<&Constraint>],
+    depth: usize,
     asg: &mut Assignment,
     solutions: &mut Vec<Assignment>,
     stats: &mut SolveStats,
     opts: SolveOptions,
+    memo: &mut Option<&mut GenMemo>,
 ) {
-    let k = asg.len();
+    if depth == p.instances {
+        gr_trace::counter("solver.resume_points", 1);
+        search(plan, ctx, asg, plan.start, solutions, stats, opts, memo.as_deref_mut());
+        return;
+    }
+    let base = depth * p.labels;
+    for pre in prefix_solutions {
+        debug_assert_eq!(pre.len(), p.labels, "prefix assignment arity mismatch");
+        asg[base..base + p.labels].copy_from_slice(pre);
+        gr_trace::counter("solver.resume_tuples", 1);
+        if residual_at[depth].iter().all(|c| eval(c, ctx, asg)) {
+            product(
+                plan,
+                ctx,
+                p,
+                prefix_solutions,
+                residual_at,
+                depth + 1,
+                asg,
+                solutions,
+                stats,
+                opts,
+                memo,
+            );
+            if stats.truncated {
+                return;
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    plan: &SearchPlan<'_>,
+    ctx: &MatchCtx<'_>,
+    asg: &mut Assignment,
+    pos: usize,
+    solutions: &mut Vec<Assignment>,
+    stats: &mut SolveStats,
+    opts: SolveOptions,
+    mut memo: Option<&mut GenMemo>,
+) {
     if stats.steps >= opts.max_steps || solutions.len() >= opts.max_solutions {
         stats.truncated = true;
         return;
     }
-    if k == plan.spec.arity() {
-        // Every conjunct atom was checked at its decision level and every
-        // `Or` conjunct was evaluated exactly at its max level, so a full
-        // assignment is a solution by construction.
+    if pos == plan.spec.arity() {
+        // Every conjunct atom was checked at its decision position and
+        // every `Or` conjunct was evaluated exactly at its deciding
+        // position, so a full assignment is a solution by construction.
         debug_assert!(eval(&plan.spec.root, ctx, asg) || plan.start > 0);
         solutions.push(asg.clone());
         stats.solutions += 1;
         return;
     }
-    let (candidates, chosen) = generate_candidates(plan, ctx, asg, k);
+    let label = plan.order[pos];
+    let (candidates, chosen) = generate_candidates(plan, ctx, asg, pos, memo.as_deref_mut());
     if gr_trace::enabled() {
         gr_trace::counter("solver.candidates", candidates.len() as i64);
-        let label = format!("{}::{}", plan.spec.name, plan.spec.label_names[k]);
-        gr_trace::counter_keyed("solver.candidates.label", &label, candidates.len() as i64);
+        let key = format!("{}::{}", plan.spec.name, plan.spec.label_names[label]);
+        gr_trace::counter_keyed("solver.candidates.label", &key, candidates.len() as i64);
         // Fanout distribution per label: how many candidates each decision
-        // level generates, not just the sum. A future beam search orders by
-        // exactly this (ROADMAP: selectivity-guided search), and the bench
-        // baseline gates its shape so fanout blowups fail CI.
-        gr_trace::histogram_keyed("solver.fanout", &label, candidates.len() as i64);
+        // level generates, not just the sum. The priority order is driven
+        // by exactly this, and the bench baseline gates its shape so
+        // fanout blowups fail CI.
+        gr_trace::histogram_keyed("solver.fanout", &key, candidates.len() as i64);
     }
+    // Membership pre-filter (the rest of the generator intersection) plus
+    // symmetry canonicalization: what survives here is the true branching
+    // factor of this node, exactly as if every generator list had been
+    // materialized and intersected. The materialized source contains its
+    // own candidates by construction and is skipped.
+    let mut survivors: Vec<ValueId> = Vec::with_capacity(candidates.len());
     for v in candidates {
-        // Membership pre-filter (the rest of the generator intersection):
-        // candidates outside any generating source are rejected before
-        // they count as a search step, exactly as if every generator list
-        // had been materialized and intersected. The materialized source
-        // contains its own candidates by construction and is skipped.
-        asg.push(v);
-        let member = plan.generators[k]
+        asg[label] = v;
+        let member = plan.generators[pos]
             .iter()
             .enumerate()
             .all(|(i, g)| Some(i) == chosen || source_contains(g, ctx, asg));
-        asg.pop();
         if !member {
             continue;
         }
-        stats.steps += 1;
-        if gr_trace::enabled() {
-            // The `solver.steps` trace counter increments exactly where
-            // `stats.steps` does, so the two substrates agree byte-for-byte.
-            gr_trace::counter("solver.steps", 1);
-            gr_trace::counter_max("solver.max_depth", (k + 1) as i64);
+        if !plan.sym_checks[pos].iter().all(|&(lo, hi)| asg[lo] <= asg[hi]) {
+            gr_trace::counter("solver.trie.pruned_sym", 1);
+            continue;
         }
-        if stats.steps >= opts.max_steps {
+        survivors.push(v);
+    }
+    // A single survivor is a forced move — propagation, not search — and
+    // costs no step; only genuine branching charges the ledger.
+    let branching = survivors.len() >= 2;
+    for v in survivors {
+        if branching {
+            stats.steps += 1;
+            if gr_trace::enabled() {
+                // The `solver.steps` trace counter increments exactly where
+                // `stats.steps` does, so the two substrates agree
+                // byte-for-byte.
+                gr_trace::counter("solver.steps", 1);
+            }
+            if stats.steps >= opts.max_steps {
+                stats.truncated = true;
+                return;
+            }
+        }
+        asg[label] = v;
+        if gr_trace::enabled() {
+            gr_trace::counter_max("solver.max_depth", (pos + 1) as i64);
+        }
+        // c_k: all conjunct atoms decided at this position must hold, and
+        // the optimistic evaluation of the undecided disjunctions must not
+        // be false.
+        let ok = if gr_trace::enabled() {
+            check_traced(plan, ctx, asg, pos)
+        } else {
+            plan.checkers[pos].iter().all(|a| a.check(ctx, asg))
+                && plan.partials_hold(ctx, asg, pos)
+        };
+        if ok {
+            search(plan, ctx, asg, pos + 1, solutions, stats, opts, memo.as_deref_mut());
+        }
+        if solutions.len() >= opts.max_solutions {
             stats.truncated = true;
             return;
         }
-        asg.push(v);
-        // c_k: all conjunct atoms decided at this step must hold, and the
-        // optimistic evaluation of the undecided disjunctions must not be
-        // false.
-        let ok = if gr_trace::enabled() {
-            check_traced(plan, ctx, asg, k)
-        } else {
-            plan.checkers[k].iter().all(|a| a.check(ctx, asg)) && plan.partials_hold(ctx, asg, k)
-        };
-        if ok {
-            search(plan, ctx, asg, solutions, stats, opts);
-        }
-        asg.pop();
-        if solutions.len() >= opts.max_solutions {
-            stats.truncated = true;
+        if stats.truncated {
             return;
         }
     }
@@ -399,35 +827,38 @@ fn search(
 /// first failing checker atom (or the optimistic `Or` evaluation) is
 /// counted under `solver.prunes{<kind>}`.
 #[cold]
-fn check_traced(plan: &SearchPlan<'_>, ctx: &MatchCtx<'_>, asg: &[ValueId], k: usize) -> bool {
-    for a in &plan.checkers[k] {
+fn check_traced(plan: &SearchPlan<'_>, ctx: &MatchCtx<'_>, asg: &[ValueId], pos: usize) -> bool {
+    for a in &plan.checkers[pos] {
         if !a.check(ctx, asg) {
             gr_trace::counter_keyed("solver.prunes", a.kind_name(), 1);
             return false;
         }
     }
-    if !plan.partials_hold(ctx, asg, k) {
+    if !plan.partials_hold(ctx, asg, pos) {
         gr_trace::counter_keyed("solver.prunes", "Or", 1);
         return false;
     }
     true
 }
 
-/// Materializes the candidate set for level `k`: the most selective
+/// Materializes the candidate set for position `pos`: the most selective
 /// generating source (by [`Atom::estimate`]) is enumerated; the remaining
 /// sources filter by membership in `search`. Returns the index of the
 /// materialized source (its membership test is true by construction), or
 /// `None` after the full `values(F)` fallback when no source can
-/// generate.
+/// generate. With a [`GenMemo`], single-atom enumerations are served from
+/// the memo when the same (atom, bound operands) site was generated
+/// before — each hit counts under `solver.trie.shared_gen`.
 fn generate_candidates(
     plan: &SearchPlan<'_>,
     ctx: &MatchCtx<'_>,
     asg: &[ValueId],
-    k: usize,
+    pos: usize,
+    memo: Option<&mut GenMemo>,
 ) -> (Vec<ValueId>, Option<usize>) {
-    let target = Label(k);
+    let target = Label(plan.order[pos]);
     let mut best: Option<(usize, usize, Resolved<'_, '_>)> = None;
-    for (i, g) in plan.generators[k].iter().enumerate() {
+    for (i, g) in plan.generators[pos].iter().enumerate() {
         let Some((card, resolved)) = resolve_source(g, ctx, asg, target) else { continue };
         if best.as_ref().is_none_or(|(c, _, _)| card < *c) {
             best = Some((card, i, resolved));
@@ -437,6 +868,26 @@ fn generate_candidates(
     let mut out = match best {
         None => return (ctx.func.value_ids().collect(), None),
         Some((_, _, Resolved::Atom(a))) => {
+            if let Some(memo) = memo {
+                let key = (
+                    format!("{a:?}"),
+                    a.labels()
+                        .iter()
+                        .filter(|l| **l != target)
+                        .map(|l| asg[l.index()])
+                        .collect::<Vec<_>>(),
+                );
+                if let Some(cached) = memo.map.get(&key) {
+                    gr_trace::counter("solver.trie.shared_gen", 1);
+                    return (cached.clone(), chosen);
+                }
+                let mut fresh =
+                    a.enumerate(ctx, asg, target).expect("estimate and enumerate agree");
+                fresh.sort_unstable();
+                fresh.dedup();
+                memo.map.insert(key, fresh.clone());
+                return (fresh, chosen);
+            }
             a.enumerate(ctx, asg, target).expect("estimate and enumerate agree")
         }
         Some((_, _, Resolved::Or(branches))) => {
@@ -446,9 +897,8 @@ fn generate_candidates(
                 let cands =
                     enumerator.enumerate(ctx, asg, target).expect("estimate and enumerate agree");
                 for v in cands {
-                    scratch.push(v);
+                    scratch[target.index()] = v;
                     let ok = filters.iter().all(|a| a.check(ctx, &scratch));
-                    scratch.pop();
                     if ok {
                         union.push(v);
                     }
@@ -496,7 +946,7 @@ fn resolve_source<'g, 's>(
 
 /// Membership test against one generation source: equivalent to `v` being
 /// in the source's materialized candidate set (the assignment already has
-/// the candidate placed at the top).
+/// the candidate placed in the decided label's slot).
 fn source_contains(g: &Gen<'_>, ctx: &MatchCtx<'_>, asg: &[ValueId]) -> bool {
     match g {
         Gen::Atom(a) => a.check(ctx, asg),
@@ -510,22 +960,6 @@ fn eval(c: &Constraint, ctx: &MatchCtx<'_>, asg: &[ValueId]) -> bool {
         Constraint::Atom(a) => a.check(ctx, asg),
         Constraint::And(cs) => cs.iter().all(|c| eval(c, ctx, asg)),
         Constraint::Or(cs) => cs.iter().any(|c| eval(c, ctx, asg)),
-    }
-}
-
-/// Optimistic evaluation: atoms mentioning unassigned labels count as true
-/// (this is the substitution defining `c_k` in the paper).
-fn eval_partial(c: &Constraint, ctx: &MatchCtx<'_>, asg: &[ValueId]) -> bool {
-    match c {
-        Constraint::Atom(a) => {
-            if a.labels().iter().all(|l| l.index() < asg.len()) {
-                a.check(ctx, asg)
-            } else {
-                true
-            }
-        }
-        Constraint::And(cs) => cs.iter().all(|c| eval_partial(c, ctx, asg)),
-        Constraint::Or(cs) => cs.iter().any(|c| eval_partial(c, ctx, asg)),
     }
 }
 
@@ -642,6 +1076,18 @@ mod tests {
     }
 
     #[test]
+    fn forced_moves_cost_no_steps() {
+        // One load, one gep, one base: every level of the chain has a
+        // single surviving candidate, so the whole solve is propagation.
+        with_ctx(LOOP_SRC, |ctx| {
+            let spec = load_spec();
+            let (sols, stats) = solve(&spec, ctx, SolveOptions::default());
+            assert_eq!(sols.len(), 1);
+            assert_eq!(stats.steps, 0, "a forced chain must be free, steps={}", stats.steps);
+        });
+    }
+
+    #[test]
     fn or_constraints_enumerate_both_branches() {
         // value is either operand of a cmp: two solutions for the cmp in
         // the loop test.
@@ -680,7 +1126,7 @@ mod tests {
             b.atom(Atom::IsBlock(l));
             let spec = b.finish();
             let (sols, stats) =
-                solve(&spec, ctx, SolveOptions { max_solutions: 2, max_steps: 1_000_000 });
+                solve(&spec, ctx, SolveOptions { max_solutions: 2, ..SolveOptions::default() });
             assert_eq!(sols.len(), 2);
             assert!(stats.truncated);
         });
@@ -724,11 +1170,89 @@ mod tests {
     }
 
     #[test]
+    fn priority_order_matches_declaration_order_results() {
+        // A deliberately backwards spec: the selective anchor (the single
+        // gep) is declared *last*. The priority order starts from it and
+        // must reproduce exactly the declaration-order solution set.
+        with_ctx(LOOP_SRC, |ctx| {
+            let build = || {
+                let mut b = SpecBuilder::new("backwards");
+                let base = b.label("base");
+                let gep = b.label("gep");
+                b.atom(Atom::Opcode { l: gep, class: OpClass::Gep });
+                b.atom(Atom::OperandIs { inst: gep, index: 0, value: base });
+                b.finish()
+            };
+            let prioritized = SolveOptions::default();
+            let declared = SolveOptions {
+                policy: SearchPolicy { priority: false, symmetry: true },
+                ..SolveOptions::default()
+            };
+            let (a, _) = solve(&build(), ctx, prioritized);
+            let (b, _) = solve(&build(), ctx, declared);
+            assert!(!a.is_empty());
+            assert_eq!(a, b, "label order must not change the reported solutions");
+        });
+    }
+
+    #[test]
+    fn symmetry_breaking_keeps_one_representative_per_orbit() {
+        // Two labels with byte-identical constraints (both "is a block"):
+        // the conjunct multiset is invariant under swapping them, so the
+        // canonical solver keeps only the asg[x] <= asg[y] half.
+        with_ctx(LOOP_SRC, |ctx| {
+            let build = || {
+                let mut b = SpecBuilder::new("twin-blocks");
+                let x = b.label("x");
+                let y = b.label("y");
+                b.atom(Atom::IsBlock(x));
+                b.atom(Atom::IsBlock(y));
+                b.finish()
+            };
+            assert_eq!(symmetric_pairs(&build(), 0), vec![(0, 1)]);
+            let canonical = SolveOptions::default();
+            let full = SolveOptions {
+                policy: SearchPolicy { priority: true, symmetry: false },
+                ..SolveOptions::default()
+            };
+            let (sols, _) = solve(&build(), ctx, canonical);
+            let (all, _) = solve(&build(), ctx, full);
+            // n blocks → n² unrestricted pairs, n(n+1)/2 canonical.
+            let n = (all.len() as f64).sqrt().round() as usize;
+            assert!(n >= 2, "the loop test has several blocks");
+            assert_eq!(n * n, all.len(), "unrestricted solve is the full square");
+            assert_eq!(sols.len(), n * (n + 1) / 2, "canonical half kept");
+            for s in &sols {
+                assert!(s[0] <= s[1], "canonical representative has ordered values");
+            }
+        });
+    }
+
+    #[test]
+    fn builtin_specs_have_no_symmetric_labels() {
+        // The shipped idioms all have structurally distinct labels: the
+        // canonicalization is provably a no-op on them, which is what the
+        // shared/unshared byte-equality sweep in the bench suite relies on.
+        let specs = [
+            crate::spec::scalar_reduction_spec().0,
+            crate::spec::scan_spec().0,
+            crate::spec::for_loop_spec().0,
+        ];
+        for spec in specs {
+            let pin = spec.prefix.map_or(0, |p| p.total_labels());
+            assert_eq!(symmetric_pairs(&spec, pin), Vec::new(), "{}", spec.name);
+        }
+    }
+
+    #[test]
     fn extend_matches_full_solve_on_marked_prefix() {
         // A two-stage spec: prefix = load-of-gep chain, extension = the
         // gep's index value. The resumed search must agree with the full
-        // solve exactly (solutions and order) while skipping prefix steps.
-        with_ctx(LOOP_SRC, |ctx| {
+        // solve exactly (solutions and steps decomposition) while skipping
+        // the prefix steps. Two loads in the source make the prefix a
+        // genuinely branching (and thus step-charging) sub-problem.
+        const TWO_LOAD_SRC: &str = "float f(float* a, float* b, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[i] + b[i]; return s; }";
+        with_ctx(TWO_LOAD_SRC, |ctx| {
             let build = |mark: bool| {
                 let mut b = SpecBuilder::new("load-of-gep-idx");
                 let load = b.label("load");
@@ -750,7 +1274,8 @@ mod tests {
             let (full, full_stats) = solve(&plain, ctx, SolveOptions::default());
             let prefix = marked.prefix_spec().unwrap();
             let (pre_sols, pre_stats) = solve(&prefix, ctx, SolveOptions::default());
-            assert_eq!(pre_sols.len(), 1);
+            assert_eq!(pre_sols.len(), 2);
+            assert!(pre_stats.steps > 0, "two loads must branch the prefix");
             let (ext, ext_stats) = solve_extend(&marked, ctx, &pre_sols, SolveOptions::default());
             assert_eq!(ext, full, "resumed search must reproduce the full solve");
             assert!(
@@ -760,6 +1285,49 @@ mod tests {
                 full_stats.steps
             );
             assert_eq!(pre_stats.steps + ext_stats.steps, full_stats.steps);
+        });
+    }
+
+    #[test]
+    fn gen_memo_shares_generation_without_changing_results() {
+        const TWO_LOAD_SRC: &str = "float f(float* a, float* b, int n) { float s = 0.0; for (int i = 0; i < n; i++) s += a[i] + b[i]; return s; }";
+        with_ctx(TWO_LOAD_SRC, |ctx| {
+            let mut b = SpecBuilder::new("load-of-gep-idx");
+            let load = b.label("load");
+            let gep = b.label("gep");
+            let base = b.label("base");
+            b.atom(Atom::Opcode { l: load, class: OpClass::Load });
+            b.atom(Atom::OperandIs { inst: load, index: 0, value: gep });
+            b.atom(Atom::Opcode { l: gep, class: OpClass::Gep });
+            b.atom(Atom::OperandIs { inst: gep, index: 0, value: base });
+            b.mark_prefix();
+            let idx = b.label("idx");
+            b.atom(Atom::OperandIs { inst: gep, index: 1, value: idx });
+            let spec = b.finish();
+            let prefix = spec.prefix_spec().unwrap();
+            let (pre_sols, _) = solve(&prefix, ctx, SolveOptions::default());
+            let (cold, cold_stats) = solve_extend(&spec, ctx, &pre_sols, SolveOptions::default());
+            let mut memo = GenMemo::new();
+            let (first, first_stats) = solve_extend_with_memo(
+                &spec,
+                ctx,
+                &pre_sols,
+                SolveOptions::default(),
+                Some(&mut memo),
+            );
+            assert!(!memo.is_empty(), "the extension generates through at least one atom");
+            // A second idiom extending the same prefix hits the memo.
+            let (second, second_stats) = solve_extend_with_memo(
+                &spec,
+                ctx,
+                &pre_sols,
+                SolveOptions::default(),
+                Some(&mut memo),
+            );
+            assert_eq!(cold, first);
+            assert_eq!(first, second, "memoized generation must be invisible in results");
+            assert_eq!(cold_stats, first_stats);
+            assert_eq!(first_stats, second_stats, "steps are counted identically on memo hits");
         });
     }
 

@@ -65,7 +65,7 @@ use crate::detect::{
 };
 use crate::error::GrError;
 use crate::report::{Reduction, ReductionOp};
-use crate::solver::{SolveOptions, SolveStats};
+use crate::solver::{SearchPolicy, SolveOptions, SolveStats};
 use gr_ir::ValueId;
 use std::collections::HashSet;
 use std::fmt;
@@ -152,17 +152,35 @@ impl fmt::Display for RegistryError {
 
 impl std::error::Error for RegistryError {}
 
-/// An ordered collection of idiom entries. Order is detection/report order.
+/// An ordered collection of idiom entries. Order is detection/report order
+/// (registration order — the solver's priority layer reorders *labels
+/// inside a solve*, never the idiom entries themselves).
 #[derive(Debug, Default)]
 pub struct IdiomRegistry {
     entries: Vec<IdiomEntry>,
+    policy: SearchPolicy,
 }
 
 impl IdiomRegistry {
     /// An empty registry (build custom detector sets on top).
     #[must_use]
     pub fn empty() -> IdiomRegistry {
-        IdiomRegistry { entries: Vec::new() }
+        IdiomRegistry { entries: Vec::new(), policy: SearchPolicy::default() }
+    }
+
+    /// Overrides the search-shaping policy every solve issued by this
+    /// registry runs under: the ordering/symmetry hook the ablation
+    /// benches flip to measure each layer in isolation.
+    #[must_use]
+    pub fn with_policy(mut self, policy: SearchPolicy) -> IdiomRegistry {
+        self.policy = policy;
+        self
+    }
+
+    /// The search-shaping policy this registry solves under.
+    #[must_use]
+    pub fn policy(&self) -> SearchPolicy {
+        self.policy
     }
 
     /// The default registry: histogram, scalar, scan, argmin/argmax on the
@@ -290,7 +308,7 @@ impl IdiomRegistry {
         for entry in &self.entries {
             let _isp = gr_trace::enabled()
                 .then(|| gr_trace::span_with("idiom", vec![("idiom", entry.name.into())]));
-            let defaults = SolveOptions::default();
+            let defaults = SolveOptions { policy: self.policy, ..SolveOptions::default() };
             let remaining = budget.per_function_steps.saturating_sub(steps_used);
             let opts = SolveOptions {
                 max_steps: defaults.max_steps.min(budget.per_call_steps).min(remaining),
@@ -378,8 +396,8 @@ impl IdiomRegistry {
         let mut report = RegistryStats::default();
         for entry in &self.entries {
             let cache_ref = shared.then_some(&mut cache);
-            let (_, stats, prefix) =
-                solve_with_cache(&entry.spec, ctx, cache_ref, SolveOptions::default());
+            let opts = SolveOptions { policy: self.policy, ..SolveOptions::default() };
+            let (_, stats, prefix) = solve_with_cache(&entry.spec, ctx, cache_ref, opts);
             if let Some(p) = prefix {
                 report.prefix.absorb(p);
             }

@@ -152,9 +152,19 @@ impl ChunkPolicy {
     /// profile for call site `site` (typically the searched function's
     /// chunk name). Sites absent from the profile leave the hint unset;
     /// the rest of the policy is untouched.
+    ///
+    /// The profile records sites under their gensym-stripped name
+    /// ([`gr_core::strip_gensym`] — the trailing outliner counter is not
+    /// stable across runs), so the lookup accepts either form: an exact
+    /// match wins, otherwise the stripped name is tried. Passing the raw
+    /// `plan.chunk_fn` of a freshly outlined plan therefore finds the
+    /// profile a *previous* run recorded, even though the gensym differs.
     #[must_use]
     pub fn with_profile(self, profile: &gr_trace::profile::HitProfile, site: &str) -> ChunkPolicy {
-        ChunkPolicy { expected_hit: profile.median_hit(site), ..self }
+        let expected_hit = profile
+            .median_hit(site)
+            .or_else(|| profile.median_hit(gr_core::strip_gensym(site)));
+        ChunkPolicy { expected_hit, ..self }
     }
 }
 

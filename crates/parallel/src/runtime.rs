@@ -698,15 +698,14 @@ fn recover_pass_failure(
 /// counter, so it is not stable across runs — exactly the wrong key for
 /// the persisted [`gr_trace::profile::HitProfile`]. Distinct search loops
 /// in one function share a site; that coarseness is deliberate.
+///
+/// This is [`gr_core::strip_gensym`] — the same normalization the
+/// fingerprinting layer applies to call names — *not* a private
+/// re-implementation: `ChunkPolicy::with_profile` strips lookups with the
+/// same function, and a divergence between the two would silently orphan
+/// every persisted profile entry.
 fn trace_site(chunk_fn: &str) -> &str {
-    match chunk_fn.rfind('_') {
-        Some(i)
-            if i + 1 < chunk_fn.len() && chunk_fn[i + 1..].bytes().all(|b| b.is_ascii_digit()) =>
-        {
-            &chunk_fn[..i]
-        }
-        _ => chunk_fn,
-    }
+    gr_core::strip_gensym(chunk_fn)
 }
 
 /// The cancellable speculative executor for early-exit loops: searches

@@ -26,10 +26,11 @@
 //!    fingerprint and one entry, and the report is re-labelled with the
 //!    submitted function's name on every hit.
 //! 3. Eviction is LRU with a deterministic tie-break: entries carry a
-//!    logical touch clock (no wall time anywhere), the render lists
-//!    them least-recently-used first, and reloading renumbers in file
-//!    order — so cache files are byte-for-byte reproducible across
-//!    machines and runs.
+//!    logical touch clock (no wall time anywhere) with the fingerprint
+//!    as secondary key on clock ties, the render lists them
+//!    least-recently-used first under the same order, and reloading
+//!    renumbers in file order — so cache files are byte-for-byte
+//!    reproducible across machines and runs.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -172,7 +173,10 @@ impl ReportCache {
     #[must_use]
     pub fn render(&self) -> String {
         let mut order: Vec<(&u64, &CachedEntry)> = self.entries.iter().collect();
-        order.sort_by_key(|(_, e)| e.touch);
+        // Secondary key on the fingerprint: entries whose touch clocks tie
+        // must still render in one canonical order, or the same logical
+        // cache state could produce different bytes across runs.
+        order.sort_by_key(|(fp, e)| (e.touch, **fp));
         let mut out = String::new();
         out.push_str("{\n");
         let _ = writeln!(out, "  \"schema\": {},", json_str(CACHE_SCHEMA));
@@ -253,10 +257,15 @@ impl ReportCache {
         self.clock += 1;
         let entry = CachedEntry { reductions, solved_steps: report.steps_used, touch: self.clock };
         if self.entries.insert(fp, entry).is_none() && self.entries.len() > self.capacity {
+            // The victim is the oldest touch; on a clock tie the smallest
+            // fingerprint loses. Without the secondary key the choice
+            // would fall to `HashMap` iteration order — nondeterministic
+            // across runs, so two servers with identical logical state
+            // could evict different entries and render different bytes.
             let lru = self
                 .entries
                 .iter()
-                .min_by_key(|(_, e)| e.touch)
+                .min_by_key(|(fp, e)| (e.touch, **fp))
                 .map(|(fp, _)| *fp)
                 .expect("cache over capacity implies at least one entry");
             self.entries.remove(&lru);
@@ -424,6 +433,55 @@ mod tests {
         c.store(3, &report("c", 0, 1));
         assert!(c.contains(1) && c.contains(3) && !c.contains(2));
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn tied_touch_clocks_evict_and_render_deterministically() {
+        // No public path produces two equal touch clocks today, but the
+        // eviction and render orders must not silently lean on `HashMap`
+        // iteration if one ever does (a future cache merge, a schema
+        // migration). Force a tie directly and round-trip a full cache
+        // through repeated evictions: the victim is always the smallest
+        // tied fingerprint and every render of the same logical state is
+        // byte-identical.
+        let build = || {
+            let mut c = ReportCache::new(3);
+            for fp in [0x30u64, 0x10, 0x20] {
+                c.store(fp, &report("f", 1, 2));
+            }
+            // Collapse all three touches onto one clock value.
+            for e in c.entries.values_mut() {
+                e.touch = 7;
+            }
+            c.clock = 7;
+            c
+        };
+        let mut evolved = build().render();
+        for round in 0..4u64 {
+            // Same logical state ⇒ same bytes, regardless of map order.
+            assert_eq!(build().render(), build().render());
+            // Evict: the smallest tied fingerprint must lose each round.
+            let mut c = ReportCache::parse(&evolved, 3).unwrap();
+            let survivors: Vec<u64> = {
+                let mut fps: Vec<u64> = c.entries.keys().copied().collect();
+                fps.sort_unstable();
+                fps
+            };
+            for e in c.entries.values_mut() {
+                e.touch = 1;
+            }
+            c.clock = 1;
+            let fresh = 0x100 + round;
+            assert!(c.store(fresh, &report("g", 1, 3)));
+            assert!(!c.contains(survivors[0]), "smallest tied fingerprint is the victim");
+            assert!(c.contains(fresh));
+            assert_eq!(c.len(), 3);
+            // Round-trip the evolved cache: reload re-renders the same
+            // bytes, so the artifact is stable across repeated evictions.
+            evolved = c.render();
+            let reloaded = ReportCache::parse(&evolved, 3).unwrap();
+            assert_eq!(reloaded.render(), evolved, "round {round} render must round-trip");
+        }
     }
 
     #[test]

@@ -362,12 +362,17 @@ mod tests {
 
     #[test]
     fn cold_batch_matches_sequential_and_warm_batch_is_free() {
+        // The second function carries two accumulators so the scalar
+        // spec's `acc` label branches: a single-accumulator body is all
+        // forced moves and would cold-solve at zero steps, making the
+        // `solver_steps > 0` assertion below vacuous.
         let ms = modules(&[
             SUM,
-            "int count(int* a, int n, int key) {
-            int c = 0;
-            for (int i = 0; i < n; i++) if (a[i] == key) c = c + 1;
-            return c;
+            "float norms(float* a, int n) {
+            float s = 0.0;
+            float q = 0.0;
+            for (int i = 0; i < n; i++) { s += a[i]; q += a[i] * a[i]; }
+            return s + q;
         }",
         ]);
         let mut server = DetectionServer::new(ServeConfig::default());

@@ -58,11 +58,14 @@ fn prop_batch_is_byte_identical_to_sequential_on_every_worker_count() {
 
 #[test]
 fn prop_degraded_batches_stay_deterministic_across_worker_counts() {
-    // A starvation budget degrades most solves; the reports (including
-    // the GR-coded degraded status and step counts) must still be
-    // byte-identical to the sequential driver on every worker count.
+    // A starvation budget degrades some solves — under the trie search
+    // most corpus functions solve by forced moves alone, so only the
+    // genuinely branching ones exceed a one-step budget; the reports
+    // (including the GR-coded degraded status and step counts) must
+    // still be byte-identical to the sequential driver on every worker
+    // count.
     let modules = corpus_modules(48);
-    let budget = DetectBudget::steps(7);
+    let budget = DetectBudget::steps(1);
     let seq: String =
         detect_sequential(&modules, budget).iter().map(|r| format!("{r:?}\n")).collect();
     for jobs in gr_parallel::test_thread_counts() {
